@@ -1,0 +1,100 @@
+//===- bench/bench_ablation.cpp - A1/A2: design-choice ablations ----------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Two ablations of devices the paper singles out:
+//
+//   A1 — colours. Prior work (Sect. 1: "colors speed up the task by a
+//        factor of around 2") motivates the colour flag. We run the best
+//        FSMs with colour writing disabled: agents keep moving but lose
+//        their pheromone trails.
+//
+//   A2 — initial control states. Sect. 4: uniform state-0 (or state-3)
+//        agents are not reliable; ID-parity starts are the paper's
+//        symmetry-breaking device. We measure success rates under both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "analysis/Experiment.h"
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+namespace {
+
+DensityMeasurement measureWith(GridKind Kind, int NumAgents, bool Colors,
+                               StartStates Start, int MaxSteps) {
+  Torus T(Kind, 16);
+  FitnessParams P;
+  P.Sim.MaxSteps = MaxSteps;
+  P.Sim.ColorsEnabled = Colors;
+  P.Sim.Start = Start;
+  return measureDensity(bestAgent(Kind), T, NumAgents, 200, 20130101, P);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== A1: colour ablation (best FSMs, colour writes disabled; "
+              "203 fields per cell) ==\n");
+  std::printf("(prior work reports colours speed A2A up by a factor of "
+              "around 2)\n\n");
+  {
+    TextTable Table;
+    Table.setHeader({"grid/k", "t with colors", "t w/o colors", "slowdown",
+                     "solved with", "solved w/o"});
+    for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+      for (int K : {8, 16}) {
+        DensityMeasurement With =
+            measureWith(Kind, K, true, StartStates::idParity(), 5000);
+        DensityMeasurement Without =
+            measureWith(Kind, K, false, StartStates::idParity(), 5000);
+        double Slowdown = With.MeanCommTime > 0
+                              ? Without.MeanCommTime / With.MeanCommTime
+                              : 0.0;
+        Table.addRow({formatString("%s/k=%d", gridKindName(Kind), K),
+                      formatFixed(With.MeanCommTime, 2),
+                      formatFixed(Without.MeanCommTime, 2),
+                      formatFixed(Slowdown, 2),
+                      formatString("%d/%d", With.SolvedFields, With.NumFields),
+                      formatString("%d/%d", Without.SolvedFields,
+                                   Without.NumFields)});
+      }
+    }
+    std::printf("%s\n", Table.render().c_str());
+    std::printf("(w/o-colour means are over solved fields only; unsolved "
+                "fields additionally show up as reduced solve counts)\n\n");
+  }
+
+  std::printf("== A2: initial-control-state ablation (success within "
+              "t_max = 200, incl. the 3 manual designs) ==\n\n");
+  {
+    TextTable Table;
+    Table.setHeader({"grid/k", "solved parity", "solved uniform-0",
+                     "t parity", "t uniform-0"});
+    for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+      for (int K : {4, 8, 16}) {
+        DensityMeasurement Parity =
+            measureWith(Kind, K, true, StartStates::idParity(), 200);
+        DensityMeasurement Uniform =
+            measureWith(Kind, K, true, StartStates::uniform(0), 200);
+        Table.addRow(
+            {formatString("%s/k=%d", gridKindName(Kind), K),
+             formatString("%d/%d", Parity.SolvedFields, Parity.NumFields),
+             formatString("%d/%d", Uniform.SolvedFields, Uniform.NumFields),
+             formatFixed(Parity.MeanCommTime, 2),
+             formatFixed(Uniform.MeanCommTime, 2)});
+      }
+    }
+    std::printf("%s\n", Table.render().c_str());
+    std::printf("(the manual designs are translation-symmetric; uniform "
+                "starts cannot break that symmetry — Sect. 4)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- bench/bench_engine.cpp - P1: engine microbenchmarks ----------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// google-benchmark microbenchmarks of the CA engine: steps/second for
+// both grids at several densities, full simulation runs, fitness
+// evaluations, and the building blocks (exchange-heavy packed fields,
+// genome mutation). These are throughput baselines, not paper artefacts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "ga/Fitness.h"
+#include "ga/Mutation.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace ca2a;
+
+namespace {
+
+std::vector<Placement> firstKCells(const Torus &T, int K, uint64_t Seed) {
+  Rng R(Seed);
+  return randomConfiguration(T, K, R).Placements;
+}
+
+void BM_StepLoop(benchmark::State &State, GridKind Kind) {
+  int NumAgents = static_cast<int>(State.range(0));
+  Torus T(Kind, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 1 << 30; // The loop below controls the step count.
+  std::vector<Placement> P = firstKCells(T, NumAgents, 42);
+  W.reset(bestAgent(Kind), P, O);
+  int64_t Steps = 0;
+  for (auto _ : State) {
+    if (W.step() == World::Status::Solved)
+      W.reset(bestAgent(Kind), P, O); // Re-arm; amortised away.
+    ++Steps;
+  }
+  State.SetItemsProcessed(Steps * NumAgents);
+  State.counters["agent_steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps * NumAgents), benchmark::Counter::kIsRate);
+}
+
+void BM_FullRun(benchmark::State &State, GridKind Kind) {
+  int NumAgents = static_cast<int>(State.range(0));
+  Torus T(Kind, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 5000;
+  std::vector<Placement> P = firstKCells(T, NumAgents, 43);
+  int64_t TotalSteps = 0;
+  for (auto _ : State) {
+    W.reset(bestAgent(Kind), P, O);
+    SimResult R = W.run();
+    benchmark::DoNotOptimize(R);
+    TotalSteps += R.Success ? R.TComm : O.MaxSteps;
+  }
+  State.counters["steps/run"] = static_cast<double>(TotalSteps) /
+                                static_cast<double>(State.iterations());
+}
+
+void BM_PackedExchange(benchmark::State &State, GridKind Kind) {
+  // Exchange-dominated workload: a fully packed 16x16 field.
+  Torus T(Kind, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 1 << 30;
+  InitialConfiguration Packed = packedConfiguration(T);
+  W.reset(bestAgent(Kind), Packed.Placements, O);
+  for (auto _ : State) {
+    if (W.step() == World::Status::Solved)
+      W.reset(bestAgent(Kind), Packed.Placements, O);
+  }
+  State.SetItemsProcessed(State.iterations() * T.numCells());
+}
+
+void BM_FitnessEvaluation(benchmark::State &State, GridKind Kind) {
+  Torus T(Kind, 16);
+  auto Fields = standardConfigurationSet(T, 8, 20, 7);
+  FitnessParams P;
+  P.Sim.MaxSteps = 200;
+  for (auto _ : State) {
+    FitnessResult R = evaluateFitness(bestAgent(Kind), T, Fields, P);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Fields.size()));
+}
+
+void BM_Mutation(benchmark::State &State) {
+  Rng R(5);
+  Genome G = Genome::random(R);
+  MutationParams Params;
+  for (auto _ : State) {
+    Genome M = mutate(G, Params, R);
+    benchmark::DoNotOptimize(M);
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_StepLoop, Square, GridKind::Square)
+    ->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_StepLoop, Triangulate, GridKind::Triangulate)
+    ->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_FullRun, Square, GridKind::Square)->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_FullRun, Triangulate, GridKind::Triangulate)
+    ->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_PackedExchange, Square, GridKind::Square);
+BENCHMARK_CAPTURE(BM_PackedExchange, Triangulate, GridKind::Triangulate);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Square, GridKind::Square);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Triangulate, GridKind::Triangulate);
+BENCHMARK(BM_Mutation);

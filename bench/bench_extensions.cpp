@@ -1,0 +1,154 @@
+//===- bench/bench_extensions.cpp - Future-work environment studies -------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Exploratory studies of the paper's future-work list ("how fast and
+// reliable agents are when using ... obstacles, or borders") and the
+// prior-work devices, using the published best FSMs:
+//
+//   X1 — borders: the same field sets with the wrap seam removed. The
+//        authors' earlier studies found bordered environments easier;
+//        note our FSMs were evolved for cyclic fields, so this measures
+//        transfer, not a retrained optimum.
+//   X2 — obstacles: random obstacle densities 0 / 8 / 16 / 32 cells on
+//        16x16; agents must route around them.
+//   X3 — species mixing: half the agents run the best S-FSM, half the
+//        best T-FSM... (meaningful only per grid: we mix each grid's best
+//        FSM with a mutated variant of itself).
+//
+// All numbers are means over the standard random field sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "ga/Mutation.h"
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+namespace {
+
+struct Measured {
+  int Solved = 0;
+  int Fields = 0;
+  double Mean = 0.0;
+};
+
+Measured measure(GridKind Kind, int NumAgents, const SimOptions &Base,
+                 int NumFields, uint64_t Seed, GenomePolicy Policy,
+                 const Genome *SecondGenome) {
+  Torus T(Kind, 16);
+  World W(T);
+  Rng R(Seed);
+  Measured Out;
+  const Genome &Primary = bestAgent(Kind);
+  for (int I = 0; I != NumFields; ++I) {
+    InitialConfiguration C =
+        Base.Obstacles.empty()
+            ? randomConfiguration(T, NumAgents, R)
+            : randomConfigurationAvoiding(T, NumAgents, R, Base.Obstacles);
+    W.reset(Primary, SecondGenome ? *SecondGenome : Primary, Policy,
+            C.Placements, Base);
+    SimResult Result = W.run();
+    ++Out.Fields;
+    if (Result.Success) {
+      ++Out.Solved;
+      Out.Mean += Result.TComm;
+    }
+  }
+  if (Out.Solved)
+    Out.Mean /= Out.Solved;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  constexpr int NumFields = 300;
+  constexpr int MaxSteps = 5000;
+
+  std::printf("== X1: cyclic vs bordered fields (best FSMs, k agents, %d "
+              "random fields) ==\n\n",
+              NumFields);
+  {
+    TextTable Table;
+    Table.setHeader({"grid/k", "cyclic t", "bordered t", "cyclic solved",
+                     "bordered solved"});
+    for (GridKind Kind : {GridKind::Square, GridKind::Triangulate})
+      for (int K : {8, 16}) {
+        SimOptions Cyclic;
+        Cyclic.MaxSteps = MaxSteps;
+        SimOptions Bordered = Cyclic;
+        Bordered.Bordered = true;
+        Measured C = measure(Kind, K, Cyclic, NumFields, 901,
+                             GenomePolicy::Single, nullptr);
+        Measured B = measure(Kind, K, Bordered, NumFields, 901,
+                             GenomePolicy::Single, nullptr);
+        Table.addRow({formatString("%s/k=%d", gridKindName(Kind), K),
+                      formatFixed(C.Mean, 2), formatFixed(B.Mean, 2),
+                      formatString("%d/%d", C.Solved, C.Fields),
+                      formatString("%d/%d", B.Solved, B.Fields)});
+      }
+    std::printf("%s\n", Table.render().c_str());
+    std::printf("(prior work: borders make the task easier; these FSMs were "
+                "evolved for cyclic fields, so transfer may go either way)\n\n");
+  }
+
+  std::printf("== X2: obstacle densities (best FSMs, k = 16) ==\n\n");
+  {
+    TextTable Table;
+    Table.setHeader({"grid", "0 obst", "8 obst", "16 obst", "32 obst",
+                     "solved @32"});
+    for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+      std::vector<std::string> Row = {gridKindName(Kind)};
+      Measured Last;
+      for (int NumObstacles : {0, 8, 16, 32}) {
+        Torus T(Kind, 16);
+        Rng ObstacleRng(555 + static_cast<uint64_t>(NumObstacles));
+        SimOptions O;
+        O.MaxSteps = MaxSteps;
+        O.Obstacles = randomObstacles(T, NumObstacles, ObstacleRng);
+        Last = measure(Kind, 16, O, NumFields, 902, GenomePolicy::Single,
+                       nullptr);
+        Row.push_back(formatFixed(Last.Mean, 2));
+      }
+      Row.push_back(formatString("%d/%d", Last.Solved, Last.Fields));
+      Table.addRow(Row);
+    }
+    std::printf("%s\n", Table.render().c_str());
+  }
+
+  std::printf("== X3: species mixing (best FSM + its 18%%-mutant, "
+              "SpeciesParity, k = 16) ==\n\n");
+  {
+    TextTable Table;
+    Table.setHeader({"grid", "uniform species t", "mixed species t",
+                     "uniform solved", "mixed solved"});
+    for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+      Rng MutRng(31337);
+      Genome Variant = mutate(bestAgent(Kind), MutationParams::uniform(0.18),
+                              MutRng);
+      SimOptions O;
+      O.MaxSteps = MaxSteps;
+      Measured Uniform = measure(Kind, 16, O, NumFields, 903,
+                                 GenomePolicy::Single, nullptr);
+      Measured Mixed = measure(Kind, 16, O, NumFields, 903,
+                               GenomePolicy::SpeciesParity, &Variant);
+      Table.addRow({gridKindName(Kind), formatFixed(Uniform.Mean, 2),
+                    formatFixed(Mixed.Mean, 2),
+                    formatString("%d/%d", Uniform.Solved, Uniform.Fields),
+                    formatString("%d/%d", Mixed.Solved, Mixed.Fields)});
+    }
+    std::printf("%s\n", Table.render().c_str());
+    std::printf("(a random mutant usually degrades the tuned FSM — the "
+                "point is that the engine supports heterogeneous species, "
+                "the paper's reliability option 3)\n");
+  }
+  return 0;
+}

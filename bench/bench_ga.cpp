@@ -1,0 +1,114 @@
+//===- bench/bench_ga.cpp - E6: the Sect. 4 genetic procedure -------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Runs the paper's genetic procedure (N = 20, b = 3, mutation-only at
+// 18%) on both grids: 16x16 field, 8 agents, a training set of random +
+// manual configurations, and reports the generation trajectory — in
+// particular the paper's qualitative milestones: the random initial
+// population contains no successful FSM; successful FSMs appear after
+// some generations; the best-ever fitness falls monotonically.
+//
+// The paper's four full-scale optimisation runs used 1003 training fields
+// and an unspecified (large) generation budget; the defaults here are
+// sized for minutes on one core and are configurable up to paper scale
+// (--fields 1000 --generations <large>).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ga/Evolution.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+static int runEvolution(GridKind Kind, int NumFields, int Generations,
+                        int NumAgents, uint64_t Seed) {
+  Torus T(Kind, 16);
+  auto Fields = standardConfigurationSet(T, NumAgents, NumFields - 3,
+                                         Seed * 7919 + 13);
+  EvolutionParams Params;
+  Params.Seed = Seed;
+  Params.Fitness.Sim.MaxSteps = 200; // The paper's t_max.
+
+  Evolution E(T, Fields, Params);
+  std::printf("---- %s-grid: %d agents, %zu training fields, seed %llu ----\n",
+              gridKindName(Kind), NumAgents, Fields.size(),
+              static_cast<unsigned long long>(Seed));
+
+  int InitialSuccessful = 0;
+  for (const Individual &Ind : E.population())
+    InitialSuccessful += Ind.CompletelySuccessful ? 1 : 0;
+  std::printf("gen %4d: best F = %9s, completely-successful FSMs in pool: "
+              "%d/20\n",
+              0, formatFixed(E.population().front().Fitness, 2).c_str(),
+              InitialSuccessful);
+
+  int FirstSuccessGen = -1;
+  E.run(Generations, [&](const GenerationStats &S) {
+    if (FirstSuccessGen < 0 && S.NumCompletelySuccessful > 0)
+      FirstSuccessGen = S.Generation;
+    if (S.Generation % 10 == 0 || S.Generation == Generations)
+      std::printf("gen %4d: best F = %9s, mean F = %11s, successful in "
+                  "pool: %d/20, evals: %d\n",
+                  S.Generation, formatFixed(S.BestFitness, 2).c_str(),
+                  formatFixed(S.MeanFitness, 2).c_str(),
+                  S.NumCompletelySuccessful, S.Evaluations);
+  });
+
+  const Individual &Best = E.bestEver();
+  std::printf("best-ever: F = %s, solved %d/%zu fields%s\n",
+              formatFixed(Best.Fitness, 2).c_str(), Best.SolvedFields,
+              Fields.size(),
+              Best.CompletelySuccessful ? " (completely successful)" : "");
+  if (FirstSuccessGen >= 0)
+    std::printf("first completely successful FSM appeared in generation %d\n",
+                FirstSuccessGen);
+  std::printf("initial random population had %d successful FSMs "
+              "(paper: 'usually there is no FSM in the initial population "
+              "that is successful')\n\n",
+              InitialSuccessful);
+  return InitialSuccessful;
+}
+
+int main(int Argc, char **Argv) {
+  int64_t NumFields = 103;
+  int64_t Generations = 60;
+  int64_t NumAgents = 8;
+  int64_t Seed = 1;
+  CommandLine CL("bench_ga",
+                 "Runs the paper's genetic procedure on both grids");
+  CL.addInt("fields", "training fields incl. 3 manual (paper: 1003)",
+            &NumFields);
+  CL.addInt("generations", "generations per run", &Generations);
+  CL.addInt("agents", "agents per field (paper: 8)", &NumAgents);
+  CL.addInt("seed", "evolution seed", &Seed);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+
+  std::printf("== E6: genetic procedure (Sect. 4): N=20, b=3, mutation 18%%, "
+              "W=1e4, t_max=200 ==\n\n");
+  int SuccessfulAtStart = 0;
+  SuccessfulAtStart += runEvolution(GridKind::Triangulate,
+                                    static_cast<int>(NumFields),
+                                    static_cast<int>(Generations),
+                                    static_cast<int>(NumAgents),
+                                    static_cast<uint64_t>(Seed));
+  SuccessfulAtStart += runEvolution(GridKind::Square,
+                                    static_cast<int>(NumFields),
+                                    static_cast<int>(Generations),
+                                    static_cast<int>(NumAgents),
+                                    static_cast<uint64_t>(Seed));
+  return 0;
+}

@@ -1,0 +1,151 @@
+//===- bench/bench_table1.cpp - E1: Table 1 and Fig. 5 --------------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Regenerates Table 1 / Fig. 5: mean communication time of the best
+// published S- and T-agents for N_agents in {2, 4, 8, 16, 32, 256} on a
+// 16 x 16 field, 1003 initial configurations per density (1000 random + 3
+// manual), plus the T/S ratio row.
+//
+// Paper reference values:
+//   N_agents |     2 |      4 |     8 |    16 |    32 |   256
+//   T-grid   | 58.43 |  78.30 | 58.68 | 41.25 | 28.06 |  9.00
+//   S-grid   | 82.78 | 116.12 | 90.93 | 63.39 | 42.93 | 15.00
+//   T/S      | 0.706 |  0.674 | 0.645 | 0.651 | 0.690 | 0.600
+//
+// Deviation note: the paper's GA cutoff is t_max = 200; a small tail of
+// our runs at low densities exceeds it (micro-semantics of the authors'
+// simulator are unpublished), so this harness uses a generous cutoff and
+// reports solve counts so means cover ALL fields.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "analysis/Chart.h"
+#include "analysis/Distribution.h"
+#include "analysis/Significance.h"
+#include "analysis/Table.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  int64_t NumRandomFields = 1000;
+  int64_t MaxSteps = 5000;
+  int64_t Seed = 20130101;
+  std::string CsvPath;
+  CommandLine CL("bench_table1",
+                 "Reproduces Table 1 / Fig. 5 (t_comm vs N_agents, S vs T)");
+  CL.addInt("fields", "random fields per density (paper: 1000)",
+            &NumRandomFields);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "field-generation seed", &Seed);
+  CL.addString("csv", "also write results to this CSV file", &CsvPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+
+  SweepParams Params;
+  Params.SideLength = 16;
+  Params.AgentCounts = {2, 4, 8, 16, 32, 256};
+  Params.NumRandomFields = static_cast<int>(NumRandomFields);
+  Params.FieldSeed = static_cast<uint64_t>(Seed);
+  Params.Fitness.Sim.MaxSteps = static_cast<int>(MaxSteps);
+
+  std::printf("== E1: Table 1 / Fig. 5 — mean t_comm on 16x16, %lld random "
+              "fields + manual designs per density ==\n\n",
+              static_cast<long long>(NumRandomFields));
+  auto Sweep = runDensitySweep(bestSquareAgent(), bestTriangulateAgent(),
+                               Params);
+  std::printf("%s\n", formatDensityTable(Sweep).c_str());
+  std::printf("paper     Table 1:\n"
+              "T-grid   | 58.43 |  78.30 | 58.68 | 41.25 | 28.06 |  9.00\n"
+              "S-grid   | 82.78 | 116.12 | 90.93 | 63.39 | 42.93 | 15.00\n"
+              "T/S      | 0.706 |  0.674 | 0.645 | 0.651 | 0.690 | 0.600\n\n");
+
+  for (const DensityComparison &C : Sweep)
+    std::printf("k=%-3d solved: T %d/%d, S %d/%d\n", C.NumAgents,
+                C.Triangulate.SolvedFields, C.Triangulate.NumFields,
+                C.Square.SolvedFields, C.Square.NumFields);
+
+  // Fig. 5 as an ASCII chart.
+  {
+    std::vector<std::string> Categories;
+    ChartSeries TSeries{'T', "T-grid", {}};
+    ChartSeries SSeries{'S', "S-grid", {}};
+    for (const DensityComparison &C : Sweep) {
+      Categories.push_back(std::to_string(C.NumAgents));
+      TSeries.Values.push_back(C.Triangulate.MeanCommTime);
+      SSeries.Values.push_back(C.Square.MeanCommTime);
+    }
+    std::printf("\nFig. 5 (mean t_comm vs N_agents):\n%s",
+                renderCategoryChart(Categories, {TSeries, SSeries}).c_str());
+  }
+
+  // Statistical backing at the paper's reference density k = 16: Welch's
+  // t for the mean difference and a bootstrap CI for the T/S ratio.
+  {
+    SimOptions O = Params.Fitness.Sim;
+    Torus TriTorus(GridKind::Triangulate, Params.SideLength);
+    Torus SqTorus(GridKind::Square, Params.SideLength);
+    auto TriFields = standardConfigurationSet(TriTorus, 16,
+                                              Params.NumRandomFields,
+                                              Params.FieldSeed + 16);
+    auto SqFields = standardConfigurationSet(SqTorus, 16,
+                                             Params.NumRandomFields,
+                                             Params.FieldSeed + 16);
+    CommTimeDistribution TriDist =
+        collectCommTimes(bestTriangulateAgent(), TriTorus, TriFields, O);
+    CommTimeDistribution SqDist =
+        collectCommTimes(bestSquareAgent(), SqTorus, SqFields, O);
+    WelchResult Welch = welchTTest(TriDist.Times, SqDist.Times);
+    Rng BootRng(4711);
+    BootstrapInterval CI =
+        bootstrapMeanRatio(TriDist.Times, SqDist.Times, 0.95, 2000, BootRng);
+    std::printf("\nk=16 statistics: Welch t = %s (df ~ %s)%s; "
+                "T/S ratio %s, 95%% CI [%s, %s]\n",
+                formatFixed(Welch.TStatistic, 1).c_str(),
+                formatFixed(Welch.DegreesOfFreedom, 0).c_str(),
+                Welch.overwhelming() ? " — overwhelming" : "",
+                formatFixed(CI.Estimate, 3).c_str(),
+                formatFixed(CI.Low, 3).c_str(),
+                formatFixed(CI.High, 3).c_str());
+  }
+
+  // Shape checks the reproduction stands on.
+  bool RatioBandHolds = true, MaxAtFour = true;
+  for (const DensityComparison &C : Sweep)
+    if (C.ratio() < 0.55 || C.ratio() > 0.80)
+      RatioBandHolds = false;
+  if (Sweep.size() >= 3) {
+    MaxAtFour = Sweep[1].Triangulate.MeanCommTime >
+                    Sweep[0].Triangulate.MeanCommTime &&
+                Sweep[1].Triangulate.MeanCommTime >
+                    Sweep[2].Triangulate.MeanCommTime &&
+                Sweep[1].Square.MeanCommTime > Sweep[0].Square.MeanCommTime &&
+                Sweep[1].Square.MeanCommTime > Sweep[2].Square.MeanCommTime;
+  }
+  std::printf("\nshape: T/S ratio within [0.55, 0.80] at every density: %s\n",
+              RatioBandHolds ? "yes" : "NO");
+  std::printf("shape: maximum at N_agents = 4 in both grids: %s\n",
+              MaxAtFour ? "yes" : "NO");
+
+  if (!CsvPath.empty()) {
+    std::ofstream Out(CsvPath);
+    writeDensityCsv(Sweep, Out);
+    std::printf("csv written to %s\n", CsvPath.c_str());
+  }
+  return RatioBandHolds && MaxAtFour ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+//===- bench/bench_topology.cpp - E2: Figs. 1-2, Eqs. 1-3 -----------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Regenerates the topology facts of Sect. 2: link counts (2N vs 3N,
+// Fig. 1), diameters and mean distances (Eqs. 1-2) checked against exact
+// scans of the actual graphs, the T/S ratios (Eq. 3), and the Fig. 2
+// distance map of the size-3 tori.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/Distance.h"
+#include "grid/Formulas.h"
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+static void printDistanceMap(GridKind Kind) {
+  // Fig. 2: distances from a centre cell on the size-3 (8x8) torus.
+  Torus T(Kind, 8);
+  Coord Center{4, 4};
+  std::printf("%s-grid (n=3) distances from the centre cell:\n",
+              gridKindName(Kind));
+  for (int Y = 7; Y >= 0; --Y) {
+    for (int X = 0; X != 8; ++X)
+      std::printf(" %d", gridDistance(T, Center, Coord{X, Y}));
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("== E2: network parameters (Sect. 2, Figs. 1-2, Eqs. 1-3) ==\n\n");
+
+  TextTable Table;
+  Table.setHeader({"n", "N", "links S", "links T", "D_S scan", "D_S eq1",
+                   "D_T scan", "D_T eq1", "mean_S scan", "mean_S eq2",
+                   "mean_T scan", "mean_T eq2", "D T/S", "mean T/S"});
+  bool AllMatch = true;
+  for (int N = 2; N <= 6; ++N) {
+    int M = 1 << N;
+    Torus S(GridKind::Square, M), T(GridKind::Triangulate, M);
+    int DsScan = diameterByScan(S), DtScan = diameterByScan(T);
+    double MsScan = meanDistanceByScan(S), MtScan = meanDistanceByScan(T);
+    AllMatch &= (DsScan == squareDiameter(N));
+    AllMatch &= (DtScan == triangulateDiameter(N));
+    Table.addRow({std::to_string(N), std::to_string(M * M),
+                  std::to_string(S.numLinks()), std::to_string(T.numLinks()),
+                  std::to_string(DsScan), std::to_string(squareDiameter(N)),
+                  std::to_string(DtScan),
+                  std::to_string(triangulateDiameter(N)),
+                  formatFixed(MsScan, 3), formatFixed(squareMeanDistance(N), 3),
+                  formatFixed(MtScan, 3),
+                  formatFixed(triangulateMeanDistance(N), 3),
+                  formatFixed(static_cast<double>(DtScan) / DsScan, 3),
+                  formatFixed(MtScan / MsScan, 3)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Eq. 3 asymptotics: D^{T/S} ~ 0.666, mean^{T/S} ~ 0.775\n\n");
+
+  std::printf("Fig. 2 caption: D_3^S = 8, mean 4;  D_3^T = 5, mean ~3.09\n\n");
+  printDistanceMap(GridKind::Square);
+  printDistanceMap(GridKind::Triangulate);
+
+  std::printf("closed forms match graph scans for n = 2..6: %s\n",
+              AllMatch ? "yes" : "NO");
+  return AllMatch ? 0 : 1;
+}

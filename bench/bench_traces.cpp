@@ -1,0 +1,168 @@
+//===- bench/bench_traces.cpp - E3/E4: Fig. 6 and Fig. 7 ------------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Regenerates the Fig. 6 / Fig. 7 trace panels: two agents on a 16x16
+// field — one facing north in the upper left, one facing west on the
+// right — driven by the published best FSMs. Prints the agent, colour and
+// visited layers at t = 0, an intermediate time, and the final time, then
+// reports t_comm for both grids plus street/honeycomb statistics.
+//
+// Paper values on the authors' configuration: S 114 steps, T 44 steps
+// (panels at t = 0/56/114 and t = 0/13/44). The exact placement of the
+// figures is not recoverable from the paper's text, so this harness uses
+// a fixed analogous configuration (deterministic result: S 123, T 35);
+// the claim under reproduction is the large S/T gap and the street (S) /
+// honeycomb (T) colour structures. --out <file> additionally writes the
+// panels to a file (data/fig6_fig7_panels.txt ships a pre-generated copy).
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "sim/Render.h"
+#include "sim/Trace.h"
+#include "support/CommandLine.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+namespace {
+
+/// Renders a Snapshot's three panels.
+std::string renderSnapshotPanels(const Torus &T, const Snapshot &S) {
+  int M = T.sideLength();
+  std::string Out = formatString("t = %d\nagents:\n", S.Time);
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      int Cell = T.indexOf(Coord{X, Y});
+      int Found = -1;
+      for (size_t Id = 0; Id != S.Agents.size(); ++Id)
+        if (S.Agents[Id].Cell == Cell)
+          Found = static_cast<int>(Id);
+      if (X)
+        Out += ' ';
+      if (Found < 0)
+        Out += " .";
+      else
+        Out += formatString(
+            "%c%d",
+            directionGlyph(T.kind(),
+                           S.Agents[static_cast<size_t>(Found)].Direction),
+            Found % 10);
+    }
+    Out += '\n';
+  }
+  Out += "colors:\n";
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      uint8_t Value = S.Colors[static_cast<size_t>(T.indexOf(Coord{X, Y}))];
+      Out += formatString("%s%c", X ? " " : "",
+                          Value ? static_cast<char>('0' + Value) : '.');
+    }
+    Out += '\n';
+  }
+  Out += "visited:\n";
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      int Count = S.VisitCounts[static_cast<size_t>(T.indexOf(Coord{X, Y}))];
+      char C = Count == 0 ? '.'
+                          : (Count <= 9 ? static_cast<char>('0' + Count)
+                                        : '*');
+      Out += formatString("%s%c", X ? " " : "", C);
+    }
+    Out += '\n';
+  }
+  Out += '\n';
+  return Out;
+}
+
+/// Runs one grid's trace; returns t_comm (or -1) and appends the report
+/// to \p Report.
+int traceGrid(GridKind Kind, std::string &Report) {
+  Torus T(Kind, 16);
+  World W(T);
+  bool Square = Kind == GridKind::Square;
+  std::vector<Placement> P = {
+      {Coord{2, 11}, static_cast<uint8_t>(Square ? 1 : 2)}, // North.
+      {Coord{10, 9}, static_cast<uint8_t>(Square ? 2 : 3)}, // West.
+  };
+  SimOptions O;
+  O.MaxSteps = 3000;
+
+  // First pass to learn t_comm, then re-run capturing 0, t/2, t.
+  World Probe(T);
+  Probe.reset(bestAgent(Kind), P, O);
+  SimResult ProbeResult = Probe.run();
+  if (!ProbeResult.Success) {
+    Report += formatString("%s-grid: configuration not solved within %d "
+                           "steps\n",
+                           gridKindName(Kind), O.MaxSteps);
+    return -1;
+  }
+  W.reset(bestAgent(Kind), P, O);
+  TracedRun Run = runWithSnapshots(W, {0, ProbeResult.TComm / 2});
+
+  Report += formatString("---- %s-grid, 2 agents, best published FSM ----\n",
+                         gridKindName(Kind));
+  for (const Snapshot &S : Run.Snapshots)
+    Report += renderSnapshotPanels(T, S);
+
+  // The "streets" statistic: how much of its trajectory an agent spends on
+  // already-visited cells.
+  World W2(T);
+  W2.reset(bestAgent(Kind), P, O);
+  SimResult R2;
+  auto Trajectories = recordTrajectories(W2, R2);
+  double Revisit = averageRevisitFraction(Trajectories, T.numCells());
+  Report += formatString("%s-grid: t_comm = %d, revisit fraction = %s\n\n",
+                         gridKindName(Kind), Run.Result.TComm,
+                         formatFixed(Revisit, 3).c_str());
+  return Run.Result.TComm;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath;
+  CommandLine CL("bench_traces", "Reproduces the Fig. 6/7 trace panels");
+  CL.addString("out", "also write the panels to this file", &OutPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+
+  std::string Report;
+  Report += "== E3/E4: Fig. 6 / Fig. 7 trace panels ==\n";
+  Report += "(paper, authors' configuration: S-grid 114 steps, T-grid 44; "
+            "agents build streets in S, honeycombs in T)\n\n";
+  int TimeS = traceGrid(GridKind::Square, Report);
+  int TimeT = traceGrid(GridKind::Triangulate, Report);
+  if (TimeS < 0 || TimeT < 0) {
+    std::fputs(Report.c_str(), stdout);
+    return 1;
+  }
+  Report += formatString("summary: S-grid %d steps, T-grid %d steps, "
+                         "T/S = %s (paper: 114 / 44 = 0.386)\n",
+                         TimeS, TimeT,
+                         formatFixed(static_cast<double>(TimeT) / TimeS, 3)
+                             .c_str());
+  std::fputs(Report.c_str(), stdout);
+  if (!OutPath.empty()) {
+    if (auto Written = writeFile(OutPath, Report); !Written) {
+      std::fprintf(stderr, "error: %s\n", Written.error().message().c_str());
+      return 1;
+    }
+    std::printf("panels written to %s\n", OutPath.c_str());
+  }
+  return TimeT < TimeS ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+//===- examples/pipeline.cpp - The paper's full selection pipeline --------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Runs the complete Sect. 4 procedure: several independent optimisation
+// runs, extraction of the top completely successful FSMs, the
+// cross-density reliability filter, and the final ranking — ending with
+// "the best found FSM", optionally saved to a genome library file.
+//
+// Paper scale (hours on one core):
+//   pipeline --runs 4 --generations 500 --train-fields 1000 \
+//            --reliability-fields 1000
+// Default scale: a couple of minutes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/GenomeFile.h"
+#include "ga/Pipeline.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  int64_t NumRuns = 2;
+  int64_t Generations = 40;
+  int64_t TrainFields = 53;
+  int64_t ReliabilityFields = 50;
+  int64_t TrainingAgents = 8;
+  int64_t Seed = 1;
+  std::string SavePath;
+  std::string SaveName = "evolved";
+  CommandLine CL("pipeline",
+                 "Sect. 4 end-to-end: evolve, filter, rank, select");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addInt("runs", "independent optimisation runs (paper: 4)", &NumRuns);
+  CL.addInt("generations", "generations per run", &Generations);
+  CL.addInt("train-fields", "training fields incl. manual (paper: 1003)",
+            &TrainFields);
+  CL.addInt("reliability-fields", "random fields per density in the filter "
+            "(paper: 1000)", &ReliabilityFields);
+  CL.addInt("agents", "training agents (paper: 8)", &TrainingAgents);
+  CL.addInt("seed", "base seed", &Seed);
+  CL.addString("save", "append the winner to this genome library file",
+               &SavePath);
+  CL.addString("save-name", "name for the saved genome", &SaveName);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+
+  Torus T(Kind, 16);
+  PipelineParams Params;
+  Params.NumRuns = static_cast<int>(NumRuns);
+  Params.Generations = static_cast<int>(Generations);
+  Params.TrainingAgents = static_cast<int>(TrainingAgents);
+  Params.TrainingRandomFields = static_cast<int>(TrainFields) - 3;
+  Params.Evolution.Seed = static_cast<uint64_t>(Seed);
+  Params.Evolution.Fitness.Sim.MaxSteps = 200;
+  Params.Reliability.NumRandomFields = static_cast<int>(ReliabilityFields);
+  Params.Reliability.Fitness.Sim.MaxSteps = 1000;
+
+  std::printf("pipeline on the %s-grid: %lld runs x %lld generations, "
+              "%lld training fields, filter over k = {2,4,8,16,32,256}\n\n",
+              gridKindName(Kind), static_cast<long long>(NumRuns),
+              static_cast<long long>(Generations),
+              static_cast<long long>(TrainFields));
+
+  PipelineResult Result =
+      runSelectionPipeline(T, Params, [&](const PipelineProgress &P) {
+        switch (P.S) {
+        case PipelineProgress::Stage::RunStarted:
+          std::printf("-- run %d started\n", P.Run);
+          break;
+        case PipelineProgress::Stage::Generation:
+          if (P.Generation.Generation % 10 == 0)
+            std::printf("   run %d gen %4d: best F = %s, successful %d/20\n",
+                        P.Run, P.Generation.Generation,
+                        formatFixed(P.Generation.BestFitness, 2).c_str(),
+                        P.Generation.NumCompletelySuccessful);
+          break;
+        case PipelineProgress::Stage::RunFinished:
+          std::printf("-- run %d finished\n", P.Run);
+          break;
+        case PipelineProgress::Stage::CandidateTested:
+          std::printf("   candidate %d: %s\n", P.CandidateIndex,
+                      P.CandidateReliable ? "reliable" : "NOT reliable");
+          break;
+        }
+      });
+
+  std::printf("\n%zu candidates, %d reliable\n", Result.Candidates.size(),
+              Result.numReliable());
+  for (size_t I = 0; I != Result.Candidates.size(); ++I) {
+    const RankedCandidate &C = Result.Candidates[I];
+    std::printf("#%zu (run %d): training F = %s, %s", I, C.SourceRun,
+                formatFixed(C.TrainingFitness, 2).c_str(),
+                C.reliable() ? "reliable" : "unreliable");
+    if (C.reliable())
+      std::printf(", total mean t = %s",
+                  formatFixed(C.Report.totalMeanCommTime(), 2).c_str());
+    std::printf("\n");
+  }
+
+  if (!Result.hasWinner()) {
+    std::printf("\nno reliable FSM found at this budget — raise "
+                "--generations / --runs\n");
+    return 1;
+  }
+
+  const RankedCandidate &Winner = Result.winner();
+  std::printf("\nwinner state table:\n%s\n",
+              Winner.G.toTableString(Kind).c_str());
+  for (const ReliabilityRow &Row : Winner.Report.Rows)
+    std::printf("  k=%-3d: %d/%d solved, mean t = %s\n", Row.NumAgents,
+                Row.SolvedFields, Row.NumFields,
+                formatFixed(Row.MeanCommTime, 2).c_str());
+
+  if (!SavePath.empty()) {
+    std::vector<NamedGenome> Library;
+    if (auto Existing = loadGenomeLibrary(SavePath))
+      Library = Existing.takeValue();
+    if (findGenome(Library, SaveName)) {
+      std::fprintf(stderr, "error: '%s' already exists in %s\n",
+                   SaveName.c_str(), SavePath.c_str());
+      return 1;
+    }
+    Library.push_back({SaveName, Kind, Winner.G});
+    if (auto Saved = saveGenomeLibrary(SavePath, Library); !Saved) {
+      std::fprintf(stderr, "error: %s\n", Saved.error().message().c_str());
+      return 1;
+    }
+    std::printf("\nwinner saved to %s as '%s'\n", SavePath.c_str(),
+                SaveName.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- examples/show_fsm.cpp - Inspect agent state tables -----------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Prints the published best FSMs in the paper's Fig. 3/4 table layout,
+// or any genome given in compact form, together with its action-mnemonic
+// view (Sm0/R.1/... per input and state).
+//
+// Usage:
+//   show_fsm                 # both published FSMs
+//   show_fsm --grid S
+//   show_fsm --genome "2113 0000 ..."   # your own 32-group table
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+static void printFsm(const Genome &G, GridKind Kind, const char *Label) {
+  std::printf("==== %s ====\n\n%s\n", Label, G.toTableString(Kind).c_str());
+  std::printf("action mnemonics (turn letter, move, setcolor):\n");
+  std::printf("          ");
+  for (int X = 0; X != NumFsmInputs; ++X)
+    std::printf("| x=%d              ", X);
+  std::printf("\n");
+  for (int S = 0; S != NumControlStates; ++S) {
+    std::printf("state %d   ", S);
+    for (int X = 0; X != NumFsmInputs; ++X) {
+      const GenomeEntry &E = G.entry(X, S);
+      std::printf("| %s -> s%d         ", actionMnemonic(E.Act).c_str(),
+                  E.NextState);
+    }
+    std::printf("\n");
+  }
+  std::printf("\ngenome (compact): %s\n\n", G.toCompactString().c_str());
+}
+
+int main(int Argc, char **Argv) {
+  std::string GridName;
+  std::string GenomeText;
+  CommandLine CL("show_fsm", "Prints agent FSM state tables (Fig. 3/4)");
+  CL.addString("grid", "restrict to S or T (default: both)", &GridName);
+  CL.addString("genome", "show this compact genome instead", &GenomeText);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+
+  if (!GenomeText.empty()) {
+    auto Parsed = Genome::fromCompactString(GenomeText);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s\n", Parsed.error().message().c_str());
+      return 1;
+    }
+    GridKind Kind = GridKind::Triangulate;
+    if (!GridName.empty() && !parseGridKind(GridName, Kind)) {
+      std::fprintf(stderr, "error: unknown grid '%s'\n", GridName.c_str());
+      return 1;
+    }
+    printFsm(*Parsed, Kind, "user genome");
+    return 0;
+  }
+
+  bool ShowS = GridName.empty(), ShowT = GridName.empty();
+  if (!GridName.empty()) {
+    GridKind Kind;
+    if (!parseGridKind(GridName, Kind)) {
+      std::fprintf(stderr, "error: unknown grid '%s'\n", GridName.c_str());
+      return 1;
+    }
+    (Kind == GridKind::Square ? ShowS : ShowT) = true;
+  }
+  if (ShowS)
+    printFsm(bestSquareAgent(), GridKind::Square,
+             "best published S-agent (paper Fig. 3)");
+  if (ShowT)
+    printFsm(bestTriangulateAgent(), GridKind::Triangulate,
+             "best evolved T-agent (paper Fig. 4)");
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- examples/sweep.cpp - Density sweep from the CLI --------------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Table 1 on demand: mean communication time per density, S vs T, with a
+// configurable field budget — the quick way to explore how the T/S gap
+// reacts to density and field size.
+//
+// Usage:
+//   sweep --fields 200 --counts 2,4,8,16,32,256 --side 16
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "agent/GenomeFile.h"
+#include "analysis/Table.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  int64_t NumFields = 200;
+  int64_t SideLength = 16;
+  int64_t MaxSteps = 5000;
+  int64_t Seed = 20130101;
+  std::string Counts = "2,4,8,16,32,256";
+  std::string GenomeFile;
+  std::string GenomeS, GenomeT;
+  bool Bordered = false;
+  CommandLine CL("sweep", "Table-1 style density sweep, S vs T");
+  CL.addInt("fields", "random fields per density", &NumFields);
+  CL.addInt("side", "field side length", &SideLength);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "field seed", &Seed);
+  CL.addString("counts", "comma-separated agent counts", &Counts);
+  CL.addString("genome-file", "genome library to draw agents from",
+               &GenomeFile);
+  CL.addString("genome-s", "library name of the S-grid agent", &GenomeS);
+  CL.addString("genome-t", "library name of the T-grid agent", &GenomeT);
+  CL.addBool("bordered", "sweep on bordered (non-cyclic) fields", &Bordered);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+
+  SweepParams Params;
+  Params.SideLength = static_cast<int>(SideLength);
+  Params.AgentCounts.clear();
+  for (const std::string &Piece : splitString(Counts, ',')) {
+    auto Parsed = parseInt(trim(Piece));
+    if (!Parsed || *Parsed < 1 ||
+        *Parsed > SideLength * SideLength) {
+      std::fprintf(stderr, "error: bad agent count '%s'\n", Piece.c_str());
+      return 1;
+    }
+    Params.AgentCounts.push_back(static_cast<int>(*Parsed));
+  }
+  Params.NumRandomFields = static_cast<int>(NumFields);
+  Params.FieldSeed = static_cast<uint64_t>(Seed);
+  Params.Fitness.Sim.MaxSteps = static_cast<int>(MaxSteps);
+  Params.Fitness.Sim.Bordered = Bordered;
+
+  // Default to the paper's published FSMs; optionally pull either agent
+  // from a genome library (e.g. data/evolved_genomes.txt).
+  Genome SquareGenome = bestSquareAgent();
+  Genome TriangulateGenome = bestTriangulateAgent();
+  if (!GenomeS.empty() || !GenomeT.empty()) {
+    if (GenomeFile.empty()) {
+      std::fprintf(stderr, "error: --genome-s/--genome-t need "
+                           "--genome-file\n");
+      return 1;
+    }
+    auto Library = loadGenomeLibrary(GenomeFile);
+    if (!Library) {
+      std::fprintf(stderr, "error: %s\n", Library.error().message().c_str());
+      return 1;
+    }
+    auto Pick = [&](const std::string &Name, GridKind Kind,
+                    Genome &Target) -> bool {
+      if (Name.empty())
+        return true;
+      const NamedGenome *Entry = findGenome(*Library, Name);
+      if (!Entry) {
+        std::fprintf(stderr, "error: no genome '%s' in %s\n", Name.c_str(),
+                     GenomeFile.c_str());
+        return false;
+      }
+      if (Entry->Kind != Kind)
+        std::fprintf(stderr, "warning: genome '%s' was evolved for the "
+                             "%s-grid\n",
+                     Name.c_str(), gridKindName(Entry->Kind));
+      Target = Entry->G;
+      return true;
+    };
+    if (!Pick(GenomeS, GridKind::Square, SquareGenome) ||
+        !Pick(GenomeT, GridKind::Triangulate, TriangulateGenome))
+      return 1;
+  }
+
+  auto Sweep = runDensitySweep(SquareGenome, TriangulateGenome, Params);
+  std::printf("%s", formatDensityTable(Sweep).c_str());
+  for (const DensityComparison &C : Sweep) {
+    if (!C.Triangulate.completelySuccessful() ||
+        !C.Square.completelySuccessful())
+      std::printf("note: k=%d solved T %d/%d, S %d/%d — means cover solved "
+                  "fields\n",
+                  C.NumAgents, C.Triangulate.SolvedFields,
+                  C.Triangulate.NumFields, C.Square.SolvedFields,
+                  C.Square.NumFields);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- examples/trace.cpp - Watch two agents build streets ----------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Interactive version of the Fig. 6/7 experiment: place two agents,
+// run the published FSM, and print the agent / colour / visited panels
+// at chosen times. On the S-grid the colour trails form orthogonal
+// "streets"; on the T-grid honeycomb-like networks.
+//
+// Usage:
+//   trace --grid T --x0 2 --y0 11 --x1 10 --y1 9 --panels 0,20,final
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "sim/Render.h"
+#include "sim/Trace.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  int64_t X0 = 2, Y0 = 11, X1 = 10, Y1 = 9;
+  int64_t MaxSteps = 3000;
+  std::string PanelSpec = "0,mid,final";
+  CommandLine CL("trace", "Fig. 6/7 style two-agent trace panels");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addInt("x0", "agent 0 x (faces north)", &X0);
+  CL.addInt("y0", "agent 0 y", &Y0);
+  CL.addInt("x1", "agent 1 x (faces west)", &X1);
+  CL.addInt("y1", "agent 1 y", &Y1);
+  CL.addInt("max-steps", "cutoff", &MaxSteps);
+  CL.addString("panels", "comma list of times; 'mid' and 'final' allowed",
+               &PanelSpec);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+
+  Torus T(Kind, 16);
+  bool Square = Kind == GridKind::Square;
+  std::vector<Placement> P = {
+      {Coord{static_cast<int>(X0), static_cast<int>(Y0)},
+       static_cast<uint8_t>(Square ? 1 : 2)}, // North.
+      {Coord{static_cast<int>(X1), static_cast<int>(Y1)},
+       static_cast<uint8_t>(Square ? 2 : 3)}, // West.
+  };
+  SimOptions O;
+  O.MaxSteps = static_cast<int>(MaxSteps);
+
+  // Probe run to resolve 'mid'/'final' in the panel spec.
+  World Probe(T);
+  Probe.reset(bestAgent(Kind), P, O);
+  SimResult ProbeResult = Probe.run();
+  if (!ProbeResult.Success) {
+    std::printf("not solved within %lld steps (%d/%d informed)\n",
+                static_cast<long long>(MaxSteps), ProbeResult.InformedAgents,
+                ProbeResult.NumAgents);
+    return 1;
+  }
+
+  std::vector<int> Times;
+  for (const std::string &Piece : splitString(PanelSpec, ',')) {
+    std::string Token(trim(Piece));
+    if (Token == "mid")
+      Times.push_back(ProbeResult.TComm / 2);
+    else if (Token == "final")
+      Times.push_back(ProbeResult.TComm);
+    else if (auto Parsed = parseInt(Token))
+      Times.push_back(static_cast<int>(*Parsed));
+    else {
+      std::fprintf(stderr, "error: bad panel time '%s'\n", Token.c_str());
+      return 1;
+    }
+  }
+
+  World W(T);
+  W.reset(bestAgent(Kind), P, O);
+  int NextPanel = 0;
+  std::vector<int> Sorted = Times;
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  SimResult Result = W.run([&](const World &World, int Time) {
+    if (NextPanel < static_cast<int>(Sorted.size()) &&
+        Sorted[static_cast<size_t>(NextPanel)] == Time) {
+      std::printf("%s", renderPanels(World, formatString("%s-grid  t = %d",
+                                                         gridKindName(Kind),
+                                                         Time))
+                            .c_str());
+      std::printf("\n");
+      ++NextPanel;
+    }
+  });
+  std::printf("solved: t_comm = %d (the same start on the %s-grid is the "
+              "interesting comparison)\n",
+              Result.TComm, Square ? "T" : "S");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# table/figure of the paper (EXPERIMENTS.md documents the outputs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== regenerating all paper artefacts ==="
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo
+    echo "===== $(basename "$b") ====="
+    "$b"
+  fi
+done

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Runs the whole test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -G Ninja \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1 -g"
+cmake --build build-asan
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan --output-on-failure

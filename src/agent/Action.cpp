@@ -1,0 +1,50 @@
+//===- agent/Action.cpp - The 16-action alphabet --------------------------===//
+
+#include "agent/Action.h"
+
+#include <cassert>
+
+using namespace ca2a;
+
+int ca2a::encodeAction(const Action &A) {
+  assert(A.SetColor < 2 && "encodeAction covers the binary-colour alphabet");
+  return static_cast<int>(A.TurnCode) * 4 + (A.Move ? 2 : 0) +
+         (A.SetColor ? 1 : 0);
+}
+
+Action ca2a::decodeAction(int Index) {
+  assert(Index >= 0 && Index < NumActions && "action index out of range");
+  Action A;
+  A.TurnCode = static_cast<Turn>(Index / 4);
+  A.Move = (Index & 2) != 0;
+  A.SetColor = (Index & 1) != 0 ? 1 : 0;
+  return A;
+}
+
+std::string ca2a::actionMnemonic(const Action &A) {
+  assert(A.SetColor <= 9 && "colour digit must be single-digit");
+  std::string Out;
+  Out.push_back(turnLetter(A.TurnCode));
+  Out.push_back(A.Move ? 'm' : '.');
+  Out.push_back(static_cast<char>('0' + A.SetColor));
+  return Out;
+}
+
+Expected<Action> ca2a::parseActionMnemonic(const std::string &Text) {
+  if (Text.size() != 3)
+    return makeError("action mnemonic must have 3 characters: '" + Text + "'");
+  Action A;
+  if (!parseTurnLetter(Text[0], A.TurnCode))
+    return makeError("bad turn letter in action: '" + Text + "'");
+  if (Text[1] == 'm')
+    A.Move = true;
+  else if (Text[1] == '.')
+    A.Move = false;
+  else
+    return makeError("bad move flag in action: '" + Text + "'");
+  if (Text[2] >= '0' && Text[2] <= '9')
+    A.SetColor = static_cast<uint8_t>(Text[2] - '0');
+  else
+    return makeError("bad colour digit in action: '" + Text + "'");
+  return A;
+}

@@ -1,0 +1,68 @@
+//===- agent/Action.h - The 16-action alphabet ------------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One FSM output y = (move, turn, setcolor).
+///
+/// The paper's action alphabet (Sect. 3) is the 16-element product
+/// turn in {S,R,B,L} x move in {m,.} x setcolor in {0,1}, written in
+/// mnemonics such as "Sm0" (straight, move, clear colour) or "L.1"
+/// (left, wait, set colour). All three components are applied
+/// independently every step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_AGENT_ACTION_H
+#define CA2A_AGENT_ACTION_H
+
+#include "grid/Direction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ca2a {
+
+/// One agent action: the Mealy FSM output.
+///
+/// SetColor is the colour *value* written to the current cell; the paper
+/// uses binary colours ({0, 1}), the more-colours extension allows values
+/// up to 9 (bounded by the genome's dimensions).
+struct Action {
+  Turn TurnCode = Turn::Straight; ///< Direction change (always applied).
+  bool Move = false;              ///< Advance if possible; wait otherwise.
+  uint8_t SetColor = 0;           ///< Colour written to the current cell.
+
+  bool operator==(const Action &Other) const {
+    return TurnCode == Other.TurnCode && Move == Other.Move &&
+           SetColor == Other.SetColor;
+  }
+  bool operator!=(const Action &Other) const { return !(*this == Other); }
+};
+
+/// Number of distinct actions in the paper's binary-colour alphabet:
+/// 4 turns x 2 move x 2 setcolor.
+constexpr int NumActions = 16;
+
+/// Packs a binary-colour action into its index in [0, 16):
+/// index = turn * 4 + move * 2 + setcolor. Asserts SetColor < 2.
+int encodeAction(const Action &A);
+
+/// Inverse of encodeAction.
+Action decodeAction(int Index);
+
+/// Mnemonic such as "Sm0", "R.1" (turn letter, 'm' or '.', colour digit);
+/// colour digits above 1 appear in the more-colours extension.
+std::string actionMnemonic(const Action &A);
+
+/// Parses an actionMnemonic back into an Action.
+Expected<Action> parseActionMnemonic(const std::string &Text);
+
+} // namespace ca2a
+
+#endif // CA2A_AGENT_ACTION_H

@@ -1,0 +1,58 @@
+//===- agent/BestAgents.cpp - The paper's published FSMs ------------------===//
+
+#include "agent/BestAgents.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ca2a;
+
+Genome ca2a::genomeFromRows(const char *NextStateRow, const char *SetColorRow,
+                            const char *MoveRow, const char *TurnRow) {
+  assert(std::strlen(NextStateRow) == GenomeLength && "bad nextstate row");
+  assert(std::strlen(SetColorRow) == GenomeLength && "bad setcolor row");
+  assert(std::strlen(MoveRow) == GenomeLength && "bad move row");
+  assert(std::strlen(TurnRow) == GenomeLength && "bad turn row");
+  Genome G;
+  for (int I = 0; I != GenomeLength; ++I) {
+    GenomeEntry &E = G.slot(I);
+    int NextState = NextStateRow[I] - '0';
+    int SetColor = SetColorRow[I] - '0';
+    int Move = MoveRow[I] - '0';
+    int TurnCode = TurnRow[I] - '0';
+    assert(NextState >= 0 && NextState < NumControlStates && "bad nextstate");
+    assert((SetColor == 0 || SetColor == 1) && "bad setcolor");
+    assert((Move == 0 || Move == 1) && "bad move");
+    assert(TurnCode >= 0 && TurnCode < NumTurnCodes && "bad turn");
+    E.NextState = static_cast<uint8_t>(NextState);
+    E.Act.SetColor = SetColor != 0;
+    E.Act.Move = Move != 0;
+    E.Act.TurnCode = static_cast<Turn>(TurnCode);
+  }
+  return G;
+}
+
+const Genome &ca2a::bestSquareAgent() {
+  // Paper Fig. 3, columns x = 0..7, states 0..3 within each column.
+  // Rows transcribed left to right exactly as printed.
+  static const Genome G = genomeFromRows(
+      /*nextstate=*/"23110332130200211220232022303102",
+      /*setcolor =*/"11000101000110110000000100011000",
+      /*move     =*/"11010111111111101111000000010100",
+      /*turn     =*/"30101112300321230121301323333223");
+  return G;
+}
+
+const Genome &ca2a::bestTriangulateAgent() {
+  // Paper Fig. 4, same layout.
+  static const Genome G = genomeFromRows(
+      /*nextstate=*/"12121030210312131202013022112211",
+      /*setcolor =*/"11110111001101000000111100101110",
+      /*move     =*/"11101000111101111110100011101011",
+      /*turn     =*/"00103222300100331012330130132023");
+  return G;
+}
+
+const Genome &ca2a::bestAgent(GridKind Kind) {
+  return Kind == GridKind::Square ? bestSquareAgent() : bestTriangulateAgent();
+}

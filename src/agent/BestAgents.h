@@ -1,0 +1,43 @@
+//===- agent/BestAgents.h - The paper's published FSMs ----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two best evolved FSMs published in the paper, transcribed verbatim:
+/// Fig. 3 (S-agent) and Fig. 4 (T-agent). These are the algorithms behind
+/// Table 1 / Fig. 5 and the Fig. 6/7 trace panels.
+///
+/// Agents running these FSMs start in control state (ID mod 2), the
+/// paper's reliability device (Sect. 4, option 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_AGENT_BESTAGENTS_H
+#define CA2A_AGENT_BESTAGENTS_H
+
+#include "agent/Genome.h"
+
+namespace ca2a {
+
+/// The best found S-agent (paper Fig. 3).
+const Genome &bestSquareAgent();
+
+/// The best evolved T-agent (paper Fig. 4).
+const Genome &bestTriangulateAgent();
+
+/// The published best agent for \p Kind.
+const Genome &bestAgent(GridKind Kind);
+
+/// Builds a genome from the paper's four table rows, each a string of 32
+/// digits in paper index order (i = x * 4 + state). Asserts on malformed
+/// rows: this is for compile-time-known tables, not user input.
+Genome genomeFromRows(const char *NextStateRow, const char *SetColorRow,
+                      const char *MoveRow, const char *TurnRow);
+
+} // namespace ca2a
+
+#endif // CA2A_AGENT_BESTAGENTS_H

@@ -1,0 +1,156 @@
+//===- agent/Genome.cpp - Mealy FSM state table / GA genome ---------------===//
+
+#include "agent/Genome.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+using namespace ca2a;
+
+Genome Genome::random(Rng &R, GenomeDims Dims) {
+  Genome G(Dims);
+  for (int I = 0, E = G.length(); I != E; ++I) {
+    GenomeEntry &Entry = G.slot(I);
+    Entry.NextState = static_cast<uint8_t>(R.uniformInt(
+        static_cast<uint64_t>(Dims.States)));
+    Entry.Act.TurnCode = static_cast<Turn>(R.uniformInt(NumTurnCodes));
+    Entry.Act.Move = R.uniformInt(2) != 0;
+    Entry.Act.SetColor = static_cast<uint8_t>(R.uniformInt(
+        static_cast<uint64_t>(Dims.Colors)));
+  }
+  return G;
+}
+
+std::string Genome::toCompactString() const {
+  std::string Out;
+  Out.reserve(static_cast<size_t>(length()) * 5 + 8);
+  if (Dims != GenomeDims()) {
+    Out += formatString("s%dc%d ", Dims.States, Dims.Colors);
+  }
+  for (int I = 0, E = length(); I != E; ++I) {
+    const GenomeEntry &Entry = slot(I);
+    if (I != 0)
+      Out.push_back(' ');
+    Out.push_back(static_cast<char>('0' + Entry.NextState));
+    Out.push_back(static_cast<char>('0' + Entry.Act.SetColor));
+    Out.push_back(Entry.Act.Move ? '1' : '0');
+    Out.push_back(
+        static_cast<char>('0' + static_cast<int>(Entry.Act.TurnCode)));
+  }
+  return Out;
+}
+
+Expected<Genome> Genome::fromCompactString(const std::string &Text) {
+  std::vector<std::string> Groups = splitWhitespace(Text);
+  GenomeDims Dims;
+  size_t First = 0;
+  // Optional dimensions prefix "s<digit>c<digit>".
+  if (!Groups.empty() && Groups[0].size() == 4 && Groups[0][0] == 's' &&
+      Groups[0][2] == 'c') {
+    int States = Groups[0][1] - '0';
+    int Colors = Groups[0][3] - '0';
+    Dims = GenomeDims{States, Colors};
+    if (!Dims.valid())
+      return makeError("bad genome dimensions prefix: '" + Groups[0] + "'");
+    First = 1;
+  }
+  if (Groups.size() - First != static_cast<size_t>(Dims.length()))
+    return makeError(formatString("genome needs %d groups, got %zu",
+                                  Dims.length(), Groups.size() - First));
+  Genome G(Dims);
+  for (int I = 0, E = Dims.length(); I != E; ++I) {
+    const std::string &Group = Groups[First + static_cast<size_t>(I)];
+    if (Group.size() != 4)
+      return makeError("genome group " + std::to_string(I) +
+                       " must have 4 digits: '" + Group + "'");
+    auto Digit = [&](size_t Pos, int Bound, int &Value) {
+      char C = Group[Pos];
+      if (C < '0' || C >= '0' + Bound)
+        return false;
+      Value = C - '0';
+      return true;
+    };
+    int NextState, SetColor, Move, TurnCode;
+    if (!Digit(0, Dims.States, NextState) ||
+        !Digit(1, Dims.Colors, SetColor) || !Digit(2, 2, Move) ||
+        !Digit(3, NumTurnCodes, TurnCode))
+      return makeError("bad digit in genome group " + std::to_string(I) +
+                       ": '" + Group + "'");
+    GenomeEntry &Entry = G.slot(I);
+    Entry.NextState = static_cast<uint8_t>(NextState);
+    Entry.Act.SetColor = static_cast<uint8_t>(SetColor);
+    Entry.Act.Move = Move != 0;
+    Entry.Act.TurnCode = static_cast<Turn>(TurnCode);
+  }
+  return G;
+}
+
+std::string Genome::toTableString(GridKind Kind) const {
+  // Reproduce the Fig. 3/4 layout: a row of x-column headers, the three
+  // input components, then per-state nextstate/setcolor/move/turn rows.
+  std::string Out = formatString(
+      "%s-agent FSM (%d states, %d colours, %d inputs)\n", gridKindName(Kind),
+      Dims.States, Dims.Colors, Dims.numInputs());
+  size_t LabelWidth = 10;
+  int NumInputs = Dims.numInputs();
+  int States = Dims.States;
+  auto Row = [&](const char *Name, auto CellFn) {
+    Out += padRight(Name, LabelWidth);
+    for (int X = 0; X != NumInputs; ++X) {
+      Out += " |";
+      for (int S = 0; S != States; ++S)
+        Out += formatString(" %c", CellFn(X, S));
+    }
+    Out += '\n';
+  };
+  Out += padRight("", LabelWidth);
+  for (int X = 0; X != NumInputs; ++X) {
+    std::string Header = formatString(" | x = %d", X);
+    Out += padRight(Header, 4 + 2 * static_cast<size_t>(States));
+  }
+  Out += '\n';
+  Row("blocked", [this](int X, int) {
+    return static_cast<char>('0' + (Dims.blockedOf(X) ? 1 : 0));
+  });
+  Row("color", [this](int X, int) {
+    return static_cast<char>('0' + Dims.colorOf(X));
+  });
+  Row("frontcolor", [this](int X, int) {
+    return static_cast<char>('0' + Dims.frontColorOf(X));
+  });
+  Row("state", [](int, int S) { return static_cast<char>('0' + S); });
+  Row("nextstate", [this](int X, int S) {
+    return static_cast<char>('0' + entry(X, S).NextState);
+  });
+  Row("setcolor", [this](int X, int S) {
+    return static_cast<char>('0' + entry(X, S).Act.SetColor);
+  });
+  Row("move",
+      [this](int X, int S) { return entry(X, S).Act.Move ? '1' : '0'; });
+  Row("turn", [this](int X, int S) {
+    return static_cast<char>('0' + static_cast<int>(entry(X, S).Act.TurnCode));
+  });
+  if (Kind == GridKind::Square)
+    Out += "turn codes: 0/1/2/3 = 0deg/+90deg/180deg/-90deg\n";
+  else
+    Out += "turn codes: 0/1/2/3 = 0deg/+60deg/180deg/-60deg\n";
+  return Out;
+}
+
+uint64_t Genome::hashValue() const {
+  uint64_t Hash = 0xcbf29ce484222325ULL; // FNV offset basis.
+  auto Mix = [&Hash](uint64_t Value) {
+    Hash ^= Value;
+    Hash *= 0x100000001b3ULL; // FNV prime.
+  };
+  Mix(static_cast<uint64_t>(Dims.States));
+  Mix(static_cast<uint64_t>(Dims.Colors));
+  for (int I = 0, E = length(); I != E; ++I) {
+    const GenomeEntry &Entry = slot(I);
+    Mix(static_cast<uint64_t>(Entry.NextState) |
+        (static_cast<uint64_t>(Entry.Act.SetColor) << 8) |
+        (static_cast<uint64_t>(Entry.Act.Move) << 16) |
+        (static_cast<uint64_t>(Entry.Act.TurnCode) << 24));
+  }
+  return Hash;
+}

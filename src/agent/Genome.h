@@ -1,0 +1,175 @@
+//===- agent/Genome.h - Mealy FSM state table / GA genome -------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The agent-controlling Mealy FSM, stored as its full state table.
+///
+/// The paper fixes 4 control states and binary colours, giving 8 input
+/// values x = blocked + 2*color + 4*frontcolor and 32 table slots (the
+/// genome of Fig. 3, index i = x * 4 + s). Its future-work list asks for
+/// "more states, more colors": this class therefore carries runtime
+/// dimensions (GenomeDims) with the paper's values as the default —
+/// states s in [2, 9], colours c in [2, 9], inputs 2 * c^2, slots
+/// 2 * c^2 * s. All paper experiments run at the default dimensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_AGENT_GENOME_H
+#define CA2A_AGENT_GENOME_H
+
+#include "agent/Action.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+class Rng;
+
+/// Number of FSM control states in the paper's setting.
+constexpr int NumControlStates = 4;
+/// Number of FSM input values in the paper's setting.
+constexpr int NumFsmInputs = 8;
+/// Paper genome length: one entry per (input, state) pair.
+constexpr int GenomeLength = NumFsmInputs * NumControlStates;
+
+/// Builds the FSM input value from its three observation bits (paper
+/// dimensions: binary colours).
+constexpr int makeFsmInput(bool Blocked, bool Color, bool FrontColor) {
+  return (Blocked ? 1 : 0) + (Color ? 2 : 0) + (FrontColor ? 4 : 0);
+}
+
+/// Runtime FSM dimensions (the future-work "more states, more colors").
+struct GenomeDims {
+  int States = NumControlStates; ///< Control states, in [2, 9].
+  int Colors = 2;                ///< Colour values per cell, in [2, 9].
+
+  /// Input values: blocked x own colour x front colour.
+  constexpr int numInputs() const { return 2 * Colors * Colors; }
+  /// Table slots.
+  constexpr int length() const { return numInputs() * States; }
+
+  /// Input encoding; generalises makeFsmInput (and coincides with it for
+  /// binary colours): x = blocked + 2 * (color + Colors * frontColor).
+  constexpr int makeInput(bool Blocked, int Color, int FrontColor) const {
+    return (Blocked ? 1 : 0) + 2 * (Color + Colors * FrontColor);
+  }
+
+  /// Decomposition of an input value (for table printing).
+  constexpr bool blockedOf(int Input) const { return Input & 1; }
+  constexpr int colorOf(int Input) const { return (Input >> 1) % Colors; }
+  constexpr int frontColorOf(int Input) const { return (Input >> 1) / Colors; }
+
+  bool valid() const {
+    return States >= 2 && States <= 9 && Colors >= 2 && Colors <= 9;
+  }
+  bool operator==(const GenomeDims &Other) const {
+    return States == Other.States && Colors == Other.Colors;
+  }
+  bool operator!=(const GenomeDims &Other) const { return !(*this == Other); }
+};
+
+/// One genome slot: successor state plus output action.
+struct GenomeEntry {
+  uint8_t NextState = 0;
+  Action Act;
+
+  bool operator==(const GenomeEntry &Other) const {
+    return NextState == Other.NextState && Act == Other.Act;
+  }
+  bool operator!=(const GenomeEntry &Other) const {
+    return !(*this == Other);
+  }
+};
+
+/// A complete FSM state table; the unit of evolution.
+class Genome {
+public:
+  /// All-zero table at the paper's dimensions (state 0, action S.0
+  /// everywhere) — a deterministic placeholder, not a meaningful agent.
+  Genome() : Genome(GenomeDims()) {}
+
+  /// All-zero table at explicit dimensions.
+  explicit Genome(GenomeDims Dims)
+      : Dims(Dims), Entries(static_cast<size_t>(Dims.length())) {
+    assert(Dims.valid() && "genome dimensions out of range");
+  }
+
+  const GenomeDims &dims() const { return Dims; }
+
+  /// Flat index of the (input, state) pair at the paper's dimensions,
+  /// matching Fig. 3's "index i" row. For other dimensions use slotOf.
+  static constexpr int slotIndex(int Input, int State) {
+    return Input * NumControlStates + State;
+  }
+
+  /// Flat index under this genome's dimensions.
+  int slotOf(int Input, int State) const {
+    assert(Input >= 0 && Input < Dims.numInputs() && "input out of range");
+    assert(State >= 0 && State < Dims.States && "state out of range");
+    return Input * Dims.States + State;
+  }
+
+  const GenomeEntry &entry(int Input, int State) const {
+    return Entries[static_cast<size_t>(slotOf(Input, State))];
+  }
+  GenomeEntry &entry(int Input, int State) {
+    return Entries[static_cast<size_t>(slotOf(Input, State))];
+  }
+
+  /// Number of slots (dims().length()).
+  int length() const { return Dims.length(); }
+
+  const GenomeEntry &slot(int Index) const {
+    assert(Index >= 0 && Index < length() && "slot index out of range");
+    return Entries[static_cast<size_t>(Index)];
+  }
+  GenomeEntry &slot(int Index) {
+    assert(Index >= 0 && Index < length() && "slot index out of range");
+    return Entries[static_cast<size_t>(Index)];
+  }
+
+  /// Uniformly random table at the paper's dimensions.
+  static Genome random(Rng &R) { return random(R, GenomeDims()); }
+
+  /// Uniformly random table at explicit dimensions.
+  static Genome random(Rng &R, GenomeDims Dims);
+
+  /// Serialises to one line of 4-digit groups "nsmt" (nextstate,
+  /// setcolor, move, turn, the paper's row order). Non-default dimensions
+  /// are prefixed with a token such as "s6c2".
+  std::string toCompactString() const;
+
+  /// Parses toCompactString() output (with or without a dims prefix).
+  static Expected<Genome> fromCompactString(const std::string &Text);
+
+  /// Pretty-prints the state table in the layout of the paper's Fig. 3/4
+  /// (rows: blocked / color / frontcolor / state / nextstate / setcolor /
+  /// move / turn, one column block per input). \p Kind selects the
+  /// caption explaining the turn geometry.
+  std::string toTableString(GridKind Kind) const;
+
+  /// 64-bit content hash (FNV-1a over dims + packed entries) for
+  /// duplicate detection in the GA pool.
+  uint64_t hashValue() const;
+
+  bool operator==(const Genome &Other) const {
+    return Dims == Other.Dims && Entries == Other.Entries;
+  }
+  bool operator!=(const Genome &Other) const { return !(*this == Other); }
+
+private:
+  GenomeDims Dims;
+  std::vector<GenomeEntry> Entries;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_AGENT_GENOME_H

@@ -1,0 +1,87 @@
+//===- agent/GenomeFile.cpp - Named genome library files ------------------===//
+
+#include "agent/GenomeFile.h"
+
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+using namespace ca2a;
+
+Expected<std::vector<NamedGenome>>
+ca2a::parseGenomeLibrary(const std::string &Text) {
+  std::vector<NamedGenome> Library;
+  int LineNumber = 0;
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNumber;
+    std::string Line(trim(RawLine));
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    std::vector<std::string> Fields = splitWhitespace(Line);
+    if (Fields.size() < 3)
+      return makeError(formatString(
+          "line %d: expected name, grid kind and genome groups, got %zu "
+          "fields",
+          LineNumber, Fields.size()));
+    NamedGenome Entry;
+    Entry.Name = Fields[0];
+    if (!parseGridKind(Fields[1], Entry.Kind))
+      return makeError(formatString("line %d: unknown grid kind '%s'",
+                                    LineNumber, Fields[1].c_str()));
+    // Everything after the kind is the compact genome (possibly with a
+    // dimensions prefix for the more-states / more-colours extension).
+    std::vector<std::string> Groups(Fields.begin() + 2, Fields.end());
+    auto Parsed = Genome::fromCompactString(joinStrings(Groups, " "));
+    if (!Parsed)
+      return makeError(formatString("line %d: %s", LineNumber,
+                                    Parsed.error().message().c_str()));
+    Entry.G = Parsed.takeValue();
+    for (const NamedGenome &Existing : Library)
+      if (Existing.Name == Entry.Name)
+        return makeError(formatString("line %d: duplicate genome name '%s'",
+                                      LineNumber, Entry.Name.c_str()));
+    Library.push_back(std::move(Entry));
+  }
+  return Library;
+}
+
+std::string
+ca2a::formatGenomeLibrary(const std::vector<NamedGenome> &Library) {
+  std::string Out =
+      "# ca2a genome library: <name> <S|T> <32 nextstate/setcolor/move/turn "
+      "groups>\n";
+  for (const NamedGenome &Entry : Library) {
+    assert(Entry.Name.find_first_of(" \t\n") == std::string::npos &&
+           "genome names must not contain whitespace");
+    assert(!Entry.Name.empty() && Entry.Name.front() != '#' &&
+           "genome name would parse as a comment");
+    Out += Entry.Name;
+    Out += ' ';
+    Out += gridKindName(Entry.Kind);
+    Out += ' ';
+    Out += Entry.G.toCompactString();
+    Out += '\n';
+  }
+  return Out;
+}
+
+const NamedGenome *ca2a::findGenome(const std::vector<NamedGenome> &Library,
+                                    const std::string &Name) {
+  for (const NamedGenome &Entry : Library)
+    if (Entry.Name == Name)
+      return &Entry;
+  return nullptr;
+}
+
+Expected<std::vector<NamedGenome>>
+ca2a::loadGenomeLibrary(const std::string &Path) {
+  auto Text = readFile(Path);
+  if (!Text)
+    return Text.error();
+  return parseGenomeLibrary(*Text);
+}
+
+Expected<bool>
+ca2a::saveGenomeLibrary(const std::string &Path,
+                        const std::vector<NamedGenome> &Library) {
+  return writeFile(Path, formatGenomeLibrary(Library));
+}

@@ -1,0 +1,58 @@
+//===- agent/GenomeFile.h - Named genome library files ----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain-text library format for evolved FSMs, so the evolve example can
+/// persist winners and the sweep/trace tools can load them back:
+///
+///   # comment
+///   <name> <S|T> <32 genome groups...>
+///
+/// One genome per line; names must be unique within one library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_AGENT_GENOMEFILE_H
+#define CA2A_AGENT_GENOMEFILE_H
+
+#include "agent/Genome.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// One library entry.
+struct NamedGenome {
+  std::string Name; ///< No whitespace (asserted when formatting).
+  GridKind Kind = GridKind::Square;
+  Genome G;
+};
+
+/// Parses a library from text. Lines starting with '#' and blank lines
+/// are skipped; any malformed line fails the whole parse with a
+/// line-numbered message.
+Expected<std::vector<NamedGenome>> parseGenomeLibrary(const std::string &Text);
+
+/// Formats a library; round-trips through parseGenomeLibrary.
+std::string formatGenomeLibrary(const std::vector<NamedGenome> &Library);
+
+/// Finds an entry by name; nullptr if absent.
+const NamedGenome *findGenome(const std::vector<NamedGenome> &Library,
+                              const std::string &Name);
+
+/// Loads a library from \p Path (readFile + parseGenomeLibrary).
+Expected<std::vector<NamedGenome>> loadGenomeLibrary(const std::string &Path);
+
+/// Saves \p Library to \p Path.
+Expected<bool> saveGenomeLibrary(const std::string &Path,
+                                 const std::vector<NamedGenome> &Library);
+
+} // namespace ca2a
+
+#endif // CA2A_AGENT_GENOMEFILE_H

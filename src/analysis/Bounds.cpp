@@ -1,0 +1,32 @@
+//===- analysis/Bounds.cpp - Communication-time lower bounds --------------===//
+
+#include "analysis/Bounds.h"
+
+#include "grid/Distance.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+int ca2a::maxPairwiseDistance(const Torus &T, const InitialConfiguration &C) {
+  int Max = 0;
+  for (size_t I = 0; I != C.Placements.size(); ++I)
+    for (size_t J = I + 1; J != C.Placements.size(); ++J)
+      Max = std::max(Max, gridDistance(T, C.Placements[I].Pos,
+                                       C.Placements[J].Pos));
+  return Max;
+}
+
+int ca2a::communicationLowerBound(const Torus &T,
+                                  const InitialConfiguration &C) {
+  int D = maxPairwiseDistance(T, C);
+  if (D <= 1)
+    return 0;
+  return (D - 1 + 2) / 3; // ceil((D - 1) / 3).
+}
+
+int ca2a::stationaryLowerBound(const Torus &T,
+                               const InitialConfiguration &C) {
+  int D = maxPairwiseDistance(T, C);
+  return D > 0 ? D - 1 : 0;
+}

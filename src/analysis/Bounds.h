@@ -1,0 +1,51 @@
+//===- analysis/Bounds.h - Communication-time lower bounds ------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A provable per-configuration lower bound on the communication time,
+/// independent of the agents' behaviour.
+///
+/// Argument: track bit i on its way to agent j. After the (free) exchange
+/// at t = 0 the closest holder of bit i is at grid distance at least
+/// d(i, j) - 1 from agent j. Per subsequent step the holder set's distance
+/// to j shrinks by at most 3: the closest holder moves one cell (-1),
+/// agent j moves one cell (-1), and the exchange extends the holder set by
+/// one hop (-1). Success at time t needs that distance to reach 0, so
+///
+///     t_comm >= ceil((max_{i != j} d(i, j) - 1) / 3).
+///
+/// The bound is behaviour-free: it holds for every FSM, every colour
+/// strategy and every conflict outcome, which makes it an oracle for
+/// property tests and a context line for the experiment reports (the
+/// diameter-derived packed-field time is the special case where nobody
+/// can move and the factor 3 collapses to 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_BOUNDS_H
+#define CA2A_ANALYSIS_BOUNDS_H
+
+#include "config/InitialConfiguration.h"
+
+namespace ca2a {
+
+/// Largest pairwise grid distance among the agents of \p C.
+int maxPairwiseDistance(const Torus &T, const InitialConfiguration &C);
+
+/// The behaviour-free lower bound ceil((maxPairDistance - 1) / 3);
+/// 0 for a single agent.
+int communicationLowerBound(const Torus &T, const InitialConfiguration &C);
+
+/// Lower bound for *immobile* agents (e.g. the packed field): information
+/// travels one hop per step with no carrier movement, so
+/// t_comm >= maxPairDistance - 1.
+int stationaryLowerBound(const Torus &T, const InitialConfiguration &C);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_BOUNDS_H

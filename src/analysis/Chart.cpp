@@ -1,0 +1,62 @@
+//===- analysis/Chart.cpp - ASCII line charts -----------------------------===//
+
+#include "analysis/Chart.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ca2a;
+
+std::string
+ca2a::renderCategoryChart(const std::vector<std::string> &CategoryLabels,
+                          const std::vector<ChartSeries> &Series, int Height,
+                          int ColumnWidth) {
+  assert(Height >= 2 && ColumnWidth >= 2 && "degenerate chart geometry");
+  size_t NumCategories = CategoryLabels.size();
+  double MaxValue = 0.0;
+  for (const ChartSeries &S : Series) {
+    assert(S.Values.size() == NumCategories &&
+           "series length must match the category count");
+    for (double V : S.Values)
+      MaxValue = std::max(MaxValue, V);
+  }
+  if (MaxValue <= 0.0)
+    MaxValue = 1.0;
+
+  // Canvas: Height rows, one column block per category.
+  size_t Width = NumCategories * static_cast<size_t>(ColumnWidth);
+  std::vector<std::string> Canvas(static_cast<size_t>(Height),
+                                  std::string(Width, ' '));
+  auto Plot = [&](size_t Category, double Value, char Marker) {
+    int Row = static_cast<int>(std::lround(
+        (1.0 - Value / MaxValue) * (Height - 1)));
+    Row = std::clamp(Row, 0, Height - 1);
+    size_t Column = Category * static_cast<size_t>(ColumnWidth) +
+                    static_cast<size_t>(ColumnWidth) / 2;
+    char &Cell = Canvas[static_cast<size_t>(Row)][Column];
+    // Overlapping series show as '+'.
+    Cell = (Cell == ' ') ? Marker : '+';
+  };
+  for (const ChartSeries &S : Series)
+    for (size_t I = 0; I != NumCategories; ++I)
+      Plot(I, S.Values[I], S.Marker);
+
+  // Assemble with a y-axis scale on the left.
+  std::string Out;
+  for (int Row = 0; Row != Height; ++Row) {
+    double RowValue = MaxValue * (1.0 - static_cast<double>(Row) /
+                                            (Height - 1));
+    Out += padLeft(formatFixed(RowValue, 0), 6) + " |" +
+           Canvas[static_cast<size_t>(Row)] + "\n";
+  }
+  Out += "       +" + std::string(Width, '-') + "\n        ";
+  for (const std::string &Label : CategoryLabels)
+    Out += padRight(Label, static_cast<size_t>(ColumnWidth));
+  Out += "\n";
+  for (const ChartSeries &S : Series)
+    Out += formatString("        %c = %s\n", S.Marker, S.Label.c_str());
+  return Out;
+}

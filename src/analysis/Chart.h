@@ -1,0 +1,41 @@
+//===- analysis/Chart.h - ASCII line charts ---------------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small terminal line chart used to render Fig. 5 (communication time
+/// vs. N_agents, one series per grid) directly from the bench binaries.
+/// Multiple series share the canvas; x positions are category slots, not
+/// scaled values (Fig. 5's x axis is the discrete density set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_CHART_H
+#define CA2A_ANALYSIS_CHART_H
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// One chart series: a marker character plus one y value per category.
+struct ChartSeries {
+  char Marker = '*';
+  std::string Label;
+  std::vector<double> Values;
+};
+
+/// Renders category-x line chart: \p CategoryLabels define the x slots,
+/// every series must have one value per category (asserted). The y axis
+/// is scaled to [0, max]; \p Height rows tall.
+std::string renderCategoryChart(const std::vector<std::string> &CategoryLabels,
+                                const std::vector<ChartSeries> &Series,
+                                int Height = 16, int ColumnWidth = 7);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_CHART_H

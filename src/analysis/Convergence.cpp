@@ -1,0 +1,68 @@
+//===- analysis/Convergence.cpp - Informed-fraction curves ----------------===//
+
+#include "analysis/Convergence.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ca2a;
+
+int ConvergenceCurve::timeToLevel(double Level) const {
+  for (size_t T = 0; T != InformedFraction.size(); ++T)
+    if (InformedFraction[T] >= Level)
+      return static_cast<int>(T);
+  return -1;
+}
+
+ConvergenceCurve
+ca2a::collectConvergence(const Genome &G, const Torus &T,
+                         const std::vector<InitialConfiguration> &Fields,
+                         const SimOptions &Options, int CurveLength) {
+  assert(CurveLength >= 1 && "curve needs at least one step");
+  ConvergenceCurve Curve;
+  Curve.InformedFraction.assign(static_cast<size_t>(CurveLength), 0.0);
+  Curve.NumFields = static_cast<int>(Fields.size());
+  if (Fields.empty())
+    return Curve;
+
+  World W(T);
+  for (const InitialConfiguration &Field : Fields) {
+    W.reset(G, Field.Placements, Options);
+    double K = static_cast<double>(Field.numAgents());
+    int LastObserved = -1;
+    SimResult R = W.run([&](const World &World, int Time) {
+      if (Time < CurveLength)
+        Curve.InformedFraction[static_cast<size_t>(Time)] +=
+            static_cast<double>(World.informedCount()) / K;
+      LastObserved = Time;
+    });
+    if (R.Success)
+      ++Curve.SolvedFields;
+    // Extend beyond the run's end: solved fields stay at 1.0, unsolved
+    // fields keep their final fraction.
+    double Tail = R.Success
+                      ? 1.0
+                      : static_cast<double>(R.InformedAgents) / K;
+    for (int Time = LastObserved + 1; Time < CurveLength; ++Time)
+      Curve.InformedFraction[static_cast<size_t>(Time)] += Tail;
+  }
+  for (double &V : Curve.InformedFraction)
+    V /= static_cast<double>(Fields.size());
+  return Curve;
+}
+
+std::string ca2a::renderConvergence(const ConvergenceCurve &Curve, int Stride,
+                                    int BarWidth) {
+  assert(Stride >= 1 && "stride must be positive");
+  std::string Out;
+  for (size_t T = 0; T < Curve.InformedFraction.size();
+       T += static_cast<size_t>(Stride)) {
+    double F = Curve.InformedFraction[T];
+    int Bar = static_cast<int>(std::lround(F * BarWidth));
+    Out += formatString("t=%4zu  %5.1f%% |%s\n", T, 100.0 * F,
+                        std::string(static_cast<size_t>(Bar), '#').c_str());
+  }
+  return Out;
+}

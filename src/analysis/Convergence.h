@@ -1,0 +1,52 @@
+//===- analysis/Convergence.h - Informed-fraction curves --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convergence curves: the mean fraction of informed agents as a function
+/// of time, averaged over a field set. A finer lens than the paper's
+/// scalar t_comm — it shows *when* the T-grid advantage accrues (early
+/// meetings vs. final stragglers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_CONVERGENCE_H
+#define CA2A_ANALYSIS_CONVERGENCE_H
+
+#include "ga/Fitness.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Mean informed fraction per time step over a field set.
+struct ConvergenceCurve {
+  /// Curve[t] = mean over fields of (informed agents at step t) / k.
+  /// Solved fields contribute 1.0 from their t_comm onward.
+  std::vector<double> InformedFraction;
+  int NumFields = 0;
+  int SolvedFields = 0;
+
+  /// First step where the mean fraction reaches \p Level (or -1).
+  int timeToLevel(double Level) const;
+};
+
+/// Simulates \p G over \p Fields recording the informed fraction for the
+/// first \p CurveLength steps (fields are run to Options.MaxSteps).
+ConvergenceCurve
+collectConvergence(const Genome &G, const Torus &T,
+                   const std::vector<InitialConfiguration> &Fields,
+                   const SimOptions &Options, int CurveLength);
+
+/// Renders the curve as rows "t  fraction  bar" every \p Stride steps.
+std::string renderConvergence(const ConvergenceCurve &Curve, int Stride,
+                              int BarWidth = 50);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_CONVERGENCE_H

@@ -1,0 +1,77 @@
+//===- analysis/Distribution.cpp - t_comm distributions -------------------===//
+
+#include "analysis/Distribution.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ca2a;
+
+CommTimeDistribution
+ca2a::collectCommTimes(const Genome &G, const Torus &T,
+                       const std::vector<InitialConfiguration> &Fields,
+                       const SimOptions &Options) {
+  CommTimeDistribution D;
+  World W(T);
+  for (const InitialConfiguration &Field : Fields) {
+    W.reset(G, Field.Placements, Options);
+    SimResult R = W.run();
+    if (R.Success)
+      D.Times.push_back(static_cast<double>(R.TComm));
+    else
+      ++D.Unsolved;
+  }
+  D.Stats = Summary::of(D.Times);
+  return D;
+}
+
+std::string ca2a::renderHistogram(const std::vector<double> &Times,
+                                  int NumBuckets, int BarWidth) {
+  assert(NumBuckets >= 1 && "need at least one bucket");
+  if (Times.empty())
+    return "(empty sample)\n";
+  double Min = *std::min_element(Times.begin(), Times.end());
+  double Max = *std::max_element(Times.begin(), Times.end());
+  double Width = (Max - Min) / NumBuckets;
+  if (Width <= 0.0)
+    Width = 1.0;
+  std::vector<int> Counts(static_cast<size_t>(NumBuckets), 0);
+  for (double V : Times) {
+    int Bucket = static_cast<int>((V - Min) / Width);
+    Bucket = std::min(Bucket, NumBuckets - 1);
+    ++Counts[static_cast<size_t>(Bucket)];
+  }
+  int Peak = *std::max_element(Counts.begin(), Counts.end());
+  std::string Out;
+  for (int B = 0; B != NumBuckets; ++B) {
+    double Lo = Min + B * Width;
+    double Hi = Lo + Width;
+    int Count = Counts[static_cast<size_t>(B)];
+    int Bar = Peak ? static_cast<int>(std::lround(
+                         static_cast<double>(Count) * BarWidth / Peak))
+                   : 0;
+    Out += formatString("[%7.1f, %7.1f) %5d |%s\n", Lo, Hi, Count,
+                        std::string(static_cast<size_t>(Bar), '#').c_str());
+  }
+  return Out;
+}
+
+std::string
+ca2a::formatDistributionSummary(const CommTimeDistribution &D) {
+  if (D.Times.empty())
+    return formatString("no solved fields (%d unsolved)", D.Unsolved);
+  std::vector<double> Sorted = D.Times;
+  std::sort(Sorted.begin(), Sorted.end());
+  double P90 = sortedQuantile(Sorted, 0.9);
+  std::string Out = formatString(
+      "mean %s, median %s, p90 %s, max %s (n=%zu",
+      formatFixed(D.Stats.Mean, 2).c_str(),
+      formatFixed(D.Stats.Median, 1).c_str(), formatFixed(P90, 1).c_str(),
+      formatFixed(D.Stats.Max, 0).c_str(), D.Times.size());
+  if (D.Unsolved)
+    Out += formatString(", %d unsolved", D.Unsolved);
+  Out += ")";
+  return Out;
+}

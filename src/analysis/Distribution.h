@@ -1,0 +1,52 @@
+//===- analysis/Distribution.h - t_comm distributions -----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Beyond the paper's mean values: full communication-time distributions
+/// over a configuration set (order statistics + ASCII histogram). Used by
+/// the extended reporting in EXPERIMENTS.md to show where the S/T gap
+/// lives (body vs. tail).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_DISTRIBUTION_H
+#define CA2A_ANALYSIS_DISTRIBUTION_H
+
+#include "ga/Fitness.h"
+#include "support/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Communication-time sample over a field set.
+struct CommTimeDistribution {
+  std::vector<double> Times; ///< t_comm of each *solved* field, field order.
+  int Unsolved = 0;          ///< Fields not solved within the cutoff.
+  Summary Stats;             ///< Order statistics of Times.
+};
+
+/// Runs \p G over \p Fields and collects the t_comm sample.
+CommTimeDistribution
+collectCommTimes(const Genome &G, const Torus &T,
+                 const std::vector<InitialConfiguration> &Fields,
+                 const SimOptions &Options);
+
+/// Renders a fixed-width ASCII histogram of \p Times with \p NumBuckets
+/// equal-width buckets over [min, max]; each row shows the bucket range,
+/// count, and a proportional bar.
+std::string renderHistogram(const std::vector<double> &Times, int NumBuckets,
+                            int BarWidth = 50);
+
+/// One-line summary: "mean 58.4, median 52, p90 101, max 322 (n=1003)".
+std::string formatDistributionSummary(const CommTimeDistribution &D);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_DISTRIBUTION_H

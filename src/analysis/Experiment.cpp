@@ -1,0 +1,51 @@
+//===- analysis/Experiment.cpp - Experiment drivers -----------------------===//
+
+#include "analysis/Experiment.h"
+
+using namespace ca2a;
+
+DensityMeasurement ca2a::measureDensity(const Genome &G, const Torus &T,
+                                        int NumAgents, int NumRandomFields,
+                                        uint64_t FieldSeed,
+                                        const FitnessParams &Fitness) {
+  assert(NumAgents >= 1 && NumAgents <= T.numCells() &&
+         "agent count exceeds field capacity");
+  std::vector<InitialConfiguration> Fields;
+  if (NumAgents == T.numCells())
+    Fields.push_back(packedConfiguration(T));
+  else
+    Fields = standardConfigurationSet(
+        T, NumAgents, NumRandomFields,
+        FieldSeed + static_cast<uint64_t>(NumAgents));
+
+  FitnessResult Result = evaluateFitness(G, T, Fields, Fitness);
+  DensityMeasurement M;
+  M.Kind = T.kind();
+  M.NumAgents = NumAgents;
+  M.NumFields = Result.NumFields;
+  M.SolvedFields = Result.SolvedFields;
+  M.MeanCommTime = Result.MeanCommTime;
+  return M;
+}
+
+std::vector<DensityComparison>
+ca2a::runDensitySweep(const Genome &SquareAgent, const Genome &TriangulateAgent,
+                      const SweepParams &Params) {
+  Torus SquareTorus(GridKind::Square, Params.SideLength);
+  Torus TriangulateTorus(GridKind::Triangulate, Params.SideLength);
+  std::vector<DensityComparison> Out;
+  Out.reserve(Params.AgentCounts.size());
+  for (int NumAgents : Params.AgentCounts) {
+    DensityComparison C;
+    C.NumAgents = NumAgents;
+    C.Triangulate =
+        measureDensity(TriangulateAgent, TriangulateTorus, NumAgents,
+                       Params.NumRandomFields, Params.FieldSeed,
+                       Params.Fitness);
+    C.Square = measureDensity(SquareAgent, SquareTorus, NumAgents,
+                              Params.NumRandomFields, Params.FieldSeed,
+                              Params.Fitness);
+    Out.push_back(C);
+  }
+  return Out;
+}

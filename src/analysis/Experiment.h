@@ -1,0 +1,79 @@
+//===- analysis/Experiment.h - Experiment drivers ---------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// High-level experiment drivers shared by the benches and examples:
+/// the Table 1 / Fig. 5 density sweep (mean communication time of the best
+/// S-agent vs. best T-agent per N_agents) and its single-density building
+/// block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_EXPERIMENT_H
+#define CA2A_ANALYSIS_EXPERIMENT_H
+
+#include "ga/Fitness.h"
+
+#include <vector>
+
+namespace ca2a {
+
+/// Mean communication time of one genome at one density on one grid.
+struct DensityMeasurement {
+  GridKind Kind = GridKind::Square;
+  int NumAgents = 0;
+  int NumFields = 0;
+  int SolvedFields = 0;
+  double MeanCommTime = 0.0;
+
+  bool completelySuccessful() const {
+    return NumFields > 0 && SolvedFields == NumFields;
+  }
+};
+
+/// Parameters of the density sweep.
+struct SweepParams {
+  int SideLength = 16;
+  std::vector<int> AgentCounts = {2, 4, 8, 16, 32, 256};
+  int NumRandomFields = 1000; ///< Plus the 3 manual designs where placeable.
+  uint64_t FieldSeed = 20130101;
+  FitnessParams Fitness;
+};
+
+/// Evaluates \p G on \p T at a single density over the standard field set
+/// (or the packed field when NumAgents fills the torus).
+DensityMeasurement measureDensity(const Genome &G, const Torus &T,
+                                  int NumAgents, int NumRandomFields,
+                                  uint64_t FieldSeed,
+                                  const FitnessParams &Fitness);
+
+/// One Table 1 column: both grids at one density.
+struct DensityComparison {
+  int NumAgents = 0;
+  DensityMeasurement Triangulate;
+  DensityMeasurement Square;
+
+  /// t_comm^T / t_comm^S; the paper's T/S row.
+  double ratio() const {
+    return Square.MeanCommTime > 0.0
+               ? Triangulate.MeanCommTime / Square.MeanCommTime
+               : 0.0;
+  }
+};
+
+/// The full Table 1 / Fig. 5 sweep: \p SquareAgent runs on the S-grid,
+/// \p TriangulateAgent on the T-grid, both over all densities in
+/// \p Params.AgentCounts. "256" (and any count equal to the cell count) is
+/// the packed field.
+std::vector<DensityComparison> runDensitySweep(const Genome &SquareAgent,
+                                               const Genome &TriangulateAgent,
+                                               const SweepParams &Params);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_EXPERIMENT_H

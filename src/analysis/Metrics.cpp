@@ -1,0 +1,53 @@
+//===- analysis/Metrics.cpp - Behavioural run metrics ---------------------===//
+
+#include "analysis/Metrics.h"
+
+#include "support/StringUtils.h"
+
+using namespace ca2a;
+
+RunMetrics ca2a::collectRunMetrics(World &W) {
+  RunMetrics M;
+  std::vector<int32_t> LastCells;
+  M.Result = W.run([&](const World &World, int) {
+    const Torus &T = World.torus();
+    int K = World.numAgents();
+    // Movement accounting: compare with the previous observation. The
+    // observer fires after the exchange of step t, i.e. after the moves of
+    // step t-1.
+    if (!LastCells.empty()) {
+      for (int Id = 0; Id != K; ++Id) {
+        if (World.agent(Id).Cell == LastCells[static_cast<size_t>(Id)])
+          ++M.WaitSteps;
+        else
+          ++M.MoveSteps;
+      }
+    }
+    LastCells.resize(static_cast<size_t>(K));
+    for (int Id = 0; Id != K; ++Id)
+      LastCells[static_cast<size_t>(Id)] = World.agent(Id).Cell;
+
+    // Meetings: adjacent agent pairs right now. Count each pair once by
+    // only looking at neighbours with a larger agent id.
+    for (int Id = 0; Id != K; ++Id) {
+      const int32_t *Neighbors = T.neighbors(World.agent(Id).Cell);
+      for (int D = 0; D != T.degree(); ++D) {
+        int Other = World.agentAt(Neighbors[D]);
+        if (Other > Id)
+          ++M.MeetingEvents;
+      }
+    }
+    ++M.StepsObserved;
+  });
+  for (int Cell = 0; Cell != W.torus().numCells(); ++Cell)
+    M.FinalColoredCells += W.colorAt(Cell) ? 1 : 0;
+  return M;
+}
+
+std::string ca2a::formatRunMetrics(const RunMetrics &M) {
+  return formatString(
+      "t=%d move%%=%s meetings/step=%s colored=%d",
+      M.Result.Success ? M.Result.TComm : -1,
+      formatFixed(100.0 * M.moveFraction(), 1).c_str(),
+      formatFixed(M.meetingsPerStep(), 2).c_str(), M.FinalColoredCells);
+}

@@ -1,0 +1,58 @@
+//===- analysis/Metrics.h - Behavioural run metrics -------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observer-based behavioural metrics of one simulation run: movement vs.
+/// waiting, meeting events (pairs of adjacent agents per step), colour
+/// coverage, and per-agent distance travelled. These quantify *why* the
+/// T-agents win: more frequent meetings per step on the 6-valent torus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_METRICS_H
+#define CA2A_ANALYSIS_METRICS_H
+
+#include "sim/World.h"
+
+#include <string>
+
+namespace ca2a {
+
+/// Aggregated over one run.
+struct RunMetrics {
+  SimResult Result;
+  int64_t MoveSteps = 0;     ///< Agent-steps that changed cell.
+  int64_t WaitSteps = 0;     ///< Agent-steps that stayed put.
+  int64_t MeetingEvents = 0; ///< Adjacent agent pairs, summed over steps.
+  int StepsObserved = 0;
+  int FinalColoredCells = 0; ///< Colour-1 cells at termination.
+
+  /// Fraction of agent-steps that moved.
+  double moveFraction() const {
+    int64_t Total = MoveSteps + WaitSteps;
+    return Total ? static_cast<double>(MoveSteps) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+  /// Mean adjacent pairs per observed step.
+  double meetingsPerStep() const {
+    return StepsObserved ? static_cast<double>(MeetingEvents) /
+                               static_cast<double>(StepsObserved)
+                         : 0.0;
+  }
+};
+
+/// Runs \p W (already reset) to completion, collecting metrics.
+RunMetrics collectRunMetrics(World &W);
+
+/// One-line rendering for logs.
+std::string formatRunMetrics(const RunMetrics &M);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_METRICS_H

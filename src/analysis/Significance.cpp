@@ -1,0 +1,77 @@
+//===- analysis/Significance.cpp - Statistical comparison -----------------===//
+
+#include "analysis/Significance.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ca2a;
+
+WelchResult ca2a::welchTTest(const std::vector<double> &A,
+                             const std::vector<double> &B) {
+  assert(A.size() >= 2 && B.size() >= 2 && "Welch needs n >= 2 per sample");
+  RunningStats SA, SB;
+  for (double V : A)
+    SA.add(V);
+  for (double V : B)
+    SB.add(V);
+  double Na = static_cast<double>(SA.count());
+  double Nb = static_cast<double>(SB.count());
+  double Va = SA.variance() / Na;
+  double Vb = SB.variance() / Nb;
+  WelchResult Out;
+  Out.MeanA = SA.mean();
+  Out.MeanB = SB.mean();
+  double SE = std::sqrt(Va + Vb);
+  Out.TStatistic = SE > 0.0 ? (SA.mean() - SB.mean()) / SE : 0.0;
+  double Denominator =
+      Va * Va / (Na - 1.0) + Vb * Vb / (Nb - 1.0);
+  Out.DegreesOfFreedom =
+      Denominator > 0.0 ? (Va + Vb) * (Va + Vb) / Denominator : 0.0;
+  return Out;
+}
+
+static double resampledMean(const std::vector<double> &Sample, Rng &R) {
+  double Sum = 0.0;
+  for (size_t I = 0, E = Sample.size(); I != E; ++I)
+    Sum += Sample[R.uniformInt(Sample.size())];
+  return Sum / static_cast<double>(Sample.size());
+}
+
+BootstrapInterval
+ca2a::bootstrapMeanRatio(const std::vector<double> &Numerator,
+                         const std::vector<double> &Denominator, double Level,
+                         int Resamples, Rng &R) {
+  assert(!Numerator.empty() && !Denominator.empty() && "empty sample");
+  assert(Level > 0.0 && Level < 1.0 && "confidence level in (0, 1)");
+  assert(Resamples >= 10 && "too few resamples");
+
+  auto MeanOf = [](const std::vector<double> &Sample) {
+    double Sum = 0.0;
+    for (double V : Sample)
+      Sum += V;
+    return Sum / static_cast<double>(Sample.size());
+  };
+
+  BootstrapInterval Out;
+  double DenMean = MeanOf(Denominator);
+  assert(DenMean != 0.0 && "denominator mean must be nonzero");
+  Out.Estimate = MeanOf(Numerator) / DenMean;
+
+  std::vector<double> Ratios;
+  Ratios.reserve(static_cast<size_t>(Resamples));
+  for (int I = 0; I != Resamples; ++I) {
+    double Den = resampledMean(Denominator, R);
+    if (Den == 0.0)
+      continue; // Degenerate resample; drop it.
+    Ratios.push_back(resampledMean(Numerator, R) / Den);
+  }
+  std::sort(Ratios.begin(), Ratios.end());
+  double Alpha = (1.0 - Level) / 2.0;
+  Out.Low = sortedQuantile(Ratios, Alpha);
+  Out.High = sortedQuantile(Ratios, 1.0 - Alpha);
+  return Out;
+}

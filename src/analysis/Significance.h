@@ -1,0 +1,62 @@
+//===- analysis/Significance.h - Statistical comparison ---------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistical backing for the headline comparison. The paper reports
+/// plain means; for EXPERIMENTS.md we add (a) Welch's unequal-variance
+/// t-statistic for the S-vs-T mean difference and (b) seeded bootstrap
+/// percentile confidence intervals for the T/S mean ratio, so "T is ~1.5x
+/// faster" comes with an uncertainty band.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_SIGNIFICANCE_H
+#define CA2A_ANALYSIS_SIGNIFICANCE_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace ca2a {
+
+/// Welch's t-test summary for mean(A) - mean(B).
+struct WelchResult {
+  double MeanA = 0.0;
+  double MeanB = 0.0;
+  double TStatistic = 0.0;      ///< (meanA - meanB) / pooled SE.
+  double DegreesOfFreedom = 0.0; ///< Welch-Satterthwaite approximation.
+
+  /// |t| > 3 with df > 30: overwhelming evidence by any convention; the
+  /// simulation samples here have n ~ 1000, so we report the statistic
+  /// itself instead of interpolating p-value tables.
+  bool overwhelming() const {
+    return (TStatistic > 3.0 || TStatistic < -3.0) && DegreesOfFreedom > 30;
+  }
+};
+
+/// Welch's t for two independent samples. Requires two observations per
+/// sample (asserted).
+WelchResult welchTTest(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+/// Percentile bootstrap confidence interval for a ratio of means
+/// mean(Numerator) / mean(Denominator), from independent resamples.
+struct BootstrapInterval {
+  double Estimate = 0.0; ///< Point estimate from the full samples.
+  double Low = 0.0;      ///< Lower percentile bound.
+  double High = 0.0;     ///< Upper percentile bound.
+};
+
+/// \p Level e.g. 0.95; \p Resamples e.g. 2000. Deterministic given \p R.
+BootstrapInterval bootstrapMeanRatio(const std::vector<double> &Numerator,
+                                     const std::vector<double> &Denominator,
+                                     double Level, int Resamples, Rng &R);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_SIGNIFICANCE_H

@@ -1,0 +1,52 @@
+//===- analysis/Table.cpp - Paper-style result tables ---------------------===//
+
+#include "analysis/Table.h"
+
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+using namespace ca2a;
+
+std::string
+ca2a::formatDensityTable(const std::vector<DensityComparison> &Sweep) {
+  TextTable Table;
+  std::vector<std::string> Header = {"N_agents"};
+  std::vector<std::string> TRow = {"T-grid"};
+  std::vector<std::string> SRow = {"S-grid"};
+  std::vector<std::string> RatioRow = {"T/S"};
+  for (const DensityComparison &C : Sweep) {
+    Header.push_back(std::to_string(C.NumAgents));
+    TRow.push_back(formatFixed(C.Triangulate.MeanCommTime, 2));
+    SRow.push_back(formatFixed(C.Square.MeanCommTime, 2));
+    RatioRow.push_back(formatFixed(C.ratio(), 3));
+  }
+  Table.setHeader(Header);
+  Table.addRow(TRow);
+  Table.addRow(SRow);
+  Table.addRow(RatioRow);
+  return Table.render();
+}
+
+void ca2a::writeDensityCsv(const std::vector<DensityComparison> &Sweep,
+                           std::ostream &Out) {
+  CsvWriter Writer(Out);
+  Writer.writeRow({"n_agents", "t_grid_mean", "s_grid_mean", "ratio",
+                   "t_solved", "s_solved", "t_fields", "s_fields"});
+  for (const DensityComparison &C : Sweep) {
+    Writer.writeRow({std::to_string(C.NumAgents),
+                     formatFixed(C.Triangulate.MeanCommTime, 4),
+                     formatFixed(C.Square.MeanCommTime, 4),
+                     formatFixed(C.ratio(), 4),
+                     std::to_string(C.Triangulate.SolvedFields),
+                     std::to_string(C.Square.SolvedFields),
+                     std::to_string(C.Triangulate.NumFields),
+                     std::to_string(C.Square.NumFields)});
+  }
+}
+
+std::string ca2a::formatMeasurement(const DensityMeasurement &M) {
+  return formatString("%s-grid k=%d: %s steps (%d/%d solved)",
+                      gridKindName(M.Kind), M.NumAgents,
+                      formatFixed(M.MeanCommTime, 2).c_str(), M.SolvedFields,
+                      M.NumFields);
+}

@@ -1,0 +1,45 @@
+//===- analysis/Table.h - Paper-style result tables -------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders density-sweep results in the layout of the paper's Table 1
+/// (and the series of Fig. 5), plus CSV export for downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_ANALYSIS_TABLE_H
+#define CA2A_ANALYSIS_TABLE_H
+
+#include "analysis/Experiment.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Formats the sweep as the paper's Table 1:
+///
+///   N_agents |     2 |      4 | ... | 256
+///   T-grid   | 58.43 |  78.30 | ... | 9.00
+///   S-grid   | 82.78 | 116.12 | ... | 15.00
+///   T/S      | 0.706 |  0.674 | ... | 0.600
+std::string formatDensityTable(const std::vector<DensityComparison> &Sweep);
+
+/// Writes the sweep as CSV rows
+/// (n_agents, t_grid_mean, s_grid_mean, ratio, t_solved, s_solved, fields).
+void writeDensityCsv(const std::vector<DensityComparison> &Sweep,
+                     std::ostream &Out);
+
+/// Formats one measurement line, e.g. for progress logs:
+/// "T-grid k=16: 41.25 steps (1003/1003 solved)".
+std::string formatMeasurement(const DensityMeasurement &M);
+
+} // namespace ca2a
+
+#endif // CA2A_ANALYSIS_TABLE_H

@@ -1,0 +1,200 @@
+//===- config/InitialConfiguration.cpp - Field generation -----------------===//
+
+#include "config/InitialConfiguration.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+std::string InitialConfiguration::serialize() const {
+  std::string Out;
+  for (const Placement &P : Placements)
+    Out += formatString("%d %d %d\n", P.Pos.X, P.Pos.Y,
+                        static_cast<int>(P.Direction));
+  return Out;
+}
+
+Expected<InitialConfiguration>
+InitialConfiguration::deserialize(const std::string &Text) {
+  InitialConfiguration C;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    if (trim(Line).empty())
+      continue;
+    std::vector<std::string> Fields = splitWhitespace(Line);
+    if (Fields.size() != 3)
+      return makeError("configuration line needs 3 fields: '" + Line + "'");
+    auto X = parseInt(Fields[0]);
+    auto Y = parseInt(Fields[1]);
+    auto Dir = parseUnsigned(Fields[2]);
+    if (!X)
+      return X.error();
+    if (!Y)
+      return Y.error();
+    if (!Dir)
+      return Dir.error();
+    if (*Dir > 5)
+      return makeError("direction out of range in line: '" + Line + "'");
+    Placement P;
+    P.Pos = Coord{static_cast<int>(*X), static_cast<int>(*Y)};
+    P.Direction = static_cast<uint8_t>(*Dir);
+    C.Placements.push_back(P);
+  }
+  if (C.Placements.empty())
+    return makeError("configuration has no agents");
+  return C;
+}
+
+InitialConfiguration ca2a::randomConfiguration(const Torus &T, int NumAgents,
+                                               Rng &R) {
+  assert(NumAgents >= 1 && NumAgents <= T.numCells() &&
+         "agent count out of range");
+  InitialConfiguration C;
+  std::vector<uint32_t> Cells =
+      R.sampleDistinct(static_cast<uint32_t>(NumAgents),
+                       static_cast<uint32_t>(T.numCells()));
+  C.Placements.reserve(static_cast<size_t>(NumAgents));
+  for (uint32_t Cell : Cells) {
+    Placement P;
+    P.Pos = T.coordOf(static_cast<int>(Cell));
+    P.Direction = static_cast<uint8_t>(R.uniformInt(
+        static_cast<uint64_t>(T.degree())));
+    C.Placements.push_back(P);
+  }
+  return C;
+}
+
+InitialConfiguration
+ca2a::randomConfigurationAvoiding(const Torus &T, int NumAgents, Rng &R,
+                                  const std::vector<Coord> &ForbiddenCells) {
+  std::vector<uint8_t> Forbidden(static_cast<size_t>(T.numCells()), 0);
+  for (Coord C : ForbiddenCells)
+    Forbidden[static_cast<size_t>(T.indexOf(C))] = 1;
+  std::vector<int> Allowed;
+  Allowed.reserve(static_cast<size_t>(T.numCells()));
+  for (int Cell = 0; Cell != T.numCells(); ++Cell)
+    if (!Forbidden[static_cast<size_t>(Cell)])
+      Allowed.push_back(Cell);
+  assert(NumAgents >= 1 &&
+         NumAgents <= static_cast<int>(Allowed.size()) &&
+         "not enough free cells for the agents");
+  std::vector<uint32_t> Picks = R.sampleDistinct(
+      static_cast<uint32_t>(NumAgents), static_cast<uint32_t>(Allowed.size()));
+  InitialConfiguration C;
+  C.Placements.reserve(static_cast<size_t>(NumAgents));
+  for (uint32_t Pick : Picks) {
+    Placement P;
+    P.Pos = T.coordOf(Allowed[Pick]);
+    P.Direction =
+        static_cast<uint8_t>(R.uniformInt(static_cast<uint64_t>(T.degree())));
+    C.Placements.push_back(P);
+  }
+  return C;
+}
+
+std::vector<Coord> ca2a::randomObstacles(const Torus &T, int Count, Rng &R) {
+  assert(Count >= 0 && Count < T.numCells() && "obstacle count out of range");
+  std::vector<uint32_t> Cells = R.sampleDistinct(
+      static_cast<uint32_t>(Count), static_cast<uint32_t>(T.numCells()));
+  std::vector<Coord> Out;
+  Out.reserve(static_cast<size_t>(Count));
+  for (uint32_t Cell : Cells)
+    Out.push_back(T.coordOf(static_cast<int>(Cell)));
+  return Out;
+}
+
+/// West is the direction whose offset is (-1, 0): index 2 in S, 3 in T.
+static uint8_t westDirection(const Torus &T) {
+  return T.kind() == GridKind::Square ? 2 : 3;
+}
+
+static InitialConfiguration queueConfiguration(const Torus &T, int NumAgents,
+                                               uint8_t Direction) {
+  assert(NumAgents >= 1 && NumAgents <= T.sideLength() &&
+         "queue cannot be longer than the field side");
+  InitialConfiguration C;
+  int Row = T.sideLength() / 2;
+  for (int I = 0; I != NumAgents; ++I) {
+    Placement P;
+    P.Pos = Coord{I, Row};
+    P.Direction = Direction;
+    C.Placements.push_back(P);
+  }
+  return C;
+}
+
+InitialConfiguration ca2a::queueForwardConfiguration(const Torus &T,
+                                                     int NumAgents) {
+  return queueConfiguration(T, NumAgents, /*Direction=*/0); // East.
+}
+
+InitialConfiguration ca2a::queueBackwardConfiguration(const Torus &T,
+                                                      int NumAgents) {
+  return queueConfiguration(T, NumAgents, westDirection(T));
+}
+
+InitialConfiguration ca2a::diagonalConfiguration(const Torus &T,
+                                                 int NumAgents) {
+  assert(NumAgents >= 1 && NumAgents <= T.sideLength() &&
+         "diagonal holds at most sideLength agents");
+  InitialConfiguration C;
+  // Maximal spacing along the main diagonal.
+  for (int I = 0; I != NumAgents; ++I) {
+    int Offset = static_cast<int>(
+        (static_cast<long long>(I) * T.sideLength()) / NumAgents);
+    Placement P;
+    P.Pos = Coord{Offset, Offset};
+    P.Direction = westDirection(T);
+    C.Placements.push_back(P);
+  }
+  return C;
+}
+
+std::vector<InitialConfiguration>
+ca2a::standardConfigurationSet(const Torus &T, int NumAgents, int NumRandom,
+                               uint64_t Seed) {
+  std::vector<InitialConfiguration> Set;
+  Set.reserve(static_cast<size_t>(NumRandom) + 3);
+  Rng R(Seed);
+  for (int I = 0; I != NumRandom; ++I)
+    Set.push_back(randomConfiguration(T, NumAgents, R));
+  if (NumAgents <= T.sideLength()) {
+    Set.push_back(queueForwardConfiguration(T, NumAgents));
+    Set.push_back(queueBackwardConfiguration(T, NumAgents));
+    Set.push_back(diagonalConfiguration(T, NumAgents));
+  }
+  return Set;
+}
+
+InitialConfiguration ca2a::packedConfiguration(const Torus &T) {
+  InitialConfiguration C;
+  C.Placements.reserve(static_cast<size_t>(T.numCells()));
+  for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+    Placement P;
+    P.Pos = T.coordOf(Cell);
+    P.Direction = 0;
+    C.Placements.push_back(P);
+  }
+  return C;
+}
+
+bool ca2a::isValidConfiguration(const Torus &T,
+                                const InitialConfiguration &C) {
+  if (C.Placements.empty() ||
+      C.Placements.size() > static_cast<size_t>(T.numCells()))
+    return false;
+  std::vector<uint8_t> Seen(static_cast<size_t>(T.numCells()), 0);
+  for (const Placement &P : C.Placements) {
+    if (P.Pos.X < 0 || P.Pos.X >= T.sideLength() || P.Pos.Y < 0 ||
+        P.Pos.Y >= T.sideLength())
+      return false;
+    if (P.Direction >= T.degree())
+      return false;
+    size_t Index = static_cast<size_t>(T.indexOf(P.Pos));
+    if (Seen[Index])
+      return false;
+    Seen[Index] = 1;
+  }
+  return true;
+}

@@ -1,0 +1,95 @@
+//===- config/InitialConfiguration.h - Field generation ---------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Initial configurations (agent positions + directions) for training and
+/// evaluation, Sect. 4: per agent count the paper uses N_fields = 1003
+/// configurations — 1000 randomly generated plus 3 manually designed hard
+/// cases that uniform synchronous agents tend not to solve:
+///
+///   1. a queue of agents all facing "right" (direction 0),
+///   2. the same queue all facing "left" (direction opposite 0),
+///   3. agents on the diagonal with maximal spacing, all facing "left".
+///
+/// Random configurations draw distinct cells uniformly and directions
+/// uniformly from the topology's direction set, from an explicit seed so
+/// that experiment sets are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_CONFIG_INITIALCONFIGURATION_H
+#define CA2A_CONFIG_INITIALCONFIGURATION_H
+
+#include "sim/World.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// One initial configuration: where the k agents start.
+struct InitialConfiguration {
+  std::vector<Placement> Placements;
+
+  int numAgents() const { return static_cast<int>(Placements.size()); }
+
+  /// One line per agent: "x y direction".
+  std::string serialize() const;
+
+  /// Parses serialize() output (lines split on '\n'; blank lines ignored).
+  static Expected<InitialConfiguration> deserialize(const std::string &Text);
+};
+
+/// Uniformly random configuration: \p NumAgents distinct cells, uniform
+/// directions.
+InitialConfiguration randomConfiguration(const Torus &T, int NumAgents,
+                                         Rng &R);
+
+/// Random configuration avoiding \p ForbiddenCells (obstacle support):
+/// agents land uniformly on the remaining cells.
+InitialConfiguration
+randomConfigurationAvoiding(const Torus &T, int NumAgents, Rng &R,
+                            const std::vector<Coord> &ForbiddenCells);
+
+/// \p Count random obstacle cells, reproducible via \p R; use together
+/// with randomConfigurationAvoiding.
+std::vector<Coord> randomObstacles(const Torus &T, int Count, Rng &R);
+
+/// Manual design 1: a horizontal queue, all agents facing direction 0
+/// (east, along the queue).
+InitialConfiguration queueForwardConfiguration(const Torus &T, int NumAgents);
+
+/// Manual design 2: the same queue, all agents facing "back" (west).
+InitialConfiguration queueBackwardConfiguration(const Torus &T, int NumAgents);
+
+/// Manual design 3: agents on the main diagonal with maximal spacing, all
+/// facing west.
+InitialConfiguration diagonalConfiguration(const Torus &T, int NumAgents);
+
+/// The paper's evaluation set: \p NumRandom seeded-random configurations
+/// followed by the three manual designs (so size NumRandom + 3).
+/// Manual designs are skipped when NumAgents exceeds what they can place
+/// (more agents than a row/diagonal holds).
+std::vector<InitialConfiguration> standardConfigurationSet(const Torus &T,
+                                                           int NumAgents,
+                                                           int NumRandom,
+                                                           uint64_t Seed);
+
+/// Fully packed field: one agent per cell in row-major ID order, uniform
+/// direction 0 — the N_agents = 256 column of Table 1.
+InitialConfiguration packedConfiguration(const Torus &T);
+
+/// True when every agent sits on a distinct in-range cell with a valid
+/// direction.
+bool isValidConfiguration(const Torus &T, const InitialConfiguration &C);
+
+} // namespace ca2a
+
+#endif // CA2A_CONFIG_INITIALCONFIGURATION_H

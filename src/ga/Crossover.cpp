@@ -1,0 +1,24 @@
+//===- ga/Crossover.cpp - Classical crossover operators -------------------===//
+
+#include "ga/Crossover.h"
+
+using namespace ca2a;
+
+Genome ca2a::crossoverOnePoint(const Genome &A, const Genome &B, Rng &R) {
+  assert(A.dims() == B.dims() && "crossover needs equal dimensions");
+  int Length = A.length();
+  int Cut = 1 + static_cast<int>(R.uniformInt(
+                    static_cast<uint64_t>(Length - 1)));
+  Genome Child(A.dims());
+  for (int I = 0; I != Length; ++I)
+    Child.slot(I) = I < Cut ? A.slot(I) : B.slot(I);
+  return Child;
+}
+
+Genome ca2a::crossoverUniform(const Genome &A, const Genome &B, Rng &R) {
+  assert(A.dims() == B.dims() && "crossover needs equal dimensions");
+  Genome Child(A.dims());
+  for (int I = 0, E = A.length(); I != E; ++I)
+    Child.slot(I) = R.bernoulli(0.5) ? A.slot(I) : B.slot(I);
+  return Child;
+}

@@ -1,0 +1,35 @@
+//===- ga/Crossover.h - Classical crossover operators -----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "classical crossover" the authors experimented with before settling
+/// on mutation-only variation (Sect. 4: "Then we found that mutation only
+/// gave us similar good results"). Provided so the design choice can be
+/// ablated: Evolution can mix crossover into offspring production, and
+/// bench_ga_ablation compares the two settings under equal budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_CROSSOVER_H
+#define CA2A_GA_CROSSOVER_H
+
+#include "agent/Genome.h"
+#include "support/Rng.h"
+
+namespace ca2a {
+
+/// One-point crossover over the 32 genome slots: the child takes slots
+/// [0, Cut) from \p A and [Cut, 32) from \p B, Cut uniform in [1, 31].
+Genome crossoverOnePoint(const Genome &A, const Genome &B, Rng &R);
+
+/// Uniform crossover: each slot comes from \p A or \p B by a fair coin.
+Genome crossoverUniform(const Genome &A, const Genome &B, Rng &R);
+
+} // namespace ca2a
+
+#endif // CA2A_GA_CROSSOVER_H

@@ -1,0 +1,139 @@
+//===- ga/Evolution.cpp - The paper's genetic procedure -------------------===//
+
+#include "ga/Evolution.h"
+
+#include "ga/Crossover.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+Evolution::Evolution(const Torus &T,
+                     std::vector<InitialConfiguration> TrainingFields,
+                     const EvolutionParams &Params)
+    : T(T), TrainingFields(std::move(TrainingFields)), Params(Params),
+      R(Params.Seed) {
+  assert(Params.PopulationSize >= 2 && "population too small");
+  assert(Params.ExchangeCount >= 0 &&
+         Params.ExchangeCount <= Params.PopulationSize / 4 &&
+         "exchange block must fit inside each pool half");
+  assert(!this->TrainingFields.empty() && "no training fields");
+  assert(Params.Dims.valid() && "bad genome dimensions");
+  Pool.reserve(static_cast<size_t>(Params.PopulationSize) * 3 / 2);
+  for (int I = 0; I != Params.PopulationSize; ++I)
+    Pool.push_back(evaluate(Genome::random(R, Params.Dims)));
+  std::stable_sort(Pool.begin(), Pool.end(),
+                   [](const Individual &A, const Individual &B) {
+                     return A.Fitness < B.Fitness;
+                   });
+  BestEver = Pool.front();
+}
+
+Individual Evolution::evaluate(Genome G) {
+  FitnessResult Result = evaluateFitness(G, T, TrainingFields, Params.Fitness);
+  ++Evaluations;
+  Individual Ind;
+  Ind.G = std::move(G);
+  Ind.Fitness = Result.Fitness;
+  Ind.SolvedFields = Result.SolvedFields;
+  Ind.CompletelySuccessful = Result.completelySuccessful();
+  return Ind;
+}
+
+void Evolution::sortDedupTruncate() {
+  std::stable_sort(Pool.begin(), Pool.end(),
+                   [](const Individual &A, const Individual &B) {
+                     return A.Fitness < B.Fitness;
+                   });
+  // Delete genotype duplicates, keeping the first (best-ranked) copy.
+  // Equal fitness with distinct genomes is allowed.
+  std::vector<Individual> Unique;
+  Unique.reserve(Pool.size());
+  for (Individual &Ind : Pool) {
+    bool Duplicate = false;
+    for (const Individual &Kept : Unique) {
+      if (Kept.G == Ind.G) {
+        Duplicate = true;
+        break;
+      }
+    }
+    if (!Duplicate)
+      Unique.push_back(std::move(Ind));
+  }
+  Pool = std::move(Unique);
+  size_t N = static_cast<size_t>(Params.PopulationSize);
+  if (Pool.size() > N)
+    Pool.resize(N);
+  // Deduplication can shrink the pool below N; refill with fresh random
+  // genomes (kept sorted by a final insertion pass).
+  while (Pool.size() < N)
+    Pool.push_back(evaluate(Genome::random(R, Params.Dims)));
+  std::stable_sort(Pool.begin(), Pool.end(),
+                   [](const Individual &A, const Individual &B) {
+                     return A.Fitness < B.Fitness;
+                   });
+}
+
+void Evolution::diversityExchange() {
+  // Swap the last b of the first half with the first b of the second half:
+  // with N = 20, b = 3 that is ranks 7,8,9 <-> 10,11,12, exactly the
+  // paper's "individuals 7, 8, 9 are exchanged with 10, 11, 12".
+  int Half = Params.PopulationSize / 2;
+  int B = Params.ExchangeCount;
+  for (int I = 0; I != B; ++I)
+    std::swap(Pool[static_cast<size_t>(Half - B + I)],
+              Pool[static_cast<size_t>(Half + I)]);
+}
+
+GenerationStats Evolution::stepGeneration() {
+  int NumOffspring = Params.PopulationSize / 2;
+  // Parents are the current top half *in pool order*, which reflects the
+  // previous generation's diversity exchange.
+  std::vector<Individual> Offspring;
+  Offspring.reserve(static_cast<size_t>(NumOffspring));
+  for (int I = 0; I != NumOffspring; ++I) {
+    Genome Child = Pool[static_cast<size_t>(I)].G;
+    if (Params.CrossoverProbability > 0.0 &&
+        R.bernoulli(Params.CrossoverProbability)) {
+      // Pick a distinct second parent from the top half.
+      int J = static_cast<int>(R.uniformInt(
+          static_cast<uint64_t>(NumOffspring - 1)));
+      if (J >= I)
+        ++J;
+      Child = crossoverOnePoint(Child, Pool[static_cast<size_t>(J)].G, R);
+    }
+    Offspring.push_back(evaluate(mutate(Child, Params.Mutation, R)));
+  }
+  for (Individual &Child : Offspring)
+    Pool.push_back(std::move(Child));
+
+  sortDedupTruncate();
+  if (Pool.front().Fitness < BestEver.Fitness)
+    BestEver = Pool.front();
+  diversityExchange();
+  ++Generation;
+
+  GenerationStats Stats;
+  Stats.Generation = Generation;
+  Stats.BestFitness = BestEver.Fitness;
+  double Sum = 0.0;
+  for (const Individual &Ind : Pool) {
+    Sum += Ind.Fitness;
+    Stats.NumCompletelySuccessful += Ind.CompletelySuccessful ? 1 : 0;
+    Stats.BestSolvedFields = std::max(Stats.BestSolvedFields, Ind.SolvedFields);
+  }
+  Stats.MeanFitness = Sum / static_cast<double>(Pool.size());
+  Stats.Evaluations = Evaluations;
+  return Stats;
+}
+
+Individual Evolution::run(
+    int Generations,
+    const std::function<void(const GenerationStats &)> &OnGeneration) {
+  for (int I = 0; I != Generations; ++I) {
+    GenerationStats Stats = stepGeneration();
+    if (OnGeneration)
+      OnGeneration(Stats);
+  }
+  return BestEver;
+}

@@ -1,0 +1,117 @@
+//===- ga/Evolution.h - The paper's genetic procedure -----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimisation loop of Sect. 4. One population of N individuals
+/// (FSM genomes) is updated per generation:
+///
+///   1. the top N/2 individuals each produce one offspring by mutation,
+///   2. the union of the N parents and N/2 offspring is sorted by fitness
+///      (ascending; lower is better), duplicates are deleted, and the pool
+///      is truncated back to N,
+///   3. to preserve diversity, the first b individuals of the second half
+///      are exchanged with the last b of the first half (paper: N = 20,
+///      b = 3, so ranks 7,8,9 swap with 10,11,12).
+///
+/// When duplicate deletion leaves fewer than N individuals the pool is
+/// topped up with fresh random genomes (the paper does not specify this
+/// corner; random refill only adds diversity and cannot hurt elitism).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_EVOLUTION_H
+#define CA2A_GA_EVOLUTION_H
+
+#include "ga/Fitness.h"
+#include "ga/Mutation.h"
+
+#include <functional>
+#include <vector>
+
+namespace ca2a {
+
+/// One pool member: genome plus cached evaluation.
+struct Individual {
+  Genome G;
+  double Fitness = 0.0;
+  int SolvedFields = 0;
+  bool CompletelySuccessful = false;
+};
+
+/// Evolution knobs (defaults are the paper's settings: mutation-only).
+struct EvolutionParams {
+  int PopulationSize = 20; ///< N.
+  int ExchangeCount = 3;   ///< b.
+  MutationParams Mutation;
+  FitnessParams Fitness;
+  uint64_t Seed = 1;
+  /// Probability that an offspring is first produced by one-point
+  /// crossover with a second random top-half parent, before mutation.
+  /// 0 (the paper's final choice) = mutation-only; used by the crossover
+  /// ablation.
+  double CrossoverProbability = 0.0;
+  /// FSM dimensions to evolve (the future-work "more states, more
+  /// colors"); the default is the paper's 4 states / 2 colours.
+  GenomeDims Dims;
+};
+
+/// Per-generation progress record.
+struct GenerationStats {
+  int Generation = 0;
+  double BestFitness = 0.0;
+  double MeanFitness = 0.0;
+  int BestSolvedFields = 0;
+  int NumCompletelySuccessful = 0; ///< Within the pool.
+  int Evaluations = 0;             ///< Cumulative fitness evaluations.
+};
+
+/// Drives the genetic procedure on one grid/field set.
+class Evolution {
+public:
+  /// \p TrainingFields is the configuration set the fitness averages over
+  /// (the paper trains on 1003 fields with 8 agents on 16x16).
+  Evolution(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
+            const EvolutionParams &Params);
+
+  /// Runs \p Generations generations; \p OnGeneration (may be empty) is
+  /// called after each one. Returns the final best individual.
+  Individual
+  run(int Generations,
+      const std::function<void(const GenerationStats &)> &OnGeneration = {});
+
+  /// Executes a single generation (exposed for tests / incremental runs).
+  GenerationStats stepGeneration();
+
+  /// Pool in current rank order (position 0 = current best).
+  const std::vector<Individual> &population() const { return Pool; }
+
+  /// Best individual found so far across all generations (elitist record,
+  /// unaffected by the diversity exchange).
+  const Individual &bestEver() const { return BestEver; }
+
+  int generation() const { return Generation; }
+  int evaluations() const { return Evaluations; }
+
+private:
+  Individual evaluate(Genome G);
+  void sortDedupTruncate();
+  void diversityExchange();
+
+  const Torus &T;
+  std::vector<InitialConfiguration> TrainingFields;
+  EvolutionParams Params;
+  Rng R;
+  std::vector<Individual> Pool;
+  Individual BestEver;
+  int Generation = 0;
+  int Evaluations = 0;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_GA_EVOLUTION_H

@@ -1,0 +1,70 @@
+//===- ga/Fitness.cpp - Fitness evaluation over field sets ----------------===//
+
+#include "ga/Fitness.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+double ca2a::fitnessOfRun(const SimResult &Result, int MaxSteps,
+                          double Weight) {
+  int Uninformed = Result.NumAgents - Result.InformedAgents;
+  int Time = Result.Success ? Result.TComm : MaxSteps;
+  return Weight * static_cast<double>(Uninformed) + static_cast<double>(Time);
+}
+
+namespace {
+/// Per-worker accumulator: own World (engines are not shareable) plus sums.
+struct ChunkAccumulator {
+  double FitnessSum = 0.0;
+  double SolvedTimeSum = 0.0;
+  int Solved = 0;
+};
+} // namespace
+
+FitnessResult
+ca2a::evaluateFitness(const Genome &G, const Torus &T,
+                      const std::vector<InitialConfiguration> &Fields,
+                      const FitnessParams &Params) {
+  FitnessResult Out;
+  Out.NumFields = static_cast<int>(Fields.size());
+  if (Fields.empty())
+    return Out;
+
+  size_t NumWorkers = std::max<size_t>(1, Params.NumWorkers);
+  NumWorkers = std::min(NumWorkers, Fields.size());
+  size_t ChunkSize = (Fields.size() + NumWorkers - 1) / NumWorkers;
+  size_t NumChunks = (Fields.size() + ChunkSize - 1) / ChunkSize;
+
+  std::vector<ChunkAccumulator> Accumulators(NumChunks);
+  parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
+    World W(T);
+    ChunkAccumulator &Acc = Accumulators[Chunk];
+    size_t Begin = Chunk * ChunkSize;
+    size_t End = std::min(Begin + ChunkSize, Fields.size());
+    for (size_t I = Begin; I != End; ++I) {
+      W.reset(G, Fields[I].Placements, Params.Sim);
+      SimResult Result = W.run();
+      Acc.FitnessSum +=
+          fitnessOfRun(Result, Params.Sim.MaxSteps, Params.Weight);
+      if (Result.Success) {
+        ++Acc.Solved;
+        Acc.SolvedTimeSum += static_cast<double>(Result.TComm);
+      }
+    }
+  });
+
+  double FitnessSum = 0.0, SolvedTimeSum = 0.0;
+  for (const ChunkAccumulator &Acc : Accumulators) {
+    FitnessSum += Acc.FitnessSum;
+    SolvedTimeSum += Acc.SolvedTimeSum;
+    Out.SolvedFields += Acc.Solved;
+  }
+  Out.Fitness = FitnessSum / static_cast<double>(Fields.size());
+  Out.MeanCommTime =
+      Out.SolvedFields ? SolvedTimeSum / static_cast<double>(Out.SolvedFields)
+                       : 0.0;
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- ga/Fitness.h - Fitness evaluation over field sets --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's fitness function (Sect. 4):
+///
+///   F_i = W * (N_agents - a_i) + t_comm,i      with W = 10^4,
+///
+/// where a_i is the number of informed agents at termination of initial
+/// configuration i and t_comm,i the communication time (for an
+/// unsuccessful run, t_comm,i is the cutoff t_max). The dominance weight W
+/// makes any FSM that informs more agents strictly better than one that
+/// informs fewer, regardless of time. The reported fitness is the average
+/// of F_i over the configuration set; lower is better.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_FITNESS_H
+#define CA2A_GA_FITNESS_H
+
+#include "config/InitialConfiguration.h"
+
+#include <vector>
+
+namespace ca2a {
+
+/// Knobs of one fitness evaluation.
+struct FitnessParams {
+  SimOptions Sim;            ///< MaxSteps / start states / colour switch.
+  double Weight = 1e4;       ///< The dominance weight W.
+  size_t NumWorkers = 1;     ///< Threads for the per-field loop.
+};
+
+/// Aggregate outcome of evaluating one genome on a field set.
+struct FitnessResult {
+  double Fitness = 0.0;          ///< Mean F_i (lower is better).
+  double MeanCommTime = 0.0;     ///< Mean t_comm over *successful* fields.
+  int SolvedFields = 0;          ///< Fields where all agents got informed.
+  int NumFields = 0;
+
+  /// The paper's "completely successful": solved every field in the set.
+  bool completelySuccessful() const {
+    return NumFields > 0 && SolvedFields == NumFields;
+  }
+};
+
+/// Evaluates \p G by simulating every configuration of \p Fields on \p T.
+FitnessResult evaluateFitness(const Genome &G, const Torus &T,
+                              const std::vector<InitialConfiguration> &Fields,
+                              const FitnessParams &Params);
+
+/// The fitness contribution of a single finished run.
+double fitnessOfRun(const SimResult &Result, int MaxSteps, double Weight);
+
+} // namespace ca2a
+
+#endif // CA2A_GA_FITNESS_H

@@ -1,0 +1,38 @@
+//===- ga/Mutation.cpp - Field-wise genome mutation -----------------------===//
+
+#include "ga/Mutation.h"
+
+using namespace ca2a;
+
+Genome ca2a::mutate(const Genome &G, const MutationParams &Params, Rng &R) {
+  Genome Out = G;
+  const GenomeDims &Dims = G.dims();
+  for (int I = 0, E2 = Out.length(); I != E2; ++I) {
+    GenomeEntry &E = Out.slot(I);
+    if (R.bernoulli(Params.PNextState))
+      E.NextState = static_cast<uint8_t>((E.NextState + 1) % Dims.States);
+    if (R.bernoulli(Params.PSetColor))
+      E.Act.SetColor =
+          static_cast<uint8_t>((E.Act.SetColor + 1) % Dims.Colors);
+    if (R.bernoulli(Params.PMove))
+      E.Act.Move = !E.Act.Move;
+    if (R.bernoulli(Params.PTurn))
+      E.Act.TurnCode = static_cast<Turn>(
+          (static_cast<int>(E.Act.TurnCode) + 1) % NumTurnCodes);
+  }
+  return Out;
+}
+
+int ca2a::genomeDistance(const Genome &A, const Genome &B) {
+  assert(A.dims() == B.dims() && "distance needs equal dimensions");
+  int Distance = 0;
+  for (int I = 0, E2 = A.length(); I != E2; ++I) {
+    const GenomeEntry &Ea = A.slot(I);
+    const GenomeEntry &Eb = B.slot(I);
+    Distance += (Ea.NextState != Eb.NextState);
+    Distance += (Ea.Act.SetColor != Eb.Act.SetColor);
+    Distance += (Ea.Act.Move != Eb.Act.Move);
+    Distance += (Ea.Act.TurnCode != Eb.Act.TurnCode);
+  }
+  return Distance;
+}

@@ -1,0 +1,51 @@
+//===- ga/Mutation.h - Field-wise genome mutation ---------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's mutation-only variation operator (Sect. 4). For every table
+/// slot (input combination) each of the four fields mutates independently:
+///
+///   nextstate <- nextstate + 1 mod N_states   with prob. p1,
+///   setcolor  <- setcolor  + 1 mod 2          with prob. p2,
+///   move      <- move      + 1 mod 2          with prob. p3,
+///   turn      <- turn      + 1 mod N_turn     with prob. p4,
+///
+/// otherwise unchanged; the paper found p1 = p2 = p3 = p4 = 18% good.
+/// (Crossover gave no improvement in the authors' experiments and is not
+/// used.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_MUTATION_H
+#define CA2A_GA_MUTATION_H
+
+#include "agent/Genome.h"
+#include "support/Rng.h"
+
+namespace ca2a {
+
+/// Per-field mutation probabilities.
+struct MutationParams {
+  double PNextState = 0.18;
+  double PSetColor = 0.18;
+  double PMove = 0.18;
+  double PTurn = 0.18;
+
+  static MutationParams uniform(double P) { return {P, P, P, P}; }
+};
+
+/// Returns a mutated copy of \p G.
+Genome mutate(const Genome &G, const MutationParams &Params, Rng &R);
+
+/// Number of fields in which two genomes differ (0..4 per slot); a cheap
+/// genotype distance used in tests and diversity reporting.
+int genomeDistance(const Genome &A, const Genome &B);
+
+} // namespace ca2a
+
+#endif // CA2A_GA_MUTATION_H

@@ -1,0 +1,111 @@
+//===- ga/Pipeline.cpp - The paper's full selection pipeline --------------===//
+
+#include "ga/Pipeline.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+int PipelineResult::numReliable() const {
+  int Count = 0;
+  for (const RankedCandidate &C : Candidates)
+    Count += C.reliable() ? 1 : 0;
+  return Count;
+}
+
+PipelineResult ca2a::runSelectionPipeline(
+    const Torus &T, const PipelineParams &Params,
+    const std::function<void(const PipelineProgress &)> &OnProgress) {
+  assert(Params.NumRuns >= 1 && "need at least one optimisation run");
+  assert(Params.TopPerRun >= 1 && "need at least one candidate per run");
+
+  auto Emit = [&](PipelineProgress P) {
+    if (OnProgress)
+      OnProgress(P);
+  };
+
+  std::vector<InitialConfiguration> TrainingFields = standardConfigurationSet(
+      T, Params.TrainingAgents, Params.TrainingRandomFields,
+      Params.TrainingFieldSeed);
+
+  // Stage 1+2: independent runs, candidate extraction.
+  std::vector<RankedCandidate> Candidates;
+  for (int Run = 0; Run != Params.NumRuns; ++Run) {
+    PipelineProgress Start;
+    Start.S = PipelineProgress::Stage::RunStarted;
+    Start.Run = Run;
+    Emit(Start);
+
+    EvolutionParams RunParams = Params.Evolution;
+    RunParams.Seed = Params.Evolution.Seed * 6364136223846793005ULL +
+                     static_cast<uint64_t>(Run) + 1;
+    Evolution E(T, TrainingFields, RunParams);
+    E.run(Params.Generations, [&](const GenerationStats &Stats) {
+      PipelineProgress P;
+      P.S = PipelineProgress::Stage::Generation;
+      P.Run = Run;
+      P.Generation = Stats;
+      Emit(P);
+    });
+
+    // Extract the top completely successful individuals in *sorted* order
+    // (the pool order carries the diversity exchange, which is a breeding
+    // device, not a ranking).
+    std::vector<Individual> Sorted(E.population().begin(),
+                                   E.population().end());
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const Individual &A, const Individual &B) {
+                       return A.Fitness < B.Fitness;
+                     });
+    int Taken = 0;
+    for (const Individual &Ind : Sorted) {
+      if (Taken == Params.TopPerRun)
+        break;
+      if (!Ind.CompletelySuccessful)
+        continue;
+      // Deduplicate across runs: identical genomes get one candidacy.
+      bool Duplicate = false;
+      for (const RankedCandidate &C : Candidates)
+        Duplicate |= (C.G == Ind.G);
+      if (Duplicate)
+        continue;
+      RankedCandidate C;
+      C.G = Ind.G;
+      C.SourceRun = Run;
+      C.TrainingFitness = Ind.Fitness;
+      Candidates.push_back(std::move(C));
+      ++Taken;
+    }
+    PipelineProgress Done;
+    Done.S = PipelineProgress::Stage::RunFinished;
+    Done.Run = Run;
+    Emit(Done);
+  }
+
+  // Stage 3: reliability filter.
+  for (size_t I = 0; I != Candidates.size(); ++I) {
+    Candidates[I].Report = testReliability(Candidates[I].G, T,
+                                           Params.Reliability);
+    PipelineProgress P;
+    P.S = PipelineProgress::Stage::CandidateTested;
+    P.CandidateIndex = static_cast<int>(I);
+    P.CandidateReliable = Candidates[I].reliable();
+    Emit(P);
+  }
+
+  // Stage 4: ranking — reliable candidates by total mean time, then the
+  // rest by training fitness.
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const RankedCandidate &A, const RankedCandidate &B) {
+                     if (A.reliable() != B.reliable())
+                       return A.reliable();
+                     if (A.reliable())
+                       return A.Report.totalMeanCommTime() <
+                              B.Report.totalMeanCommTime();
+                     return A.TrainingFitness < B.TrainingFitness;
+                   });
+
+  PipelineResult Result;
+  Result.Candidates = std::move(Candidates);
+  return Result;
+}

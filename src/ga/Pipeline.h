@@ -1,0 +1,90 @@
+//===- ga/Pipeline.h - The paper's full selection pipeline ------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete FSM-selection procedure of Sect. 4:
+///
+///   1. run \p NumRuns independent optimisation runs (different seeds) on
+///      the training set (paper: four runs, 1003 fields, 8 agents, 16x16),
+///   2. extract the top \p TopPerRun *completely successful* FSMs from
+///      each run's final pool (paper: 3 each, 12 candidates total),
+///   3. reliability-test every candidate across all agent counts
+///      (paper: {2, 4, 8, 16, 32, 256}, 1003 fields each),
+///   4. keep candidates completely successful everywhere and rank them by
+///      total communication time; the best becomes "the best found FSM".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_PIPELINE_H
+#define CA2A_GA_PIPELINE_H
+
+#include "ga/Evolution.h"
+#include "ga/Reliability.h"
+
+#include <functional>
+#include <vector>
+
+namespace ca2a {
+
+/// Knobs of the full pipeline.
+struct PipelineParams {
+  int NumRuns = 4;     ///< Independent optimisation runs.
+  int TopPerRun = 3;   ///< Completely successful FSMs taken per run.
+  int Generations = 100;
+  int TrainingAgents = 8;
+  int TrainingRandomFields = 1000; ///< Plus the 3 manual designs.
+  uint64_t TrainingFieldSeed = 20130101;
+  EvolutionParams Evolution;    ///< Seed is re-derived per run.
+  ReliabilityParams Reliability;
+};
+
+/// One candidate after the reliability stage.
+struct RankedCandidate {
+  Genome G;
+  int SourceRun = 0;            ///< Which optimisation run produced it.
+  double TrainingFitness = 0.0; ///< Fitness on the training set.
+  ReliabilityReport Report;     ///< Cross-density results.
+
+  bool reliable() const { return Report.completelySuccessful(); }
+};
+
+/// Pipeline outcome: candidates ranked best-first.
+struct PipelineResult {
+  /// Reliable candidates first (by total mean communication time), then
+  /// the unreliable ones (by training fitness).
+  std::vector<RankedCandidate> Candidates;
+
+  bool hasWinner() const {
+    return !Candidates.empty() && Candidates.front().reliable();
+  }
+  const RankedCandidate &winner() const {
+    assert(hasWinner() && "no reliable candidate survived the filter");
+    return Candidates.front();
+  }
+  int numReliable() const;
+};
+
+/// Progress events emitted by runSelectionPipeline.
+struct PipelineProgress {
+  enum class Stage { RunStarted, Generation, RunFinished, CandidateTested };
+  Stage S = Stage::RunStarted;
+  int Run = 0;
+  GenerationStats Generation;      ///< Valid for Stage::Generation.
+  int CandidateIndex = 0;          ///< Valid for Stage::CandidateTested.
+  bool CandidateReliable = false;  ///< Valid for Stage::CandidateTested.
+};
+
+/// Runs the whole pipeline on \p T. \p OnProgress may be empty.
+PipelineResult
+runSelectionPipeline(const Torus &T, const PipelineParams &Params,
+                     const std::function<void(const PipelineProgress &)>
+                         &OnProgress = {});
+
+} // namespace ca2a
+
+#endif // CA2A_GA_PIPELINE_H

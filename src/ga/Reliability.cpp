@@ -1,0 +1,50 @@
+//===- ga/Reliability.cpp - Cross-density reliability testing -------------===//
+
+#include "ga/Reliability.h"
+
+using namespace ca2a;
+
+bool ReliabilityReport::completelySuccessful() const {
+  if (Rows.empty())
+    return false;
+  for (const ReliabilityRow &Row : Rows)
+    if (!Row.completelySuccessful())
+      return false;
+  return true;
+}
+
+double ReliabilityReport::totalMeanCommTime() const {
+  double Total = 0.0;
+  for (const ReliabilityRow &Row : Rows)
+    Total += Row.MeanCommTime;
+  return Total;
+}
+
+ReliabilityReport ca2a::testReliability(const Genome &G, const Torus &T,
+                                        const ReliabilityParams &Params) {
+  ReliabilityReport Report;
+  for (int NumAgents : Params.AgentCounts) {
+    assert(NumAgents >= 1 && NumAgents <= T.numCells() &&
+           "agent count exceeds field capacity");
+    std::vector<InitialConfiguration> Fields;
+    if (NumAgents == T.numCells()) {
+      // Fully packed: positions are forced; the only degree of freedom is
+      // direction, which cannot matter (nobody can move). One field.
+      Fields.push_back(packedConfiguration(T));
+    } else {
+      // Derive a per-density seed so densities get independent fields but
+      // the whole sweep stays reproducible.
+      uint64_t Seed = Params.FieldSeed + static_cast<uint64_t>(NumAgents);
+      Fields = standardConfigurationSet(T, NumAgents, Params.NumRandomFields,
+                                        Seed);
+    }
+    FitnessResult Result = evaluateFitness(G, T, Fields, Params.Fitness);
+    ReliabilityRow Row;
+    Row.NumAgents = NumAgents;
+    Row.NumFields = Result.NumFields;
+    Row.SolvedFields = Result.SolvedFields;
+    Row.MeanCommTime = Result.MeanCommTime;
+    Report.Rows.push_back(Row);
+  }
+  return Report;
+}

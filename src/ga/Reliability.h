@@ -1,0 +1,64 @@
+//===- ga/Reliability.h - Cross-density reliability testing -----*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's FSM selection filter (Sect. 4): candidate FSMs evolved at
+/// one density (8 agents) are re-tested at N_agents in {2, 4, 8, 16, 32,
+/// 256}, each on the standard 1000-random-plus-manual configuration set;
+/// only FSMs *completely successful* on every set are kept and ranked by
+/// total communication time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_RELIABILITY_H
+#define CA2A_GA_RELIABILITY_H
+
+#include "ga/Fitness.h"
+
+#include <vector>
+
+namespace ca2a {
+
+/// Result for one agent count.
+struct ReliabilityRow {
+  int NumAgents = 0;
+  int NumFields = 0;
+  int SolvedFields = 0;
+  double MeanCommTime = 0.0; ///< Over solved fields.
+
+  bool completelySuccessful() const {
+    return NumFields > 0 && SolvedFields == NumFields;
+  }
+};
+
+/// Aggregate over all tested densities.
+struct ReliabilityReport {
+  std::vector<ReliabilityRow> Rows;
+
+  bool completelySuccessful() const;
+  /// Sum of the per-density mean times: the paper's ranking criterion.
+  double totalMeanCommTime() const;
+};
+
+/// Agent-count sweep parameters.
+struct ReliabilityParams {
+  std::vector<int> AgentCounts = {2, 4, 8, 16, 32, 256};
+  int NumRandomFields = 1000; ///< Plus manual designs where placeable.
+  uint64_t FieldSeed = 20130101;
+  FitnessParams Fitness;
+};
+
+/// Tests \p G at every density in \p Params on fresh standard sets. The
+/// packed density (NumAgents == number of cells) replaces the random set
+/// with the single fully packed configuration (there is only one).
+ReliabilityReport testReliability(const Genome &G, const Torus &T,
+                                  const ReliabilityParams &Params);
+
+} // namespace ca2a
+
+#endif // CA2A_GA_RELIABILITY_H

@@ -1,0 +1,87 @@
+//===- grid/Direction.cpp - Direction and turn algebra --------------------===//
+
+#include "grid/Direction.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace ca2a;
+
+const char *ca2a::gridKindName(GridKind Kind) {
+  return Kind == GridKind::Square ? "S" : "T";
+}
+
+bool ca2a::parseGridKind(const std::string &Text, GridKind &Kind) {
+  std::string Lower;
+  Lower.reserve(Text.size());
+  for (char C : Text)
+    Lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  if (Lower == "s" || Lower == "square") {
+    Kind = GridKind::Square;
+    return true;
+  }
+  if (Lower == "t" || Lower == "triangulate" || Lower == "triangular") {
+    Kind = GridKind::Triangulate;
+    return true;
+  }
+  return false;
+}
+
+char ca2a::turnLetter(Turn T) {
+  switch (T) {
+  case Turn::Straight:
+    return 'S';
+  case Turn::Right:
+    return 'R';
+  case Turn::Back:
+    return 'B';
+  case Turn::Left:
+    return 'L';
+  }
+  assert(false && "invalid turn code");
+  return '?';
+}
+
+bool ca2a::parseTurnLetter(char C, Turn &T) {
+  switch (std::toupper(static_cast<unsigned char>(C))) {
+  case 'S':
+    T = Turn::Straight;
+    return true;
+  case 'R':
+    T = Turn::Right;
+    return true;
+  case 'B':
+    T = Turn::Back;
+    return true;
+  case 'L':
+    T = Turn::Left;
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint8_t ca2a::applyTurn(GridKind Kind, uint8_t Direction, Turn T) {
+  int Dirs = numDirections(Kind);
+  assert(Direction < Dirs && "direction index out of range");
+  int Code = static_cast<int>(T);
+  if (Kind == GridKind::Square)
+    return static_cast<uint8_t>((Direction + Code) % 4);
+  // T-grid: codes {0,1,2,3} map to direction increments {0,1,3,5}
+  // (0°, +60°, 180°, -60°); ±120° is not reachable by design.
+  static constexpr int TriangulateIncrement[NumTurnCodes] = {0, 1, 3, 5};
+  return static_cast<uint8_t>((Direction + TriangulateIncrement[Code]) % Dirs);
+}
+
+char ca2a::directionGlyph(GridKind Kind, uint8_t Direction) {
+  assert(Direction < numDirections(Kind) && "direction index out of range");
+  if (Kind == GridKind::Square) {
+    // Ring order E, N, W, S.
+    static constexpr char Glyphs[4] = {'>', '^', '<', 'v'};
+    return Glyphs[Direction];
+  }
+  // Ring order E, NE, N, W, SW, S (skewed axial coordinates).
+  static constexpr char Glyphs[6] = {'>', '/', '^', '<', '\\', 'v'};
+  return Glyphs[Direction];
+}

@@ -1,0 +1,74 @@
+//===- grid/Direction.h - Direction and turn algebra ------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Moving directions and the paper's turn action for both grids.
+///
+/// S-grid agents have four directions (90° apart), T-grid agents six (60°
+/// apart). The FSM's turn action is a 2-bit code in both topologies:
+///
+///   * S-grid: turn code t in {0,1,2,3} adds t * 90° -> direction += t mod 4.
+///   * T-grid: turn code t maps to direction increments {0, 1, 3, 5} mod 6
+///     (0°, +60°, 180°, -60°); the ±120° turns are deliberately excluded so
+///     the S- and T-agents have the same action-set cardinality (Sect. 3).
+///
+/// Directions are plain uint8_t indices into the topology's neighbour
+/// offset ring; this header fixes the ring order and provides arrow glyphs
+/// for the Fig. 6/7 style ASCII renderings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GRID_DIRECTION_H
+#define CA2A_GRID_DIRECTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace ca2a {
+
+/// Grid topology selector; the paper's "S" and "T".
+enum class GridKind : uint8_t {
+  Square,      ///< 4-valent torus, von Neumann links.
+  Triangulate, ///< 6-valent torus, von Neumann links + NW-SE diagonals.
+};
+
+/// Human-readable "S" / "T" label.
+const char *gridKindName(GridKind Kind);
+
+/// Parses "S"/"square" or "T"/"triangulate" (case-insensitive).
+bool parseGridKind(const std::string &Text, GridKind &Kind);
+
+/// Number of moving directions (= node degree): 4 in S, 6 in T.
+constexpr int numDirections(GridKind Kind) {
+  return Kind == GridKind::Square ? 4 : 6;
+}
+
+/// Number of distinct turn codes in the FSM action alphabet (both grids).
+constexpr int NumTurnCodes = 4;
+
+/// The paper's mnemonic turn alphabet: Straight, Right, Back, Left.
+/// (The letters name code values; the S-grid geometric mapping is
+/// 0°, +90°, 180°, -90°, the T-grid mapping 0°, +60°, 180°, -60°.)
+enum class Turn : uint8_t { Straight = 0, Right = 1, Back = 2, Left = 3 };
+
+/// One-letter name used in action mnemonics such as "Rm1".
+char turnLetter(Turn T);
+
+/// Parses 'S'/'R'/'B'/'L' into a Turn.
+bool parseTurnLetter(char C, Turn &T);
+
+/// Applies turn code \p T to \p Direction in topology \p Kind and returns
+/// the new direction index.
+uint8_t applyTurn(GridKind Kind, uint8_t Direction, Turn T);
+
+/// Arrow glyph for rendering: S uses > ^ < v; T uses its six-ring glyphs.
+char directionGlyph(GridKind Kind, uint8_t Direction);
+
+} // namespace ca2a
+
+#endif // CA2A_GRID_DIRECTION_H

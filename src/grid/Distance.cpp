@@ -1,0 +1,89 @@
+//===- grid/Distance.cpp - Torus distances and graph metrics --------------===//
+
+#include "grid/Distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+
+using namespace ca2a;
+
+int ca2a::hexOffsetDistance(int Dx, int Dy) {
+  // One NE/SW diagonal step changes both coordinates by the same sign, so
+  // offsets whose components agree in sign cost max(|dx|, |dy|); otherwise
+  // every step fixes only one coordinate and the cost is |dx| + |dy|.
+  if ((Dx >= 0) == (Dy >= 0))
+    return std::max(std::abs(Dx), std::abs(Dy));
+  return std::abs(Dx) + std::abs(Dy);
+}
+
+int ca2a::squareDistance(const Torus &T, Coord A, Coord B) {
+  int M = T.sideLength();
+  int Dx = T.wrap(B.X - A.X);
+  int Dy = T.wrap(B.Y - A.Y);
+  return std::min(Dx, M - Dx) + std::min(Dy, M - Dy);
+}
+
+int ca2a::triangulateDistance(const Torus &T, Coord A, Coord B) {
+  int M = T.sideLength();
+  int Dx = T.wrap(B.X - A.X);
+  int Dy = T.wrap(B.Y - A.Y);
+  // Minimise the hexagonal offset distance over the wrapped representatives
+  // of each component. Unlike the per-axis Manhattan case the two axes
+  // interact through the shared-sign rule, so all nine combinations are
+  // tried (this is a verification path, not the simulation hot path).
+  int Best = Dx + Dy + 2 * M; // Upper bound.
+  for (int Wx = -1; Wx <= 1; ++Wx)
+    for (int Wy = -1; Wy <= 1; ++Wy)
+      Best = std::min(Best, hexOffsetDistance(Dx + Wx * M, Dy + Wy * M));
+  return Best;
+}
+
+int ca2a::gridDistance(const Torus &T, Coord A, Coord B) {
+  return T.kind() == GridKind::Square ? squareDistance(T, A, B)
+                                      : triangulateDistance(T, A, B);
+}
+
+std::vector<int> ca2a::bfsDistances(const Torus &T, int Source) {
+  std::vector<int> Distance(static_cast<size_t>(T.numCells()), -1);
+  std::deque<int> Queue;
+  Distance[static_cast<size_t>(Source)] = 0;
+  Queue.push_back(Source);
+  int Degree = T.degree();
+  while (!Queue.empty()) {
+    int Cell = Queue.front();
+    Queue.pop_front();
+    const int32_t *Neighbors = T.neighbors(Cell);
+    for (int D = 0; D != Degree; ++D) {
+      int Next = Neighbors[D];
+      if (Distance[static_cast<size_t>(Next)] < 0) {
+        Distance[static_cast<size_t>(Next)] =
+            Distance[static_cast<size_t>(Cell)] + 1;
+        Queue.push_back(Next);
+      }
+    }
+  }
+  return Distance;
+}
+
+int ca2a::eccentricity(const Torus &T, int Source) {
+  std::vector<int> Distance = bfsDistances(T, Source);
+  return *std::max_element(Distance.begin(), Distance.end());
+}
+
+int ca2a::diameterByScan(const Torus &T) {
+  // Both tori are vertex-transitive, so one source suffices.
+  Coord Origin{0, 0};
+  int Best = 0;
+  for (int Index = 0; Index != T.numCells(); ++Index)
+    Best = std::max(Best, gridDistance(T, Origin, T.coordOf(Index)));
+  return Best;
+}
+
+double ca2a::meanDistanceByScan(const Torus &T) {
+  Coord Origin{0, 0};
+  long long Sum = 0;
+  for (int Index = 0; Index != T.numCells(); ++Index)
+    Sum += gridDistance(T, Origin, T.coordOf(Index));
+  return static_cast<double>(Sum) / static_cast<double>(T.numCells());
+}

@@ -1,0 +1,68 @@
+//===- grid/Distance.h - Torus distances and graph metrics ------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shortest-path distances on the cyclic S- and T-grids.
+///
+/// The S-grid uses the torus Manhattan distance; the T-grid the "hexagonal"
+/// distance of Désérable's hexavalent tori: for an offset (dx, dy) in the
+/// skewed axial system, one diagonal step advances both coordinates at
+/// once, so the step count is max(|dx|, |dy|) when dx and dy share a sign
+/// and |dx| + |dy| otherwise. On the torus both metrics minimise over the
+/// wrapped representatives of the offset.
+///
+/// A plain BFS over the neighbour table is provided as the reference
+/// implementation: the closed forms are tested against it, and it also
+/// serves the flooding-time properties of the simulation tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GRID_DISTANCE_H
+#define CA2A_GRID_DISTANCE_H
+
+#include "grid/Topology.h"
+
+#include <vector>
+
+namespace ca2a {
+
+/// Hop distance between wrapped offset components on a cycle of length M:
+/// min(|d|, M - |d|) with the sign of the shorter representative retained
+/// is handled by the callers; this helper returns the *set* of candidate
+/// representatives {d, d - M, d + M} reduced to the two shortest.
+///
+/// Torus Manhattan (S-grid) distance between two cells.
+int squareDistance(const Torus &T, Coord A, Coord B);
+
+/// Torus hexagonal (T-grid) distance between two cells.
+int triangulateDistance(const Torus &T, Coord A, Coord B);
+
+/// Dispatches on T.kind().
+int gridDistance(const Torus &T, Coord A, Coord B);
+
+/// Hexagonal distance of a plain (non-torus) offset in axial coordinates.
+int hexOffsetDistance(int Dx, int Dy);
+
+/// BFS distances from \p Source (flat index) to every cell; reference
+/// implementation for the closed forms above.
+std::vector<int> bfsDistances(const Torus &T, int Source);
+
+/// Maximum distance from \p Source (graph eccentricity). By vertex
+/// transitivity this equals the diameter for any source.
+int eccentricity(const Torus &T, int Source);
+
+/// Graph diameter via the closed-form distance from cell 0.
+int diameterByScan(const Torus &T);
+
+/// Mean distance from a cell to all N cells (including itself, which
+/// contributes 0) — the normalisation used by the paper's Eq. (2).
+double meanDistanceByScan(const Torus &T);
+
+} // namespace ca2a
+
+#endif // CA2A_GRID_DISTANCE_H

@@ -1,0 +1,51 @@
+//===- grid/Formulas.cpp - Closed-form network parameters -----------------===//
+
+#include "grid/Formulas.h"
+
+#include <cassert>
+
+using namespace ca2a;
+
+static int sideLengthOf(int SizeExponent) {
+  assert(SizeExponent >= 1 && SizeExponent < 16 && "unreasonable grid size");
+  return 1 << SizeExponent;
+}
+
+int ca2a::squareDiameter(int SizeExponent) {
+  return sideLengthOf(SizeExponent);
+}
+
+int ca2a::triangulateDiameter(int SizeExponent) {
+  int SqrtN = sideLengthOf(SizeExponent);
+  int Eps = SizeExponent % 2; // 1 for odd n, 0 for even n.
+  return (2 * (SqrtN - 1) + Eps) / 3;
+}
+
+double ca2a::squareMeanDistance(int SizeExponent) {
+  return sideLengthOf(SizeExponent) / 2.0;
+}
+
+double ca2a::triangulateMeanDistance(int SizeExponent) {
+  double SqrtN = sideLengthOf(SizeExponent);
+  return (7.0 * SqrtN / 3.0 - 1.0 / SqrtN) / 6.0;
+}
+
+int ca2a::analyticDiameter(GridKind Kind, int SizeExponent) {
+  return Kind == GridKind::Square ? squareDiameter(SizeExponent)
+                                  : triangulateDiameter(SizeExponent);
+}
+
+double ca2a::analyticMeanDistance(GridKind Kind, int SizeExponent) {
+  return Kind == GridKind::Square ? squareMeanDistance(SizeExponent)
+                                  : triangulateMeanDistance(SizeExponent);
+}
+
+double ca2a::diameterRatio(int SizeExponent) {
+  return static_cast<double>(triangulateDiameter(SizeExponent)) /
+         static_cast<double>(squareDiameter(SizeExponent));
+}
+
+double ca2a::meanDistanceRatio(int SizeExponent) {
+  return triangulateMeanDistance(SizeExponent) /
+         squareMeanDistance(SizeExponent);
+}

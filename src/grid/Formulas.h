@@ -1,0 +1,53 @@
+//===- grid/Formulas.h - Closed-form network parameters ---------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Eqs. (1)-(3): diameter and mean distance of the size-n tori
+/// (M = 2^n, N = M^2) and the T/S ratios. These are the analytic baselines
+/// that bench_topology compares against scans of the actual graphs (Fig. 2
+/// reproduction), and that the 256-agent column of Table 1 is checked
+/// against (t_comm = D - 1 on a fully packed field).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GRID_FORMULAS_H
+#define CA2A_GRID_FORMULAS_H
+
+#include "grid/Direction.h"
+
+namespace ca2a {
+
+/// Diameter of the size-n S-grid: D_n^S = sqrt(N) = 2^n. (Eq. 1)
+int squareDiameter(int SizeExponent);
+
+/// Diameter of the size-n T-grid: D_n^T = (2(sqrt(N) - 1) + eps_n) / 3 with
+/// eps_n = 1 for odd n, 0 for even n. (Eq. 1)
+int triangulateDiameter(int SizeExponent);
+
+/// Mean distance of the size-n S-grid: sqrt(N) / 2. (Eq. 2)
+double squareMeanDistance(int SizeExponent);
+
+/// Mean distance of the size-n T-grid:
+/// approx (1/6) * (7 sqrt(N) / 3 - 1 / sqrt(N)). (Eq. 2)
+double triangulateMeanDistance(int SizeExponent);
+
+/// Diameter by kind.
+int analyticDiameter(GridKind Kind, int SizeExponent);
+
+/// Mean distance by kind.
+double analyticMeanDistance(GridKind Kind, int SizeExponent);
+
+/// Asymptotic diameter ratio D^{T/S} ~ 2/3 ~ 0.666. (Eq. 3)
+double diameterRatio(int SizeExponent);
+
+/// Asymptotic mean-distance ratio ~ 7/9 ~ 0.775. (Eq. 3)
+double meanDistanceRatio(int SizeExponent);
+
+} // namespace ca2a
+
+#endif // CA2A_GRID_FORMULAS_H

@@ -1,0 +1,34 @@
+//===- grid/Topology.cpp - Cyclic S- and T-grid tori ----------------------===//
+
+#include "grid/Topology.h"
+
+using namespace ca2a;
+
+// Ring order is fixed by Direction.h: the offset at index d is the offset at
+// index d-1 rotated by one step (90° in S, 60° in T). In the T-grid's skewed
+// axial coordinates the six unit steps are E, NE, N, W, SW, S; the NE/SW
+// pair is the paper's additional NW-SE *link* diagonal drawn in the XY
+// labelling of Fig. 1 ((x+1, y+1) and (x-1, y-1)).
+static constexpr Coord SquareOffsets[4] = {
+    {+1, 0}, {0, +1}, {-1, 0}, {0, -1}};
+static constexpr Coord TriangulateOffsets[6] = {
+    {+1, 0}, {+1, +1}, {0, +1}, {-1, 0}, {-1, -1}, {0, -1}};
+
+Torus::Torus(GridKind Kind, int SideLength)
+    : Kind(Kind), SideLength(SideLength) {
+  assert(SideLength >= 2 && "torus needs at least two cells per side");
+  int Degree = degree();
+  NeighborTable.resize(static_cast<size_t>(numCells()) * Degree);
+  for (int Index = 0; Index != numCells(); ++Index) {
+    Coord C = coordOf(Index);
+    for (int D = 0; D != Degree; ++D)
+      NeighborTable[static_cast<size_t>(Index) * Degree + D] =
+          indexOf(neighbor(C, static_cast<uint8_t>(D)));
+  }
+}
+
+Coord Torus::directionOffset(uint8_t Direction) const {
+  assert(Direction < degree() && "direction out of range");
+  return Kind == GridKind::Square ? SquareOffsets[Direction]
+                                  : TriangulateOffsets[Direction];
+}

@@ -1,0 +1,127 @@
+//===- grid/Topology.h - Cyclic S- and T-grid tori --------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two cyclic grid networks of Sect. 2:
+///
+///   * S-grid: nodes (x, y), x, y in Z_M, linked to (x±1, y), (x, y±1)
+///     (4-valent torus, 2N links).
+///   * T-grid: the S-grid links plus the NW-SE diagonals (x-1, y-1) and
+///     (x+1, y+1) (6-valent torus, 3N links).
+///
+/// The paper uses M = 2^n for the closed-form diameter/mean-distance
+/// formulas, but the CA itself only needs a cyclic M x M field; this class
+/// supports arbitrary M >= 2 (the Sect. 5 scaling check uses M = 33).
+///
+/// Cells are addressed either as (x, y) coordinates or as a flat index
+/// y * M + x; the flat index is what the simulation engine uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GRID_TOPOLOGY_H
+#define CA2A_GRID_TOPOLOGY_H
+
+#include "grid/Direction.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ca2a {
+
+/// A cell position in XY coordinates (origin at the lower-left, y up).
+struct Coord {
+  int X = 0;
+  int Y = 0;
+
+  bool operator==(const Coord &Other) const {
+    return X == Other.X && Y == Other.Y;
+  }
+  bool operator!=(const Coord &Other) const { return !(*this == Other); }
+};
+
+/// An M x M cyclic grid of the given kind, with direction-indexed
+/// neighbour access.
+class Torus {
+public:
+  /// Creates an \p SideLength x \p SideLength torus. \p SideLength >= 2.
+  Torus(GridKind Kind, int SideLength);
+
+  GridKind kind() const { return Kind; }
+  int sideLength() const { return SideLength; }
+  /// Number of nodes N = M^2.
+  int numCells() const { return SideLength * SideLength; }
+  /// Node degree: 4 in S, 6 in T.
+  int degree() const { return numDirections(Kind); }
+  /// Number of undirected links: 2N in S, 3N in T (Sect. 2).
+  int numLinks() const { return numCells() * degree() / 2; }
+
+  /// Wraps any integer coordinate into [0, M).
+  int wrap(int Value) const {
+    int M = SideLength;
+    int R = Value % M;
+    return R < 0 ? R + M : R;
+  }
+
+  /// Flat index of a (wrapped) coordinate.
+  int indexOf(Coord C) const { return wrap(C.Y) * SideLength + wrap(C.X); }
+
+  /// Coordinate of a flat index.
+  Coord coordOf(int Index) const {
+    assert(Index >= 0 && Index < numCells() && "cell index out of range");
+    return Coord{Index % SideLength, Index / SideLength};
+  }
+
+  /// (dx, dy) offset of moving one step in \p Direction.
+  Coord directionOffset(uint8_t Direction) const;
+
+  /// Neighbour of \p C in \p Direction (wrapped).
+  Coord neighbor(Coord C, uint8_t Direction) const {
+    Coord D = directionOffset(Direction);
+    return Coord{wrap(C.X + D.X), wrap(C.Y + D.Y)};
+  }
+
+  /// Neighbour of flat index \p Index in \p Direction, as a flat index.
+  /// Precomputed; O(1) table lookup.
+  int neighborIndex(int Index, uint8_t Direction) const {
+    assert(Index >= 0 && Index < numCells() && "cell index out of range");
+    assert(Direction < degree() && "direction out of range");
+    return NeighborTable[static_cast<size_t>(Index) * degree() + Direction];
+  }
+
+  /// All neighbours of \p Index in ring order (degree() entries).
+  /// The returned pointer is into the precomputed table.
+  const int32_t *neighbors(int Index) const {
+    assert(Index >= 0 && Index < numCells() && "cell index out of range");
+    return &NeighborTable[static_cast<size_t>(Index) * degree()];
+  }
+
+  /// True when stepping from \p Index in \p Direction wraps around the
+  /// torus seam. In a *bordered* interpretation of the same field (the
+  /// easier environments of the authors' earlier studies, and this
+  /// paper's future-work list) such a step is impossible: the simulation
+  /// engine treats seam-crossing moves and exchanges as blocked when
+  /// borders are enabled.
+  bool crossesBoundary(int Index, uint8_t Direction) const {
+    assert(Index >= 0 && Index < numCells() && "cell index out of range");
+    assert(Direction < degree() && "direction out of range");
+    Coord C = coordOf(Index);
+    Coord D = directionOffset(Direction);
+    int X = C.X + D.X, Y = C.Y + D.Y;
+    return X < 0 || X >= SideLength || Y < 0 || Y >= SideLength;
+  }
+
+private:
+  GridKind Kind;
+  int SideLength;
+  std::vector<int32_t> NeighborTable;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_GRID_TOPOLOGY_H

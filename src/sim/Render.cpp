@@ -1,0 +1,78 @@
+//===- sim/Render.cpp - ASCII rendering of the CA field -------------------===//
+
+#include "sim/Render.h"
+
+#include "support/StringUtils.h"
+
+using namespace ca2a;
+
+std::string ca2a::renderAgentLayer(const World &W) {
+  const Torus &T = W.torus();
+  int M = T.sideLength();
+  std::string Out;
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      int Cell = T.indexOf(Coord{X, Y});
+      int Id = W.agentAt(Cell);
+      if (X != 0)
+        Out += ' ';
+      if (W.obstacleAt(Cell)) {
+        Out += " #";
+        continue;
+      }
+      if (Id < 0) {
+        Out += " .";
+        continue;
+      }
+      Out += directionGlyph(T.kind(), W.agent(Id).Direction);
+      Out += static_cast<char>('0' + Id % 10);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string ca2a::renderColorLayer(const World &W) {
+  const Torus &T = W.torus();
+  int M = T.sideLength();
+  std::string Out;
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      if (X != 0)
+        Out += ' ';
+      int Value = W.colorValueAt(T.indexOf(Coord{X, Y}));
+      Out += Value == 0 ? '.' : static_cast<char>('0' + Value);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string ca2a::renderVisitedLayer(const World &W) {
+  const Torus &T = W.torus();
+  int M = T.sideLength();
+  std::string Out;
+  for (int Y = M - 1; Y >= 0; --Y) {
+    for (int X = 0; X != M; ++X) {
+      if (X != 0)
+        Out += ' ';
+      int Count = W.visitCount(T.indexOf(Coord{X, Y}));
+      if (Count == 0)
+        Out += '.';
+      else if (Count <= 9)
+        Out += static_cast<char>('0' + Count);
+      else
+        Out += '*';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string ca2a::renderPanels(const World &W, const std::string &Title) {
+  std::string Out = Title + "\n";
+  Out += "agents:\n" + renderAgentLayer(W);
+  Out += "colors:\n" + renderColorLayer(W);
+  Out += "visited:\n" + renderVisitedLayer(W);
+  return Out;
+}

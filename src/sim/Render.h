@@ -1,0 +1,41 @@
+//===- sim/Render.h - ASCII rendering of the CA field -----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text renderings of a World in the style of the paper's Fig. 6 and 7:
+/// an agent layer (direction glyph + agent id), a colour layer, and a
+/// visited-count layer. Rows are printed top-down (highest y first), so
+/// the panels read like the figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_RENDER_H
+#define CA2A_SIM_RENDER_H
+
+#include "sim/World.h"
+
+#include <string>
+
+namespace ca2a {
+
+/// Agents as `<glyph><id>` pairs ("^0", ">12" truncates to last digit for
+/// ids > 9 to keep columns aligned); empty cells as " .".
+std::string renderAgentLayer(const World &W);
+
+/// Cell colours: '1' where set, '.' where clear.
+std::string renderColorLayer(const World &W);
+
+/// Visit counts: '.', digits 1-9, '*' for 10+.
+std::string renderVisitedLayer(const World &W);
+
+/// The three layers with captions, like one column of Fig. 6/7.
+std::string renderPanels(const World &W, const std::string &Title);
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_RENDER_H

@@ -1,0 +1,80 @@
+//===- sim/Trace.cpp - Simulation snapshots and trajectories --------------===//
+
+#include "sim/Trace.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+static Snapshot captureSnapshot(const World &W, int Time) {
+  Snapshot S;
+  S.Time = Time;
+  int NumCells = W.torus().numCells();
+  S.Colors.resize(static_cast<size_t>(NumCells));
+  S.VisitCounts.resize(static_cast<size_t>(NumCells));
+  for (int Cell = 0; Cell != NumCells; ++Cell) {
+    S.Colors[static_cast<size_t>(Cell)] = W.colorAt(Cell) ? 1 : 0;
+    S.VisitCounts[static_cast<size_t>(Cell)] = W.visitCount(Cell);
+  }
+  S.Agents.reserve(static_cast<size_t>(W.numAgents()));
+  for (int Id = 0; Id != W.numAgents(); ++Id)
+    S.Agents.push_back(W.agent(Id));
+  return S;
+}
+
+TracedRun ca2a::runWithSnapshots(World &W, std::vector<int> Times) {
+  std::sort(Times.begin(), Times.end());
+  Times.erase(std::unique(Times.begin(), Times.end()), Times.end());
+
+  TracedRun Out;
+  int LastCaptured = -1;
+  Out.Result = W.run([&](const World &World, int Time) {
+    if (std::binary_search(Times.begin(), Times.end(), Time)) {
+      Out.Snapshots.push_back(captureSnapshot(World, Time));
+      LastCaptured = Time;
+    }
+  });
+  // Always capture the terminal state (the figures show the final panel).
+  if (LastCaptured != W.time())
+    Out.Snapshots.push_back(captureSnapshot(W, W.time()));
+  return Out;
+}
+
+std::vector<Trajectory>
+ca2a::recordTrajectories(World &W, SimResult &ResultOut) {
+  std::vector<Trajectory> Trajectories(
+      static_cast<size_t>(W.numAgents()));
+  ResultOut = W.run([&](const World &World, int) {
+    for (int Id = 0; Id != World.numAgents(); ++Id) {
+      Trajectory &Tr = Trajectories[static_cast<size_t>(Id)];
+      int32_t Cell = World.agent(Id).Cell;
+      if (Tr.empty() || Tr.back() != Cell)
+        Tr.push_back(Cell);
+    }
+  });
+  return Trajectories;
+}
+
+double
+ca2a::averageRevisitFraction(const std::vector<Trajectory> &Trajectories,
+                             int NumCells) {
+  if (Trajectories.empty())
+    return 0.0;
+  double Total = 0.0;
+  std::vector<uint8_t> Seen(static_cast<size_t>(NumCells));
+  for (const Trajectory &Tr : Trajectories) {
+    if (Tr.empty())
+      continue;
+    std::fill(Seen.begin(), Seen.end(), 0);
+    size_t Distinct = 0;
+    for (int32_t Cell : Tr) {
+      if (!Seen[static_cast<size_t>(Cell)]) {
+        Seen[static_cast<size_t>(Cell)] = 1;
+        ++Distinct;
+      }
+    }
+    Total += 1.0 - static_cast<double>(Distinct) /
+                       static_cast<double>(Tr.size());
+  }
+  return Total / static_cast<double>(Trajectories.size());
+}

@@ -1,0 +1,62 @@
+//===- sim/Trace.h - Simulation snapshots and trajectories ------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation machinery for simulations: raw field snapshots at chosen
+/// times (for the Fig. 6/7 panels) and per-agent trajectory recording (the
+/// "agents build streets / honeycombs" analysis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_TRACE_H
+#define CA2A_SIM_TRACE_H
+
+#include "sim/World.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// One captured field state.
+struct Snapshot {
+  int Time = 0;
+  std::vector<uint8_t> Colors;      ///< Per-cell colour bit.
+  std::vector<int> VisitCounts;     ///< Per-cell entry count.
+  std::vector<AgentState> Agents;   ///< Full agent states (comm included).
+};
+
+/// Result of runWithSnapshots: the simulation outcome plus the captures.
+struct TracedRun {
+  SimResult Result;
+  std::vector<Snapshot> Snapshots;
+};
+
+/// Runs \p W (already reset) to completion, capturing a Snapshot at every
+/// time listed in \p Times and always at the final (solved or cut-off)
+/// step. Times beyond the run's length are ignored; duplicates are taken
+/// once.
+TracedRun runWithSnapshots(World &W, std::vector<int> Times);
+
+/// Per-agent sequence of visited cells (flat indices), including the start
+/// cell; index 0 is time 0.
+using Trajectory = std::vector<int32_t>;
+
+/// Runs \p W (already reset) to completion recording every agent's
+/// trajectory.
+std::vector<Trajectory> recordTrajectories(World &W, SimResult &ResultOut);
+
+/// Fraction of distinct cells an agent revisited, averaged over agents:
+/// 1 - (#distinct cells / trajectory length). High reuse is the "streets"
+/// phenomenon of Fig. 6.
+double averageRevisitFraction(const std::vector<Trajectory> &Trajectories,
+                              int NumCells);
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_TRACE_H

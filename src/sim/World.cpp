@@ -1,0 +1,222 @@
+//===- sim/World.cpp - Synchronous CA multi-agent engine ------------------===//
+
+#include "sim/World.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+World::World(const Torus &T) : T(T) {
+  Colors.resize(static_cast<size_t>(T.numCells()), 0);
+  Occupancy.resize(static_cast<size_t>(T.numCells()), -1);
+  VisitCounts.resize(static_cast<size_t>(T.numCells()), 0);
+  ObstacleMask.resize(static_cast<size_t>(T.numCells()), 0);
+  ClaimMinId.resize(static_cast<size_t>(T.numCells()), -1);
+}
+
+void World::reset(const Genome &G, const std::vector<Placement> &Placements,
+                  const SimOptions &Opts) {
+  reset(G, G, GenomePolicy::Single, Placements, Opts);
+}
+
+void World::reset(const Genome &A, const Genome &B, GenomePolicy NewPolicy,
+                  const std::vector<Placement> &Placements,
+                  const SimOptions &Opts) {
+  assert(!Placements.empty() && "need at least one agent");
+  assert(Placements.size() <= static_cast<size_t>(T.numCells()) &&
+         "more agents than cells");
+  assert(A.dims() == B.dims() && "mixed genome dimensions in one world");
+  assert(Opts.Start.M != StartStates::Mode::Uniform ||
+         Opts.Start.UniformValue < A.dims().States);
+  GenomeA = A;
+  GenomeB = B;
+  Policy = NewPolicy;
+  WasReset = true;
+  Options = Opts;
+  Time = 0;
+
+  std::fill(ObstacleMask.begin(), ObstacleMask.end(), 0);
+  for (Coord Obstacle : Options.Obstacles)
+    ObstacleMask[static_cast<size_t>(T.indexOf(Obstacle))] = 1;
+
+  std::fill(Colors.begin(), Colors.end(), 0);
+  std::fill(Occupancy.begin(), Occupancy.end(), -1);
+  std::fill(VisitCounts.begin(), VisitCounts.end(), 0);
+  std::fill(ClaimMinId.begin(), ClaimMinId.end(), -1);
+  TouchedCells.clear();
+
+  size_t K = Placements.size();
+  Agents.assign(K, AgentState());
+  CommNext.assign(K, BitVector(K));
+  Decisions.assign(K, Decision());
+  for (size_t Id = 0; Id != K; ++Id) {
+    const Placement &P = Placements[Id];
+    AgentState &Agent = Agents[Id];
+    Agent.Cell = T.indexOf(P.Pos);
+    assert(P.Direction < T.degree() && "placement direction out of range");
+    Agent.Direction = P.Direction;
+    Agent.ControlState = Options.Start.stateFor(static_cast<int>(Id));
+    Agent.Comm = BitVector(K);
+    Agent.Comm.set(Id);
+    Agent.Informed = (K == 1);
+    assert(Occupancy[static_cast<size_t>(Agent.Cell)] < 0 &&
+           "two agents placed on one cell");
+    assert(!ObstacleMask[static_cast<size_t>(Agent.Cell)] &&
+           "agent placed on an obstacle");
+    Occupancy[static_cast<size_t>(Agent.Cell)] = static_cast<int16_t>(Id);
+    ++VisitCounts[static_cast<size_t>(Agent.Cell)];
+  }
+  NumInformed = (K == 1) ? 1 : 0;
+}
+
+void World::exchangeCommunication() {
+  // Synchronous OR with the von-Neumann neighbourhood: new vectors are
+  // computed from the pre-step vectors only, then swapped in. With borders
+  // enabled, adjacency across the wrap seam does not exist.
+  int Degree = T.degree();
+  size_t K = Agents.size();
+  for (size_t Id = 0; Id != K; ++Id) {
+    AgentState &A = Agents[Id];
+    BitVector &Next = CommNext[Id];
+    Next = A.Comm;
+    const int32_t *Neighbors = T.neighbors(A.Cell);
+    for (int D = 0; D != Degree; ++D) {
+      if (Options.Bordered &&
+          T.crossesBoundary(A.Cell, static_cast<uint8_t>(D)))
+        continue;
+      int NeighborAgent = Occupancy[static_cast<size_t>(Neighbors[D])];
+      if (NeighborAgent >= 0)
+        Next.orWith(Agents[static_cast<size_t>(NeighborAgent)].Comm);
+    }
+  }
+  NumInformed = 0;
+  for (size_t Id = 0; Id != K; ++Id) {
+    AgentState &A = Agents[Id];
+    std::swap(A.Comm, CommNext[Id]);
+    A.Informed = A.Comm.all();
+    if (A.Informed)
+      ++NumInformed;
+  }
+}
+
+void World::applyActions() {
+  assert(WasReset && "world not reset");
+  size_t K = Agents.size();
+
+  // Pass 1a: per-agent observations and move requests. A request is the
+  // FSM's move output under the hypothesis blocked = 0; it is what the
+  // cell's arbitration logic sees (Sect. 3).
+  TouchedCells.clear();
+  for (size_t Id = 0; Id != K; ++Id) {
+    AgentState &A = Agents[Id];
+    Decision &D = Decisions[Id];
+    D.FrontCell = T.neighborIndex(A.Cell, A.Direction);
+    int Color = Colors[static_cast<size_t>(A.Cell)];
+    // In bordered mode the cell beyond the seam does not exist; its colour
+    // reads as 0 rather than the wrapped cell's value.
+    int FrontColor =
+        (Options.Bordered && T.crossesBoundary(A.Cell, A.Direction))
+            ? 0
+            : Colors[static_cast<size_t>(D.FrontCell)];
+    int FreeInput =
+        GenomeA.dims().makeInput(/*Blocked=*/false, Color, FrontColor);
+    bool Requests = activeGenome(static_cast<int>(Id))
+                        .entry(FreeInput, A.ControlState)
+                        .Act.Move ||
+                    Options.Arbitration == ArbitrationMode::GazePriority;
+    if (Requests) {
+      int32_t &Claim = ClaimMinId[static_cast<size_t>(D.FrontCell)];
+      if (Claim < 0) {
+        Claim = static_cast<int32_t>(Id);
+        TouchedCells.push_back(D.FrontCell);
+      } else {
+        Claim = std::min(Claim, static_cast<int32_t>(Id));
+      }
+    }
+    // Stash the two colour bits; blocked is patched in below.
+    D.Input = static_cast<uint8_t>(FreeInput);
+  }
+
+  // Pass 1b: arbitration. canmove = front cell enterable (agent-free, not
+  // an obstacle, not across a border seam) AND no other requester with a
+  // lower ID claims the same cell.
+  for (size_t Id = 0; Id != K; ++Id) {
+    Decision &D = Decisions[Id];
+    const AgentState &A = Agents[Id];
+    bool FrontOccupied =
+        Occupancy[static_cast<size_t>(D.FrontCell)] >= 0 ||
+        ObstacleMask[static_cast<size_t>(D.FrontCell)] != 0 ||
+        (Options.Bordered && T.crossesBoundary(A.Cell, A.Direction));
+    int32_t Claim = ClaimMinId[static_cast<size_t>(D.FrontCell)];
+    bool LosesConflict = Claim >= 0 && Claim < static_cast<int32_t>(Id);
+    D.CanMove = !FrontOccupied && !LosesConflict;
+    if (!D.CanMove)
+      D.Input = static_cast<uint8_t>(D.Input | 1); // blocked bit.
+  }
+  for (int32_t Cell : TouchedCells)
+    ClaimMinId[static_cast<size_t>(Cell)] = -1;
+
+  // Pass 2: apply (setcolor, turn, move) simultaneously. All inputs were
+  // read in pass 1, so the write order is immaterial: colour writes go to
+  // distinct cells (one agent per cell) and movers' targets are distinct
+  // and empty pre-step.
+  for (size_t Id = 0; Id != K; ++Id) {
+    AgentState &A = Agents[Id];
+    const Decision &D = Decisions[Id];
+    const GenomeEntry &E =
+        activeGenome(static_cast<int>(Id)).entry(D.Input, A.ControlState);
+    if (Options.ColorsEnabled)
+      Colors[static_cast<size_t>(A.Cell)] = E.Act.SetColor;
+    A.ControlState = E.NextState;
+    A.Direction = applyTurn(T.kind(), A.Direction, E.Act.TurnCode);
+    if (E.Act.Move && D.CanMove) {
+      assert(Occupancy[static_cast<size_t>(D.FrontCell)] < 0 &&
+             "arbitration let two agents collide");
+      Occupancy[static_cast<size_t>(A.Cell)] = -1;
+      A.Cell = D.FrontCell;
+      Occupancy[static_cast<size_t>(A.Cell)] = static_cast<int16_t>(Id);
+      ++VisitCounts[static_cast<size_t>(A.Cell)];
+    }
+  }
+}
+
+World::Status World::step() {
+  return stepWithObserver({});
+}
+
+World::Status
+World::stepWithObserver(const std::function<void(const World &, int)> &OnStep) {
+  exchangeCommunication();
+  bool Solved = NumInformed == numAgents();
+  if (OnStep)
+    OnStep(*this, Time);
+  if (Solved) {
+    // time() stays at the index of the solving iteration: t_comm.
+    return Status::Solved;
+  }
+  applyActions();
+  ++Time;
+  return Status::Running;
+}
+
+SimResult World::run() {
+  return run(std::function<void(const World &, int)>());
+}
+
+SimResult World::run(const std::function<void(const World &, int)> &OnStep) {
+  assert(WasReset && "world not reset");
+  SimResult Result;
+  Result.NumAgents = numAgents();
+  for (int I = 0; I != Options.MaxSteps; ++I) {
+    if (stepWithObserver(OnStep) == Status::Solved) {
+      Result.Success = true;
+      Result.TComm = Time;
+      Result.InformedAgents = NumInformed;
+      return Result;
+    }
+  }
+  Result.Success = false;
+  Result.TComm = -1;
+  Result.InformedAgents = NumInformed;
+  return Result;
+}

@@ -1,0 +1,273 @@
+//===- sim/World.h - Synchronous CA multi-agent engine ----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cellular-automaton multi-agent system of Sect. 3.
+///
+/// One iteration ("step") at time t proceeds as:
+///
+///   1. Communication: every agent ORs into its communication vector the
+///      vectors of all agents on its nearest-neighbour cells (4 in S, 6 in
+///      T), synchronously from the pre-step values. (Transitive closure is
+///      NOT applied within a step: information travels one hop per step.)
+///   2. Success check: if every agent now holds the all-ones vector the
+///      task is solved and t_comm = t. The exchange at t = 0 — "the
+///      communication after the initial placement" — is therefore not
+///      counted, which makes the fully packed field cost exactly
+///      diameter - 1 steps, matching Table 1's N_agents = 256 column.
+///   3. Action: every agent evaluates its FSM and applies (setcolor, turn,
+///      move) simultaneously. The colour is written to the cell the agent
+///      occupies *before* moving.
+///
+/// Move arbitration (Sect. 3, "Conflicts"): an agent *requests* its front
+/// cell when its FSM would output move = 1 under the hypothesis blocked=0.
+/// The move condition `canmove` is true iff the front cell holds no agent
+/// (even one that is about to leave) and no *other requester* with a lower
+/// ID targets the same cell. The FSM input bit `blocked` is NOT canmove,
+/// and the action actually taken is the table entry for the true input.
+/// Because a mover's target is empty and uncontested pre-step, no two
+/// agents ever occupy one cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_WORLD_H
+#define CA2A_SIM_WORLD_H
+
+#include "agent/Genome.h"
+#include "grid/Topology.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ca2a {
+
+/// Where an agent starts: cell plus moving direction.
+struct Placement {
+  Coord Pos;
+  uint8_t Direction = 0;
+};
+
+/// Initial control-state assignment for the agents' FSMs.
+///
+/// The paper's reliability device (Sect. 4): uniform agents all starting in
+/// the same state can follow "parallel" trajectories that never intersect;
+/// starting even/odd IDs in states 0/1 breaks the symmetry.
+struct StartStates {
+  enum class Mode : uint8_t {
+    IdParity, ///< state = ID mod 2 (the paper's choice).
+    Uniform,  ///< every agent starts in UniformValue.
+  };
+
+  Mode M = Mode::IdParity;
+  uint8_t UniformValue = 0;
+
+  static StartStates idParity() { return StartStates{}; }
+  static StartStates uniform(uint8_t Value) {
+    // The genome's state count bounds the value; World::reset asserts
+    // against the actual dimensions (which may exceed the paper's 4).
+    assert(Value < 9 && "start state beyond any supported dimension");
+    return StartStates{Mode::Uniform, Value};
+  }
+
+  uint8_t stateFor(int AgentId) const {
+    return M == Mode::IdParity ? static_cast<uint8_t>(AgentId % 2)
+                               : UniformValue;
+  }
+};
+
+/// How FSMs are assigned to agents and steps when two genomes are given.
+///
+/// TimeShuffle reproduces the "time-shuffling (alternating two FSMs in
+/// time)" device of the authors' earlier S-grid work; SpeciesParity is the
+/// paper's reliability option 3 ("use different species (FSMs) of
+/// agents"). Both degenerate to Single when only one genome is supplied.
+enum class GenomePolicy : uint8_t {
+  Single,        ///< One FSM for every agent at every step.
+  TimeShuffle,   ///< FSM A on even steps, FSM B on odd steps.
+  SpeciesParity, ///< Even-ID agents run FSM A, odd-ID agents FSM B.
+};
+
+/// Which agents participate in a move conflict — the one point where the
+/// paper's prose is genuinely ambiguous (see DESIGN.md §5). Both readings
+/// are implemented so the reproduction can show its conclusions do not
+/// hinge on the choice (bench_semantics).
+enum class ArbitrationMode : uint8_t {
+  /// An agent claims its front cell only when its FSM would move under
+  /// the blocked=0 hypothesis ("move requests" seen by the cell's
+  /// arbitration logic). The default, used for all headline numbers.
+  RequestPriority,
+  /// Every agent claims the cell it faces, moving or not: a lower-ID
+  /// gazer blocks a higher-ID requester.
+  GazePriority,
+};
+
+/// Simulation switches beyond grid/genome/placements.
+struct SimOptions {
+  int MaxSteps = 200;            ///< t_max cutoff (paper: 200 for 16x16).
+  StartStates Start;             ///< Initial control states.
+  bool ColorsEnabled = true;     ///< false: setcolor is ignored (ablation A1).
+  ArbitrationMode Arbitration = ArbitrationMode::RequestPriority;
+  /// false (paper): cyclic wrap-around field. true: the field has borders —
+  /// moves and exchanges across the seam are impossible (the "easier"
+  /// environments of the authors' earlier studies; future-work list).
+  bool Bordered = false;
+  /// Cells no agent may enter (reliability option 5 / future work).
+  /// Obstacles never block the colour layer or communication — they only
+  /// exclude occupancy. Must not collide with agent placements.
+  std::vector<Coord> Obstacles;
+};
+
+/// Outcome of one simulation run.
+struct SimResult {
+  bool Success = false;   ///< All agents informed within MaxSteps.
+  int TComm = -1;         ///< Communication time (valid when Success).
+  int InformedAgents = 0; ///< Informed count at termination.
+  int NumAgents = 0;
+};
+
+/// Full runtime state of one agent.
+struct AgentState {
+  int32_t Cell = 0;         ///< Flat cell index.
+  uint8_t Direction = 0;    ///< Ring index into the topology's directions.
+  uint8_t ControlState = 0; ///< FSM state.
+  bool Informed = false;    ///< Comm vector is all-ones.
+  BitVector Comm;           ///< k-bit communication vector.
+};
+
+/// The CA world: torus + colour layer + agents + embedded FSM.
+///
+/// The Torus is borrowed (not owned) and must outlive the World — this
+/// lets the GA evaluate thousands of configurations without rebuilding
+/// the neighbour table. Genomes are small and are copied in by reset(),
+/// so temporaries are safe to pass.
+class World {
+public:
+  explicit World(const Torus &T);
+
+  /// (Re)initialises: places the agents of \p Placements on an all-colour-0
+  /// field, gives agent i the unit communication vector e_i, control state
+  /// per \p Options.Start, and resets time to 0. Placements must be on
+  /// distinct non-obstacle cells with valid directions (asserted).
+  void reset(const Genome &G, const std::vector<Placement> &Placements,
+             const SimOptions &Options);
+
+  /// Two-genome variant: \p Policy selects how \p A and \p B are assigned
+  /// (time-shuffling or species mixing). Policy Single uses only \p A.
+  void reset(const Genome &A, const Genome &B, GenomePolicy Policy,
+             const std::vector<Placement> &Placements,
+             const SimOptions &Options);
+
+  /// Step status returned by step().
+  enum class Status { Solved, Running };
+
+  /// Executes one iteration (exchange, success check, actions). Returns
+  /// Solved when the success check fires — in that case the actions of the
+  /// final iteration are not executed and time() is t_comm. While Running,
+  /// time() advances by one per call.
+  Status step();
+
+  /// step() with an observer called right after the exchange/success check
+  /// of the iteration (i.e. before the action phase).
+  Status
+  stepWithObserver(const std::function<void(const World &, int)> &OnStep);
+
+  /// Runs until solved or Options.MaxSteps iterations have executed.
+  SimResult run();
+
+  /// Like run() but invokes \p OnStep(*this, t) after the exchange/check of
+  /// every iteration, including the final (solved) one.
+  SimResult run(const std::function<void(const World &, int)> &OnStep);
+
+  // Introspection (used by traces, rendering, and the tests).
+
+  const Torus &torus() const { return T; }
+  int time() const { return Time; }
+  int numAgents() const { return static_cast<int>(Agents.size()); }
+  const AgentState &agent(int Id) const {
+    assert(Id >= 0 && Id < numAgents() && "agent id out of range");
+    return Agents[static_cast<size_t>(Id)];
+  }
+  /// Agent id on \p CellIndex, or -1.
+  int agentAt(int CellIndex) const {
+    assert(CellIndex >= 0 && CellIndex < T.numCells() && "bad cell index");
+    return Occupancy[static_cast<size_t>(CellIndex)];
+  }
+  /// True when the cell's colour is nonzero.
+  bool colorAt(int CellIndex) const { return colorValueAt(CellIndex) != 0; }
+
+  /// The cell's colour value (0 or 1 at paper dimensions; up to
+  /// dims().Colors - 1 in the more-colours extension).
+  int colorValueAt(int CellIndex) const {
+    assert(CellIndex >= 0 && CellIndex < T.numCells() && "bad cell index");
+    return Colors[static_cast<size_t>(CellIndex)];
+  }
+  int informedCount() const { return NumInformed; }
+
+  /// Number of times any agent has *entered* \p CellIndex (initial
+  /// placements count as one visit). Feeds the Fig. 6/7 "visited" panels.
+  int visitCount(int CellIndex) const {
+    assert(CellIndex >= 0 && CellIndex < T.numCells() && "bad cell index");
+    return VisitCounts[static_cast<size_t>(CellIndex)];
+  }
+
+  /// True when \p CellIndex is an obstacle.
+  bool obstacleAt(int CellIndex) const {
+    assert(CellIndex >= 0 && CellIndex < T.numCells() && "bad cell index");
+    return ObstacleMask[static_cast<size_t>(CellIndex)] != 0;
+  }
+
+private:
+  void exchangeCommunication();
+  void applyActions();
+
+  /// FSM controlling \p AgentId at the current time under the policy.
+  const Genome &activeGenome(int AgentId) const {
+    switch (Policy) {
+    case GenomePolicy::Single:
+      return GenomeA;
+    case GenomePolicy::TimeShuffle:
+      return (Time % 2) ? GenomeB : GenomeA;
+    case GenomePolicy::SpeciesParity:
+      return (AgentId % 2) ? GenomeB : GenomeA;
+    }
+    assert(false && "unhandled genome policy");
+    return GenomeA;
+  }
+
+  const Torus &T;
+  Genome GenomeA;
+  Genome GenomeB;
+  GenomePolicy Policy = GenomePolicy::Single;
+  bool WasReset = false;
+  SimOptions Options;
+  int Time = 0;
+  int NumInformed = 0;
+
+  std::vector<AgentState> Agents;
+  std::vector<uint8_t> Colors;       ///< One colour bit per cell.
+  std::vector<int16_t> Occupancy;    ///< Agent id per cell, -1 when empty.
+  std::vector<int32_t> VisitCounts;  ///< Entries per cell.
+  std::vector<uint8_t> ObstacleMask; ///< 1 where a cell is an obstacle.
+
+  // Per-step scratch, kept to avoid reallocation.
+  std::vector<BitVector> CommNext;
+  std::vector<int32_t> ClaimMinId;  ///< Min requester id per cell, -1 clean.
+  std::vector<int32_t> TouchedCells;
+  struct Decision {
+    int32_t FrontCell;
+    uint8_t Input;
+    bool CanMove;
+  };
+  std::vector<Decision> Decisions;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_WORLD_H

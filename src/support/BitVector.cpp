@@ -1,0 +1,66 @@
+//===- support/BitVector.cpp - Dynamic bit vector -------------------------===//
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace ca2a;
+
+void BitVector::clear() { std::fill(Words.begin(), Words.end(), 0); }
+
+void BitVector::setAll() {
+  std::fill(Words.begin(), Words.end(), ~uint64_t(0));
+  clearUnusedBits();
+}
+
+void BitVector::clearUnusedBits() {
+  if (NumBits % 64 == 0 || Words.empty())
+    return;
+  Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+}
+
+void BitVector::orWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch in orWith");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= Other.Words[I];
+}
+
+void BitVector::andWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch in andWith");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= Other.Words[I];
+}
+
+bool BitVector::all() const {
+  if (Words.empty())
+    return true;
+  for (size_t I = 0, E = Words.size() - 1; I != E; ++I)
+    if (Words[I] != ~uint64_t(0))
+      return false;
+  uint64_t LastMask = (NumBits % 64 == 0) ? ~uint64_t(0)
+                                          : (uint64_t(1) << (NumBits % 64)) - 1;
+  return (Words.back() & LastMask) == LastMask;
+}
+
+bool BitVector::none() const {
+  for (uint64_t Word : Words)
+    if (Word != 0)
+      return false;
+  return true;
+}
+
+size_t BitVector::count() const {
+  size_t Total = 0;
+  for (uint64_t Word : Words)
+    Total += static_cast<size_t>(std::popcount(Word));
+  return Total;
+}
+
+std::string BitVector::toString() const {
+  std::string Out;
+  Out.reserve(NumBits);
+  for (size_t I = 0; I != NumBits; ++I)
+    Out.push_back(test(I) ? '1' : '0');
+  return Out;
+}

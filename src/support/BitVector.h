@@ -1,0 +1,102 @@
+//===- support/BitVector.h - Dynamic bit vector -----------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact dynamic bit vector used for the agents' communication vectors.
+///
+/// The paper stores a k-bit vector in every agent (bit i set iff the agent
+/// has gathered agent i's information) and merges vectors by OR when agents
+/// meet. The hot operation mix is therefore: word-wise OR, all-ones test,
+/// and popcount, which this class implements directly over uint64_t words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_BITVECTOR_H
+#define CA2A_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Fixed-size (after construction) sequence of bits over 64-bit words.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p NumBits bits, all cleared.
+  explicit BitVector(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  /// Number of bits the vector holds.
+  size_t size() const { return NumBits; }
+
+  bool empty() const { return NumBits == 0; }
+
+  /// Sets bit \p Index.
+  void set(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    Words[Index / 64] |= uint64_t(1) << (Index % 64);
+  }
+
+  /// Clears bit \p Index.
+  void reset(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    Words[Index / 64] &= ~(uint64_t(1) << (Index % 64));
+  }
+
+  /// Clears every bit.
+  void clear();
+
+  /// Sets every bit.
+  void setAll();
+
+  /// Returns bit \p Index.
+  bool test(size_t Index) const {
+    assert(Index < NumBits && "bit index out of range");
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  /// ORs \p Other into this vector. Both vectors must have the same size.
+  void orWith(const BitVector &Other);
+
+  /// ANDs \p Other into this vector. Both vectors must have the same size.
+  void andWith(const BitVector &Other);
+
+  /// Returns true iff every bit is set. An empty vector counts as full.
+  bool all() const;
+
+  /// Returns true iff no bit is set.
+  bool none() const;
+
+  /// Number of set bits.
+  size_t count() const;
+
+  /// Renders the bits as a '0'/'1' string, bit 0 first (the paper's
+  /// "(11...1)" notation for the solved state).
+  std::string toString() const;
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitVector &Other) const { return !(*this == Other); }
+
+private:
+  /// Zeroes any bits in the final word beyond NumBits so that all()/count()
+  /// stay exact after setAll().
+  void clearUnusedBits();
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_BITVECTOR_H

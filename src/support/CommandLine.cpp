@@ -1,0 +1,134 @@
+//===- support/CommandLine.cpp - Minimal flag parser ----------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace ca2a;
+
+void CommandLine::addInt(std::string Name, std::string Help, int64_t *Target) {
+  assert(Target && "flag target must be non-null");
+  Flags.push_back({std::move(Name), std::move(Help), FlagKind::Int, Target,
+                   std::to_string(*Target)});
+}
+
+void CommandLine::addDouble(std::string Name, std::string Help,
+                            double *Target) {
+  assert(Target && "flag target must be non-null");
+  Flags.push_back({std::move(Name), std::move(Help), FlagKind::Double, Target,
+                   formatFixed(*Target, 4)});
+}
+
+void CommandLine::addString(std::string Name, std::string Help,
+                            std::string *Target) {
+  assert(Target && "flag target must be non-null");
+  Flags.push_back(
+      {std::move(Name), std::move(Help), FlagKind::String, Target, *Target});
+}
+
+void CommandLine::addBool(std::string Name, std::string Help, bool *Target) {
+  assert(Target && "flag target must be non-null");
+  Flags.push_back({std::move(Name), std::move(Help), FlagKind::Bool, Target,
+                   *Target ? "true" : "false"});
+}
+
+CommandLine::Flag *CommandLine::findFlag(std::string_view Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+Expected<bool> CommandLine::assignValue(Flag &F, std::string_view Value) {
+  switch (F.Kind) {
+  case FlagKind::Int: {
+    auto Parsed = parseInt(Value);
+    if (!Parsed)
+      return makeError("flag --" + F.Name + ": " + Parsed.error().message());
+    *static_cast<int64_t *>(F.Target) = *Parsed;
+    return true;
+  }
+  case FlagKind::Double: {
+    auto Parsed = parseDouble(Value);
+    if (!Parsed)
+      return makeError("flag --" + F.Name + ": " + Parsed.error().message());
+    *static_cast<double *>(F.Target) = *Parsed;
+    return true;
+  }
+  case FlagKind::String:
+    *static_cast<std::string *>(F.Target) = std::string(Value);
+    return true;
+  case FlagKind::Bool: {
+    if (Value == "true" || Value == "1") {
+      *static_cast<bool *>(F.Target) = true;
+      return true;
+    }
+    if (Value == "false" || Value == "0") {
+      *static_cast<bool *>(F.Target) = false;
+      return true;
+    }
+    return makeError("flag --" + F.Name + ": expected true/false, got '" +
+                     std::string(Value) + "'");
+  }
+  }
+  assert(false && "unhandled flag kind");
+  return makeError("internal: unhandled flag kind");
+}
+
+Expected<bool> CommandLine::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      HelpSeen = true;
+      return true;
+    }
+    if (!Arg.starts_with("--")) {
+      Positional.emplace_back(Arg);
+      continue;
+    }
+    std::string_view Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq != std::string_view::npos) {
+      Flag *F = findFlag(Body.substr(0, Eq));
+      if (!F)
+        return makeError("unknown flag: " + std::string(Arg));
+      if (auto Err = assignValue(*F, Body.substr(Eq + 1)); !Err)
+        return Err;
+      continue;
+    }
+    // `--no-name` for booleans.
+    if (Body.starts_with("no-")) {
+      if (Flag *F = findFlag(Body.substr(3)); F && F->Kind == FlagKind::Bool) {
+        *static_cast<bool *>(F->Target) = false;
+        continue;
+      }
+    }
+    Flag *F = findFlag(Body);
+    if (!F)
+      return makeError("unknown flag: " + std::string(Arg));
+    if (F->Kind == FlagKind::Bool) {
+      *static_cast<bool *>(F->Target) = true;
+      continue;
+    }
+    if (I + 1 >= Argc)
+      return makeError("flag --" + F->Name + " expects a value");
+    if (auto Err = assignValue(*F, Argv[++I]); !Err)
+      return Err;
+  }
+  return true;
+}
+
+std::string CommandLine::usage() const {
+  std::string Out = ProgramName + " - " + Description + "\n\nFlags:\n";
+  size_t Width = 0;
+  for (const Flag &F : Flags)
+    Width = std::max(Width, F.Name.size());
+  for (const Flag &F : Flags) {
+    Out += "  --" + padRight(F.Name, Width) + "  " + F.Help +
+           " (default: " + F.DefaultText + ")\n";
+  }
+  Out += "  --" + padRight("help", Width) + "  print this message\n";
+  return Out;
+}

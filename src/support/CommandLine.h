@@ -1,0 +1,89 @@
+//===- support/CommandLine.h - Minimal flag parser --------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative command-line flag parser for the examples and bench
+/// drivers. Flags take the forms `--name=value`, `--name value`, and for
+/// booleans bare `--name` / `--no-name`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_COMMANDLINE_H
+#define CA2A_SUPPORT_COMMANDLINE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Declarative flag registry + parser.
+///
+/// Typical use:
+/// \code
+///   CommandLine CL("trace", "Renders Fig. 6/7 style simulation panels");
+///   int64_t Size = 16;
+///   CL.addInt("size", "field side length", &Size);
+///   if (auto Err = CL.parse(Argc, Argv)) { ... }
+/// \endcode
+class CommandLine {
+public:
+  CommandLine(std::string ProgramName, std::string Description)
+      : ProgramName(std::move(ProgramName)),
+        Description(std::move(Description)) {}
+
+  /// Registers an integer flag backed by \p Target (holds the default).
+  void addInt(std::string Name, std::string Help, int64_t *Target);
+  /// Registers a floating-point flag backed by \p Target.
+  void addDouble(std::string Name, std::string Help, double *Target);
+  /// Registers a string flag backed by \p Target.
+  void addString(std::string Name, std::string Help, std::string *Target);
+  /// Registers a boolean flag backed by \p Target (`--name`, `--no-name`,
+  /// `--name=true|false`).
+  void addBool(std::string Name, std::string Help, bool *Target);
+
+  /// Parses argv. Returns an error message for unknown flags or malformed
+  /// values. `--help` sets helpRequested() and returns success without
+  /// consuming further arguments.
+  Expected<bool> parse(int Argc, const char *const *Argv);
+
+  /// True once `--help` was seen; the caller should print usage() and exit.
+  bool helpRequested() const { return HelpSeen; }
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string> &positionalArgs() const { return Positional; }
+
+  /// Renders the usage/help text.
+  std::string usage() const;
+
+private:
+  enum class FlagKind { Int, Double, String, Bool };
+
+  struct Flag {
+    std::string Name;
+    std::string Help;
+    FlagKind Kind;
+    void *Target;
+    std::string DefaultText;
+  };
+
+  Flag *findFlag(std::string_view Name);
+  static Expected<bool> assignValue(Flag &F, std::string_view Value);
+
+  std::string ProgramName;
+  std::string Description;
+  std::vector<Flag> Flags;
+  std::vector<std::string> Positional;
+  bool HelpSeen = false;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_COMMANDLINE_H

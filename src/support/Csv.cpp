@@ -1,0 +1,87 @@
+//===- support/Csv.cpp - CSV and console-table writers --------------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace ca2a;
+
+std::string CsvWriter::escapeField(const std::string &Field) {
+  bool NeedsQuoting = Field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!NeedsQuoting)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string> &Fields) {
+  for (size_t I = 0, E = Fields.size(); I != E; ++I) {
+    if (I != 0)
+      Out << ',';
+    Out << escapeField(Fields[I]);
+  }
+  Out << '\n';
+}
+
+void TextTable::setHeader(std::vector<std::string> NewHeader) {
+  assert(Rows.empty() && "set the header before adding rows");
+  Header = std::move(NewHeader);
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert((Header.empty() || Row.size() == Header.size()) &&
+         "row width must match header width");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  size_t NumColumns = Header.size();
+  for (const auto &Row : Rows)
+    NumColumns = std::max(NumColumns, Row.size());
+  if (NumColumns == 0)
+    return "";
+
+  std::vector<size_t> Widths(NumColumns, 0);
+  auto Absorb = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  if (!Header.empty())
+    Absorb(Header);
+  for (const auto &Row : Rows)
+    Absorb(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != NumColumns; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : "";
+      if (I != 0)
+        Line += " | ";
+      Line += I == 0 ? padRight(Cell, Widths[I]) : padLeft(Cell, Widths[I]);
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    for (size_t I = 0; I != NumColumns; ++I) {
+      if (I != 0)
+        Out += "-+-";
+      Out += std::string(Widths[I], '-');
+    }
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- support/Csv.h - CSV and console-table writers ------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result serialization: RFC-4180-style CSV output plus a fixed-width
+/// console table formatter used to print the paper-style tables (Table 1,
+/// the topology table, the ablation tables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_CSV_H
+#define CA2A_SUPPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Streams CSV rows with minimal quoting (fields containing a comma, quote
+/// or newline are quoted; embedded quotes are doubled).
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream &Out) : Out(Out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void writeRow(const std::vector<std::string> &Fields);
+
+  /// Escapes one field per RFC 4180.
+  static std::string escapeField(const std::string &Field);
+
+private:
+  std::ostream &Out;
+};
+
+/// Accumulates rows and renders them as an aligned monospace table:
+///
+///   N_agents |     2 |     4 | ...
+///   ---------+-------+-------+----
+///   T-grid   | 58.43 | 78.30 | ...
+class TextTable {
+public:
+  /// Sets the header row (also fixes the column count).
+  void setHeader(std::vector<std::string> Header);
+
+  /// Appends a data row; must match the header width (asserted).
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the aligned table. The first column is left-aligned, the rest
+  /// right-aligned (numeric convention).
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_CSV_H

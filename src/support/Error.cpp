@@ -1,0 +1,8 @@
+//===- support/Error.cpp - Lightweight recoverable errors -----------------===//
+//
+// Error and Expected are header-only; this file exists to give the library
+// a translation unit and to anchor any future out-of-line error utilities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"

@@ -1,0 +1,84 @@
+//===- support/Error.h - Lightweight recoverable errors ---------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free recoverable error handling for parsers and file I/O.
+///
+/// Library code in this project does not throw. Fallible operations (genome
+/// parsing, configuration-file loading, CLI parsing) return Expected<T>,
+/// a minimal analogue of llvm::Expected: either a value or a string error
+/// message. Programmatic errors are asserts, not Expected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_ERROR_H
+#define CA2A_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ca2a {
+
+/// A failure description. Deliberately just a message: the project's
+/// recoverable failures are all "report to the user" class.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a T or an Error. Test with the bool conversion, then use *, ->,
+/// or takeError().
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error Err) : Storage(std::move(Err)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Returns the contained error. Only valid when in the error state.
+  const Error &error() const {
+    assert(!*this && "no error to take");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out. Only valid when in the success state.
+  T takeValue() {
+    assert(*this && "no value to take");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Builds an Error from message fragments.
+inline Error makeError(std::string Message) {
+  return Error(std::move(Message));
+}
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_ERROR_H

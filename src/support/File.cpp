@@ -1,0 +1,32 @@
+//===- support/File.cpp - Whole-file read/write helpers -------------------===//
+
+#include "support/File.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ca2a;
+
+Expected<std::string> ca2a::readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeError("cannot open '" + Path + "' for reading");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad())
+    return makeError("read error on '" + Path + "'");
+  return Buffer.str();
+}
+
+Expected<bool> ca2a::writeFile(const std::string &Path,
+                               const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return makeError("cannot open '" + Path + "' for writing");
+  Out.write(Contents.data(),
+            static_cast<std::streamsize>(Contents.size()));
+  Out.flush();
+  if (!Out)
+    return makeError("write error on '" + Path + "'");
+  return true;
+}

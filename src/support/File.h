@@ -1,0 +1,32 @@
+//===- support/File.h - Whole-file read/write helpers -----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal whole-file I/O with Expected-based error reporting, used by the
+/// genome library and configuration-set serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_FILE_H
+#define CA2A_SUPPORT_FILE_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace ca2a {
+
+/// Reads the entire file into a string.
+Expected<std::string> readFile(const std::string &Path);
+
+/// Writes \p Contents, replacing the file.
+Expected<bool> writeFile(const std::string &Path, const std::string &Contents);
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_FILE_H

@@ -1,0 +1,87 @@
+//===- support/Rng.cpp - Deterministic pseudo-random numbers --------------===//
+
+#include "support/Rng.h"
+
+using namespace ca2a;
+
+uint64_t ca2a::splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  // xoshiro state must not be all-zero; SplitMix64 guarantees that the four
+  // seeded words are never simultaneously zero.
+  for (uint64_t &Word : State)
+    Word = splitMix64(Seed);
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::nextU64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::uniformInt(uint64_t Bound) {
+  assert(Bound != 0 && "uniformInt bound must be nonzero");
+  // Lemire's multiply-shift with rejection of the biased low region.
+  __uint128_t Product = static_cast<__uint128_t>(nextU64()) * Bound;
+  uint64_t Low = static_cast<uint64_t>(Product);
+  if (Low < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (Low < Threshold) {
+      Product = static_cast<__uint128_t>(nextU64()) * Bound;
+      Low = static_cast<uint64_t>(Product);
+    }
+  }
+  return static_cast<uint64_t>(Product >> 64);
+}
+
+int64_t Rng::uniformInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  return Lo + static_cast<int64_t>(uniformInt(Span));
+}
+
+double Rng::uniformReal() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniformReal() < P;
+}
+
+std::vector<uint32_t> Rng::sampleDistinct(uint32_t Count, uint32_t Bound) {
+  assert(Count <= Bound && "cannot sample more distinct values than exist");
+  // Partial Fisher-Yates over the identity permutation. For the sizes used
+  // here (fields of at most a few thousand cells) materialising the
+  // permutation is cheap and keeps the draw exactly uniform.
+  std::vector<uint32_t> Pool(Bound);
+  for (uint32_t I = 0; I != Bound; ++I)
+    Pool[I] = I;
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint32_t J = I + static_cast<uint32_t>(uniformInt(Bound - I));
+    std::swap(Pool[I], Pool[J]);
+  }
+  Pool.resize(Count);
+  return Pool;
+}

@@ -1,0 +1,77 @@
+//===- support/Statistics.cpp - Streaming and batch statistics ------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ca2a;
+
+void RunningStats::add(double Value) {
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+  Min = std::min(Min, Value);
+  Max = std::max(Max, Value);
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford accumulators.
+  double Delta = Other.Mean - Mean;
+  size_t Total = Count + Other.Count;
+  Mean += Delta * static_cast<double>(Other.Count) / static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) /
+                       static_cast<double>(Total);
+  Count = Total;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+double RunningStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double ca2a::sortedQuantile(const std::vector<double> &Sorted, double Q) {
+  assert(!Sorted.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be in [0, 1]");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Position = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Lower = static_cast<size_t>(Position);
+  if (Lower + 1 == Sorted.size())
+    return Sorted.back();
+  double Frac = Position - static_cast<double>(Lower);
+  return Sorted[Lower] * (1.0 - Frac) + Sorted[Lower + 1] * Frac;
+}
+
+Summary Summary::of(std::vector<double> Values) {
+  Summary S;
+  S.Count = Values.size();
+  if (Values.empty())
+    return S;
+  RunningStats Stats;
+  for (double V : Values)
+    Stats.add(V);
+  S.Mean = Stats.mean();
+  S.Stddev = Stats.stddev();
+  S.Min = Stats.min();
+  S.Max = Stats.max();
+  std::sort(Values.begin(), Values.end());
+  S.Median = sortedQuantile(Values, 0.5);
+  S.Q25 = sortedQuantile(Values, 0.25);
+  S.Q75 = sortedQuantile(Values, 0.75);
+  return S;
+}

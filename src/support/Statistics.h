@@ -1,0 +1,78 @@
+//===- support/Statistics.h - Streaming and batch statistics ----*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numerically stable summary statistics for experiment results.
+///
+/// Every number the paper reports (Table 1, Fig. 5, the 33x33 check) is an
+/// average of communication times over a configuration set; RunningStats
+/// accumulates those averages with Welford's algorithm, and Summary adds
+/// order statistics (median, quantiles) for the extended reporting in
+/// EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_STATISTICS_H
+#define CA2A_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ca2a {
+
+/// Streaming mean/variance/min/max accumulator (Welford update).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats &Other);
+
+  size_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+  double sum() const { return Mean * static_cast<double>(Count); }
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary with order statistics, computed from a sample vector.
+struct Summary {
+  size_t Count = 0;
+  double Mean = 0.0;
+  double Stddev = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Median = 0.0;
+  double Q25 = 0.0;
+  double Q75 = 0.0;
+
+  /// Builds the summary; \p Values is copied so the caller's order is kept.
+  static Summary of(std::vector<double> Values);
+};
+
+/// Linear-interpolation quantile of a *sorted* sample, Q in [0, 1].
+double sortedQuantile(const std::vector<double> &Sorted, double Q);
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_STATISTICS_H

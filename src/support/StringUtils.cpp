@@ -1,0 +1,141 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ca2a;
+
+std::vector<std::string> ca2a::splitString(std::string_view Text,
+                                           char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.emplace_back(Text.substr(Start));
+      return Pieces;
+    }
+    Pieces.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string> ca2a::splitWhitespace(std::string_view Text) {
+  std::vector<std::string> Pieces;
+  size_t I = 0, E = Text.size();
+  while (I != E) {
+    while (I != E && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I != E && !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I != Start)
+      Pieces.emplace_back(Text.substr(Start, I - Start));
+  }
+  return Pieces;
+}
+
+std::string_view ca2a::trim(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End != Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string ca2a::joinStrings(const std::vector<std::string> &Pieces,
+                              std::string_view Separator) {
+  std::string Out;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+Expected<int64_t> ca2a::parseInt(std::string_view Text) {
+  std::string Buffer(trim(Text));
+  if (Buffer.empty())
+    return makeError("empty string is not an integer");
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Buffer.c_str(), &End, 10);
+  if (errno == ERANGE)
+    return makeError("integer out of range: '" + Buffer + "'");
+  if (End != Buffer.c_str() + Buffer.size())
+    return makeError("trailing characters in integer: '" + Buffer + "'");
+  return static_cast<int64_t>(Value);
+}
+
+Expected<uint64_t> ca2a::parseUnsigned(std::string_view Text) {
+  std::string Buffer(trim(Text));
+  if (Buffer.empty())
+    return makeError("empty string is not an unsigned integer");
+  if (Buffer.front() == '-')
+    return makeError("negative value for unsigned: '" + Buffer + "'");
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Buffer.c_str(), &End, 10);
+  if (errno == ERANGE)
+    return makeError("unsigned out of range: '" + Buffer + "'");
+  if (End != Buffer.c_str() + Buffer.size())
+    return makeError("trailing characters in unsigned: '" + Buffer + "'");
+  return static_cast<uint64_t>(Value);
+}
+
+Expected<double> ca2a::parseDouble(std::string_view Text) {
+  std::string Buffer(trim(Text));
+  if (Buffer.empty())
+    return makeError("empty string is not a number");
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Buffer.c_str(), &End);
+  if (errno == ERANGE)
+    return makeError("number out of range: '" + Buffer + "'");
+  if (End != Buffer.c_str() + Buffer.size())
+    return makeError("trailing characters in number: '" + Buffer + "'");
+  return Value;
+}
+
+std::string ca2a::formatFixed(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string ca2a::padLeft(std::string Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string ca2a::padRight(std::string Text, size_t Width) {
+  if (Text.size() < Width)
+    Text.append(Width - Text.size(), ' ');
+  return Text;
+}
+
+std::string ca2a::formatString(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Format, Args);
+  va_end(Args);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Format, ArgsCopy);
+    Out.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared by the parsers, table formatters and CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_STRINGUTILS_H
+#define CA2A_SUPPORT_STRINGUTILS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ca2a {
+
+/// Splits \p Text on \p Separator; empty pieces are kept so that
+/// "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Splits \p Text on runs of whitespace; empty pieces are dropped.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Joins \p Pieces with \p Separator.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Separator);
+
+/// Parses a decimal (optionally signed) integer; the whole string must be
+/// consumed.
+Expected<int64_t> parseInt(std::string_view Text);
+
+/// Parses an unsigned decimal integer; the whole string must be consumed.
+Expected<uint64_t> parseUnsigned(std::string_view Text);
+
+/// Parses a floating-point number; the whole string must be consumed.
+Expected<double> parseDouble(std::string_view Text);
+
+/// Formats \p Value with \p Decimals digits after the point ("78.30" style,
+/// matching the paper's tables).
+std::string formatFixed(double Value, int Decimals);
+
+/// Left-pads \p Text with spaces to \p Width (no-op if already wider).
+std::string padLeft(std::string Text, size_t Width);
+
+/// Right-pads \p Text with spaces to \p Width (no-op if already wider).
+std::string padRight(std::string Text, size_t Width);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,91 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ca2a;
+
+ThreadPool::ThreadPool(size_t NumWorkers) {
+  if (NumWorkers == 0) {
+    NumWorkers = std::thread::hardware_concurrency();
+    if (NumWorkers == 0)
+      NumWorkers = 1;
+  }
+  Workers.reserve(NumWorkers);
+  for (size_t I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit after shutdown");
+    Tasks.push(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty()) {
+        // ShuttingDown and drained: exit.
+        return;
+      }
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void ca2a::parallelFor(size_t Count, size_t NumWorkers,
+                       const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  if (NumWorkers <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Body(I);
+    return;
+  }
+  NumWorkers = std::min(NumWorkers, Count);
+  ThreadPool Pool(NumWorkers);
+  size_t ChunkSize = (Count + NumWorkers - 1) / NumWorkers;
+  for (size_t Begin = 0; Begin < Count; Begin += ChunkSize) {
+    size_t End = std::min(Begin + ChunkSize, Count);
+    Pool.submit([Begin, End, &Body] {
+      for (size_t I = Begin; I != End; ++I)
+        Body(I);
+    });
+  }
+  Pool.wait();
+}

@@ -1,0 +1,70 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool plus a chunked parallelFor, used to evaluate
+/// GA fitness over many initial configurations in parallel. On single-core
+/// hosts the pool degrades gracefully to one worker; parallelFor with zero
+/// or one worker runs inline for determinism-friendly debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_THREADPOOL_H
+#define CA2A_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ca2a {
+
+/// Fixed-size FIFO worker pool. Tasks are fire-and-forget; use wait() to
+/// drain. Task exceptions are not supported (library code does not throw).
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers threads; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t NumWorkers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  size_t numWorkers() const { return Workers.size(); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+/// Runs Body(I) for I in [0, Count), split into contiguous chunks across
+/// \p NumWorkers threads. With NumWorkers <= 1 the loop runs inline on the
+/// calling thread. \p Body must be safe to call concurrently on distinct
+/// indices.
+void parallelFor(size_t Count, size_t NumWorkers,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_THREADPOOL_H

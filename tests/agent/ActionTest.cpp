@@ -1,0 +1,77 @@
+//===- tests/agent/ActionTest.cpp - Action alphabet unit tests ------------===//
+
+#include "agent/Action.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ca2a;
+
+TEST(ActionTest, EncodeDecodeRoundTripAll16) {
+  std::set<int> Indices;
+  for (int I = 0; I != NumActions; ++I) {
+    Action A = decodeAction(I);
+    EXPECT_EQ(encodeAction(A), I);
+    Indices.insert(encodeAction(A));
+  }
+  EXPECT_EQ(Indices.size(), static_cast<size_t>(NumActions));
+}
+
+TEST(ActionTest, EncodingLayout) {
+  // index = turn * 4 + move * 2 + setcolor.
+  Action A;
+  A.TurnCode = Turn::Right;
+  A.Move = true;
+  A.SetColor = false;
+  EXPECT_EQ(encodeAction(A), 1 * 4 + 2);
+  A.TurnCode = Turn::Left;
+  A.Move = false;
+  A.SetColor = true;
+  EXPECT_EQ(encodeAction(A), 3 * 4 + 1);
+}
+
+TEST(ActionTest, MnemonicsMatchThePaperAlphabet) {
+  // Sect. 3 lists the 16 actions {Sm0, Sm1, S.0, S.1, Rm0, ... L.1}.
+  std::set<std::string> Mnemonics;
+  for (int I = 0; I != NumActions; ++I)
+    Mnemonics.insert(actionMnemonic(decodeAction(I)));
+  for (const char *Expected :
+       {"Sm0", "Sm1", "S.0", "S.1", "Rm0", "Rm1", "R.0", "R.1", "Bm0", "Bm1",
+        "B.0", "B.1", "Lm0", "Lm1", "L.0", "L.1"})
+    EXPECT_TRUE(Mnemonics.count(Expected)) << Expected;
+  EXPECT_EQ(Mnemonics.size(), static_cast<size_t>(NumActions));
+}
+
+TEST(ActionTest, ParseMnemonicRoundTrip) {
+  for (int I = 0; I != NumActions; ++I) {
+    Action A = decodeAction(I);
+    auto Parsed = parseActionMnemonic(actionMnemonic(A));
+    ASSERT_TRUE(Parsed);
+    EXPECT_EQ(*Parsed, A);
+  }
+}
+
+TEST(ActionTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parseActionMnemonic(""));
+  EXPECT_FALSE(parseActionMnemonic("Sm"));
+  EXPECT_FALSE(parseActionMnemonic("Sm01"));
+  EXPECT_FALSE(parseActionMnemonic("Xm0"));
+  EXPECT_FALSE(parseActionMnemonic("Sx0"));
+  EXPECT_FALSE(parseActionMnemonic("SmX"));
+}
+
+TEST(ActionTest, ParseAcceptsExtendedColourDigits) {
+  // Colour digits above 1 belong to the more-colours extension; the
+  // genome's dimensions bound their validity, not the mnemonic parser.
+  auto A = parseActionMnemonic("Sm3");
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->SetColor, 3);
+  EXPECT_EQ(actionMnemonic(*A), "Sm3");
+}
+
+TEST(ActionTest, Equality) {
+  Action A = decodeAction(5), B = decodeAction(5), C = decodeAction(6);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}

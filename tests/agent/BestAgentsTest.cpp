@@ -1,0 +1,96 @@
+//===- tests/agent/BestAgentsTest.cpp - Published FSM transcription tests -===//
+
+#include "agent/BestAgents.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+// Spot checks against the printed tables: Fig. 3 (S-agent), Fig. 4
+// (T-agent). Column x, state s, expecting (nextstate, setcolor, move, turn).
+struct TableEntry {
+  int Input;
+  int State;
+  int NextState;
+  int SetColor;
+  int Move;
+  int TurnCode;
+};
+
+static void expectEntries(const Genome &G,
+                          const std::vector<TableEntry> &Entries) {
+  for (const TableEntry &E : Entries) {
+    const GenomeEntry &Slot = G.entry(E.Input, E.State);
+    EXPECT_EQ(Slot.NextState, E.NextState)
+        << "x=" << E.Input << " s=" << E.State;
+    EXPECT_EQ(Slot.Act.SetColor, E.SetColor != 0)
+        << "x=" << E.Input << " s=" << E.State;
+    EXPECT_EQ(Slot.Act.Move, E.Move != 0)
+        << "x=" << E.Input << " s=" << E.State;
+    EXPECT_EQ(static_cast<int>(Slot.Act.TurnCode), E.TurnCode)
+        << "x=" << E.Input << " s=" << E.State;
+  }
+}
+
+TEST(BestAgentsTest, SquareAgentSpotChecks) {
+  // Fig. 3, reading each x-column's four state cells.
+  expectEntries(bestSquareAgent(),
+                {
+                    {0, 0, 2, 1, 1, 3}, // x=0 s=0: next 2, col 1, mv 1, tn 3.
+                    {0, 3, 1, 0, 1, 0}, // x=0 s=3.
+                    {1, 0, 0, 0, 0, 1}, // x=1 s=0.
+                    {2, 2, 0, 0, 1, 0}, // x=2 s=2.
+                    {3, 3, 1, 1, 0, 3}, // x=3 s=3.
+                    {4, 1, 2, 0, 1, 1}, // x=4 s=1.
+                    {5, 0, 2, 0, 0, 3}, // x=5 s=0.
+                    {6, 3, 0, 1, 1, 3}, // x=6 s=3.
+                    {7, 0, 3, 1, 0, 3}, // x=7 s=0.
+                    {7, 3, 2, 0, 0, 3}, // x=7 s=3 (last genome slot).
+                });
+}
+
+TEST(BestAgentsTest, TriangulateAgentSpotChecks) {
+  // Fig. 4.
+  expectEntries(bestTriangulateAgent(),
+                {
+                    {0, 0, 1, 1, 1, 0}, // x=0 s=0.
+                    {0, 3, 2, 1, 0, 0}, // x=0 s=3.
+                    {1, 0, 1, 0, 1, 3}, // x=1 s=0.
+                    {2, 3, 3, 1, 1, 1}, // x=2 s=3.
+                    {3, 1, 2, 1, 1, 0}, // x=3 s=1.
+                    {4, 2, 0, 0, 1, 1}, // x=4 s=2.
+                    {5, 3, 0, 1, 0, 1}, // x=5 s=3.
+                    {6, 0, 2, 0, 1, 3}, // x=6 s=0.
+                    {7, 2, 1, 1, 1, 2}, // x=7 s=2.
+                    {7, 3, 1, 0, 1, 3}, // x=7 s=3.
+                });
+}
+
+TEST(BestAgentsTest, AgentsAreDistinct) {
+  EXPECT_NE(bestSquareAgent(), bestTriangulateAgent());
+}
+
+TEST(BestAgentsTest, KindDispatch) {
+  EXPECT_EQ(bestAgent(GridKind::Square), bestSquareAgent());
+  EXPECT_EQ(bestAgent(GridKind::Triangulate), bestTriangulateAgent());
+}
+
+TEST(BestAgentsTest, SerializationRoundTrip) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    const Genome &G = bestAgent(Kind);
+    auto Parsed = Genome::fromCompactString(G.toCompactString());
+    ASSERT_TRUE(Parsed);
+    EXPECT_EQ(*Parsed, G);
+  }
+}
+
+TEST(BestAgentsTest, GenomeFromRowsLayout) {
+  // genomeFromRows reads digits in paper index order i = x*4 + s.
+  std::string Next(GenomeLength, '0');
+  std::string Zero(GenomeLength, '0');
+  Next[Genome::slotIndex(5, 2)] = '3';
+  Genome G = genomeFromRows(Next.c_str(), Zero.c_str(), Zero.c_str(),
+                            Zero.c_str());
+  EXPECT_EQ(G.entry(5, 2).NextState, 3);
+  EXPECT_EQ(G.entry(5, 1).NextState, 0);
+}

@@ -1,0 +1,170 @@
+//===- tests/agent/GenomeDimsTest.cpp - More-states/colours tests ---------===//
+//
+// The future-work generalisation: FSM genomes with runtime dimensions
+// (states in [2,9], colours in [2,9]). The paper's setting is the default
+// and must be bit-compatible with the fixed-size original.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/Genome.h"
+
+#include "ga/Evolution.h"
+#include "ga/Mutation.h"
+#include "sim/World.h"
+#include "support/Rng.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(GenomeDimsTest, DefaultsMatchThePaper) {
+  GenomeDims D;
+  EXPECT_EQ(D.States, 4);
+  EXPECT_EQ(D.Colors, 2);
+  EXPECT_EQ(D.numInputs(), NumFsmInputs);
+  EXPECT_EQ(D.length(), GenomeLength);
+  EXPECT_TRUE(D.valid());
+  // The generalised input encoding coincides with the paper's.
+  for (int B = 0; B != 2; ++B)
+    for (int C = 0; C != 2; ++C)
+      for (int F = 0; F != 2; ++F)
+        EXPECT_EQ(D.makeInput(B, C, F), makeFsmInput(B, C, F));
+}
+
+TEST(GenomeDimsTest, InputEncodingRoundTrip) {
+  for (GenomeDims D : {GenomeDims{4, 2}, GenomeDims{6, 2}, GenomeDims{4, 4},
+                       GenomeDims{9, 3}}) {
+    ASSERT_TRUE(D.valid());
+    std::vector<bool> Seen(static_cast<size_t>(D.numInputs()), false);
+    for (int B = 0; B != 2; ++B)
+      for (int C = 0; C != D.Colors; ++C)
+        for (int F = 0; F != D.Colors; ++F) {
+          int X = D.makeInput(B, C, F);
+          ASSERT_GE(X, 0);
+          ASSERT_LT(X, D.numInputs());
+          EXPECT_FALSE(Seen[static_cast<size_t>(X)]) << "input collision";
+          Seen[static_cast<size_t>(X)] = true;
+          EXPECT_EQ(D.blockedOf(X), B != 0);
+          EXPECT_EQ(D.colorOf(X), C);
+          EXPECT_EQ(D.frontColorOf(X), F);
+        }
+  }
+}
+
+TEST(GenomeDimsTest, InvalidDimensionsRejected) {
+  EXPECT_FALSE((GenomeDims{1, 2}).valid());
+  EXPECT_FALSE((GenomeDims{10, 2}).valid());
+  EXPECT_FALSE((GenomeDims{4, 1}).valid());
+  EXPECT_FALSE((GenomeDims{4, 10}).valid());
+}
+
+TEST(GenomeDimsTest, RandomGenomeRespectsDimensions) {
+  Rng R(5);
+  GenomeDims D{6, 3};
+  Genome G = Genome::random(R, D);
+  EXPECT_EQ(G.dims(), D);
+  EXPECT_EQ(G.length(), 2 * 3 * 3 * 6);
+  bool SawHighState = false, SawHighColor = false;
+  for (int I = 0; I != G.length(); ++I) {
+    EXPECT_LT(G.slot(I).NextState, 6);
+    EXPECT_LT(G.slot(I).Act.SetColor, 3);
+    SawHighState |= G.slot(I).NextState >= 4;
+    SawHighColor |= G.slot(I).Act.SetColor == 2;
+  }
+  EXPECT_TRUE(SawHighState) << "extra states unused by random()";
+  EXPECT_TRUE(SawHighColor) << "extra colours unused by random()";
+}
+
+TEST(GenomeDimsTest, CompactStringRoundTripWithPrefix) {
+  Rng R(6);
+  for (GenomeDims D : {GenomeDims{6, 2}, GenomeDims{4, 4}, GenomeDims{8, 3}}) {
+    Genome G = Genome::random(R, D);
+    std::string Text = G.toCompactString();
+    EXPECT_EQ(Text.substr(0, 1), "s") << "non-default dims need a prefix";
+    auto Parsed = Genome::fromCompactString(Text);
+    ASSERT_TRUE(Parsed) << Parsed.error().message();
+    EXPECT_EQ(*Parsed, G);
+  }
+  // Default dims stay prefix-free (backward compatible).
+  Genome Default = Genome::random(R);
+  EXPECT_NE(Default.toCompactString().substr(0, 1), "s");
+}
+
+TEST(GenomeDimsTest, DifferentDimensionsNeverCompareEqual) {
+  Genome A{GenomeDims{4, 2}};
+  Genome B{GenomeDims{6, 2}};
+  EXPECT_NE(A, B);
+  EXPECT_NE(A.hashValue(), B.hashValue());
+}
+
+TEST(GenomeDimsTest, TableStringShowsDimensions) {
+  Rng R(7);
+  Genome G = Genome::random(R, GenomeDims{6, 3});
+  std::string Table = G.toTableString(GridKind::Triangulate);
+  EXPECT_NE(Table.find("6 states"), std::string::npos);
+  EXPECT_NE(Table.find("3 colours"), std::string::npos);
+  EXPECT_NE(Table.find("18 inputs"), std::string::npos);
+}
+
+TEST(GenomeDimsTest, MutationWrapsAtTheDimensions) {
+  Rng R(8);
+  GenomeDims D{6, 3};
+  Genome G = Genome::random(R, D);
+  Genome M = mutate(G, MutationParams::uniform(1.0), R);
+  for (int I = 0; I != G.length(); ++I) {
+    EXPECT_EQ(M.slot(I).NextState, (G.slot(I).NextState + 1) % 6);
+    EXPECT_EQ(M.slot(I).Act.SetColor, (G.slot(I).Act.SetColor + 1) % 3);
+  }
+  // Six applications restore nextstate; three restore setcolor; lcm with
+  // the binary/4-ary fields is 12.
+  Genome Cycle = G;
+  for (int I = 0; I != 12; ++I)
+    Cycle = mutate(Cycle, MutationParams::uniform(1.0), R);
+  EXPECT_EQ(Cycle, G);
+}
+
+TEST(GenomeDimsTest, WorldRunsAMultiColourGenome) {
+  // A 3-colour painter: write colour 2 on own cell, move straight; when
+  // the front cell shows colour 2, turn right instead. Exercises colour
+  // values beyond the paper's binary flag end-to-end.
+  GenomeDims D{4, 3};
+  Genome G(D);
+  for (int X = 0; X != D.numInputs(); ++X)
+    for (int S = 0; S != D.States; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act.SetColor = 2;
+      E.Act.Move = true;
+      E.Act.TurnCode =
+          D.frontColorOf(X) == 2 ? Turn::Right : Turn::Straight;
+    }
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 50;
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, O);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.colorValueAt(T.indexOf(Coord{0, 0})), 2);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+  EXPECT_EQ(W.agent(0).Direction, 0) << "front colour was 0";
+  // March around the row: after 8 steps the agent re-enters (0,0) whose
+  // front cell (1,0) now carries colour 2 -> it turns right.
+  for (int I = 0; I != 7; ++I)
+    ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Direction, 1)
+      << "colour-2 front cell must trigger the turn";
+}
+
+TEST(GenomeDimsTest, EvolutionAtSixStatesRuns) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 2, 3, 99);
+  EvolutionParams P;
+  P.Seed = 3;
+  P.Dims = GenomeDims{6, 2};
+  P.Fitness.Sim.MaxSteps = 60;
+  Evolution E(T, Fields, P);
+  Individual Best = E.run(5);
+  EXPECT_EQ(Best.G.dims(), (GenomeDims{6, 2}));
+  EXPECT_EQ(E.population().size(), 20u);
+}

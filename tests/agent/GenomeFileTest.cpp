@@ -1,0 +1,100 @@
+//===- tests/agent/GenomeFileTest.cpp - Genome library format tests -------===//
+
+#include "agent/GenomeFile.h"
+
+#include "agent/BestAgents.h"
+#include "support/File.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace ca2a;
+
+namespace {
+
+std::vector<NamedGenome> sampleLibrary() {
+  return {
+      {"paper-s", GridKind::Square, bestSquareAgent()},
+      {"paper-t", GridKind::Triangulate, bestTriangulateAgent()},
+  };
+}
+
+} // namespace
+
+TEST(GenomeLibraryTest, FormatParseRoundTrip) {
+  std::vector<NamedGenome> Library = sampleLibrary();
+  auto Parsed = parseGenomeLibrary(formatGenomeLibrary(Library));
+  ASSERT_TRUE(Parsed) << Parsed.error().message();
+  ASSERT_EQ(Parsed->size(), 2u);
+  EXPECT_EQ((*Parsed)[0].Name, "paper-s");
+  EXPECT_EQ((*Parsed)[0].Kind, GridKind::Square);
+  EXPECT_EQ((*Parsed)[0].G, bestSquareAgent());
+  EXPECT_EQ((*Parsed)[1].Name, "paper-t");
+  EXPECT_EQ((*Parsed)[1].Kind, GridKind::Triangulate);
+  EXPECT_EQ((*Parsed)[1].G, bestTriangulateAgent());
+}
+
+TEST(GenomeLibraryTest, CommentsAndBlankLinesSkipped) {
+  std::string Text = "# header comment\n\n" +
+                     formatGenomeLibrary(sampleLibrary()) +
+                     "\n# trailing comment\n";
+  auto Parsed = parseGenomeLibrary(Text);
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->size(), 2u);
+}
+
+TEST(GenomeLibraryTest, RejectsMalformedLines) {
+  EXPECT_FALSE(parseGenomeLibrary("name"));
+  EXPECT_FALSE(parseGenomeLibrary("name S 0000"));
+  EXPECT_FALSE(parseGenomeLibrary("name X " +
+                                  bestSquareAgent().toCompactString()));
+  // Duplicate names.
+  std::vector<NamedGenome> Dup = {
+      {"same", GridKind::Square, bestSquareAgent()},
+      {"same", GridKind::Triangulate, bestTriangulateAgent()},
+  };
+  EXPECT_FALSE(parseGenomeLibrary(formatGenomeLibrary(Dup)));
+  // Errors carry the line number.
+  auto Bad = parseGenomeLibrary("# ok\nbroken line here\n");
+  ASSERT_FALSE(Bad);
+  EXPECT_NE(Bad.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(GenomeLibraryTest, FindGenome) {
+  std::vector<NamedGenome> Library = sampleLibrary();
+  const NamedGenome *Found = findGenome(Library, "paper-t");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->G, bestTriangulateAgent());
+  EXPECT_EQ(findGenome(Library, "missing"), nullptr);
+}
+
+TEST(GenomeLibraryTest, SaveAndLoadThroughTheFilesystem) {
+  std::string Path = ::testing::TempDir() + "/ca2a_genomes_test.txt";
+  auto Saved = saveGenomeLibrary(Path, sampleLibrary());
+  ASSERT_TRUE(Saved) << Saved.error().message();
+  auto Loaded = loadGenomeLibrary(Path);
+  ASSERT_TRUE(Loaded) << Loaded.error().message();
+  EXPECT_EQ(Loaded->size(), 2u);
+  EXPECT_EQ((*Loaded)[1].G, bestTriangulateAgent());
+  std::remove(Path.c_str());
+}
+
+TEST(GenomeLibraryTest, LoadMissingFileFails) {
+  auto Loaded = loadGenomeLibrary("/nonexistent/path/genomes.txt");
+  EXPECT_FALSE(Loaded);
+}
+
+TEST(FileHelpersTest, WriteReadRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/ca2a_file_test.txt";
+  std::string Payload = "line1\nline2 with spaces\n\x01 binary-ish \xff\n";
+  auto Written = writeFile(Path, Payload);
+  ASSERT_TRUE(Written) << Written.error().message();
+  auto Read = readFile(Path);
+  ASSERT_TRUE(Read) << Read.error().message();
+  EXPECT_EQ(*Read, Payload);
+  std::remove(Path.c_str());
+}
+
+TEST(FileHelpersTest, ReadMissingFileFails) {
+  EXPECT_FALSE(readFile("/nonexistent/path/file.txt"));
+}

@@ -1,0 +1,132 @@
+//===- tests/agent/GenomeTest.cpp - Genome unit tests ---------------------===//
+
+#include "agent/Genome.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(FsmInputTest, BitLayoutMatchesFig3Header) {
+  // Fig. 3: x = 0..7 with rows blocked = x&1, color = (x>>1)&1,
+  // frontcolor = (x>>2)&1.
+  EXPECT_EQ(makeFsmInput(false, false, false), 0);
+  EXPECT_EQ(makeFsmInput(true, false, false), 1);
+  EXPECT_EQ(makeFsmInput(false, true, false), 2);
+  EXPECT_EQ(makeFsmInput(true, true, false), 3);
+  EXPECT_EQ(makeFsmInput(false, false, true), 4);
+  EXPECT_EQ(makeFsmInput(true, false, true), 5);
+  EXPECT_EQ(makeFsmInput(false, true, true), 6);
+  EXPECT_EQ(makeFsmInput(true, true, true), 7);
+}
+
+TEST(GenomeTest, SlotIndexMatchesPaperIndexRow) {
+  // Fig. 3's "index i" row: i = 0..3 for x=0, 4..7 for x=1, etc.
+  EXPECT_EQ(Genome::slotIndex(0, 0), 0);
+  EXPECT_EQ(Genome::slotIndex(0, 3), 3);
+  EXPECT_EQ(Genome::slotIndex(1, 0), 4);
+  EXPECT_EQ(Genome::slotIndex(3, 2), 14);
+  EXPECT_EQ(Genome::slotIndex(7, 3), 31);
+}
+
+TEST(GenomeTest, DefaultIsAllZero) {
+  Genome G;
+  for (int I = 0; I != GenomeLength; ++I) {
+    EXPECT_EQ(G.slot(I).NextState, 0);
+    EXPECT_EQ(G.slot(I).Act, decodeAction(0));
+  }
+}
+
+TEST(GenomeTest, EntryAndSlotAgree) {
+  Rng R(3);
+  Genome G = Genome::random(R);
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S)
+      EXPECT_EQ(G.entry(X, S), G.slot(Genome::slotIndex(X, S)));
+}
+
+TEST(GenomeTest, RandomIsDeterministicPerSeed) {
+  Rng A(77), B(77);
+  EXPECT_EQ(Genome::random(A), Genome::random(B));
+  Rng C(78);
+  EXPECT_NE(Genome::random(A), Genome::random(C));
+}
+
+TEST(GenomeTest, RandomCoversFieldValues) {
+  // Over a few random genomes every nextstate and turn value must appear.
+  Rng R(5);
+  bool NextStateSeen[NumControlStates] = {};
+  bool TurnSeen[NumTurnCodes] = {};
+  for (int Draw = 0; Draw != 8; ++Draw) {
+    Genome G = Genome::random(R);
+    for (int I = 0; I != GenomeLength; ++I) {
+      NextStateSeen[G.slot(I).NextState] = true;
+      TurnSeen[static_cast<int>(G.slot(I).Act.TurnCode)] = true;
+    }
+  }
+  for (bool Seen : NextStateSeen)
+    EXPECT_TRUE(Seen);
+  for (bool Seen : TurnSeen)
+    EXPECT_TRUE(Seen);
+}
+
+TEST(GenomeTest, CompactStringRoundTrip) {
+  Rng R(9);
+  for (int Draw = 0; Draw != 20; ++Draw) {
+    Genome G = Genome::random(R);
+    auto Parsed = Genome::fromCompactString(G.toCompactString());
+    ASSERT_TRUE(Parsed) << Parsed.error().message();
+    EXPECT_EQ(*Parsed, G);
+  }
+}
+
+TEST(GenomeTest, CompactStringFormat) {
+  Genome G;
+  GenomeEntry &E = G.entry(0, 0);
+  E.NextState = 2;
+  E.Act.SetColor = true;
+  E.Act.Move = true;
+  E.Act.TurnCode = Turn::Left;
+  std::string Text = G.toCompactString();
+  // First group: nextstate=2, setcolor=1, move=1, turn=3.
+  EXPECT_EQ(Text.substr(0, 4), "2113");
+  EXPECT_EQ(splitWhitespace(Text).size(), static_cast<size_t>(GenomeLength));
+}
+
+TEST(GenomeTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Genome::fromCompactString(""));
+  EXPECT_FALSE(Genome::fromCompactString("0000"));
+  // Correct count but a bad digit.
+  Genome G;
+  std::string Text = G.toCompactString();
+  Text[0] = '7'; // nextstate 7 is out of range.
+  EXPECT_FALSE(Genome::fromCompactString(Text));
+  Text[0] = '0';
+  Text[1] = '2'; // setcolor 2 is out of range.
+  EXPECT_FALSE(Genome::fromCompactString(Text));
+  // A 5-digit group.
+  EXPECT_FALSE(Genome::fromCompactString(Text + "0"));
+}
+
+TEST(GenomeTest, TableStringShowsAllRows) {
+  Rng R(4);
+  Genome G = Genome::random(R);
+  std::string Table = G.toTableString(GridKind::Square);
+  for (const char *Row : {"blocked", "color", "frontcolor", "state",
+                          "nextstate", "setcolor", "move", "turn"})
+    EXPECT_NE(Table.find(Row), std::string::npos) << Row;
+  EXPECT_NE(Table.find("90deg"), std::string::npos);
+  std::string TriTable = G.toTableString(GridKind::Triangulate);
+  EXPECT_NE(TriTable.find("60deg"), std::string::npos);
+}
+
+TEST(GenomeTest, HashDetectsSingleFieldChange) {
+  Rng R(6);
+  Genome G = Genome::random(R);
+  Genome H = G;
+  EXPECT_EQ(G.hashValue(), H.hashValue());
+  H.entry(4, 2).Act.Move = !H.entry(4, 2).Act.Move;
+  EXPECT_NE(G, H);
+  EXPECT_NE(G.hashValue(), H.hashValue());
+}

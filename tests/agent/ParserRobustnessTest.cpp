@@ -1,0 +1,125 @@
+//===- tests/agent/ParserRobustnessTest.cpp - Pseudo-fuzz parsers ---------===//
+//
+// Deterministic fuzz-style robustness: the text parsers (compact genomes,
+// genome libraries, action mnemonics, configurations) must reject or
+// accept arbitrary byte soup without crashing, and every accepted input
+// must re-serialise consistently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/GenomeFile.h"
+#include "config/InitialConfiguration.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+/// Random printable-ish text with genome-flavoured characters mixed in so
+/// some inputs get deep into the parsers.
+std::string randomText(Rng &R, size_t MaxLength) {
+  static const char Alphabet[] =
+      "0123456789 \n\t#sctST-.mRLBx\xff\x01abcdefgh";
+  size_t Length = R.uniformInt(MaxLength + 1);
+  std::string Out;
+  Out.reserve(Length);
+  for (size_t I = 0; I != Length; ++I)
+    Out.push_back(Alphabet[R.uniformInt(sizeof(Alphabet) - 1)]);
+  return Out;
+}
+
+/// Mutates a valid serialisation: flip/insert/delete a few characters.
+std::string corrupt(const std::string &Valid, Rng &R) {
+  std::string Out = Valid;
+  int Edits = 1 + static_cast<int>(R.uniformInt(4));
+  for (int I = 0; I != Edits && !Out.empty(); ++I) {
+    size_t Pos = R.uniformInt(Out.size());
+    switch (R.uniformInt(3)) {
+    case 0:
+      Out[Pos] = static_cast<char>('!' + R.uniformInt(90));
+      break;
+    case 1:
+      Out.erase(Pos, 1);
+      break;
+    default:
+      Out.insert(Pos, 1, static_cast<char>('0' + R.uniformInt(10)));
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ParserRobustnessTest, GenomeFromRandomTextNeverCrashes) {
+  Rng R(2026);
+  int Accepted = 0;
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    auto Parsed = Genome::fromCompactString(randomText(R, 200));
+    if (Parsed) {
+      ++Accepted;
+      // Anything accepted must round-trip.
+      auto Again = Genome::fromCompactString(Parsed->toCompactString());
+      ASSERT_TRUE(Again);
+      EXPECT_EQ(*Again, *Parsed);
+    }
+  }
+  // Random soup should essentially never be a valid 32-group genome.
+  EXPECT_LT(Accepted, 3);
+}
+
+TEST(ParserRobustnessTest, CorruptedGenomesEitherFailOrRoundTrip) {
+  Rng R(2027);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    Genome G = Genome::random(R);
+    std::string Broken = corrupt(G.toCompactString(), R);
+    auto Parsed = Genome::fromCompactString(Broken);
+    if (Parsed) {
+      auto Again = Genome::fromCompactString(Parsed->toCompactString());
+      ASSERT_TRUE(Again);
+      EXPECT_EQ(*Again, *Parsed);
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, GenomeLibraryFromRandomTextNeverCrashes) {
+  Rng R(2028);
+  for (int Trial = 0; Trial != 1500; ++Trial) {
+    auto Parsed = parseGenomeLibrary(randomText(R, 400));
+    if (Parsed && !Parsed->empty()) {
+      std::string Formatted = formatGenomeLibrary(*Parsed);
+      auto Again = parseGenomeLibrary(Formatted);
+      ASSERT_TRUE(Again);
+      EXPECT_EQ(Again->size(), Parsed->size());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, ActionMnemonicsFromRandomTriples) {
+  Rng R(2029);
+  for (int Trial = 0; Trial != 5000; ++Trial) {
+    std::string Text = randomText(R, 5);
+    auto Parsed = parseActionMnemonic(Text);
+    if (Parsed) {
+      // Accepted mnemonics round-trip semantically (the turn letter is
+      // case-insensitive on input, canonical uppercase on output).
+      auto Again = parseActionMnemonic(actionMnemonic(*Parsed));
+      ASSERT_TRUE(Again);
+      EXPECT_EQ(*Again, *Parsed);
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, ConfigurationsFromRandomTextNeverCrash) {
+  Rng R(2030);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    auto Parsed = InitialConfiguration::deserialize(randomText(R, 120));
+    if (Parsed) {
+      auto Again = InitialConfiguration::deserialize(Parsed->serialize());
+      ASSERT_TRUE(Again);
+      EXPECT_EQ(Again->serialize(), Parsed->serialize());
+    }
+  }
+}

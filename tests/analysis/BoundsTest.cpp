@@ -1,0 +1,103 @@
+//===- tests/analysis/BoundsTest.cpp - Lower-bound oracle tests -----------===//
+
+#include "analysis/Bounds.h"
+
+#include "agent/BestAgents.h"
+#include "grid/Distance.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(BoundsTest, PairwiseDistanceAndBoundBasics) {
+  Torus T(GridKind::Square, 16);
+  InitialConfiguration C;
+  C.Placements = {{Coord{0, 0}, 0}, {Coord{8, 8}, 0}};
+  EXPECT_EQ(maxPairwiseDistance(T, C), 16);
+  EXPECT_EQ(communicationLowerBound(T, C), 5); // ceil(15 / 3).
+  EXPECT_EQ(stationaryLowerBound(T, C), 15);
+
+  InitialConfiguration Single;
+  Single.Placements = {{Coord{3, 3}, 0}};
+  EXPECT_EQ(maxPairwiseDistance(T, Single), 0);
+  EXPECT_EQ(communicationLowerBound(T, Single), 0);
+  EXPECT_EQ(stationaryLowerBound(T, Single), 0);
+
+  InitialConfiguration Adjacent;
+  Adjacent.Placements = {{Coord{0, 0}, 0}, {Coord{1, 0}, 0}};
+  EXPECT_EQ(communicationLowerBound(T, Adjacent), 0)
+      << "adjacent pairs solve at t = 0";
+}
+
+TEST(BoundsTest, PackedFieldMeetsTheStationaryBoundExactly) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    InitialConfiguration Packed = packedConfiguration(T);
+    EXPECT_EQ(maxPairwiseDistance(T, Packed), diameterByScan(T));
+    // The measured packed time (Table 1: 15 / 9) equals this bound.
+    EXPECT_EQ(stationaryLowerBound(T, Packed), diameterByScan(T) - 1);
+  }
+}
+
+struct BoundCase {
+  GridKind Kind;
+  int NumAgents;
+  uint64_t Seed;
+};
+
+class LowerBoundPropertyTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(LowerBoundPropertyTest, NoBehaviourBeatsTheBound) {
+  // The oracle: measured t_comm can never undercut the behaviour-free
+  // bound — for the published FSMs and for random FSMs alike.
+  BoundCase C = GetParam();
+  Torus T(C.Kind, 16);
+  World W(T);
+  Rng R(C.Seed);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    InitialConfiguration Field = randomConfiguration(T, C.NumAgents, R);
+    int Bound = communicationLowerBound(T, Field);
+    SimOptions O;
+    O.MaxSteps = 3000;
+    // Published agent.
+    W.reset(bestAgent(C.Kind), Field.Placements, O);
+    SimResult Best = W.run();
+    if (Best.Success)
+      EXPECT_GE(Best.TComm, Bound) << "published FSM beat the lower bound";
+    // Random behaviour.
+    Genome Random = Genome::random(R);
+    O.MaxSteps = 300;
+    W.reset(Random, Field.Placements, O);
+    SimResult Rand = W.run();
+    if (Rand.Success)
+      EXPECT_GE(Rand.TComm, Bound) << "random FSM beat the lower bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, LowerBoundPropertyTest,
+    ::testing::Values(BoundCase{GridKind::Square, 2, 21},
+                      BoundCase{GridKind::Square, 8, 22},
+                      BoundCase{GridKind::Square, 32, 23},
+                      BoundCase{GridKind::Triangulate, 2, 24},
+                      BoundCase{GridKind::Triangulate, 8, 25},
+                      BoundCase{GridKind::Triangulate, 32, 26}),
+    [](const ::testing::TestParamInfo<BoundCase> &I) {
+      return std::string(gridKindName(I.param.Kind)) + "k" +
+             std::to_string(I.param.NumAgents);
+    });
+
+TEST(BoundsTest, BoundIsUsefulForTwoAgentTraces) {
+  // The Fig. 6/7-style configuration: the bound gives a nontrivial floor.
+  Torus T(GridKind::Square, 16);
+  InitialConfiguration C;
+  C.Placements = {{Coord{2, 11}, 1}, {Coord{10, 9}, 2}};
+  int Bound = communicationLowerBound(T, C);
+  EXPECT_GT(Bound, 0);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 3000;
+  W.reset(bestSquareAgent(), C.Placements, O);
+  SimResult R = W.run();
+  ASSERT_TRUE(R.Success);
+  EXPECT_GE(R.TComm, Bound);
+}

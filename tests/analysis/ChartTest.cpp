@@ -1,0 +1,70 @@
+//===- tests/analysis/ChartTest.cpp - ASCII chart unit tests --------------===//
+
+#include "analysis/Chart.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ca2a;
+
+namespace {
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    Out.push_back(Line);
+  return Out;
+}
+} // namespace
+
+TEST(ChartTest, GeometryAndLegend) {
+  ChartSeries T{'T', "T-grid", {58.43, 78.30, 58.68, 41.25, 28.06, 9.00}};
+  ChartSeries S{'S', "S-grid", {82.78, 116.12, 90.93, 63.39, 42.93, 15.00}};
+  std::string Chart = renderCategoryChart({"2", "4", "8", "16", "32", "256"},
+                                          {T, S}, 12, 7);
+  std::vector<std::string> Rows = lines(Chart);
+  // 12 canvas rows + axis + labels + 2 legend rows.
+  ASSERT_EQ(Rows.size(), 16u);
+  EXPECT_NE(Chart.find("T = T-grid"), std::string::npos);
+  EXPECT_NE(Chart.find("S = S-grid"), std::string::npos);
+  // Max value (116) appears on the top scale row.
+  EXPECT_NE(Rows[0].find("116"), std::string::npos) << Rows[0];
+  // Both markers are plotted.
+  EXPECT_NE(Chart.find('T'), std::string::npos);
+  EXPECT_NE(Chart.find('S'), std::string::npos);
+}
+
+TEST(ChartTest, PeakPositionReflectsTheData) {
+  // Fig. 5's distinctive shape: the k = 4 column peaks. The S series' max
+  // must be plotted on the top canvas row in the second column block.
+  ChartSeries S{'s', "series", {82.78, 116.12, 90.93, 63.39, 42.93, 15.00}};
+  std::string Chart =
+      renderCategoryChart({"2", "4", "8", "16", "32", "256"}, {S}, 10, 7);
+  std::vector<std::string> Rows = lines(Chart);
+  // Row 0 holds the maximum; its marker must sit in column block 1
+  // (characters 8 + [7..14) of the canvas after the "nnnnnn |" prefix).
+  std::string TopRow = Rows[0];
+  size_t MarkerPos = TopRow.find('s');
+  ASSERT_NE(MarkerPos, std::string::npos);
+  size_t CanvasStart = TopRow.find('|') + 1;
+  size_t Block = (MarkerPos - CanvasStart) / 7;
+  EXPECT_EQ(Block, 1u) << "the peak must be over the k=4 slot";
+}
+
+TEST(ChartTest, OverlapRendersPlus) {
+  ChartSeries A{'a', "A", {10.0}};
+  ChartSeries B{'b', "B", {10.0}};
+  std::string Chart = renderCategoryChart({"x"}, {A, B}, 5, 5);
+  EXPECT_NE(Chart.find('+'), std::string::npos)
+      << "coinciding points must merge into '+'\n"
+      << Chart;
+}
+
+TEST(ChartTest, AllZeroSeriesDoesNotDivideByZero) {
+  ChartSeries Z{'z', "zero", {0.0, 0.0}};
+  std::string Chart = renderCategoryChart({"a", "b"}, {Z}, 4, 4);
+  EXPECT_FALSE(Chart.empty());
+  EXPECT_NE(Chart.find('z'), std::string::npos);
+}

@@ -1,0 +1,80 @@
+//===- tests/analysis/ConvergenceTest.cpp - Convergence-curve tests -------===//
+
+#include "analysis/Convergence.h"
+
+#include "agent/BestAgents.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(ConvergenceTest, CurveIsMonotoneAndReachesOneOnSolvedSets) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 8, 20, 9);
+  SimOptions O;
+  O.MaxSteps = 2000;
+  ConvergenceCurve Curve =
+      collectConvergence(bestTriangulateAgent(), T, Fields, O, 400);
+  ASSERT_EQ(Curve.InformedFraction.size(), 400u);
+  EXPECT_EQ(Curve.NumFields, 23);
+  EXPECT_EQ(Curve.SolvedFields, 23);
+  for (size_t I = 1; I != Curve.InformedFraction.size(); ++I)
+    EXPECT_GE(Curve.InformedFraction[I], Curve.InformedFraction[I - 1] - 1e-12)
+        << "mean informed fraction regressed at t=" << I;
+  EXPECT_NEAR(Curve.InformedFraction.back(), 1.0, 1e-12)
+      << "every field solved: the curve must saturate at 1";
+}
+
+TEST(ConvergenceTest, TimeToLevel) {
+  ConvergenceCurve Curve;
+  Curve.InformedFraction = {0.0, 0.2, 0.5, 0.9, 1.0};
+  EXPECT_EQ(Curve.timeToLevel(0.0), 0);
+  EXPECT_EQ(Curve.timeToLevel(0.5), 2);
+  EXPECT_EQ(Curve.timeToLevel(0.95), 4);
+  EXPECT_EQ(Curve.timeToLevel(1.1), -1);
+}
+
+TEST(ConvergenceTest, UnsolvedFieldsKeepTheirTailFraction) {
+  // Stationary agents at distance 2: nobody is ever informed.
+  Torus T(GridKind::Square, 16);
+  Genome Stay;
+  std::vector<InitialConfiguration> Fields = {diagonalConfiguration(T, 4)};
+  SimOptions O;
+  O.MaxSteps = 30;
+  ConvergenceCurve Curve = collectConvergence(Stay, T, Fields, O, 60);
+  EXPECT_EQ(Curve.SolvedFields, 0);
+  for (double F : Curve.InformedFraction)
+    EXPECT_DOUBLE_EQ(F, 0.0);
+}
+
+TEST(ConvergenceTest, TriangulateCurveDominatesSquare) {
+  // Stronger than "mean t_comm is lower": the T-grid's informed fraction
+  // is at least the S-grid's at (almost) every time step.
+  SimOptions O;
+  O.MaxSteps = 2000;
+  constexpr int CurveLength = 250;
+  std::vector<double> Curves[2];
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    auto Fields = standardConfigurationSet(T, 16, 40, 13);
+    ConvergenceCurve Curve =
+        collectConvergence(bestAgent(Kind), T, Fields, O, CurveLength);
+    Curves[Kind == GridKind::Triangulate] = Curve.InformedFraction;
+  }
+  // Compare at a few representative times (allow tiny sampling noise).
+  for (int Time : {20, 40, 60, 100, 150, 240})
+    EXPECT_GE(Curves[1][static_cast<size_t>(Time)] + 0.02,
+              Curves[0][static_cast<size_t>(Time)])
+        << "t=" << Time;
+  // And strictly better somewhere in the body.
+  EXPECT_GT(Curves[1][60], Curves[0][60]);
+}
+
+TEST(RenderConvergenceTest, Layout) {
+  ConvergenceCurve Curve;
+  Curve.InformedFraction = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::string Out = renderConvergence(Curve, 2, 8);
+  // Rows for t = 0, 2, 4.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 3);
+  EXPECT_NE(Out.find("100.0%"), std::string::npos);
+  EXPECT_NE(Out.find("########"), std::string::npos);
+}

@@ -1,0 +1,71 @@
+//===- tests/analysis/DistributionTest.cpp - Distribution unit tests ------===//
+
+#include "analysis/Distribution.h"
+
+#include "agent/BestAgents.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(CollectCommTimesTest, SampleMatchesFieldSet) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 8, 25, 5);
+  SimOptions O;
+  O.MaxSteps = 2000;
+  CommTimeDistribution D =
+      collectCommTimes(bestTriangulateAgent(), T, Fields, O);
+  EXPECT_EQ(D.Times.size() + static_cast<size_t>(D.Unsolved), Fields.size());
+  EXPECT_EQ(D.Unsolved, 0) << "best T-agent must solve the sampled fields";
+  EXPECT_EQ(D.Stats.Count, D.Times.size());
+  EXPECT_GT(D.Stats.Mean, 0.0);
+  EXPECT_GE(D.Stats.Max, D.Stats.Median);
+}
+
+TEST(CollectCommTimesTest, CountsUnsolvedFields) {
+  Torus T(GridKind::Square, 16);
+  Genome Stay; // Never moves.
+  std::vector<InitialConfiguration> Fields = {diagonalConfiguration(T, 4)};
+  SimOptions O;
+  O.MaxSteps = 50;
+  CommTimeDistribution D = collectCommTimes(Stay, T, Fields, O);
+  EXPECT_TRUE(D.Times.empty());
+  EXPECT_EQ(D.Unsolved, 1);
+}
+
+TEST(RenderHistogramTest, BucketsSumToSample) {
+  std::vector<double> Times = {1, 2, 2, 3, 3, 3, 10, 10, 20, 30};
+  std::string H = renderHistogram(Times, 5, 20);
+  // One line per bucket; counts appear; bars proportional.
+  EXPECT_EQ(std::count(H.begin(), H.end(), '\n'), 5);
+  int TotalHashes = static_cast<int>(std::count(H.begin(), H.end(), '#'));
+  EXPECT_GT(TotalHashes, 0);
+  EXPECT_NE(H.find("|#"), std::string::npos);
+}
+
+TEST(RenderHistogramTest, DegenerateSamples) {
+  EXPECT_EQ(renderHistogram({}, 4), "(empty sample)\n");
+  // Constant sample: everything lands in one bucket, no crash.
+  std::string H = renderHistogram({5, 5, 5}, 3);
+  EXPECT_EQ(std::count(H.begin(), H.end(), '\n'), 3);
+  EXPECT_NE(H.find("    3 |"), std::string::npos) << H;
+}
+
+TEST(FormatDistributionSummaryTest, Layout) {
+  CommTimeDistribution D;
+  D.Times = {10, 20, 30, 40};
+  D.Stats = Summary::of(D.Times);
+  std::string S = formatDistributionSummary(D);
+  EXPECT_NE(S.find("mean 25.00"), std::string::npos) << S;
+  EXPECT_NE(S.find("median 25.0"), std::string::npos) << S;
+  EXPECT_NE(S.find("max 40"), std::string::npos) << S;
+  EXPECT_NE(S.find("n=4"), std::string::npos) << S;
+
+  D.Unsolved = 2;
+  EXPECT_NE(formatDistributionSummary(D).find("2 unsolved"),
+            std::string::npos);
+
+  CommTimeDistribution Empty;
+  Empty.Unsolved = 3;
+  EXPECT_NE(formatDistributionSummary(Empty).find("no solved fields"),
+            std::string::npos);
+}

@@ -1,0 +1,78 @@
+//===- tests/analysis/ExperimentTest.cpp - Experiment driver unit tests ---===//
+
+#include "analysis/Experiment.h"
+
+#include "agent/BestAgents.h"
+#include "grid/Distance.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+FitnessParams generousCutoff() {
+  FitnessParams P;
+  P.Sim.MaxSteps = 2000;
+  return P;
+}
+} // namespace
+
+TEST(MeasureDensityTest, PackedFieldGivesDiameterMinusOne) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    DensityMeasurement M = measureDensity(bestAgent(Kind), T, 256, 10, 1,
+                                          generousCutoff());
+    EXPECT_EQ(M.NumFields, 1);
+    EXPECT_TRUE(M.completelySuccessful());
+    EXPECT_DOUBLE_EQ(M.MeanCommTime, diameterByScan(T) - 1);
+  }
+}
+
+TEST(MeasureDensityTest, ReportsKindAndCounts) {
+  Torus T(GridKind::Triangulate, 16);
+  DensityMeasurement M =
+      measureDensity(bestTriangulateAgent(), T, 8, 15, 3, generousCutoff());
+  EXPECT_EQ(M.Kind, GridKind::Triangulate);
+  EXPECT_EQ(M.NumAgents, 8);
+  EXPECT_EQ(M.NumFields, 18);
+  EXPECT_EQ(M.SolvedFields, 18);
+  EXPECT_GT(M.MeanCommTime, 0.0);
+}
+
+TEST(DensitySweepTest, StructureAndRatio) {
+  SweepParams P;
+  P.AgentCounts = {2, 8, 256};
+  P.NumRandomFields = 15;
+  P.Fitness = generousCutoff();
+  auto Sweep = runDensitySweep(bestSquareAgent(), bestTriangulateAgent(), P);
+  ASSERT_EQ(Sweep.size(), 3u);
+  for (const DensityComparison &C : Sweep) {
+    EXPECT_EQ(C.Triangulate.Kind, GridKind::Triangulate);
+    EXPECT_EQ(C.Square.Kind, GridKind::Square);
+    EXPECT_GT(C.Square.MeanCommTime, 0.0);
+    EXPECT_NEAR(C.ratio(), C.Triangulate.MeanCommTime / C.Square.MeanCommTime,
+                1e-12);
+  }
+  // The packed column is exact: 9 / 15 = 0.6 (Table 1).
+  EXPECT_DOUBLE_EQ(Sweep.back().Triangulate.MeanCommTime, 9.0);
+  EXPECT_DOUBLE_EQ(Sweep.back().Square.MeanCommTime, 15.0);
+  EXPECT_DOUBLE_EQ(Sweep.back().ratio(), 0.6);
+}
+
+TEST(DensitySweepTest, TriangulateBeatsSquareOnSampledFields) {
+  // The headline claim at reduced scale: T-agents are faster at every
+  // density.
+  SweepParams P;
+  P.AgentCounts = {2, 4, 8, 16};
+  P.NumRandomFields = 25;
+  P.Fitness = generousCutoff();
+  auto Sweep = runDensitySweep(bestSquareAgent(), bestTriangulateAgent(), P);
+  for (const DensityComparison &C : Sweep) {
+    EXPECT_LT(C.ratio(), 1.0) << "k=" << C.NumAgents;
+    EXPECT_GT(C.ratio(), 0.4) << "k=" << C.NumAgents;
+  }
+}
+
+TEST(DensityComparisonTest, RatioOfZeroTimesIsZero) {
+  DensityComparison C;
+  EXPECT_DOUBLE_EQ(C.ratio(), 0.0);
+}

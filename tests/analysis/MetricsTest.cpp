@@ -1,0 +1,121 @@
+//===- tests/analysis/MetricsTest.cpp - Run-metrics unit tests ------------===//
+
+#include "analysis/Metrics.h"
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+Genome constantGenome(bool Move) {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act.Move = Move;
+    }
+  return G;
+}
+
+} // namespace
+
+TEST(RunMetricsTest, StationaryAgentsNeverMove) {
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 40;
+  W.reset(constantGenome(false), {{Coord{0, 0}, 0}, {Coord{8, 8}, 0}}, O);
+  RunMetrics M = collectRunMetrics(W);
+  EXPECT_FALSE(M.Result.Success);
+  EXPECT_EQ(M.MoveSteps, 0);
+  EXPECT_GT(M.WaitSteps, 0);
+  EXPECT_DOUBLE_EQ(M.moveFraction(), 0.0);
+  EXPECT_EQ(M.MeetingEvents, 0) << "distance-16 agents never meet";
+  EXPECT_EQ(M.StepsObserved, 40);
+}
+
+TEST(RunMetricsTest, RunnersAlwaysMove) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 20;
+  // Two agents orbiting disjoint rows: always move, never meet.
+  W.reset(constantGenome(true), {{Coord{0, 0}, 0}, {Coord{0, 4}, 0}}, O);
+  RunMetrics M = collectRunMetrics(W);
+  EXPECT_EQ(M.WaitSteps, 0);
+  EXPECT_DOUBLE_EQ(M.moveFraction(), 1.0);
+  EXPECT_EQ(M.MeetingEvents, 0);
+}
+
+TEST(RunMetricsTest, AdjacentPairCountsOneMeeting) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 20;
+  W.reset(constantGenome(false), {{Coord{0, 0}, 0}, {Coord{1, 0}, 0}}, O);
+  RunMetrics M = collectRunMetrics(W);
+  EXPECT_TRUE(M.Result.Success);
+  EXPECT_EQ(M.Result.TComm, 0);
+  // One observation (the solving step), one adjacent pair.
+  EXPECT_EQ(M.StepsObserved, 1);
+  EXPECT_EQ(M.MeetingEvents, 1);
+}
+
+TEST(RunMetricsTest, BestAgentsMeetMoreOftenOnTheTriangulateGrid) {
+  // The mechanism behind the headline result, quantified: at equal density
+  // the 6-valent torus produces more meetings per step.
+  double MeetingRate[2] = {0.0, 0.0};
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    World W(T);
+    Rng R(77);
+    double Total = 0.0;
+    int Runs = 30;
+    for (int I = 0; I != Runs; ++I) {
+      InitialConfiguration C = randomConfiguration(T, 16, R);
+      SimOptions O;
+      O.MaxSteps = 2000;
+      W.reset(bestAgent(Kind), C.Placements, O);
+      RunMetrics M = collectRunMetrics(W);
+      EXPECT_TRUE(M.Result.Success);
+      Total += M.meetingsPerStep();
+    }
+    MeetingRate[Kind == GridKind::Triangulate] = Total / Runs;
+  }
+  EXPECT_GT(MeetingRate[1], MeetingRate[0])
+      << "T-agents must meet more often per step";
+}
+
+TEST(RunMetricsTest, ColoredCellsCounted) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome Painter;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S)
+      Painter.entry(X, S).Act.SetColor = true;
+  SimOptions O;
+  O.MaxSteps = 10;
+  W.reset(Painter, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, O);
+  RunMetrics M = collectRunMetrics(W);
+  EXPECT_EQ(M.FinalColoredCells, 2) << "two stationary painters, two cells";
+}
+
+TEST(RunMetricsTest, FormatContainsTheNumbers) {
+  RunMetrics M;
+  M.Result.Success = true;
+  M.Result.TComm = 44;
+  M.MoveSteps = 80;
+  M.WaitSteps = 20;
+  M.MeetingEvents = 10;
+  M.StepsObserved = 5;
+  M.FinalColoredCells = 7;
+  std::string S = formatRunMetrics(M);
+  EXPECT_NE(S.find("t=44"), std::string::npos) << S;
+  EXPECT_NE(S.find("move%=80.0"), std::string::npos) << S;
+  EXPECT_NE(S.find("meetings/step=2.00"), std::string::npos) << S;
+  EXPECT_NE(S.find("colored=7"), std::string::npos) << S;
+}

@@ -1,0 +1,81 @@
+//===- tests/analysis/SignificanceTest.cpp - Statistics unit tests --------===//
+
+#include "analysis/Significance.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace ca2a;
+
+TEST(WelchTest, KnownSmallSample) {
+  // A = {1,2,3,4,5}: mean 3, var 2.5; B = {2,4,6,8,10}: mean 6, var 10.
+  std::vector<double> A = {1, 2, 3, 4, 5};
+  std::vector<double> B = {2, 4, 6, 8, 10};
+  WelchResult R = welchTTest(A, B);
+  EXPECT_DOUBLE_EQ(R.MeanA, 3.0);
+  EXPECT_DOUBLE_EQ(R.MeanB, 6.0);
+  // t = (3 - 6) / sqrt(2.5/5 + 10/5) = -3 / sqrt(2.5) = -1.8974.
+  EXPECT_NEAR(R.TStatistic, -1.8974, 1e-3);
+  // df = (0.5 + 2)^2 / (0.5^2/4 + 2^2/4) = 6.25 / 1.0625 = 5.882.
+  EXPECT_NEAR(R.DegreesOfFreedom, 5.882, 1e-2);
+  EXPECT_FALSE(R.overwhelming());
+}
+
+TEST(WelchTest, IdenticalSamplesGiveZeroT) {
+  std::vector<double> A = {5, 6, 7, 8};
+  WelchResult R = welchTTest(A, A);
+  EXPECT_DOUBLE_EQ(R.TStatistic, 0.0);
+  EXPECT_FALSE(R.overwhelming());
+}
+
+TEST(WelchTest, LargeSeparatedSamplesAreOverwhelming) {
+  Rng R(9);
+  std::vector<double> A, B;
+  for (int I = 0; I != 500; ++I) {
+    A.push_back(40.0 + R.uniformReal() * 10.0);
+    B.push_back(60.0 + R.uniformReal() * 10.0);
+  }
+  WelchResult W = welchTTest(A, B);
+  EXPECT_LT(W.TStatistic, -3.0);
+  EXPECT_GT(W.DegreesOfFreedom, 30.0);
+  EXPECT_TRUE(W.overwhelming());
+}
+
+TEST(BootstrapTest, PointEstimateAndCoverage) {
+  Rng R(5);
+  std::vector<double> Num, Den;
+  for (int I = 0; I != 400; ++I) {
+    Num.push_back(40.0 + R.uniformReal() * 4.0); // mean ~42.
+    Den.push_back(63.0 + R.uniformReal() * 4.0); // mean ~65.
+  }
+  Rng BootRng(1);
+  BootstrapInterval CI = bootstrapMeanRatio(Num, Den, 0.95, 2000, BootRng);
+  EXPECT_NEAR(CI.Estimate, 42.0 / 65.0, 0.02);
+  EXPECT_LT(CI.Low, CI.Estimate);
+  EXPECT_GT(CI.High, CI.Estimate);
+  EXPECT_GT(CI.Low, 0.55);
+  EXPECT_LT(CI.High, 0.75);
+  // Tight interval for n = 400.
+  EXPECT_LT(CI.High - CI.Low, 0.05);
+}
+
+TEST(BootstrapTest, DeterministicPerSeed) {
+  std::vector<double> Num = {1, 2, 3, 4, 5, 6};
+  std::vector<double> Den = {2, 4, 6, 8, 10, 12};
+  Rng R1(7), R2(7);
+  BootstrapInterval A = bootstrapMeanRatio(Num, Den, 0.9, 500, R1);
+  BootstrapInterval B = bootstrapMeanRatio(Num, Den, 0.9, 500, R2);
+  EXPECT_DOUBLE_EQ(A.Low, B.Low);
+  EXPECT_DOUBLE_EQ(A.High, B.High);
+  EXPECT_DOUBLE_EQ(A.Estimate, 0.5);
+}
+
+TEST(BootstrapTest, DegenerateConstantSamples) {
+  std::vector<double> Num(10, 3.0), Den(10, 6.0);
+  Rng R(3);
+  BootstrapInterval CI = bootstrapMeanRatio(Num, Den, 0.95, 100, R);
+  EXPECT_DOUBLE_EQ(CI.Estimate, 0.5);
+  EXPECT_DOUBLE_EQ(CI.Low, 0.5);
+  EXPECT_DOUBLE_EQ(CI.High, 0.5);
+}

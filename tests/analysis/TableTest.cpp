@@ -1,0 +1,73 @@
+//===- tests/analysis/TableTest.cpp - Table formatting unit tests ---------===//
+
+#include "analysis/Table.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ca2a;
+
+namespace {
+
+std::vector<DensityComparison> sampleSweep() {
+  // Table 1's first and last columns, verbatim.
+  DensityComparison A;
+  A.NumAgents = 2;
+  A.Triangulate.Kind = GridKind::Triangulate;
+  A.Triangulate.NumAgents = 2;
+  A.Triangulate.MeanCommTime = 58.43;
+  A.Triangulate.SolvedFields = A.Triangulate.NumFields = 1003;
+  A.Square.Kind = GridKind::Square;
+  A.Square.NumAgents = 2;
+  A.Square.MeanCommTime = 82.78;
+  A.Square.SolvedFields = A.Square.NumFields = 1003;
+
+  DensityComparison B;
+  B.NumAgents = 256;
+  B.Triangulate.Kind = GridKind::Triangulate;
+  B.Triangulate.MeanCommTime = 9.0;
+  B.Triangulate.SolvedFields = B.Triangulate.NumFields = 1;
+  B.Square.Kind = GridKind::Square;
+  B.Square.MeanCommTime = 15.0;
+  B.Square.SolvedFields = B.Square.NumFields = 1;
+  return {A, B};
+}
+
+} // namespace
+
+TEST(FormatDensityTableTest, PaperLayout) {
+  std::string Table = formatDensityTable(sampleSweep());
+  EXPECT_NE(Table.find("N_agents"), std::string::npos);
+  EXPECT_NE(Table.find("T-grid"), std::string::npos);
+  EXPECT_NE(Table.find("S-grid"), std::string::npos);
+  EXPECT_NE(Table.find("T/S"), std::string::npos);
+  // The classic numbers, formatted to the paper's precision.
+  EXPECT_NE(Table.find("58.43"), std::string::npos);
+  EXPECT_NE(Table.find("82.78"), std::string::npos);
+  EXPECT_NE(Table.find("0.706"), std::string::npos);
+  EXPECT_NE(Table.find("0.600"), std::string::npos);
+  EXPECT_NE(Table.find("15.00"), std::string::npos);
+}
+
+TEST(WriteDensityCsvTest, HeaderAndRows) {
+  std::ostringstream Out;
+  writeDensityCsv(sampleSweep(), Out);
+  std::string Csv = Out.str();
+  EXPECT_NE(Csv.find("n_agents,t_grid_mean,s_grid_mean,ratio"),
+            std::string::npos);
+  // Header + 2 data rows.
+  EXPECT_EQ(std::count(Csv.begin(), Csv.end(), '\n'), 3);
+  EXPECT_NE(Csv.find("256,9.0000,15.0000,0.6000,1,1,1,1"), std::string::npos)
+      << Csv;
+}
+
+TEST(FormatMeasurementTest, Layout) {
+  DensityMeasurement M;
+  M.Kind = GridKind::Triangulate;
+  M.NumAgents = 16;
+  M.MeanCommTime = 41.25;
+  M.SolvedFields = 1003;
+  M.NumFields = 1003;
+  EXPECT_EQ(formatMeasurement(M), "T-grid k=16: 41.25 steps (1003/1003 solved)");
+}

@@ -1,0 +1,214 @@
+//===- tests/config/InitialConfigurationTest.cpp - Field-gen unit tests ---===//
+
+#include "config/InitialConfiguration.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ca2a;
+
+class RandomConfigTest : public ::testing::TestWithParam<GridKind> {};
+
+TEST_P(RandomConfigTest, DistinctCellsAndValidDirections) {
+  Torus T(GetParam(), 16);
+  Rng R(7);
+  for (int K : {1, 2, 8, 64, 255}) {
+    InitialConfiguration C = randomConfiguration(T, K, R);
+    EXPECT_EQ(C.numAgents(), K);
+    EXPECT_TRUE(isValidConfiguration(T, C));
+    std::set<int> Cells;
+    for (const Placement &P : C.Placements) {
+      Cells.insert(T.indexOf(P.Pos));
+      EXPECT_LT(P.Direction, T.degree());
+    }
+    EXPECT_EQ(static_cast<int>(Cells.size()), K);
+  }
+}
+
+TEST_P(RandomConfigTest, CoversAllDirectionsEventually) {
+  Torus T(GetParam(), 16);
+  Rng R(11);
+  std::set<int> Directions;
+  for (int I = 0; I != 40; ++I) {
+    InitialConfiguration C = randomConfiguration(T, 8, R);
+    for (const Placement &P : C.Placements)
+      Directions.insert(P.Direction);
+  }
+  EXPECT_EQ(static_cast<int>(Directions.size()), T.degree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, RandomConfigTest,
+                         ::testing::Values(GridKind::Square,
+                                           GridKind::Triangulate),
+                         [](const ::testing::TestParamInfo<GridKind> &I) {
+                           return std::string(gridKindName(I.param));
+                         });
+
+TEST(RandomConfigTest, DeterministicPerSeed) {
+  Torus T(GridKind::Square, 16);
+  Rng A(5), B(5), C(6);
+  InitialConfiguration CA = randomConfiguration(T, 16, A);
+  InitialConfiguration CB = randomConfiguration(T, 16, B);
+  InitialConfiguration CC = randomConfiguration(T, 16, C);
+  EXPECT_EQ(CA.serialize(), CB.serialize());
+  EXPECT_NE(CA.serialize(), CC.serialize());
+}
+
+TEST(ManualConfigTest, QueueForward) {
+  Torus T(GridKind::Square, 16);
+  InitialConfiguration C = queueForwardConfiguration(T, 8);
+  ASSERT_EQ(C.numAgents(), 8);
+  EXPECT_TRUE(isValidConfiguration(T, C));
+  for (int I = 0; I != 8; ++I) {
+    EXPECT_EQ(C.Placements[static_cast<size_t>(I)].Pos, (Coord{I, 8}));
+    EXPECT_EQ(C.Placements[static_cast<size_t>(I)].Direction, 0) << "east";
+  }
+}
+
+TEST(ManualConfigTest, QueueBackwardFacesWest) {
+  Torus S(GridKind::Square, 16);
+  InitialConfiguration CS = queueBackwardConfiguration(S, 8);
+  for (const Placement &P : CS.Placements)
+    EXPECT_EQ(S.directionOffset(P.Direction), (Coord{-1, 0}));
+  Torus T(GridKind::Triangulate, 16);
+  InitialConfiguration CT = queueBackwardConfiguration(T, 8);
+  for (const Placement &P : CT.Placements)
+    EXPECT_EQ(T.directionOffset(P.Direction), (Coord{-1, 0}));
+}
+
+TEST(ManualConfigTest, DiagonalHasMaximalSpacing) {
+  Torus T(GridKind::Triangulate, 16);
+  InitialConfiguration C = diagonalConfiguration(T, 4);
+  ASSERT_EQ(C.numAgents(), 4);
+  EXPECT_TRUE(isValidConfiguration(T, C));
+  for (int I = 0; I != 4; ++I) {
+    Coord P = C.Placements[static_cast<size_t>(I)].Pos;
+    EXPECT_EQ(P.X, P.Y) << "diagonal placement";
+    EXPECT_EQ(P.X, I * 4) << "maximal spacing on a 16-diagonal";
+  }
+}
+
+TEST(ManualConfigTest, DiagonalFullSide) {
+  Torus T(GridKind::Square, 16);
+  InitialConfiguration C = diagonalConfiguration(T, 16);
+  EXPECT_TRUE(isValidConfiguration(T, C));
+  std::set<int> Xs;
+  for (const Placement &P : C.Placements)
+    Xs.insert(P.Pos.X);
+  EXPECT_EQ(Xs.size(), 16u);
+}
+
+TEST(StandardSetTest, SizeAndComposition) {
+  Torus T(GridKind::Square, 16);
+  auto Set = standardConfigurationSet(T, 8, 100, 42);
+  // 100 random + 3 manual.
+  EXPECT_EQ(Set.size(), 103u);
+  for (const InitialConfiguration &C : Set) {
+    EXPECT_EQ(C.numAgents(), 8);
+    EXPECT_TRUE(isValidConfiguration(T, C));
+  }
+  // The last three are the manual designs.
+  EXPECT_EQ(Set[100].serialize(), queueForwardConfiguration(T, 8).serialize());
+  EXPECT_EQ(Set[101].serialize(),
+            queueBackwardConfiguration(T, 8).serialize());
+  EXPECT_EQ(Set[102].serialize(), diagonalConfiguration(T, 8).serialize());
+}
+
+TEST(StandardSetTest, ManualDesignsSkippedWhenTooManyAgents) {
+  Torus T(GridKind::Square, 16);
+  // 32 agents do not fit a 16-cell queue: random-only set.
+  auto Set = standardConfigurationSet(T, 32, 50, 42);
+  EXPECT_EQ(Set.size(), 50u);
+}
+
+TEST(StandardSetTest, DeterministicPerSeed) {
+  Torus T(GridKind::Triangulate, 16);
+  auto A = standardConfigurationSet(T, 8, 20, 1);
+  auto B = standardConfigurationSet(T, 8, 20, 1);
+  auto C = standardConfigurationSet(T, 8, 20, 2);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I].serialize(), B[I].serialize());
+  bool AnyDifferent = false;
+  for (size_t I = 0; I != A.size() && I != C.size(); ++I)
+    AnyDifferent |= (A[I].serialize() != C[I].serialize());
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(PackedConfigTest, OneAgentPerCell) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 8);
+    InitialConfiguration C = packedConfiguration(T);
+    EXPECT_EQ(C.numAgents(), 64);
+    EXPECT_TRUE(isValidConfiguration(T, C));
+  }
+}
+
+TEST(ObstacleConfigTest, AvoidingGeneratorStaysOffForbiddenCells) {
+  Torus T(GridKind::Triangulate, 16);
+  Rng R(17);
+  std::vector<Coord> Obstacles = randomObstacles(T, 40, R);
+  std::set<int> ForbiddenCells;
+  for (Coord C : Obstacles)
+    ForbiddenCells.insert(T.indexOf(C));
+  EXPECT_EQ(ForbiddenCells.size(), 40u) << "obstacles must be distinct";
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    InitialConfiguration C = randomConfigurationAvoiding(T, 16, R, Obstacles);
+    EXPECT_TRUE(isValidConfiguration(T, C));
+    for (const Placement &P : C.Placements)
+      EXPECT_FALSE(ForbiddenCells.count(T.indexOf(P.Pos)))
+          << "agent placed on an obstacle";
+  }
+}
+
+TEST(ObstacleConfigTest, AvoidingGeneratorFillsTheFreeCells) {
+  Torus T(GridKind::Square, 4);
+  Rng R(3);
+  std::vector<Coord> Obstacles = {Coord{0, 0}, Coord{1, 0}};
+  // 14 free cells, ask for all of them.
+  InitialConfiguration C = randomConfigurationAvoiding(T, 14, R, Obstacles);
+  EXPECT_EQ(C.numAgents(), 14);
+  EXPECT_TRUE(isValidConfiguration(T, C));
+}
+
+TEST(SerializationTest, RoundTrip) {
+  Torus T(GridKind::Triangulate, 16);
+  Rng R(3);
+  InitialConfiguration C = randomConfiguration(T, 8, R);
+  auto Parsed = InitialConfiguration::deserialize(C.serialize());
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->serialize(), C.serialize());
+}
+
+TEST(SerializationTest, RejectsMalformed) {
+  EXPECT_FALSE(InitialConfiguration::deserialize(""));
+  EXPECT_FALSE(InitialConfiguration::deserialize("1 2"));
+  EXPECT_FALSE(InitialConfiguration::deserialize("1 2 3 4"));
+  EXPECT_FALSE(InitialConfiguration::deserialize("a b c"));
+  EXPECT_FALSE(InitialConfiguration::deserialize("1 2 9"));
+  // Blank lines are fine.
+  EXPECT_TRUE(InitialConfiguration::deserialize("\n1 2 3\n\n"));
+}
+
+TEST(ValidationTest, RejectsBadConfigurations) {
+  Torus T(GridKind::Square, 8);
+  InitialConfiguration Empty;
+  EXPECT_FALSE(isValidConfiguration(T, Empty));
+
+  InitialConfiguration Duplicate;
+  Duplicate.Placements = {{Coord{1, 1}, 0}, {Coord{1, 1}, 1}};
+  EXPECT_FALSE(isValidConfiguration(T, Duplicate));
+
+  InitialConfiguration BadDirection;
+  BadDirection.Placements = {{Coord{1, 1}, 4}}; // S-grid has dirs 0..3.
+  EXPECT_FALSE(isValidConfiguration(T, BadDirection));
+
+  InitialConfiguration OutOfRange;
+  OutOfRange.Placements = {{Coord{8, 0}, 0}};
+  EXPECT_FALSE(isValidConfiguration(T, OutOfRange));
+
+  InitialConfiguration Good;
+  Good.Placements = {{Coord{1, 1}, 3}, {Coord{2, 2}, 0}};
+  EXPECT_TRUE(isValidConfiguration(T, Good));
+}

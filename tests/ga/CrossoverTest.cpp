@@ -1,0 +1,80 @@
+//===- tests/ga/CrossoverTest.cpp - Crossover operator unit tests ---------===//
+
+#include "ga/Crossover.h"
+
+#include "ga/Mutation.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(CrossoverTest, OnePointChildIsPrefixPlusSuffix) {
+  Rng R(1);
+  Genome A = Genome::random(R);
+  Genome B = Genome::random(R);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    Genome Child = crossoverOnePoint(A, B, R);
+    // Find the cut: the child must match A on a prefix and B on the rest.
+    int Cut = -1;
+    for (int I = 0; I != GenomeLength; ++I) {
+      bool FromA = Child.slot(I) == A.slot(I);
+      bool FromB = Child.slot(I) == B.slot(I);
+      ASSERT_TRUE(FromA || FromB) << "slot " << I << " from neither parent";
+      if (!FromA && Cut < 0)
+        Cut = I;
+      if (Cut >= 0)
+        EXPECT_TRUE(FromB) << "A-slot after the cut at " << I;
+    }
+    // Cut in [1, 31]: the child always carries at least one A slot; when
+    // parents agree on a suffix Cut may stay -1 (child == A), still valid.
+    EXPECT_TRUE(Child.slot(0) == A.slot(0));
+  }
+}
+
+TEST(CrossoverTest, OnePointUsesBothParents) {
+  Rng R(2);
+  Genome A = Genome::random(R);
+  // Make B differ from A in EVERY field so provenance is unambiguous.
+  Genome B = mutate(A, MutationParams::uniform(1.0), R);
+  int SawMixture = 0;
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    Genome Child = crossoverOnePoint(A, B, R);
+    bool HasA = false, HasB = false;
+    for (int I = 0; I != GenomeLength; ++I) {
+      HasA |= Child.slot(I) == A.slot(I);
+      HasB |= Child.slot(I) == B.slot(I);
+    }
+    SawMixture += (HasA && HasB);
+  }
+  EXPECT_EQ(SawMixture, 30) << "every cut in [1,31] mixes distinct parents";
+}
+
+TEST(CrossoverTest, UniformMixesRoughlyHalf) {
+  Rng R(3);
+  Genome A = Genome::random(R);
+  Genome B = mutate(A, MutationParams::uniform(1.0), R);
+  int FromATotal = 0;
+  constexpr int Trials = 200;
+  for (int Trial = 0; Trial != Trials; ++Trial) {
+    Genome Child = crossoverUniform(A, B, R);
+    for (int I = 0; I != GenomeLength; ++I)
+      FromATotal += Child.slot(I) == A.slot(I);
+  }
+  double Rate = static_cast<double>(FromATotal) / (Trials * GenomeLength);
+  EXPECT_NEAR(Rate, 0.5, 0.03);
+}
+
+TEST(CrossoverTest, IdenticalParentsYieldTheParent) {
+  Rng R(4);
+  Genome A = Genome::random(R);
+  EXPECT_EQ(crossoverOnePoint(A, A, R), A);
+  EXPECT_EQ(crossoverUniform(A, A, R), A);
+}
+
+TEST(CrossoverTest, Deterministic) {
+  Rng R1(5), R2(5);
+  Genome A = Genome::random(R1);
+  Genome B = Genome::random(R1);
+  Genome A2 = Genome::random(R2);
+  Genome B2 = Genome::random(R2);
+  EXPECT_EQ(crossoverOnePoint(A, B, R1), crossoverOnePoint(A2, B2, R2));
+}

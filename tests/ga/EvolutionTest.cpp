@@ -1,0 +1,190 @@
+//===- tests/ga/EvolutionTest.cpp - Genetic procedure unit tests ----------===//
+
+#include "ga/Evolution.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ca2a;
+
+namespace {
+
+/// A small, fast training setup: 16x16 T-grid, 2 agents, a handful of
+/// fields, short cutoff. Enough for the GA mechanics to be exercised in
+/// milliseconds.
+struct Fixture {
+  Torus T{GridKind::Triangulate, 16};
+  std::vector<InitialConfiguration> Fields;
+  EvolutionParams Params;
+
+  explicit Fixture(uint64_t Seed = 1, int NumFields = 6) {
+    Fields = standardConfigurationSet(T, 2, NumFields - 3, 555);
+    Params.Seed = Seed;
+    Params.Fitness.Sim.MaxSteps = 60;
+  }
+};
+
+} // namespace
+
+TEST(EvolutionTest, InitialPopulationIsSortedAndSizedN) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  const auto &Pool = E.population();
+  ASSERT_EQ(Pool.size(), 20u);
+  for (size_t I = 1; I != Pool.size(); ++I)
+    EXPECT_LE(Pool[I - 1].Fitness, Pool[I].Fitness);
+  EXPECT_EQ(E.generation(), 0);
+  EXPECT_EQ(E.evaluations(), 20);
+}
+
+TEST(EvolutionTest, PopulationSizeInvariantAcrossGenerations) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  for (int G = 0; G != 5; ++G) {
+    E.stepGeneration();
+    EXPECT_EQ(E.population().size(), 20u);
+  }
+  EXPECT_EQ(E.generation(), 5);
+}
+
+TEST(EvolutionTest, EvaluationBudgetPerGeneration) {
+  // Each generation evaluates N/2 offspring (plus any dedup refills).
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  int After0 = E.evaluations();
+  E.stepGeneration();
+  EXPECT_GE(E.evaluations() - After0, 10);
+}
+
+TEST(EvolutionTest, NoDuplicateGenomesAfterGeneration) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  for (int G = 0; G != 3; ++G)
+    E.stepGeneration();
+  const auto &Pool = E.population();
+  std::set<std::string> Seen;
+  for (const Individual &Ind : Pool)
+    EXPECT_TRUE(Seen.insert(Ind.G.toCompactString()).second)
+        << "duplicate genome survived dedup";
+}
+
+TEST(EvolutionTest, BestEverIsMonotoneNonIncreasing) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  double Last = E.bestEver().Fitness;
+  for (int G = 0; G != 8; ++G) {
+    GenerationStats Stats = E.stepGeneration();
+    EXPECT_LE(Stats.BestFitness, Last) << "elitist record regressed";
+    Last = Stats.BestFitness;
+  }
+}
+
+TEST(EvolutionTest, DiversityExchangeSwapsRankBlocks) {
+  // After a generation the pool is NOT fully sorted: ranks 7..9 hold what
+  // sorted to 10..12 and vice versa (N = 20, b = 3).
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  E.stepGeneration();
+  const auto &Pool = E.population();
+  // Reconstruct the sorted order and compare block placement.
+  std::vector<double> Sorted;
+  for (const Individual &Ind : Pool)
+    Sorted.push_back(Ind.Fitness);
+  std::sort(Sorted.begin(), Sorted.end());
+  // Pool positions 7,8,9 must carry the sorted values 10,11,12 and vice
+  // versa (as multisets, to tolerate fitness ties).
+  std::multiset<double> PoolBlockA{Pool[7].Fitness, Pool[8].Fitness,
+                                   Pool[9].Fitness};
+  std::multiset<double> SortedBlockB{Sorted[10], Sorted[11], Sorted[12]};
+  EXPECT_EQ(PoolBlockA, SortedBlockB);
+  std::multiset<double> PoolBlockB{Pool[10].Fitness, Pool[11].Fitness,
+                                   Pool[12].Fitness};
+  std::multiset<double> SortedBlockA{Sorted[7], Sorted[8], Sorted[9]};
+  EXPECT_EQ(PoolBlockB, SortedBlockA);
+  // Outside the exchanged blocks the pool is sorted.
+  for (size_t I = 1; I != 7; ++I)
+    EXPECT_LE(Pool[I - 1].Fitness, Pool[I].Fitness);
+  for (size_t I = 14; I != 20; ++I)
+    EXPECT_LE(Pool[I - 1].Fitness, Pool[I].Fitness);
+}
+
+TEST(EvolutionTest, DeterministicPerSeed) {
+  Fixture A(77), B(77), C(78);
+  Evolution EA(A.T, A.Fields, A.Params);
+  Evolution EB(B.T, B.Fields, B.Params);
+  Evolution EC(C.T, C.Fields, C.Params);
+  Individual IA = EA.run(4);
+  Individual IB = EB.run(4);
+  Individual IC = EC.run(4);
+  EXPECT_EQ(IA.G, IB.G);
+  EXPECT_DOUBLE_EQ(IA.Fitness, IB.Fitness);
+  // Different seed: almost surely a different best genome.
+  EXPECT_NE(IA.G, IC.G);
+}
+
+TEST(EvolutionTest, GenerationStatsAreConsistent) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  GenerationStats Stats = E.stepGeneration();
+  EXPECT_EQ(Stats.Generation, 1);
+  EXPECT_GT(Stats.Evaluations, 20);
+  EXPECT_GE(Stats.MeanFitness, Stats.BestFitness);
+  EXPECT_DOUBLE_EQ(Stats.BestFitness, E.bestEver().Fitness);
+}
+
+TEST(EvolutionTest, RunInvokesCallbackPerGeneration) {
+  Fixture F;
+  Evolution E(F.T, F.Fields, F.Params);
+  int Calls = 0;
+  E.run(5, [&Calls](const GenerationStats &S) {
+    ++Calls;
+    EXPECT_EQ(S.Generation, Calls);
+  });
+  EXPECT_EQ(Calls, 5);
+}
+
+TEST(EvolutionTest, CrossoverPathIsDeterministicAndKeepsInvariants) {
+  Fixture A(31), B(31);
+  A.Params.CrossoverProbability = 1.0;
+  B.Params.CrossoverProbability = 1.0;
+  Evolution EA(A.T, A.Fields, A.Params);
+  Evolution EB(B.T, B.Fields, B.Params);
+  for (int G = 0; G != 4; ++G) {
+    EA.stepGeneration();
+    EB.stepGeneration();
+    EXPECT_EQ(EA.population().size(), 20u);
+  }
+  Individual IA = EA.bestEver();
+  Individual IB = EB.bestEver();
+  EXPECT_EQ(IA.G, IB.G) << "crossover path broke determinism";
+  // Still no duplicates in the pool.
+  std::set<std::string> Seen;
+  for (const Individual &Ind : EA.population())
+    EXPECT_TRUE(Seen.insert(Ind.G.toCompactString()).second);
+}
+
+TEST(EvolutionTest, CrossoverProbabilityChangesTheTrajectory) {
+  Fixture A(32), B(32);
+  B.Params.CrossoverProbability = 1.0;
+  Evolution EA(A.T, A.Fields, A.Params);
+  Evolution EB(B.T, B.Fields, B.Params);
+  // Same seed, different variation operator: after a few generations the
+  // pools almost surely differ.
+  EA.run(5);
+  EB.run(5);
+  bool AnyDifferent = false;
+  for (size_t I = 0; I != 20; ++I)
+    AnyDifferent |= !(EA.population()[I].G == EB.population()[I].G);
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(EvolutionTest, ImprovesOnAnEasyTask) {
+  // 2 agents, a few fields, 30 generations: the GA must beat the best
+  // random individual it started from. (Deterministic via fixed seed.)
+  Fixture F(20130101, 8);
+  Evolution E(F.T, F.Fields, F.Params);
+  double InitialBest = E.population().front().Fitness;
+  Individual Best = E.run(30);
+  EXPECT_LT(Best.Fitness, InitialBest);
+}

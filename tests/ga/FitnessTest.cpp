@@ -1,0 +1,107 @@
+//===- tests/ga/FitnessTest.cpp - Fitness function unit tests -------------===//
+
+#include "ga/Fitness.h"
+
+#include "agent/BestAgents.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(FitnessOfRunTest, MatchesTheFormula) {
+  // F_i = W * (N_agents - a_i) + t.
+  SimResult R;
+  R.NumAgents = 16;
+  R.Success = true;
+  R.TComm = 41;
+  R.InformedAgents = 16;
+  EXPECT_DOUBLE_EQ(fitnessOfRun(R, 200, 1e4), 41.0);
+
+  SimResult Fail;
+  Fail.NumAgents = 16;
+  Fail.Success = false;
+  Fail.TComm = -1;
+  Fail.InformedAgents = 10;
+  EXPECT_DOUBLE_EQ(fitnessOfRun(Fail, 200, 1e4), 6.0e4 + 200.0);
+}
+
+TEST(FitnessOfRunTest, DominanceRelation) {
+  // Informing one more agent always beats any time advantage within t_max.
+  SimResult MoreInformed;
+  MoreInformed.NumAgents = 8;
+  MoreInformed.InformedAgents = 5;
+  MoreInformed.Success = false;
+  SimResult FewerInformed = MoreInformed;
+  FewerInformed.InformedAgents = 4;
+  EXPECT_LT(fitnessOfRun(MoreInformed, 200, 1e4),
+            fitnessOfRun(FewerInformed, 200, 1e4) - 200.0);
+}
+
+namespace {
+FitnessParams defaultParams() {
+  FitnessParams P;
+  P.Sim.MaxSteps = 200;
+  return P;
+}
+} // namespace
+
+TEST(EvaluateFitnessTest, EmptyFieldSet) {
+  Torus T(GridKind::Square, 16);
+  FitnessResult R = evaluateFitness(bestSquareAgent(), T, {}, defaultParams());
+  EXPECT_EQ(R.NumFields, 0);
+  EXPECT_FALSE(R.completelySuccessful());
+}
+
+TEST(EvaluateFitnessTest, BestAgentSolvesStandardFields) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 8, 30, 99);
+  FitnessResult R =
+      evaluateFitness(bestTriangulateAgent(), T, Fields, defaultParams());
+  EXPECT_EQ(R.NumFields, 33);
+  EXPECT_EQ(R.SolvedFields, 33) << "published T-agent must solve k=8 fields";
+  EXPECT_TRUE(R.completelySuccessful());
+  EXPECT_GT(R.MeanCommTime, 0.0);
+  EXPECT_LT(R.MeanCommTime, 200.0);
+  // All solved: fitness equals mean time.
+  EXPECT_DOUBLE_EQ(R.Fitness, R.MeanCommTime);
+}
+
+TEST(EvaluateFitnessTest, HopelessGenomeScoresDominatedFitness) {
+  // The all-zero genome never moves; distant agents stay uninformed and
+  // every field contributes W * N_agents + t_max.
+  Torus T(GridKind::Square, 16);
+  Genome Stay;
+  std::vector<InitialConfiguration> Fields = {
+      diagonalConfiguration(T, 4)};
+  FitnessParams P = defaultParams();
+  FitnessResult R = evaluateFitness(Stay, T, Fields, P);
+  EXPECT_EQ(R.SolvedFields, 0);
+  EXPECT_DOUBLE_EQ(R.Fitness, 1e4 * 4 + 200.0);
+  EXPECT_EQ(R.MeanCommTime, 0.0) << "no solved fields, no mean time";
+}
+
+TEST(EvaluateFitnessTest, ParallelMatchesSequential) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 8, 40, 7);
+  FitnessParams Sequential = defaultParams();
+  Sequential.NumWorkers = 1;
+  FitnessParams Parallel = defaultParams();
+  Parallel.NumWorkers = 4;
+  FitnessResult A =
+      evaluateFitness(bestTriangulateAgent(), T, Fields, Sequential);
+  FitnessResult B =
+      evaluateFitness(bestTriangulateAgent(), T, Fields, Parallel);
+  EXPECT_EQ(A.SolvedFields, B.SolvedFields);
+  EXPECT_EQ(A.NumFields, B.NumFields);
+  EXPECT_NEAR(A.Fitness, B.Fitness, 1e-9);
+  EXPECT_NEAR(A.MeanCommTime, B.MeanCommTime, 1e-9);
+}
+
+TEST(EvaluateFitnessTest, WeightParameterScales) {
+  Torus T(GridKind::Square, 16);
+  Genome Stay;
+  std::vector<InitialConfiguration> Fields = {diagonalConfiguration(T, 2)};
+  FitnessParams P = defaultParams();
+  P.Weight = 100.0;
+  FitnessResult R = evaluateFitness(Stay, T, Fields, P);
+  EXPECT_DOUBLE_EQ(R.Fitness, 100.0 * 2 + 200.0);
+}

@@ -1,0 +1,94 @@
+//===- tests/ga/MutationTest.cpp - Mutation operator unit tests -----------===//
+
+#include "ga/Mutation.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(MutationTest, ZeroProbabilityIsIdentity) {
+  Rng R(1);
+  Genome G = Genome::random(R);
+  Genome M = mutate(G, MutationParams::uniform(0.0), R);
+  EXPECT_EQ(M, G);
+}
+
+TEST(MutationTest, FullProbabilityIncrementsEveryField) {
+  Rng R(2);
+  Genome G = Genome::random(R);
+  Genome M = mutate(G, MutationParams::uniform(1.0), R);
+  for (int I = 0; I != GenomeLength; ++I) {
+    const GenomeEntry &Old = G.slot(I);
+    const GenomeEntry &New = M.slot(I);
+    EXPECT_EQ(New.NextState, (Old.NextState + 1) % NumControlStates);
+    EXPECT_EQ(New.Act.SetColor, !Old.Act.SetColor);
+    EXPECT_EQ(New.Act.Move, !Old.Act.Move);
+    EXPECT_EQ(static_cast<int>(New.Act.TurnCode),
+              (static_cast<int>(Old.Act.TurnCode) + 1) % NumTurnCodes);
+  }
+}
+
+TEST(MutationTest, FourApplicationsOfPlusOneRestoreTurnAndNextState) {
+  // The +1 mod N mutation is cyclic: with p = 1, four rounds restore the
+  // 4-valued fields and two rounds restore the binary fields.
+  Rng R(3);
+  Genome G = Genome::random(R);
+  Genome M = G;
+  for (int I = 0; I != 4; ++I)
+    M = mutate(M, MutationParams::uniform(1.0), R);
+  EXPECT_EQ(M, G);
+}
+
+TEST(MutationTest, DeterministicGivenRngState) {
+  Rng A(9), B(9);
+  Genome G = Genome::random(A);
+  Genome H = Genome::random(B);
+  ASSERT_EQ(G, H);
+  Genome MA = mutate(G, MutationParams::uniform(0.18), A);
+  Genome MB = mutate(H, MutationParams::uniform(0.18), B);
+  EXPECT_EQ(MA, MB);
+}
+
+TEST(MutationTest, RateMatchesProbability) {
+  Rng R(7);
+  Genome G = Genome::random(R);
+  // 4 fields x 32 slots x 500 repetitions at p = 0.18.
+  int Changed = 0;
+  constexpr int Repetitions = 500;
+  for (int I = 0; I != Repetitions; ++I)
+    Changed += genomeDistance(G, mutate(G, MutationParams::uniform(0.18), R));
+  double Rate = static_cast<double>(Changed) /
+                (Repetitions * 4.0 * GenomeLength);
+  EXPECT_NEAR(Rate, 0.18, 0.01);
+}
+
+TEST(MutationTest, PerFieldProbabilitiesAreIndependent) {
+  Rng R(8);
+  Genome G = Genome::random(R);
+  // Only the move field may change.
+  MutationParams Params;
+  Params.PNextState = Params.PSetColor = Params.PTurn = 0.0;
+  Params.PMove = 1.0;
+  Genome M = mutate(G, Params, R);
+  for (int I = 0; I != GenomeLength; ++I) {
+    EXPECT_EQ(M.slot(I).NextState, G.slot(I).NextState);
+    EXPECT_EQ(M.slot(I).Act.SetColor, G.slot(I).Act.SetColor);
+    EXPECT_EQ(M.slot(I).Act.TurnCode, G.slot(I).Act.TurnCode);
+    EXPECT_NE(M.slot(I).Act.Move, G.slot(I).Act.Move);
+  }
+}
+
+TEST(GenomeDistanceTest, Properties) {
+  Rng R(10);
+  Genome G = Genome::random(R);
+  EXPECT_EQ(genomeDistance(G, G), 0);
+  Genome H = G;
+  H.slot(0).NextState = static_cast<uint8_t>((H.slot(0).NextState + 1) % 4);
+  EXPECT_EQ(genomeDistance(G, H), 1);
+  H.slot(31).Act.Move = !H.slot(31).Act.Move;
+  EXPECT_EQ(genomeDistance(G, H), 2);
+  EXPECT_EQ(genomeDistance(H, G), 2) << "distance is symmetric";
+  // Maximum possible distance.
+  Genome Inverted = mutate(G, MutationParams::uniform(1.0), R);
+  EXPECT_EQ(genomeDistance(G, Inverted), 4 * GenomeLength);
+}

@@ -1,0 +1,107 @@
+//===- tests/ga/PipelineSelectionTest.cpp - Selection-pipeline tests ------===//
+
+#include "ga/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+/// Miniature pipeline: 2 runs, few generations, tiny field sets — fast
+/// enough for the unit-test run while exercising every stage.
+PipelineParams miniParams() {
+  PipelineParams P;
+  P.NumRuns = 2;
+  P.TopPerRun = 2;
+  P.Generations = 25;
+  P.TrainingAgents = 2;
+  P.TrainingRandomFields = 4;
+  P.TrainingFieldSeed = 11;
+  P.Evolution.Seed = 7;
+  P.Evolution.Fitness.Sim.MaxSteps = 120;
+  P.Reliability.AgentCounts = {2, 256};
+  P.Reliability.NumRandomFields = 4;
+  P.Reliability.Fitness.Sim.MaxSteps = 300;
+  return P;
+}
+
+} // namespace
+
+TEST(PipelineSelectionTest, ProducesRankedCandidates) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineResult Result = runSelectionPipeline(T, miniParams());
+  // Candidates only exist if some run produced completely successful FSMs;
+  // the k=2/tiny-field task is easy enough that 25 generations find some.
+  ASSERT_FALSE(Result.Candidates.empty())
+      << "mini pipeline found no successful FSM";
+  // Ranking: reliable ones first, by total mean time.
+  bool SeenUnreliable = false;
+  double LastTime = -1.0;
+  for (const RankedCandidate &C : Result.Candidates) {
+    if (!C.reliable()) {
+      SeenUnreliable = true;
+      continue;
+    }
+    EXPECT_FALSE(SeenUnreliable) << "reliable candidate after unreliable one";
+    EXPECT_GE(C.Report.totalMeanCommTime(), LastTime);
+    LastTime = C.Report.totalMeanCommTime();
+  }
+  EXPECT_LE(Result.Candidates.size(),
+            static_cast<size_t>(miniParams().NumRuns * miniParams().TopPerRun));
+}
+
+TEST(PipelineSelectionTest, EmitsProgressForEveryStage) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineParams P = miniParams();
+  int RunsStarted = 0, Generations = 0, RunsFinished = 0, Tested = 0;
+  PipelineResult Result =
+      runSelectionPipeline(T, P, [&](const PipelineProgress &Progress) {
+        switch (Progress.S) {
+        case PipelineProgress::Stage::RunStarted:
+          ++RunsStarted;
+          break;
+        case PipelineProgress::Stage::Generation:
+          ++Generations;
+          break;
+        case PipelineProgress::Stage::RunFinished:
+          ++RunsFinished;
+          break;
+        case PipelineProgress::Stage::CandidateTested:
+          ++Tested;
+          break;
+        }
+      });
+  EXPECT_EQ(RunsStarted, P.NumRuns);
+  EXPECT_EQ(RunsFinished, P.NumRuns);
+  EXPECT_EQ(Generations, P.NumRuns * P.Generations);
+  EXPECT_EQ(Tested, static_cast<int>(Result.Candidates.size()));
+}
+
+TEST(PipelineSelectionTest, DeterministicPerSeed) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineResult A = runSelectionPipeline(T, miniParams());
+  PipelineResult B = runSelectionPipeline(T, miniParams());
+  ASSERT_EQ(A.Candidates.size(), B.Candidates.size());
+  for (size_t I = 0; I != A.Candidates.size(); ++I)
+    EXPECT_EQ(A.Candidates[I].G, B.Candidates[I].G);
+}
+
+TEST(PipelineSelectionTest, CandidatesAreDistinct) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineResult Result = runSelectionPipeline(T, miniParams());
+  for (size_t I = 0; I != Result.Candidates.size(); ++I)
+    for (size_t J = I + 1; J != Result.Candidates.size(); ++J)
+      EXPECT_NE(Result.Candidates[I].G, Result.Candidates[J].G)
+          << "duplicate candidate survived cross-run dedup";
+}
+
+TEST(PipelineSelectionTest, WinnerIsReliableWhenPresent) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineResult Result = runSelectionPipeline(T, miniParams());
+  if (Result.hasWinner()) {
+    EXPECT_TRUE(Result.winner().reliable());
+    EXPECT_EQ(&Result.winner(), &Result.Candidates.front());
+  }
+  EXPECT_EQ(Result.numReliable() > 0, Result.hasWinner());
+}

@@ -1,0 +1,75 @@
+//===- tests/ga/ReliabilityTest.cpp - Reliability filter unit tests -------===//
+
+#include "ga/Reliability.h"
+
+#include "agent/BestAgents.h"
+#include "grid/Distance.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+ReliabilityParams smallParams() {
+  ReliabilityParams P;
+  P.AgentCounts = {2, 8, 256};
+  P.NumRandomFields = 20;
+  P.Fitness.Sim.MaxSteps = 1000;
+  return P;
+}
+} // namespace
+
+TEST(ReliabilityTest, RowsMatchRequestedDensities) {
+  Torus T(GridKind::Triangulate, 16);
+  ReliabilityReport R =
+      testReliability(bestTriangulateAgent(), T, smallParams());
+  ASSERT_EQ(R.Rows.size(), 3u);
+  EXPECT_EQ(R.Rows[0].NumAgents, 2);
+  EXPECT_EQ(R.Rows[1].NumAgents, 8);
+  EXPECT_EQ(R.Rows[2].NumAgents, 256);
+  // Non-packed densities use NumRandomFields + 3 manual designs.
+  EXPECT_EQ(R.Rows[0].NumFields, 23);
+  EXPECT_EQ(R.Rows[1].NumFields, 23);
+  // The packed density has exactly one possible field.
+  EXPECT_EQ(R.Rows[2].NumFields, 1);
+}
+
+TEST(ReliabilityTest, PackedRowEqualsDiameterMinusOne) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    ReliabilityParams P = smallParams();
+    P.AgentCounts = {256};
+    ReliabilityReport R = testReliability(bestAgent(Kind), T, P);
+    ASSERT_EQ(R.Rows.size(), 1u);
+    EXPECT_TRUE(R.Rows[0].completelySuccessful());
+    EXPECT_DOUBLE_EQ(R.Rows[0].MeanCommTime, diameterByScan(T) - 1);
+  }
+}
+
+TEST(ReliabilityTest, PublishedAgentsAreReliableOnSampledSets) {
+  // With a generous cutoff the published FSMs solve every sampled field at
+  // every tested density (the paper's "completely successful" property).
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    ReliabilityReport R = testReliability(bestAgent(Kind), T, smallParams());
+    EXPECT_TRUE(R.completelySuccessful()) << gridKindName(Kind);
+    EXPECT_GT(R.totalMeanCommTime(), 0.0);
+  }
+}
+
+TEST(ReliabilityTest, UnreliableGenomeIsFlagged) {
+  // The stationary genome cannot solve spread-out fields.
+  Torus T(GridKind::Square, 16);
+  ReliabilityParams P = smallParams();
+  P.AgentCounts = {8};
+  P.Fitness.Sim.MaxSteps = 100;
+  Genome Stay;
+  ReliabilityReport R = testReliability(Stay, T, P);
+  EXPECT_FALSE(R.completelySuccessful());
+  EXPECT_LT(R.Rows[0].SolvedFields, R.Rows[0].NumFields);
+}
+
+TEST(ReliabilityReportTest, EmptyReportIsNotSuccessful) {
+  ReliabilityReport R;
+  EXPECT_FALSE(R.completelySuccessful());
+  EXPECT_DOUBLE_EQ(R.totalMeanCommTime(), 0.0);
+}

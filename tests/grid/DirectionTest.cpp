@@ -1,0 +1,122 @@
+//===- tests/grid/DirectionTest.cpp - Direction algebra unit tests --------===//
+
+#include "grid/Direction.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(GridKindTest, Names) {
+  EXPECT_STREQ(gridKindName(GridKind::Square), "S");
+  EXPECT_STREQ(gridKindName(GridKind::Triangulate), "T");
+}
+
+TEST(GridKindTest, Parse) {
+  GridKind K;
+  EXPECT_TRUE(parseGridKind("S", K));
+  EXPECT_EQ(K, GridKind::Square);
+  EXPECT_TRUE(parseGridKind("square", K));
+  EXPECT_EQ(K, GridKind::Square);
+  EXPECT_TRUE(parseGridKind("t", K));
+  EXPECT_EQ(K, GridKind::Triangulate);
+  EXPECT_TRUE(parseGridKind("Triangulate", K));
+  EXPECT_EQ(K, GridKind::Triangulate);
+  EXPECT_FALSE(parseGridKind("hex", K));
+  EXPECT_FALSE(parseGridKind("", K));
+}
+
+TEST(DirectionTest, Cardinality) {
+  EXPECT_EQ(numDirections(GridKind::Square), 4);
+  EXPECT_EQ(numDirections(GridKind::Triangulate), 6);
+}
+
+TEST(TurnTest, Letters) {
+  EXPECT_EQ(turnLetter(Turn::Straight), 'S');
+  EXPECT_EQ(turnLetter(Turn::Right), 'R');
+  EXPECT_EQ(turnLetter(Turn::Back), 'B');
+  EXPECT_EQ(turnLetter(Turn::Left), 'L');
+}
+
+TEST(TurnTest, ParseLetters) {
+  Turn T;
+  for (char C : {'S', 'R', 'B', 'L', 's', 'r', 'b', 'l'}) {
+    ASSERT_TRUE(parseTurnLetter(C, T)) << C;
+    EXPECT_EQ(turnLetter(T), static_cast<char>(std::toupper(C)));
+  }
+  EXPECT_FALSE(parseTurnLetter('X', T));
+}
+
+TEST(ApplyTurnTest, SquareFullTable) {
+  // S-grid: turn code t adds t x 90 degrees = t direction-ring steps.
+  for (uint8_t Dir = 0; Dir != 4; ++Dir) {
+    EXPECT_EQ(applyTurn(GridKind::Square, Dir, Turn::Straight), Dir);
+    EXPECT_EQ(applyTurn(GridKind::Square, Dir, Turn::Right), (Dir + 1) % 4);
+    EXPECT_EQ(applyTurn(GridKind::Square, Dir, Turn::Back), (Dir + 2) % 4);
+    EXPECT_EQ(applyTurn(GridKind::Square, Dir, Turn::Left), (Dir + 3) % 4);
+  }
+}
+
+TEST(ApplyTurnTest, TriangulateIncrements) {
+  // T-grid: codes map to increments {0, 1, 3, 5} (0, +60, 180, -60 deg).
+  for (uint8_t Dir = 0; Dir != 6; ++Dir) {
+    EXPECT_EQ(applyTurn(GridKind::Triangulate, Dir, Turn::Straight), Dir);
+    EXPECT_EQ(applyTurn(GridKind::Triangulate, Dir, Turn::Right),
+              (Dir + 1) % 6);
+    EXPECT_EQ(applyTurn(GridKind::Triangulate, Dir, Turn::Back),
+              (Dir + 3) % 6);
+    EXPECT_EQ(applyTurn(GridKind::Triangulate, Dir, Turn::Left),
+              (Dir + 5) % 6);
+  }
+}
+
+TEST(ApplyTurnTest, TriangulateCannotReach120Degrees) {
+  // From any direction, the one-step reachable set misses Dir+2 and Dir+4:
+  // the deliberate +-120 degree exclusion (Sect. 3).
+  for (uint8_t Dir = 0; Dir != 6; ++Dir) {
+    bool Reachable[6] = {};
+    for (int Code = 0; Code != NumTurnCodes; ++Code)
+      Reachable[applyTurn(GridKind::Triangulate, Dir,
+                          static_cast<Turn>(Code))] = true;
+    EXPECT_FALSE(Reachable[(Dir + 2) % 6]);
+    EXPECT_FALSE(Reachable[(Dir + 4) % 6]);
+  }
+}
+
+TEST(ApplyTurnTest, BackIsInvolution) {
+  // Turning Back twice restores the direction in both topologies.
+  for (uint8_t Dir = 0; Dir != 4; ++Dir)
+    EXPECT_EQ(applyTurn(GridKind::Square,
+                        applyTurn(GridKind::Square, Dir, Turn::Back),
+                        Turn::Back),
+              Dir);
+  for (uint8_t Dir = 0; Dir != 6; ++Dir)
+    EXPECT_EQ(applyTurn(GridKind::Triangulate,
+                        applyTurn(GridKind::Triangulate, Dir, Turn::Back),
+                        Turn::Back),
+              Dir);
+}
+
+TEST(ApplyTurnTest, LeftUndoesRight) {
+  for (uint8_t Dir = 0; Dir != 4; ++Dir)
+    EXPECT_EQ(applyTurn(GridKind::Square,
+                        applyTurn(GridKind::Square, Dir, Turn::Right),
+                        Turn::Left),
+              Dir);
+  for (uint8_t Dir = 0; Dir != 6; ++Dir)
+    EXPECT_EQ(applyTurn(GridKind::Triangulate,
+                        applyTurn(GridKind::Triangulate, Dir, Turn::Right),
+                        Turn::Left),
+              Dir);
+}
+
+TEST(DirectionGlyphTest, DistinctGlyphsPerDirection) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    std::string Seen;
+    for (int D = 0; D != numDirections(Kind); ++D) {
+      char G = directionGlyph(Kind, static_cast<uint8_t>(D));
+      EXPECT_EQ(Seen.find(G), std::string::npos)
+          << "duplicate glyph " << G << " in " << gridKindName(Kind);
+      Seen.push_back(G);
+    }
+  }
+}

@@ -1,0 +1,121 @@
+//===- tests/grid/DistanceTest.cpp - Distance metric unit tests -----------===//
+
+#include "grid/Distance.h"
+
+#include "grid/Formulas.h"
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(HexOffsetDistanceTest, KnownValues) {
+  EXPECT_EQ(hexOffsetDistance(0, 0), 0);
+  EXPECT_EQ(hexOffsetDistance(1, 0), 1);
+  EXPECT_EQ(hexOffsetDistance(0, 1), 1);
+  EXPECT_EQ(hexOffsetDistance(1, 1), 1);   // One diagonal step.
+  EXPECT_EQ(hexOffsetDistance(-1, -1), 1); // The other diagonal.
+  EXPECT_EQ(hexOffsetDistance(1, -1), 2);  // Signs differ: no diagonal.
+  EXPECT_EQ(hexOffsetDistance(-1, 1), 2);
+  EXPECT_EQ(hexOffsetDistance(3, 5), 5);
+  EXPECT_EQ(hexOffsetDistance(3, -5), 8);
+  EXPECT_EQ(hexOffsetDistance(-4, -2), 4);
+}
+
+struct DistanceCase {
+  GridKind Kind;
+  int SideLength;
+};
+
+static std::string caseName(const ::testing::TestParamInfo<DistanceCase> &I) {
+  return std::string(gridKindName(I.param.Kind)) +
+         std::to_string(I.param.SideLength);
+}
+
+class DistanceVsBfsTest : public ::testing::TestWithParam<DistanceCase> {};
+
+TEST_P(DistanceVsBfsTest, ClosedFormMatchesBfsEverywhere) {
+  DistanceCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  // Vertex transitivity: checking all targets from a handful of sources
+  // exercises every offset class.
+  for (int Source : {0, 1, T.numCells() / 2, T.numCells() - 1}) {
+    std::vector<int> Reference = bfsDistances(T, Source);
+    Coord From = T.coordOf(Source);
+    for (int Target = 0; Target != T.numCells(); ++Target)
+      EXPECT_EQ(gridDistance(T, From, T.coordOf(Target)),
+                Reference[static_cast<size_t>(Target)])
+          << gridKindName(C.Kind) << C.SideLength << " " << Source << "->"
+          << Target;
+  }
+}
+
+TEST_P(DistanceVsBfsTest, MetricAxioms) {
+  DistanceCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  // Identity and symmetry over all pairs from two sources; triangle
+  // inequality over a sampled third point.
+  Coord A = T.coordOf(0);
+  for (int I = 0; I != T.numCells(); ++I) {
+    Coord B = T.coordOf(I);
+    int AB = gridDistance(T, A, B);
+    EXPECT_EQ(AB == 0, A == B);
+    EXPECT_EQ(AB, gridDistance(T, B, A));
+    Coord Mid = T.coordOf((I * 7 + 3) % T.numCells());
+    EXPECT_LE(AB, gridDistance(T, A, Mid) + gridDistance(T, Mid, B));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DistanceVsBfsTest,
+    ::testing::Values(DistanceCase{GridKind::Square, 4},
+                      DistanceCase{GridKind::Square, 8},
+                      DistanceCase{GridKind::Square, 16},
+                      DistanceCase{GridKind::Square, 9},
+                      DistanceCase{GridKind::Triangulate, 4},
+                      DistanceCase{GridKind::Triangulate, 8},
+                      DistanceCase{GridKind::Triangulate, 16},
+                      DistanceCase{GridKind::Triangulate, 9}),
+    caseName);
+
+class ScanVsFormulaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanVsFormulaTest, DiameterMatchesEq1) {
+  int N = GetParam();
+  int M = 1 << N;
+  Torus S(GridKind::Square, M), T(GridKind::Triangulate, M);
+  EXPECT_EQ(diameterByScan(S), squareDiameter(N));
+  EXPECT_EQ(diameterByScan(T), triangulateDiameter(N));
+  // And both agree with BFS eccentricity (graph truth).
+  EXPECT_EQ(eccentricity(S, 0), squareDiameter(N));
+  EXPECT_EQ(eccentricity(T, 0), triangulateDiameter(N));
+}
+
+TEST_P(ScanVsFormulaTest, MeanDistanceMatchesEq2) {
+  int N = GetParam();
+  int M = 1 << N;
+  Torus S(GridKind::Square, M), T(GridKind::Triangulate, M);
+  EXPECT_DOUBLE_EQ(meanDistanceByScan(S), squareMeanDistance(N));
+  // Eq. 2's T-grid form is explicitly approximate ("~"); its error is
+  // O(1/sqrt(N)) in absolute terms.
+  EXPECT_NEAR(meanDistanceByScan(T), triangulateMeanDistance(N),
+              0.25 / (1 << (N / 2)) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanVsFormulaTest,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(Fig2Test, Size3ValuesFromTheCaption) {
+  // Fig. 2: D_3^S = 8, mean 4; D_3^T = 5, mean ~3.09.
+  Torus S(GridKind::Square, 8), T(GridKind::Triangulate, 8);
+  EXPECT_EQ(diameterByScan(S), 8);
+  EXPECT_DOUBLE_EQ(meanDistanceByScan(S), 4.0);
+  EXPECT_EQ(diameterByScan(T), 5);
+  EXPECT_NEAR(meanDistanceByScan(T), 3.09, 0.05);
+}
+
+TEST(Fig2Test, Size4ValuesUsedByTable1) {
+  // The 16x16 field of the main experiment: D^S = 16, D^T = 10, whose
+  // D - 1 values 15 and 9 appear as Table 1's packed column.
+  Torus S(GridKind::Square, 16), T(GridKind::Triangulate, 16);
+  EXPECT_EQ(diameterByScan(S), 16);
+  EXPECT_EQ(diameterByScan(T), 10);
+}

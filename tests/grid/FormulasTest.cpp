@@ -1,0 +1,51 @@
+//===- tests/grid/FormulasTest.cpp - Closed-form formula unit tests -------===//
+
+#include "grid/Formulas.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(FormulasTest, SquareDiameter) {
+  EXPECT_EQ(squareDiameter(1), 2);
+  EXPECT_EQ(squareDiameter(2), 4);
+  EXPECT_EQ(squareDiameter(3), 8);
+  EXPECT_EQ(squareDiameter(4), 16);
+  EXPECT_EQ(squareDiameter(5), 32);
+}
+
+TEST(FormulasTest, TriangulateDiameterWithParityEpsilon) {
+  // D_n^T = (2(2^n - 1) + eps) / 3, eps = n mod 2.
+  EXPECT_EQ(triangulateDiameter(1), 1);  // (2*1 + 1)/3 = 1.
+  EXPECT_EQ(triangulateDiameter(2), 2);  // (2*3 + 0)/3 = 2.
+  EXPECT_EQ(triangulateDiameter(3), 5);  // (2*7 + 1)/3 = 5.
+  EXPECT_EQ(triangulateDiameter(4), 10); // (2*15 + 0)/3 = 10.
+  EXPECT_EQ(triangulateDiameter(5), 21); // (2*31 + 1)/3 = 21.
+}
+
+TEST(FormulasTest, MeanDistances) {
+  EXPECT_DOUBLE_EQ(squareMeanDistance(3), 4.0);
+  EXPECT_DOUBLE_EQ(squareMeanDistance(4), 8.0);
+  // (7*8/3 - 1/8)/6 ~ 3.0903.
+  EXPECT_NEAR(triangulateMeanDistance(3), 3.0903, 1e-3);
+  // (7*16/3 - 1/16)/6 ~ 6.2118.
+  EXPECT_NEAR(triangulateMeanDistance(4), 6.2118, 1e-3);
+}
+
+TEST(FormulasTest, KindDispatch) {
+  EXPECT_EQ(analyticDiameter(GridKind::Square, 4), 16);
+  EXPECT_EQ(analyticDiameter(GridKind::Triangulate, 4), 10);
+  EXPECT_DOUBLE_EQ(analyticMeanDistance(GridKind::Square, 4), 8.0);
+  EXPECT_NEAR(analyticMeanDistance(GridKind::Triangulate, 4), 6.2118, 1e-3);
+}
+
+TEST(FormulasTest, Eq3Ratios) {
+  // Eq. 3: D^{T/S} ~ 0.666, mean ratio ~ 0.775; convergence from below /
+  // near those values as n grows.
+  for (int N : {4, 5, 6, 8}) {
+    EXPECT_NEAR(diameterRatio(N), 0.666, 0.05) << "n=" << N;
+    EXPECT_NEAR(meanDistanceRatio(N), 0.775, 0.05) << "n=" << N;
+  }
+  EXPECT_NEAR(diameterRatio(10), 2.0 / 3.0, 0.01);
+  EXPECT_NEAR(meanDistanceRatio(10), 7.0 / 9.0, 0.01);
+}

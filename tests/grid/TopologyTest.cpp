@@ -1,0 +1,184 @@
+//===- tests/grid/TopologyTest.cpp - Torus unit tests ---------------------===//
+
+#include "grid/Topology.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ca2a;
+
+struct TopologyCase {
+  GridKind Kind;
+  int SideLength;
+};
+
+static std::string caseName(const ::testing::TestParamInfo<TopologyCase> &I) {
+  return std::string(gridKindName(I.param.Kind)) +
+         std::to_string(I.param.SideLength);
+}
+
+class TorusTest : public ::testing::TestWithParam<TopologyCase> {};
+
+TEST_P(TorusTest, BasicCounts) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  int N = C.SideLength * C.SideLength;
+  EXPECT_EQ(T.numCells(), N);
+  int ExpectedDegree = C.Kind == GridKind::Square ? 4 : 6;
+  EXPECT_EQ(T.degree(), ExpectedDegree);
+  // Sect. 2: 2N links in S, 3N in T.
+  EXPECT_EQ(T.numLinks(), C.Kind == GridKind::Square ? 2 * N : 3 * N);
+}
+
+TEST_P(TorusTest, IndexCoordRoundTrip) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  for (int I = 0; I != T.numCells(); ++I) {
+    Coord P = T.coordOf(I);
+    EXPECT_GE(P.X, 0);
+    EXPECT_LT(P.X, C.SideLength);
+    EXPECT_GE(P.Y, 0);
+    EXPECT_LT(P.Y, C.SideLength);
+    EXPECT_EQ(T.indexOf(P), I);
+  }
+}
+
+TEST_P(TorusTest, WrapNormalizes) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  int M = C.SideLength;
+  EXPECT_EQ(T.wrap(0), 0);
+  EXPECT_EQ(T.wrap(M), 0);
+  EXPECT_EQ(T.wrap(-1), M - 1);
+  EXPECT_EQ(T.wrap(-M), 0);
+  EXPECT_EQ(T.wrap(2 * M + 3), 3);
+  EXPECT_EQ(T.wrap(-2 * M - 1), M - 1);
+}
+
+TEST_P(TorusTest, NeighborTableMatchesCoordinateMath) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  for (int I = 0; I != T.numCells(); ++I) {
+    Coord P = T.coordOf(I);
+    for (int D = 0; D != T.degree(); ++D) {
+      int ByTable = T.neighborIndex(I, static_cast<uint8_t>(D));
+      int ByCoord = T.indexOf(T.neighbor(P, static_cast<uint8_t>(D)));
+      EXPECT_EQ(ByTable, ByCoord);
+    }
+  }
+}
+
+TEST_P(TorusTest, NeighborsAreDistinctAndExcludeSelf) {
+  TopologyCase C = GetParam();
+  if (C.SideLength < 3)
+    GTEST_SKIP() << "wrap aliasing is expected on 2x2 tori";
+  Torus T(C.Kind, C.SideLength);
+  for (int I = 0; I != T.numCells(); ++I) {
+    std::set<int> Seen;
+    const int32_t *Neighbors = T.neighbors(I);
+    for (int D = 0; D != T.degree(); ++D) {
+      EXPECT_NE(Neighbors[D], I) << "self-loop at cell " << I;
+      Seen.insert(Neighbors[D]);
+    }
+    EXPECT_EQ(static_cast<int>(Seen.size()), T.degree())
+        << "duplicate neighbours at cell " << I;
+  }
+}
+
+TEST_P(TorusTest, OppositeDirectionReturns) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  int Degree = T.degree();
+  int Half = Degree / 2;
+  for (int I = 0; I != T.numCells(); ++I)
+    for (int D = 0; D != Degree; ++D) {
+      int There = T.neighborIndex(I, static_cast<uint8_t>(D));
+      int Back = T.neighborIndex(
+          There, static_cast<uint8_t>((D + Half) % Degree));
+      EXPECT_EQ(Back, I) << "direction " << D << " is not inverted by "
+                         << (D + Half) % Degree;
+    }
+}
+
+TEST_P(TorusTest, AdjacencyIsSymmetric) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  for (int I = 0; I != T.numCells(); ++I) {
+    const int32_t *Neighbors = T.neighbors(I);
+    for (int D = 0; D != T.degree(); ++D) {
+      // I must appear in the neighbour list of each of its neighbours.
+      const int32_t *Reverse = T.neighbors(Neighbors[D]);
+      bool Found = false;
+      for (int E = 0; E != T.degree(); ++E)
+        Found |= (Reverse[E] == I);
+      EXPECT_TRUE(Found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, TorusTest,
+    ::testing::Values(TopologyCase{GridKind::Square, 4},
+                      TopologyCase{GridKind::Square, 8},
+                      TopologyCase{GridKind::Square, 16},
+                      TopologyCase{GridKind::Square, 33},
+                      TopologyCase{GridKind::Triangulate, 4},
+                      TopologyCase{GridKind::Triangulate, 8},
+                      TopologyCase{GridKind::Triangulate, 16},
+                      TopologyCase{GridKind::Triangulate, 33}),
+    caseName);
+
+TEST_P(TorusTest, CrossesBoundaryMatchesCoordinateMath) {
+  TopologyCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  int M = C.SideLength;
+  int CrossingSteps = 0;
+  for (int I = 0; I != T.numCells(); ++I) {
+    Coord P = T.coordOf(I);
+    for (int D = 0; D != T.degree(); ++D) {
+      Coord Offset = T.directionOffset(static_cast<uint8_t>(D));
+      bool Expected = P.X + Offset.X < 0 || P.X + Offset.X >= M ||
+                      P.Y + Offset.Y < 0 || P.Y + Offset.Y >= M;
+      EXPECT_EQ(T.crossesBoundary(I, static_cast<uint8_t>(D)), Expected)
+          << "cell " << I << " dir " << D;
+      CrossingSteps += Expected;
+    }
+  }
+  // Interior cells never cross; some boundary steps must exist.
+  EXPECT_GT(CrossingSteps, 0);
+  int Interior = T.indexOf(Coord{M / 2, M / 2});
+  for (int D = 0; D != T.degree(); ++D)
+    EXPECT_FALSE(T.crossesBoundary(Interior, static_cast<uint8_t>(D)));
+}
+
+TEST(TorusOffsetsTest, SquareRingOrder) {
+  Torus T(GridKind::Square, 8);
+  EXPECT_EQ(T.directionOffset(0), (Coord{1, 0}));  // E
+  EXPECT_EQ(T.directionOffset(1), (Coord{0, 1}));  // N
+  EXPECT_EQ(T.directionOffset(2), (Coord{-1, 0})); // W
+  EXPECT_EQ(T.directionOffset(3), (Coord{0, -1})); // S
+}
+
+TEST(TorusOffsetsTest, TriangulateRingOrderAndDiagonals) {
+  Torus T(GridKind::Triangulate, 8);
+  EXPECT_EQ(T.directionOffset(0), (Coord{1, 0}));
+  EXPECT_EQ(T.directionOffset(1), (Coord{1, 1})); // The (x+1, y+1) link.
+  EXPECT_EQ(T.directionOffset(2), (Coord{0, 1}));
+  EXPECT_EQ(T.directionOffset(3), (Coord{-1, 0}));
+  EXPECT_EQ(T.directionOffset(4), (Coord{-1, -1})); // The (x-1, y-1) link.
+  EXPECT_EQ(T.directionOffset(5), (Coord{0, -1}));
+}
+
+TEST(TorusOffsetsTest, TriangulateContainsSquare) {
+  // Fig. 1: the T-grid is the S-grid plus diagonals; every S offset occurs
+  // among the T offsets.
+  Torus S(GridKind::Square, 8), T(GridKind::Triangulate, 8);
+  for (int D = 0; D != 4; ++D) {
+    Coord Offset = S.directionOffset(static_cast<uint8_t>(D));
+    bool Found = false;
+    for (int E = 0; E != 6; ++E)
+      Found |= (T.directionOffset(static_cast<uint8_t>(E)) == Offset);
+    EXPECT_TRUE(Found);
+  }
+}

@@ -1,0 +1,80 @@
+//===- tests/integration/EvolvedGenomesTest.cpp - Checked-in artifacts ----===//
+//
+// Validates the repository's data/evolved_genomes.txt: the FSMs evolved
+// by this codebase's own pipeline (examples/pipeline) must load, be
+// distinct from the paper's published FSMs, and still solve sampled field
+// sets — so the shipped artifact stays trustworthy as the code evolves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "agent/GenomeFile.h"
+#include "ga/Fitness.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+Expected<std::vector<NamedGenome>> loadShippedLibrary() {
+  return loadGenomeLibrary(std::string(CA2A_SOURCE_DIR) +
+                           "/data/evolved_genomes.txt");
+}
+
+} // namespace
+
+TEST(EvolvedGenomesTest, LibraryLoadsAndNamesResolve) {
+  auto Library = loadShippedLibrary();
+  ASSERT_TRUE(Library) << Library.error().message();
+  EXPECT_GE(Library->size(), 2u);
+  const NamedGenome *T = findGenome(*Library, "evolved-t-1");
+  const NamedGenome *S = findGenome(*Library, "evolved-s-1");
+  ASSERT_NE(T, nullptr);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(T->Kind, GridKind::Triangulate);
+  EXPECT_EQ(S->Kind, GridKind::Square);
+  // Independently evolved: not byte-identical to the paper's tables.
+  EXPECT_NE(T->G, bestTriangulateAgent());
+  EXPECT_NE(S->G, bestSquareAgent());
+  EXPECT_NE(T->G, S->G);
+}
+
+TEST(EvolvedGenomesTest, ShippedAgentsSolveSampledFields) {
+  auto Library = loadShippedLibrary();
+  ASSERT_TRUE(Library) << Library.error().message();
+  for (const char *Name : {"evolved-s-1", "evolved-t-1"}) {
+    const NamedGenome *Entry = findGenome(*Library, Name);
+    ASSERT_NE(Entry, nullptr) << Name;
+    Torus T(Entry->Kind, 16);
+    auto Fields = standardConfigurationSet(T, 8, 25, 20260707);
+    FitnessParams P;
+    P.Sim.MaxSteps = 1000;
+    FitnessResult R = evaluateFitness(Entry->G, T, Fields, P);
+    EXPECT_TRUE(R.completelySuccessful())
+        << Name << " solved only " << R.SolvedFields << "/" << R.NumFields;
+    EXPECT_LT(R.MeanCommTime, 250.0) << Name << " is unreasonably slow";
+  }
+}
+
+TEST(EvolvedGenomesTest, EvolvedTrailsThePublishedBestOnlyModestly) {
+  // The shipped FSMs come from a tiny compute budget; they should be in
+  // the same league as the paper's (within 2x on mean time), documenting
+  // that the GA pipeline genuinely works end to end.
+  auto Library = loadShippedLibrary();
+  ASSERT_TRUE(Library) << Library.error().message();
+  for (const char *Name : {"evolved-s-1", "evolved-t-1"}) {
+    const NamedGenome *Entry = findGenome(*Library, Name);
+    ASSERT_NE(Entry, nullptr);
+    Torus T(Entry->Kind, 16);
+    auto Fields = standardConfigurationSet(T, 16, 40, 5);
+    FitnessParams P;
+    P.Sim.MaxSteps = 2000;
+    FitnessResult Evolved = evaluateFitness(Entry->G, T, Fields, P);
+    FitnessResult Published = evaluateFitness(bestAgent(Entry->Kind), T,
+                                              Fields, P);
+    ASSERT_TRUE(Evolved.completelySuccessful());
+    ASSERT_TRUE(Published.completelySuccessful());
+    EXPECT_LT(Evolved.MeanCommTime, 2.0 * Published.MeanCommTime) << Name;
+  }
+}

@@ -1,0 +1,222 @@
+//===- tests/sim/CommunicationTest.cpp - Exchange semantics tests ---------===//
+//
+// Pins the communication model: one-hop OR exchange per step, success
+// timing (the t = 0 exchange is free), and the packed-field flooding
+// property that fixes Table 1's N_agents = 256 column at diameter - 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "grid/Distance.h"
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+Genome stationaryGenome() {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = Action{}; // S.0: stay, keep colour clear.
+    }
+  return G;
+}
+
+SimOptions shortRun(int MaxSteps = 50) {
+  SimOptions O;
+  O.MaxSteps = MaxSteps;
+  return O;
+}
+
+} // namespace
+
+TEST(CommunicationTest, SingleAgentSolvesAtTimeZero) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 8);
+    World W(T);
+    Genome G = stationaryGenome();
+    W.reset(G, {{Coord{3, 3}, 0}}, shortRun());
+    SimResult R = W.run();
+    EXPECT_TRUE(R.Success);
+    EXPECT_EQ(R.TComm, 0);
+    EXPECT_EQ(R.InformedAgents, 1);
+  }
+}
+
+TEST(CommunicationTest, AdjacentPairSolvesAtTimeZero) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 8);
+    World W(T);
+    Genome G = stationaryGenome();
+    W.reset(G, {{Coord{3, 3}, 0}, {Coord{4, 3}, 0}}, shortRun());
+    SimResult R = W.run();
+    EXPECT_TRUE(R.Success) << gridKindName(Kind);
+    EXPECT_EQ(R.TComm, 0) << "adjacent agents need no movement";
+  }
+}
+
+TEST(CommunicationTest, DiagonalPairAdjacentOnlyInTriangulate) {
+  // (3,3) and (4,4) are linked in T (the (x+1, y+1) diagonal) but two
+  // steps apart in S.
+  Genome G = stationaryGenome();
+  {
+    Torus T(GridKind::Triangulate, 8);
+    World W(T);
+    W.reset(G, {{Coord{3, 3}, 0}, {Coord{4, 4}, 0}}, shortRun());
+    SimResult R = W.run();
+    EXPECT_TRUE(R.Success);
+    EXPECT_EQ(R.TComm, 0);
+  }
+  {
+    Torus T(GridKind::Square, 8);
+    World W(T);
+    W.reset(G, {{Coord{3, 3}, 0}, {Coord{4, 4}, 0}}, shortRun());
+    SimResult R = W.run();
+    EXPECT_FALSE(R.Success) << "stationary S-agents two apart never meet";
+    EXPECT_EQ(R.InformedAgents, 0);
+  }
+}
+
+TEST(CommunicationTest, AntiDiagonalPairIsNotAdjacentInTriangulate) {
+  // (3,3) and (4,2): the NE-SW "anti-diagonal" is NOT a T-grid link
+  // (Fig. 1 adds only the (x+1, y+1) / (x-1, y-1) pair).
+  Genome G = stationaryGenome();
+  Torus T(GridKind::Triangulate, 8);
+  World W(T);
+  W.reset(G, {{Coord{3, 3}, 0}, {Coord{4, 2}, 0}}, shortRun());
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+}
+
+TEST(CommunicationTest, StationaryChainRelaysOneHopPerStep) {
+  // Agents at (0,0), (1,0), (2,0): the middle agent is informed after the
+  // t=0 exchange; the ends learn the far bit one step later. Information
+  // must travel exactly one hop per step (no transitive closure within a
+  // step).
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = stationaryGenome();
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{1, 0}, 0}, {Coord{2, 0}, 0}},
+          shortRun());
+
+  ASSERT_EQ(W.step(), World::Status::Running) << "ends not informed at t=0";
+  EXPECT_EQ(W.informedCount(), 1) << "only the middle agent knows all";
+  EXPECT_TRUE(W.agent(1).Informed);
+  EXPECT_FALSE(W.agent(0).Informed);
+  EXPECT_FALSE(W.agent(0).Comm.test(2)) << "far bit cannot jump two hops";
+
+  EXPECT_EQ(W.step(), World::Status::Solved);
+  EXPECT_EQ(W.informedCount(), 3);
+  EXPECT_EQ(W.time(), 1);
+}
+
+TEST(CommunicationTest, StationaryDistantAgentsNeverSolve) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = stationaryGenome();
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, shortRun(100));
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.TComm, -1);
+  EXPECT_EQ(R.InformedAgents, 0);
+  EXPECT_EQ(R.NumAgents, 2);
+}
+
+struct PackedCase {
+  GridKind Kind;
+  int SideLength;
+};
+
+class PackedFloodingTest : public ::testing::TestWithParam<PackedCase> {};
+
+TEST_P(PackedFloodingTest, TakesExactlyDiameterMinusOneSteps) {
+  // Fully packed field: nobody can move; pure flooding. The success check
+  // after the t = 0 exchange is free, so t_comm = diameter - 1 ("the
+  // communication after the initial placement is not counted", Sect. 5).
+  PackedCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  World W(T);
+  Genome G = stationaryGenome();
+  InitialConfiguration Packed = packedConfiguration(T);
+  SimOptions O;
+  O.MaxSteps = 4 * C.SideLength;
+  W.reset(G, Packed.Placements, O);
+  SimResult R = W.run();
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.TComm, diameterByScan(T) - 1);
+}
+
+TEST_P(PackedFloodingTest, MovingGenomeChangesNothingWhenPacked) {
+  // Even a genome that wants to move cannot: every front cell is occupied.
+  PackedCase C = GetParam();
+  Torus T(C.Kind, C.SideLength);
+  World W(T);
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act.Move = true;
+      E.Act.TurnCode = Turn::Right;
+    }
+  InitialConfiguration Packed = packedConfiguration(T);
+  SimOptions O;
+  O.MaxSteps = 4 * C.SideLength;
+  W.reset(G, Packed.Placements, O);
+  SimResult R = W.run();
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.TComm, diameterByScan(T) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PackedFloodingTest,
+    ::testing::Values(PackedCase{GridKind::Square, 4},
+                      PackedCase{GridKind::Square, 8},
+                      PackedCase{GridKind::Square, 16},
+                      PackedCase{GridKind::Triangulate, 4},
+                      PackedCase{GridKind::Triangulate, 8},
+                      PackedCase{GridKind::Triangulate, 16}),
+    [](const ::testing::TestParamInfo<PackedCase> &I) {
+      return std::string(gridKindName(I.param.Kind)) +
+             std::to_string(I.param.SideLength);
+    });
+
+TEST(CommunicationTest, InformedCountIsMonotone) {
+  // Information only accumulates: the informed count never decreases over
+  // a run, whatever the agents do.
+  Torus T(GridKind::Triangulate, 8);
+  World W(T);
+  Genome G;
+  Rng R(12345);
+  G = Genome::random(R);
+  std::vector<Placement> P;
+  Rng FieldRng(99);
+  InitialConfiguration C = randomConfiguration(T, 8, FieldRng);
+  SimOptions O;
+  O.MaxSteps = 150;
+  W.reset(G, C.Placements, O);
+  int Last = -1;
+  W.run([&Last](const World &World, int) {
+    EXPECT_GE(World.informedCount(), Last);
+    Last = World.informedCount();
+  });
+}
+
+TEST(CommunicationTest, ExchangeIsSymmetricWithinOneHop) {
+  // After the t=0 exchange two adjacent agents hold identical vectors.
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = stationaryGenome();
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{1, 0}, 0}, {Coord{5, 5}, 0}},
+          shortRun());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Comm, W.agent(1).Comm);
+  EXPECT_TRUE(W.agent(0).Comm.test(0));
+  EXPECT_TRUE(W.agent(0).Comm.test(1));
+  EXPECT_FALSE(W.agent(0).Comm.test(2));
+}

@@ -1,0 +1,292 @@
+//===- tests/sim/ExtensionsTest.cpp - Borders/obstacles/policies ----------===//
+//
+// Tests for the engine extensions beyond the paper's core setting:
+// bordered (non-cyclic) fields, obstacles, and the two-genome policies
+// (time-shuffling, species mixing) — items from the paper's related-work
+// devices and future-work list.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Render.h"
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+Genome constantGenome(Action A) {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = A;
+    }
+  return G;
+}
+
+Action makeAction(Turn T, bool Move, bool SetColor) {
+  Action A;
+  A.TurnCode = T;
+  A.Move = Move;
+  A.SetColor = SetColor;
+  return A;
+}
+
+SimOptions options(int MaxSteps = 100) {
+  SimOptions O;
+  O.MaxSteps = MaxSteps;
+  return O;
+}
+
+} // namespace
+
+TEST(BorderTest, AgentCannotCrossTheSeam) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  SimOptions O = options();
+  O.Bordered = true;
+  // Agent 0 at the east edge facing east; agent 1 far away going north.
+  W.reset(G, {{Coord{7, 0}, 0}, {Coord{0, 4}, 1}}, O);
+  for (int I = 0; I != 3; ++I) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{7, 0}))
+        << "border must block the seam crossing";
+  }
+  // Without borders the same agent wraps.
+  SimOptions Cyclic = options();
+  W.reset(G, {{Coord{7, 0}, 0}, {Coord{0, 4}, 1}}, Cyclic);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+}
+
+TEST(BorderTest, BlockedInputFiresAtTheBorder) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  // Free agents go straight; blocked agents turn right. An agent facing
+  // the border must turn.
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = (X & 1) ? makeAction(Turn::Right, true, false)
+                      : makeAction(Turn::Straight, true, false);
+    }
+  SimOptions O = options();
+  O.Bordered = true;
+  W.reset(G, {{Coord{7, 2}, 0}, {Coord{0, 5}, 1}}, O);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{7, 2}));
+  EXPECT_EQ(W.agent(0).Direction, 1) << "border blocking must reach the FSM";
+}
+
+TEST(BorderTest, NoExchangeAcrossTheSeam) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome Stay; // All-zero: never moves.
+  // (0,0) and (7,0) are torus-adjacent but NOT border-adjacent.
+  SimOptions O = options(30);
+  O.Bordered = true;
+  W.reset(Stay, {{Coord{0, 0}, 0}, {Coord{7, 0}, 0}}, O);
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success) << "seam adjacency must not exist with borders";
+
+  SimOptions Cyclic = options(30);
+  W.reset(Stay, {{Coord{0, 0}, 0}, {Coord{7, 0}, 0}}, Cyclic);
+  R = W.run();
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.TComm, 0);
+}
+
+TEST(BorderTest, SeamFrontColorReadsAsZero) {
+  // Genome: move straight when frontcolor = 0, turn right in place when
+  // frontcolor = 1 (never blocked cases matter here).
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      bool FrontColor = (X >> 2) & 1;
+      E.Act = FrontColor ? makeAction(Turn::Right, false, false)
+                         : makeAction(Turn::Straight, false, false);
+    }
+  Torus T(GridKind::Square, 8);
+  // Pre-colour the wrap cell (0,3) by a painter agent placed there...
+  // simpler: colour is initially 0 everywhere; paint (0,3) via a first
+  // phase with a painter genome, then verify through direct reads that a
+  // bordered agent at (7,3) facing east does NOT see the wrapped colour.
+  World W(T);
+  Genome Painter = constantGenome(makeAction(Turn::Straight, false, true));
+  SimOptions O = options();
+  O.Bordered = true;
+  // Painter at (0,3) colours its own cell; observer at (7,3) faces east
+  // into the seam. With wrap the front cell would be (0,3) (coloured after
+  // step 1); bordered agents must read 0 and keep turning... the observer
+  // uses genome G, but a world has one genome for all agents. Use species
+  // parity: painter = odd id runs Painter, observer = even id runs G.
+  W.reset(G, Painter, GenomePolicy::SpeciesParity,
+          {{Coord{7, 3}, 0}, {Coord{0, 3}, 0}}, O);
+  ASSERT_EQ(W.step(), World::Status::Running); // Painter colours (0,3).
+  EXPECT_TRUE(W.colorAt(T.indexOf(Coord{0, 3})));
+  ASSERT_EQ(W.step(), World::Status::Running);
+  // Observer still faces east (no turn): it never saw frontcolor = 1.
+  EXPECT_EQ(W.agent(0).Direction, 0)
+      << "bordered agent must not read the wrapped cell's colour";
+}
+
+TEST(ObstacleTest, BlocksEntryAndInput) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  SimOptions O = options();
+  O.Obstacles = {Coord{2, 0}};
+  W.reset(G, {{Coord{1, 0}, 0}, {Coord{5, 5}, 1}}, O);
+  for (int I = 0; I != 3; ++I) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}))
+        << "obstacle must block entry";
+  }
+  EXPECT_TRUE(W.obstacleAt(T.indexOf(Coord{2, 0})));
+  EXPECT_FALSE(W.obstacleAt(T.indexOf(Coord{3, 0})));
+}
+
+TEST(ObstacleTest, ClearedOnReset) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome Stay;
+  SimOptions WithObstacle = options();
+  WithObstacle.Obstacles = {Coord{4, 4}};
+  W.reset(Stay, {{Coord{0, 0}, 0}}, WithObstacle);
+  EXPECT_TRUE(W.obstacleAt(T.indexOf(Coord{4, 4})));
+  W.reset(Stay, {{Coord{0, 0}, 0}}, options());
+  EXPECT_FALSE(W.obstacleAt(T.indexOf(Coord{4, 4})));
+}
+
+TEST(ObstacleTest, RenderedAsHash) {
+  Torus T(GridKind::Square, 4);
+  World W(T);
+  Genome Stay;
+  SimOptions O = options();
+  O.Obstacles = {Coord{1, 1}};
+  W.reset(Stay, {{Coord{0, 0}, 0}}, O);
+  std::string Layer = renderAgentLayer(W);
+  EXPECT_NE(Layer.find('#'), std::string::npos) << Layer;
+}
+
+TEST(ObstacleTest, DoesNotBlockCommunication) {
+  // Obstacles exclude occupancy only: two agents adjacent to each other
+  // still exchange even when surrounded by obstacles.
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome Stay;
+  SimOptions O = options(10);
+  O.Obstacles = {Coord{0, 1}, Coord{1, 1}, Coord{2, 1}};
+  W.reset(Stay, {{Coord{0, 0}, 0}, {Coord{1, 0}, 0}}, O);
+  SimResult R = W.run();
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.TComm, 0);
+}
+
+TEST(GenomePolicyTest, TimeShuffleAlternatesByStepParity) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  // A: move straight; B: turn right in place. Under time-shuffling the
+  // agent moves on even steps and rotates on odd steps.
+  Genome A = constantGenome(makeAction(Turn::Straight, true, false));
+  Genome B = constantGenome(makeAction(Turn::Right, false, false));
+  W.reset(A, B, GenomePolicy::TimeShuffle,
+          {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, options());
+  ASSERT_EQ(W.step(), World::Status::Running); // t=0: A moves east.
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+  EXPECT_EQ(W.agent(0).Direction, 0);
+  ASSERT_EQ(W.step(), World::Status::Running); // t=1: B turns right.
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+  EXPECT_EQ(W.agent(0).Direction, 1);
+  ASSERT_EQ(W.step(), World::Status::Running); // t=2: A moves north.
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 1}));
+}
+
+TEST(GenomePolicyTest, SpeciesParityAssignsByAgentId) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome A = constantGenome(makeAction(Turn::Straight, true, false));
+  Genome B = constantGenome(makeAction(Turn::Right, false, false));
+  // Agents 0 and 2 run A (move), agent 1 runs B (rotate).
+  W.reset(A, B, GenomePolicy::SpeciesParity,
+          {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}, {Coord{0, 4}, 0}}, options());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{4, 4}));
+  EXPECT_EQ(W.agent(1).Direction, 1);
+  EXPECT_EQ(W.agent(2).Cell, T.indexOf(Coord{1, 4}));
+}
+
+TEST(ArbitrationModeTest, GazerBlocksRequesterInGazeMode) {
+  // The alternative reading of the paper's conflict rule: a standing
+  // lower-ID agent facing a cell reserves it. Mirrors
+  // WorldConflictTest.NonRequesterNeitherMovesNorBlocks, which pins the
+  // default reading.
+  Torus T(GridKind::Square, 8);
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act.Move = (S == 1); // State 0: gaze only; state 1: move.
+    }
+  World W(T);
+  SimOptions O = options();
+  O.Arbitration = ArbitrationMode::GazePriority;
+  std::vector<Placement> P = {
+      {Coord{0, 0}, 0}, // Agent 0 (state 0): gazes at (1,0).
+      {Coord{1, 1}, 3}, // Agent 1 (state 1): requests (1,0).
+      {Coord{5, 5}, 1},
+  };
+  W.reset(G, P, O);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{1, 1}))
+      << "in gaze mode the lower-ID gazer must reserve the cell";
+
+  // Same setup under the default reading: the requester moves.
+  SimOptions Default = options();
+  W.reset(G, P, Default);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{1, 0}));
+}
+
+TEST(ArbitrationModeTest, ModesAgreeWhenEveryoneRequests) {
+  // With an always-move genome the two readings coincide.
+  Torus T(GridKind::Triangulate, 16);
+  Genome G = constantGenome(makeAction(Turn::Right, true, true));
+  std::vector<Placement> P = {
+      {Coord{0, 0}, 0}, {Coord{7, 3}, 2}, {Coord{12, 12}, 4}};
+  SimResult Results[2];
+  for (ArbitrationMode Mode :
+       {ArbitrationMode::RequestPriority, ArbitrationMode::GazePriority}) {
+    World W(T);
+    SimOptions O = options(300);
+    O.Arbitration = Mode;
+    W.reset(G, P, O);
+    Results[Mode == ArbitrationMode::GazePriority] = W.run();
+  }
+  EXPECT_EQ(Results[0].Success, Results[1].Success);
+  EXPECT_EQ(Results[0].TComm, Results[1].TComm);
+}
+
+TEST(GenomePolicyTest, SingleIgnoresSecondGenome) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome A = constantGenome(makeAction(Turn::Straight, true, false));
+  Genome B = constantGenome(makeAction(Turn::Right, false, false));
+  W.reset(A, B, GenomePolicy::Single, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}},
+          options());
+  for (int I = 1; I <= 3; ++I) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{I % 8, 0}));
+  }
+}

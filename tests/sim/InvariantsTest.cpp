@@ -1,0 +1,122 @@
+//===- tests/sim/InvariantsTest.cpp - Engine invariant property sweep -----===//
+//
+// Property-based testing: random genomes on random configurations, with
+// the engine's global invariants checked after every step — one agent per
+// cell, occupancy consistency, conserved agent count, monotone knowledge,
+// direction/state ranges. TEST_P sweeps seeds, grid kinds and densities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ca2a;
+
+struct InvariantCase {
+  GridKind Kind;
+  int NumAgents;
+  uint64_t Seed;
+};
+
+class EngineInvariantTest : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(EngineInvariantTest, HoldAtEveryStepUnderRandomBehaviour) {
+  InvariantCase C = GetParam();
+  Torus T(C.Kind, 16);
+  World W(T);
+  Rng R(C.Seed);
+  Genome G = Genome::random(R);
+  InitialConfiguration Field = randomConfiguration(T, C.NumAgents, R);
+  SimOptions O;
+  O.MaxSteps = 120;
+  W.reset(G, Field.Placements, O);
+
+  std::vector<size_t> LastKnowledge(static_cast<size_t>(C.NumAgents), 0);
+  for (int Step = 0; Step != O.MaxSteps; ++Step) {
+    if (W.step() == World::Status::Solved)
+      break;
+
+    // One agent per cell; occupancy table consistent both ways.
+    std::set<int> Cells;
+    for (int Id = 0; Id != W.numAgents(); ++Id) {
+      const AgentState &A = W.agent(Id);
+      EXPECT_TRUE(Cells.insert(A.Cell).second)
+          << "two agents share cell " << A.Cell << " at step " << Step;
+      EXPECT_EQ(W.agentAt(A.Cell), Id) << "occupancy table inconsistent";
+      EXPECT_LT(A.Direction, T.degree());
+      EXPECT_LT(A.ControlState, NumControlStates);
+      // Knowledge is monotone and always includes the own bit.
+      EXPECT_TRUE(A.Comm.test(static_cast<size_t>(Id)));
+      size_t Knowledge = A.Comm.count();
+      EXPECT_GE(Knowledge, LastKnowledge[static_cast<size_t>(Id)])
+          << "agent " << Id << " forgot information at step " << Step;
+      LastKnowledge[static_cast<size_t>(Id)] = Knowledge;
+    }
+    EXPECT_EQ(W.numAgents(), C.NumAgents) << "agent count not conserved";
+
+    // Every occupied cell in the table maps back to an agent there.
+    int Occupied = 0;
+    for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+      int Id = W.agentAt(Cell);
+      if (Id < 0)
+        continue;
+      ++Occupied;
+      EXPECT_EQ(W.agent(Id).Cell, Cell);
+    }
+    EXPECT_EQ(Occupied, C.NumAgents);
+  }
+}
+
+TEST_P(EngineInvariantTest, InvariantsAlsoHoldWithObstaclesAndBorders) {
+  InvariantCase C = GetParam();
+  Torus T(C.Kind, 16);
+  World W(T);
+  Rng R(C.Seed ^ 0xabcdef);
+  Genome G = Genome::random(R);
+  SimOptions O;
+  O.MaxSteps = 100;
+  O.Bordered = (C.Seed % 2) == 0;
+  O.Obstacles = randomObstacles(T, 20, R);
+  InitialConfiguration Field =
+      randomConfigurationAvoiding(T, C.NumAgents, R, O.Obstacles);
+  W.reset(G, Field.Placements, O);
+
+  for (int Step = 0; Step != O.MaxSteps; ++Step) {
+    if (W.step() == World::Status::Solved)
+      break;
+    std::set<int> Cells;
+    for (int Id = 0; Id != W.numAgents(); ++Id) {
+      const AgentState &A = W.agent(Id);
+      EXPECT_TRUE(Cells.insert(A.Cell).second);
+      EXPECT_FALSE(W.obstacleAt(A.Cell))
+          << "agent entered an obstacle at step " << Step;
+    }
+  }
+}
+
+static std::string invariantCaseName(
+    const ::testing::TestParamInfo<InvariantCase> &I) {
+  return std::string(gridKindName(I.param.Kind)) + "k" +
+         std::to_string(I.param.NumAgents) + "seed" +
+         std::to_string(I.param.Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBehaviours, EngineInvariantTest,
+    ::testing::Values(InvariantCase{GridKind::Square, 2, 1},
+                      InvariantCase{GridKind::Square, 8, 2},
+                      InvariantCase{GridKind::Square, 16, 3},
+                      InvariantCase{GridKind::Square, 64, 4},
+                      InvariantCase{GridKind::Square, 128, 5},
+                      InvariantCase{GridKind::Triangulate, 2, 6},
+                      InvariantCase{GridKind::Triangulate, 8, 7},
+                      InvariantCase{GridKind::Triangulate, 16, 8},
+                      InvariantCase{GridKind::Triangulate, 64, 9},
+                      InvariantCase{GridKind::Triangulate, 128, 10},
+                      InvariantCase{GridKind::Square, 32, 11},
+                      InvariantCase{GridKind::Triangulate, 32, 12}),
+    invariantCaseName);

@@ -1,0 +1,105 @@
+//===- tests/sim/RenderTest.cpp - ASCII rendering unit tests --------------===//
+
+#include "sim/Render.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ca2a;
+
+namespace {
+
+Genome stayGenome() {
+  Genome G; // All-zero: S.0 everywhere — agents stand still.
+  return G;
+}
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    Out.push_back(Line);
+  return Out;
+}
+
+} // namespace
+
+TEST(RenderTest, AgentLayerGeometry) {
+  Torus T(GridKind::Square, 4);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 10;
+  // Agent 0 at (1,2) facing north; agent 1 at (3,0) facing west.
+  W.reset(stayGenome(), {{Coord{1, 2}, 1}, {Coord{3, 0}, 2}}, O);
+  std::vector<std::string> Rows = lines(renderAgentLayer(W));
+  ASSERT_EQ(Rows.size(), 4u);
+  // Rows print top-down: row 0 of output is y = 3.
+  EXPECT_EQ(Rows[0], " .  .  .  .");
+  EXPECT_EQ(Rows[1], " . ^0  .  .");
+  EXPECT_EQ(Rows[2], " .  .  .  .");
+  EXPECT_EQ(Rows[3], " .  .  . <1");
+}
+
+TEST(RenderTest, TriangulateGlyphs) {
+  Torus T(GridKind::Triangulate, 4);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 10;
+  W.reset(stayGenome(), {{Coord{0, 0}, 1}, {Coord{2, 2}, 4}}, O);
+  std::string Layer = renderAgentLayer(W);
+  EXPECT_NE(Layer.find("/0"), std::string::npos) << Layer;
+  EXPECT_NE(Layer.find("\\1"), std::string::npos) << Layer;
+}
+
+TEST(RenderTest, ColorLayerShowsWrites) {
+  Torus T(GridKind::Square, 4);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 10;
+  // Writer genome: set colour, stand still.
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S)
+      G.entry(X, S).Act.SetColor = true;
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{2, 2}, 0}}, O);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  std::vector<std::string> Rows = lines(renderColorLayer(W));
+  ASSERT_EQ(Rows.size(), 4u);
+  EXPECT_EQ(Rows[3], "1 . . .");
+  EXPECT_EQ(Rows[1], ". . 1 .");
+  EXPECT_EQ(Rows[0], ". . . .");
+}
+
+TEST(RenderTest, VisitedLayerCapsAtStar) {
+  Torus T(GridKind::Square, 4);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 60;
+  // Two agents orbiting their own rows: east forever.
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S)
+      G.entry(X, S).Act.Move = true;
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{0, 2}, 0}}, O);
+  for (int I = 0; I != 41; ++I)
+    ASSERT_EQ(W.step(), World::Status::Running);
+  std::string Layer = renderVisitedLayer(W);
+  EXPECT_NE(Layer.find('*'), std::string::npos)
+      << "10+ visits must render as *\n"
+      << Layer;
+}
+
+TEST(RenderTest, PanelsContainAllLayers) {
+  Torus T(GridKind::Square, 4);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 10;
+  W.reset(stayGenome(), {{Coord{0, 0}, 0}, {Coord{2, 2}, 0}}, O);
+  std::string Panels = renderPanels(W, "t=0");
+  EXPECT_NE(Panels.find("t=0"), std::string::npos);
+  EXPECT_NE(Panels.find("agents:"), std::string::npos);
+  EXPECT_NE(Panels.find("colors:"), std::string::npos);
+  EXPECT_NE(Panels.find("visited:"), std::string::npos);
+}

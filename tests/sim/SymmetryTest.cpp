@@ -1,0 +1,139 @@
+//===- tests/sim/SymmetryTest.cpp - Engine symmetry properties ------------===//
+//
+// The CA semantics are local and direction-relative, so the engine must
+// commute with the torus's symmetries: translating a whole configuration,
+// or rotating it by one direction-ring step (90 deg in S, 60 deg in T),
+// must produce the exactly transformed run — same t_comm, transformed
+// trajectories. These tests catch subtle anisotropy bugs (e.g. an offset
+// table error in one direction) that statistical tests would average away.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+/// Rotates a coordinate by one ring step around the origin.
+/// S-grid (+90 deg): (x, y) -> (-y, x).
+/// T-grid (+60 deg in the skewed axial basis): (x, y) -> (x, y) mapped so
+/// that each basis offset moves to the next ring entry: e_0 = (1,0) ->
+/// (1,1) = e_1 and e_2 = (0,1) -> e_3 = (-1,0), giving
+/// (x, y) -> (x - y, x).
+Coord rotateCoord(GridKind Kind, Coord C) {
+  if (Kind == GridKind::Square)
+    return Coord{-C.Y, C.X};
+  return Coord{C.X - C.Y, C.X};
+}
+
+InitialConfiguration transformConfiguration(const Torus &T,
+                                            const InitialConfiguration &C,
+                                            bool Rotate, Coord Shift) {
+  InitialConfiguration Out;
+  for (const Placement &P : C.Placements) {
+    Placement Q;
+    Coord Pos = Rotate ? rotateCoord(T.kind(), P.Pos) : P.Pos;
+    Q.Pos = Coord{T.wrap(Pos.X + Shift.X), T.wrap(Pos.Y + Shift.Y)};
+    Q.Direction = Rotate ? static_cast<uint8_t>((P.Direction + 1) % T.degree())
+                         : P.Direction;
+    Out.Placements.push_back(Q);
+  }
+  return Out;
+}
+
+struct SymmetryCase {
+  GridKind Kind;
+  uint64_t Seed;
+};
+
+} // namespace
+
+class SymmetryTest : public ::testing::TestWithParam<SymmetryCase> {};
+
+TEST_P(SymmetryTest, TranslationInvariance) {
+  SymmetryCase C = GetParam();
+  Torus T(C.Kind, 16);
+  World W(T);
+  Rng R(C.Seed);
+  Genome G = Genome::random(R);
+  InitialConfiguration Base = randomConfiguration(T, 8, R);
+  SimOptions O;
+  O.MaxSteps = 150;
+
+  W.reset(G, Base.Placements, O);
+  SimResult Original = W.run();
+  std::vector<int> OriginalCells;
+  for (int Id = 0; Id != 8; ++Id)
+    OriginalCells.push_back(W.agent(Id).Cell);
+
+  for (Coord Shift : {Coord{5, 0}, Coord{0, 7}, Coord{3, 11}}) {
+    InitialConfiguration Moved =
+        transformConfiguration(T, Base, /*Rotate=*/false, Shift);
+    W.reset(G, Moved.Placements, O);
+    SimResult Shifted = W.run();
+    EXPECT_EQ(Shifted.Success, Original.Success);
+    EXPECT_EQ(Shifted.TComm, Original.TComm)
+        << "translation by (" << Shift.X << "," << Shift.Y
+        << ") changed the outcome";
+    // Final positions are the translated originals.
+    for (int Id = 0; Id != 8; ++Id) {
+      Coord P = T.coordOf(OriginalCells[static_cast<size_t>(Id)]);
+      Coord Expected{T.wrap(P.X + Shift.X), T.wrap(P.Y + Shift.Y)};
+      EXPECT_EQ(W.agent(Id).Cell, T.indexOf(Expected));
+    }
+  }
+}
+
+TEST_P(SymmetryTest, RotationInvariance) {
+  SymmetryCase C = GetParam();
+  Torus T(C.Kind, 16);
+  World W(T);
+  Rng R(C.Seed ^ 0x5555);
+  Genome G = Genome::random(R);
+  InitialConfiguration Base = randomConfiguration(T, 8, R);
+  SimOptions O;
+  O.MaxSteps = 150;
+
+  W.reset(G, Base.Placements, O);
+  SimResult Original = W.run();
+  std::vector<Coord> OriginalPositions;
+  std::vector<uint8_t> OriginalDirections;
+  for (int Id = 0; Id != 8; ++Id) {
+    OriginalPositions.push_back(T.coordOf(W.agent(Id).Cell));
+    OriginalDirections.push_back(W.agent(Id).Direction);
+  }
+
+  InitialConfiguration Rotated =
+      transformConfiguration(T, Base, /*Rotate=*/true, Coord{0, 0});
+  ASSERT_TRUE(isValidConfiguration(T, Rotated));
+  W.reset(G, Rotated.Placements, O);
+  SimResult AfterRotation = W.run();
+  EXPECT_EQ(AfterRotation.Success, Original.Success);
+  EXPECT_EQ(AfterRotation.TComm, Original.TComm)
+      << "one ring-step rotation changed the outcome";
+  for (int Id = 0; Id != 8; ++Id) {
+    Coord Expected = rotateCoord(C.Kind, OriginalPositions[
+        static_cast<size_t>(Id)]);
+    EXPECT_EQ(W.agent(Id).Cell,
+              T.indexOf(Coord{T.wrap(Expected.X), T.wrap(Expected.Y)}));
+    EXPECT_EQ(W.agent(Id).Direction,
+              (OriginalDirections[static_cast<size_t>(Id)] + 1) % T.degree());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, SymmetryTest,
+    ::testing::Values(SymmetryCase{GridKind::Square, 101},
+                      SymmetryCase{GridKind::Square, 102},
+                      SymmetryCase{GridKind::Square, 103},
+                      SymmetryCase{GridKind::Triangulate, 104},
+                      SymmetryCase{GridKind::Triangulate, 105},
+                      SymmetryCase{GridKind::Triangulate, 106}),
+    [](const ::testing::TestParamInfo<SymmetryCase> &I) {
+      return std::string(gridKindName(I.param.Kind)) +
+             std::to_string(I.param.Seed);
+    });

@@ -1,0 +1,126 @@
+//===- tests/sim/TraceTest.cpp - Snapshot/trajectory unit tests -----------===//
+
+#include "sim/Trace.h"
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+World preparedWorld(const Torus &T, int MaxSteps = 300) {
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = MaxSteps;
+  std::vector<Placement> P = {{Coord{2, 2}, 1}, {Coord{13, 3}, 2}};
+  W.reset(bestAgent(T.kind()), P, O);
+  return W;
+}
+
+} // namespace
+
+TEST(TraceTest, CapturesRequestedTimesAndFinal) {
+  Torus T(GridKind::Square, 16);
+  World W = preparedWorld(T);
+  TracedRun Run = runWithSnapshots(W, {0, 10, 20});
+  ASSERT_TRUE(Run.Result.Success) << "best S-agent must solve this field";
+  ASSERT_GE(Run.Snapshots.size(), 3u);
+  EXPECT_EQ(Run.Snapshots[0].Time, 0);
+  EXPECT_EQ(Run.Snapshots[1].Time, 10);
+  EXPECT_EQ(Run.Snapshots[2].Time, 20);
+  EXPECT_EQ(Run.Snapshots.back().Time, Run.Result.TComm)
+      << "terminal state must always be captured";
+}
+
+TEST(TraceTest, DuplicateAndOutOfRangeTimesAreHandled) {
+  Torus T(GridKind::Square, 16);
+  World W = preparedWorld(T);
+  TracedRun Run = runWithSnapshots(W, {0, 0, 100000});
+  ASSERT_TRUE(Run.Result.Success);
+  // One capture for t=0 plus the terminal capture.
+  ASSERT_EQ(Run.Snapshots.size(), 2u);
+  EXPECT_EQ(Run.Snapshots[0].Time, 0);
+  EXPECT_EQ(Run.Snapshots.back().Time, Run.Result.TComm);
+}
+
+TEST(TraceTest, SnapshotContentsMatchDimensions) {
+  Torus T(GridKind::Triangulate, 16);
+  World W = preparedWorld(T);
+  TracedRun Run = runWithSnapshots(W, {0});
+  ASSERT_FALSE(Run.Snapshots.empty());
+  const Snapshot &S = Run.Snapshots.front();
+  EXPECT_EQ(S.Colors.size(), static_cast<size_t>(T.numCells()));
+  EXPECT_EQ(S.VisitCounts.size(), static_cast<size_t>(T.numCells()));
+  EXPECT_EQ(S.Agents.size(), 2u);
+  // At t=0 the field is still uncoloured and exactly the two start cells
+  // are visited.
+  int TotalVisits = 0;
+  for (int V : S.VisitCounts)
+    TotalVisits += V;
+  EXPECT_EQ(TotalVisits, 2);
+  for (uint8_t C : S.Colors)
+    EXPECT_EQ(C, 0);
+}
+
+TEST(TraceTest, TrajectoriesStartAtPlacementAndChainAdjacently) {
+  Torus T(GridKind::Triangulate, 16);
+  World W = preparedWorld(T);
+  SimResult Result;
+  std::vector<Trajectory> Trajectories = recordTrajectories(W, Result);
+  ASSERT_TRUE(Result.Success);
+  ASSERT_EQ(Trajectories.size(), 2u);
+  EXPECT_EQ(Trajectories[0].front(), T.indexOf(Coord{2, 2}));
+  EXPECT_EQ(Trajectories[1].front(), T.indexOf(Coord{13, 3}));
+  // Consecutive trajectory cells must be grid neighbours.
+  for (const Trajectory &Tr : Trajectories) {
+    for (size_t I = 1; I != Tr.size(); ++I) {
+      bool Adjacent = false;
+      const int32_t *Neighbors = T.neighbors(Tr[I - 1]);
+      for (int D = 0; D != T.degree(); ++D)
+        Adjacent |= (Neighbors[D] == Tr[I]);
+      EXPECT_TRUE(Adjacent) << "trajectory jumped between non-neighbours";
+    }
+  }
+}
+
+TEST(TraceTest, RevisitFractionBounds) {
+  Torus T(GridKind::Square, 16);
+  World W = preparedWorld(T);
+  SimResult Result;
+  std::vector<Trajectory> Trajectories = recordTrajectories(W, Result);
+  double Fraction = averageRevisitFraction(Trajectories, T.numCells());
+  EXPECT_GE(Fraction, 0.0);
+  EXPECT_LT(Fraction, 1.0);
+}
+
+TEST(TraceTest, UnsolvedRunStillCapturesTheTerminalState) {
+  // Stationary agents far apart: the run hits the cutoff; the recorder
+  // must still deliver the final snapshot (at t = MaxSteps).
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  Genome Stay;
+  SimOptions O;
+  O.MaxSteps = 25;
+  W.reset(Stay, {{Coord{0, 0}, 0}, {Coord{8, 8}, 0}}, O);
+  TracedRun Run = runWithSnapshots(W, {0, 10});
+  EXPECT_FALSE(Run.Result.Success);
+  ASSERT_EQ(Run.Snapshots.size(), 3u);
+  EXPECT_EQ(Run.Snapshots[0].Time, 0);
+  EXPECT_EQ(Run.Snapshots[1].Time, 10);
+  EXPECT_EQ(Run.Snapshots.back().Time, 25) << "terminal capture at cutoff";
+}
+
+TEST(TraceTest, RevisitFractionOfLoopIsHigh) {
+  // A synthetic trajectory looping over two cells 10 times.
+  Trajectory Loop;
+  for (int I = 0; I != 20; ++I)
+    Loop.push_back(I % 2);
+  double Fraction = averageRevisitFraction({Loop}, 4);
+  EXPECT_DOUBLE_EQ(Fraction, 1.0 - 2.0 / 20.0);
+  // A straight walk never revisits.
+  Trajectory Line = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(averageRevisitFraction({Line}, 4), 0.0);
+}

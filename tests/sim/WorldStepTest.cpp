@@ -1,0 +1,431 @@
+//===- tests/sim/WorldStepTest.cpp - Step-semantics unit tests ------------===//
+//
+// Each test pins one rule of the Sect. 3 step semantics with a crafted
+// genome and placement: movement, wrapping, turning, colour writing,
+// blocking, and conflict arbitration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+
+/// Genome where every entry keeps the control state and performs \p A.
+Genome constantGenome(Action A) {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = A;
+    }
+  return G;
+}
+
+/// Genome whose action depends only on the blocked bit of the input.
+Genome blockedSwitchGenome(Action WhenFree, Action WhenBlocked) {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = (X & 1) ? WhenBlocked : WhenFree;
+    }
+  return G;
+}
+
+/// Genome whose action depends only on the control state.
+Genome stateSwitchGenome(Action State0, Action State1) {
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      E.Act = (S == 0) ? State0 : State1;
+    }
+  return G;
+}
+
+Action makeAction(Turn T, bool Move, bool SetColor) {
+  Action A;
+  A.TurnCode = T;
+  A.Move = Move;
+  A.SetColor = SetColor;
+  return A;
+}
+
+SimOptions defaultOptions() {
+  SimOptions O;
+  O.MaxSteps = 200;
+  return O;
+}
+
+} // namespace
+
+TEST(WorldResetTest, PlacesAgentsWithUnitVectors) {
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, false, false));
+  std::vector<Placement> P = {{Coord{2, 3}, 1}, {Coord{9, 9}, 3}};
+  W.reset(G, P, defaultOptions());
+  EXPECT_EQ(W.numAgents(), 2);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{2, 3}));
+  EXPECT_EQ(W.agent(0).Direction, 1);
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{9, 9}));
+  EXPECT_TRUE(W.agent(0).Comm.test(0));
+  EXPECT_FALSE(W.agent(0).Comm.test(1));
+  EXPECT_TRUE(W.agent(1).Comm.test(1));
+  EXPECT_EQ(W.agentAt(T.indexOf(Coord{2, 3})), 0);
+  EXPECT_EQ(W.agentAt(T.indexOf(Coord{0, 0})), -1);
+  // ID-parity start states (the default).
+  EXPECT_EQ(W.agent(0).ControlState, 0);
+  EXPECT_EQ(W.agent(1).ControlState, 1);
+}
+
+TEST(WorldResetTest, UniformStartStates) {
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, false, false));
+  SimOptions O = defaultOptions();
+  O.Start = StartStates::uniform(2);
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{5, 5}, 0}}, O);
+  EXPECT_EQ(W.agent(0).ControlState, 2);
+  EXPECT_EQ(W.agent(1).ControlState, 2);
+}
+
+class MoveStraightTest
+    : public ::testing::TestWithParam<std::pair<GridKind, int>> {};
+
+TEST_P(MoveStraightTest, AdvancesAlongEveryDirectionAndWraps) {
+  auto [Kind, Direction] = GetParam();
+  Torus T(Kind, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  // Two agents on "parallel" tracks that never become adjacent: same
+  // direction, starting 4 rows/columns apart. They stay unsolved, so
+  // step() keeps acting.
+  Coord StartA{1, 1};
+  Coord Offset = T.directionOffset(static_cast<uint8_t>(Direction));
+  // Displace perpendicular-ish: add (4, 4) minus the direction itself to
+  // stay off the first agent's track.
+  Coord StartB{T.wrap(StartA.X + 4), T.wrap(StartA.Y + 4)};
+  std::vector<Placement> P = {
+      {StartA, static_cast<uint8_t>(Direction)},
+      {StartB, static_cast<uint8_t>(Direction)},
+  };
+  W.reset(G, P, defaultOptions());
+  for (int Step = 1; Step <= 8; ++Step) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    Coord Expected{T.wrap(StartA.X + Offset.X * Step),
+                   T.wrap(StartA.Y + Offset.Y * Step)};
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Expected))
+        << "direction " << Direction << " step " << Step;
+  }
+  // After 8 steps on an 8-torus both agents are back home (wrap test).
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(StartA));
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(StartB));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDirections, MoveStraightTest,
+    ::testing::Values(std::pair{GridKind::Square, 0},
+                      std::pair{GridKind::Square, 1},
+                      std::pair{GridKind::Square, 2},
+                      std::pair{GridKind::Square, 3},
+                      std::pair{GridKind::Triangulate, 0},
+                      std::pair{GridKind::Triangulate, 1},
+                      std::pair{GridKind::Triangulate, 2},
+                      std::pair{GridKind::Triangulate, 3},
+                      std::pair{GridKind::Triangulate, 4},
+                      std::pair{GridKind::Triangulate, 5}));
+
+TEST(WorldStepTest, TurnWithoutMoveRotatesInPlace) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 8);
+    World W(T);
+    Genome G = constantGenome(makeAction(Turn::Right, false, false));
+    W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+    int Degree = T.degree();
+    for (int Step = 1; Step <= Degree; ++Step) {
+      ASSERT_EQ(W.step(), World::Status::Running);
+      EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+      EXPECT_EQ(W.agent(0).Direction, Step % Degree);
+    }
+  }
+}
+
+TEST(WorldStepTest, TurnAppliesEvenWhenMoving) {
+  // Rm0: turn right and move. The agent moves in its *pre-turn* direction
+  // is NOT the semantics: move uses the current direction, turn updates it
+  // for the next step; both outputs of the same FSM entry. The paper's
+  // action is applied as (setcolor, turn, move) on the state at step
+  // start; we fix move-along-old-direction, turn-for-next-step.
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Right, true, false));
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  // Moved east (old direction 0), now facing north (1).
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+  EXPECT_EQ(W.agent(0).Direction, 1);
+  ASSERT_EQ(W.step(), World::Status::Running);
+  // Moved north, now facing west.
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 1}));
+  EXPECT_EQ(W.agent(0).Direction, 2);
+}
+
+TEST(WorldStepTest, SetColorWritesTheDepartedCell) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, true));
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  // The colour went to (0,0), where the agent stood, not to (1,0).
+  EXPECT_TRUE(W.colorAt(T.indexOf(Coord{0, 0})));
+  EXPECT_FALSE(W.colorAt(T.indexOf(Coord{1, 0})));
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_TRUE(W.colorAt(T.indexOf(Coord{1, 0})));
+}
+
+TEST(WorldStepTest, SetColorZeroErases) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  // State-independent: always write 0. Start on a field where we manually
+  // check the cell stays clear (fields start all-clear anyway), then flip
+  // to a writer genome and back via two worlds.
+  Genome Writer = constantGenome(makeAction(Turn::Back, true, true));
+  W.reset(Writer, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running); // Writes 1 at (0,0), moves E.
+  EXPECT_TRUE(W.colorAt(T.indexOf(Coord{0, 0})));
+  // Now the agent sits at (1,0) facing W; next step writes 1 at (1,0) and
+  // moves back onto (0,0); the third step would rewrite (0,0).
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+
+  // Eraser genome: a fresh run where agents write 0 over their own cells
+  // keeps the field clear.
+  Genome Eraser = constantGenome(makeAction(Turn::Straight, true, false));
+  World W2(T);
+  W2.reset(Eraser, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  for (int I = 0; I != 5; ++I)
+    ASSERT_EQ(W2.step(), World::Status::Running);
+  for (int Cell = 0; Cell != T.numCells(); ++Cell)
+    EXPECT_FALSE(W2.colorAt(Cell));
+}
+
+TEST(WorldStepTest, ColorsDisabledOptionSuppressesWrites) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, true));
+  SimOptions O = defaultOptions();
+  O.ColorsEnabled = false;
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, O);
+  for (int I = 0; I != 5; ++I)
+    ASSERT_EQ(W.step(), World::Status::Running);
+  for (int Cell = 0; Cell != T.numCells(); ++Cell)
+    EXPECT_FALSE(W.colorAt(Cell));
+}
+
+TEST(WorldStepTest, AgentReadsItsOwnCellColor) {
+  // Genome: when own colour is 0, write 1 and stay; when own colour is 1,
+  // move. An agent therefore alternates: colour step, move step.
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>(S);
+      bool OwnColor = (X >> 1) & 1;
+      E.Act = OwnColor ? makeAction(Turn::Straight, true, true)
+                       : makeAction(Turn::Straight, false, true);
+    }
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0})) << "first step waits";
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0})) << "second step moves";
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0})) << "fresh cell: wait";
+}
+
+TEST(WorldBlockingTest, FaceToFaceAgentsNeverSwap) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  // Agents 0/1 face each other; agent 2 far away keeps the task unsolved.
+  std::vector<Placement> P = {
+      {Coord{1, 0}, 0}, // East, toward (2,0).
+      {Coord{2, 0}, 2}, // West, toward (1,0).
+      {Coord{5, 5}, 1},
+  };
+  W.reset(G, P, defaultOptions());
+  for (int I = 0; I != 4; ++I) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0}));
+    EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{2, 0}));
+  }
+}
+
+TEST(WorldBlockingTest, BlockedInputBitIsVisibleToTheFsm) {
+  // Free agents turn straight; blocked agents turn right. The two
+  // face-to-face agents must rotate, the free runner must not.
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = blockedSwitchGenome(makeAction(Turn::Straight, true, false),
+                                 makeAction(Turn::Right, true, false));
+  std::vector<Placement> P = {
+      {Coord{1, 0}, 0},
+      {Coord{2, 0}, 2},
+      {Coord{5, 5}, 1},
+  };
+  W.reset(G, P, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Direction, 1) << "blocked agent must see blocked=1";
+  EXPECT_EQ(W.agent(1).Direction, 3);
+  EXPECT_EQ(W.agent(2).Direction, 1) << "free agent must see blocked=0";
+}
+
+TEST(WorldBlockingTest, CannotFollowAVacatingAgent) {
+  // Agent 1 sits in front of agent 0 but moves away this step; agent 0 is
+  // still blocked (synchronous pre-step detection).
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  std::vector<Placement> P = {
+      {Coord{0, 0}, 0}, // Agent 0 faces agent 1.
+      {Coord{1, 0}, 1}, // Agent 1 moves north, vacating (1,0).
+      {Coord{5, 5}, 3},
+  };
+  W.reset(G, P, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{1, 1})) << "front agent left";
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}))
+      << "agent 0 must not enter the vacated cell this step";
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0})) << "free next step";
+}
+
+TEST(WorldConflictTest, LowestIdWinsRegardlessOfPlacementOrder) {
+  Torus T(GridKind::Square, 8);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  // Both orders: the agent with the lower ID takes the contested cell.
+  {
+    World W(T);
+    std::vector<Placement> P = {
+        {Coord{0, 0}, 0}, // Agent 0: east toward (1,0).
+        {Coord{2, 0}, 2}, // Agent 1: west toward (1,0).
+        {Coord{5, 5}, 1},
+    };
+    W.reset(G, P, defaultOptions());
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0})) << "agent 0 wins";
+    EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{2, 0})) << "agent 1 blocked";
+  }
+  {
+    World W(T);
+    std::vector<Placement> P = {
+        {Coord{2, 0}, 2}, // Agent 0: west toward (1,0).
+        {Coord{0, 0}, 0}, // Agent 1: east toward (1,0).
+        {Coord{5, 5}, 1},
+    };
+    W.reset(G, P, defaultOptions());
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{1, 0})) << "agent 0 wins";
+    EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{0, 0})) << "agent 1 blocked";
+  }
+}
+
+TEST(WorldConflictTest, ThreeWayConflictOnTriangulateGrid) {
+  Torus T(GridKind::Triangulate, 8);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  World W(T);
+  // Three agents all targeting (3,3): from the W (dir 0 = +1,0), from the
+  // E (dir 3 = -1,0), and from the SW diagonal (dir 1 = +1,+1).
+  std::vector<Placement> P = {
+      {Coord{2, 3}, 0},
+      {Coord{4, 3}, 3},
+      {Coord{2, 2}, 1},
+      {Coord{7, 7}, 5},
+  };
+  W.reset(G, P, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{3, 3}));
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{4, 3}));
+  EXPECT_EQ(W.agent(2).Cell, T.indexOf(Coord{2, 2}));
+}
+
+TEST(WorldConflictTest, NonRequesterNeitherMovesNorBlocks) {
+  // Agent 0 (state 0) does not request; agent 1 (state 1) requests the
+  // same cell. The higher-ID requester moves: a standing agent's gaze does
+  // not reserve a cell.
+  Torus T(GridKind::Square, 8);
+  Genome G = stateSwitchGenome(makeAction(Turn::Straight, false, false),
+                               makeAction(Turn::Straight, true, false));
+  World W(T);
+  std::vector<Placement> P = {
+      {Coord{0, 0}, 0}, // Agent 0 (state 0) faces (1,0), does not move.
+      {Coord{1, 1}, 3}, // Agent 1 (state 1) faces (1,0) from the north.
+      {Coord{5, 5}, 1},
+  };
+  W.reset(G, P, defaultOptions());
+  ASSERT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.agent(0).Cell, T.indexOf(Coord{0, 0}));
+  EXPECT_EQ(W.agent(1).Cell, T.indexOf(Coord{1, 0}))
+      << "requester must enter a cell only gazed at by a non-requester";
+}
+
+TEST(WorldStepTest, NextStateTransitions) {
+  // Entries: state s -> state (s+1) mod 4, no other effects.
+  Genome G;
+  for (int X = 0; X != NumFsmInputs; ++X)
+    for (int S = 0; S != NumControlStates; ++S) {
+      GenomeEntry &E = G.entry(X, S);
+      E.NextState = static_cast<uint8_t>((S + 1) % NumControlStates);
+      E.Act = makeAction(Turn::Straight, false, false);
+    }
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  SimOptions O = defaultOptions();
+  O.Start = StartStates::uniform(0);
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, O);
+  for (int Step = 1; Step <= 6; ++Step) {
+    ASSERT_EQ(W.step(), World::Status::Running);
+    EXPECT_EQ(W.agent(0).ControlState, Step % NumControlStates);
+  }
+}
+
+TEST(WorldStepTest, VisitCountsAccumulate) {
+  Torus T(GridKind::Square, 8);
+  World W(T);
+  Genome G = constantGenome(makeAction(Turn::Straight, true, false));
+  W.reset(G, {{Coord{0, 0}, 0}, {Coord{4, 4}, 0}}, defaultOptions());
+  EXPECT_EQ(W.visitCount(T.indexOf(Coord{0, 0})), 1) << "placement counts";
+  for (int I = 0; I != 8; ++I)
+    ASSERT_EQ(W.step(), World::Status::Running);
+  // Agent 0 circled its row once: start cell entered twice, others once.
+  EXPECT_EQ(W.visitCount(T.indexOf(Coord{0, 0})), 2);
+  for (int X = 1; X != 8; ++X)
+    EXPECT_EQ(W.visitCount(T.indexOf(Coord{X, 0})), 1);
+}
+
+TEST(WorldStepTest, RunIsDeterministic) {
+  Torus T(GridKind::Triangulate, 16);
+  Genome G = constantGenome(makeAction(Turn::Right, true, true));
+  std::vector<Placement> P = {
+      {Coord{0, 0}, 0}, {Coord{7, 3}, 2}, {Coord{12, 12}, 4}};
+  World W1(T), W2(T);
+  W1.reset(G, P, defaultOptions());
+  W2.reset(G, P, defaultOptions());
+  SimResult R1 = W1.run();
+  SimResult R2 = W2.run();
+  EXPECT_EQ(R1.Success, R2.Success);
+  EXPECT_EQ(R1.TComm, R2.TComm);
+  EXPECT_EQ(R1.InformedAgents, R2.InformedAgents);
+  for (int Id = 0; Id != 3; ++Id)
+    EXPECT_EQ(W1.agent(Id).Cell, W2.agent(Id).Cell);
+}

@@ -1,0 +1,139 @@
+//===- tests/support/BitVectorTest.cpp - BitVector unit tests -------------===//
+
+#include "support/BitVector.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(BitVectorTest, StartsCleared) {
+  BitVector V(100);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_TRUE(V.none());
+  EXPECT_FALSE(V.all());
+  EXPECT_EQ(V.count(), 0u);
+  for (size_t I = 0; I != 100; ++I)
+    EXPECT_FALSE(V.test(I));
+}
+
+TEST(BitVectorTest, SetResetTest) {
+  BitVector V(70);
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(69);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(69));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 4u);
+  V.reset(63);
+  EXPECT_FALSE(V.test(63));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+class BitVectorSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitVectorSizeTest, SetAllIsAllExactly) {
+  size_t Size = GetParam();
+  BitVector V(Size);
+  EXPECT_FALSE(Size != 0 && V.all());
+  V.setAll();
+  EXPECT_TRUE(V.all());
+  EXPECT_EQ(V.count(), Size);
+  if (Size == 0)
+    return;
+  V.reset(Size - 1);
+  EXPECT_FALSE(V.all());
+  EXPECT_EQ(V.count(), Size - 1);
+}
+
+TEST_P(BitVectorSizeTest, SettingEveryBitIndividuallyReachesAll) {
+  size_t Size = GetParam();
+  BitVector V(Size);
+  for (size_t I = 0; I != Size; ++I) {
+    EXPECT_EQ(V.all(), I == Size) << "all() true before every bit was set";
+    V.set(I);
+  }
+  EXPECT_TRUE(V.all());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           256, 1000));
+
+TEST(BitVectorTest, EmptyVectorIsVacuouslyAll) {
+  BitVector V;
+  EXPECT_TRUE(V.all());
+  EXPECT_TRUE(V.none());
+  EXPECT_EQ(V.count(), 0u);
+}
+
+TEST(BitVectorTest, OrWithMerges) {
+  BitVector A(130), B(130);
+  A.set(0);
+  A.set(100);
+  B.set(100);
+  B.set(129);
+  A.orWith(B);
+  EXPECT_TRUE(A.test(0));
+  EXPECT_TRUE(A.test(100));
+  EXPECT_TRUE(A.test(129));
+  EXPECT_EQ(A.count(), 3u);
+  // B unchanged.
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(BitVectorTest, AndWithIntersects) {
+  BitVector A(70), B(70);
+  A.set(1);
+  A.set(65);
+  A.set(69);
+  B.set(65);
+  B.set(2);
+  A.andWith(B);
+  EXPECT_FALSE(A.test(1));
+  EXPECT_TRUE(A.test(65));
+  EXPECT_FALSE(A.test(69));
+  EXPECT_EQ(A.count(), 1u);
+}
+
+TEST(BitVectorTest, MutualExclusiveUnionBecomesAll) {
+  // The core communication-vector property: k agents with unit vectors;
+  // OR-ing them all yields the solved all-ones state.
+  constexpr size_t K = 16;
+  std::vector<BitVector> Vectors(K, BitVector(K));
+  for (size_t I = 0; I != K; ++I)
+    Vectors[I].set(I);
+  BitVector Union(K);
+  for (const BitVector &V : Vectors) {
+    EXPECT_EQ(V.count(), 1u);
+    Union.orWith(V);
+  }
+  EXPECT_TRUE(Union.all());
+}
+
+TEST(BitVectorTest, ClearZeroes) {
+  BitVector V(90);
+  V.setAll();
+  V.clear();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVectorTest, ToStringBitZeroFirst) {
+  BitVector V(5);
+  V.set(0);
+  V.set(3);
+  EXPECT_EQ(V.toString(), "10010");
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector A(40), B(40), C(41);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C) << "different sizes must not compare equal";
+  A.set(7);
+  EXPECT_NE(A, B);
+  B.set(7);
+  EXPECT_EQ(A, B);
+}

@@ -1,0 +1,104 @@
+//===- tests/support/CommandLineTest.cpp - CommandLine unit tests ---------===//
+
+#include "support/CommandLine.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+namespace {
+struct Parsed {
+  int64_t Size = 16;
+  double Prob = 0.18;
+  std::string Grid = "T";
+  bool Verbose = false;
+  bool Colors = true;
+};
+
+Expected<bool> parseArgs(Parsed &P, std::vector<const char *> Args) {
+  CommandLine CL("test", "test program");
+  CL.addInt("size", "field side", &P.Size);
+  CL.addDouble("prob", "mutation probability", &P.Prob);
+  CL.addString("grid", "S or T", &P.Grid);
+  CL.addBool("verbose", "chatty output", &P.Verbose);
+  CL.addBool("colors", "enable colours", &P.Colors);
+  Args.insert(Args.begin(), "prog");
+  return CL.parse(static_cast<int>(Args.size()), Args.data());
+}
+} // namespace
+
+TEST(CommandLineTest, DefaultsSurvive) {
+  Parsed P;
+  ASSERT_TRUE(parseArgs(P, {}));
+  EXPECT_EQ(P.Size, 16);
+  EXPECT_DOUBLE_EQ(P.Prob, 0.18);
+  EXPECT_EQ(P.Grid, "T");
+  EXPECT_FALSE(P.Verbose);
+  EXPECT_TRUE(P.Colors);
+}
+
+TEST(CommandLineTest, EqualsSyntax) {
+  Parsed P;
+  ASSERT_TRUE(parseArgs(P, {"--size=33", "--prob=0.5", "--grid=S"}));
+  EXPECT_EQ(P.Size, 33);
+  EXPECT_DOUBLE_EQ(P.Prob, 0.5);
+  EXPECT_EQ(P.Grid, "S");
+}
+
+TEST(CommandLineTest, SpaceSyntax) {
+  Parsed P;
+  ASSERT_TRUE(parseArgs(P, {"--size", "8", "--grid", "square"}));
+  EXPECT_EQ(P.Size, 8);
+  EXPECT_EQ(P.Grid, "square");
+}
+
+TEST(CommandLineTest, BoolForms) {
+  Parsed P;
+  ASSERT_TRUE(parseArgs(P, {"--verbose", "--no-colors"}));
+  EXPECT_TRUE(P.Verbose);
+  EXPECT_FALSE(P.Colors);
+
+  Parsed Q;
+  ASSERT_TRUE(parseArgs(Q, {"--verbose=false", "--colors=true"}));
+  EXPECT_FALSE(Q.Verbose);
+  EXPECT_TRUE(Q.Colors);
+}
+
+TEST(CommandLineTest, UnknownFlagFails) {
+  Parsed P;
+  auto Result = parseArgs(P, {"--bogus=1"});
+  ASSERT_FALSE(Result);
+  EXPECT_NE(Result.error().message().find("bogus"), std::string::npos);
+}
+
+TEST(CommandLineTest, MalformedValueFails) {
+  Parsed P;
+  EXPECT_FALSE(parseArgs(P, {"--size=abc"}));
+  EXPECT_FALSE(parseArgs(P, {"--prob=x"}));
+  EXPECT_FALSE(parseArgs(P, {"--verbose=maybe"}));
+}
+
+TEST(CommandLineTest, MissingValueFails) {
+  Parsed P;
+  EXPECT_FALSE(parseArgs(P, {"--size"}));
+}
+
+TEST(CommandLineTest, PositionalArguments) {
+  CommandLine CL("test", "test");
+  const char *Args[] = {"prog", "one", "two"};
+  ASSERT_TRUE(CL.parse(3, Args));
+  EXPECT_EQ(CL.positionalArgs(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(CommandLineTest, HelpRequested) {
+  Parsed P;
+  CommandLine CL("test", "test");
+  int64_t Dummy = 0;
+  CL.addInt("size", "field side", &Dummy);
+  const char *Args[] = {"prog", "--help"};
+  ASSERT_TRUE(CL.parse(2, Args));
+  EXPECT_TRUE(CL.helpRequested());
+  std::string Usage = CL.usage();
+  EXPECT_NE(Usage.find("--size"), std::string::npos);
+  EXPECT_NE(Usage.find("default: 0"), std::string::npos);
+}

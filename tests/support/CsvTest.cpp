@@ -1,0 +1,59 @@
+//===- tests/support/CsvTest.cpp - CSV / TextTable unit tests -------------===//
+
+#include "support/Csv.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ca2a;
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream Out;
+  CsvWriter W(Out);
+  W.writeRow({"a", "b", "c"});
+  EXPECT_EQ(Out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escapeField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, MultipleRows) {
+  std::ostringstream Out;
+  CsvWriter W(Out);
+  W.writeRow({"n_agents", "mean"});
+  W.writeRow({"16", "41.25"});
+  W.writeRow({"32", "28.06"});
+  EXPECT_EQ(Out.str(), "n_agents,mean\n16,41.25\n32,28.06\n");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"N_agents", "2", "256"});
+  T.addRow({"T-grid", "58.43", "9.00"});
+  T.addRow({"S-grid", "82.78", "15.00"});
+  std::string Rendered = T.render();
+  // Header row, separator, two data rows.
+  EXPECT_EQ(std::count(Rendered.begin(), Rendered.end(), '\n'), 4);
+  // First column left-aligned, numbers right-aligned.
+  EXPECT_NE(Rendered.find("T-grid   | 58.43 |  9.00"), std::string::npos)
+      << Rendered;
+  EXPECT_NE(Rendered.find("S-grid   | 82.78 | 15.00"), std::string::npos)
+      << Rendered;
+}
+
+TEST(TextTableTest, EmptyRenders) {
+  TextTable T;
+  EXPECT_EQ(T.render(), "");
+}
+
+TEST(TextTableTest, HeaderlessTable) {
+  TextTable T;
+  T.addRow({"a", "bb"});
+  std::string Rendered = T.render();
+  EXPECT_EQ(Rendered, "a | bb\n");
+}

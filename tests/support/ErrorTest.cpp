@@ -1,0 +1,51 @@
+//===- tests/support/ErrorTest.cpp - Expected/Error unit tests ------------===//
+
+#include "support/Error.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+
+using namespace ca2a;
+
+static Expected<int> parsePositive(int Value) {
+  if (Value <= 0)
+    return makeError("value must be positive");
+  return Value;
+}
+
+TEST(ExpectedTest, SuccessPath) {
+  Expected<int> E = parsePositive(5);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(*E, 5);
+}
+
+TEST(ExpectedTest, ErrorPath) {
+  Expected<int> E = parsePositive(-1);
+  ASSERT_FALSE(E);
+  EXPECT_EQ(E.error().message(), "value must be positive");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  struct Pair {
+    int A, B;
+  };
+  Expected<Pair> E = Pair{1, 2};
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->A, 1);
+  EXPECT_EQ(E->B, 2);
+}
+
+TEST(ExpectedTest, TakeValueMoves) {
+  Expected<std::unique_ptr<int>> E = std::make_unique<int>(9);
+  ASSERT_TRUE(E);
+  std::unique_ptr<int> P = E.takeValue();
+  ASSERT_TRUE(P);
+  EXPECT_EQ(*P, 9);
+}
+
+TEST(ExpectedTest, ConstAccess) {
+  const Expected<int> E = 3;
+  ASSERT_TRUE(E);
+  EXPECT_EQ(*E, 3);
+}

@@ -1,0 +1,167 @@
+//===- tests/support/RngTest.cpp - Rng unit tests -------------------------===//
+
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ca2a;
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I != 100; ++I)
+    Equal += (A.nextU64() == B.nextU64());
+  EXPECT_EQ(Equal, 0);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng R(0);
+  // The all-zero xoshiro state would emit only zeros; SplitMix seeding must
+  // prevent that.
+  bool SawNonZero = false;
+  for (int I = 0; I != 16; ++I)
+    SawNonZero |= (R.nextU64() != 0);
+  EXPECT_TRUE(SawNonZero);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // initial state 0.
+  uint64_t State = 0;
+  EXPECT_EQ(splitMix64(State), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitMix64(State), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitMix64(State), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng A(7);
+  Rng Child1 = A.fork();
+  Rng B(7);
+  Rng Child2 = B.fork();
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Child1.nextU64(), Child2.nextU64());
+  // Parent stream continues identically too.
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+class RngBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, UniformIntWithinBound) {
+  uint64_t Bound = GetParam();
+  Rng R(Bound * 977 + 3);
+  for (int I = 0; I != 2000; ++I)
+    EXPECT_LT(R.uniformInt(Bound), Bound);
+}
+
+TEST_P(RngBoundTest, UniformIntHitsAllSmallValues) {
+  uint64_t Bound = GetParam();
+  if (Bound > 64)
+    GTEST_SKIP() << "coverage check only for small bounds";
+  Rng R(Bound + 12345);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 5000; ++I)
+    Seen.insert(R.uniformInt(Bound));
+  EXPECT_EQ(Seen.size(), Bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 7, 16, 17, 64, 100,
+                                           256, 1000000007ULL));
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng R(99);
+  constexpr int Bound = 10;
+  constexpr int Draws = 100000;
+  int Counts[Bound] = {};
+  for (int I = 0; I != Draws; ++I)
+    ++Counts[R.uniformInt(Bound)];
+  // Each bucket expects 10000; allow +-6% (far beyond 5 sigma ~ 1.5%).
+  for (int C : Counts) {
+    EXPECT_GT(C, Draws / Bound * 94 / 100);
+    EXPECT_LT(C, Draws / Bound * 106 / 100);
+  }
+}
+
+TEST(RngTest, UniformRealInHalfOpenUnitInterval) {
+  Rng R(5);
+  double Sum = 0.0;
+  for (int I = 0; I != 10000; ++I) {
+    double V = R.uniformReal();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng R(8);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 5000; ++I) {
+    int64_t V = R.uniformInRange(-3, 3);
+    ASSERT_GE(V, -3);
+    ASSERT_LE(V, 3);
+    SawLo |= (V == -3);
+    SawHi |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng R(11);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.bernoulli(0.0));
+    EXPECT_TRUE(R.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng R(13);
+  int Hits = 0;
+  constexpr int Draws = 100000;
+  for (int I = 0; I != Draws; ++I)
+    Hits += R.bernoulli(0.18);
+  EXPECT_NEAR(static_cast<double>(Hits) / Draws, 0.18, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(21);
+  std::vector<int> Values;
+  for (int I = 0; I != 100; ++I)
+    Values.push_back(I);
+  std::vector<int> Shuffled = Values;
+  R.shuffle(Shuffled);
+  EXPECT_NE(Shuffled, Values) << "100-element shuffle returned identity";
+  std::sort(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(Shuffled, Values);
+}
+
+TEST(RngTest, SampleDistinctProperties) {
+  Rng R(33);
+  for (uint32_t Count : {1u, 5u, 50u, 100u}) {
+    std::vector<uint32_t> Sample = R.sampleDistinct(Count, 100);
+    EXPECT_EQ(Sample.size(), Count);
+    std::set<uint32_t> Unique(Sample.begin(), Sample.end());
+    EXPECT_EQ(Unique.size(), Count) << "sample contains duplicates";
+    for (uint32_t V : Sample)
+      EXPECT_LT(V, 100u);
+  }
+}
+
+TEST(RngTest, SampleDistinctFullRange) {
+  Rng R(34);
+  std::vector<uint32_t> Sample = R.sampleDistinct(16, 16);
+  std::set<uint32_t> Unique(Sample.begin(), Sample.end());
+  EXPECT_EQ(Unique.size(), 16u);
+}

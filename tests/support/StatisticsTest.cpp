@@ -1,0 +1,100 @@
+//===- tests/support/StatisticsTest.cpp - Statistics unit tests -----------===//
+
+#include "support/Statistics.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace ca2a;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats S;
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.min(), 3.5);
+  EXPECT_EQ(S.max(), 3.5);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats Whole, Left, Right;
+  for (int I = 0; I != 100; ++I) {
+    double V = std::sin(I) * 10 + I * 0.25;
+    Whole.add(V);
+    (I < 37 ? Left : Right).add(V);
+  }
+  Left.merge(Right);
+  EXPECT_EQ(Left.count(), Whole.count());
+  EXPECT_NEAR(Left.mean(), Whole.mean(), 1e-10);
+  EXPECT_NEAR(Left.variance(), Whole.variance(), 1e-10);
+  EXPECT_EQ(Left.min(), Whole.min());
+  EXPECT_EQ(Left.max(), Whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats A, Empty;
+  A.add(1.0);
+  A.add(2.0);
+  RunningStats B = A;
+  B.merge(Empty);
+  EXPECT_EQ(B.count(), 2u);
+  EXPECT_DOUBLE_EQ(B.mean(), 1.5);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 1.5);
+}
+
+TEST(QuantileTest, Interpolation) {
+  std::vector<double> Sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 0.25), 1.75);
+}
+
+TEST(QuantileTest, SingleElement) {
+  std::vector<double> Sorted = {7.0};
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(sortedQuantile(Sorted, 1.0), 7.0);
+}
+
+TEST(SummaryTest, OfVector) {
+  Summary S = Summary::of({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_DOUBLE_EQ(S.Mean, 3.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 5.0);
+  EXPECT_DOUBLE_EQ(S.Q25, 2.0);
+  EXPECT_DOUBLE_EQ(S.Q75, 4.0);
+  EXPECT_NEAR(S.Stddev, std::sqrt(10.0 / 4.0), 1e-12);
+}
+
+TEST(SummaryTest, Empty) {
+  Summary S = Summary::of({});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Mean, 0.0);
+}

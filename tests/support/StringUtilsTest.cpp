@@ -1,0 +1,89 @@
+//===- tests/support/StringUtilsTest.cpp - StringUtils unit tests ---------===//
+
+#include "support/StringUtils.h"
+
+#include "gtest/gtest.h"
+
+using namespace ca2a;
+
+TEST(SplitStringTest, KeepsEmptyPieces) {
+  EXPECT_EQ(splitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(splitString(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(splitString("xyz", ','), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyPieces) {
+  EXPECT_EQ(splitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(splitWhitespace("   \t\n").empty());
+  EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("\t\n x \r "), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(ParseIntTest, ValidValues) {
+  EXPECT_EQ(*parseInt("42"), 42);
+  EXPECT_EQ(*parseInt("-17"), -17);
+  EXPECT_EQ(*parseInt("  5  "), 5);
+  EXPECT_EQ(*parseInt("0"), 0);
+}
+
+TEST(ParseIntTest, Rejections) {
+  EXPECT_FALSE(parseInt(""));
+  EXPECT_FALSE(parseInt("abc"));
+  EXPECT_FALSE(parseInt("12abc"));
+  EXPECT_FALSE(parseInt("1.5"));
+  EXPECT_FALSE(parseInt("999999999999999999999999"));
+}
+
+TEST(ParseUnsignedTest, ValidAndInvalid) {
+  EXPECT_EQ(*parseUnsigned("1003"), 1003u);
+  EXPECT_FALSE(parseUnsigned("-1"));
+  EXPECT_FALSE(parseUnsigned("x"));
+  EXPECT_FALSE(parseUnsigned(""));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parseDouble("0.18"), 0.18);
+  EXPECT_DOUBLE_EQ(*parseDouble("-2.5e3"), -2500.0);
+  EXPECT_DOUBLE_EQ(*parseDouble("7"), 7.0);
+  EXPECT_FALSE(parseDouble("1.2.3"));
+  EXPECT_FALSE(parseDouble(""));
+  EXPECT_FALSE(parseDouble("nanx"));
+}
+
+TEST(FormatFixedTest, PaperTableStyle) {
+  EXPECT_EQ(formatFixed(78.3, 2), "78.30");
+  EXPECT_EQ(formatFixed(0.706, 3), "0.706");
+  EXPECT_EQ(formatFixed(9.0, 2), "9.00");
+  EXPECT_EQ(formatFixed(-1.005, 1), "-1.0");
+}
+
+TEST(PadTest, LeftAndRight) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(FormatStringTest, PrintfStyle) {
+  EXPECT_EQ(formatString("k=%d t=%.2f %s", 16, 41.25, "T"), "k=16 t=41.25 T");
+  EXPECT_EQ(formatString("empty"), "empty");
+  // Long output must not truncate.
+  std::string Long = formatString("%0100d", 7);
+  EXPECT_EQ(Long.size(), 100u);
+}

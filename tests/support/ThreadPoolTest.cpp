@@ -1,0 +1,79 @@
+//===- tests/support/ThreadPoolTest.cpp - ThreadPool unit tests -----------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+using namespace ca2a;
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 1);
+  Pool.submit([&Counter] { ++Counter; });
+  Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool Pool(2);
+  Pool.wait(); // Must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingWork) {
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&Counter] { ++Counter; });
+    // No wait: destructor must drain or at least join cleanly.
+  }
+  // All threads joined; no further increments can happen.
+  int Snapshot = Counter.load();
+  EXPECT_EQ(Snapshot, Counter.load());
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  for (size_t Workers : {0u, 1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> Hits(257);
+    parallelFor(257, Workers, [&Hits](size_t I) { ++Hits[I]; });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << ", workers " << Workers;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool Called = false;
+  parallelFor(0, 4, [&Called](size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(ParallelForTest, MatchesSequentialSum) {
+  std::vector<long long> Values(1000);
+  std::iota(Values.begin(), Values.end(), 1);
+  std::atomic<long long> Sum{0};
+  parallelFor(Values.size(), 4,
+              [&](size_t I) { Sum += Values[I] * Values[I]; });
+  long long Expected = 0;
+  for (long long V : Values)
+    Expected += V * V;
+  EXPECT_EQ(Sum.load(), Expected);
+}
