@@ -1,0 +1,213 @@
+//===- bench/bench_faults.cpp - R2: fault-tolerance sweeps ----------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Beyond-the-paper robustness study: how do the paper's best published S-
+// and T-agents degrade when the perfectly synchronous, lossless torus
+// assumption is relaxed? Each fault process of sim/Fault.h is swept
+// independently over per-step rates, measuring success rate, mean t_comm
+// over solved fields, mean informed fraction, and (for deaths) mean
+// survivors, on the same field set for every rate so rows are paired.
+//
+// Shape checks (exit nonzero on violation):
+//   * rate 0 of every fault process is bit-identical to the fault-free
+//     engine — same solve count and mean t_comm (the inertness guarantee),
+//   * the swept process actually fires at the highest rate (its FaultStats
+//     counter is nonzero on both grids),
+//   * the death sweep loses agents at the highest rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// Aggregates of one (grid, fault process, rate) cell of the sweep.
+struct FaultRow {
+  double Rate = 0.0;
+  int SolvedFields = 0;
+  int NumFields = 0;
+  double MeanCommTime = 0.0;        ///< Over solved fields (0 if none).
+  double MeanInformedFraction = 0.0;
+  double MeanSurvivors = 0.0;
+  FaultStats Events;                ///< Summed over all fields.
+};
+
+/// The four independent fault processes, as sweep axes.
+struct FaultAxis {
+  const char *Name;
+  double FaultModel::*Rate;
+  int64_t FaultStats::*Counter;
+};
+
+const FaultAxis Axes[] = {
+    {"stall", &FaultModel::StallProbability, &FaultStats::Stalls},
+    {"death", &FaultModel::DeathProbability, &FaultStats::Deaths},
+    {"drop", &FaultModel::LinkDropProbability, &FaultStats::DroppedLinks},
+    {"flip", &FaultModel::ColorFlipProbability, &FaultStats::ColorFlips},
+};
+
+FaultRow runFaultRow(const Genome &G, const Torus &T,
+                     const std::vector<InitialConfiguration> &Fields,
+                     const SimOptions &Base, const FaultModel &Faults) {
+  FaultRow Row;
+  Row.NumFields = static_cast<int>(Fields.size());
+  World W(T);
+  double CommTimeSum = 0.0;
+  for (size_t I = 0; I != Fields.size(); ++I) {
+    SimOptions O = Base;
+    O.Faults = Faults;
+    // Every field gets its own fault stream; the offset keeps rate-equal
+    // rows comparable across fault processes.
+    O.Faults.Seed = Faults.Seed + 0x9e3779b97f4a7c15ULL * (I + 1);
+    W.reset(G, Fields[I].Placements, O);
+    SimResult R = W.run();
+    if (R.Success) {
+      ++Row.SolvedFields;
+      CommTimeSum += R.TComm;
+    }
+    Row.MeanInformedFraction += R.InformedFraction;
+    Row.MeanSurvivors += R.SurvivingAgents;
+    Row.Events.Stalls += R.Faults.Stalls;
+    Row.Events.Deaths += R.Faults.Deaths;
+    Row.Events.DroppedLinks += R.Faults.DroppedLinks;
+    Row.Events.ColorFlips += R.Faults.ColorFlips;
+  }
+  if (Row.SolvedFields > 0)
+    Row.MeanCommTime = CommTimeSum / Row.SolvedFields;
+  if (Row.NumFields > 0) {
+    Row.MeanInformedFraction /= Row.NumFields;
+    Row.MeanSurvivors /= Row.NumFields;
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int64_t NumRandomFields = 200;
+  int64_t NumAgents = 8;
+  int64_t MaxSteps = 1000;
+  int64_t Seed = 20130101;
+  std::string CsvPath;
+  CommandLine CL("bench_faults",
+                 "R2: degradation of the best S/T-agents under faults");
+  CL.addInt("fields", "random fields per cell (plus 3 manual)",
+            &NumRandomFields);
+  CL.addInt("agents", "agents per field (paper training density: 8)",
+            &NumAgents);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "field-generation seed", &Seed);
+  CL.addString("csv", "also write results to this CSV file", &CsvPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  if (NumRandomFields < 0 || NumAgents < 1 || NumAgents > 16 * 16 ||
+      MaxSteps < 1) {
+    std::fprintf(stderr, "error: want --fields >= 0, --agents in [1, 256], "
+                         "--max-steps >= 1\n");
+    return 1;
+  }
+
+  const double Rates[] = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  const GridKind Kinds[] = {GridKind::Triangulate, GridKind::Square};
+
+  std::printf("== R2: fault sweeps — best published agents, 16x16, k = %lld, "
+              "%lld random fields + manual designs per cell ==\n",
+              static_cast<long long>(NumAgents),
+              static_cast<long long>(NumRandomFields));
+
+  std::ofstream Csv;
+  if (!CsvPath.empty()) {
+    Csv.open(CsvPath);
+    Csv << "grid,fault,rate,fields,solved,mean_t_comm,informed_fraction,"
+           "mean_survivors,events\n";
+  }
+
+  bool ZeroRateIdentity = true;
+  bool ProcessesFire = true;
+  bool DeathsReduceSurvivors = true;
+
+  for (GridKind Kind : Kinds) {
+    Torus T(Kind, 16);
+    const Genome &G = bestAgent(Kind);
+    auto Fields = standardConfigurationSet(
+        T, static_cast<int>(NumAgents), static_cast<int>(NumRandomFields),
+        static_cast<uint64_t>(Seed));
+    SimOptions Base;
+    Base.MaxSteps = static_cast<int>(MaxSteps);
+
+    // The fault-free reference row every zero-rate row must reproduce
+    // bit-for-bit.
+    FaultRow Reference = runFaultRow(G, T, Fields, Base, FaultModel());
+
+    std::printf("\n%s-grid (fault-free: %d/%d solved, mean t = %s)\n",
+                gridKindName(Kind), Reference.SolvedFields,
+                Reference.NumFields,
+                formatFixed(Reference.MeanCommTime, 2).c_str());
+    std::printf("  %-6s | %8s | %9s | %8s | %8s | %9s | %9s\n", "fault",
+                "rate", "solved", "mean t", "informed", "survivors",
+                "events");
+
+    for (const FaultAxis &Axis : Axes) {
+      FaultRow Top;
+      for (double Rate : Rates) {
+        FaultModel F;
+        F.*(Axis.Rate) = Rate;
+        FaultRow Row = runFaultRow(G, T, Fields, Base, F);
+        Row.Rate = Rate;
+        Top = Row;
+        std::printf("  %-6s | %8s | %4d/%-4d | %8s | %8s | %9s | %9lld\n",
+                    Axis.Name, formatFixed(Rate, 3).c_str(),
+                    Row.SolvedFields, Row.NumFields,
+                    formatFixed(Row.MeanCommTime, 2).c_str(),
+                    formatFixed(Row.MeanInformedFraction, 3).c_str(),
+                    formatFixed(Row.MeanSurvivors, 2).c_str(),
+                    static_cast<long long>(Row.Events.total()));
+        if (Csv.is_open())
+          Csv << gridKindName(Kind) << ',' << Axis.Name << ','
+              << formatFixed(Rate, 3) << ',' << Row.NumFields << ','
+              << Row.SolvedFields << ',' << formatFixed(Row.MeanCommTime, 4)
+              << ',' << formatFixed(Row.MeanInformedFraction, 4) << ','
+              << formatFixed(Row.MeanSurvivors, 4) << ','
+              << Row.Events.total() << '\n';
+        if (Rate == 0.0 && (Row.SolvedFields != Reference.SolvedFields ||
+                            Row.MeanCommTime != Reference.MeanCommTime ||
+                            Row.Events.total() != 0))
+          ZeroRateIdentity = false;
+      }
+      if (Top.Events.*(Axis.Counter) <= 0)
+        ProcessesFire = false;
+      if (Axis.Counter == &FaultStats::Deaths &&
+          Top.MeanSurvivors >= static_cast<double>(NumAgents))
+        DeathsReduceSurvivors = false;
+    }
+  }
+
+  std::printf("\nshape: zero-rate rows identical to the fault-free engine: "
+              "%s\n", ZeroRateIdentity ? "yes" : "NO");
+  std::printf("shape: every fault process fires at its highest rate: %s\n",
+              ProcessesFire ? "yes" : "NO");
+  std::printf("shape: deaths reduce mean survivors below k: %s\n",
+              DeathsReduceSurvivors ? "yes" : "NO");
+  if (Csv.is_open())
+    std::printf("csv written to %s\n", CsvPath.c_str());
+  return ZeroRateIdentity && ProcessesFire && DeathsReduceSurvivors ? 0 : 1;
+}

@@ -11,15 +11,21 @@
 // Usage:
 //   evolve --grid T --agents 8 --fields 103 --generations 100 --seed 3
 //
+// Long runs survive crashes: pass --checkpoint <dir> to save the state
+// each generation, and add --resume to continue a killed run from the
+// last checkpoint (same flags required — mismatches are rejected).
+//
 //===----------------------------------------------------------------------===//
 
 #include "agent/GenomeFile.h"
+#include "ga/Checkpoint.h"
 #include "ga/Evolution.h"
 #include "ga/Reliability.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <optional>
 
 using namespace ca2a;
 
@@ -35,6 +41,8 @@ int main(int Argc, char **Argv) {
   int64_t Colors = 2;
   std::string SavePath;
   std::string SaveName = "evolved";
+  std::string CheckpointDir;
+  bool Resume = false;
   CommandLine CL("evolve", "Runs the paper's genetic procedure (Sect. 4)");
   CL.addString("grid", "S or T", &GridName);
   CL.addInt("agents", "agents per training field (paper: 8)", &NumAgents);
@@ -49,6 +57,9 @@ int main(int Argc, char **Argv) {
   CL.addString("save", "append the winner to this genome library file",
                &SavePath);
   CL.addString("save-name", "name for the saved genome", &SaveName);
+  CL.addString("checkpoint", "save evolution state to <dir>/evolve.ckpt "
+               "every generation", &CheckpointDir);
+  CL.addBool("resume", "continue from the checkpoint if one exists", &Resume);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -85,16 +96,48 @@ int main(int Argc, char **Argv) {
               gridKindName(Kind), static_cast<long long>(NumAgents),
               Fields.size(), static_cast<long long>(Generations),
               static_cast<long long>(Seed));
-  Evolution E(T, Fields, Params);
-  E.run(static_cast<int>(Generations), [](const GenerationStats &S) {
+  std::string CkptPath =
+      CheckpointDir.empty() ? std::string() : CheckpointDir + "/evolve.ckpt";
+  std::optional<Evolution> E;
+  if (Resume && !CkptPath.empty() && checkpointExists(CkptPath)) {
+    auto Loaded = loadCheckpoint(CkptPath);
+    if (!Loaded) {
+      std::fprintf(stderr, "warning: ignoring checkpoint: %s\n",
+                   Loaded.error().message().c_str());
+    } else if (auto Valid =
+                   validateCheckpoint(*Loaded, Kind, T.sideLength(), Params);
+               !Valid) {
+      std::fprintf(stderr, "warning: ignoring checkpoint %s: %s\n",
+                   CkptPath.c_str(), Valid.error().message().c_str());
+    } else {
+      E.emplace(T, Fields, Params, Loaded->Snapshot);
+      std::printf("resumed %s at generation %d\n", CkptPath.c_str(),
+                  Loaded->Snapshot.Generation);
+    }
+  }
+  if (!E)
+    E.emplace(T, Fields, Params);
+
+  while (E->generation() < static_cast<int>(Generations)) {
+    GenerationStats S = E->stepGeneration();
     if (S.Generation % 5 == 0)
       std::printf("gen %4d: best %9s  mean %11s  successful %2d/20\n",
                   S.Generation, formatFixed(S.BestFitness, 2).c_str(),
                   formatFixed(S.MeanFitness, 2).c_str(),
                   S.NumCompletelySuccessful);
-  });
+    if (!CkptPath.empty()) {
+      CheckpointData Data;
+      Data.Grid = Kind;
+      Data.SideLength = T.sideLength();
+      Data.Seed = Params.Seed;
+      Data.Snapshot = E->snapshot();
+      if (auto Saved = saveCheckpoint(CkptPath, Data); !Saved)
+        std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
+                     Saved.error().message().c_str());
+    }
+  }
 
-  const Individual &Best = E.bestEver();
+  const Individual &Best = E->bestEver();
   std::printf("\nbest evolved FSM (F = %s, %d/%zu fields solved):\n\n%s\n",
               formatFixed(Best.Fitness, 2).c_str(), Best.SolvedFields,
               Fields.size(), Best.G.toTableString(Kind).c_str());

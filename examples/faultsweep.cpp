@@ -1,0 +1,150 @@
+//===- examples/faultsweep.cpp - Degradation under injected faults --------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Sweeps ONE fault process (sim/Fault.h) over a list of per-step rates
+// and prints how a published agent degrades: success rate, mean t_comm,
+// informed fraction, survivors, and the raw fault-event counts. The
+// rate-0 row always reproduces the fault-free engine exactly.
+//
+// Usage:
+//   faultsweep --grid T --fault stall --rates 0,0.01,0.05,0.1
+//   faultsweep --grid S --fault death --agents 16 --rates 0,0.005,0.02
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  std::string FaultName = "stall";
+  std::string RateSpec = "0,0.002,0.005,0.01,0.02,0.05";
+  int64_t NumAgents = 8;
+  int64_t NumFields = 100;
+  int64_t MaxSteps = 1000;
+  int64_t Seed = 20130101;
+  int64_t FaultSeed = 1;
+  CommandLine CL("faultsweep",
+                 "Sweeps one fault process against a published agent");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addString("fault", "stall, death, drop, or flip", &FaultName);
+  CL.addString("rates", "comma list of per-step fault rates", &RateSpec);
+  CL.addInt("agents", "agents per field", &NumAgents);
+  CL.addInt("fields", "random fields (plus 3 manual)", &NumFields);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "field-generation seed", &Seed);
+  CL.addInt("fault-seed", "base seed of the fault RNG stream", &FaultSeed);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+  double FaultModel::*RateMember = nullptr;
+  if (FaultName == "stall")
+    RateMember = &FaultModel::StallProbability;
+  else if (FaultName == "death")
+    RateMember = &FaultModel::DeathProbability;
+  else if (FaultName == "drop")
+    RateMember = &FaultModel::LinkDropProbability;
+  else if (FaultName == "flip")
+    RateMember = &FaultModel::ColorFlipProbability;
+  else {
+    std::fprintf(stderr, "error: unknown fault '%s' (use stall, death, "
+                 "drop, or flip)\n", FaultName.c_str());
+    return 1;
+  }
+  std::vector<double> Rates;
+  for (const std::string &Piece : splitString(RateSpec, ',')) {
+    auto Parsed = parseDouble(trim(Piece));
+    if (!Parsed || *Parsed < 0.0 || *Parsed > 1.0) {
+      std::fprintf(stderr, "error: bad rate '%s' (want a number in "
+                   "[0, 1])\n", std::string(trim(Piece)).c_str());
+      return 1;
+    }
+    Rates.push_back(*Parsed);
+  }
+  if (Rates.empty()) {
+    std::fprintf(stderr, "error: --rates is empty\n");
+    return 1;
+  }
+
+  Torus T(Kind, 16);
+  if (NumAgents < 1 || NumAgents > T.numCells()) {
+    std::fprintf(stderr, "error: --agents must be in [1, %d]\n",
+                 T.numCells());
+    return 1;
+  }
+  if (NumFields < 0 || MaxSteps < 1) {
+    std::fprintf(stderr,
+                 "error: --fields must be >= 0 and --max-steps >= 1\n");
+    return 1;
+  }
+  const Genome &G = bestAgent(Kind);
+  auto Fields = standardConfigurationSet(T, static_cast<int>(NumAgents),
+                                         static_cast<int>(NumFields),
+                                         static_cast<uint64_t>(Seed));
+  SimOptions Base;
+  Base.MaxSteps = static_cast<int>(MaxSteps);
+
+  std::printf("sweeping %s faults against the best %s-agent: k = %lld, "
+              "%zu fields, cutoff %lld\n\n",
+              FaultName.c_str(), gridKindName(Kind),
+              static_cast<long long>(NumAgents), Fields.size(),
+              static_cast<long long>(MaxSteps));
+  std::printf("%8s | %9s | %8s | %8s | %9s | %s\n", "rate", "solved",
+              "mean t", "informed", "survivors", "events");
+
+  for (double Rate : Rates) {
+    int Solved = 0;
+    double CommTimeSum = 0.0, InformedSum = 0.0, SurvivorSum = 0.0;
+    FaultStats Events;
+    World W(T);
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      SimOptions O = Base;
+      O.Faults.*RateMember = Rate;
+      O.Faults.Seed =
+          static_cast<uint64_t>(FaultSeed) + 0x9e3779b97f4a7c15ULL * (I + 1);
+      W.reset(G, Fields[I].Placements, O);
+      SimResult R = W.run();
+      if (R.Success) {
+        ++Solved;
+        CommTimeSum += R.TComm;
+      }
+      InformedSum += R.InformedFraction;
+      SurvivorSum += R.SurvivingAgents;
+      Events.Stalls += R.Faults.Stalls;
+      Events.Deaths += R.Faults.Deaths;
+      Events.DroppedLinks += R.Faults.DroppedLinks;
+      Events.ColorFlips += R.Faults.ColorFlips;
+    }
+    size_t N = Fields.size();
+    std::printf("%8s | %4d/%-4zu | %8s | %8s | %9s | %s\n",
+                formatFixed(Rate, 3).c_str(), Solved, N,
+                formatFixed(Solved > 0 ? CommTimeSum / Solved : 0.0, 2)
+                    .c_str(),
+                formatFixed(InformedSum / N, 3).c_str(),
+                formatFixed(SurvivorSum / N, 2).c_str(),
+                describeFaultStats(Events).c_str());
+  }
+  return 0;
+}

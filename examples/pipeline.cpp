@@ -14,6 +14,10 @@
 //            --reliability-fields 1000
 // Default scale: a couple of minutes.
 //
+// Paper-scale runs should add --checkpoint <dir>: each run saves its
+// state there, and rerunning with --resume continues a killed pipeline
+// where it stopped, reaching the same candidates as an uninterrupted run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "agent/GenomeFile.h"
@@ -35,6 +39,9 @@ int main(int Argc, char **Argv) {
   int64_t Seed = 1;
   std::string SavePath;
   std::string SaveName = "evolved";
+  std::string CheckpointDir;
+  bool Resume = false;
+  int64_t CheckpointEvery = 1;
   CommandLine CL("pipeline",
                  "Sect. 4 end-to-end: evolve, filter, rank, select");
   CL.addString("grid", "S or T", &GridName);
@@ -49,6 +56,12 @@ int main(int Argc, char **Argv) {
   CL.addString("save", "append the winner to this genome library file",
                &SavePath);
   CL.addString("save-name", "name for the saved genome", &SaveName);
+  CL.addString("checkpoint", "save per-run evolution state under this "
+               "directory", &CheckpointDir);
+  CL.addBool("resume", "continue killed runs from their checkpoints",
+             &Resume);
+  CL.addInt("checkpoint-every", "generations between checkpoint saves",
+            &CheckpointEvery);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -75,6 +88,9 @@ int main(int Argc, char **Argv) {
   Params.Evolution.Fitness.Sim.MaxSteps = 200;
   Params.Reliability.NumRandomFields = static_cast<int>(ReliabilityFields);
   Params.Reliability.Fitness.Sim.MaxSteps = 1000;
+  Params.CheckpointDir = CheckpointDir;
+  Params.Resume = Resume;
+  Params.CheckpointEvery = static_cast<int>(CheckpointEvery);
 
   std::printf("pipeline on the %s-grid: %lld runs x %lld generations, "
               "%lld training fields, filter over k = {2,4,8,16,32,256}\n\n",
@@ -101,6 +117,17 @@ int main(int Argc, char **Argv) {
         case PipelineProgress::Stage::CandidateTested:
           std::printf("   candidate %d: %s\n", P.CandidateIndex,
                       P.CandidateReliable ? "reliable" : "NOT reliable");
+          break;
+        case PipelineProgress::Stage::CheckpointRestored:
+          std::printf("   run %d: %s\n", P.Run, P.Message.c_str());
+          break;
+        case PipelineProgress::Stage::CheckpointRejected:
+          std::printf("   run %d: checkpoint rejected (%s), starting "
+                      "fresh\n", P.Run, P.Message.c_str());
+          break;
+        case PipelineProgress::Stage::CheckpointFailed:
+          std::fprintf(stderr, "   run %d: checkpoint save failed: %s\n",
+                       P.Run, P.Message.c_str());
           break;
         }
       });

@@ -64,6 +64,12 @@ int main(int Argc, char **Argv) {
   };
   SimOptions O;
   O.MaxSteps = static_cast<int>(MaxSteps);
+  // The coordinates are user input: reject out-of-range or colliding
+  // placements with a message instead of tripping an assert.
+  if (auto Valid = World::validatePlacements(T, P, O); !Valid) {
+    std::fprintf(stderr, "error: %s\n", Valid.error().message().c_str());
+    return 1;
+  }
 
   // Probe run to resolve 'mid'/'final' in the panel spec.
   World Probe(T);

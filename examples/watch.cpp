@@ -72,6 +72,12 @@ int main(int Argc, char **Argv) {
     O.Obstacles = randomObstacles(T, static_cast<int>(NumObstacles), R);
   InitialConfiguration C = randomConfigurationAvoiding(
       T, static_cast<int>(NumAgents), R, O.Obstacles);
+  // --agents / --obstacles are user input: report impossible combinations
+  // (e.g. more agents than free cells) instead of tripping an assert.
+  if (auto Valid = World::validatePlacements(T, C.Placements, O); !Valid) {
+    std::fprintf(stderr, "error: %s\n", Valid.error().message().c_str());
+    return 1;
+  }
 
   World W(T);
   W.reset(bestAgent(Kind), C.Placements, O);

@@ -155,9 +155,10 @@ std::vector<InitialConfiguration>
 ca2a::standardConfigurationSet(const Torus &T, int NumAgents, int NumRandom,
                                uint64_t Seed) {
   std::vector<InitialConfiguration> Set;
+  NumRandom = std::max(NumRandom, 0);
   Set.reserve(static_cast<size_t>(NumRandom) + 3);
   Rng R(Seed);
-  for (int I = 0; I != NumRandom; ++I)
+  for (int I = 0; I < NumRandom; ++I)
     Set.push_back(randomConfiguration(T, NumAgents, R));
   if (NumAgents <= T.sideLength()) {
     Set.push_back(queueForwardConfiguration(T, NumAgents));

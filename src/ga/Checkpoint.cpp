@@ -1,0 +1,283 @@
+//===- ga/Checkpoint.cpp - Crash-safe GA state persistence ----------------===//
+
+#include "ga/Checkpoint.h"
+
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+using namespace ca2a;
+
+namespace {
+
+constexpr const char *FormatHeader = "ca2a-evolution-checkpoint v1";
+
+uint64_t fnv1a(const std::string &Bytes) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+/// Doubles are stored as %.17g, which round-trips IEEE binary64 exactly.
+std::string formatExactDouble(double Value) {
+  return formatString("%.17g", Value);
+}
+
+std::string formatIndividual(const char *Tag, const Individual &Ind) {
+  return formatString("%s fitness %s solved %d successful %d genome %s\n",
+                      Tag, formatExactDouble(Ind.Fitness).c_str(),
+                      Ind.SolvedFields, Ind.CompletelySuccessful ? 1 : 0,
+                      Ind.G.toCompactString().c_str());
+}
+
+/// Parses one "<tag> fitness <f> solved <n> successful <0|1> genome <g>"
+/// line into \p Out. The genome itself is whitespace-separated 4-digit
+/// groups, so everything from token 8 on belongs to it.
+Expected<bool> parseIndividual(const std::vector<std::string> &Tokens,
+                               const char *Tag, int Line, Individual &Out) {
+  if (Tokens.size() < 9 || Tokens[0] != Tag || Tokens[1] != "fitness" ||
+      Tokens[3] != "solved" || Tokens[5] != "successful" ||
+      Tokens[7] != "genome")
+    return makeError(formatString("checkpoint line %d: malformed %s record",
+                                  Line, Tag));
+  auto Fitness = parseDouble(Tokens[2]);
+  auto Solved = parseInt(Tokens[4]);
+  auto Successful = parseInt(Tokens[6]);
+  if (!Fitness || !Solved || !Successful)
+    return makeError(formatString("checkpoint line %d: bad %s numbers",
+                                  Line, Tag));
+  std::string GenomeText = Tokens[8];
+  for (size_t I = 9; I != Tokens.size(); ++I) {
+    GenomeText += ' ';
+    GenomeText += Tokens[I];
+  }
+  auto G = Genome::fromCompactString(GenomeText);
+  if (!G)
+    return makeError(formatString("checkpoint line %d: %s", Line,
+                                  G.error().message().c_str()));
+  Out.Fitness = *Fitness;
+  Out.SolvedFields = static_cast<int>(*Solved);
+  Out.CompletelySuccessful = *Successful != 0;
+  Out.G = G.takeValue();
+  return true;
+}
+
+} // namespace
+
+std::string ca2a::serializeCheckpoint(const CheckpointData &Data) {
+  const EvolutionSnapshot &S = Data.Snapshot;
+  std::string Payload;
+  Payload += FormatHeader;
+  Payload += '\n';
+  Payload += formatString("grid %s side %d seed %" PRIu64 "\n",
+                          gridKindName(Data.Grid), Data.SideLength,
+                          Data.Seed);
+  Payload += formatString("dims states %d colors %d\n", S.Dims.States,
+                          S.Dims.Colors);
+  Payload += formatString("progress generation %d evaluations %d\n",
+                          S.Generation, S.Evaluations);
+  Payload += formatString("rng %016" PRIx64 " %016" PRIx64 " %016" PRIx64
+                          " %016" PRIx64 "\n",
+                          S.RngState[0], S.RngState[1], S.RngState[2],
+                          S.RngState[3]);
+  Payload += formatIndividual("best", S.BestEver);
+  Payload += formatString("pool %zu\n", S.Pool.size());
+  for (const Individual &Ind : S.Pool)
+    Payload += formatIndividual("member", Ind);
+  return Payload +
+         formatString("checksum %016" PRIx64 "\n", fnv1a(Payload));
+}
+
+Expected<CheckpointData> ca2a::parseCheckpoint(const std::string &Text) {
+  // Split into lines; the checksum line covers everything before it.
+  size_t ChecksumPos = Text.rfind("checksum ");
+  if (ChecksumPos == std::string::npos ||
+      (ChecksumPos != 0 && Text[ChecksumPos - 1] != '\n'))
+    return makeError("checkpoint: missing checksum line (truncated file?)");
+  std::string Payload = Text.substr(0, ChecksumPos);
+
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  // Drop a trailing empty piece from the final newline.
+  while (!Lines.empty() && trim(Lines.back()).empty())
+    Lines.pop_back();
+  if (Lines.size() < 8)
+    return makeError("checkpoint: too short to be valid");
+  if (trim(Lines[0]) != FormatHeader)
+    return makeError("checkpoint: unrecognised header '" +
+                     std::string(trim(Lines[0])) + "'");
+
+  // Checksum first: everything else is meaningless on a corrupt file.
+  {
+    std::vector<std::string> T = splitWhitespace(Lines.back());
+    uint64_t Stored = 0;
+    if (T.size() != 2 || T[0] != "checksum" ||
+        std::sscanf(T[1].c_str(), "%" SCNx64, &Stored) != 1)
+      return makeError("checkpoint: malformed checksum line");
+    if (Stored != fnv1a(Payload))
+      return makeError("checkpoint: checksum mismatch (corrupt file)");
+  }
+
+  CheckpointData Data;
+  EvolutionSnapshot &S = Data.Snapshot;
+
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[1]);
+    if (T.size() != 6 || T[0] != "grid" || T[2] != "side" || T[4] != "seed")
+      return makeError("checkpoint line 2: malformed grid record");
+    if (!parseGridKind(T[1], Data.Grid))
+      return makeError("checkpoint line 2: unknown grid '" + T[1] + "'");
+    auto Side = parseInt(T[3]);
+    auto Seed = parseUnsigned(T[5]);
+    if (!Side || !Seed)
+      return makeError("checkpoint line 2: bad numbers");
+    Data.SideLength = static_cast<int>(*Side);
+    Data.Seed = *Seed;
+  }
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[2]);
+    if (T.size() != 5 || T[0] != "dims" || T[1] != "states" ||
+        T[3] != "colors")
+      return makeError("checkpoint line 3: malformed dims record");
+    auto States = parseInt(T[2]);
+    auto Colors = parseInt(T[4]);
+    if (!States || !Colors)
+      return makeError("checkpoint line 3: bad numbers");
+    S.Dims.States = static_cast<int>(*States);
+    S.Dims.Colors = static_cast<int>(*Colors);
+    if (!S.Dims.valid())
+      return makeError("checkpoint line 3: dimensions out of range");
+  }
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[3]);
+    if (T.size() != 5 || T[0] != "progress" || T[1] != "generation" ||
+        T[3] != "evaluations")
+      return makeError("checkpoint line 4: malformed progress record");
+    auto Gen = parseInt(T[2]);
+    auto Evals = parseInt(T[4]);
+    if (!Gen || !Evals || *Gen < 0 || *Evals < 0)
+      return makeError("checkpoint line 4: bad numbers");
+    S.Generation = static_cast<int>(*Gen);
+    S.Evaluations = static_cast<int>(*Evals);
+  }
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[4]);
+    if (T.size() != 5 || T[0] != "rng")
+      return makeError("checkpoint line 5: malformed rng record");
+    for (size_t I = 0; I != 4; ++I)
+      if (std::sscanf(T[I + 1].c_str(), "%" SCNx64, &S.RngState[I]) != 1)
+        return makeError("checkpoint line 5: bad rng word");
+    if ((S.RngState[0] | S.RngState[1] | S.RngState[2] | S.RngState[3]) == 0)
+      return makeError("checkpoint line 5: all-zero rng state");
+  }
+  if (auto Parsed = parseIndividual(splitWhitespace(Lines[5]), "best", 6,
+                                    S.BestEver);
+      !Parsed)
+    return Parsed.error();
+
+  size_t PoolSize = 0;
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[6]);
+    auto Count = T.size() == 2 && T[0] == "pool" ? parseInt(T[1])
+                                                 : Expected<int64_t>(makeError(""));
+    if (!Count || *Count < 2)
+      return makeError("checkpoint line 7: malformed pool record");
+    PoolSize = static_cast<size_t>(*Count);
+  }
+  // Lines[7 .. 7+PoolSize) are members; the checksum line follows.
+  if (Lines.size() != 7 + PoolSize + 1)
+    return makeError(formatString(
+        "checkpoint: expected %zu pool members, found %zu (truncated?)",
+        PoolSize, Lines.size() - 8));
+  S.Pool.resize(PoolSize);
+  for (size_t I = 0; I != PoolSize; ++I) {
+    if (auto Parsed = parseIndividual(splitWhitespace(Lines[7 + I]), "member",
+                                      static_cast<int>(8 + I), S.Pool[I]);
+        !Parsed)
+      return Parsed.error();
+    if (S.Pool[I].G.dims() != S.Dims)
+      return makeError(formatString(
+          "checkpoint line %zu: member dimensions disagree with header",
+          8 + I));
+  }
+  if (S.BestEver.G.dims() != S.Dims)
+    return makeError("checkpoint line 6: best dimensions disagree with "
+                     "header");
+  return Data;
+}
+
+Expected<bool> ca2a::saveCheckpoint(const std::string &Path,
+                                    const CheckpointData &Data) {
+  // Atomic publish: write the full contents to a sibling temp file, then
+  // rename over the destination. A crash mid-save leaves the previous
+  // checkpoint untouched; rename within one directory is atomic on POSIX.
+  std::filesystem::path Target(Path);
+  if (Target.has_parent_path()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Target.parent_path(), Ec);
+    if (Ec)
+      return makeError("cannot create checkpoint directory '" +
+                       Target.parent_path().string() + "': " + Ec.message());
+  }
+  std::string TmpPath = Path + ".tmp";
+  if (auto Written = writeFile(TmpPath, serializeCheckpoint(Data)); !Written)
+    return Written.error();
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return makeError("cannot rename '" + TmpPath + "' to '" + Path + "'");
+  }
+  return true;
+}
+
+Expected<CheckpointData> ca2a::loadCheckpoint(const std::string &Path) {
+  auto Text = readFile(Path);
+  if (!Text)
+    return Text.error();
+  auto Parsed = parseCheckpoint(*Text);
+  if (!Parsed)
+    return makeError(Path + ": " + Parsed.error().message());
+  return Parsed;
+}
+
+bool ca2a::checkpointExists(const std::string &Path) {
+  std::error_code Ec;
+  return std::filesystem::exists(Path, Ec);
+}
+
+std::string ca2a::checkpointRunPath(const std::string &Dir, int Run) {
+  return (std::filesystem::path(Dir) /
+          formatString("run%d.ckpt", Run)).string();
+}
+
+Expected<bool> ca2a::validateCheckpoint(const CheckpointData &Data,
+                                        GridKind Kind, int SideLength,
+                                        const EvolutionParams &Params) {
+  if (Data.Grid != Kind)
+    return makeError(formatString(
+        "checkpoint is for the %s-grid, this run uses the %s-grid",
+        gridKindName(Data.Grid), gridKindName(Kind)));
+  if (Data.SideLength != SideLength)
+    return makeError(formatString(
+        "checkpoint is for a %dx%d field, this run uses %dx%d",
+        Data.SideLength, Data.SideLength, SideLength, SideLength));
+  if (Data.Seed != Params.Seed)
+    return makeError(formatString(
+        "checkpoint seed %" PRIu64 " does not match run seed %" PRIu64,
+        Data.Seed, Params.Seed));
+  if (Data.Snapshot.Dims != Params.Dims)
+    return makeError(formatString(
+        "checkpoint dimensions s%dc%d do not match run dimensions s%dc%d",
+        Data.Snapshot.Dims.States, Data.Snapshot.Dims.Colors,
+        Params.Dims.States, Params.Dims.Colors));
+  if (Data.Snapshot.Pool.size() !=
+      static_cast<size_t>(Params.PopulationSize))
+    return makeError(formatString(
+        "checkpoint pool has %zu members, run population is %d",
+        Data.Snapshot.Pool.size(), Params.PopulationSize));
+  return true;
+}

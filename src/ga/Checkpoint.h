@@ -1,0 +1,74 @@
+//===- ga/Checkpoint.h - Crash-safe GA state persistence --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpoint/restore for long-running evolution, so a killed pipeline
+/// resumes from its last completed generation instead of losing hours.
+///
+/// A checkpoint is a plain-text file holding one EvolutionSnapshot plus
+/// the run's identifying context (grid, side length, seed) so that a
+/// resume against the wrong experiment is rejected, not silently merged.
+/// The format is versioned ("ca2a-evolution-checkpoint v1") and ends in
+/// an FNV-1a checksum over the payload: truncated or bit-flipped files
+/// fail parsing with a message instead of corrupting the GA state.
+///
+/// Saves are atomic: the file is written to "<path>.tmp" and renamed over
+/// the destination, so a crash mid-save leaves the previous checkpoint
+/// intact. Because an EvolutionSnapshot restores the GA bit-for-bit, a
+/// resumed run reaches exactly the final population an uninterrupted run
+/// with the same seeds would have reached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_CHECKPOINT_H
+#define CA2A_GA_CHECKPOINT_H
+
+#include "ga/Evolution.h"
+
+#include <string>
+
+namespace ca2a {
+
+/// One on-disk checkpoint: the snapshot plus run identity.
+struct CheckpointData {
+  GridKind Grid = GridKind::Square;
+  int SideLength = 0;
+  uint64_t Seed = 0; ///< The EvolutionParams seed of the run.
+  EvolutionSnapshot Snapshot;
+};
+
+/// Renders \p Data in the versioned, checksummed text format.
+std::string serializeCheckpoint(const CheckpointData &Data);
+
+/// Parses serializeCheckpoint output. Rejects unknown versions, missing
+/// or malformed fields, and checksum mismatches with a descriptive error.
+Expected<CheckpointData> parseCheckpoint(const std::string &Text);
+
+/// Writes \p Data to \p Path atomically (write to "<path>.tmp", rename).
+Expected<bool> saveCheckpoint(const std::string &Path,
+                              const CheckpointData &Data);
+
+/// Reads and parses the checkpoint at \p Path.
+Expected<CheckpointData> loadCheckpoint(const std::string &Path);
+
+/// True when a file exists at \p Path (checkpoint discovery on resume).
+bool checkpointExists(const std::string &Path);
+
+/// Canonical per-run checkpoint file below \p Dir ("run<Run>.ckpt").
+std::string checkpointRunPath(const std::string &Dir, int Run);
+
+/// Verifies that \p Data belongs to the experiment described by \p Kind,
+/// \p SideLength and \p Params (grid, side, seed, dimensions, population
+/// size). Returns an explanatory error on any mismatch.
+Expected<bool> validateCheckpoint(const CheckpointData &Data, GridKind Kind,
+                                  int SideLength,
+                                  const EvolutionParams &Params);
+
+} // namespace ca2a
+
+#endif // CA2A_GA_CHECKPOINT_H

@@ -29,6 +29,42 @@ Evolution::Evolution(const Torus &T,
   BestEver = Pool.front();
 }
 
+Evolution::Evolution(const Torus &T,
+                     std::vector<InitialConfiguration> TrainingFields,
+                     const EvolutionParams &Params,
+                     const EvolutionSnapshot &Resume)
+    : T(T), TrainingFields(std::move(TrainingFields)), Params(Params),
+      R(Params.Seed) {
+  assert(Params.PopulationSize >= 2 && "population too small");
+  assert(Params.ExchangeCount >= 0 &&
+         Params.ExchangeCount <= Params.PopulationSize / 4 &&
+         "exchange block must fit inside each pool half");
+  assert(!this->TrainingFields.empty() && "no training fields");
+  assert(Params.Dims.valid() && "bad genome dimensions");
+  assert(Resume.Pool.size() ==
+             static_cast<size_t>(Params.PopulationSize) &&
+         "snapshot pool size does not match the population size");
+  assert(Resume.Dims == Params.Dims &&
+         "snapshot genome dimensions do not match");
+  Pool.reserve(static_cast<size_t>(Params.PopulationSize) * 3 / 2);
+  Pool = Resume.Pool;
+  BestEver = Resume.BestEver;
+  Generation = Resume.Generation;
+  Evaluations = Resume.Evaluations;
+  R.setState(Resume.RngState);
+}
+
+EvolutionSnapshot Evolution::snapshot() const {
+  EvolutionSnapshot S;
+  S.Generation = Generation;
+  S.Evaluations = Evaluations;
+  S.RngState = R.state();
+  S.Dims = Params.Dims;
+  S.Pool = Pool;
+  S.BestEver = BestEver;
+  return S;
+}
+
 Individual Evolution::evaluate(Genome G) {
   FitnessResult Result = evaluateFitness(G, T, TrainingFields, Params.Fitness);
   ++Evaluations;

@@ -30,6 +30,7 @@
 #include "ga/Fitness.h"
 #include "ga/Mutation.h"
 
+#include <array>
 #include <functional>
 #include <vector>
 
@@ -60,6 +61,21 @@ struct EvolutionParams {
   GenomeDims Dims;
 };
 
+/// A complete, restorable snapshot of an Evolution's mutable state.
+///
+/// Captured after a whole generation (pool in post-exchange order, RNG
+/// state, counters); restoring it into a fresh Evolution with the same
+/// torus, training fields and parameters continues the run bit-for-bit —
+/// the basis of the crash-safe checkpointing in ga/Checkpoint.h.
+struct EvolutionSnapshot {
+  int Generation = 0;
+  int Evaluations = 0;
+  std::array<uint64_t, 4> RngState{};
+  GenomeDims Dims;
+  std::vector<Individual> Pool; ///< In pool order (carries the exchange).
+  Individual BestEver;
+};
+
 /// Per-generation progress record.
 struct GenerationStats {
   int Generation = 0;
@@ -77,6 +93,17 @@ public:
   /// (the paper trains on 1003 fields with 8 agents on 16x16).
   Evolution(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
             const EvolutionParams &Params);
+
+  /// Resume constructor: restores \p Resume instead of evaluating a fresh
+  /// random pool (no fitness evaluations are spent). The snapshot must
+  /// match \p Params (pool size, dimensions — asserted; CLI frontends
+  /// should run validateCheckpoint from ga/Checkpoint.h first).
+  Evolution(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
+            const EvolutionParams &Params, const EvolutionSnapshot &Resume);
+
+  /// Captures the full mutable state for checkpointing. Call between
+  /// generations (snapshot granularity is one generation).
+  EvolutionSnapshot snapshot() const;
 
   /// Runs \p Generations generations; \p OnGeneration (may be empty) is
   /// called after each one. Returns the final best individual.

@@ -2,7 +2,10 @@
 
 #include "ga/Pipeline.h"
 
+#include "ga/Checkpoint.h"
+
 #include <algorithm>
+#include <optional>
 
 using namespace ca2a;
 
@@ -39,20 +42,70 @@ PipelineResult ca2a::runSelectionPipeline(
     EvolutionParams RunParams = Params.Evolution;
     RunParams.Seed = Params.Evolution.Seed * 6364136223846793005ULL +
                      static_cast<uint64_t>(Run) + 1;
-    Evolution E(T, TrainingFields, RunParams);
-    E.run(Params.Generations, [&](const GenerationStats &Stats) {
+
+    auto EmitCheckpointEvent = [&](PipelineProgress::Stage S,
+                                   std::string Message) {
+      PipelineProgress P;
+      P.S = S;
+      P.Run = Run;
+      P.Message = std::move(Message);
+      Emit(P);
+    };
+
+    // Resume from this run's checkpoint when one is present and belongs
+    // to this exact experiment; otherwise start fresh.
+    std::string CkptPath = Params.CheckpointDir.empty()
+                               ? std::string()
+                               : checkpointRunPath(Params.CheckpointDir, Run);
+    std::optional<Evolution> E;
+    if (Params.Resume && !CkptPath.empty() && checkpointExists(CkptPath)) {
+      auto Loaded = loadCheckpoint(CkptPath);
+      if (!Loaded) {
+        EmitCheckpointEvent(PipelineProgress::Stage::CheckpointRejected,
+                            Loaded.error().message());
+      } else if (auto Valid = validateCheckpoint(*Loaded, T.kind(),
+                                                 T.sideLength(), RunParams);
+                 !Valid) {
+        EmitCheckpointEvent(PipelineProgress::Stage::CheckpointRejected,
+                            CkptPath + ": " + Valid.error().message());
+      } else {
+        E.emplace(T, TrainingFields, RunParams, Loaded->Snapshot);
+        EmitCheckpointEvent(
+            PipelineProgress::Stage::CheckpointRestored,
+            CkptPath + ": resuming at generation " +
+                std::to_string(Loaded->Snapshot.Generation));
+      }
+    }
+    if (!E)
+      E.emplace(T, TrainingFields, RunParams);
+
+    int CheckpointEvery = std::max(1, Params.CheckpointEvery);
+    while (E->generation() < Params.Generations) {
+      GenerationStats Stats = E->stepGeneration();
       PipelineProgress P;
       P.S = PipelineProgress::Stage::Generation;
       P.Run = Run;
       P.Generation = Stats;
       Emit(P);
-    });
+      if (!CkptPath.empty() &&
+          (E->generation() % CheckpointEvery == 0 ||
+           E->generation() == Params.Generations)) {
+        CheckpointData Data;
+        Data.Grid = T.kind();
+        Data.SideLength = T.sideLength();
+        Data.Seed = RunParams.Seed;
+        Data.Snapshot = E->snapshot();
+        if (auto Saved = saveCheckpoint(CkptPath, Data); !Saved)
+          EmitCheckpointEvent(PipelineProgress::Stage::CheckpointFailed,
+                              Saved.error().message());
+      }
+    }
 
     // Extract the top completely successful individuals in *sorted* order
     // (the pool order carries the diversity exchange, which is a breeding
     // device, not a ranking).
-    std::vector<Individual> Sorted(E.population().begin(),
-                                   E.population().end());
+    std::vector<Individual> Sorted(E->population().begin(),
+                                   E->population().end());
     std::stable_sort(Sorted.begin(), Sorted.end(),
                      [](const Individual &A, const Individual &B) {
                        return A.Fitness < B.Fitness;

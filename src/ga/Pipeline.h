@@ -27,6 +27,7 @@
 #include "ga/Reliability.h"
 
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace ca2a {
@@ -41,6 +42,17 @@ struct PipelineParams {
   uint64_t TrainingFieldSeed = 20130101;
   EvolutionParams Evolution;    ///< Seed is re-derived per run.
   ReliabilityParams Reliability;
+
+  // Crash safety (ga/Checkpoint.h). With a non-empty CheckpointDir every
+  // run saves its state to "<dir>/run<i>.ckpt" every CheckpointEvery
+  // generations (atomically), and with Resume a matching checkpoint is
+  // restored so the pipeline continues where it was killed — reaching the
+  // same candidates as an uninterrupted run with the same seeds. Stale or
+  // mismatched checkpoints are rejected (reported via OnProgress) and the
+  // run restarts from scratch.
+  std::string CheckpointDir; ///< Empty: no checkpointing.
+  bool Resume = false;       ///< Restore per-run checkpoints when present.
+  int CheckpointEvery = 1;   ///< Generations between saves (>= 1).
 };
 
 /// One candidate after the reliability stage.
@@ -71,12 +83,21 @@ struct PipelineResult {
 
 /// Progress events emitted by runSelectionPipeline.
 struct PipelineProgress {
-  enum class Stage { RunStarted, Generation, RunFinished, CandidateTested };
+  enum class Stage {
+    RunStarted,
+    Generation,
+    RunFinished,
+    CandidateTested,
+    CheckpointRestored, ///< Resume picked up a checkpoint (see Message).
+    CheckpointRejected, ///< A checkpoint was unusable (see Message).
+    CheckpointFailed,   ///< A checkpoint save failed (see Message).
+  };
   Stage S = Stage::RunStarted;
   int Run = 0;
   GenerationStats Generation;      ///< Valid for Stage::Generation.
   int CandidateIndex = 0;          ///< Valid for Stage::CandidateTested.
   bool CandidateReliable = false;  ///< Valid for Stage::CandidateTested.
+  std::string Message;             ///< Valid for the checkpoint stages.
 };
 
 /// Runs the whole pipeline on \p T. \p OnProgress may be empty.

@@ -1,0 +1,36 @@
+//===- sim/Fault.cpp - Fault injection for the CA engine ------------------===//
+
+#include "sim/Fault.h"
+
+#include "support/StringUtils.h"
+
+namespace ca2a {
+
+std::string describeFaultModel(const FaultModel &F) {
+  if (!F.any())
+    return "fault-free";
+  std::string Out;
+  auto Append = [&Out](const char *Name, double P) {
+    if (P <= 0.0)
+      return;
+    if (!Out.empty())
+      Out += ", ";
+    Out += formatString("%s %.4g", Name, P);
+  };
+  Append("stall", F.StallProbability);
+  Append("death", F.DeathProbability);
+  Append("drop", F.LinkDropProbability);
+  Append("flip", F.ColorFlipProbability);
+  Out += formatString(" (seed %llu)", static_cast<unsigned long long>(F.Seed));
+  return Out;
+}
+
+std::string describeFaultStats(const FaultStats &S) {
+  return formatString("stalls %lld, deaths %lld, drops %lld, flips %lld",
+                      static_cast<long long>(S.Stalls),
+                      static_cast<long long>(S.Deaths),
+                      static_cast<long long>(S.DroppedLinks),
+                      static_cast<long long>(S.ColorFlips));
+}
+
+} // namespace ca2a

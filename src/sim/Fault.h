@@ -1,0 +1,106 @@
+//===- sim/Fault.h - Fault injection for the CA engine ----------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A first-class fault model for the multi-agent engine.
+///
+/// The paper assumes a perfectly synchronous, lossless torus. Related work
+/// (Brandt/Uitto/Wattenhofer on asynchronous grid exploration; Jung/Sakho
+/// on all-to-all broadcast in k-ary n-tori) shows robustness is where such
+/// models get interesting: do evolved FSMs degrade gracefully when agents
+/// stall or messages drop? FaultModel defines four independent per-step
+/// fault processes, all driven by one dedicated, seeded RNG stream so that
+/// every faulty run is reproducible bit-for-bit:
+///
+///   * stall   — an agent skips its action phase this step (no move
+///     request, no turn, no colour write, no state change). It still
+///     occupies its cell and still communicates: a stalled processor's
+///     state remains readable by its neighbours.
+///   * death   — an agent halts permanently. Its cell is freed, its
+///     communication vector freezes, and it leaves the task: success
+///     becomes "every *surviving* agent holds the bits of all survivors".
+///   * link drop — one directed neighbour read during the OR-exchange
+///     fails (the reader does not receive that neighbour's vector this
+///     step). Drops are drawn per (agent, direction) pair, whether or not
+///     the link is in use, so the channel process is independent of agent
+///     positions.
+///   * colour flip — a cell of the colour layer is corrupted to a
+///     uniformly random *different* colour value (a bit flip in the
+///     medium the agents use for stigmergic coordination).
+///
+/// With every probability zero the model is inert: the engine consumes no
+/// random draws and is bit-identical to the fault-free engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_FAULT_H
+#define CA2A_SIM_FAULT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ca2a {
+
+class Torus;
+
+/// Per-step fault probabilities plus the dedicated fault-stream seed.
+struct FaultModel {
+  /// P(agent skips its action phase) per agent per step.
+  double StallProbability = 0.0;
+  /// P(agent halts permanently) per agent per step.
+  double DeathProbability = 0.0;
+  /// P(one directed neighbour read fails) per (agent, direction) per step.
+  double LinkDropProbability = 0.0;
+  /// P(cell colour is corrupted) per cell per step.
+  double ColorFlipProbability = 0.0;
+
+  /// Seed of the dedicated fault RNG stream. Independent of every other
+  /// stream in the system: the same placements + genome + fault seed
+  /// reproduce the identical faulty trajectory.
+  uint64_t Seed = 0xfa0175eedULL;
+
+  /// Optional restriction of link-drop faults to particular directed
+  /// links (cell, direction); links failing the predicate never drop.
+  /// Null (the default) makes every link faultable. Primarily a testing
+  /// hook — e.g. restricting drops to seam-crossing links shows that a
+  /// faulty seam link behaves exactly like Bordered blocking.
+  std::function<bool(const Torus &T, int Cell, uint8_t Direction)> LinkFilter;
+
+  /// True when any fault process can fire.
+  bool any() const {
+    return StallProbability > 0.0 || DeathProbability > 0.0 ||
+           LinkDropProbability > 0.0 || ColorFlipProbability > 0.0;
+  }
+};
+
+/// Counts of fault events that actually fired during one run.
+struct FaultStats {
+  int64_t Stalls = 0;       ///< Agent-steps lost to stalls.
+  int64_t Deaths = 0;       ///< Agents that died.
+  int64_t DroppedLinks = 0; ///< Directed neighbour reads that failed.
+  int64_t ColorFlips = 0;   ///< Cells corrupted.
+
+  int64_t total() const {
+    return Stalls + Deaths + DroppedLinks + ColorFlips;
+  }
+  bool operator==(const FaultStats &Other) const {
+    return Stalls == Other.Stalls && Deaths == Other.Deaths &&
+           DroppedLinks == Other.DroppedLinks &&
+           ColorFlips == Other.ColorFlips;
+  }
+  bool operator!=(const FaultStats &Other) const { return !(*this == Other); }
+};
+
+/// Human-readable one-line summaries for bench/example output.
+std::string describeFaultModel(const FaultModel &F);
+std::string describeFaultStats(const FaultStats &S);
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_FAULT_H

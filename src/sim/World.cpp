@@ -2,6 +2,8 @@
 
 #include "sim/World.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 
 using namespace ca2a;
@@ -35,6 +37,10 @@ void World::reset(const Genome &A, const Genome &B, GenomePolicy NewPolicy,
   Options = Opts;
   Time = 0;
 
+  FaultsActive = Options.Faults.any();
+  FaultRng = Rng(Options.Faults.Seed);
+  FaultCounters = FaultStats();
+
   std::fill(ObstacleMask.begin(), ObstacleMask.end(), 0);
   for (Coord Obstacle : Options.Obstacles)
     ObstacleMask[static_cast<size_t>(T.indexOf(Obstacle))] = 1;
@@ -49,6 +55,10 @@ void World::reset(const Genome &A, const Genome &B, GenomePolicy NewPolicy,
   Agents.assign(K, AgentState());
   CommNext.assign(K, BitVector(K));
   Decisions.assign(K, Decision());
+  NumAlive = static_cast<int>(K);
+  SurvivorMask = BitVector(K);
+  SurvivorMask.setAll();
+  Stalled.assign(K, 0);
   for (size_t Id = 0; Id != K; ++Id) {
     const Placement &P = Placements[Id];
     AgentState &Agent = Agents[Id];
@@ -69,14 +79,96 @@ void World::reset(const Genome &A, const Genome &B, GenomePolicy NewPolicy,
   NumInformed = (K == 1) ? 1 : 0;
 }
 
+void World::injectFaults() {
+  // Fault processes fire at the start of every iteration in a fixed draw
+  // order (deaths, stalls, colour flips; link drops are drawn inside the
+  // exchange), so one fault seed reproduces one faulty trajectory exactly.
+  // Processes with probability zero consume no draws.
+  const FaultModel &F = Options.Faults;
+  size_t K = Agents.size();
+  if (F.DeathProbability > 0.0) {
+    for (size_t Id = 0; Id != K; ++Id) {
+      AgentState &A = Agents[Id];
+      if (!A.Alive || !FaultRng.bernoulli(F.DeathProbability))
+        continue;
+      A.Alive = false;
+      A.Informed = false;
+      Occupancy[static_cast<size_t>(A.Cell)] = -1; // Corpses free the cell.
+      SurvivorMask.reset(Id);
+      --NumAlive;
+      ++FaultCounters.Deaths;
+    }
+  }
+  if (F.StallProbability > 0.0) {
+    for (size_t Id = 0; Id != K; ++Id) {
+      Stalled[Id] =
+          Agents[Id].Alive && FaultRng.bernoulli(F.StallProbability) ? 1 : 0;
+      FaultCounters.Stalls += Stalled[Id];
+    }
+  }
+  if (F.ColorFlipProbability > 0.0 && Options.ColorsEnabled) {
+    int NumColors = GenomeA.dims().Colors;
+    for (size_t Cell = 0, E = Colors.size(); Cell != E; ++Cell) {
+      if (!FaultRng.bernoulli(F.ColorFlipProbability))
+        continue;
+      // Uniform over the NumColors - 1 *other* values: a corrupted cell
+      // never keeps its colour.
+      int Replacement = static_cast<int>(
+          FaultRng.uniformInt(static_cast<uint64_t>(NumColors - 1)));
+      if (Replacement >= Colors[Cell])
+        ++Replacement;
+      Colors[Cell] = static_cast<uint8_t>(Replacement);
+      ++FaultCounters.ColorFlips;
+    }
+  }
+}
+
+Expected<bool>
+World::validatePlacements(const Torus &T,
+                          const std::vector<Placement> &Placements,
+                          const SimOptions &Options) {
+  if (Placements.empty())
+    return makeError("no agents placed");
+  if (Placements.size() > static_cast<size_t>(T.numCells()))
+    return makeError(
+        formatString("%zu agents but the field has only %d cells",
+                     Placements.size(), T.numCells()));
+  std::vector<uint8_t> Obstacle(static_cast<size_t>(T.numCells()), 0);
+  for (Coord C : Options.Obstacles)
+    Obstacle[static_cast<size_t>(T.indexOf(C))] = 1;
+  std::vector<uint8_t> Occupied(static_cast<size_t>(T.numCells()), 0);
+  for (size_t Id = 0; Id != Placements.size(); ++Id) {
+    const Placement &P = Placements[Id];
+    if (P.Direction >= T.degree())
+      return makeError(formatString(
+          "agent %zu: direction %d out of range (grid degree %d)", Id,
+          P.Direction, T.degree()));
+    size_t Cell = static_cast<size_t>(T.indexOf(P.Pos));
+    if (Obstacle[Cell])
+      return makeError(formatString("agent %zu placed on obstacle (%d, %d)",
+                                    Id, P.Pos.X, P.Pos.Y));
+    if (Occupied[Cell])
+      return makeError(formatString(
+          "agents share cell (%d, %d) — placements must be distinct",
+          P.Pos.X, P.Pos.Y));
+    Occupied[Cell] = 1;
+  }
+  return true;
+}
+
 void World::exchangeCommunication() {
   // Synchronous OR with the von-Neumann neighbourhood: new vectors are
   // computed from the pre-step vectors only, then swapped in. With borders
-  // enabled, adjacency across the wrap seam does not exist.
+  // enabled, adjacency across the wrap seam does not exist. A dropped link
+  // takes exactly the Bordered path: the read is skipped for this step.
   int Degree = T.degree();
   size_t K = Agents.size();
+  const FaultModel &F = Options.Faults;
+  bool DropsActive = FaultsActive && F.LinkDropProbability > 0.0;
   for (size_t Id = 0; Id != K; ++Id) {
     AgentState &A = Agents[Id];
+    if (!A.Alive)
+      continue; // Dead agents neither read nor occupy a cell.
     BitVector &Next = CommNext[Id];
     Next = A.Comm;
     const int32_t *Neighbors = T.neighbors(A.Cell);
@@ -84,16 +176,28 @@ void World::exchangeCommunication() {
       if (Options.Bordered &&
           T.crossesBoundary(A.Cell, static_cast<uint8_t>(D)))
         continue;
+      if (DropsActive &&
+          (!F.LinkFilter ||
+           F.LinkFilter(T, A.Cell, static_cast<uint8_t>(D))) &&
+          FaultRng.bernoulli(F.LinkDropProbability)) {
+        ++FaultCounters.DroppedLinks;
+        continue;
+      }
       int NeighborAgent = Occupancy[static_cast<size_t>(Neighbors[D])];
       if (NeighborAgent >= 0)
         Next.orWith(Agents[static_cast<size_t>(NeighborAgent)].Comm);
     }
   }
   NumInformed = 0;
+  bool AllAlive = NumAlive == static_cast<int>(K);
   for (size_t Id = 0; Id != K; ++Id) {
     AgentState &A = Agents[Id];
+    if (!A.Alive)
+      continue; // Frozen vector; dead agents never count as informed.
     std::swap(A.Comm, CommNext[Id]);
-    A.Informed = A.Comm.all();
+    // Informed = knows every survivor. With everyone alive that is the
+    // paper's all-ones test (kept on its own path: it is the hot case).
+    A.Informed = AllAlive ? A.Comm.all() : A.Comm.contains(SurvivorMask);
     if (A.Informed)
       ++NumInformed;
   }
@@ -110,6 +214,12 @@ void World::applyActions() {
   for (size_t Id = 0; Id != K; ++Id) {
     AgentState &A = Agents[Id];
     Decision &D = Decisions[Id];
+    // Dead and stalled agents take no action and issue no claims; a
+    // stalled agent still occupies its cell (pass 1b sees it as a plain
+    // obstacle-like occupant).
+    D.Skip = FaultsActive && (!A.Alive || Stalled[Id]);
+    if (D.Skip)
+      continue;
     D.FrontCell = T.neighborIndex(A.Cell, A.Direction);
     int Color = Colors[static_cast<size_t>(A.Cell)];
     // In bordered mode the cell beyond the seam does not exist; its colour
@@ -143,6 +253,8 @@ void World::applyActions() {
   for (size_t Id = 0; Id != K; ++Id) {
     Decision &D = Decisions[Id];
     const AgentState &A = Agents[Id];
+    if (D.Skip)
+      continue;
     bool FrontOccupied =
         Occupancy[static_cast<size_t>(D.FrontCell)] >= 0 ||
         ObstacleMask[static_cast<size_t>(D.FrontCell)] != 0 ||
@@ -163,6 +275,8 @@ void World::applyActions() {
   for (size_t Id = 0; Id != K; ++Id) {
     AgentState &A = Agents[Id];
     const Decision &D = Decisions[Id];
+    if (D.Skip)
+      continue;
     const GenomeEntry &E =
         activeGenome(static_cast<int>(Id)).entry(D.Input, A.ControlState);
     if (Options.ColorsEnabled)
@@ -186,8 +300,10 @@ World::Status World::step() {
 
 World::Status
 World::stepWithObserver(const std::function<void(const World &, int)> &OnStep) {
+  if (FaultsActive)
+    injectFaults();
   exchangeCommunication();
-  bool Solved = NumInformed == numAgents();
+  bool Solved = NumAlive > 0 && NumInformed == NumAlive;
   if (OnStep)
     OnStep(*this, Time);
   if (Solved) {
@@ -207,16 +323,24 @@ SimResult World::run(const std::function<void(const World &, int)> &OnStep) {
   assert(WasReset && "world not reset");
   SimResult Result;
   Result.NumAgents = numAgents();
+  auto Finish = [&](bool Success) {
+    Result.Success = Success;
+    Result.TComm = Success ? Time : -1;
+    Result.InformedAgents = NumInformed;
+    Result.SurvivingAgents = NumAlive;
+    Result.InformedFraction =
+        NumAlive > 0 ? static_cast<double>(NumInformed) /
+                           static_cast<double>(NumAlive)
+                     : 0.0;
+    Result.Faults = FaultCounters;
+    return Result;
+  };
   for (int I = 0; I != Options.MaxSteps; ++I) {
-    if (stepWithObserver(OnStep) == Status::Solved) {
-      Result.Success = true;
-      Result.TComm = Time;
-      Result.InformedAgents = NumInformed;
-      return Result;
-    }
+    if (stepWithObserver(OnStep) == Status::Solved)
+      return Finish(true);
+    // Extinction: with no survivors the task can never be solved.
+    if (FaultsActive && NumAlive == 0)
+      break;
   }
-  Result.Success = false;
-  Result.TComm = -1;
-  Result.InformedAgents = NumInformed;
-  return Result;
+  return Finish(false);
 }

@@ -40,7 +40,9 @@
 
 #include "agent/Genome.h"
 #include "grid/Topology.h"
+#include "sim/Fault.h"
 #include "support/BitVector.h"
+#include "support/Rng.h"
 
 #include <cstdint>
 #include <functional>
@@ -122,22 +124,39 @@ struct SimOptions {
   /// Obstacles never block the colour layer or communication — they only
   /// exclude occupancy. Must not collide with agent placements.
   std::vector<Coord> Obstacles;
+  /// Fault injection (see sim/Fault.h). With all rates zero (the default)
+  /// the engine is bit-identical to the fault-free engine and consumes no
+  /// random draws. Faults are injected at the start of every iteration,
+  /// including the uncounted exchange at t = 0.
+  FaultModel Faults;
 };
 
 /// Outcome of one simulation run.
+///
+/// Under faults "success" is survivor-aware: the task is solved when every
+/// *surviving* agent holds the bits of all survivors. Without faults that
+/// coincides with the paper's all-ones condition.
 struct SimResult {
-  bool Success = false;   ///< All agents informed within MaxSteps.
+  bool Success = false;   ///< All surviving agents informed within MaxSteps.
   int TComm = -1;         ///< Communication time (valid when Success).
-  int InformedAgents = 0; ///< Informed count at termination.
+  int InformedAgents = 0; ///< Informed surviving agents at termination.
   int NumAgents = 0;
+
+  // Degradation fields (meaningful under fault injection; in a fault-free
+  // run SurvivingAgents == NumAgents and InformedFraction is the plain
+  // informed share).
+  int SurvivingAgents = 0;      ///< Agents still alive at termination.
+  double InformedFraction = 0.0; ///< Informed / surviving (0 if extinct).
+  FaultStats Faults;            ///< Fault events that fired during the run.
 };
 
 /// Full runtime state of one agent.
 struct AgentState {
-  int32_t Cell = 0;         ///< Flat cell index.
+  int32_t Cell = 0;         ///< Flat cell index (stale once dead).
   uint8_t Direction = 0;    ///< Ring index into the topology's directions.
   uint8_t ControlState = 0; ///< FSM state.
-  bool Informed = false;    ///< Comm vector is all-ones.
+  bool Informed = false;    ///< Comm vector covers every survivor.
+  bool Alive = true;        ///< False once a death fault fired.
   BitVector Comm;           ///< k-bit communication vector.
 };
 
@@ -154,9 +173,20 @@ public:
   /// (Re)initialises: places the agents of \p Placements on an all-colour-0
   /// field, gives agent i the unit communication vector e_i, control state
   /// per \p Options.Start, and resets time to 0. Placements must be on
-  /// distinct non-obstacle cells with valid directions (asserted).
+  /// distinct non-obstacle cells with valid directions (asserted; CLI-facing
+  /// callers should run validatePlacements first — asserts vanish in
+  /// release builds).
   void reset(const Genome &G, const std::vector<Placement> &Placements,
              const SimOptions &Options);
+
+  /// Checks the user-reachable reset preconditions — duplicate placement,
+  /// placement on an obstacle, direction out of range — and reports the
+  /// first violation as a recoverable error. Unlike the asserts inside
+  /// reset(), this path survives release builds; CLI frontends should call
+  /// it on any user-supplied configuration before reset().
+  static Expected<bool>
+  validatePlacements(const Torus &T, const std::vector<Placement> &Placements,
+                     const SimOptions &Options);
 
   /// Two-genome variant: \p Policy selects how \p A and \p B are assigned
   /// (time-shuffling or species mixing). Policy Single uses only \p A.
@@ -209,6 +239,10 @@ public:
     return Colors[static_cast<size_t>(CellIndex)];
   }
   int informedCount() const { return NumInformed; }
+  /// Agents still alive (== numAgents() unless death faults fired).
+  int survivorCount() const { return NumAlive; }
+  /// Fault events that fired since reset().
+  const FaultStats &faultStats() const { return FaultCounters; }
 
   /// Number of times any agent has *entered* \p CellIndex (initial
   /// placements count as one visit). Feeds the Fig. 6/7 "visited" panels.
@@ -226,6 +260,7 @@ public:
 private:
   void exchangeCommunication();
   void applyActions();
+  void injectFaults();
 
   /// FSM controlling \p AgentId at the current time under the policy.
   const Genome &activeGenome(int AgentId) const {
@@ -250,6 +285,16 @@ private:
   int Time = 0;
   int NumInformed = 0;
 
+  // Fault state. FaultRng is the dedicated stream of SimOptions::Faults;
+  // FaultsActive caches Faults.any() so the fault-free hot path pays one
+  // predictable branch per step.
+  Rng FaultRng{0};
+  bool FaultsActive = false;
+  int NumAlive = 0;
+  BitVector SurvivorMask;       ///< Bit per agent, set while alive.
+  std::vector<uint8_t> Stalled; ///< Per-step stall flags (scratch).
+  FaultStats FaultCounters;
+
   std::vector<AgentState> Agents;
   std::vector<uint8_t> Colors;       ///< One colour bit per cell.
   std::vector<int16_t> Occupancy;    ///< Agent id per cell, -1 when empty.
@@ -264,6 +309,7 @@ private:
     int32_t FrontCell;
     uint8_t Input;
     bool CanMove;
+    bool Skip; ///< Agent is dead or stalled: no request, no action.
   };
   std::vector<Decision> Decisions;
 };

@@ -32,6 +32,14 @@ void BitVector::andWith(const BitVector &Other) {
     Words[I] &= Other.Words[I];
 }
 
+bool BitVector::contains(const BitVector &Other) const {
+  assert(NumBits == Other.NumBits && "size mismatch in contains");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    if (Other.Words[I] & ~Words[I])
+      return false;
+  return true;
+}
+
 bool BitVector::all() const {
   if (Words.empty())
     return true;

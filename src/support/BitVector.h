@@ -70,6 +70,11 @@ public:
   /// ANDs \p Other into this vector. Both vectors must have the same size.
   void andWith(const BitVector &Other);
 
+  /// Returns true iff every bit set in \p Other is also set here (Other is
+  /// a subset). Both vectors must have the same size. Used for the
+  /// survivor-aware informedness test under agent-death faults.
+  bool contains(const BitVector &Other) const;
+
   /// Returns true iff every bit is set. An empty vector counts as full.
   bool all() const;
 

@@ -20,6 +20,7 @@
 #ifndef CA2A_SUPPORT_RNG_H
 #define CA2A_SUPPORT_RNG_H
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -73,6 +74,19 @@ public:
   /// Forks an independent child stream. The child is seeded from this
   /// stream's output, so forking is itself deterministic.
   Rng fork() { return Rng(nextU64()); }
+
+  /// The four xoshiro256** state words, for checkpointing. setState()
+  /// restores an earlier state() exactly: the generator continues the
+  /// identical sequence. The state must never be all-zero (asserted).
+  std::array<uint64_t, 4> state() const {
+    return {State[0], State[1], State[2], State[3]};
+  }
+  void setState(const std::array<uint64_t, 4> &Words) {
+    assert((Words[0] | Words[1] | Words[2] | Words[3]) != 0 &&
+           "xoshiro state must not be all-zero");
+    for (size_t I = 0; I != 4; ++I)
+      State[I] = Words[I];
+  }
 
 private:
   uint64_t State[4];

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 using namespace ca2a;
 
@@ -41,6 +42,13 @@ void ThreadPool::submit(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+  if (FirstException) {
+    // Hand the exception to the waiting thread exactly once; the pool
+    // keeps accepting work afterwards.
+    std::exception_ptr Pending = std::exchange(FirstException, nullptr);
+    Lock.unlock();
+    std::rethrow_exception(Pending);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -58,9 +66,18 @@ void ThreadPool::workerLoop() {
       Tasks.pop();
       ++ActiveTasks;
     }
-    Task();
+    std::exception_ptr Thrown;
+    try {
+      Task();
+    } catch (...) {
+      // Escaping the loop would std::terminate(); capture instead and let
+      // wait() rethrow the first one on the submitting thread.
+      Thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
+      if (Thrown && !FirstException)
+        FirstException = Thrown;
       --ActiveTasks;
       if (Tasks.empty() && ActiveTasks == 0)
         AllDone.notify_all();

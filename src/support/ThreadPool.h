@@ -12,6 +12,12 @@
 /// hosts the pool degrades gracefully to one worker; parallelFor with zero
 /// or one worker runs inline for determinism-friendly debugging.
 ///
+/// Project library code does not throw, but submitted tasks may run user
+/// or test callbacks that do. A throwing task no longer std::terminate()s
+/// the process: the first exception is captured and rethrown from the
+/// next wait() on the submitting thread (later exceptions from the same
+/// batch are dropped). The pool stays usable afterwards.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CA2A_SUPPORT_THREADPOOL_H
@@ -19,6 +25,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,7 +35,7 @@
 namespace ca2a {
 
 /// Fixed-size FIFO worker pool. Tasks are fire-and-forget; use wait() to
-/// drain. Task exceptions are not supported (library code does not throw).
+/// drain. The first exception a task throws is rethrown from wait().
 class ThreadPool {
 public:
   /// Spawns \p NumWorkers threads; 0 means hardware_concurrency().
@@ -41,7 +48,10 @@ public:
   /// Enqueues a task.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last wait(), rethrows the first captured exception after
+  /// the drain (the pool remains usable). Exceptions pending at
+  /// destruction are swallowed — call wait() to observe them.
   void wait();
 
   size_t numWorkers() const { return Workers.size(); }
@@ -56,6 +66,7 @@ private:
   std::condition_variable AllDone;
   size_t ActiveTasks = 0;
   bool ShuttingDown = false;
+  std::exception_ptr FirstException; ///< Guarded by Mutex.
 };
 
 /// Runs Body(I) for I in [0, Count), split into contiguous chunks across

@@ -1,0 +1,289 @@
+//===- tests/ga/CheckpointTest.cpp - Checkpoint/resume tests --------------===//
+//
+// The robustness guarantees of ga/Checkpoint.h: serialization round-trips
+// bit-for-bit, corrupt or mismatched files are rejected with an error (not
+// a crash or a silently wrong resume), and a run killed between
+// generations resumes to exactly the state an uninterrupted run reaches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ga/Checkpoint.h"
+#include "ga/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+EvolutionParams miniEvolution() {
+  EvolutionParams P;
+  P.Seed = 7;
+  P.Fitness.Sim.MaxSteps = 60;
+  return P;
+}
+
+std::vector<InitialConfiguration> miniFields(const Torus &T) {
+  return standardConfigurationSet(T, /*NumAgents=*/4, /*NumRandomFields=*/5,
+                                  /*Seed=*/99);
+}
+
+/// Steps \p E a few generations and packages its snapshot as a checkpoint.
+CheckpointData makeCheckpoint(const Torus &T, Evolution &E,
+                              const EvolutionParams &Params,
+                              int Generations) {
+  for (int I = 0; I != Generations; ++I)
+    E.stepGeneration();
+  CheckpointData Data;
+  Data.Grid = T.kind();
+  Data.SideLength = T.sideLength();
+  Data.Seed = Params.Seed;
+  Data.Snapshot = E.snapshot();
+  return Data;
+}
+
+void expectSameIndividual(const Individual &A, const Individual &B) {
+  EXPECT_TRUE(A.G == B.G);
+  EXPECT_EQ(A.Fitness, B.Fitness);
+  EXPECT_EQ(A.SolvedFields, B.SolvedFields);
+  EXPECT_EQ(A.CompletelySuccessful, B.CompletelySuccessful);
+}
+
+void expectSameSnapshot(const EvolutionSnapshot &A,
+                        const EvolutionSnapshot &B) {
+  EXPECT_EQ(A.Generation, B.Generation);
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+  EXPECT_EQ(A.RngState, B.RngState);
+  EXPECT_EQ(A.Dims.States, B.Dims.States);
+  EXPECT_EQ(A.Dims.Colors, B.Dims.Colors);
+  ASSERT_EQ(A.Pool.size(), B.Pool.size());
+  for (size_t I = 0; I != A.Pool.size(); ++I)
+    expectSameIndividual(A.Pool[I], B.Pool[I]);
+  expectSameIndividual(A.BestEver, B.BestEver);
+}
+
+} // namespace
+
+TEST(CheckpointTest, SerializeParseRoundTripsExactly) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData Data = makeCheckpoint(T, E, Params, 3);
+
+  auto Parsed = parseCheckpoint(serializeCheckpoint(Data));
+  ASSERT_TRUE(Parsed) << Parsed.error().message();
+  EXPECT_EQ(Parsed->Grid, Data.Grid);
+  EXPECT_EQ(Parsed->SideLength, Data.SideLength);
+  EXPECT_EQ(Parsed->Seed, Data.Seed);
+  expectSameSnapshot(Parsed->Snapshot, Data.Snapshot);
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripsThroughDisk) {
+  Torus T(GridKind::Square, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData Data = makeCheckpoint(T, E, Params, 2);
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_roundtrip";
+  std::string Path = checkpointRunPath(Dir, 0);
+  std::remove(Path.c_str()); // A prior aborted run may have left one behind.
+  EXPECT_FALSE(checkpointExists(Path));
+  auto Saved = saveCheckpoint(Path, Data);
+  ASSERT_TRUE(Saved) << Saved.error().message();
+  EXPECT_TRUE(checkpointExists(Path));
+
+  auto Loaded = loadCheckpoint(Path);
+  ASSERT_TRUE(Loaded) << Loaded.error().message();
+  expectSameSnapshot(Loaded->Snapshot, Data.Snapshot);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruptFiles) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  std::string Text = serializeCheckpoint(makeCheckpoint(T, E, Params, 1));
+
+  // Bit flip in the middle of the payload: checksum mismatch.
+  {
+    std::string Bad = Text;
+    size_t Mid = Bad.size() / 2;
+    Bad[Mid] = Bad[Mid] == 'a' ? 'b' : 'a';
+    auto Parsed = parseCheckpoint(Bad);
+    EXPECT_FALSE(Parsed);
+  }
+  // Truncation (the crash-mid-write shape an atomic rename prevents, but
+  // also what a full disk produces).
+  {
+    auto Parsed = parseCheckpoint(Text.substr(0, Text.size() / 2));
+    EXPECT_FALSE(Parsed);
+  }
+  // Wrong version header.
+  {
+    std::string Bad = Text;
+    size_t V = Bad.find("v1");
+    ASSERT_NE(V, std::string::npos);
+    Bad.replace(V, 2, "v9");
+    auto Parsed = parseCheckpoint(Bad);
+    EXPECT_FALSE(Parsed);
+  }
+  // Empty and garbage inputs.
+  EXPECT_FALSE(parseCheckpoint(""));
+  EXPECT_FALSE(parseCheckpoint("not a checkpoint at all\n"));
+}
+
+TEST(CheckpointTest, LoadReportsMissingFile) {
+  auto Loaded = loadCheckpoint(::testing::TempDir() +
+                               "/ca2a_ckpt_does_not_exist.ckpt");
+  EXPECT_FALSE(Loaded);
+}
+
+TEST(CheckpointTest, ValidateRejectsMismatchedExperiments) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData Data = makeCheckpoint(T, E, Params, 1);
+
+  EXPECT_TRUE(validateCheckpoint(Data, T.kind(), T.sideLength(), Params));
+  EXPECT_FALSE(
+      validateCheckpoint(Data, GridKind::Square, T.sideLength(), Params))
+      << "wrong grid kind must be rejected";
+  EXPECT_FALSE(validateCheckpoint(Data, T.kind(), 33, Params))
+      << "wrong side length must be rejected";
+  EvolutionParams OtherSeed = Params;
+  OtherSeed.Seed = Params.Seed + 1;
+  EXPECT_FALSE(validateCheckpoint(Data, T.kind(), T.sideLength(), OtherSeed))
+      << "wrong seed must be rejected";
+  EvolutionParams OtherDims = Params;
+  OtherDims.Dims = GenomeDims{6, 3};
+  EXPECT_FALSE(validateCheckpoint(Data, T.kind(), T.sideLength(), OtherDims))
+      << "wrong FSM dimensions must be rejected";
+  EvolutionParams OtherPool = Params;
+  OtherPool.PopulationSize = Params.PopulationSize + 2;
+  EXPECT_FALSE(validateCheckpoint(Data, T.kind(), T.sideLength(), OtherPool))
+      << "wrong population size must be rejected";
+}
+
+TEST(CheckpointTest, ResumedEvolutionMatchesUninterruptedRun) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+
+  // Reference: 6 generations in one go.
+  Evolution Reference(T, miniFields(T), Params);
+  for (int I = 0; I != 6; ++I)
+    Reference.stepGeneration();
+
+  // Interrupted: 3 generations, checkpoint through the full text format,
+  // then 3 more in a brand-new Evolution.
+  Evolution FirstHalf(T, miniFields(T), Params);
+  CheckpointData Data = makeCheckpoint(T, FirstHalf, Params, 3);
+  auto Parsed = parseCheckpoint(serializeCheckpoint(Data));
+  ASSERT_TRUE(Parsed) << Parsed.error().message();
+  Evolution Resumed(T, miniFields(T), Params, Parsed->Snapshot);
+  EXPECT_EQ(Resumed.generation(), 3);
+  for (int I = 0; I != 3; ++I)
+    Resumed.stepGeneration();
+
+  EXPECT_EQ(Resumed.generation(), Reference.generation());
+  EXPECT_EQ(Resumed.evaluations(), Reference.evaluations());
+  expectSameSnapshot(Resumed.snapshot(), Reference.snapshot());
+}
+
+TEST(CheckpointTest, KilledPipelineResumesToSameCandidates) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineParams Params;
+  Params.NumRuns = 2;
+  Params.TopPerRun = 2;
+  Params.Generations = 4;
+  Params.TrainingAgents = 4;
+  Params.TrainingRandomFields = 4;
+  Params.Evolution.Seed = 11;
+  Params.Evolution.Fitness.Sim.MaxSteps = 60;
+  Params.Reliability.NumRandomFields = 3;
+  Params.Reliability.AgentCounts = {2, 4};
+  Params.Reliability.Fitness.Sim.MaxSteps = 120;
+
+  // Reference: the uninterrupted pipeline.
+  PipelineResult Reference = runSelectionPipeline(T, Params);
+
+  // "Killed" pipeline: same experiment stopped after 2 generations per run
+  // (each generation checkpoints, so this leaves generation-2 checkpoints
+  // behind — exactly what kill -9 during generation 3 would leave).
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_pipeline";
+  PipelineParams Killed = Params;
+  Killed.CheckpointDir = Dir;
+  Killed.Generations = 2;
+  runSelectionPipeline(T, Killed);
+  ASSERT_TRUE(checkpointExists(checkpointRunPath(Dir, 0)));
+  ASSERT_TRUE(checkpointExists(checkpointRunPath(Dir, 1)));
+
+  // Resume with the full budget; progress must report the restores.
+  PipelineParams Resumed = Params;
+  Resumed.CheckpointDir = Dir;
+  Resumed.Resume = true;
+  int Restored = 0, Rejected = 0;
+  PipelineResult Result =
+      runSelectionPipeline(T, Resumed, [&](const PipelineProgress &P) {
+        if (P.S == PipelineProgress::Stage::CheckpointRestored)
+          ++Restored;
+        if (P.S == PipelineProgress::Stage::CheckpointRejected)
+          ++Rejected;
+      });
+  EXPECT_EQ(Restored, Params.NumRuns);
+  EXPECT_EQ(Rejected, 0);
+
+  ASSERT_EQ(Result.Candidates.size(), Reference.Candidates.size());
+  for (size_t I = 0; I != Result.Candidates.size(); ++I) {
+    EXPECT_TRUE(Result.Candidates[I].G == Reference.Candidates[I].G)
+        << "candidate " << I << " differs from the uninterrupted run";
+    EXPECT_EQ(Result.Candidates[I].TrainingFitness,
+              Reference.Candidates[I].TrainingFitness);
+    EXPECT_EQ(Result.Candidates[I].SourceRun,
+              Reference.Candidates[I].SourceRun);
+  }
+  for (int Run = 0; Run != Params.NumRuns; ++Run)
+    std::remove(checkpointRunPath(Dir, Run).c_str());
+}
+
+TEST(CheckpointTest, MismatchedCheckpointIsRejectedAndRunRestarts) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineParams Params;
+  Params.NumRuns = 1;
+  Params.TopPerRun = 1;
+  Params.Generations = 2;
+  Params.TrainingAgents = 4;
+  Params.TrainingRandomFields = 3;
+  Params.Evolution.Seed = 5;
+  Params.Evolution.Fitness.Sim.MaxSteps = 60;
+  Params.Reliability.NumRandomFields = 2;
+  Params.Reliability.AgentCounts = {2};
+  Params.Reliability.Fitness.Sim.MaxSteps = 120;
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_mismatch";
+  PipelineParams Seeded = Params;
+  Seeded.CheckpointDir = Dir;
+  runSelectionPipeline(T, Seeded);
+  ASSERT_TRUE(checkpointExists(checkpointRunPath(Dir, 0)));
+
+  // Different base seed: the stale checkpoint belongs to another
+  // experiment and must be rejected, with the run starting fresh.
+  PipelineParams Other = Params;
+  Other.CheckpointDir = Dir;
+  Other.Resume = true;
+  Other.Evolution.Seed = 6;
+  int Restored = 0, Rejected = 0;
+  runSelectionPipeline(T, Other, [&](const PipelineProgress &P) {
+    if (P.S == PipelineProgress::Stage::CheckpointRestored)
+      ++Restored;
+    if (P.S == PipelineProgress::Stage::CheckpointRejected)
+      ++Rejected;
+  });
+  EXPECT_EQ(Restored, 0);
+  EXPECT_EQ(Rejected, 1);
+  std::remove(checkpointRunPath(Dir, 0).c_str());
+}

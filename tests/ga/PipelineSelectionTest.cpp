@@ -70,6 +70,11 @@ TEST(PipelineSelectionTest, EmitsProgressForEveryStage) {
         case PipelineProgress::Stage::CandidateTested:
           ++Tested;
           break;
+        case PipelineProgress::Stage::CheckpointRestored:
+        case PipelineProgress::Stage::CheckpointRejected:
+        case PipelineProgress::Stage::CheckpointFailed:
+          ADD_FAILURE() << "checkpoint event without a checkpoint dir";
+          break;
         }
       });
   EXPECT_EQ(RunsStarted, P.NumRuns);

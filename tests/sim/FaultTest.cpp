@@ -1,0 +1,280 @@
+//===- tests/sim/FaultTest.cpp - Fault-injection unit tests ---------------===//
+//
+// The semantics of each fault process in sim/Fault.h, pinned at the
+// deterministic extremes (rate 0 and rate 1) plus statistical middle
+// ground: inertness of the zero-rate model (bit-identical to the
+// fault-free engine), stalls freezing actions but not communication,
+// deaths freeing cells and switching success to survivor semantics, link
+// drops cutting information flow, and colour flips corrupting only the
+// colour layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "sim/World.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// A fixed 4-agent field used by the deterministic tests.
+std::vector<Placement> cornerPlacements() {
+  return {
+      {Coord{2, 2}, 0},
+      {Coord{13, 2}, 1},
+      {Coord{2, 13}, 2},
+      {Coord{13, 13}, 3},
+  };
+}
+
+} // namespace
+
+TEST(FaultTest, ZeroRatesAreBitIdenticalToFaultFreeEngine) {
+  // The acceptance criterion of the fault layer: with all rates zero the
+  // engine must take the exact fault-free trajectory — same t_comm for
+  // the paper's Table 1 genomes, step by step.
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    Rng FieldRng(2013);
+    InitialConfiguration Field = randomConfiguration(T, 8, FieldRng);
+
+    SimOptions Plain;
+    Plain.MaxSteps = 1000;
+    SimOptions Zeroed = Plain;
+    Zeroed.Faults.Seed = 0xdeadbeef; // Must be irrelevant at rate 0.
+
+    World A(T), B(T);
+    A.reset(bestAgent(Kind), Field.Placements, Plain);
+    B.reset(bestAgent(Kind), Field.Placements, Zeroed);
+    for (int Step = 0; Step != Plain.MaxSteps; ++Step) {
+      World::Status SA = A.step();
+      World::Status SB = B.step();
+      ASSERT_EQ(SA, SB) << "trajectories diverged at step " << Step;
+      for (int Id = 0; Id != A.numAgents(); ++Id) {
+        const AgentState &AgA = A.agent(Id), &AgB = B.agent(Id);
+        ASSERT_EQ(AgA.Cell, AgB.Cell);
+        ASSERT_EQ(AgA.Direction, AgB.Direction);
+        ASSERT_EQ(AgA.ControlState, AgB.ControlState);
+        ASSERT_TRUE(AgA.Comm == AgB.Comm);
+      }
+      if (SA == World::Status::Solved)
+        break;
+    }
+    EXPECT_EQ(A.time(), B.time());
+    EXPECT_EQ(B.faultStats().total(), 0);
+  }
+}
+
+TEST(FaultTest, CertainStallFreezesActionsButNotCommunication) {
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 50;
+  O.Faults.StallProbability = 1.0;
+  W.reset(bestTriangulateAgent(), cornerPlacements(), O);
+
+  // Record the post-reset state; under permanent stall it must never move.
+  struct Frozen {
+    int Cell;
+    uint8_t Direction;
+    uint8_t ControlState;
+  };
+  std::vector<Frozen> Initial;
+  for (int Id = 0; Id != W.numAgents(); ++Id) {
+    const AgentState &A = W.agent(Id);
+    Initial.push_back({A.Cell, A.Direction, A.ControlState});
+  }
+  for (int Step = 0; Step != 20; ++Step) {
+    W.step();
+    for (int Id = 0; Id != W.numAgents(); ++Id) {
+      const AgentState &A = W.agent(Id);
+      const Frozen &F = Initial[static_cast<size_t>(Id)];
+      EXPECT_EQ(A.Cell, F.Cell) << "a stalled agent moved";
+      EXPECT_EQ(A.Direction, F.Direction) << "a stalled agent turned";
+      EXPECT_EQ(A.ControlState, F.ControlState)
+          << "a stalled agent switched state";
+      // Stalled processors stay readable: the own bit never disappears.
+      EXPECT_TRUE(A.Comm.test(static_cast<size_t>(Id)));
+    }
+  }
+  EXPECT_EQ(W.faultStats().Stalls, 20 * W.numAgents());
+  EXPECT_EQ(W.faultStats().Deaths, 0);
+}
+
+TEST(FaultTest, AdjacentStalledAgentsStillExchange) {
+  // Two neighbours, both permanently stalled: communication alone must
+  // solve the task in the very first exchange (t_comm = 0, the engine's
+  // convention for already-adjacent agents).
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 10;
+  O.Faults.StallProbability = 1.0;
+  std::vector<Placement> P = {{Coord{5, 5}, 0}, {Coord{6, 5}, 0}};
+  W.reset(bestTriangulateAgent(), P, O);
+  SimResult R = W.run();
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.TComm, 0);
+}
+
+TEST(FaultTest, CertainDeathGoesExtinctAndFails) {
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 500;
+  O.Faults.DeathProbability = 1.0;
+  W.reset(bestSquareAgent(), cornerPlacements(), O);
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.SurvivingAgents, 0);
+  EXPECT_EQ(R.InformedFraction, 0.0);
+  EXPECT_EQ(R.Faults.Deaths, 4);
+  EXPECT_LT(W.time(), 500) << "extinction must terminate the run early";
+  // Corpses free their cells.
+  for (const Placement &P : cornerPlacements())
+    EXPECT_EQ(W.agentAt(T.indexOf(P.Pos)), -1);
+}
+
+TEST(FaultTest, DeathSwitchesSuccessToSurvivorSemantics) {
+  // Under death faults the run may still succeed once every *surviving*
+  // agent holds the survivors' bits. Sweep fault seeds and check the
+  // bookkeeping invariants on every outcome; require that at least one
+  // seed produced the interesting case (success with casualties).
+  Torus T(GridKind::Triangulate, 16);
+  Rng FieldRng(7);
+  InitialConfiguration Field = randomConfiguration(T, 8, FieldRng);
+  bool SawLossySuccess = false;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    World W(T);
+    SimOptions O;
+    O.MaxSteps = 1000;
+    O.Faults.DeathProbability = 0.01;
+    O.Faults.Seed = Seed;
+    W.reset(bestTriangulateAgent(), Field.Placements, O);
+    SimResult R = W.run();
+    EXPECT_EQ(R.SurvivingAgents + static_cast<int>(R.Faults.Deaths),
+              R.NumAgents);
+    EXPECT_LE(R.InformedAgents, R.SurvivingAgents);
+    if (R.Success) {
+      EXPECT_GT(R.SurvivingAgents, 0);
+      EXPECT_EQ(R.InformedAgents, R.SurvivingAgents);
+      EXPECT_EQ(R.InformedFraction, 1.0);
+      if (R.SurvivingAgents < R.NumAgents)
+        SawLossySuccess = true;
+    }
+  }
+  EXPECT_TRUE(SawLossySuccess)
+      << "no seed in 1..40 exercised survivor-based success";
+}
+
+TEST(FaultTest, CertainLinkDropCutsAllInformationFlow) {
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 60;
+  O.Faults.LinkDropProbability = 1.0;
+  W.reset(bestTriangulateAgent(), cornerPlacements(), O);
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.InformedAgents, 0);
+  for (int Id = 0; Id != W.numAgents(); ++Id)
+    EXPECT_EQ(W.agent(Id).Comm.count(), 1u)
+        << "information crossed a fully faulty channel";
+  // Every directed read of every step dropped.
+  EXPECT_EQ(R.Faults.DroppedLinks,
+            static_cast<int64_t>(W.numAgents()) * T.degree() * W.time());
+}
+
+TEST(FaultTest, LinkFilterRestrictsWhichLinksCanDrop) {
+  // Filter that never matches: rate 1.0 still drops nothing.
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 200;
+  O.Faults.LinkDropProbability = 1.0;
+  O.Faults.LinkFilter = [](const Torus &, int, uint8_t) { return false; };
+  W.reset(bestTriangulateAgent(), cornerPlacements(), O);
+  SimResult R = W.run();
+  EXPECT_EQ(R.Faults.DroppedLinks, 0);
+  EXPECT_TRUE(R.Success) << "a never-matching filter must not disturb runs";
+}
+
+TEST(FaultTest, ColorFlipsCorruptOnlyTheColorLayer) {
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 30;
+  O.Faults.ColorFlipProbability = 0.3;
+  W.reset(bestSquareAgent(), cornerPlacements(), O);
+  int NumColors = bestSquareAgent().dims().Colors;
+  for (int Step = 0; Step != 30; ++Step) {
+    if (W.step() == World::Status::Solved)
+      break;
+    for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+      int Value = W.colorValueAt(Cell);
+      EXPECT_GE(Value, 0);
+      EXPECT_LT(Value, NumColors) << "flip produced an illegal colour";
+    }
+  }
+  EXPECT_GT(W.faultStats().ColorFlips, 0);
+  EXPECT_EQ(W.faultStats().Stalls, 0);
+  EXPECT_EQ(W.faultStats().Deaths, 0);
+  EXPECT_EQ(W.faultStats().DroppedLinks, 0);
+}
+
+TEST(FaultTest, DegradationFieldsArePopulatedWithoutFaults) {
+  // Fault-free runs must still fill the degradation fields sensibly.
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 1000;
+  W.reset(bestTriangulateAgent(), cornerPlacements(), O);
+  SimResult R = W.run();
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.SurvivingAgents, R.NumAgents);
+  EXPECT_EQ(R.InformedFraction, 1.0);
+  EXPECT_EQ(R.Faults.total(), 0);
+}
+
+TEST(FaultTest, DescribeFunctionsMentionActiveProcesses) {
+  FaultModel F;
+  F.StallProbability = 0.25;
+  F.LinkDropProbability = 0.5;
+  std::string Text = describeFaultModel(F);
+  EXPECT_NE(Text.find("stall"), std::string::npos);
+  EXPECT_NE(Text.find("drop"), std::string::npos);
+  FaultStats S;
+  S.Deaths = 3;
+  EXPECT_NE(describeFaultStats(S).find("3"), std::string::npos);
+}
+
+TEST(ValidatePlacementsTest, AcceptsGoodAndRejectsBadConfigurations) {
+  Torus T(GridKind::Triangulate, 16);
+  SimOptions O;
+  EXPECT_TRUE(World::validatePlacements(T, cornerPlacements(), O));
+
+  EXPECT_FALSE(World::validatePlacements(T, {}, O)) << "empty placement set";
+
+  std::vector<Placement> Duplicate = {{Coord{3, 3}, 0}, {Coord{3, 3}, 1}};
+  EXPECT_FALSE(World::validatePlacements(T, Duplicate, O));
+
+  // The torus wraps, so (19, 3) is (3, 3) again: still a duplicate.
+  std::vector<Placement> Wrapped = {{Coord{3, 3}, 0}, {Coord{19, 3}, 1}};
+  EXPECT_FALSE(World::validatePlacements(T, Wrapped, O));
+
+  std::vector<Placement> BadDirection = {
+      {Coord{3, 3}, static_cast<uint8_t>(T.degree())}};
+  EXPECT_FALSE(World::validatePlacements(T, BadDirection, O));
+
+  SimOptions Obstructed;
+  Obstructed.Obstacles = {Coord{5, 5}};
+  std::vector<Placement> OnObstacle = {{Coord{5, 5}, 0}};
+  EXPECT_FALSE(World::validatePlacements(T, OnObstacle, Obstructed));
+  std::vector<Placement> NextToObstacle = {{Coord{6, 5}, 0}};
+  EXPECT_TRUE(World::validatePlacements(T, NextToObstacle, Obstructed));
+}

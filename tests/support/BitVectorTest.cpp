@@ -137,3 +137,28 @@ TEST(BitVectorTest, Equality) {
   B.set(7);
   EXPECT_EQ(A, B);
 }
+
+TEST(BitVectorTest, ContainsIsSubsetTest) {
+  BitVector Full(130), Sub(130);
+  for (size_t I = 0; I < 130; I += 3)
+    Full.set(I);
+  for (size_t I = 0; I < 130; I += 6)
+    Sub.set(I);
+  EXPECT_TRUE(Full.contains(Sub));
+  EXPECT_FALSE(Sub.contains(Full));
+  // Every vector contains itself and the empty vector.
+  EXPECT_TRUE(Full.contains(Full));
+  EXPECT_TRUE(Full.contains(BitVector(130)));
+  EXPECT_TRUE(BitVector(130).contains(BitVector(130)));
+}
+
+TEST(BitVectorTest, ContainsCatchesHighWordBits) {
+  // A stray bit past the first 64-bit word must break containment.
+  BitVector A(100), B(100);
+  A.setAll();
+  A.reset(99);
+  B.set(99);
+  EXPECT_FALSE(A.contains(B));
+  A.set(99);
+  EXPECT_TRUE(A.contains(B));
+}

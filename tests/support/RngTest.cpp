@@ -5,7 +5,9 @@
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <array>
 #include <set>
+#include <vector>
 
 using namespace ca2a;
 
@@ -164,4 +166,32 @@ TEST(RngTest, SampleDistinctFullRange) {
   std::vector<uint32_t> Sample = R.sampleDistinct(16, 16);
   std::set<uint32_t> Unique(Sample.begin(), Sample.end());
   EXPECT_EQ(Unique.size(), 16u);
+}
+
+TEST(RngTest, StateRoundTripResumesSequence) {
+  Rng A(97);
+  for (int I = 0; I != 57; ++I)
+    A.nextU64();
+  std::array<uint64_t, 4> Saved = A.state();
+  std::vector<uint64_t> Expected;
+  for (int I = 0; I != 100; ++I)
+    Expected.push_back(A.nextU64());
+  Rng B(1); // Seed is irrelevant once the state is overwritten.
+  B.setState(Saved);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(B.nextU64(), Expected[static_cast<size_t>(I)]) << "draw " << I;
+}
+
+TEST(RngTest, StateRoundTripCoversAllDrawKinds) {
+  // bernoulli / uniformInt / uniformReal consume state in their own ways;
+  // a restored clone must agree on all of them.
+  Rng A(123);
+  A.uniformInt(1000);
+  Rng B(1);
+  B.setState(A.state());
+  for (int I = 0; I != 200; ++I) {
+    EXPECT_EQ(A.bernoulli(0.3), B.bernoulli(0.3));
+    EXPECT_EQ(A.uniformInt(17), B.uniformInt(17));
+    EXPECT_EQ(A.uniformReal(), B.uniformReal());
+  }
 }

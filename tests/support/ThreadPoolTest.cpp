@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 using namespace ca2a;
@@ -49,6 +50,59 @@ TEST(ThreadPoolTest, DestructorJoinsWithPendingWork) {
   // All threads joined; no further increments can happen.
   int Snapshot = Counter.load();
   EXPECT_EQ(Snapshot, Counter.load());
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWait) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsAndOthersAreDropped) {
+  ThreadPool Pool(1); // One worker: deterministic task order.
+  Pool.submit([] { throw std::runtime_error("first"); });
+  Pool.submit([] { throw std::logic_error("second"); });
+  try {
+    Pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
+  // The second exception was dropped; the pool is clean again.
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterException) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait(); // Must not rethrow again.
+  EXPECT_EQ(Counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotStopOtherTasks) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I != 20; ++I)
+    Pool.submit([&Counter, I] {
+      if (I == 3)
+        throw std::runtime_error("one bad task");
+      ++Counter;
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Counter.load(), 19);
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsPendingException) {
+  {
+    ThreadPool Pool(2);
+    Pool.submit([] { throw std::runtime_error("never observed"); });
+    // No wait(): the destructor must join cleanly, not terminate.
+  }
+  SUCCEED();
 }
 
 TEST(ParallelForTest, CoversEveryIndexOnce) {
