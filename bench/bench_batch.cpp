@@ -1,0 +1,246 @@
+//===- bench/bench_batch.cpp - P2: batched-engine throughput --------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Replica-throughput comparison of the reference World engine and the
+// batched SoA engine on the paper's 16x16 field: many random initial
+// configurations of the best published agent, each simulated to
+// completion by both engines. The harness verifies the batch results are
+// bit-identical to the reference before trusting any timing, then writes
+// the numbers to a machine-readable JSON file (BENCH_engine.json) so the
+// perf trajectory of the engine is tracked across commits.
+//
+// Exit status: 0 when every batch result matches the reference exactly,
+// 1 otherwise. Speed itself is not gated here (machine-dependent); the
+// JSON carries the measured speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Iterations a finished run executed: the solving iteration counts, an
+/// unsolved (fault-free) run hits the cutoff.
+int64_t stepsOf(const SimResult &R, int MaxSteps) {
+  return R.Success ? static_cast<int64_t>(R.TComm) + 1
+                   : static_cast<int64_t>(MaxSteps);
+}
+
+struct Measurement {
+  double Seconds = 0.0;
+  int64_t Steps = 0;
+  size_t Replicas = 0;
+
+  double replicasPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(Replicas) / Seconds : 0.0;
+  }
+  double stepsPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(Steps) / Seconds : 0.0;
+  }
+};
+
+void printJsonMeasurement(std::FILE *Out, const char *Key,
+                          const Measurement &M, size_t Workers) {
+  std::fprintf(Out,
+               "  \"%s\": {\"workers\": %zu, \"seconds\": %.6f, "
+               "\"replicas_per_sec\": %.1f, \"steps_per_sec\": %.1f}",
+               Key, Workers, M.Seconds, M.replicasPerSec(), M.stepsPerSec());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  int64_t Side = 16;
+  int64_t NumAgents = 16;
+  int64_t NumReplicas = 2000;
+  int64_t MaxSteps = 200;
+  int64_t Seed = 20130101;
+  int64_t Workers = 0; // 0: hardware concurrency.
+  std::string JsonPath = "BENCH_engine.json";
+  CommandLine CL("bench_batch",
+                 "P2: replica throughput, batch engine vs reference World");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addInt("side", "field side length", &Side);
+  CL.addInt("agents", "agents per replica", &NumAgents);
+  CL.addInt("replicas", "random initial configurations", &NumReplicas);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "field-generation seed", &Seed);
+  CL.addInt("workers", "batch worker threads (0: hardware)", &Workers);
+  CL.addString("json", "machine-readable output file", &JsonPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+  if (Side < 2 || Side > 1024 || NumReplicas <= 0 || MaxSteps < 0 ||
+      NumAgents <= 0 || NumAgents > Side * Side) {
+    std::fprintf(stderr,
+                 "error: need side in [2, 1024], replicas > 0, "
+                 "max-steps >= 0 and 0 < agents <= side^2\n");
+    return 1;
+  }
+  if (Workers <= 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Workers = HW ? static_cast<int64_t>(HW) : 1;
+  }
+
+  Torus T(Kind, static_cast<int>(Side));
+  Genome G = bestAgent(Kind);
+  SimOptions O;
+  O.MaxSteps = static_cast<int>(MaxSteps);
+
+  // Independent random fields, one per replica.
+  Rng FieldRng(static_cast<uint64_t>(Seed));
+  std::vector<std::vector<Placement>> Fields(
+      static_cast<size_t>(NumReplicas));
+  for (auto &F : Fields)
+    F = randomConfiguration(T, static_cast<int>(NumAgents), FieldRng)
+            .Placements;
+
+  std::printf("== P2: batch engine throughput — %s-grid %lldx%lld, k=%lld, "
+              "%lld replicas, cutoff %lld ==\n\n",
+              gridKindName(Kind), static_cast<long long>(Side),
+              static_cast<long long>(Side),
+              static_cast<long long>(NumAgents),
+              static_cast<long long>(NumReplicas),
+              static_cast<long long>(MaxSteps));
+
+  // Reference engine: one World, sequential reset+run per replica (the
+  // pattern every current caller uses).
+  std::vector<SimResult> Reference(Fields.size());
+  Measurement RefM;
+  {
+    World W(T);
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      W.reset(G, Fields[I], O);
+      Reference[I] = W.run();
+    }
+    RefM.Seconds = secondsSince(Start);
+  }
+  RefM.Replicas = Fields.size();
+  for (const SimResult &R : Reference)
+    RefM.Steps += stepsOf(R, O.MaxSteps);
+
+  // Batch engine, single worker and full fan-out.
+  BatchEngine Engine(T);
+  std::vector<BatchReplica> Replicas(Fields.size());
+  for (size_t I = 0; I != Fields.size(); ++I) {
+    Replicas[I].A = &G;
+    Replicas[I].Placements = &Fields[I];
+    Replicas[I].Options = &O;
+  }
+  auto MeasureBatch = [&](size_t NumWorkers, std::vector<SimResult> &Out) {
+    BatchRunOptions RunOptions;
+    RunOptions.NumWorkers = NumWorkers;
+    auto Start = std::chrono::steady_clock::now();
+    Out = Engine.run(Replicas, RunOptions);
+    Measurement M;
+    M.Seconds = secondsSince(Start);
+    M.Replicas = Out.size();
+    for (const SimResult &R : Out)
+      M.Steps += stepsOf(R, O.MaxSteps);
+    return M;
+  };
+  std::vector<SimResult> Batch1, BatchN;
+  Measurement Batch1M = MeasureBatch(1, Batch1);
+  Measurement BatchNM = MeasureBatch(static_cast<size_t>(Workers), BatchN);
+
+  // Bit-identity gate: timing of a wrong engine is worthless.
+  size_t Mismatches = 0;
+  for (size_t I = 0; I != Fields.size(); ++I) {
+    if (Batch1[I] != Reference[I] || BatchN[I] != Reference[I]) {
+      if (++Mismatches <= 5)
+        std::fprintf(stderr,
+                     "MISMATCH replica %zu: reference {success %d, t %d, "
+                     "informed %d} batch1 {%d, %d, %d} batchN {%d, %d, %d}\n",
+                     I, Reference[I].Success, Reference[I].TComm,
+                     Reference[I].InformedAgents, Batch1[I].Success,
+                     Batch1[I].TComm, Batch1[I].InformedAgents,
+                     BatchN[I].Success, BatchN[I].TComm,
+                     BatchN[I].InformedAgents);
+    }
+  }
+
+  double Speedup1 = RefM.Seconds > 0.0 && Batch1M.Seconds > 0.0
+                        ? RefM.Seconds / Batch1M.Seconds
+                        : 0.0;
+  double SpeedupN = RefM.Seconds > 0.0 && BatchNM.Seconds > 0.0
+                        ? RefM.Seconds / BatchNM.Seconds
+                        : 0.0;
+
+  std::printf("reference:        %8.1f replicas/s  %10.0f steps/s  (%.3fs)\n",
+              RefM.replicasPerSec(), RefM.stepsPerSec(), RefM.Seconds);
+  std::printf("batch (1 worker): %8.1f replicas/s  %10.0f steps/s  (%.3fs)  "
+              "%.2fx\n",
+              Batch1M.replicasPerSec(), Batch1M.stepsPerSec(),
+              Batch1M.Seconds, Speedup1);
+  std::printf("batch (%lld workers): %6.1f replicas/s  %10.0f steps/s  "
+              "(%.3fs)  %.2fx\n",
+              static_cast<long long>(Workers), BatchNM.replicasPerSec(),
+              BatchNM.stepsPerSec(), BatchNM.Seconds, SpeedupN);
+  std::printf("bit-identical to reference: %s\n",
+              Mismatches == 0 ? "yes" : "NO");
+
+  if (std::FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(Out, "{\n");
+    std::fprintf(Out,
+                 "  \"bench\": \"bench_batch\",\n  \"grid\": \"%s\",\n"
+                 "  \"side\": %lld,\n  \"agents\": %lld,\n"
+                 "  \"replicas\": %lld,\n  \"max_steps\": %lld,\n"
+                 "  \"seed\": %lld,\n",
+                 gridKindName(Kind), static_cast<long long>(Side),
+                 static_cast<long long>(NumAgents),
+                 static_cast<long long>(NumReplicas),
+                 static_cast<long long>(MaxSteps),
+                 static_cast<long long>(Seed));
+    printJsonMeasurement(Out, "reference", RefM, 1);
+    std::fprintf(Out, ",\n");
+    printJsonMeasurement(Out, "batch_serial", Batch1M, 1);
+    std::fprintf(Out, ",\n");
+    printJsonMeasurement(Out, "batch_parallel", BatchNM,
+                         static_cast<size_t>(Workers));
+    std::fprintf(Out, ",\n");
+    std::fprintf(Out, "  \"speedup_serial\": %.3f,\n", Speedup1);
+    std::fprintf(Out, "  \"speedup_parallel\": %.3f,\n", SpeedupN);
+    std::fprintf(Out, "  \"bit_identical\": %s\n",
+                 Mismatches == 0 ? "true" : "false");
+    std::fprintf(Out, "}\n");
+    std::fclose(Out);
+    std::printf("json written to %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  return Mismatches == 0 ? 0 : 1;
+}

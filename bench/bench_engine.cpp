@@ -78,11 +78,36 @@ void BM_PackedExchange(benchmark::State &State, GridKind Kind) {
   State.SetItemsProcessed(State.iterations() * T.numCells());
 }
 
-void BM_FitnessEvaluation(benchmark::State &State, GridKind Kind) {
+void BM_BatchFullRun(benchmark::State &State, GridKind Kind) {
+  // Batch counterpart of BM_FullRun: same fields through BatchEngine.
+  int NumAgents = static_cast<int>(State.range(0));
+  Torus T(Kind, 16);
+  BatchEngine Engine(T);
+  SimOptions O;
+  O.MaxSteps = 5000;
+  Genome G = bestAgent(Kind);
+  std::vector<Placement> P = firstKCells(T, NumAgents, 43);
+  std::vector<BatchReplica> Replicas(1);
+  Replicas[0].A = &G;
+  Replicas[0].Placements = &P;
+  Replicas[0].Options = &O;
+  int64_t TotalSteps = 0;
+  for (auto _ : State) {
+    std::vector<SimResult> R = Engine.run(Replicas);
+    benchmark::DoNotOptimize(R);
+    TotalSteps += R[0].Success ? R[0].TComm : O.MaxSteps;
+  }
+  State.counters["steps/run"] = static_cast<double>(TotalSteps) /
+                                static_cast<double>(State.iterations());
+}
+
+void BM_FitnessEvaluation(benchmark::State &State, GridKind Kind,
+                          EngineKind Engine) {
   Torus T(Kind, 16);
   auto Fields = standardConfigurationSet(T, 8, 20, 7);
   FitnessParams P;
   P.Sim.MaxSteps = 200;
+  P.Engine = Engine;
   for (auto _ : State) {
     FitnessResult R = evaluateFitness(bestAgent(Kind), T, Fields, P);
     benchmark::DoNotOptimize(R);
@@ -112,6 +137,15 @@ BENCHMARK_CAPTURE(BM_FullRun, Triangulate, GridKind::Triangulate)
     ->Arg(8)->Arg(16);
 BENCHMARK_CAPTURE(BM_PackedExchange, Square, GridKind::Square);
 BENCHMARK_CAPTURE(BM_PackedExchange, Triangulate, GridKind::Triangulate);
-BENCHMARK_CAPTURE(BM_FitnessEvaluation, Square, GridKind::Square);
-BENCHMARK_CAPTURE(BM_FitnessEvaluation, Triangulate, GridKind::Triangulate);
+BENCHMARK_CAPTURE(BM_BatchFullRun, Square, GridKind::Square)->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_BatchFullRun, Triangulate, GridKind::Triangulate)
+    ->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Square, GridKind::Square,
+                  EngineKind::Reference);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Triangulate, GridKind::Triangulate,
+                  EngineKind::Reference);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Square_Batch, GridKind::Square,
+                  EngineKind::Batch);
+BENCHMARK_CAPTURE(BM_FitnessEvaluation, Triangulate_Batch,
+                  GridKind::Triangulate, EngineKind::Batch);
 BENCHMARK(BM_Mutation);

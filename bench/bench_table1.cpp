@@ -40,6 +40,7 @@ int main(int Argc, char **Argv) {
   int64_t MaxSteps = 5000;
   int64_t Seed = 20130101;
   std::string CsvPath;
+  std::string EngineName = "reference";
   CommandLine CL("bench_table1",
                  "Reproduces Table 1 / Fig. 5 (t_comm vs N_agents, S vs T)");
   CL.addInt("fields", "random fields per density (paper: 1000)",
@@ -47,6 +48,7 @@ int main(int Argc, char **Argv) {
   CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
   CL.addInt("seed", "field-generation seed", &Seed);
   CL.addString("csv", "also write results to this CSV file", &CsvPath);
+  CL.addString("engine", "simulation engine: reference | batch", &EngineName);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -56,6 +58,12 @@ int main(int Argc, char **Argv) {
     std::printf("%s", CL.usage().c_str());
     return 0;
   }
+  EngineKind Engine = EngineKind::Reference;
+  if (!parseEngineKind(EngineName, Engine)) {
+    std::fprintf(stderr, "error: unknown engine '%s' (reference | batch)\n",
+                 EngineName.c_str());
+    return 1;
+  }
 
   SweepParams Params;
   Params.SideLength = 16;
@@ -63,6 +71,7 @@ int main(int Argc, char **Argv) {
   Params.NumRandomFields = static_cast<int>(NumRandomFields);
   Params.FieldSeed = static_cast<uint64_t>(Seed);
   Params.Fitness.Sim.MaxSteps = static_cast<int>(MaxSteps);
+  Params.Fitness.Engine = Engine;
 
   std::printf("== E1: Table 1 / Fig. 5 — mean t_comm on 16x16, %lld random "
               "fields + manual designs per density ==\n\n",

@@ -42,6 +42,7 @@ int main(int Argc, char **Argv) {
   std::string CheckpointDir;
   bool Resume = false;
   int64_t CheckpointEvery = 1;
+  std::string EngineName = "reference";
   CommandLine CL("pipeline",
                  "Sect. 4 end-to-end: evolve, filter, rank, select");
   CL.addString("grid", "S or T", &GridName);
@@ -62,6 +63,8 @@ int main(int Argc, char **Argv) {
              &Resume);
   CL.addInt("checkpoint-every", "generations between checkpoint saves",
             &CheckpointEvery);
+  CL.addString("engine", "simulation engine: reference | batch "
+               "(bit-identical results)", &EngineName);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -75,6 +78,12 @@ int main(int Argc, char **Argv) {
   if (!parseGridKind(GridName, Kind)) {
     std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
                  GridName.c_str());
+    return 1;
+  }
+  EngineKind Engine = EngineKind::Reference;
+  if (!parseEngineKind(EngineName, Engine)) {
+    std::fprintf(stderr, "error: unknown engine '%s' (reference | batch)\n",
+                 EngineName.c_str());
     return 1;
   }
 
@@ -91,6 +100,7 @@ int main(int Argc, char **Argv) {
   Params.CheckpointDir = CheckpointDir;
   Params.Resume = Resume;
   Params.CheckpointEvery = static_cast<int>(CheckpointEvery);
+  Params.Engine = Engine;
 
   std::printf("pipeline on the %s-grid: %lld runs x %lld generations, "
               "%lld training fields, filter over k = {2,4,8,16,32,256}\n\n",

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Line-coverage report of the full test suite (slow label included).
+#
+# Builds with gcov instrumentation, runs ctest twice (default set, then
+# `-L slow` for the heavy contracts such as the 200-configuration batch
+# differential sweep), and captures an lcov report restricted to src/.
+# Produces, under build-coverage/:
+#   coverage.info         lcov tracefile
+#   coverage-html/        browsable per-file report (when genhtml exists)
+#   coverage-badge.json   shields.io "endpoint" badge payload
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v lcov >/dev/null 2>&1 || {
+  echo "error: lcov not installed (apt-get install lcov)" >&2
+  exit 1
+}
+
+BUILD=build-coverage
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+cmake -B "$BUILD" "${GENERATOR[@]}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage -O0 -g"
+cmake --build "$BUILD" -j
+lcov --zerocounters --directory "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure -j
+ctest --test-dir "$BUILD" --output-on-failure -L slow
+
+lcov --capture --directory "$BUILD" --output-file "$BUILD/coverage-all.info" \
+  --rc branch_coverage=0 --ignore-errors mismatch,negative,unused 2>/dev/null ||
+  lcov --capture --directory "$BUILD" --output-file "$BUILD/coverage-all.info"
+# Only the library sources count; tests, benches and system headers don't.
+lcov --extract "$BUILD/coverage-all.info" "*/src/*" \
+  --output-file "$BUILD/coverage.info"
+lcov --list "$BUILD/coverage.info"
+
+# Percentage for the badge: lines hit / lines found over src/.
+PCT=$(lcov --summary "$BUILD/coverage.info" 2>&1 |
+  sed -n 's/.*lines\.*: *\([0-9.]*\)%.*/\1/p' | head -n1)
+PCT=${PCT:-0}
+cat >"$BUILD/coverage-badge.json" <<EOF
+{"schemaVersion": 1, "label": "coverage", "message": "${PCT}%", "color": "blue"}
+EOF
+echo "line coverage (src/): ${PCT}%"
+
+if command -v genhtml >/dev/null 2>&1; then
+  genhtml "$BUILD/coverage.info" --output-directory "$BUILD/coverage-html" \
+    >/dev/null
+  echo "html report: $BUILD/coverage-html/index.html"
+fi

@@ -35,6 +35,37 @@ ca2a::evaluateFitness(const Genome &G, const Torus &T,
 
   size_t NumWorkers = std::max<size_t>(1, Params.NumWorkers);
   NumWorkers = std::min(NumWorkers, Fields.size());
+
+  if (Params.Engine == EngineKind::Batch) {
+    // One replica per field; the engine owns the fan-out. Results come
+    // back in field order, so the accumulation below is deterministic
+    // (and identical to the reference path's NumWorkers=1 order).
+    std::vector<BatchReplica> Replicas(Fields.size());
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      Replicas[I].A = &G;
+      Replicas[I].Placements = &Fields[I].Placements;
+      Replicas[I].Options = &Params.Sim;
+    }
+    BatchEngine Engine(T);
+    BatchRunOptions RunOptions;
+    RunOptions.NumWorkers = NumWorkers;
+    std::vector<SimResult> Results = Engine.run(Replicas, RunOptions);
+    double FitnessSum = 0.0, SolvedTimeSum = 0.0;
+    for (const SimResult &Result : Results) {
+      FitnessSum += fitnessOfRun(Result, Params.Sim.MaxSteps, Params.Weight);
+      if (Result.Success) {
+        ++Out.SolvedFields;
+        SolvedTimeSum += static_cast<double>(Result.TComm);
+      }
+    }
+    Out.Fitness = FitnessSum / static_cast<double>(Fields.size());
+    Out.MeanCommTime =
+        Out.SolvedFields
+            ? SolvedTimeSum / static_cast<double>(Out.SolvedFields)
+            : 0.0;
+    return Out;
+  }
+
   size_t ChunkSize = (Fields.size() + NumWorkers - 1) / NumWorkers;
   size_t NumChunks = (Fields.size() + ChunkSize - 1) / ChunkSize;
 

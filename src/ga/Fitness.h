@@ -24,6 +24,7 @@
 #define CA2A_GA_FITNESS_H
 
 #include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
 
 #include <vector>
 
@@ -34,6 +35,10 @@ struct FitnessParams {
   SimOptions Sim;            ///< MaxSteps / start states / colour switch.
   double Weight = 1e4;       ///< The dominance weight W.
   size_t NumWorkers = 1;     ///< Threads for the per-field loop.
+  /// Which engine simulates the fields. Batch is bit-identical to the
+  /// reference (the differential suite enforces it) but several times
+  /// faster, so fitness numbers do not depend on this switch.
+  EngineKind Engine = EngineKind::Reference;
 };
 
 /// Aggregate outcome of evaluating one genome on a field set.

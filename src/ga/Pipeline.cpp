@@ -40,6 +40,7 @@ PipelineResult ca2a::runSelectionPipeline(
     Emit(Start);
 
     EvolutionParams RunParams = Params.Evolution;
+    RunParams.Fitness.Engine = Params.Engine;
     RunParams.Seed = Params.Evolution.Seed * 6364136223846793005ULL +
                      static_cast<uint64_t>(Run) + 1;
 
@@ -136,9 +137,11 @@ PipelineResult ca2a::runSelectionPipeline(
   }
 
   // Stage 3: reliability filter.
+  ReliabilityParams ReliabilityRun = Params.Reliability;
+  ReliabilityRun.Fitness.Engine = Params.Engine;
   for (size_t I = 0; I != Candidates.size(); ++I) {
     Candidates[I].Report = testReliability(Candidates[I].G, T,
-                                           Params.Reliability);
+                                           ReliabilityRun);
     PipelineProgress P;
     P.S = PipelineProgress::Stage::CandidateTested;
     P.CandidateIndex = static_cast<int>(I);

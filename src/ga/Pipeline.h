@@ -42,6 +42,11 @@ struct PipelineParams {
   uint64_t TrainingFieldSeed = 20130101;
   EvolutionParams Evolution;    ///< Seed is re-derived per run.
   ReliabilityParams Reliability;
+  /// Engine for every simulation in the pipeline (training fitness and
+  /// reliability filter). Overrides the engine fields nested inside
+  /// Evolution/Reliability so one CLI flag switches the whole pipeline;
+  /// results are bit-identical either way.
+  EngineKind Engine = EngineKind::Reference;
 
   // Crash safety (ga/Checkpoint.h). With a non-empty CheckpointDir every
   // run saves its state to "<dir>/run<i>.ckpt" every CheckpointEvery

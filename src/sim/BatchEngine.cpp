@@ -1,0 +1,839 @@
+//===- sim/BatchEngine.cpp - Batched SoA CA simulation engine -------------===//
+//
+// The replica core below is a line-for-line semantic port of World's
+// injectFaults / exchangeCommunication / applyActions / run, restructured
+// into flat arrays. Every RNG draw happens in the same order with the same
+// arguments as in World, so one fault seed produces one identical faulty
+// trajectory in both engines — the property the differential suite pins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BatchEngine.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+
+using namespace ca2a;
+
+const char *ca2a::engineKindName(EngineKind K) {
+  return K == EngineKind::Reference ? "reference" : "batch";
+}
+
+bool ca2a::parseEngineKind(const std::string &Text, EngineKind &K) {
+  std::string Lower = Text;
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "reference" || Lower == "ref" || Lower == "world") {
+    K = EngineKind::Reference;
+    return true;
+  }
+  if (Lower == "batch") {
+    K = EngineKind::Batch;
+    return true;
+  }
+  return false;
+}
+
+BatchEngine::BatchEngine(const Torus &T) : T(T) {
+  BoundaryMask.resize(static_cast<size_t>(T.numCells()), 0);
+  int Degree = T.degree();
+  for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+    uint8_t Mask = 0;
+    for (int D = 0; D != Degree; ++D)
+      if (T.crossesBoundary(Cell, static_cast<uint8_t>(D)))
+        Mask |= static_cast<uint8_t>(1u << D);
+    BoundaryMask[static_cast<size_t>(Cell)] = Mask;
+  }
+  for (uint8_t Dir = 0; Dir != static_cast<uint8_t>(Degree); ++Dir)
+    for (uint8_t Code = 0; Code != NumTurnCodes; ++Code)
+      TurnMap[Dir][Code] = applyTurn(T.kind(), Dir, static_cast<Turn>(Code));
+  if (T.numCells() <= INT16_MAX) {
+    size_t TableSize =
+        static_cast<size_t>(T.numCells()) * static_cast<size_t>(Degree);
+    const int32_t *Wide = T.neighbors(0);
+    Neighbors16.resize(TableSize);
+    for (size_t I = 0; I != TableSize; ++I)
+      Neighbors16[I] = static_cast<int16_t>(Wide[I]);
+  }
+}
+
+namespace {
+
+/// One genome slot, flattened for branch-free lookup. Compiled once per
+/// replica run (the "32-entry transition table" at paper dimensions),
+/// cached across replicas that share the same Genome object.
+struct PackedEntry {
+  uint8_t NextState = 0;
+  uint8_t Move = 0;
+  uint8_t SetColor = 0;
+  uint8_t Turn = 0;
+};
+
+/// Everything the single-word fast path touches, gathered into one struct
+/// of raw pointers so several independent replicas can be advanced in
+/// lockstep: interleaving their per-agent work fills the pipeline stalls
+/// (L1 latency, store forwarding) any single replica's dependence chains
+/// leave open.
+struct FastCtx {
+  const int16_t *NB = nullptr; ///< Narrowed neighbour table, stride DegT.
+  uint64_t *CommW = nullptr;   ///< One comm word per agent.
+  uint64_t *CellW = nullptr;   ///< Comm word of each cell's occupant (or 0).
+  int32_t *CellP = nullptr;
+  uint8_t *DirP = nullptr;
+  uint8_t *StateP = nullptr;
+  uint8_t *InformedP = nullptr;
+  uint8_t *ColorsP = nullptr;
+  int16_t *OccP = nullptr;
+  int32_t *VisitP = nullptr;
+  const uint8_t *ObstP = nullptr;
+  int32_t *ClaimP = nullptr;
+  int32_t *FrontP = nullptr;
+  int32_t *TouchedP = nullptr;
+  uint8_t *CanMoveP = nullptr;
+  PackedEntry *SelP = nullptr;
+  const PackedEntry *TabA = nullptr, *TabB = nullptr;
+  const uint8_t (*TurnMap)[4] = nullptr;
+  uint64_t Full = 0;
+  GenomePolicy Policy = GenomePolicy::Single;
+  int K = 0, St = 0, NC = 0, MaxSteps = 0;
+  bool Gaze = false, ColorsOn = false;
+  // Per-step scratch and progress.
+  const PackedEntry *TabEven = nullptr, *TabOdd = nullptr;
+  int NewInformed = 0, NumTouched = 0, Time = 0;
+  bool Done = false, Success = false;
+};
+
+/// Per-worker replica executor. Owns every scratch buffer, so consecutive
+/// replicas on one worker reuse memory instead of reallocating (World pays
+/// 2k+ BitVector allocations per reset; this pays none after warm-up).
+class ReplicaRunner {
+public:
+  ReplicaRunner(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
+                const std::vector<int16_t> &Neighbors16,
+                const uint8_t (&TurnMap)[6][4])
+      : T(T), BoundaryMask(BoundaryMask.data()), TurnMap(TurnMap),
+        NeighborBase(T.neighbors(0)),
+        Neighbor16Base(Neighbors16.empty() ? nullptr : Neighbors16.data()),
+        NumCells(T.numCells()), Degree(T.degree()) {
+    Colors.resize(static_cast<size_t>(NumCells));
+    Occupancy.resize(static_cast<size_t>(NumCells));
+    VisitCounts.resize(static_cast<size_t>(NumCells));
+    ObstacleMask.resize(static_cast<size_t>(NumCells));
+    // Both step loops restore the all-minus-one claim invariant before
+    // every early exit, so claims are initialised once, not per reset.
+    ClaimMinId.assign(static_cast<size_t>(NumCells), -1);
+    CellComm.resize(static_cast<size_t>(NumCells));
+  }
+
+  SimResult runReplica(const BatchReplica &R, int ReplicaIndex,
+                       const std::function<void(const BatchStepView &)> &OnStep,
+                       ReplicaFinalState *Final);
+
+private:
+  /// Compile + reset: ready the runner for a replica's step loop.
+  void prepare(const BatchReplica &R) {
+    compileGenomes(R);
+    reset(R);
+  }
+  /// Package the runner's terminal state as the SimResult the reference
+  /// engine would have produced.
+  SimResult finishReplica(bool Success, ReplicaFinalState *Final);
+  void compileGenomes(const BatchReplica &R);
+  void reset(const BatchReplica &R);
+  /// Specialised step loop for the dominant configuration: no faults, no
+  /// borders, k <= 64 (single comm word), no observer. \p DegT lets the
+  /// compiler unroll the neighbour-OR. Returns true with \p Result filled
+  /// on success; false at the MaxSteps cutoff.
+  template <int DegT> bool runFastSingleWord();
+  /// Bundle the fast-path pointers/parameters (and seed CellComm from the
+  /// current agent positions).
+  FastCtx makeFastCtx();
+  /// Copy a finished FastCtx's progress back into the runner.
+  void absorbFastCtx(const FastCtx &C) {
+    Time = C.Time;
+    NumInformed = C.NewInformed;
+  }
+  void injectFaults();
+  void exchange();
+  void applyActions();
+  bool rowInformedAllAlive(const uint64_t *Row) const;
+  bool rowContainsSurvivors(const uint64_t *Row) const;
+  void captureFinalState(ReplicaFinalState &Out) const;
+
+  const Torus &T;
+  const uint8_t *BoundaryMask;
+  const uint8_t (&TurnMap)[6][4];
+  const int32_t *NeighborBase;   ///< Flat neighbour table, stride = degree.
+  const int16_t *Neighbor16Base; ///< Narrowed copy; null on huge grids.
+  int NumCells;
+  int Degree;
+
+  // Compiled per replica run.
+  std::vector<PackedEntry> TableA, TableB;
+  const Genome *CachedA = nullptr; ///< Pointer-identity compile cache.
+  const Genome *CachedB = nullptr;
+  GenomePolicy Policy = GenomePolicy::Single;
+  int States = 0;
+  int NumColors = 0;
+  const SimOptions *Options = nullptr;
+
+  // Replica state, SoA.
+  int K = 0;     ///< Agents.
+  int Words = 0; ///< uint64_t words per communication row.
+  uint64_t TailMask = ~uint64_t(0);
+  std::vector<int32_t> Cell;
+  std::vector<uint8_t> Direction;
+  std::vector<uint8_t> ControlState;
+  std::vector<uint8_t> Alive;
+  std::vector<uint8_t> Informed;
+  std::vector<uint8_t> Stalled;
+  std::vector<uint64_t> Comm, CommNext; ///< K x Words, contiguous rows.
+  std::vector<uint64_t> SurvivorWords;  ///< One row: bit per live agent.
+  /// Fast path only: the comm word of the agent occupying each cell (0 for
+  /// empty cells), so the exchange ORs neighbour cells unconditionally
+  /// instead of branching on occupancy.
+  std::vector<uint64_t> CellComm;
+
+  std::vector<uint8_t> Colors;
+  std::vector<int16_t> Occupancy;
+  std::vector<int32_t> VisitCounts;
+  std::vector<uint8_t> ObstacleMask;
+
+  // Per-step scratch.
+  std::vector<int32_t> ClaimMinId;
+  std::vector<int32_t> TouchedCells;
+  std::vector<int32_t> FrontCell;
+  std::vector<uint8_t> Input;
+  std::vector<uint8_t> CanMove;
+  std::vector<uint8_t> Skip;
+  /// Fast path only: the table entry each agent will execute, resolved
+  /// against the final (blocked-corrected) input during pass 1.
+  std::vector<PackedEntry> Selected;
+
+  Rng FaultRng{0};
+  bool FaultsActive = false;
+  FaultStats Counters;
+  int NumAlive = 0;
+  int NumInformed = 0;
+  int Time = 0;
+};
+
+void ReplicaRunner::compileGenomes(const BatchReplica &R) {
+  const Genome &A = *R.A;
+  const Genome &B = R.B ? *R.B : *R.A;
+  assert(A.dims() == B.dims() && "mixed genome dimensions in one replica");
+  States = A.dims().States;
+  NumColors = A.dims().Colors;
+  auto Compile = [](const Genome &G, std::vector<PackedEntry> &Table) {
+    const GenomeDims &D = G.dims();
+    Table.resize(static_cast<size_t>(D.length()));
+    for (int I = 0; I != D.numInputs(); ++I)
+      for (int S = 0; S != D.States; ++S) {
+        const GenomeEntry &E = G.entry(I, S);
+        PackedEntry &P = Table[static_cast<size_t>(I * D.States + S)];
+        P.NextState = E.NextState;
+        P.Move = E.Act.Move ? 1 : 0;
+        P.SetColor = E.Act.SetColor;
+        P.Turn = static_cast<uint8_t>(E.Act.TurnCode);
+      }
+  };
+  if (CachedA != R.A) {
+    Compile(A, TableA);
+    CachedA = R.A;
+  }
+  const Genome *WantB = R.B ? R.B : R.A;
+  if (CachedB != WantB) {
+    Compile(B, TableB);
+    CachedB = WantB;
+  }
+  Policy = R.B ? R.Policy : GenomePolicy::Single;
+}
+
+void ReplicaRunner::reset(const BatchReplica &R) {
+  const SimOptions &O = *R.Options;
+  Options = &O;
+  Time = 0;
+
+  FaultsActive = O.Faults.any();
+  FaultRng = Rng(O.Faults.Seed);
+  Counters = FaultStats();
+
+  std::fill(ObstacleMask.begin(), ObstacleMask.end(), 0);
+  for (Coord Obstacle : O.Obstacles)
+    ObstacleMask[static_cast<size_t>(T.indexOf(Obstacle))] = 1;
+
+  std::fill(Colors.begin(), Colors.end(), 0);
+  std::fill(Occupancy.begin(), Occupancy.end(), int16_t(-1));
+  std::fill(VisitCounts.begin(), VisitCounts.end(), 0);
+
+  const std::vector<Placement> &Placements = *R.Placements;
+  K = static_cast<int>(Placements.size());
+  TouchedCells.assign(static_cast<size_t>(K), 0); // >= max claims per step.
+  assert(K >= 1 && K <= NumCells && "replica agent count out of range");
+  Words = (K + 63) / 64;
+  TailMask = (K % 64) ? ((uint64_t(1) << (K % 64)) - 1) : ~uint64_t(0);
+
+  size_t SK = static_cast<size_t>(K);
+  Cell.resize(SK);
+  Direction.resize(SK);
+  ControlState.resize(SK);
+  Alive.assign(SK, 1);
+  Informed.assign(SK, K == 1 ? 1 : 0);
+  Stalled.assign(SK, 0);
+  FrontCell.resize(SK);
+  Input.resize(SK);
+  CanMove.resize(SK);
+  Selected.resize(SK);
+  Skip.resize(SK);
+  Comm.assign(SK * static_cast<size_t>(Words), 0);
+  CommNext.assign(SK * static_cast<size_t>(Words), 0);
+  SurvivorWords.assign(static_cast<size_t>(Words), ~uint64_t(0));
+  SurvivorWords[static_cast<size_t>(Words) - 1] = TailMask;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const Placement &P = Placements[static_cast<size_t>(Id)];
+    int C = T.indexOf(P.Pos);
+    assert(P.Direction < Degree && "placement direction out of range");
+    assert(Occupancy[static_cast<size_t>(C)] < 0 &&
+           "two agents placed on one cell");
+    assert(!ObstacleMask[static_cast<size_t>(C)] &&
+           "agent placed on an obstacle");
+    Cell[static_cast<size_t>(Id)] = C;
+    Direction[static_cast<size_t>(Id)] = P.Direction;
+    ControlState[static_cast<size_t>(Id)] = O.Start.stateFor(Id);
+    Comm[static_cast<size_t>(Id) * Words + static_cast<size_t>(Id) / 64] |=
+        uint64_t(1) << (Id % 64);
+    Occupancy[static_cast<size_t>(C)] = static_cast<int16_t>(Id);
+    ++VisitCounts[static_cast<size_t>(C)];
+  }
+  NumAlive = K;
+  NumInformed = (K == 1) ? 1 : 0;
+}
+
+void ReplicaRunner::injectFaults() {
+  // Mirrors World::injectFaults draw-for-draw: deaths, stalls, colour
+  // flips, in agent/cell order; zero-probability processes draw nothing.
+  const FaultModel &F = Options->Faults;
+  if (F.DeathProbability > 0.0) {
+    for (int Id = 0; Id != K; ++Id) {
+      if (!Alive[static_cast<size_t>(Id)] ||
+          !FaultRng.bernoulli(F.DeathProbability))
+        continue;
+      Alive[static_cast<size_t>(Id)] = 0;
+      Informed[static_cast<size_t>(Id)] = 0;
+      Occupancy[static_cast<size_t>(Cell[static_cast<size_t>(Id)])] = -1;
+      SurvivorWords[static_cast<size_t>(Id) / 64] &=
+          ~(uint64_t(1) << (Id % 64));
+      --NumAlive;
+      ++Counters.Deaths;
+    }
+  }
+  if (F.StallProbability > 0.0) {
+    for (int Id = 0; Id != K; ++Id) {
+      Stalled[static_cast<size_t>(Id)] =
+          Alive[static_cast<size_t>(Id)] &&
+                  FaultRng.bernoulli(F.StallProbability)
+              ? 1
+              : 0;
+      Counters.Stalls += Stalled[static_cast<size_t>(Id)];
+    }
+  }
+  if (F.ColorFlipProbability > 0.0 && Options->ColorsEnabled) {
+    for (size_t C = 0, E = Colors.size(); C != E; ++C) {
+      if (!FaultRng.bernoulli(F.ColorFlipProbability))
+        continue;
+      int Replacement = static_cast<int>(
+          FaultRng.uniformInt(static_cast<uint64_t>(NumColors - 1)));
+      if (Replacement >= Colors[C])
+        ++Replacement;
+      Colors[C] = static_cast<uint8_t>(Replacement);
+      ++Counters.ColorFlips;
+    }
+  }
+}
+
+bool ReplicaRunner::rowInformedAllAlive(const uint64_t *Row) const {
+  for (int W = 0; W != Words - 1; ++W)
+    if (Row[W] != ~uint64_t(0))
+      return false;
+  return Row[Words - 1] == TailMask;
+}
+
+bool ReplicaRunner::rowContainsSurvivors(const uint64_t *Row) const {
+  for (int W = 0; W != Words; ++W)
+    if ((Row[W] & SurvivorWords[static_cast<size_t>(W)]) !=
+        SurvivorWords[static_cast<size_t>(W)])
+      return false;
+  return true;
+}
+
+void ReplicaRunner::exchange() {
+  const SimOptions &O = *Options;
+  const FaultModel &F = O.Faults;
+  bool DropsActive = FaultsActive && F.LinkDropProbability > 0.0;
+  bool Bordered = O.Bordered;
+  const int W = Words;
+  for (int Id = 0; Id != K; ++Id) {
+    uint64_t *Next = &CommNext[static_cast<size_t>(Id) * W];
+    const uint64_t *Own = &Comm[static_cast<size_t>(Id) * W];
+    std::memcpy(Next, Own, static_cast<size_t>(W) * sizeof(uint64_t));
+    if (!Alive[static_cast<size_t>(Id)])
+      continue; // Frozen vector: dead agents neither read nor are read.
+    int C = Cell[static_cast<size_t>(Id)];
+    const int32_t *Neighbors = &NeighborBase[static_cast<size_t>(C) * Degree];
+    uint8_t Seam = Bordered ? BoundaryMask[static_cast<size_t>(C)] : 0;
+    for (int D = 0; D != Degree; ++D) {
+      if (Bordered && ((Seam >> D) & 1))
+        continue;
+      if (DropsActive &&
+          (!F.LinkFilter ||
+           F.LinkFilter(T, C, static_cast<uint8_t>(D))) &&
+          FaultRng.bernoulli(F.LinkDropProbability)) {
+        ++Counters.DroppedLinks;
+        continue;
+      }
+      int NeighborAgent = Occupancy[static_cast<size_t>(Neighbors[D])];
+      if (NeighborAgent >= 0) {
+        const uint64_t *Src =
+            &Comm[static_cast<size_t>(NeighborAgent) * W];
+        for (int I = 0; I != W; ++I)
+          Next[I] |= Src[I];
+      }
+    }
+  }
+  std::swap(Comm, CommNext);
+  NumInformed = 0;
+  if (NumAlive == K) {
+    for (int Id = 0; Id != K; ++Id) {
+      bool Inf = rowInformedAllAlive(&Comm[static_cast<size_t>(Id) * W]);
+      Informed[static_cast<size_t>(Id)] = Inf;
+      NumInformed += Inf;
+    }
+  } else {
+    for (int Id = 0; Id != K; ++Id) {
+      if (!Alive[static_cast<size_t>(Id)])
+        continue; // Stays uninformed; flag was cleared at death.
+      bool Inf = rowContainsSurvivors(&Comm[static_cast<size_t>(Id) * W]);
+      Informed[static_cast<size_t>(Id)] = Inf;
+      NumInformed += Inf;
+    }
+  }
+}
+
+void ReplicaRunner::applyActions() {
+  const SimOptions &O = *Options;
+  bool Bordered = O.Bordered;
+  bool Gaze = O.Arbitration == ArbitrationMode::GazePriority;
+
+  // Table selection per World::activeGenome: TimeShuffle swaps both slots
+  // per step; SpeciesParity splits by ID parity; Single uses A throughout.
+  const PackedEntry *TabEven = TableA.data();
+  const PackedEntry *TabOdd = TableA.data();
+  if (Policy == GenomePolicy::TimeShuffle && (Time % 2)) {
+    TabEven = TableB.data();
+    TabOdd = TableB.data();
+  } else if (Policy == GenomePolicy::SpeciesParity) {
+    TabOdd = TableB.data();
+  }
+
+  // Pass 1a: observations and move requests under the blocked=0 hypothesis.
+  TouchedCells.clear();
+  for (int Id = 0; Id != K; ++Id) {
+    bool Skipped =
+        FaultsActive &&
+        (!Alive[static_cast<size_t>(Id)] || Stalled[static_cast<size_t>(Id)]);
+    Skip[static_cast<size_t>(Id)] = Skipped;
+    if (Skipped)
+      continue;
+    int C = Cell[static_cast<size_t>(Id)];
+    uint8_t Dir = Direction[static_cast<size_t>(Id)];
+    int Front = NeighborBase[static_cast<size_t>(C) * Degree + Dir];
+    FrontCell[static_cast<size_t>(Id)] = Front;
+    int Color = Colors[static_cast<size_t>(C)];
+    int FrontColor =
+        (Bordered && ((BoundaryMask[static_cast<size_t>(C)] >> Dir) & 1))
+            ? 0
+            : Colors[static_cast<size_t>(Front)];
+    int FreeInput = 2 * (Color + NumColors * FrontColor);
+    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
+    bool Requests =
+        Tab[static_cast<size_t>(FreeInput * States) +
+            ControlState[static_cast<size_t>(Id)]]
+            .Move ||
+        Gaze;
+    if (Requests) {
+      int32_t &Claim = ClaimMinId[static_cast<size_t>(Front)];
+      if (Claim < 0) {
+        Claim = Id;
+        TouchedCells.push_back(Front);
+      } else {
+        Claim = std::min(Claim, Id);
+      }
+    }
+    Input[static_cast<size_t>(Id)] = static_cast<uint8_t>(FreeInput);
+  }
+
+  // Pass 1b: arbitration — front cell enterable and no lower-ID claimant.
+  for (int Id = 0; Id != K; ++Id) {
+    if (Skip[static_cast<size_t>(Id)])
+      continue;
+    int Front = FrontCell[static_cast<size_t>(Id)];
+    int C = Cell[static_cast<size_t>(Id)];
+    uint8_t Dir = Direction[static_cast<size_t>(Id)];
+    bool FrontOccupied =
+        Occupancy[static_cast<size_t>(Front)] >= 0 ||
+        ObstacleMask[static_cast<size_t>(Front)] != 0 ||
+        (Bordered && ((BoundaryMask[static_cast<size_t>(C)] >> Dir) & 1));
+    int32_t Claim = ClaimMinId[static_cast<size_t>(Front)];
+    bool LosesConflict = Claim >= 0 && Claim < Id;
+    bool Can = !FrontOccupied && !LosesConflict;
+    CanMove[static_cast<size_t>(Id)] = Can;
+    if (!Can)
+      Input[static_cast<size_t>(Id)] |= 1; // blocked bit.
+  }
+  for (int32_t C : TouchedCells)
+    ClaimMinId[static_cast<size_t>(C)] = -1;
+
+  // Pass 2: apply (setcolor, turn, move) simultaneously.
+  bool ColorsEnabled = O.ColorsEnabled;
+  for (int Id = 0; Id != K; ++Id) {
+    if (Skip[static_cast<size_t>(Id)])
+      continue;
+    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
+    const PackedEntry &E =
+        Tab[static_cast<size_t>(Input[static_cast<size_t>(Id)] * States) +
+            ControlState[static_cast<size_t>(Id)]];
+    int C = Cell[static_cast<size_t>(Id)];
+    if (ColorsEnabled)
+      Colors[static_cast<size_t>(C)] = E.SetColor;
+    ControlState[static_cast<size_t>(Id)] = E.NextState;
+    Direction[static_cast<size_t>(Id)] =
+        TurnMap[Direction[static_cast<size_t>(Id)]][E.Turn];
+    if (E.Move && CanMove[static_cast<size_t>(Id)]) {
+      int Front = FrontCell[static_cast<size_t>(Id)];
+      assert(Occupancy[static_cast<size_t>(Front)] < 0 &&
+             "arbitration let two agents collide");
+      Occupancy[static_cast<size_t>(C)] = -1;
+      Cell[static_cast<size_t>(Id)] = Front;
+      Occupancy[static_cast<size_t>(Front)] = static_cast<int16_t>(Id);
+      ++VisitCounts[static_cast<size_t>(Front)];
+    }
+  }
+}
+
+void ReplicaRunner::captureFinalState(ReplicaFinalState &Out) const {
+  Out.Colors = Colors;
+  Out.Occupancy = Occupancy;
+  Out.VisitCounts = VisitCounts;
+  Out.Agents.resize(static_cast<size_t>(K));
+  for (int Id = 0; Id != K; ++Id) {
+    ReplicaAgentState &A = Out.Agents[static_cast<size_t>(Id)];
+    A.Cell = Cell[static_cast<size_t>(Id)];
+    A.Direction = Direction[static_cast<size_t>(Id)];
+    A.ControlState = ControlState[static_cast<size_t>(Id)];
+    A.Informed = Informed[static_cast<size_t>(Id)] != 0;
+    A.Alive = Alive[static_cast<size_t>(Id)] != 0;
+    A.Comm = BitVector(static_cast<size_t>(K));
+    const uint64_t *Row = &Comm[static_cast<size_t>(Id) * Words];
+    for (int Bit = 0; Bit != K; ++Bit)
+      if ((Row[Bit / 64] >> (Bit % 64)) & 1)
+        A.Comm.set(static_cast<size_t>(Bit));
+  }
+}
+
+// Fast-path step machinery, shared between the single-replica loop and the
+// lockstep block loop. Preconditions (checked by the dispatchers):
+// FaultsActive == false, Bordered == false, Words == 1, no observer.
+
+/// Pick this step's transition tables from the genome policy.
+inline void selectTables(FastCtx &C) {
+  C.TabEven = C.TabA;
+  C.TabOdd = C.TabA;
+  if (C.Policy == GenomePolicy::TimeShuffle && (C.Time % 2)) {
+    C.TabEven = C.TabB;
+    C.TabOdd = C.TabB;
+  } else if (C.Policy == GenomePolicy::SpeciesParity) {
+    C.TabOdd = C.TabB;
+  }
+  C.NewInformed = 0;
+  C.NumTouched = 0;
+}
+
+/// Pass 1 for one agent: exchange, observation, and arbitration fused into
+/// one sweep.
+///  - Exchange: CellComm holds the pre-step word of every cell (0 when
+///    empty), so each agent ORs its neighbour ring with no occupancy
+///    branch, and the result goes straight into Comm — no double buffer.
+///    Nothing else in pass 1 reads Comm, so the success check can wait
+///    until the sweep ends (claims are scratch; on success the step's
+///    actions are skipped exactly as the reference engine skips them).
+///  - Arbitration: losesConflict only asks whether a LOWER-id requester
+///    claims the same cell, and agents run in id order — so when agent Id
+///    arrives, every claim that can beat it is already in ClaimMinId and
+///    its canmove is final immediately (occupancy is pre-step and
+///    untouched here). The claim update uses unconditional stores and min
+///    logic so the genome-dependent move output never becomes a
+///    mispredicting branch.
+///  - The entry for the final (blocked-corrected) input is resolved now —
+///    blocked flips only the lowest input bit, i.e. shifts the table row
+///    by States — so pass 2 does no table addressing at all.
+template <int DegT> inline void pass1Agent(FastCtx &C, int Id) {
+  int Cell = C.CellP[Id];
+  const int16_t *N = &C.NB[static_cast<size_t>(Cell) * DegT];
+  uint64_t W = C.CommW[Id];
+  for (int D = 0; D != DegT; ++D)
+    W |= C.CellW[N[D]];
+  C.CommW[Id] = W;
+  C.NewInformed += (W == C.Full);
+
+  int Front = N[C.DirP[Id]];
+  C.FrontP[Id] = Front;
+  int FreeInput = 2 * (C.ColorsP[Cell] + C.NC * C.ColorsP[Front]);
+  const PackedEntry *Row = ((Id & 1) ? C.TabOdd : C.TabEven) +
+                           static_cast<size_t>(FreeInput * C.St) +
+                           C.StateP[Id];
+  bool Req = Row[0].Move || C.Gaze;
+  int32_t Claim = C.ClaimP[Front];
+  bool FrontOccupied = C.OccP[Front] >= 0 || C.ObstP[Front] != 0;
+  bool Can = !FrontOccupied && Claim < 0; // A prior claim is a lower id.
+  C.CanMoveP[Id] = Can;
+  C.SelP[Id] = Can ? Row[0] : Row[C.St]; // Row[St]: blocked-bit entry.
+  bool Fresh = Req && Claim < 0;
+  C.ClaimP[Front] = Req ? (Claim < 0 ? Id : Claim) : Claim;
+  C.TouchedP[C.NumTouched] = Front;
+  C.NumTouched += Fresh;
+}
+
+/// End of pass 1: restore the all-minus-one claim invariant and latch
+/// success. Time stays at t_comm; the solved step's actions never run.
+inline void endPass1(FastCtx &C) {
+  for (int J = 0; J != C.NumTouched; ++J)
+    C.ClaimP[C.TouchedP[J]] = -1;
+  if (C.NewInformed == C.K) {
+    C.Done = true;
+    C.Success = true;
+  }
+}
+
+/// Pass 2 for one agent: apply the selected entry, keeping the per-cell
+/// comm words in sync. The move is applied with unconditional stores
+/// (clear own cell, write the final cell) so the genome-dependent move bit
+/// never becomes a branch: a mover's target was empty and uncontested
+/// pre-step, so the clears of later agents (all on pre-step-occupied
+/// cells) cannot hit an earlier agent's target.
+inline void pass2Agent(FastCtx &C, int Id) {
+  const PackedEntry En = C.SelP[Id];
+  int Cell = C.CellP[Id];
+  if (C.ColorsOn)
+    C.ColorsP[Cell] = En.SetColor;
+  C.StateP[Id] = En.NextState;
+  C.DirP[Id] = C.TurnMap[C.DirP[Id]][En.Turn];
+  bool Moves = En.Move && C.CanMoveP[Id];
+  assert((!Moves || C.OccP[C.FrontP[Id]] < 0) &&
+         "arbitration let two agents collide");
+  int NewC = Moves ? C.FrontP[Id] : Cell;
+  C.OccP[Cell] = -1;
+  C.CellW[Cell] = 0;
+  C.OccP[NewC] = static_cast<int16_t>(Id);
+  C.CellW[NewC] = C.CommW[Id];
+  C.VisitP[NewC] += Moves;
+  C.CellP[Id] = NewC;
+}
+
+/// Single-replica step loop from \p StartStep to the cutoff (also the
+/// lockstep straggler path once only one replica is still running).
+template <int DegT> void soloSteps(FastCtx &C, int StartStep) {
+  for (int I = StartStep, E = C.MaxSteps; I < E; ++I) {
+    selectTables(C);
+    for (int Id = 0, K = C.K; Id != K; ++Id)
+      pass1Agent<DegT>(C, Id);
+    endPass1(C);
+    if (C.Done)
+      return;
+    for (int Id = 0, K = C.K; Id != K; ++Id)
+      pass2Agent(C, Id);
+    ++C.Time;
+  }
+}
+
+/// Terminal materialisation: per-agent Informed flags (kept lazy during
+/// the loop) and the all-zero CellComm invariant for the next replica.
+void fastEpilogue(FastCtx &C) {
+  if (C.Success) {
+    std::fill_n(C.InformedP, C.K, uint8_t(1));
+  } else {
+    // Cutoff: the flags of the last exchange (the tracked count already
+    // matches them; a MaxSteps = 0 run never exchanged and keeps its
+    // reset-time flags and count).
+    if (C.MaxSteps > 0)
+      for (int Id = 0; Id != C.K; ++Id)
+        C.InformedP[Id] = C.CommW[Id] == C.Full;
+  }
+  for (int Id = 0; Id != C.K; ++Id)
+    C.CellW[C.CellP[Id]] = 0;
+}
+
+FastCtx ReplicaRunner::makeFastCtx() {
+  FastCtx C;
+  C.NB = Neighbor16Base;
+  C.CommW = Comm.data();
+  C.CellW = CellComm.data();
+  C.CellP = Cell.data();
+  C.DirP = Direction.data();
+  C.StateP = ControlState.data();
+  C.InformedP = Informed.data();
+  C.ColorsP = Colors.data();
+  C.OccP = Occupancy.data();
+  C.VisitP = VisitCounts.data();
+  C.ObstP = ObstacleMask.data();
+  C.ClaimP = ClaimMinId.data();
+  C.FrontP = FrontCell.data();
+  C.TouchedP = TouchedCells.data();
+  C.CanMoveP = CanMove.data();
+  C.SelP = Selected.data();
+  C.TabA = TableA.data();
+  C.TabB = TableB.data();
+  C.TurnMap = &TurnMap[0];
+  C.Full = TailMask;
+  C.Policy = Policy;
+  C.K = K;
+  C.St = States;
+  C.NC = NumColors;
+  C.MaxSteps = Options->MaxSteps;
+  C.Gaze = Options->Arbitration == ArbitrationMode::GazePriority;
+  C.ColorsOn = Options->ColorsEnabled;
+  C.NewInformed = NumInformed; // Preserved verbatim when MaxSteps == 0.
+  C.Time = Time;
+  // CellComm is all-zero here (zeroed at construction and re-zeroed by
+  // every fastEpilogue), so only the occupied cells need writing.
+  for (int Id = 0; Id != K; ++Id)
+    C.CellW[C.CellP[Id]] = C.CommW[Id];
+  return C;
+}
+
+template <int DegT> bool ReplicaRunner::runFastSingleWord() {
+  FastCtx C = makeFastCtx();
+  soloSteps<DegT>(C, 0);
+  fastEpilogue(C);
+  absorbFastCtx(C);
+  return C.Success;
+}
+
+SimResult ReplicaRunner::finishReplica(bool Success,
+                                       ReplicaFinalState *Final) {
+  SimResult Result;
+  Result.NumAgents = K;
+  Result.Success = Success;
+  Result.TComm = Success ? Time : -1;
+  Result.InformedAgents = NumInformed;
+  Result.SurvivingAgents = NumAlive;
+  Result.InformedFraction =
+      NumAlive > 0
+          ? static_cast<double>(NumInformed) / static_cast<double>(NumAlive)
+          : 0.0;
+  Result.Faults = Counters;
+  if (Final)
+    captureFinalState(*Final);
+  return Result;
+}
+
+SimResult ReplicaRunner::runReplica(
+    const BatchReplica &R, int ReplicaIndex,
+    const std::function<void(const BatchStepView &)> &OnStep,
+    ReplicaFinalState *Final) {
+  assert(R.A && R.Placements && R.Options && "incomplete replica spec");
+  prepare(R);
+
+  auto Finish = [&](bool Success) { return finishReplica(Success, Final); };
+
+  if (!FaultsActive && !Options->Bordered && Words == 1 && !OnStep &&
+      Neighbor16Base)
+    return Finish(Degree == 6 ? runFastSingleWord<6>()
+                              : runFastSingleWord<4>());
+
+  auto Observe = [&] {
+    if (!OnStep)
+      return;
+    BatchStepView View;
+    View.Replica = ReplicaIndex;
+    View.Time = Time;
+    View.NumAgents = K;
+    View.NumCells = NumCells;
+    View.WordsPerAgent = Words;
+    View.Cells = Cell.data();
+    View.Directions = Direction.data();
+    View.ControlStates = ControlState.data();
+    View.Alive = Alive.data();
+    View.Informed = Informed.data();
+    View.Comm = Comm.data();
+    View.Colors = Colors.data();
+    View.Occupancy = Occupancy.data();
+    View.NumInformed = NumInformed;
+    View.NumSurvivors = NumAlive;
+    OnStep(View);
+  };
+
+  // < (not !=) so a negative MaxSteps terminates instead of wrapping; the
+  // CLI-facing validation lives in World::validatePlacements.
+  for (int I = 0; I < Options->MaxSteps; ++I) {
+    if (FaultsActive)
+      injectFaults();
+    exchange();
+    bool Solved = NumAlive > 0 && NumInformed == NumAlive;
+    Observe();
+    if (Solved)
+      return Finish(true); // Time stays at t_comm; actions not executed.
+    applyActions();
+    ++Time;
+    if (FaultsActive && NumAlive == 0)
+      break; // Extinct: the task can never be solved.
+  }
+  return Finish(false);
+}
+
+} // namespace
+
+std::vector<SimResult>
+BatchEngine::run(const std::vector<BatchReplica> &Replicas,
+                 const BatchRunOptions &Options) const {
+  std::vector<SimResult> Results(Replicas.size());
+  if (Replicas.empty())
+    return Results;
+  if (Options.FinalStates)
+    Options.FinalStates->assign(Replicas.size(), ReplicaFinalState());
+
+  auto FinalSlot = [&](size_t I) -> ReplicaFinalState * {
+    return Options.FinalStates ? &(*Options.FinalStates)[I] : nullptr;
+  };
+
+  // An observer forces inline sequential execution: callbacks see replicas
+  // in order and never run concurrently.
+  size_t NumWorkers = Options.OnStep ? 1 : std::max<size_t>(1, Options.NumWorkers);
+  NumWorkers = std::min(NumWorkers, Replicas.size());
+  if (NumWorkers <= 1) {
+    ReplicaRunner Runner(T, BoundaryMask, Neighbors16, TurnMap);
+    for (size_t I = 0; I != Replicas.size(); ++I)
+      Results[I] = Runner.runReplica(Replicas[I], static_cast<int>(I),
+                                     Options.OnStep, FinalSlot(I));
+    return Results;
+  }
+
+  // Chunked fan-out; each chunk gets its own runner (and therefore its own
+  // scratch), and every replica still owns its RNG streams, so the chunk
+  // geometry cannot change any result.
+  size_t ChunkSize = (Replicas.size() + NumWorkers - 1) / NumWorkers;
+  size_t NumChunks = (Replicas.size() + ChunkSize - 1) / ChunkSize;
+  parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
+    ReplicaRunner Runner(T, BoundaryMask, Neighbors16, TurnMap);
+    size_t Begin = Chunk * ChunkSize;
+    size_t End = std::min(Begin + ChunkSize, Replicas.size());
+    for (size_t I = Begin; I != End; ++I)
+      Results[I] = Runner.runReplica(Replicas[I], static_cast<int>(I), {},
+                                     FinalSlot(I));
+  });
+  return Results;
+}

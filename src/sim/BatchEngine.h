@@ -1,0 +1,168 @@
+//===- sim/BatchEngine.h - Batched SoA CA simulation engine -----*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structure-of-arrays reimplementation of the World step loop, built to
+/// evaluate thousands of independent replicas per call — the GA fitness
+/// loop, the reliability filter, and every density sweep are embarrassingly
+/// parallel over (genome, field) pairs, and World's pointer-chasing
+/// array-of-structs layout plus per-replica allocation dominate their
+/// wall-clock.
+///
+/// Three ideas, all behaviour-preserving:
+///
+///   1. Communication vectors live in one contiguous buffer of word-packed
+///      rows (k bits per agent, rounded to uint64_t words), so the
+///      neighbour-OR exchange is straight-line word ops with no per-agent
+///      heap indirection.
+///   2. The genome is precompiled once per replica run into a flat
+///      transition table (input x state -> packed {nextstate, move,
+///      setcolor, turn}), and the turn algebra into a direction x turn-code
+///      map, so the action phase is table lookups only.
+///   3. Replicas are fanned out over the existing ThreadPool in chunks;
+///      every replica owns its seeded fault stream (exactly as in World),
+///      so results are bit-identical regardless of the worker count.
+///
+/// The reference World stays authoritative: BatchEngine reproduces its
+/// SimResult and final field bit-for-bit across fault injection, both
+/// arbitration modes, borders, obstacles and all genome policies
+/// (tests/sim/BatchEngineDiffTest.cpp enforces this differentially).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_BATCHENGINE_H
+#define CA2A_SIM_BATCHENGINE_H
+
+#include "sim/World.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ca2a {
+
+/// Which implementation executes a replica loop. The reference World is
+/// the semantics oracle; the batch engine is the throughput backend.
+enum class EngineKind : uint8_t {
+  Reference, ///< One World per replica (authoritative).
+  Batch,     ///< BatchEngine (bit-identical, faster).
+};
+
+/// "reference" / "batch".
+const char *engineKindName(EngineKind K);
+
+/// Parses "reference"/"ref"/"world" or "batch" (case-insensitive).
+bool parseEngineKind(const std::string &Text, EngineKind &K);
+
+/// One replica: which FSM(s) run on which field under which options.
+///
+/// All pointers are borrowed and must stay valid (and unmodified) for the
+/// duration of the run() call — replicas in a batch typically share one
+/// genome and one SimOptions, and copying either per replica would cost
+/// more than the simulation itself.
+struct BatchReplica {
+  const Genome *A = nullptr; ///< Required.
+  const Genome *B = nullptr; ///< Second FSM; null uses A (policy Single).
+  GenomePolicy Policy = GenomePolicy::Single;
+  const std::vector<Placement> *Placements = nullptr; ///< Required.
+  const SimOptions *Options = nullptr;                ///< Required.
+};
+
+/// Final per-agent state of a finished replica (introspection parity with
+/// World::agent, used by the differential tests).
+struct ReplicaAgentState {
+  int32_t Cell = 0;
+  uint8_t Direction = 0;
+  uint8_t ControlState = 0;
+  bool Informed = false;
+  bool Alive = true;
+  BitVector Comm;
+};
+
+/// Final field of a finished replica (introspection parity with World).
+struct ReplicaFinalState {
+  std::vector<uint8_t> Colors;
+  std::vector<int16_t> Occupancy;
+  std::vector<int32_t> VisitCounts;
+  std::vector<ReplicaAgentState> Agents;
+};
+
+/// Read-only view of one replica's state, passed to the step observer
+/// right after the exchange/success check of an iteration (the same
+/// observation point as World::stepWithObserver). Pointers are valid only
+/// during the callback.
+struct BatchStepView {
+  int Replica = 0; ///< Index into the run() replica vector.
+  int Time = 0;    ///< Iteration index (t_comm when solved).
+  int NumAgents = 0;
+  int NumCells = 0;
+  int WordsPerAgent = 0;
+  const int32_t *Cells = nullptr;        ///< Per agent (stale when dead).
+  const uint8_t *Directions = nullptr;   ///< Per agent.
+  const uint8_t *ControlStates = nullptr;///< Per agent.
+  const uint8_t *Alive = nullptr;        ///< Per agent, 0/1.
+  const uint8_t *Informed = nullptr;     ///< Per agent, 0/1.
+  const uint64_t *Comm = nullptr;        ///< Word-packed rows, one per agent.
+  const uint8_t *Colors = nullptr;       ///< Per cell.
+  const int16_t *Occupancy = nullptr;    ///< Agent id per cell, -1 empty.
+  int NumInformed = 0;
+  int NumSurvivors = 0;
+
+  bool commBit(int Agent, int Bit) const {
+    return (Comm[static_cast<size_t>(Agent) * WordsPerAgent + Bit / 64] >>
+            (Bit % 64)) &
+           1;
+  }
+};
+
+/// Execution knobs of one batch run.
+struct BatchRunOptions {
+  /// Worker threads for the replica fan-out; <= 1 runs inline. Results are
+  /// bit-identical for every value (replicas are independent and each owns
+  /// its RNG streams).
+  size_t NumWorkers = 1;
+  /// When non-null, resized to the replica count and filled with each
+  /// replica's final field (for differential testing; costs a copy).
+  std::vector<ReplicaFinalState> *FinalStates = nullptr;
+  /// Per-iteration observer. Setting it forces inline sequential execution
+  /// (replica order, NumWorkers ignored) so callbacks never run
+  /// concurrently.
+  std::function<void(const BatchStepView &)> OnStep;
+};
+
+/// The batched engine. Like World, it borrows the Torus, which must
+/// outlive it; one BatchEngine can serve any number of run() calls.
+class BatchEngine {
+public:
+  explicit BatchEngine(const Torus &T);
+
+  /// Simulates every replica to completion (solved, extinct, or MaxSteps)
+  /// and returns one SimResult per replica, in replica order. Each result
+  /// is bit-identical to World::run on the same configuration.
+  std::vector<SimResult> run(const std::vector<BatchReplica> &Replicas,
+                             const BatchRunOptions &Options = {}) const;
+
+  const Torus &torus() const { return T; }
+
+private:
+  const Torus &T;
+  /// Bit d set when stepping from the cell in ring direction d crosses the
+  /// torus seam — precomputed so the Bordered path is a mask test instead
+  /// of a divide per (agent, direction).
+  std::vector<uint8_t> BoundaryMask;
+  /// The torus neighbour table narrowed to int16 (any practical field has
+  /// far fewer than 32768 cells): half the cache footprint of the int32
+  /// table on the fast path's hottest loads. Empty if the grid is too big.
+  std::vector<int16_t> Neighbors16;
+  /// Direction x turn-code -> new direction (degree-dependent algebra).
+  uint8_t TurnMap[6][4] = {};
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_BATCHENGINE_H

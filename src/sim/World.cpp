@@ -127,6 +127,9 @@ Expected<bool>
 World::validatePlacements(const Torus &T,
                           const std::vector<Placement> &Placements,
                           const SimOptions &Options) {
+  if (Options.MaxSteps < 0)
+    return makeError(formatString("MaxSteps must be non-negative, got %d",
+                                  Options.MaxSteps));
   if (Placements.empty())
     return makeError("no agents placed");
   if (Placements.size() > static_cast<size_t>(T.numCells()))
@@ -335,7 +338,10 @@ SimResult World::run(const std::function<void(const World &, int)> &OnStep) {
     Result.Faults = FaultCounters;
     return Result;
   };
-  for (int I = 0; I != Options.MaxSteps; ++I) {
+  // < (not !=) so a negative MaxSteps terminates immediately instead of
+  // counting through signed overflow; validatePlacements rejects it with a
+  // proper error for CLI-supplied configurations.
+  for (int I = 0; I < Options.MaxSteps; ++I) {
     if (stepWithObserver(OnStep) == Status::Solved)
       return Finish(true);
     // Extinction: with no survivors the task can never be solved.

@@ -148,6 +148,19 @@ struct SimResult {
   int SurvivingAgents = 0;      ///< Agents still alive at termination.
   double InformedFraction = 0.0; ///< Informed / surviving (0 if extinct).
   FaultStats Faults;            ///< Fault events that fired during the run.
+
+  /// Exact equality, including the InformedFraction double — both engines
+  /// compute it from the same integer operands, so bit-identical runs
+  /// compare equal (the differential suite relies on this).
+  bool operator==(const SimResult &Other) const {
+    return Success == Other.Success && TComm == Other.TComm &&
+           InformedAgents == Other.InformedAgents &&
+           NumAgents == Other.NumAgents &&
+           SurvivingAgents == Other.SurvivingAgents &&
+           InformedFraction == Other.InformedFraction &&
+           Faults == Other.Faults;
+  }
+  bool operator!=(const SimResult &Other) const { return !(*this == Other); }
 };
 
 /// Full runtime state of one agent.
@@ -180,7 +193,8 @@ public:
              const SimOptions &Options);
 
   /// Checks the user-reachable reset preconditions — duplicate placement,
-  /// placement on an obstacle, direction out of range — and reports the
+  /// placement on an obstacle, direction out of range, negative
+  /// MaxSteps — and reports the
   /// first violation as a recoverable error. Unlike the asserts inside
   /// reset(), this path survives release builds; CLI frontends should call
   /// it on any user-supplied configuration before reset().

@@ -79,3 +79,63 @@ TEST(BootstrapTest, DegenerateConstantSamples) {
   EXPECT_DOUBLE_EQ(CI.Low, 0.5);
   EXPECT_DOUBLE_EQ(CI.High, 0.5);
 }
+
+TEST(WelchTest, ZeroVarianceIdenticalSamplesStayFinite) {
+  // Two constant, equal samples: no separation, no variance — the guarded
+  // implementation must report t = 0 / df = 0, never NaN.
+  std::vector<double> A(5, 7.0), B(4, 7.0);
+  WelchResult R = welchTTest(A, B);
+  EXPECT_DOUBLE_EQ(R.MeanA, 7.0);
+  EXPECT_DOUBLE_EQ(R.MeanB, 7.0);
+  EXPECT_DOUBLE_EQ(R.TStatistic, 0.0);
+  EXPECT_DOUBLE_EQ(R.DegreesOfFreedom, 0.0);
+  EXPECT_FALSE(R.overwhelming());
+}
+
+TEST(WelchTest, ZeroVarianceSeparatedSamplesStayFinite) {
+  // Constant but different samples have a zero pooled standard error; the
+  // statistic is reported as 0 (no evidence claim) rather than infinity.
+  std::vector<double> A(3, 1.0), B(3, 2.0);
+  WelchResult R = welchTTest(A, B);
+  EXPECT_DOUBLE_EQ(R.MeanA, 1.0);
+  EXPECT_DOUBLE_EQ(R.MeanB, 2.0);
+  EXPECT_DOUBLE_EQ(R.TStatistic, 0.0);
+  EXPECT_FALSE(R.overwhelming());
+  EXPECT_FALSE(std::isnan(R.TStatistic));
+  EXPECT_FALSE(std::isnan(R.DegreesOfFreedom));
+}
+
+TEST(WelchTest, MinimumSampleSizeOfTwo) {
+  // The smallest legal input: two observations per sample.
+  std::vector<double> A = {1.0, 3.0};
+  std::vector<double> B = {2.0, 2.0};
+  WelchResult R = welchTTest(A, B);
+  EXPECT_DOUBLE_EQ(R.MeanA, 2.0);
+  EXPECT_DOUBLE_EQ(R.MeanB, 2.0);
+  EXPECT_FALSE(std::isnan(R.TStatistic));
+  EXPECT_FALSE(std::isnan(R.DegreesOfFreedom));
+}
+
+TEST(BootstrapTest, SingleObservationSamplesCollapseToTheEstimate) {
+  // One replica per side: every resample is the sample itself, so the
+  // interval has zero width at the point estimate.
+  std::vector<double> Num = {3.0};
+  std::vector<double> Den = {4.0};
+  Rng R(11);
+  BootstrapInterval CI = bootstrapMeanRatio(Num, Den, 0.95, 200, R);
+  EXPECT_DOUBLE_EQ(CI.Estimate, 0.75);
+  EXPECT_DOUBLE_EQ(CI.Low, 0.75);
+  EXPECT_DOUBLE_EQ(CI.High, 0.75);
+}
+
+TEST(BootstrapTest, AllFailureNumeratorGivesAZeroInterval) {
+  // An all-failure run contributes a numerator of zeros (e.g. zero solved
+  // fields per seed); the ratio and its whole interval must be exactly 0.
+  std::vector<double> Num(8, 0.0);
+  std::vector<double> Den = {5.0, 6.0, 7.0, 8.0};
+  Rng R(13);
+  BootstrapInterval CI = bootstrapMeanRatio(Num, Den, 0.9, 200, R);
+  EXPECT_DOUBLE_EQ(CI.Estimate, 0.0);
+  EXPECT_DOUBLE_EQ(CI.Low, 0.0);
+  EXPECT_DOUBLE_EQ(CI.High, 0.0);
+}

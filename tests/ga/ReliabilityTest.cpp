@@ -73,3 +73,58 @@ TEST(ReliabilityReportTest, EmptyReportIsNotSuccessful) {
   EXPECT_FALSE(R.completelySuccessful());
   EXPECT_DOUBLE_EQ(R.totalMeanCommTime(), 0.0);
 }
+
+TEST(ReliabilityTest, AllFailureRowHasZeroMeanTime) {
+  // A stationary genome under a 2-step cutoff solves nothing at k = 16
+  // (the manual queue alone needs 14 steps): the mean over solved fields
+  // must degrade to 0.0, not divide by zero.
+  Torus T(GridKind::Square, 16);
+  ReliabilityParams P = smallParams();
+  P.AgentCounts = {16};
+  P.NumRandomFields = 10;
+  P.Fitness.Sim.MaxSteps = 2;
+  Genome Stay;
+  ReliabilityReport R = testReliability(Stay, T, P);
+  ASSERT_EQ(R.Rows.size(), 1u);
+  EXPECT_EQ(R.Rows[0].SolvedFields, 0);
+  EXPECT_FALSE(R.Rows[0].completelySuccessful());
+  EXPECT_DOUBLE_EQ(R.Rows[0].MeanCommTime, 0.0);
+  EXPECT_DOUBLE_EQ(R.totalMeanCommTime(), 0.0);
+  EXPECT_FALSE(R.completelySuccessful());
+}
+
+TEST(ReliabilityTest, SingleFieldPackedRowIsAWellFormedSample) {
+  // The packed density is a single-replica statistic: one field, and the
+  // row's mean is exactly that field's time (zero-variance sample).
+  Torus T(GridKind::Triangulate, 16);
+  ReliabilityParams P = smallParams();
+  P.AgentCounts = {256};
+  ReliabilityReport R = testReliability(bestTriangulateAgent(), T, P);
+  ASSERT_EQ(R.Rows.size(), 1u);
+  EXPECT_EQ(R.Rows[0].NumFields, 1);
+  EXPECT_EQ(R.Rows[0].SolvedFields, 1);
+  EXPECT_GT(R.Rows[0].MeanCommTime, 0.0);
+  EXPECT_DOUBLE_EQ(R.totalMeanCommTime(), R.Rows[0].MeanCommTime);
+}
+
+TEST(ReliabilityTest, BatchEngineReportMatchesReference) {
+  // The reliability filter must not depend on the backend: the batched
+  // engine's report is identical to the reference engine's.
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 16);
+    ReliabilityParams P = smallParams();
+    P.AgentCounts = {2, 8, 256};
+    P.NumRandomFields = 10;
+    ReliabilityParams BatchP = P;
+    BatchP.Fitness.Engine = EngineKind::Batch;
+    ReliabilityReport Ref = testReliability(bestAgent(Kind), T, P);
+    ReliabilityReport Bat = testReliability(bestAgent(Kind), T, BatchP);
+    ASSERT_EQ(Bat.Rows.size(), Ref.Rows.size()) << gridKindName(Kind);
+    for (size_t I = 0; I != Ref.Rows.size(); ++I) {
+      EXPECT_EQ(Bat.Rows[I].NumAgents, Ref.Rows[I].NumAgents);
+      EXPECT_EQ(Bat.Rows[I].NumFields, Ref.Rows[I].NumFields);
+      EXPECT_EQ(Bat.Rows[I].SolvedFields, Ref.Rows[I].SolvedFields);
+      EXPECT_DOUBLE_EQ(Bat.Rows[I].MeanCommTime, Ref.Rows[I].MeanCommTime);
+    }
+  }
+}

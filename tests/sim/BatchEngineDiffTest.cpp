@@ -1,0 +1,364 @@
+//===- tests/sim/BatchEngineDiffTest.cpp - Batch vs reference engine ------===//
+//
+// Differential testing backbone of the batched engine: seeded random
+// configurations sweeping grid kind, field side, agent count (including
+// multi-word communication vectors), fault injection, both arbitration
+// modes, borders, obstacles, colour ablation, start states, all genome
+// policies and degenerate cutoffs. Every configuration is run by the
+// reference World and by BatchEngine, and the SimResults and the full
+// final fields (colours, occupancy, visit counts, per-agent state and
+// communication vectors) must match exactly.
+//
+// The sweep size scales with the CA2A_DIFF_CONFIGS environment variable so
+// the default ctest run stays quick while the slow-labelled variant (see
+// tests/CMakeLists.txt) covers the full 200-configuration contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// Sweep size: CA2A_DIFF_CONFIGS when set, else a quick default.
+int diffConfigCount() {
+  if (const char *Env = std::getenv("CA2A_DIFF_CONFIGS"))
+    if (int N = std::atoi(Env); N > 0)
+      return N;
+  return 40;
+}
+
+/// One randomly drawn simulation configuration with everything the two
+/// engines need, owning stable storage for the borrowed pointers of
+/// BatchReplica.
+struct DiffConfig {
+  GridKind Kind = GridKind::Square;
+  int Side = 16;
+  Genome A;
+  Genome B;
+  GenomePolicy Policy = GenomePolicy::Single;
+  std::vector<Placement> Placements;
+  SimOptions Options;
+
+  bool twoGenomes() const { return Policy != GenomePolicy::Single; }
+};
+
+/// Draws a configuration from \p Seed, exercising every option the batch
+/// engine claims to reproduce. \p T must be a torus of the drawn
+/// (Kind, Side) — the caller owns it so placements stay valid.
+DiffConfig drawConfig(uint64_t Seed, const Torus &T, Rng &R) {
+  DiffConfig C;
+  C.Kind = T.kind();
+  C.Side = T.sideLength();
+  C.A = Genome::random(R);
+  switch (R.uniformInt(3)) {
+  case 0:
+    C.Policy = GenomePolicy::Single;
+    break;
+  case 1:
+    C.Policy = GenomePolicy::TimeShuffle;
+    break;
+  default:
+    C.Policy = GenomePolicy::SpeciesParity;
+    break;
+  }
+  if (C.twoGenomes())
+    C.B = Genome::random(R);
+
+  SimOptions &O = C.Options;
+  static const int StepChoices[] = {0, 1, 7, 60, 200};
+  O.MaxSteps = StepChoices[R.uniformInt(5)];
+  O.Start = R.uniformInt(2) ? StartStates::idParity()
+                            : StartStates::uniform(static_cast<uint8_t>(
+                                  R.uniformInt(2)));
+  O.ColorsEnabled = R.uniformInt(4) != 0;
+  O.Arbitration = R.uniformInt(2) ? ArbitrationMode::GazePriority
+                                  : ArbitrationMode::RequestPriority;
+  O.Bordered = R.uniformInt(3) == 0;
+  if (R.uniformInt(2))
+    O.Obstacles =
+        randomObstacles(T, static_cast<int>(R.uniformInt(12)), R);
+  if (R.uniformInt(2)) {
+    // Mostly light fault rates; occasionally heavy enough to extinguish
+    // the population so the all-dead paths are differentially covered.
+    bool Heavy = R.uniformInt(4) == 0;
+    O.Faults.StallProbability = Heavy ? 0.3 : 0.05;
+    O.Faults.DeathProbability = Heavy ? 0.08 : 0.005;
+    O.Faults.LinkDropProbability = Heavy ? 0.2 : 0.02;
+    O.Faults.ColorFlipProbability = Heavy ? 0.1 : 0.01;
+    O.Faults.Seed = Seed * 31 + 7;
+  }
+
+  // Agent counts cross the one-word boundary (k > 64 packs into two
+  // words) and reach full packing on small fields.
+  static const int AgentChoices[] = {1, 2, 5, 8, 16, 33, 64, 96};
+  int NumAgents = AgentChoices[R.uniformInt(8)];
+  int Free = T.numCells() - static_cast<int>(O.Obstacles.size());
+  if (NumAgents > Free)
+    NumAgents = Free;
+  C.Placements =
+      randomConfigurationAvoiding(T, NumAgents, R, O.Obstacles).Placements;
+  return C;
+}
+
+/// Runs \p C through the reference World, leaving \p W at the final state.
+SimResult runReference(World &W, const DiffConfig &C) {
+  if (C.twoGenomes())
+    W.reset(C.A, C.B, C.Policy, C.Placements, C.Options);
+  else
+    W.reset(C.A, C.Placements, C.Options);
+  return W.run();
+}
+
+BatchReplica replicaFor(const DiffConfig &C) {
+  BatchReplica Rep;
+  Rep.A = &C.A;
+  Rep.B = C.twoGenomes() ? &C.B : nullptr;
+  Rep.Policy = C.Policy;
+  Rep.Placements = &C.Placements;
+  Rep.Options = &C.Options;
+  return Rep;
+}
+
+/// Full-field equality: the batch replica's captured final state against
+/// the World introspection API.
+void expectFinalStateMatchesWorld(const World &W, const ReplicaFinalState &F,
+                                  const std::string &What) {
+  const Torus &T = W.torus();
+  ASSERT_EQ(static_cast<int>(F.Colors.size()), T.numCells()) << What;
+  ASSERT_EQ(static_cast<int>(F.Occupancy.size()), T.numCells()) << What;
+  ASSERT_EQ(static_cast<int>(F.VisitCounts.size()), T.numCells()) << What;
+  for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+    EXPECT_EQ(static_cast<int>(F.Colors[static_cast<size_t>(Cell)]),
+              W.colorValueAt(Cell))
+        << What << ": colour differs at cell " << Cell;
+    EXPECT_EQ(static_cast<int>(F.Occupancy[static_cast<size_t>(Cell)]),
+              W.agentAt(Cell))
+        << What << ": occupancy differs at cell " << Cell;
+    EXPECT_EQ(F.VisitCounts[static_cast<size_t>(Cell)], W.visitCount(Cell))
+        << What << ": visit count differs at cell " << Cell;
+  }
+  ASSERT_EQ(static_cast<int>(F.Agents.size()), W.numAgents()) << What;
+  for (int Id = 0; Id != W.numAgents(); ++Id) {
+    const AgentState &Ref = W.agent(Id);
+    const ReplicaAgentState &Got = F.Agents[static_cast<size_t>(Id)];
+    EXPECT_EQ(Got.Cell, Ref.Cell) << What << ": agent " << Id;
+    EXPECT_EQ(Got.Direction, Ref.Direction) << What << ": agent " << Id;
+    EXPECT_EQ(Got.ControlState, Ref.ControlState) << What << ": agent " << Id;
+    EXPECT_EQ(Got.Informed, Ref.Informed) << What << ": agent " << Id;
+    EXPECT_EQ(Got.Alive, Ref.Alive) << What << ": agent " << Id;
+    EXPECT_TRUE(Got.Comm == Ref.Comm)
+        << What << ": agent " << Id << " communication vector differs";
+  }
+}
+
+std::string describeConfig(uint64_t Seed, const DiffConfig &C) {
+  std::string S = "seed " + std::to_string(Seed) + ": ";
+  S += gridKindName(C.Kind);
+  S += std::to_string(C.Side) + "x" + std::to_string(C.Side) + " k=" +
+       std::to_string(C.Placements.size()) + " policy=" +
+       std::to_string(static_cast<int>(C.Policy)) + " steps=" +
+       std::to_string(C.Options.MaxSteps);
+  if (C.Options.Bordered)
+    S += " bordered";
+  if (!C.Options.Obstacles.empty())
+    S += " obstacles=" + std::to_string(C.Options.Obstacles.size());
+  if (C.Options.Faults.any())
+    S += " faults";
+  if (C.Options.Arbitration == ArbitrationMode::GazePriority)
+    S += " gaze";
+  if (!C.Options.ColorsEnabled)
+    S += " nocolors";
+  return S;
+}
+
+} // namespace
+
+// The backbone: every drawn configuration must produce a bit-identical
+// SimResult and final field from both engines.
+TEST(BatchEngineDiffTest, RandomConfigSweepMatchesReferenceExactly) {
+  const int NumConfigs = diffConfigCount();
+  for (int I = 0; I != NumConfigs; ++I) {
+    uint64_t Seed = 0xd1ff0000ull + static_cast<uint64_t>(I);
+    Rng R(Seed);
+    GridKind Kind =
+        R.uniformInt(2) ? GridKind::Triangulate : GridKind::Square;
+    static const int SideChoices[] = {8, 12, 16};
+    Torus T(Kind, SideChoices[R.uniformInt(3)]);
+    DiffConfig C = drawConfig(Seed, T, R);
+    std::string What = describeConfig(Seed, C);
+
+    World W(T);
+    SimResult Ref = runReference(W, C);
+
+    BatchEngine Engine(T);
+    std::vector<ReplicaFinalState> Finals;
+    BatchRunOptions RunOptions;
+    RunOptions.FinalStates = &Finals;
+    std::vector<SimResult> Got = Engine.run({replicaFor(C)}, RunOptions);
+    ASSERT_EQ(Got.size(), 1u) << What;
+
+    ASSERT_TRUE(Got[0] == Ref)
+        << What << ": SimResult differs — reference {success " << Ref.Success
+        << ", t " << Ref.TComm << ", informed " << Ref.InformedAgents
+        << ", surviving " << Ref.SurvivingAgents << "} batch {"
+        << Got[0].Success << ", " << Got[0].TComm << ", "
+        << Got[0].InformedAgents << ", " << Got[0].SurvivingAgents << "}";
+    ASSERT_EQ(Finals.size(), 1u) << What;
+    expectFinalStateMatchesWorld(W, Finals[0], What);
+  }
+}
+
+// Heterogeneous replicas sharing one run() call (and therefore one
+// per-chunk runner) must not leak state into each other, and the worker
+// count must not change a single bit.
+TEST(BatchEngineDiffTest, HeterogeneousBatchIsIdenticalAcrossWorkerCounts) {
+  Torus T(GridKind::Triangulate, 16);
+  const int NumReplicas = 24;
+  std::deque<DiffConfig> Configs; // Stable addresses for BatchReplica.
+  std::vector<BatchReplica> Replicas;
+  std::vector<std::string> Whats;
+  for (int I = 0; I != NumReplicas; ++I) {
+    uint64_t Seed = 0xbee70000ull + static_cast<uint64_t>(I);
+    Rng R(Seed);
+    Configs.push_back(drawConfig(Seed, T, R));
+    Replicas.push_back(replicaFor(Configs.back()));
+    Whats.push_back(describeConfig(Seed, Configs.back()));
+  }
+
+  BatchEngine Engine(T);
+  std::vector<ReplicaFinalState> Finals1, Finals3;
+  BatchRunOptions Serial, Parallel;
+  Serial.NumWorkers = 1;
+  Serial.FinalStates = &Finals1;
+  Parallel.NumWorkers = 3;
+  Parallel.FinalStates = &Finals3;
+  std::vector<SimResult> Got1 = Engine.run(Replicas, Serial);
+  std::vector<SimResult> Got3 = Engine.run(Replicas, Parallel);
+  ASSERT_EQ(Got1.size(), Configs.size());
+  ASSERT_EQ(Got3.size(), Configs.size());
+  ASSERT_EQ(Finals1.size(), Configs.size());
+  ASSERT_EQ(Finals3.size(), Configs.size());
+
+  World W(T);
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    SimResult Ref = runReference(W, Configs[I]);
+    EXPECT_TRUE(Got1[I] == Ref) << Whats[I] << ": serial batch differs";
+    EXPECT_TRUE(Got3[I] == Ref) << Whats[I] << ": parallel batch differs";
+    expectFinalStateMatchesWorld(W, Finals1[I], Whats[I] + " (serial)");
+    expectFinalStateMatchesWorld(W, Finals3[I], Whats[I] + " (parallel)");
+  }
+}
+
+// The observer must see the same trajectory the reference engine exposes:
+// same observation point (after exchange/success check), same informed and
+// survivor counts, same communication bits, at every iteration.
+TEST(BatchEngineDiffTest, StepObserverSeesTheReferenceTrajectory) {
+  struct Snapshot {
+    int Time = 0;
+    int NumInformed = 0;
+    int NumSurvivors = 0;
+    std::vector<size_t> Knowledge; // Comm popcount per agent.
+  };
+  for (uint64_t Seed : {11ull, 22ull, 33ull, 44ull}) {
+    Rng R(Seed);
+    GridKind Kind =
+        R.uniformInt(2) ? GridKind::Triangulate : GridKind::Square;
+    Torus T(Kind, 12);
+    DiffConfig C = drawConfig(Seed, T, R);
+    if (C.Options.MaxSteps < 20)
+      C.Options.MaxSteps = 20; // A trajectory worth comparing.
+
+    std::vector<Snapshot> RefTrace;
+    World W(T);
+    if (C.twoGenomes())
+      W.reset(C.A, C.B, C.Policy, C.Placements, C.Options);
+    else
+      W.reset(C.A, C.Placements, C.Options);
+    W.run([&](const World &View, int Time) {
+      Snapshot S;
+      S.Time = Time;
+      S.NumInformed = View.informedCount();
+      S.NumSurvivors = View.survivorCount();
+      for (int Id = 0; Id != View.numAgents(); ++Id)
+        S.Knowledge.push_back(View.agent(Id).Comm.count());
+      RefTrace.push_back(std::move(S));
+    });
+
+    std::vector<Snapshot> BatchTrace;
+    BatchEngine Engine(T);
+    BatchRunOptions RunOptions;
+    RunOptions.OnStep = [&](const BatchStepView &View) {
+      Snapshot S;
+      S.Time = View.Time;
+      S.NumInformed = View.NumInformed;
+      S.NumSurvivors = View.NumSurvivors;
+      for (int Id = 0; Id != View.NumAgents; ++Id) {
+        size_t Bits = 0;
+        for (int Bit = 0; Bit != View.NumAgents; ++Bit)
+          Bits += View.commBit(Id, Bit) ? 1 : 0;
+        S.Knowledge.push_back(Bits);
+      }
+      BatchTrace.push_back(std::move(S));
+    };
+    Engine.run({replicaFor(C)}, RunOptions);
+
+    std::string What = describeConfig(Seed, C);
+    ASSERT_EQ(BatchTrace.size(), RefTrace.size()) << What;
+    for (size_t Step = 0; Step != RefTrace.size(); ++Step) {
+      const Snapshot &A = RefTrace[Step];
+      const Snapshot &B = BatchTrace[Step];
+      ASSERT_EQ(B.Time, A.Time) << What << " at step " << Step;
+      ASSERT_EQ(B.NumInformed, A.NumInformed) << What << " at step " << Step;
+      ASSERT_EQ(B.NumSurvivors, A.NumSurvivors)
+          << What << " at step " << Step;
+      ASSERT_EQ(B.Knowledge, A.Knowledge) << What << " at step " << Step;
+    }
+  }
+}
+
+// MaxSteps = 0 is a legal degenerate cutoff: no iteration runs, and both
+// engines must report the untouched initial field.
+TEST(BatchEngineDiffTest, ZeroStepCutoffMatchesReference) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    for (int NumAgents : {1, 2, 16}) {
+      Torus T(Kind, 8);
+      Rng R(900 + NumAgents);
+      Genome G = Genome::random(R);
+      std::vector<Placement> P =
+          randomConfiguration(T, NumAgents, R).Placements;
+      SimOptions O;
+      O.MaxSteps = 0;
+
+      World W(T);
+      W.reset(G, P, O);
+      SimResult Ref = W.run();
+
+      DiffConfig C;
+      C.A = G;
+      C.Placements = P;
+      C.Options = O;
+      BatchEngine Engine(T);
+      std::vector<ReplicaFinalState> Finals;
+      BatchRunOptions RunOptions;
+      RunOptions.FinalStates = &Finals;
+      std::vector<SimResult> Got = Engine.run({replicaFor(C)}, RunOptions);
+      ASSERT_TRUE(Got[0] == Ref)
+          << gridKindName(Kind) << " k=" << NumAgents;
+      expectFinalStateMatchesWorld(W, Finals[0], "zero-cutoff");
+      // No iteration means no success check — even a lone agent (informed
+      // by construction) cannot be reported solved.
+      EXPECT_FALSE(Ref.Success);
+      EXPECT_EQ(Ref.InformedAgents, NumAgents == 1 ? 1 : 0);
+    }
+  }
+}

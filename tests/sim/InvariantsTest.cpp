@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
 #include "sim/World.h"
 
 #include "gtest/gtest.h"
@@ -246,6 +247,199 @@ TEST(SeamFaultTest, SeamLinkDropsAreEquivalentToBorderedBlocking) {
       if (SA == World::Status::Solved)
         break;
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-engine step-callback harness: the same per-iteration snapshots are
+// collected from the reference World (via run(OnStep)) and from the batch
+// engine (via BatchRunOptions::OnStep), then one shared checker asserts
+// the trajectory invariants — communication vectors monotone
+// non-decreasing, exactly one live agent per cell, and colours changing
+// only where an agent stood (i.e. only through setcolor) — on both, and
+// that the two trajectories are identical.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything an invariant needs to see about one observed iteration
+/// (observation point: after the exchange/success check, before actions).
+struct StepObservation {
+  int Time = 0;
+  std::vector<int32_t> Cells;     ///< Per agent (stale when dead).
+  std::vector<uint8_t> Alive;     ///< Per agent, 0/1.
+  std::vector<size_t> Knowledge;  ///< Comm popcount per agent.
+  std::vector<uint8_t> OwnBit;    ///< Agent's own comm bit, 0/1.
+  std::vector<uint8_t> Colors;    ///< Per cell.
+  std::vector<int16_t> Occupancy; ///< Agent id per cell, -1 empty.
+};
+
+std::vector<StepObservation>
+observeReference(const Torus &T, const Genome &G,
+                 const std::vector<Placement> &P, const SimOptions &O) {
+  std::vector<StepObservation> Trace;
+  World W(T);
+  W.reset(G, P, O);
+  W.run([&](const World &View, int Time) {
+    StepObservation S;
+    S.Time = Time;
+    for (int Id = 0; Id != View.numAgents(); ++Id) {
+      const AgentState &A = View.agent(Id);
+      S.Cells.push_back(A.Cell);
+      S.Alive.push_back(A.Alive ? 1 : 0);
+      S.Knowledge.push_back(A.Comm.count());
+      S.OwnBit.push_back(A.Comm.test(static_cast<size_t>(Id)) ? 1 : 0);
+    }
+    for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+      S.Colors.push_back(static_cast<uint8_t>(View.colorValueAt(Cell)));
+      S.Occupancy.push_back(static_cast<int16_t>(View.agentAt(Cell)));
+    }
+    Trace.push_back(std::move(S));
+  });
+  return Trace;
+}
+
+std::vector<StepObservation>
+observeBatch(const Torus &T, const Genome &G,
+             const std::vector<Placement> &P, const SimOptions &O) {
+  std::vector<StepObservation> Trace;
+  BatchEngine Engine(T);
+  BatchReplica Rep;
+  Rep.A = &G;
+  Rep.Placements = &P;
+  Rep.Options = &O;
+  BatchRunOptions RunOptions;
+  RunOptions.OnStep = [&](const BatchStepView &View) {
+    StepObservation S;
+    S.Time = View.Time;
+    for (int Id = 0; Id != View.NumAgents; ++Id) {
+      S.Cells.push_back(View.Cells[Id]);
+      S.Alive.push_back(View.Alive[Id]);
+      size_t Bits = 0;
+      for (int Bit = 0; Bit != View.NumAgents; ++Bit)
+        Bits += View.commBit(Id, Bit) ? 1 : 0;
+      S.Knowledge.push_back(Bits);
+      S.OwnBit.push_back(View.commBit(Id, Id) ? 1 : 0);
+    }
+    S.Colors.assign(View.Colors, View.Colors + View.NumCells);
+    S.Occupancy.assign(View.Occupancy, View.Occupancy + View.NumCells);
+    Trace.push_back(std::move(S));
+  };
+  Engine.run({Rep}, RunOptions);
+  return Trace;
+}
+
+/// The shared invariant checker, engine-agnostic by construction.
+/// \p ColorProvenance enables the "colours change only on setcolor" check,
+/// valid only when no colour-flip faults can fire.
+void checkTrajectoryInvariants(const std::vector<StepObservation> &Trace,
+                               bool ColorProvenance, const char *Engine) {
+  for (size_t Step = 0; Step != Trace.size(); ++Step) {
+    const StepObservation &S = Trace[Step];
+    size_t NumAgents = S.Cells.size();
+
+    // Exactly one live agent per cell, consistent with occupancy.
+    std::set<int32_t> Cells;
+    size_t NumAlive = 0;
+    for (size_t Id = 0; Id != NumAgents; ++Id) {
+      if (!S.Alive[Id])
+        continue;
+      ++NumAlive;
+      ASSERT_TRUE(Cells.insert(S.Cells[Id]).second)
+          << Engine << ": two live agents share cell " << S.Cells[Id]
+          << " at step " << Step;
+      ASSERT_EQ(S.Occupancy[static_cast<size_t>(S.Cells[Id])],
+                static_cast<int16_t>(Id))
+          << Engine << ": occupancy inconsistent at step " << Step;
+      // Knowledge includes the own bit while alive.
+      EXPECT_EQ(S.OwnBit[Id], 1)
+          << Engine << ": agent " << Id << " lost its own bit at step "
+          << Step;
+    }
+    size_t Occupied = 0;
+    for (int16_t Id : S.Occupancy)
+      Occupied += Id >= 0 ? 1 : 0;
+    EXPECT_EQ(Occupied, NumAlive)
+        << Engine << ": occupancy count differs from survivors at step "
+        << Step;
+
+    if (Step == 0)
+      continue;
+    const StepObservation &Prev = Trace[Step - 1];
+
+    // Communication vectors are monotone non-decreasing.
+    for (size_t Id = 0; Id != NumAgents; ++Id)
+      EXPECT_GE(S.Knowledge[Id], Prev.Knowledge[Id])
+          << Engine << ": agent " << Id << " forgot information at step "
+          << Step;
+
+    // Colours change only through setcolor: a changed cell must have held
+    // an agent at the previous observation (the action phase between the
+    // two writes the colour of the occupied cell before moving).
+    if (ColorProvenance)
+      for (size_t Cell = 0; Cell != S.Colors.size(); ++Cell)
+        if (S.Colors[Cell] != Prev.Colors[Cell])
+          EXPECT_GE(Prev.Occupancy[Cell], 0)
+              << Engine << ": colour of unoccupied cell " << Cell
+              << " changed at step " << Step;
+  }
+}
+
+} // namespace
+
+TEST_P(EngineInvariantTest, CallbackHarnessInvariantsHoldInBothEngines) {
+  InvariantCase C = GetParam();
+  Torus T(C.Kind, 16);
+  Rng R(C.Seed ^ 0xca11bac);
+  Genome G = Genome::random(R);
+  InitialConfiguration Field = randomConfiguration(T, C.NumAgents, R);
+  SimOptions O;
+  O.MaxSteps = 80;
+  if (C.Seed % 3 == 0) { // Exercise the harness under faults too (no
+    O.Faults.StallProbability = 0.05; // colour flips: provenance stays
+    O.Faults.DeathProbability = 0.01; // checkable).
+    O.Faults.LinkDropProbability = 0.03;
+    O.Faults.Seed = C.Seed;
+  }
+
+  std::vector<StepObservation> Ref =
+      observeReference(T, G, Field.Placements, O);
+  std::vector<StepObservation> Batch =
+      observeBatch(T, G, Field.Placements, O);
+
+  checkTrajectoryInvariants(Ref, /*ColorProvenance=*/true, "reference");
+  checkTrajectoryInvariants(Batch, /*ColorProvenance=*/true, "batch");
+
+  // The two engines must have produced the identical trajectory.
+  ASSERT_EQ(Batch.size(), Ref.size());
+  for (size_t Step = 0; Step != Ref.size(); ++Step) {
+    ASSERT_EQ(Batch[Step].Time, Ref[Step].Time) << "at step " << Step;
+    ASSERT_EQ(Batch[Step].Cells, Ref[Step].Cells) << "at step " << Step;
+    ASSERT_EQ(Batch[Step].Alive, Ref[Step].Alive) << "at step " << Step;
+    ASSERT_EQ(Batch[Step].Knowledge, Ref[Step].Knowledge)
+        << "at step " << Step;
+    ASSERT_EQ(Batch[Step].Colors, Ref[Step].Colors) << "at step " << Step;
+    ASSERT_EQ(Batch[Step].Occupancy, Ref[Step].Occupancy)
+        << "at step " << Step;
+  }
+}
+
+TEST_P(EngineInvariantTest, ColoursNeverChangeWhenDisabledInBothEngines) {
+  InvariantCase C = GetParam();
+  Torus T(C.Kind, 16);
+  Rng R(C.Seed ^ 0x0c010f);
+  Genome G = Genome::random(R);
+  InitialConfiguration Field = randomConfiguration(T, C.NumAgents, R);
+  SimOptions O;
+  O.MaxSteps = 40;
+  O.ColorsEnabled = false;
+
+  for (auto Observe : {observeReference, observeBatch}) {
+    std::vector<StepObservation> Trace = Observe(T, G, Field.Placements, O);
+    for (size_t Step = 0; Step != Trace.size(); ++Step)
+      for (uint8_t Color : Trace[Step].Colors)
+        ASSERT_EQ(Color, 0)
+            << "a colour appeared with setcolor disabled at step " << Step;
   }
 }
 

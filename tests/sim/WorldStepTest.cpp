@@ -429,3 +429,31 @@ TEST(WorldStepTest, RunIsDeterministic) {
   for (int Id = 0; Id != 3; ++Id)
     EXPECT_EQ(W1.agent(Id).Cell, W2.agent(Id).Cell);
 }
+
+TEST(WorldRunTest, NegativeMaxStepsIsRejectedAndTerminates) {
+  Torus T(GridKind::Square, 8);
+  std::vector<Placement> P = {{Coord{0, 0}, 0}, {Coord{3, 3}, 0}};
+  SimOptions O;
+  O.MaxSteps = -5;
+
+  // The release-build validation path reports the bad cutoff...
+  auto V = World::validatePlacements(T, P, O);
+  ASSERT_FALSE(V);
+  EXPECT_NE(V.error().message().find("MaxSteps"), std::string::npos)
+      << "the error should name the offending option, got: "
+      << V.error().message();
+
+  // ...and run() itself terminates immediately: the historical loop
+  // compared `I != MaxSteps`, so a negative cutoff iterated toward
+  // overflow instead of running zero steps.
+  World W(T);
+  W.reset(constantGenome(makeAction(Turn::Straight, true, false)), P, O);
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(W.time(), 0) << "a negative cutoff must execute no iterations";
+  EXPECT_EQ(R.NumAgents, 2);
+
+  // Zero remains a legal (degenerate) cutoff that validates cleanly.
+  O.MaxSteps = 0;
+  EXPECT_TRUE(World::validatePlacements(T, P, O));
+}
