@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "agent/BestAgents.h"
-#include "analysis/Bounds.h"
+#include "config/Bounds.h"
 #include "analysis/Convergence.h"
 #include "analysis/Metrics.h"
 #include "support/Csv.h"

@@ -1,0 +1,241 @@
+//===- bench/bench_scheduler.cpp - P3: GA evaluation-scheduler speedup ----===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Measures what the generation-wide evaluation scheduler buys the genetic
+// procedure on the paper's 16x16 / k=16 workload. Three variants run the
+// SAME evolution (same seed, same fields, batch engine):
+//
+//   baseline          scheduler off — the per-genome evaluation loop the
+//                     GA used before the scheduler existed
+//   scheduler_exact   scheduler on, pruning disabled (--exact-fitness):
+//                     isolates memoization + offspring dedup + batching
+//   scheduler_pruned  scheduler on, bound-based early abort enabled —
+//                     the default configuration
+//
+// The harness verifies all three select the same best genome in every
+// generation (pruning is exact by construction; a divergence here is a
+// bug) before trusting any timing, then writes BENCH_scheduler.json so
+// the GA throughput trajectory is tracked across commits.
+//
+// Exit status: 0 when the trajectories agree, 1 otherwise. Speed itself
+// is not gated (machine-dependent); the JSON carries the speedups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ga/Evolution.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+struct VariantResult {
+  std::string Name;
+  double Seconds = 0.0;
+  int Generations = 0;
+  int Evaluations = 0;
+  double FinalBest = 0.0;
+  std::vector<uint64_t> BestHashPerGen;
+  SchedulerStats Stats; // All-zero for the baseline variant.
+
+  double gensPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(Generations) / Seconds : 0.0;
+  }
+};
+
+VariantResult runVariant(std::string Name, const Torus &T,
+                         const std::vector<InitialConfiguration> &Fields,
+                         EvolutionParams Params, int Generations) {
+  VariantResult R;
+  R.Name = std::move(Name);
+  R.Generations = Generations;
+  auto Start = std::chrono::steady_clock::now();
+  Evolution E(T, Fields, Params);
+  for (int G = 0; G != Generations; ++G) {
+    E.stepGeneration();
+    R.BestHashPerGen.push_back(E.bestEver().G.hashValue());
+  }
+  R.Seconds = secondsSince(Start);
+  R.Evaluations = E.evaluations();
+  R.FinalBest = E.bestEver().Fitness;
+  R.Stats = E.schedulerStats();
+  return R;
+}
+
+void printJsonVariant(std::FILE *Out, const VariantResult &V) {
+  std::fprintf(Out,
+               "  \"%s\": {\"seconds\": %.6f, \"generations\": %d, "
+               "\"gens_per_sec\": %.3f, \"evaluations\": %d, "
+               "\"final_best\": %.6f, \"cache_hit_rate\": %.4f, "
+               "\"fields_pruned_rate\": %.4f, \"batches\": %llu, "
+               "\"batch_occupancy\": %.1f}",
+               V.Name.c_str(), V.Seconds, V.Generations, V.gensPerSec(),
+               V.Evaluations, V.FinalBest, V.Stats.hitRate(),
+               V.Stats.pruneRate(),
+               static_cast<unsigned long long>(V.Stats.Batches),
+               V.Stats.batchOccupancy());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  int64_t NumAgents = 16;
+  int64_t NumFields = 33;
+  int64_t Generations = 30;
+  int64_t MaxSteps = 200;
+  int64_t Seed = 7;
+  bool Quick = false;
+  std::string JsonPath = "BENCH_scheduler.json";
+  CommandLine CL("bench_scheduler",
+                 "P3: GA throughput with the generation-wide evaluation "
+                 "scheduler vs the per-genome loop");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addInt("agents", "agents per training field", &NumAgents);
+  CL.addInt("fields", "training fields incl. 3 manual", &NumFields);
+  CL.addInt("generations", "generations per variant", &Generations);
+  CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
+  CL.addInt("seed", "evolution + field seed", &Seed);
+  CL.addBool("quick", "CI-sized run (few fields, few generations)", &Quick);
+  CL.addString("json", "machine-readable output file", &JsonPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+  if (Quick) {
+    NumFields = 13;
+    Generations = 6;
+  }
+  if (NumFields < 3 || Generations <= 0 || MaxSteps <= 0 || NumAgents <= 0) {
+    std::fprintf(stderr, "error: need fields >= 3, generations > 0, "
+                 "max-steps > 0, agents > 0\n");
+    return 1;
+  }
+
+  Torus T(Kind, 16);
+  auto Fields = standardConfigurationSet(T, static_cast<int>(NumAgents),
+                                         static_cast<int>(NumFields) - 3,
+                                         static_cast<uint64_t>(Seed));
+  EvolutionParams Base;
+  Base.Seed = static_cast<uint64_t>(Seed);
+  Base.Fitness.Sim.MaxSteps = static_cast<int>(MaxSteps);
+  Base.Fitness.Engine = EngineKind::Batch;
+
+  std::printf("== P3: GA evaluation scheduler — %s-grid 16x16, k=%lld, "
+              "%zu fields, %lld generations, cutoff %lld ==\n\n",
+              gridKindName(Kind), static_cast<long long>(NumAgents),
+              Fields.size(), static_cast<long long>(Generations),
+              static_cast<long long>(MaxSteps));
+
+  EvolutionParams Legacy = Base;
+  Legacy.Scheduler.Enabled = false;
+  EvolutionParams Exact = Base;
+  Exact.Scheduler.ExactFitness = true;
+  int Gens = static_cast<int>(Generations);
+  VariantResult Baseline = runVariant("baseline", T, Fields, Legacy, Gens);
+  VariantResult SchedExact =
+      runVariant("scheduler_exact", T, Fields, Exact, Gens);
+  VariantResult SchedPruned =
+      runVariant("scheduler_pruned", T, Fields, Base, Gens);
+
+  // Exactness gate: all three variants must track the same champion in
+  // every generation — otherwise the timing compares different searches.
+  size_t Divergences = 0;
+  for (int G = 0; G != Gens; ++G) {
+    bool Same =
+        Baseline.BestHashPerGen[static_cast<size_t>(G)] ==
+            SchedExact.BestHashPerGen[static_cast<size_t>(G)] &&
+        Baseline.BestHashPerGen[static_cast<size_t>(G)] ==
+            SchedPruned.BestHashPerGen[static_cast<size_t>(G)];
+    if (!Same && ++Divergences <= 5)
+      std::fprintf(stderr, "DIVERGENCE gen %d: best-genome hashes differ "
+                   "across variants\n", G + 1);
+  }
+  bool SameEvals = Baseline.Evaluations == SchedExact.Evaluations &&
+                   Baseline.Evaluations == SchedPruned.Evaluations;
+  if (!SameEvals)
+    std::fprintf(stderr, "DIVERGENCE: requested-evaluation counters differ "
+                 "(%d / %d / %d)\n", Baseline.Evaluations,
+                 SchedExact.Evaluations, SchedPruned.Evaluations);
+
+  double SpeedupExact = SchedExact.Seconds > 0.0
+                            ? Baseline.Seconds / SchedExact.Seconds
+                            : 0.0;
+  double SpeedupPruned = SchedPruned.Seconds > 0.0
+                             ? Baseline.Seconds / SchedPruned.Seconds
+                             : 0.0;
+
+  auto PrintRow = [](const VariantResult &V, double Speedup) {
+    std::printf("%-16s %7.3fs  %6.2f gens/s  %5d evals", V.Name.c_str(),
+                V.Seconds, V.gensPerSec(), V.Evaluations);
+    if (Speedup > 0.0)
+      std::printf("  %.2fx", Speedup);
+    std::printf("\n");
+  };
+  PrintRow(Baseline, 0.0);
+  PrintRow(SchedExact, SpeedupExact);
+  PrintRow(SchedPruned, SpeedupPruned);
+  std::printf("pruned variant: %.1f%% cache hits, %.1f%% fields pruned, "
+              "%llu batches (occupancy %.1f)\n",
+              100.0 * SchedPruned.Stats.hitRate(),
+              100.0 * SchedPruned.Stats.pruneRate(),
+              static_cast<unsigned long long>(SchedPruned.Stats.Batches),
+              SchedPruned.Stats.batchOccupancy());
+  std::printf("identical champions per generation: %s\n",
+              Divergences == 0 && SameEvals ? "yes" : "NO");
+
+  if (std::FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(Out, "{\n");
+    std::fprintf(Out,
+                 "  \"bench\": \"bench_scheduler\",\n  \"grid\": \"%s\",\n"
+                 "  \"agents\": %lld,\n  \"fields\": %zu,\n"
+                 "  \"generations\": %lld,\n  \"max_steps\": %lld,\n"
+                 "  \"seed\": %lld,\n",
+                 gridKindName(Kind), static_cast<long long>(NumAgents),
+                 Fields.size(), static_cast<long long>(Generations),
+                 static_cast<long long>(MaxSteps),
+                 static_cast<long long>(Seed));
+    printJsonVariant(Out, Baseline);
+    std::fprintf(Out, ",\n");
+    printJsonVariant(Out, SchedExact);
+    std::fprintf(Out, ",\n");
+    printJsonVariant(Out, SchedPruned);
+    std::fprintf(Out, ",\n");
+    std::fprintf(Out, "  \"speedup_exact\": %.3f,\n", SpeedupExact);
+    std::fprintf(Out, "  \"speedup_pruned\": %.3f,\n", SpeedupPruned);
+    std::fprintf(Out, "  \"champions_identical\": %s\n",
+                 Divergences == 0 && SameEvals ? "true" : "false");
+    std::fprintf(Out, "}\n");
+    std::fclose(Out);
+    std::printf("json written to %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  return Divergences == 0 && SameEvals ? 0 : 1;
+}

@@ -43,6 +43,9 @@ int main(int Argc, char **Argv) {
   std::string SaveName = "evolved";
   std::string CheckpointDir;
   bool Resume = false;
+  std::string EngineName = "batch";
+  bool Scheduler = true;
+  bool ExactFitness = false;
   CommandLine CL("evolve", "Runs the paper's genetic procedure (Sect. 4)");
   CL.addString("grid", "S or T", &GridName);
   CL.addInt("agents", "agents per training field (paper: 8)", &NumAgents);
@@ -60,6 +63,13 @@ int main(int Argc, char **Argv) {
   CL.addString("checkpoint", "save evolution state to <dir>/evolve.ckpt "
                "every generation", &CheckpointDir);
   CL.addBool("resume", "continue from the checkpoint if one exists", &Resume);
+  CL.addString("engine", "simulation engine: batch (default) or reference "
+               "(bit-identical results)", &EngineName);
+  CL.addBool("scheduler", "generation-wide evaluation scheduler "
+             "(memoization, batching, early abort)", &Scheduler);
+  CL.addBool("exact-fitness", "disable bound-based early abort (every "
+             "genome evaluated on every field; same champions either way)",
+             &ExactFitness);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -81,10 +91,20 @@ int main(int Argc, char **Argv) {
       standardConfigurationSet(T, static_cast<int>(NumAgents),
                                static_cast<int>(NumFields) - 3,
                                static_cast<uint64_t>(Seed) * 104729 + 7);
+  EngineKind Engine;
+  if (!parseEngineKind(EngineName, Engine)) {
+    std::fprintf(stderr, "error: unknown engine '%s' (use reference or "
+                 "batch)\n", EngineName.c_str());
+    return 1;
+  }
+
   EvolutionParams Params;
   Params.Seed = static_cast<uint64_t>(Seed);
   Params.Fitness.Sim.MaxSteps = 200;
   Params.Fitness.Sim.Bordered = Bordered;
+  Params.Fitness.Engine = Engine;
+  Params.Scheduler.Enabled = Scheduler;
+  Params.Scheduler.ExactFitness = ExactFitness;
   Params.Dims = GenomeDims{static_cast<int>(States), static_cast<int>(Colors)};
   if (!Params.Dims.valid()) {
     std::fprintf(stderr, "error: states/colors must be in [2, 9]\n");
@@ -135,6 +155,17 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
                      Saved.error().message().c_str());
     }
+  }
+
+  if (Scheduler) {
+    const SchedulerStats &SS = E->schedulerStats();
+    std::printf("scheduler: %llu evals, %s%% cache hits, %s%% fields pruned, "
+                "%llu batches (occupancy %s)\n",
+                static_cast<unsigned long long>(SS.Requests),
+                formatFixed(100.0 * SS.hitRate(), 1).c_str(),
+                formatFixed(100.0 * SS.pruneRate(), 1).c_str(),
+                static_cast<unsigned long long>(SS.Batches),
+                formatFixed(SS.batchOccupancy(), 1).c_str());
   }
 
   const Individual &Best = E->bestEver();

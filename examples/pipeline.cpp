@@ -43,6 +43,8 @@ int main(int Argc, char **Argv) {
   bool Resume = false;
   int64_t CheckpointEvery = 1;
   std::string EngineName = "reference";
+  bool Scheduler = true;
+  bool ExactFitness = false;
   CommandLine CL("pipeline",
                  "Sect. 4 end-to-end: evolve, filter, rank, select");
   CL.addString("grid", "S or T", &GridName);
@@ -65,6 +67,11 @@ int main(int Argc, char **Argv) {
             &CheckpointEvery);
   CL.addString("engine", "simulation engine: reference | batch "
                "(bit-identical results)", &EngineName);
+  CL.addBool("scheduler", "generation-wide evaluation scheduler "
+             "(memoization, batching, early abort)", &Scheduler);
+  CL.addBool("exact-fitness", "disable bound-based early abort (every "
+             "genome evaluated on every field; same champions either way)",
+             &ExactFitness);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -101,6 +108,8 @@ int main(int Argc, char **Argv) {
   Params.Resume = Resume;
   Params.CheckpointEvery = static_cast<int>(CheckpointEvery);
   Params.Engine = Engine;
+  Params.Evolution.Scheduler.Enabled = Scheduler;
+  Params.Evolution.Scheduler.ExactFitness = ExactFitness;
 
   std::printf("pipeline on the %s-grid: %lld runs x %lld generations, "
               "%lld training fields, filter over k = {2,4,8,16,32,256}\n\n",
@@ -141,6 +150,17 @@ int main(int Argc, char **Argv) {
           break;
         }
       });
+
+  if (Scheduler) {
+    const SchedulerStats &SS = Result.Sched;
+    std::printf("\nscheduler: %llu evals, %s%% cache hits, %s%% fields "
+                "pruned, %llu batches (occupancy %s)\n",
+                static_cast<unsigned long long>(SS.Requests),
+                formatFixed(100.0 * SS.hitRate(), 1).c_str(),
+                formatFixed(100.0 * SS.pruneRate(), 1).c_str(),
+                static_cast<unsigned long long>(SS.Batches),
+                formatFixed(SS.batchOccupancy(), 1).c_str());
+  }
 
   std::printf("\n%zu candidates, %d reliable\n", Result.Candidates.size(),
               Result.numReliable());

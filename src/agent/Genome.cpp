@@ -2,6 +2,7 @@
 
 #include "agent/Genome.h"
 
+#include "support/Hash.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
@@ -138,19 +139,15 @@ std::string Genome::toTableString(GridKind Kind) const {
 }
 
 uint64_t Genome::hashValue() const {
-  uint64_t Hash = 0xcbf29ce484222325ULL; // FNV offset basis.
-  auto Mix = [&Hash](uint64_t Value) {
-    Hash ^= Value;
-    Hash *= 0x100000001b3ULL; // FNV prime.
-  };
-  Mix(static_cast<uint64_t>(Dims.States));
-  Mix(static_cast<uint64_t>(Dims.Colors));
+  Fnv1aHasher H;
+  H.mixWord(static_cast<uint64_t>(Dims.States));
+  H.mixWord(static_cast<uint64_t>(Dims.Colors));
   for (int I = 0, E = length(); I != E; ++I) {
     const GenomeEntry &Entry = slot(I);
-    Mix(static_cast<uint64_t>(Entry.NextState) |
-        (static_cast<uint64_t>(Entry.Act.SetColor) << 8) |
-        (static_cast<uint64_t>(Entry.Act.Move) << 16) |
-        (static_cast<uint64_t>(Entry.Act.TurnCode) << 24));
+    H.mixWord(static_cast<uint64_t>(Entry.NextState) |
+              (static_cast<uint64_t>(Entry.Act.SetColor) << 8) |
+              (static_cast<uint64_t>(Entry.Act.Move) << 16) |
+              (static_cast<uint64_t>(Entry.Act.TurnCode) << 24));
   }
-  return Hash;
+  return H.value();
 }

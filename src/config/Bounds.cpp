@@ -1,6 +1,6 @@
-//===- analysis/Bounds.cpp - Communication-time lower bounds --------------===//
+//===- config/Bounds.cpp   - Communication-time lower bounds --------------===//
 
-#include "analysis/Bounds.h"
+#include "config/Bounds.h"
 
 #include "grid/Distance.h"
 

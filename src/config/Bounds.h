@@ -1,4 +1,4 @@
-//===- analysis/Bounds.h - Communication-time lower bounds ------*- C++ -*-===//
+//===- config/Bounds.h   - Communication-time lower bounds ------*- C++ -*-===//
 //
 // Part of the ca2a project: reproduction of Hoffmann & Désérable,
 // "CA Agents for All-to-All Communication Are Faster in the Triangulate
@@ -27,8 +27,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef CA2A_ANALYSIS_BOUNDS_H
-#define CA2A_ANALYSIS_BOUNDS_H
+#ifndef CA2A_CONFIG_BOUNDS_H
+#define CA2A_CONFIG_BOUNDS_H
 
 #include "config/InitialConfiguration.h"
 
@@ -48,4 +48,4 @@ int stationaryLowerBound(const Torus &T, const InitialConfiguration &C);
 
 } // namespace ca2a
 
-#endif // CA2A_ANALYSIS_BOUNDS_H
+#endif // CA2A_CONFIG_BOUNDS_H

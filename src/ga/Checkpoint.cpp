@@ -3,6 +3,7 @@
 #include "ga/Checkpoint.h"
 
 #include "support/File.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 
 #include <cinttypes>
@@ -14,15 +15,6 @@ using namespace ca2a;
 namespace {
 
 constexpr const char *FormatHeader = "ca2a-evolution-checkpoint v1";
-
-uint64_t fnv1a(const std::string &Bytes) {
-  uint64_t Hash = 0xcbf29ce484222325ULL;
-  for (unsigned char C : Bytes) {
-    Hash ^= C;
-    Hash *= 0x100000001b3ULL;
-  }
-  return Hash;
-}
 
 /// Doubles are stored as %.17g, which round-trips IEEE binary64 exactly.
 std::string formatExactDouble(double Value) {

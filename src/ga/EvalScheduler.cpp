@@ -1,0 +1,314 @@
+//===- ga/EvalScheduler.cpp - Generation-wide fitness scheduler -----------===//
+
+#include "ga/EvalScheduler.h"
+
+#include "config/Bounds.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <queue>
+
+using namespace ca2a;
+
+namespace {
+
+/// Hashes a double by bit pattern (deterministic; fitness parameters are
+/// set, not computed, so -0.0/NaN aliasing is not a concern here).
+void mixDouble(Fnv1aHasher &H, double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value), "double is not 64-bit");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  H.mixWord(Bits);
+}
+
+/// Memo key: the scheduler context folded with the genome content hash.
+uint64_t memoKey(uint64_t ContextHash, const Genome &G) {
+  return (ContextHash ^ G.hashValue()) * Fnv1aPrime;
+}
+
+} // namespace
+
+EvalScheduler::EvalScheduler(const Torus &T,
+                             const std::vector<InitialConfiguration> &Fields,
+                             const FitnessParams &Fitness,
+                             const SchedulerParams &Params)
+    : T(T), Fields(Fields), Fitness(Fitness), Params(Params) {
+  // Fingerprint everything besides the genome that decides a
+  // FitnessResult. NumWorkers and Engine are deliberately excluded: both
+  // are bit-identical execution knobs (enforced by the differential suite
+  // and FitnessTest), so results may be shared across them.
+  Fnv1aHasher H;
+  H.mixWord(static_cast<uint64_t>(T.kind()));
+  H.mixWord(static_cast<uint64_t>(T.sideLength()));
+  const SimOptions &Sim = Fitness.Sim;
+  H.mixWord(static_cast<uint64_t>(Sim.MaxSteps));
+  H.mixWord(static_cast<uint64_t>(Sim.Start.M));
+  H.mixWord(Sim.Start.UniformValue);
+  H.mixWord(Sim.ColorsEnabled ? 1 : 0);
+  H.mixWord(static_cast<uint64_t>(Sim.Arbitration));
+  H.mixWord(Sim.Bordered ? 1 : 0);
+  H.mixWord(Sim.Obstacles.size());
+  for (const Coord &C : Sim.Obstacles) {
+    H.mixWord(static_cast<uint64_t>(C.X));
+    H.mixWord(static_cast<uint64_t>(C.Y));
+  }
+  mixDouble(H, Sim.Faults.StallProbability);
+  mixDouble(H, Sim.Faults.DeathProbability);
+  mixDouble(H, Sim.Faults.LinkDropProbability);
+  mixDouble(H, Sim.Faults.ColorFlipProbability);
+  H.mixWord(Sim.Faults.Seed);
+  // A LinkFilter's behaviour cannot be fingerprinted; mixing its presence
+  // at least separates filtered contexts from unfiltered ones.
+  H.mixWord(Sim.Faults.LinkFilter ? 1 : 0);
+  mixDouble(H, Fitness.Weight);
+  H.mixWord(Fields.size());
+  for (const InitialConfiguration &Field : Fields) {
+    H.mixWord(Field.Placements.size());
+    for (const Placement &P : Field.Placements) {
+      H.mixWord(static_cast<uint64_t>(P.Pos.X));
+      H.mixWord(static_cast<uint64_t>(P.Pos.Y));
+      H.mixWord(P.Direction);
+    }
+  }
+  ContextHash = H.value();
+
+  // Per-field certified lower bound on F_i. A success needs t_comm >= the
+  // behaviour-free communication bound; any failure (or any agent death,
+  // under faults) leaves at least one agent uninformed and costs >= W.
+  FieldBounds.reserve(Fields.size());
+  for (const InitialConfiguration &Field : Fields) {
+    double Bound = std::min(
+        static_cast<double>(communicationLowerBound(T, Field)),
+        Fitness.Weight);
+    FieldBounds.push_back(std::max(Bound, 0.0));
+    TotalFieldBound += FieldBounds.back();
+  }
+}
+
+const FitnessResult *EvalScheduler::cacheLookup(uint64_t Key,
+                                                const Genome &G) {
+  if (Params.CacheCapacity == 0)
+    return nullptr;
+  auto Range = CacheIndex.equal_range(Key);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    if (It->second->G != G)
+      continue; // 64-bit hash collision; keep looking.
+    CacheList.splice(CacheList.begin(), CacheList, It->second);
+    return &CacheList.front().Result;
+  }
+  return nullptr;
+}
+
+void EvalScheduler::cacheInsert(uint64_t Key, const Genome &G,
+                                const FitnessResult &Result) {
+  if (Params.CacheCapacity == 0)
+    return;
+  CacheList.push_front(CacheEntry{Key, G, Result});
+  CacheIndex.emplace(Key, CacheList.begin());
+  if (CacheList.size() <= Params.CacheCapacity)
+    return;
+  auto Last = std::prev(CacheList.end());
+  auto Range = CacheIndex.equal_range(Last->Key);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    if (It->second == Last) {
+      CacheIndex.erase(It);
+      break;
+    }
+  }
+  CacheList.pop_back();
+}
+
+FitnessResult EvalScheduler::evaluate(const Genome &G) {
+  std::vector<const Genome *> One{&G};
+  return evaluateGeneration(One, {})[0].Result;
+}
+
+std::vector<EvalOutcome>
+EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
+                                  const std::vector<double> &Incumbents) {
+  const size_t NumGenomes = Genomes.size();
+  const size_t NumFields = Fields.size();
+  std::vector<EvalOutcome> Out(NumGenomes);
+  Stats.Requests += NumGenomes;
+  if (NumFields == 0 || NumGenomes == 0)
+    return Out; // Default FitnessResult matches evaluateFitness's.
+
+  // Resolve the memo cache and intra-request duplicates: one work slot
+  // per distinct uncached genome, remembering every request it answers.
+  struct WorkItem {
+    const Genome *G = nullptr;
+    uint64_t Key = 0;
+    std::vector<size_t> Requests;
+  };
+  std::vector<WorkItem> Work;
+  std::unordered_map<uint64_t, size_t> WorkByKey;
+  for (size_t I = 0; I != NumGenomes; ++I) {
+    const Genome &G = *Genomes[I];
+    uint64_t Key = memoKey(ContextHash, G);
+    if (const FitnessResult *Hit = cacheLookup(Key, G)) {
+      Out[I] = EvalOutcome{*Hit, false, true};
+      ++Stats.CacheHits;
+      continue;
+    }
+    auto It = WorkByKey.find(Key);
+    if (It != WorkByKey.end() && *Work[It->second].G == G) {
+      Work[It->second].Requests.push_back(I);
+      ++Stats.CacheHits; // Duplicate within the request: answered once.
+      continue;
+    }
+    Work.push_back(WorkItem{&G, Key, {I}});
+    if (It == WorkByKey.end())
+      WorkByKey.emplace(Key, Work.size() - 1);
+  }
+  if (Work.empty())
+    return Out;
+  const size_t NumWork = Work.size();
+  ++Stats.Batches;
+
+  // Survival threshold: a bounded max-heap of the N best exactly-known
+  // fitness *sums* (N = incumbent count, the pool's capacity). Its top is
+  // the N-th best candidate so far; a genome whose certified bound
+  // exceeds it is beaten by >= N distinct candidates and cannot survive
+  // sort/dedup/truncate. Comparisons happen in sum units with 0.5 slack
+  // (see the header) so mean-to-sum rounding can never prune unsoundly.
+  const bool AllowPrune = !Params.ExactFitness && !Incumbents.empty();
+  std::priority_queue<double> Heap;
+  if (AllowPrune)
+    for (double MeanFitness : Incumbents)
+      Heap.push(MeanFitness * static_cast<double>(NumFields));
+
+  struct GenomeProgress {
+    double PartialSum = 0.0;  ///< Exact F_i sum of completed fields.
+    double RemainingLB = 0.0; ///< Bound sum of not-yet-completed fields.
+    double SolvedTimeSum = 0.0;
+    size_t FieldsDone = 0;
+    int Solved = 0;
+    bool Cancelled = false;
+  };
+  std::vector<GenomeProgress> Progress(NumWork);
+  for (GenomeProgress &P : Progress)
+    P.RemainingLB = TotalFieldBound;
+
+  // Work items interleave field-major (item = field * NumWork + work) so
+  // early fields of every genome complete first and the partial-sum
+  // signal builds before later fields are scheduled.
+  const size_t NumItems = NumWork * NumFields;
+  size_t NumWorkers = std::max<size_t>(1, Fitness.NumWorkers);
+  NumWorkers = std::min(NumWorkers, NumItems);
+
+  // Both hooks run under one mutex; they may be called from engine worker
+  // threads. Contention is negligible against a full field simulation.
+  std::mutex Mutex;
+  auto OnItemResult = [&](size_t W, size_t F, const SimResult &R) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    GenomeProgress &P = Progress[W];
+    P.PartialSum += fitnessOfRun(R, Fitness.Sim.MaxSteps, Fitness.Weight);
+    P.RemainingLB -= FieldBounds[F];
+    ++P.FieldsDone;
+    if (R.Success) {
+      ++P.Solved;
+      P.SolvedTimeSum += static_cast<double>(R.TComm);
+    }
+    if (!AllowPrune)
+      return;
+    // A completed genome is a new exact candidate: tighten the threshold.
+    if (P.FieldsDone == NumFields && !P.Cancelled &&
+        P.PartialSum < Heap.top()) {
+      Heap.pop();
+      Heap.push(P.PartialSum);
+    }
+    double ThresholdSum = Heap.top();
+    for (GenomeProgress &Other : Progress)
+      if (!Other.Cancelled && Other.FieldsDone < NumFields &&
+          Other.PartialSum + Other.RemainingLB > ThresholdSum + 0.5)
+        Other.Cancelled = true;
+  };
+  auto ShouldSkipItem = [&](size_t W) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Progress[W].Cancelled;
+  };
+
+  std::vector<SimResult> ItemResults;
+  if (Fitness.Engine == EngineKind::Batch) {
+    std::vector<BatchReplica> Replicas(NumItems);
+    for (size_t F = 0; F != NumFields; ++F)
+      for (size_t W = 0; W != NumWork; ++W) {
+        BatchReplica &Replica = Replicas[F * NumWork + W];
+        Replica.A = Work[W].G;
+        Replica.Placements = &Fields[F].Placements;
+        Replica.Options = &Fitness.Sim;
+      }
+    BatchEngine Engine(T);
+    BatchRunOptions RunOptions;
+    RunOptions.NumWorkers = NumWorkers;
+    if (AllowPrune) {
+      RunOptions.ShouldSkip = [&](int Replica) {
+        return ShouldSkipItem(static_cast<size_t>(Replica) % NumWork);
+      };
+    }
+    RunOptions.OnResult = [&](int Replica, const SimResult &R) {
+      size_t I = static_cast<size_t>(Replica);
+      OnItemResult(I % NumWork, I / NumWork, R);
+    };
+    ItemResults = Engine.run(Replicas, RunOptions);
+  } else {
+    // Reference engine: the same interleaved item list swept by chunked
+    // workers, each owning one World (same chunk geometry as
+    // evaluateFitness; the result slots make the reduction order
+    // identical regardless).
+    ItemResults.resize(NumItems);
+    size_t ChunkSize = (NumItems + NumWorkers - 1) / NumWorkers;
+    size_t NumChunks = (NumItems + ChunkSize - 1) / ChunkSize;
+    parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
+      World Wld(T);
+      size_t Begin = Chunk * ChunkSize;
+      size_t End = std::min(Begin + ChunkSize, NumItems);
+      for (size_t I = Begin; I != End; ++I) {
+        size_t W = I % NumWork, F = I / NumWork;
+        if (AllowPrune && ShouldSkipItem(W))
+          continue; // Slot keeps the default (skipped) SimResult.
+        Wld.reset(*Work[W].G, Fields[F].Placements, Fitness.Sim);
+        ItemResults[I] = Wld.run();
+        OnItemResult(W, F, ItemResults[I]);
+      }
+    });
+  }
+
+  // Reduce. Completed genomes get the canonical field-order accumulation
+  // (bit-identical to evaluateFitness) and enter the cache; pruned ones
+  // report their certified bound and never do.
+  std::vector<SimResult> FieldResults(NumFields);
+  for (size_t W = 0; W != NumWork; ++W) {
+    const GenomeProgress &P = Progress[W];
+    EvalOutcome Outcome;
+    if (P.FieldsDone == NumFields) {
+      for (size_t F = 0; F != NumFields; ++F)
+        FieldResults[F] = ItemResults[F * NumWork + W];
+      Outcome.Result = accumulateFitness(FieldResults, Fitness.Sim.MaxSteps,
+                                         Fitness.Weight);
+      cacheInsert(Work[W].Key, *Work[W].G, Outcome.Result);
+      ++Stats.GenomesSimulated;
+      Stats.FieldsSimulated += NumFields;
+    } else {
+      assert(P.Cancelled && "incomplete genome that was never cancelled");
+      Outcome.Pruned = true;
+      Outcome.Result.NumFields = static_cast<int>(NumFields);
+      Outcome.Result.SolvedFields = P.Solved;
+      Outcome.Result.MeanCommTime =
+          P.Solved ? P.SolvedTimeSum / static_cast<double>(P.Solved) : 0.0;
+      Outcome.Result.Fitness =
+          (P.PartialSum + P.RemainingLB) / static_cast<double>(NumFields);
+      ++Stats.GenomesPruned;
+      Stats.FieldsSimulated += P.FieldsDone;
+      Stats.FieldsPruned += NumFields - P.FieldsDone;
+    }
+    for (size_t Request : Work[W].Requests)
+      Out[Request] = Outcome;
+  }
+  return Out;
+}

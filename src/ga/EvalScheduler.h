@@ -1,0 +1,218 @@
+//===- ga/EvalScheduler.h - Generation-wide fitness scheduler ---*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GA's evaluation layer. The legacy loop calls evaluateFitness once
+/// per genome, so every generation pays (a) re-simulating genomes it has
+/// already measured and (b) simulating every field of offspring that are
+/// provably too bad to survive selection. EvalScheduler replaces those
+/// per-genome calls with one generation-wide submission that
+///
+///   1. memoizes FitnessResults in an LRU cache keyed by the canonical
+///      genome hash mixed with a fingerprint of the field set and
+///      simulation parameters (only *exact* full evaluations are cached,
+///      never pruned partials);
+///   2. flattens all uncached (genome, field) pairs into a single
+///      BatchEngine run (or one chunked reference-World sweep), instead of
+///      one engine submission per genome;
+///   3. aborts a genome's remaining fields early once a certified lower
+///      bound on its mean fitness exceeds the generation's survival
+///      threshold — the N-th best exact fitness known so far.
+///
+/// The pruning is *exact* with respect to selection: the paper's
+/// sort/dedup/truncate keeps the best N of the N parents plus offspring,
+/// and a genome is cancelled only when strictly more than N - 1 other
+/// candidates are already known (exactly) to be strictly better, so it
+/// would be truncated no matter what its remaining fields return. The
+/// per-field bound is behaviour-free:
+///
+///     F_i >= min(communicationLowerBound(field), Weight)
+///
+/// — a successful run needs t_comm >= the communication lower bound, any
+/// failure or agent death costs at least one dominance weight W. Partial
+/// sums use only *measured* per-field fitness values, so the bound
+/// certificate is sound under fault injection, k = 1 fields, and
+/// MaxSteps below the bound. Comparisons carry a 0.5 slack in fitness-sum
+/// units: with the paper's integer-valued W every per-field fitness is an
+/// exact integer in double precision, so the slack costs nothing and
+/// absorbs the one-ulp rounding of mean-to-sum conversions.
+///
+/// Pruned outcomes report the certified bound as their fitness, which by
+/// construction ranks them strictly below every survivor; selection (and
+/// therefore the whole evolution trajectory, champions included) is
+/// bit-identical to exhaustive evaluation. SchedulerParams::ExactFitness
+/// disables the pruning (memoization and batching stay on) so the claim
+/// can be checked, not just believed — tests/ga/EvalSchedulerTest.cpp
+/// diffs champions across seeds, and bench/bench_scheduler.cpp reports
+/// the speedup it buys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_GA_EVALSCHEDULER_H
+#define CA2A_GA_EVALSCHEDULER_H
+
+#include "ga/Fitness.h"
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace ca2a {
+
+/// Scheduler knobs (all defaults are the production setting).
+struct SchedulerParams {
+  /// Master switch. False restores the legacy one-evaluateFitness-per-
+  /// genome loop (the PR-2 baseline the benchmark measures against).
+  bool Enabled = true;
+  /// True disables bound-based early abort: every requested genome is
+  /// evaluated on every field (memoization and batching stay active).
+  /// Selection outcomes are identical either way; this switch exists to
+  /// prove it.
+  bool ExactFitness = false;
+  /// Capacity of the fitness memo cache, in genomes (LRU eviction).
+  /// A GA run touches ~N * 1.5 live genomes per generation, so a few
+  /// thousand entries hold many generations of history. 0 disables
+  /// memoization.
+  size_t CacheCapacity = 4096;
+};
+
+/// Scheduler instrumentation. Counters are cumulative over the scheduler's
+/// lifetime; with NumWorkers > 1 the pruning counters may vary between
+/// runs (completion order decides *which* provably-doomed genome gets
+/// cancelled first), but selection outcomes never do.
+struct SchedulerStats {
+  uint64_t Requests = 0;         ///< Genome evaluations asked for.
+  uint64_t CacheHits = 0;        ///< Requests answered from the memo cache.
+  uint64_t GenomesSimulated = 0; ///< Genomes fully simulated (all fields).
+  uint64_t GenomesPruned = 0;    ///< Genomes cancelled by the bound.
+  uint64_t FieldsSimulated = 0;  ///< (genome, field) pairs simulated.
+  uint64_t FieldsPruned = 0;     ///< (genome, field) pairs skipped.
+  uint64_t Batches = 0;          ///< Engine submissions issued.
+
+  /// Fraction of requests served from the cache.
+  double hitRate() const {
+    return Requests ? static_cast<double>(CacheHits) /
+                          static_cast<double>(Requests)
+                    : 0.0;
+  }
+  /// Fraction of scheduled fields skipped by early abort.
+  double pruneRate() const {
+    uint64_t Scheduled = FieldsSimulated + FieldsPruned;
+    return Scheduled ? static_cast<double>(FieldsPruned) /
+                           static_cast<double>(Scheduled)
+                     : 0.0;
+  }
+  /// Mean (genome, field) pairs per engine submission — how much work
+  /// each batch amortises its fan-out over.
+  double batchOccupancy() const {
+    uint64_t Scheduled = FieldsSimulated + FieldsPruned;
+    return Batches ? static_cast<double>(Scheduled) /
+                         static_cast<double>(Batches)
+                   : 0.0;
+  }
+
+  SchedulerStats &operator+=(const SchedulerStats &Other) {
+    Requests += Other.Requests;
+    CacheHits += Other.CacheHits;
+    GenomesSimulated += Other.GenomesSimulated;
+    GenomesPruned += Other.GenomesPruned;
+    FieldsSimulated += Other.FieldsSimulated;
+    FieldsPruned += Other.FieldsPruned;
+    Batches += Other.Batches;
+    return *this;
+  }
+};
+
+/// Outcome of one requested genome evaluation.
+struct EvalOutcome {
+  FitnessResult Result;
+  /// True when the evaluation was aborted early. Result.Fitness is then a
+  /// certified *lower bound* that provably exceeds the generation's
+  /// survival threshold (so the genome sorts below every survivor);
+  /// Result.SolvedFields counts only the fields that did run. Pruned
+  /// results are never cached.
+  bool Pruned = false;
+  /// True when the result came from the memo cache (always exact).
+  bool CacheHit = false;
+};
+
+/// Generation-wide fitness evaluator for one (torus, field set, params)
+/// training context. Both borrows must outlive the scheduler; the field
+/// set must not be modified while it is alive (the memo cache keys
+/// against a fingerprint taken at construction).
+class EvalScheduler {
+public:
+  EvalScheduler(const Torus &T,
+                const std::vector<InitialConfiguration> &Fields,
+                const FitnessParams &Fitness, const SchedulerParams &Params);
+
+  /// Evaluates a whole generation's worth of genomes in one batched
+  /// submission.
+  ///
+  /// \p Incumbents are the exact fitnesses of the current pool (the
+  /// candidates the genomes compete against); their count N is the
+  /// selection's survival capacity. Early abort triggers for a genome as
+  /// soon as N other candidates — incumbents or already-completed members
+  /// of this very batch — are exactly known to beat its certified bound.
+  /// Pass an empty vector (e.g. for the initial population) to disable
+  /// pruning: every genome is then evaluated exactly.
+  ///
+  /// Outcomes are returned in request order. Genomes may repeat; later
+  /// duplicates are answered from the first occurrence (counted as cache
+  /// hits). Results are bit-identical to evaluateFitness for every
+  /// NumWorkers / engine combination.
+  std::vector<EvalOutcome>
+  evaluateGeneration(const std::vector<const Genome *> &Genomes,
+                     const std::vector<double> &Incumbents);
+
+  /// Single-genome convenience wrapper: always exact (never pruned),
+  /// served from / inserted into the memo cache like any other request.
+  FitnessResult evaluate(const Genome &G);
+
+  const SchedulerStats &stats() const { return Stats; }
+  const FitnessParams &fitnessParams() const { return Fitness; }
+
+  /// The memo key context: FNV-1a over grid kind/size, simulation options
+  /// and field placements (exposed for tests).
+  uint64_t contextFingerprint() const { return ContextHash; }
+
+private:
+  struct CacheEntry {
+    uint64_t Key = 0;
+    Genome G;
+    FitnessResult Result;
+  };
+
+  /// Cache lookup; moves a hit to the front of the LRU list.
+  const FitnessResult *cacheLookup(uint64_t Key, const Genome &G);
+  /// Inserts an exact result, evicting the least-recently-used entry.
+  void cacheInsert(uint64_t Key, const Genome &G,
+                   const FitnessResult &Result);
+
+  const Torus &T;
+  const std::vector<InitialConfiguration> &Fields;
+  FitnessParams Fitness;
+  SchedulerParams Params;
+  SchedulerStats Stats;
+
+  uint64_t ContextHash = 0;
+  /// Per-field certified fitness lower bound, min(commBound, Weight).
+  std::vector<double> FieldBounds;
+  double TotalFieldBound = 0.0; ///< Sum of FieldBounds.
+
+  /// LRU memo cache: most-recently-used at the front. Keys collide only
+  /// on 64-bit hash collisions; entries store the genome and verify real
+  /// equality on lookup.
+  std::list<CacheEntry> CacheList;
+  std::unordered_multimap<uint64_t, std::list<CacheEntry>::iterator>
+      CacheIndex;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_GA_EVALSCHEDULER_H

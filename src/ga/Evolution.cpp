@@ -5,6 +5,7 @@
 #include "ga/Crossover.h"
 
 #include <algorithm>
+#include <limits>
 
 using namespace ca2a;
 
@@ -12,7 +13,8 @@ Evolution::Evolution(const Torus &T,
                      std::vector<InitialConfiguration> TrainingFields,
                      const EvolutionParams &Params)
     : T(T), TrainingFields(std::move(TrainingFields)), Params(Params),
-      R(Params.Seed) {
+      R(Params.Seed),
+      Sched(T, this->TrainingFields, Params.Fitness, Params.Scheduler) {
   assert(Params.PopulationSize >= 2 && "population too small");
   assert(Params.ExchangeCount >= 0 &&
          Params.ExchangeCount <= Params.PopulationSize / 4 &&
@@ -20,8 +22,13 @@ Evolution::Evolution(const Torus &T,
   assert(!this->TrainingFields.empty() && "no training fields");
   assert(Params.Dims.valid() && "bad genome dimensions");
   Pool.reserve(static_cast<size_t>(Params.PopulationSize) * 3 / 2);
+  // The initial pool is evaluated exactly (no pruning: all N members are
+  // kept, so there is no survival threshold to prune against).
+  std::vector<Genome> Randoms;
+  Randoms.reserve(static_cast<size_t>(Params.PopulationSize));
   for (int I = 0; I != Params.PopulationSize; ++I)
-    Pool.push_back(evaluate(Genome::random(R, Params.Dims)));
+    Randoms.push_back(Genome::random(R, Params.Dims));
+  appendEvaluated(std::move(Randoms), /*AllowPruning=*/false);
   std::stable_sort(Pool.begin(), Pool.end(),
                    [](const Individual &A, const Individual &B) {
                      return A.Fitness < B.Fitness;
@@ -34,7 +41,8 @@ Evolution::Evolution(const Torus &T,
                      const EvolutionParams &Params,
                      const EvolutionSnapshot &Resume)
     : T(T), TrainingFields(std::move(TrainingFields)), Params(Params),
-      R(Params.Seed) {
+      R(Params.Seed),
+      Sched(T, this->TrainingFields, Params.Fitness, Params.Scheduler) {
   assert(Params.PopulationSize >= 2 && "population too small");
   assert(Params.ExchangeCount >= 0 &&
          Params.ExchangeCount <= Params.PopulationSize / 4 &&
@@ -66,7 +74,10 @@ EvolutionSnapshot Evolution::snapshot() const {
 }
 
 Individual Evolution::evaluate(Genome G) {
-  FitnessResult Result = evaluateFitness(G, T, TrainingFields, Params.Fitness);
+  FitnessResult Result =
+      Params.Scheduler.Enabled
+          ? Sched.evaluate(G)
+          : evaluateFitness(G, T, TrainingFields, Params.Fitness);
   ++Evaluations;
   Individual Ind;
   Ind.G = std::move(G);
@@ -74,6 +85,37 @@ Individual Evolution::evaluate(Genome G) {
   Ind.SolvedFields = Result.SolvedFields;
   Ind.CompletelySuccessful = Result.completelySuccessful();
   return Ind;
+}
+
+void Evolution::appendEvaluated(std::vector<Genome> Genomes,
+                                bool AllowPruning) {
+  if (!Params.Scheduler.Enabled) {
+    for (Genome &G : Genomes)
+      Pool.push_back(evaluate(std::move(G)));
+    return;
+  }
+  std::vector<const Genome *> Requests;
+  Requests.reserve(Genomes.size());
+  for (const Genome &G : Genomes)
+    Requests.push_back(&G);
+  std::vector<double> Incumbents;
+  if (AllowPruning) {
+    Incumbents.reserve(Pool.size());
+    for (const Individual &Ind : Pool)
+      Incumbents.push_back(Ind.Fitness);
+  }
+  std::vector<EvalOutcome> Outcomes =
+      Sched.evaluateGeneration(Requests, Incumbents);
+  Evaluations += static_cast<int>(Genomes.size());
+  for (size_t I = 0; I != Genomes.size(); ++I) {
+    Individual Ind;
+    Ind.G = std::move(Genomes[I]);
+    Ind.Fitness = Outcomes[I].Result.Fitness;
+    Ind.SolvedFields = Outcomes[I].Result.SolvedFields;
+    Ind.CompletelySuccessful = Outcomes[I].Result.completelySuccessful();
+    Ind.Pruned = Outcomes[I].Pruned;
+    Pool.push_back(std::move(Ind));
+  }
 }
 
 void Evolution::sortDedupTruncate() {
@@ -98,6 +140,30 @@ void Evolution::sortDedupTruncate() {
   }
   Pool = std::move(Unique);
   size_t N = static_cast<size_t>(Params.PopulationSize);
+  // Repair pass: a pruned member's fitness is a certified lower bound
+  // proven (against N distinct better candidates) to lose selection, so
+  // normally every pruned member sits strictly beyond the truncation
+  // boundary. The only exception is a pool that contained genotype
+  // duplicates (possible in generation 1 when two random genomes
+  // collide), which weakens the scheduler's distinctness premise. Any
+  // pruned member at or inside the boundary is therefore re-evaluated
+  // exactly before truncating, which restores exact selection even then.
+  while (true) {
+    double Boundary = Pool.size() >= N
+                          ? Pool[N - 1].Fitness
+                          : std::numeric_limits<double>::infinity();
+    auto Doomed = [&](const Individual &Ind) {
+      return Ind.Pruned && Ind.Fitness <= Boundary;
+    };
+    auto It = std::find_if(Pool.begin(), Pool.end(), Doomed);
+    if (It == Pool.end())
+      break;
+    *It = evaluate(std::move(It->G));
+    std::stable_sort(Pool.begin(), Pool.end(),
+                     [](const Individual &A, const Individual &B) {
+                       return A.Fitness < B.Fitness;
+                     });
+  }
   if (Pool.size() > N)
     Pool.resize(N);
   // Deduplication can shrink the pool below N; refill with fresh random
@@ -124,9 +190,12 @@ void Evolution::diversityExchange() {
 GenerationStats Evolution::stepGeneration() {
   int NumOffspring = Params.PopulationSize / 2;
   // Parents are the current top half *in pool order*, which reflects the
-  // previous generation's diversity exchange.
-  std::vector<Individual> Offspring;
-  Offspring.reserve(static_cast<size_t>(NumOffspring));
+  // previous generation's diversity exchange. All offspring genomes are
+  // produced before any is evaluated: evaluation consumes nothing from
+  // the evolution RNG, so this replays the legacy generate-evaluate
+  // interleaving bit-for-bit while enabling one batched submission.
+  std::vector<Genome> Children;
+  Children.reserve(static_cast<size_t>(NumOffspring));
   for (int I = 0; I != NumOffspring; ++I) {
     Genome Child = Pool[static_cast<size_t>(I)].G;
     if (Params.CrossoverProbability > 0.0 &&
@@ -138,10 +207,31 @@ GenerationStats Evolution::stepGeneration() {
         ++J;
       Child = crossoverOnePoint(Child, Pool[static_cast<size_t>(J)].G, R);
     }
-    Offspring.push_back(evaluate(mutate(Child, Params.Mutation, R)));
+    Children.push_back(mutate(Child, Params.Mutation, R));
   }
-  for (Individual &Child : Offspring)
-    Pool.push_back(std::move(Child));
+
+  // Pre-selection dedup: a child identical to a pool member (or to an
+  // earlier child) would evaluate to the same fitness as its twin and be
+  // deleted by sortDedupTruncate's keep-the-first-copy rule, so dropping
+  // it before evaluation cannot change the trajectory (EvolutionTest pins
+  // this) and saves its simulations. Dropped children still count as
+  // requested evaluations, keeping the counter identical to the
+  // exhaustive loop.
+  std::vector<Genome> Fresh;
+  Fresh.reserve(Children.size());
+  for (Genome &Child : Children) {
+    bool Duplicate =
+        std::any_of(Pool.begin(), Pool.end(),
+                    [&](const Individual &Ind) { return Ind.G == Child; }) ||
+        std::any_of(Fresh.begin(), Fresh.end(),
+                    [&](const Genome &Kept) { return Kept == Child; });
+    if (Duplicate)
+      ++Evaluations;
+    else
+      Fresh.push_back(std::move(Child));
+  }
+
+  appendEvaluated(std::move(Fresh), /*AllowPruning=*/true);
 
   sortDedupTruncate();
   if (Pool.front().Fitness < BestEver.Fitness)
@@ -160,6 +250,7 @@ GenerationStats Evolution::stepGeneration() {
   }
   Stats.MeanFitness = Sum / static_cast<double>(Pool.size());
   Stats.Evaluations = Evaluations;
+  Stats.Sched = Sched.stats();
   return Stats;
 }
 

@@ -22,12 +22,20 @@
 /// topped up with fresh random genomes (the paper does not specify this
 /// corner; random refill only adds diversity and cannot hurt elitism).
 ///
+/// Evaluation is delegated to ga/EvalScheduler: every generation's
+/// offspring are deduplicated against the pool up front (a duplicate
+/// would be deleted by step 2 anyway) and the remainder is evaluated in
+/// one batched, memoized, bound-pruned submission. The trajectory —
+/// pools, champions, RNG stream, evaluation counts — is bit-identical to
+/// the legacy evaluate-one-genome-at-a-time loop, which
+/// EvolutionParams::Scheduler.Enabled = false restores.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CA2A_GA_EVOLUTION_H
 #define CA2A_GA_EVOLUTION_H
 
-#include "ga/Fitness.h"
+#include "ga/EvalScheduler.h"
 #include "ga/Mutation.h"
 
 #include <array>
@@ -42,6 +50,12 @@ struct Individual {
   double Fitness = 0.0;
   int SolvedFields = 0;
   bool CompletelySuccessful = false;
+  /// Transient marker: Fitness is the scheduler's certified lower bound,
+  /// not an exact measurement (see EvalOutcome::Pruned). Selection
+  /// guarantees pruned individuals never survive into the next pool
+  /// (stepGeneration re-evaluates any would-be survivor exactly first),
+  /// so snapshots and checkpoints never carry a true flag.
+  bool Pruned = false;
 };
 
 /// Evolution knobs (defaults are the paper's settings: mutation-only).
@@ -59,6 +73,11 @@ struct EvolutionParams {
   /// FSM dimensions to evolve (the future-work "more states, more
   /// colors"); the default is the paper's 4 states / 2 colours.
   GenomeDims Dims;
+  /// The generation-wide evaluation layer (memoization, cross-genome
+  /// batching, bound-based early abort). Selection outcomes are identical
+  /// with the scheduler on or off; Scheduler.Enabled = false restores the
+  /// legacy one-evaluateFitness-per-genome loop.
+  SchedulerParams Scheduler;
 };
 
 /// A complete, restorable snapshot of an Evolution's mutable state.
@@ -83,7 +102,13 @@ struct GenerationStats {
   double MeanFitness = 0.0;
   int BestSolvedFields = 0;
   int NumCompletelySuccessful = 0; ///< Within the pool.
-  int Evaluations = 0;             ///< Cumulative fitness evaluations.
+  /// Cumulative *requested* evaluations (duplicates answered by dedup or
+  /// the memo cache count too, so the number is identical with the
+  /// scheduler on or off).
+  int Evaluations = 0;
+  /// Cumulative scheduler instrumentation (all-zero when the scheduler is
+  /// disabled).
+  SchedulerStats Sched;
 };
 
 /// Drives the genetic procedure on one grid/field set.
@@ -124,8 +149,13 @@ public:
   int generation() const { return Generation; }
   int evaluations() const { return Evaluations; }
 
+  /// Cumulative evaluation-layer instrumentation (cache hits, pruning,
+  /// batch occupancy); all-zero when the scheduler is disabled.
+  const SchedulerStats &schedulerStats() const { return Sched.stats(); }
+
 private:
   Individual evaluate(Genome G);
+  void appendEvaluated(std::vector<Genome> Genomes, bool AllowPruning);
   void sortDedupTruncate();
   void diversityExchange();
 
@@ -133,6 +163,7 @@ private:
   std::vector<InitialConfiguration> TrainingFields;
   EvolutionParams Params;
   Rng R;
+  EvalScheduler Sched;
   std::vector<Individual> Pool;
   Individual BestEver;
   int Generation = 0;

@@ -15,14 +15,27 @@ double ca2a::fitnessOfRun(const SimResult &Result, int MaxSteps,
   return Weight * static_cast<double>(Uninformed) + static_cast<double>(Time);
 }
 
-namespace {
-/// Per-worker accumulator: own World (engines are not shareable) plus sums.
-struct ChunkAccumulator {
-  double FitnessSum = 0.0;
-  double SolvedTimeSum = 0.0;
-  int Solved = 0;
-};
-} // namespace
+FitnessResult
+ca2a::accumulateFitness(const std::vector<SimResult> &Results, int MaxSteps,
+                        double Weight) {
+  FitnessResult Out;
+  Out.NumFields = static_cast<int>(Results.size());
+  if (Results.empty())
+    return Out;
+  double FitnessSum = 0.0, SolvedTimeSum = 0.0;
+  for (const SimResult &Result : Results) {
+    FitnessSum += fitnessOfRun(Result, MaxSteps, Weight);
+    if (Result.Success) {
+      ++Out.SolvedFields;
+      SolvedTimeSum += static_cast<double>(Result.TComm);
+    }
+  }
+  Out.Fitness = FitnessSum / static_cast<double>(Results.size());
+  Out.MeanCommTime =
+      Out.SolvedFields ? SolvedTimeSum / static_cast<double>(Out.SolvedFields)
+                       : 0.0;
+  return Out;
+}
 
 FitnessResult
 ca2a::evaluateFitness(const Genome &G, const Torus &T,
@@ -36,10 +49,14 @@ ca2a::evaluateFitness(const Genome &G, const Torus &T,
   size_t NumWorkers = std::max<size_t>(1, Params.NumWorkers);
   NumWorkers = std::min(NumWorkers, Fields.size());
 
+  // Both engines fill one result slot per field and reduce sequentially in
+  // field order below, so the fitness is bit-identical for every worker
+  // count and engine choice (the chunk geometry used to regroup the
+  // floating-point sums, which made the reference path's result depend on
+  // NumWorkers in the last ulp).
+  std::vector<SimResult> Results;
   if (Params.Engine == EngineKind::Batch) {
-    // One replica per field; the engine owns the fan-out. Results come
-    // back in field order, so the accumulation below is deterministic
-    // (and identical to the reference path's NumWorkers=1 order).
+    // One replica per field; the engine owns the fan-out.
     std::vector<BatchReplica> Replicas(Fields.size());
     for (size_t I = 0; I != Fields.size(); ++I) {
       Replicas[I].A = &G;
@@ -49,53 +66,20 @@ ca2a::evaluateFitness(const Genome &G, const Torus &T,
     BatchEngine Engine(T);
     BatchRunOptions RunOptions;
     RunOptions.NumWorkers = NumWorkers;
-    std::vector<SimResult> Results = Engine.run(Replicas, RunOptions);
-    double FitnessSum = 0.0, SolvedTimeSum = 0.0;
-    for (const SimResult &Result : Results) {
-      FitnessSum += fitnessOfRun(Result, Params.Sim.MaxSteps, Params.Weight);
-      if (Result.Success) {
-        ++Out.SolvedFields;
-        SolvedTimeSum += static_cast<double>(Result.TComm);
+    Results = Engine.run(Replicas, RunOptions);
+  } else {
+    Results.resize(Fields.size());
+    size_t ChunkSize = (Fields.size() + NumWorkers - 1) / NumWorkers;
+    size_t NumChunks = (Fields.size() + ChunkSize - 1) / ChunkSize;
+    parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
+      World W(T); // Engines are not shareable across workers.
+      size_t Begin = Chunk * ChunkSize;
+      size_t End = std::min(Begin + ChunkSize, Fields.size());
+      for (size_t I = Begin; I != End; ++I) {
+        W.reset(G, Fields[I].Placements, Params.Sim);
+        Results[I] = W.run();
       }
-    }
-    Out.Fitness = FitnessSum / static_cast<double>(Fields.size());
-    Out.MeanCommTime =
-        Out.SolvedFields
-            ? SolvedTimeSum / static_cast<double>(Out.SolvedFields)
-            : 0.0;
-    return Out;
+    });
   }
-
-  size_t ChunkSize = (Fields.size() + NumWorkers - 1) / NumWorkers;
-  size_t NumChunks = (Fields.size() + ChunkSize - 1) / ChunkSize;
-
-  std::vector<ChunkAccumulator> Accumulators(NumChunks);
-  parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
-    World W(T);
-    ChunkAccumulator &Acc = Accumulators[Chunk];
-    size_t Begin = Chunk * ChunkSize;
-    size_t End = std::min(Begin + ChunkSize, Fields.size());
-    for (size_t I = Begin; I != End; ++I) {
-      W.reset(G, Fields[I].Placements, Params.Sim);
-      SimResult Result = W.run();
-      Acc.FitnessSum +=
-          fitnessOfRun(Result, Params.Sim.MaxSteps, Params.Weight);
-      if (Result.Success) {
-        ++Acc.Solved;
-        Acc.SolvedTimeSum += static_cast<double>(Result.TComm);
-      }
-    }
-  });
-
-  double FitnessSum = 0.0, SolvedTimeSum = 0.0;
-  for (const ChunkAccumulator &Acc : Accumulators) {
-    FitnessSum += Acc.FitnessSum;
-    SolvedTimeSum += Acc.SolvedTimeSum;
-    Out.SolvedFields += Acc.Solved;
-  }
-  Out.Fitness = FitnessSum / static_cast<double>(Fields.size());
-  Out.MeanCommTime =
-      Out.SolvedFields ? SolvedTimeSum / static_cast<double>(Out.SolvedFields)
-                       : 0.0;
-  return Out;
+  return accumulateFitness(Results, Params.Sim.MaxSteps, Params.Weight);
 }

@@ -34,7 +34,10 @@ namespace ca2a {
 struct FitnessParams {
   SimOptions Sim;            ///< MaxSteps / start states / colour switch.
   double Weight = 1e4;       ///< The dominance weight W.
-  size_t NumWorkers = 1;     ///< Threads for the per-field loop.
+  /// Threads for the per-field loop. Honoured by both engines; results are
+  /// bit-identical for every value (per-field result slots are reduced
+  /// sequentially in field order).
+  size_t NumWorkers = 1;
   /// Which engine simulates the fields. Batch is bit-identical to the
   /// reference (the differential suite enforces it) but several times
   /// faster, so fitness numbers do not depend on this switch.
@@ -61,6 +64,12 @@ FitnessResult evaluateFitness(const Genome &G, const Torus &T,
 
 /// The fitness contribution of a single finished run.
 double fitnessOfRun(const SimResult &Result, int MaxSteps, double Weight);
+
+/// Reduces per-field results (in field order, one slot per field) to a
+/// FitnessResult. The sequential field-order summation is the canonical
+/// floating-point grouping every evaluation path must reproduce.
+FitnessResult accumulateFitness(const std::vector<SimResult> &Results,
+                                int MaxSteps, double Weight);
 
 } // namespace ca2a
 

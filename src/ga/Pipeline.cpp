@@ -33,6 +33,7 @@ PipelineResult ca2a::runSelectionPipeline(
 
   // Stage 1+2: independent runs, candidate extraction.
   std::vector<RankedCandidate> Candidates;
+  SchedulerStats SchedTotals;
   for (int Run = 0; Run != Params.NumRuns; ++Run) {
     PipelineProgress Start;
     Start.S = PipelineProgress::Stage::RunStarted;
@@ -130,6 +131,7 @@ PipelineResult ca2a::runSelectionPipeline(
       Candidates.push_back(std::move(C));
       ++Taken;
     }
+    SchedTotals += E->schedulerStats();
     PipelineProgress Done;
     Done.S = PipelineProgress::Stage::RunFinished;
     Done.Run = Run;
@@ -163,5 +165,6 @@ PipelineResult ca2a::runSelectionPipeline(
 
   PipelineResult Result;
   Result.Candidates = std::move(Candidates);
+  Result.Sched = SchedTotals;
   return Result;
 }

@@ -76,6 +76,12 @@ struct PipelineResult {
   /// the unreliable ones (by training fitness).
   std::vector<RankedCandidate> Candidates;
 
+  /// Evaluation-scheduler instrumentation summed over every optimisation
+  /// run (all-zero when Evolution.Scheduler.Enabled is false). The
+  /// reliability stage evaluates each candidate once per density and is
+  /// not scheduled.
+  SchedulerStats Sched;
+
   bool hasWinner() const {
     return !Candidates.empty() && Candidates.front().reliable();
   }

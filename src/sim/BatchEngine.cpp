@@ -810,6 +810,18 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
     return Options.FinalStates ? &(*Options.FinalStates)[I] : nullptr;
   };
 
+  // One replica through the runner, honouring the cancellation hooks. A
+  // skipped replica keeps its default SimResult (NumAgents == 0).
+  auto RunOne = [&](ReplicaRunner &Runner, size_t I,
+                    const std::function<void(const BatchStepView &)> &OnStep) {
+    int Index = static_cast<int>(I);
+    if (Options.ShouldSkip && Options.ShouldSkip(Index))
+      return;
+    Results[I] = Runner.runReplica(Replicas[I], Index, OnStep, FinalSlot(I));
+    if (Options.OnResult)
+      Options.OnResult(Index, Results[I]);
+  };
+
   // An observer forces inline sequential execution: callbacks see replicas
   // in order and never run concurrently.
   size_t NumWorkers = Options.OnStep ? 1 : std::max<size_t>(1, Options.NumWorkers);
@@ -817,8 +829,7 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
   if (NumWorkers <= 1) {
     ReplicaRunner Runner(T, BoundaryMask, Neighbors16, TurnMap);
     for (size_t I = 0; I != Replicas.size(); ++I)
-      Results[I] = Runner.runReplica(Replicas[I], static_cast<int>(I),
-                                     Options.OnStep, FinalSlot(I));
+      RunOne(Runner, I, Options.OnStep);
     return Results;
   }
 
@@ -832,8 +843,7 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
     size_t Begin = Chunk * ChunkSize;
     size_t End = std::min(Begin + ChunkSize, Replicas.size());
     for (size_t I = Begin; I != End; ++I)
-      Results[I] = Runner.runReplica(Replicas[I], static_cast<int>(I), {},
-                                     FinalSlot(I));
+      RunOne(Runner, I, {});
   });
   return Results;
 }

@@ -133,6 +133,21 @@ struct BatchRunOptions {
   /// (replica order, NumWorkers ignored) so callbacks never run
   /// concurrently.
   std::function<void(const BatchStepView &)> OnStep;
+
+  // Partial-batch cancellation, used by ga/EvalScheduler's bound-based
+  // early abort. Both hooks may be invoked concurrently from worker
+  // threads when NumWorkers > 1; callers own their synchronisation.
+
+  /// Polled right before each replica is simulated. Returning true skips
+  /// the replica entirely: its result slot keeps a default-constructed
+  /// SimResult (recognisable by NumAgents == 0, which no simulated replica
+  /// can produce), and OnResult is not invoked for it.
+  std::function<bool(int Replica)> ShouldSkip;
+
+  /// Invoked with each replica's result as soon as that replica finishes
+  /// (completion order, not replica order). Lets a scheduler accumulate
+  /// partial sums and flip ShouldSkip for the batch's remaining replicas.
+  std::function<void(int Replica, const SimResult &)> OnResult;
 };
 
 /// The batched engine. Like World, it borrows the Torus, which must

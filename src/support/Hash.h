@@ -1,0 +1,73 @@
+//===- support/Hash.h - FNV-1a content hashing ------------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's one content-hash primitive: 64-bit FNV-1a, shared by the
+/// checkpoint checksum (ga/Checkpoint), the genome content hash
+/// (agent/Genome) and the evaluation-scheduler memo keys (ga/EvalScheduler).
+/// Two mixing granularities are exposed:
+///
+///   - mixBytes / fnv1a: the classic byte-wise FNV-1a (matches the
+///     published test vectors), used for serialized payloads;
+///   - mixWord: one xor-multiply round per 64-bit word, used for packed
+///     structured data where byte-wise feeding would cost 8x the rounds.
+///
+/// Both are deterministic across platforms and runs — hashes are stored in
+/// checkpoint files and compared between processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_HASH_H
+#define CA2A_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ca2a {
+
+constexpr uint64_t Fnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t Fnv1aPrime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a hasher.
+class Fnv1aHasher {
+public:
+  /// One xor-multiply round over a full 64-bit word.
+  void mixWord(uint64_t Value) {
+    Hash ^= Value;
+    Hash *= Fnv1aPrime;
+  }
+
+  /// Classic byte-wise FNV-1a over a buffer.
+  void mixBytes(const void *Data, size_t Size) {
+    const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Size; ++I)
+      mixWord(Bytes[I]);
+  }
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = Fnv1aOffsetBasis;
+};
+
+/// One-shot byte-wise FNV-1a of a buffer.
+inline uint64_t fnv1a(const void *Data, size_t Size) {
+  Fnv1aHasher H;
+  H.mixBytes(Data, Size);
+  return H.value();
+}
+
+/// One-shot byte-wise FNV-1a of a string's contents.
+inline uint64_t fnv1a(const std::string &Bytes) {
+  return fnv1a(Bytes.data(), Bytes.size());
+}
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_HASH_H

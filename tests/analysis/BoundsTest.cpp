@@ -1,6 +1,6 @@
 //===- tests/analysis/BoundsTest.cpp - Lower-bound oracle tests -----------===//
 
-#include "analysis/Bounds.h"
+#include "config/Bounds.h"
 
 #include "agent/BestAgents.h"
 #include "grid/Distance.h"

@@ -1,0 +1,341 @@
+//===- tests/ga/EvalSchedulerTest.cpp - Evaluation-scheduler tests --------===//
+//
+// Covers the generation-wide evaluation layer: memoization (LRU cache,
+// intra-batch dedup), cross-genome batching on both engines, and —
+// most importantly — the exactness contract of bound-based early abort:
+// pruning must never change which genomes selection keeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ga/EvalScheduler.h"
+
+#include "agent/BestAgents.h"
+#include "ga/Evolution.h"
+#include "ga/Pipeline.h"
+#include "support/Rng.h"
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// Small training context: 16x16 T-grid, 4 agents, a handful of fields.
+struct Ctx {
+  Torus T{GridKind::Triangulate, 16};
+  std::vector<InitialConfiguration> Fields;
+  FitnessParams FP;
+
+  explicit Ctx(int NumFields = 8, int Agents = 4) {
+    Fields = standardConfigurationSet(T, Agents, NumFields - 3, 321);
+    FP.Sim.MaxSteps = 60;
+    FP.Engine = EngineKind::Batch;
+  }
+};
+
+Genome randomGenome(uint64_t Seed) {
+  Rng R(Seed);
+  return Genome::random(R);
+}
+
+/// Exact fitness equality, field by field (results must be bit-identical,
+/// not just close).
+void expectSameResult(const FitnessResult &A, const FitnessResult &B) {
+  EXPECT_DOUBLE_EQ(A.Fitness, B.Fitness);
+  EXPECT_DOUBLE_EQ(A.MeanCommTime, B.MeanCommTime);
+  EXPECT_EQ(A.SolvedFields, B.SolvedFields);
+  EXPECT_EQ(A.NumFields, B.NumFields);
+}
+
+} // namespace
+
+TEST(EvalSchedulerTest, SingleEvaluationMatchesEvaluateFitness) {
+  Ctx C;
+  for (EngineKind Engine : {EngineKind::Batch, EngineKind::Reference}) {
+    C.FP.Engine = Engine;
+    EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+    Genome G = randomGenome(17);
+    expectSameResult(S.evaluate(G),
+                     evaluateFitness(G, C.T, C.Fields, C.FP));
+  }
+}
+
+TEST(EvalSchedulerTest, RepeatEvaluationIsCacheHit) {
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  Genome G = randomGenome(5);
+  FitnessResult First = S.evaluate(G);
+  FitnessResult Second = S.evaluate(G);
+  expectSameResult(First, Second);
+  EXPECT_EQ(S.stats().Requests, 2u);
+  EXPECT_EQ(S.stats().CacheHits, 1u);
+  EXPECT_EQ(S.stats().GenomesSimulated, 1u);
+  EXPECT_EQ(S.stats().Batches, 1u) << "cache hit must not submit a batch";
+  EXPECT_DOUBLE_EQ(S.stats().hitRate(), 0.5);
+}
+
+TEST(EvalSchedulerTest, IntraBatchDuplicatesAnsweredOnce) {
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  Genome G = randomGenome(5);
+  std::vector<const Genome *> Request{&G, &G, &G};
+  std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, {});
+  ASSERT_EQ(Out.size(), 3u);
+  expectSameResult(Out[0].Result, Out[1].Result);
+  expectSameResult(Out[0].Result, Out[2].Result);
+  EXPECT_EQ(S.stats().GenomesSimulated, 1u);
+  EXPECT_EQ(S.stats().CacheHits, 2u);
+}
+
+TEST(EvalSchedulerTest, CacheCapacityZeroDisablesMemoization) {
+  Ctx C;
+  SchedulerParams SP;
+  SP.CacheCapacity = 0;
+  EvalScheduler S(C.T, C.Fields, C.FP, SP);
+  Genome G = randomGenome(5);
+  expectSameResult(S.evaluate(G), S.evaluate(G));
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+  EXPECT_EQ(S.stats().GenomesSimulated, 2u);
+}
+
+TEST(EvalSchedulerTest, LruEvictsTheLeastRecentlyUsedEntry) {
+  Ctx C(6, 2);
+  SchedulerParams SP;
+  SP.CacheCapacity = 2;
+  EvalScheduler S(C.T, C.Fields, C.FP, SP);
+  Genome A = randomGenome(1), B = randomGenome(2), D = randomGenome(3);
+  S.evaluate(A);               // cache: A
+  S.evaluate(B);               // cache: B, A
+  S.evaluate(A);               // hit; cache: A, B
+  S.evaluate(D);               // evicts B; cache: D, A
+  EXPECT_EQ(S.stats().GenomesSimulated, 3u);
+  S.evaluate(A);               // still cached
+  EXPECT_EQ(S.stats().GenomesSimulated, 3u);
+  S.evaluate(B);               // was evicted: simulated again
+  EXPECT_EQ(S.stats().GenomesSimulated, 4u);
+  EXPECT_EQ(S.stats().CacheHits, 2u);
+}
+
+TEST(EvalSchedulerTest, ContextFingerprintSeparatesContexts) {
+  Ctx A, B;
+  B.FP.Sim.MaxSteps = 61;
+  Ctx Shorter(6, 4);
+  EvalScheduler SA(A.T, A.Fields, A.FP, SchedulerParams{});
+  EvalScheduler SB(B.T, B.Fields, B.FP, SchedulerParams{});
+  EvalScheduler SC(Shorter.T, Shorter.Fields, Shorter.FP, SchedulerParams{});
+  EXPECT_NE(SA.contextFingerprint(), SB.contextFingerprint())
+      << "MaxSteps must be part of the memo key";
+  EXPECT_NE(SA.contextFingerprint(), SC.contextFingerprint())
+      << "the field set must be part of the memo key";
+  // Engine/worker knobs are bit-identical and deliberately shared.
+  Ctx D;
+  D.FP.Engine = EngineKind::Reference;
+  D.FP.NumWorkers = 3;
+  EvalScheduler SD(D.T, D.Fields, D.FP, SchedulerParams{});
+  EXPECT_EQ(SA.contextFingerprint(), SD.contextFingerprint());
+}
+
+TEST(EvalSchedulerTest, PruningCancelsHopelessGenomes) {
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  // Incumbents: a pool of 20 at the published T-agent's fitness (solves
+  // everything quickly). The all-zero genome never moves, fails every
+  // field, and must be cancelled long before its last field.
+  double Strong = S.evaluate(bestTriangulateAgent()).Fitness;
+  std::vector<double> Incumbents(20, Strong);
+  Genome Stay;
+  std::vector<const Genome *> Request{&Stay};
+  std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, Incumbents);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].Pruned);
+  EXPECT_GT(S.stats().FieldsPruned, 0u);
+  EXPECT_EQ(S.stats().GenomesPruned, 1u);
+  // The reported bound certifies the loss...
+  EXPECT_GT(Out[0].Result.Fitness, Strong);
+  // ...and never overshoots the true fitness (it is a *lower* bound).
+  SchedulerParams Exact;
+  Exact.ExactFitness = true;
+  EvalScheduler SE(C.T, C.Fields, C.FP, Exact);
+  EXPECT_LE(Out[0].Result.Fitness, SE.evaluate(Stay).Fitness);
+  EXPECT_GT(S.stats().pruneRate(), 0.0);
+}
+
+TEST(EvalSchedulerTest, PrunedResultsAreNeverCached) {
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  double Strong = S.evaluate(bestTriangulateAgent()).Fitness;
+  std::vector<double> Incumbents(20, Strong);
+  Genome Stay;
+  std::vector<const Genome *> Request{&Stay};
+  ASSERT_TRUE(S.evaluateGeneration(Request, Incumbents)[0].Pruned);
+  // Re-requesting without incumbents must simulate exactly, not replay
+  // the pruned bound from the cache.
+  std::vector<EvalOutcome> Exact = S.evaluateGeneration(Request, {});
+  EXPECT_FALSE(Exact[0].Pruned);
+  EXPECT_FALSE(Exact[0].CacheHit);
+  expectSameResult(Exact[0].Result,
+                   evaluateFitness(Stay, C.T, C.Fields, C.FP));
+}
+
+TEST(EvalSchedulerTest, ExactFitnessDisablesPruning) {
+  Ctx C;
+  SchedulerParams SP;
+  SP.ExactFitness = true;
+  EvalScheduler S(C.T, C.Fields, C.FP, SP);
+  std::vector<double> Incumbents(20, 1.0); // Unbeatable pool.
+  Genome Stay;
+  std::vector<const Genome *> Request{&Stay};
+  std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, Incumbents);
+  EXPECT_FALSE(Out[0].Pruned);
+  EXPECT_EQ(S.stats().FieldsPruned, 0u);
+  expectSameResult(Out[0].Result,
+                   evaluateFitness(Stay, C.T, C.Fields, C.FP));
+}
+
+TEST(EvalSchedulerTest, EmptyIncumbentsNeverPrune) {
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  Genome Stay; // Hopeless, but nothing to compare against.
+  std::vector<const Genome *> Request{&Stay};
+  EXPECT_FALSE(S.evaluateGeneration(Request, {})[0].Pruned);
+  EXPECT_EQ(S.stats().FieldsPruned, 0u);
+}
+
+TEST(EvalSchedulerTest, MixedBatchKeepsSurvivorsBitIdentical) {
+  // One strong and one hopeless genome in the same batch, with a pool the
+  // strong one beats: the hopeless one is pruned, the strong one's result
+  // must still be bit-identical to a standalone evaluateFitness.
+  Ctx C;
+  EvalScheduler S(C.T, C.Fields, C.FP, SchedulerParams{});
+  Genome Strong = bestTriangulateAgent();
+  Genome Stay;
+  FitnessResult Standalone = evaluateFitness(Strong, C.T, C.Fields, C.FP);
+  std::vector<double> Incumbents(20, Standalone.Fitness + 5.0);
+  std::vector<const Genome *> Request{&Stay, &Strong};
+  std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, Incumbents);
+  EXPECT_TRUE(Out[0].Pruned);
+  EXPECT_FALSE(Out[1].Pruned);
+  expectSameResult(Out[1].Result, Standalone);
+}
+
+TEST(EvalSchedulerTest, EnginesAndWorkerCountsAgreeBitwise) {
+  Ctx C;
+  std::vector<Genome> Genomes;
+  for (uint64_t Seed = 40; Seed != 45; ++Seed)
+    Genomes.push_back(randomGenome(Seed));
+  std::vector<const Genome *> Request;
+  for (const Genome &G : Genomes)
+    Request.push_back(&G);
+
+  std::vector<std::vector<EvalOutcome>> Runs;
+  for (EngineKind Engine : {EngineKind::Batch, EngineKind::Reference})
+    for (size_t Workers : {size_t(1), size_t(3)}) {
+      Ctx Run;
+      Run.FP.Engine = Engine;
+      Run.FP.NumWorkers = Workers;
+      EvalScheduler S(Run.T, Run.Fields, Run.FP, SchedulerParams{});
+      Runs.push_back(S.evaluateGeneration(Request, {}));
+    }
+  for (size_t R = 1; R != Runs.size(); ++R)
+    for (size_t I = 0; I != Request.size(); ++I)
+      expectSameResult(Runs[0][I].Result, Runs[R][I].Result);
+}
+
+TEST(EvalSchedulerTest, StatsIdentitiesHoldAfterAnEvolutionRun) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 2, 3, 555);
+  EvolutionParams Params;
+  Params.Seed = 9;
+  Params.Fitness.Sim.MaxSteps = 60;
+  Params.Fitness.Engine = EngineKind::Batch;
+  Evolution E(T, Fields, Params);
+  E.run(6);
+  const SchedulerStats &S = E.schedulerStats();
+  EXPECT_EQ(S.Requests, static_cast<uint64_t>(E.evaluations()));
+  EXPECT_GE(S.Batches, 1u);
+  EXPECT_LE(S.Batches, 7u) << "one submission per generation at most";
+  EXPECT_EQ(S.FieldsSimulated + S.FieldsPruned,
+            (S.GenomesSimulated + S.GenomesPruned) * Fields.size());
+  EXPECT_EQ(S.Requests, S.CacheHits + S.GenomesSimulated + S.GenomesPruned);
+}
+
+// The acceptance differential: pruning + memoization must select the same
+// champions as exhaustive evaluation, generation by generation, across
+// >= 20 seeded runs. The pools themselves are compared (stronger than the
+// champions): pruned candidates may carry bound fitness internally, but
+// every *surviving* individual must be bit-identical.
+TEST(EvalSchedulerTest, SelectionMatchesExactFitnessAcrossTwentySeeds) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 2, 3, 555);
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    EvolutionParams Pruned;
+    Pruned.Seed = Seed;
+    Pruned.Fitness.Sim.MaxSteps = 60;
+    Pruned.Fitness.Engine = EngineKind::Batch;
+    EvolutionParams Exact = Pruned;
+    Exact.Scheduler.ExactFitness = true;
+    EvolutionParams Legacy = Pruned;
+    Legacy.Scheduler.Enabled = false;
+
+    Evolution EP(T, Fields, Pruned);
+    Evolution EE(T, Fields, Exact);
+    Evolution EL(T, Fields, Legacy);
+    for (int Gen = 0; Gen != 5; ++Gen) {
+      EP.stepGeneration();
+      EE.stepGeneration();
+      EL.stepGeneration();
+      ASSERT_EQ(EP.bestEver().G.hashValue(), EE.bestEver().G.hashValue())
+          << "seed " << Seed << " gen " << Gen;
+      ASSERT_EQ(EP.bestEver().G.hashValue(), EL.bestEver().G.hashValue())
+          << "seed " << Seed << " gen " << Gen;
+      const auto &PoolP = EP.population();
+      const auto &PoolE = EE.population();
+      const auto &PoolL = EL.population();
+      ASSERT_EQ(PoolP.size(), PoolE.size());
+      ASSERT_EQ(PoolP.size(), PoolL.size());
+      for (size_t I = 0; I != PoolP.size(); ++I) {
+        ASSERT_EQ(PoolP[I].G, PoolE[I].G) << "seed " << Seed << " gen "
+                                          << Gen << " rank " << I;
+        ASSERT_DOUBLE_EQ(PoolP[I].Fitness, PoolE[I].Fitness);
+        ASSERT_EQ(PoolP[I].G, PoolL[I].G) << "seed " << Seed << " gen "
+                                          << Gen << " rank " << I;
+        ASSERT_DOUBLE_EQ(PoolP[I].Fitness, PoolL[I].Fitness);
+        EXPECT_FALSE(PoolP[I].Pruned)
+            << "a pruned individual survived selection";
+      }
+    }
+    EXPECT_EQ(EP.evaluations(), EE.evaluations());
+    EXPECT_EQ(EP.evaluations(), EL.evaluations());
+  }
+}
+
+TEST(EvalSchedulerTest, PipelineChampionsUnaffectedByPruning) {
+  Torus T(GridKind::Triangulate, 16);
+  PipelineParams P;
+  P.NumRuns = 2;
+  P.TopPerRun = 2;
+  P.Generations = 12;
+  P.TrainingAgents = 2;
+  P.TrainingRandomFields = 4;
+  P.TrainingFieldSeed = 11;
+  P.Evolution.Seed = 7;
+  P.Evolution.Fitness.Sim.MaxSteps = 120;
+  P.Reliability.AgentCounts = {2};
+  P.Reliability.NumRandomFields = 4;
+  P.Reliability.Fitness.Sim.MaxSteps = 300;
+  P.Engine = EngineKind::Batch;
+
+  PipelineParams PExact = P;
+  PExact.Evolution.Scheduler.ExactFitness = true;
+  PipelineResult Fast = runSelectionPipeline(T, P);
+  PipelineResult Exact = runSelectionPipeline(T, PExact);
+  ASSERT_EQ(Fast.Candidates.size(), Exact.Candidates.size());
+  for (size_t I = 0; I != Fast.Candidates.size(); ++I) {
+    EXPECT_EQ(Fast.Candidates[I].G, Exact.Candidates[I].G);
+    EXPECT_DOUBLE_EQ(Fast.Candidates[I].TrainingFitness,
+                     Exact.Candidates[I].TrainingFitness);
+  }
+  EXPECT_EQ(Fast.Sched.Requests, Exact.Sched.Requests);
+  EXPECT_EQ(Exact.Sched.FieldsPruned, 0u);
+}

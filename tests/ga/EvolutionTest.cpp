@@ -2,8 +2,11 @@
 
 #include "ga/Evolution.h"
 
+#include "ga/Crossover.h"
+#include "support/Rng.h"
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace ca2a;
@@ -177,6 +180,138 @@ TEST(EvolutionTest, CrossoverProbabilityChangesTheTrajectory) {
   for (size_t I = 0; I != 20; ++I)
     AnyDifferent |= !(EA.population()[I].G == EB.population()[I].G);
   EXPECT_TRUE(AnyDifferent);
+}
+
+namespace {
+
+/// Replica of the pre-scheduler generation loop: every child is evaluated
+/// exhaustively through evaluateFitness — duplicates included — and
+/// deduplication happens only inside selection. Pins that the scheduler's
+/// pre-evaluation dedup, batching, and pruning leave the evolutionary
+/// trajectory bit-identical to this exhaustive reference.
+struct LegacyGa {
+  const Torus &T;
+  const std::vector<InitialConfiguration> &Fields;
+  EvolutionParams Params;
+  Rng R;
+  std::vector<Individual> Pool;
+  Individual BestEver;
+  int Evaluations = 0;
+
+  LegacyGa(const Torus &T, const std::vector<InitialConfiguration> &Fields,
+           const EvolutionParams &Params)
+      : T(T), Fields(Fields), Params(Params), R(Params.Seed) {
+    for (int I = 0; I != Params.PopulationSize; ++I)
+      Pool.push_back(evaluate(Genome::random(R, Params.Dims)));
+    sortPool();
+    BestEver = Pool.front();
+  }
+
+  Individual evaluate(Genome G) {
+    FitnessResult Result = evaluateFitness(G, T, Fields, Params.Fitness);
+    ++Evaluations;
+    Individual Ind;
+    Ind.G = std::move(G);
+    Ind.Fitness = Result.Fitness;
+    Ind.SolvedFields = Result.SolvedFields;
+    Ind.CompletelySuccessful = Result.completelySuccessful();
+    return Ind;
+  }
+
+  void sortPool() {
+    std::stable_sort(Pool.begin(), Pool.end(),
+                     [](const Individual &A, const Individual &B) {
+                       return A.Fitness < B.Fitness;
+                     });
+  }
+
+  void step() {
+    int NumOffspring = Params.PopulationSize / 2;
+    for (int I = 0; I != NumOffspring; ++I) {
+      Genome Child = Pool[static_cast<size_t>(I)].G;
+      if (Params.CrossoverProbability > 0.0 &&
+          R.bernoulli(Params.CrossoverProbability)) {
+        int J = static_cast<int>(
+            R.uniformInt(static_cast<uint64_t>(NumOffspring - 1)));
+        if (J >= I)
+          ++J;
+        Child = crossoverOnePoint(Child, Pool[static_cast<size_t>(J)].G, R);
+      }
+      Pool.push_back(evaluate(mutate(Child, Params.Mutation, R)));
+    }
+    sortPool();
+    std::vector<Individual> Unique;
+    for (Individual &Ind : Pool) {
+      bool Duplicate = false;
+      for (const Individual &Kept : Unique)
+        Duplicate |= (Kept.G == Ind.G);
+      if (!Duplicate)
+        Unique.push_back(std::move(Ind));
+    }
+    Pool = std::move(Unique);
+    size_t N = static_cast<size_t>(Params.PopulationSize);
+    if (Pool.size() > N)
+      Pool.resize(N);
+    while (Pool.size() < N)
+      Pool.push_back(evaluate(Genome::random(R, Params.Dims)));
+    sortPool();
+    if (Pool.front().Fitness < BestEver.Fitness)
+      BestEver = Pool.front();
+    int Half = Params.PopulationSize / 2, B = Params.ExchangeCount;
+    for (int I = 0; I != B; ++I)
+      std::swap(Pool[static_cast<size_t>(Half - B + I)],
+                Pool[static_cast<size_t>(Half + I)]);
+  }
+};
+
+void expectSamePool(const std::vector<Individual> &Expected,
+                    const std::vector<Individual> &Actual, int Gen) {
+  ASSERT_EQ(Expected.size(), Actual.size());
+  for (size_t I = 0; I != Expected.size(); ++I) {
+    ASSERT_EQ(Expected[I].G, Actual[I].G)
+        << "gen " << Gen << " rank " << I;
+    ASSERT_DOUBLE_EQ(Expected[I].Fitness, Actual[I].Fitness);
+    ASSERT_EQ(Expected[I].SolvedFields, Actual[I].SolvedFields);
+  }
+}
+
+} // namespace
+
+TEST(EvolutionTest, TrajectoryMatchesLegacyExhaustiveLoop) {
+  // Low mutation probability: ~72% of children duplicate their parent, so
+  // the pre-evaluation dedup path fires constantly — and must still
+  // reproduce the exhaustive loop's pools bit for bit.
+  Torus T{GridKind::Triangulate, 16};
+  auto Fields = standardConfigurationSet(T, 2, 3, 555);
+  EvolutionParams Params;
+  Params.Seed = 101;
+  Params.Fitness.Sim.MaxSteps = 60;
+  Params.Mutation = MutationParams::uniform(0.01);
+
+  LegacyGa Ref(T, Fields, Params);
+  EvolutionParams Off = Params;
+  Off.Scheduler.Enabled = false;
+  Evolution ESched(T, Fields, Params); // Scheduler + pruning (defaults).
+  Evolution EOff(T, Fields, Off);      // Legacy per-genome path.
+
+  expectSamePool(Ref.Pool, ESched.population(), 0);
+  expectSamePool(Ref.Pool, EOff.population(), 0);
+  for (int Gen = 1; Gen <= 6; ++Gen) {
+    Ref.step();
+    ESched.stepGeneration();
+    EOff.stepGeneration();
+    expectSamePool(Ref.Pool, ESched.population(), Gen);
+    expectSamePool(Ref.Pool, EOff.population(), Gen);
+    ASSERT_EQ(Ref.BestEver.G, ESched.bestEver().G) << "gen " << Gen;
+    ASSERT_EQ(Ref.BestEver.G, EOff.bestEver().G) << "gen " << Gen;
+    ASSERT_EQ(Ref.Evaluations, ESched.evaluations())
+        << "dropped duplicates must still count as requested evaluations";
+    ASSERT_EQ(Ref.Evaluations, EOff.evaluations());
+  }
+  // Prove the dedup path was actually exercised: dropped duplicates count
+  // as evaluations but never reach the scheduler.
+  EXPECT_GT(static_cast<uint64_t>(ESched.evaluations()),
+            ESched.schedulerStats().Requests);
 }
 
 TEST(EvolutionTest, ImprovesOnAnEasyTask) {

@@ -24,6 +24,26 @@ TEST(FitnessOfRunTest, MatchesTheFormula) {
   EXPECT_DOUBLE_EQ(fitnessOfRun(Fail, 200, 1e4), 6.0e4 + 200.0);
 }
 
+TEST(FitnessOfRunTest, ZeroAgentResult) {
+  // A default-constructed SimResult (the skipped-replica sentinel) has no
+  // agents: nobody is uninformed, the run "failed", so the score is t_max.
+  SimResult R;
+  EXPECT_EQ(R.NumAgents, 0);
+  EXPECT_FALSE(R.Success);
+  EXPECT_DOUBLE_EQ(fitnessOfRun(R, 200, 1e4), 200.0);
+}
+
+TEST(FitnessOfRunTest, CutoffTerminatedRunChargesMaxSteps) {
+  // A run stopped by the step cutoff reports Success = false; whatever
+  // TComm carries must be ignored in favour of t_max.
+  SimResult R;
+  R.NumAgents = 4;
+  R.InformedAgents = 3;
+  R.Success = false;
+  R.TComm = 37; // Stale/garbage — must not leak into the score.
+  EXPECT_DOUBLE_EQ(fitnessOfRun(R, 500, 1e4), 1e4 + 500.0);
+}
+
 TEST(FitnessOfRunTest, DominanceRelation) {
   // Informing one more agent always beats any time advantage within t_max.
   SimResult MoreInformed;
@@ -48,7 +68,34 @@ TEST(EvaluateFitnessTest, EmptyFieldSet) {
   Torus T(GridKind::Square, 16);
   FitnessResult R = evaluateFitness(bestSquareAgent(), T, {}, defaultParams());
   EXPECT_EQ(R.NumFields, 0);
+  EXPECT_EQ(R.SolvedFields, 0);
+  EXPECT_DOUBLE_EQ(R.Fitness, 0.0);
+  EXPECT_DOUBLE_EQ(R.MeanCommTime, 0.0);
+  EXPECT_FALSE(R.completelySuccessful())
+      << "an empty field set proves nothing";
+}
+
+TEST(AccumulateFitnessTest, EmptyResultsMatchEmptyFieldSet) {
+  FitnessResult R = accumulateFitness({}, 200, 1e4);
+  EXPECT_EQ(R.NumFields, 0);
   EXPECT_FALSE(R.completelySuccessful());
+}
+
+TEST(AccumulateFitnessTest, MixedResultsReduceInFieldOrder) {
+  SimResult Solved;
+  Solved.NumAgents = 2;
+  Solved.InformedAgents = 2;
+  Solved.Success = true;
+  Solved.TComm = 10;
+  SimResult Failed;
+  Failed.NumAgents = 2;
+  Failed.InformedAgents = 1;
+  Failed.Success = false;
+  FitnessResult R = accumulateFitness({Solved, Failed}, 200, 1e4);
+  EXPECT_EQ(R.NumFields, 2);
+  EXPECT_EQ(R.SolvedFields, 1);
+  EXPECT_DOUBLE_EQ(R.Fitness, (10.0 + 1e4 + 200.0) / 2.0);
+  EXPECT_DOUBLE_EQ(R.MeanCommTime, 10.0);
 }
 
 TEST(EvaluateFitnessTest, BestAgentSolvesStandardFields) {
@@ -92,8 +139,35 @@ TEST(EvaluateFitnessTest, ParallelMatchesSequential) {
       evaluateFitness(bestTriangulateAgent(), T, Fields, Parallel);
   EXPECT_EQ(A.SolvedFields, B.SolvedFields);
   EXPECT_EQ(A.NumFields, B.NumFields);
-  EXPECT_NEAR(A.Fitness, B.Fitness, 1e-9);
-  EXPECT_NEAR(A.MeanCommTime, B.MeanCommTime, 1e-9);
+  EXPECT_DOUBLE_EQ(A.Fitness, B.Fitness);
+  EXPECT_DOUBLE_EQ(A.MeanCommTime, B.MeanCommTime);
+}
+
+TEST(EvaluateFitnessTest, EnginesAndWorkerCountsAreBitIdentical) {
+  // Regression: NumWorkers used to be silently ignored by the reference
+  // engine, and the chunked reduction made the result depend on the worker
+  // count in the last ulp. Both engines now fill per-field result slots
+  // and reduce sequentially, so every combination is bit-identical.
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 8, 17, 7);
+  FitnessParams Base = defaultParams();
+  Base.Engine = EngineKind::Reference;
+  Base.NumWorkers = 1;
+  FitnessResult Golden =
+      evaluateFitness(bestTriangulateAgent(), T, Fields, Base);
+  for (EngineKind Engine : {EngineKind::Reference, EngineKind::Batch})
+    for (size_t Workers : {size_t(1), size_t(3), size_t(8)}) {
+      FitnessParams P = defaultParams();
+      P.Engine = Engine;
+      P.NumWorkers = Workers;
+      FitnessResult R =
+          evaluateFitness(bestTriangulateAgent(), T, Fields, P);
+      EXPECT_DOUBLE_EQ(Golden.Fitness, R.Fitness)
+          << "engine " << (Engine == EngineKind::Batch ? "batch" : "ref")
+          << ", " << Workers << " workers";
+      EXPECT_DOUBLE_EQ(Golden.MeanCommTime, R.MeanCommTime);
+      EXPECT_EQ(Golden.SolvedFields, R.SolvedFields);
+    }
 }
 
 TEST(EvaluateFitnessTest, WeightParameterScales) {
