@@ -82,12 +82,16 @@ void printJsonVariant(std::FILE *Out, const VariantResult &V) {
                "\"gens_per_sec\": %.3f, \"evaluations\": %d, "
                "\"final_best\": %.6f, \"cache_hit_rate\": %.4f, "
                "\"fields_pruned_rate\": %.4f, \"batches\": %llu, "
-               "\"batch_occupancy\": %.1f}",
+               "\"batch_occupancy\": %.1f, "
+               "\"engine_compile_hit_rate\": %.4f, "
+               "\"engine_steady_allocations\": %llu}",
                V.Name.c_str(), V.Seconds, V.Generations, V.gensPerSec(),
                V.Evaluations, V.FinalBest, V.Stats.hitRate(),
                V.Stats.pruneRate(),
                static_cast<unsigned long long>(V.Stats.Batches),
-               V.Stats.batchOccupancy());
+               V.Stats.batchOccupancy(), V.Stats.engineCompileHitRate(),
+               static_cast<unsigned long long>(
+                   V.Stats.EngineSteadyAllocations));
 }
 
 } // namespace
@@ -206,6 +210,13 @@ int main(int Argc, char **Argv) {
               100.0 * SchedPruned.Stats.pruneRate(),
               static_cast<unsigned long long>(SchedPruned.Stats.Batches),
               SchedPruned.Stats.batchOccupancy());
+  std::printf("engine hot path: %.2f%% compile-cache hits, "
+              "%llu arena allocations (%llu steady-state)\n",
+              100.0 * SchedPruned.Stats.engineCompileHitRate(),
+              static_cast<unsigned long long>(
+                  SchedPruned.Stats.EngineAllocations),
+              static_cast<unsigned long long>(
+                  SchedPruned.Stats.EngineSteadyAllocations));
   std::printf("identical champions per generation: %s\n",
               Divergences == 0 && SameEvals ? "yes" : "NO");
 

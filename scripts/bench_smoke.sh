@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+#===- scripts/bench_smoke.sh - Non-gating batch-throughput regression ----===#
+#
+# Part of the ca2a project: reproduction of Hoffmann & Désérable,
+# "CA Agents for All-to-All Communication Are Faster in the Triangulate
+# Grid" (PaCT 2013).
+#
+# Runs the quick bench_batch smoke configuration and diffs its
+# batch_serial replicas_per_sec against the committed BENCH_engine.json
+# baseline. A slowdown beyond the threshold prints a loud WARNING but
+# does NOT fail the script: shared CI runners (and the 1-core dev VM)
+# are far too noisy to gate on absolute throughput. What does fail the
+# script is bench_batch itself exiting nonzero — that is the
+# batch-vs-reference bit-identity check, which is never noise.
+#
+# Usage: bench_smoke.sh <bench_batch-binary> <baseline-BENCH_engine.json>
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+BENCH="${1:?usage: bench_smoke.sh <bench_batch> <baseline.json>}"
+BASELINE="${2:?usage: bench_smoke.sh <bench_batch> <baseline.json>}"
+THRESHOLD_PCT=20
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+if ! "$BENCH" --quick --json "$WORKDIR/engine.json" \
+      --hotpath-json "$WORKDIR/hotpath.json"; then
+  echo "bench_smoke: FAIL — bench_batch exited nonzero (identity check)" >&2
+  exit 1
+fi
+
+# Extract batch_serial replicas_per_sec from our own fixed JSON layout.
+extract() {
+  sed -n 's/.*"batch_serial".*"replicas_per_sec": \([0-9.]*\).*/\1/p' "$1"
+}
+CURRENT="$(extract "$WORKDIR/engine.json")"
+BASE="$(extract "$BASELINE")"
+
+if [ -z "$CURRENT" ] || [ -z "$BASE" ]; then
+  echo "bench_smoke: WARNING — could not parse replicas_per_sec" \
+       "(current='$CURRENT' baseline='$BASE'); skipping comparison" >&2
+  exit 0
+fi
+
+awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD_PCT" 'BEGIN {
+  delta = 100.0 * (cur - base) / base
+  printf "bench_smoke: batch_serial %.1f replicas/s vs baseline %.1f (%+.1f%%)\n",
+         cur, base, delta
+  if (delta < -thr)
+    printf "bench_smoke: WARNING — throughput regressed more than %d%% vs the committed baseline\n",
+           thr
+}'
+exit 0

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <queue>
 
@@ -255,27 +256,30 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
       size_t I = static_cast<size_t>(Replica);
       OnItemResult(I % NumWork, I / NumWork, R);
     };
+    BatchRunStats RunStats;
+    RunOptions.Stats = &RunStats;
     ItemResults = Engine.run(Replicas, RunOptions);
+    Stats.EngineCompileHits += RunStats.CompileHits;
+    Stats.EngineCompileMisses += RunStats.CompileMisses;
+    Stats.EngineAllocations += RunStats.Allocations;
+    Stats.EngineSteadyAllocations += RunStats.SteadyAllocations;
   } else {
-    // Reference engine: the same interleaved item list swept by chunked
-    // workers, each owning one World (same chunk geometry as
-    // evaluateFitness; the result slots make the reduction order
-    // identical regardless).
+    // Reference engine: the same interleaved item list swept by
+    // work-stealing workers, each reusing one lazily-built World. Per-item
+    // result slots keep the reduction order (and thus the fitness sums)
+    // identical for every worker count.
     ItemResults.resize(NumItems);
-    size_t ChunkSize = (NumItems + NumWorkers - 1) / NumWorkers;
-    size_t NumChunks = (NumItems + ChunkSize - 1) / ChunkSize;
-    parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
-      World Wld(T);
-      size_t Begin = Chunk * ChunkSize;
-      size_t End = std::min(Begin + ChunkSize, NumItems);
-      for (size_t I = Begin; I != End; ++I) {
-        size_t W = I % NumWork, F = I / NumWork;
-        if (AllowPrune && ShouldSkipItem(W))
-          continue; // Slot keeps the default (skipped) SimResult.
-        Wld.reset(*Work[W].G, Fields[F].Placements, Fitness.Sim);
-        ItemResults[I] = Wld.run();
-        OnItemResult(W, F, ItemResults[I]);
-      }
+    std::vector<std::unique_ptr<World>> Worlds(NumWorkers);
+    parallelForDynamic(NumItems, NumWorkers, [&](size_t Worker, size_t I) {
+      size_t W = I % NumWork, F = I / NumWork;
+      if (AllowPrune && ShouldSkipItem(W))
+        return; // Slot keeps the default (skipped) SimResult.
+      if (!Worlds[Worker])
+        Worlds[Worker] = std::make_unique<World>(T);
+      World &Wld = *Worlds[Worker];
+      Wld.reset(*Work[W].G, Fields[F].Placements, Fitness.Sim);
+      ItemResults[I] = Wld.run();
+      OnItemResult(W, F, ItemResults[I]);
     });
   }
 

@@ -94,11 +94,27 @@ struct SchedulerStats {
   uint64_t FieldsPruned = 0;     ///< (genome, field) pairs skipped.
   uint64_t Batches = 0;          ///< Engine submissions issued.
 
+  // Engine-level hot-path instrumentation, accumulated over every batch
+  // submission (zero when the reference engine runs — World carries no
+  // such counters).
+  uint64_t EngineCompileHits = 0;   ///< Compile-cache hits across batches.
+  uint64_t EngineCompileMisses = 0; ///< Distinct genome compilations.
+  uint64_t EngineAllocations = 0;   ///< Workspace-arena buffer growths.
+  uint64_t EngineSteadyAllocations = 0; ///< Growths after slot warm-up.
+
   /// Fraction of requests served from the cache.
   double hitRate() const {
     return Requests ? static_cast<double>(CacheHits) /
                           static_cast<double>(Requests)
                     : 0.0;
+  }
+  /// Fraction of per-replica table resolutions served by the engine's
+  /// per-run genome-compile cache.
+  double engineCompileHitRate() const {
+    uint64_t Total = EngineCompileHits + EngineCompileMisses;
+    return Total ? static_cast<double>(EngineCompileHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
   }
   /// Fraction of scheduled fields skipped by early abort.
   double pruneRate() const {
@@ -124,6 +140,10 @@ struct SchedulerStats {
     FieldsSimulated += Other.FieldsSimulated;
     FieldsPruned += Other.FieldsPruned;
     Batches += Other.Batches;
+    EngineCompileHits += Other.EngineCompileHits;
+    EngineCompileMisses += Other.EngineCompileMisses;
+    EngineAllocations += Other.EngineAllocations;
+    EngineSteadyAllocations += Other.EngineSteadyAllocations;
     return *this;
   }
 };

@@ -5,6 +5,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace ca2a;
 
@@ -68,18 +69,19 @@ ca2a::evaluateFitness(const Genome &G, const Torus &T,
     RunOptions.NumWorkers = NumWorkers;
     Results = Engine.run(Replicas, RunOptions);
   } else {
+    // Work-stealing sweep: each worker reuses one World (engines are not
+    // shareable across workers) and pulls fields from a shared counter,
+    // so one slow field no longer idles the rest of its fixed chunk.
     Results.resize(Fields.size());
-    size_t ChunkSize = (Fields.size() + NumWorkers - 1) / NumWorkers;
-    size_t NumChunks = (Fields.size() + ChunkSize - 1) / ChunkSize;
-    parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
-      World W(T); // Engines are not shareable across workers.
-      size_t Begin = Chunk * ChunkSize;
-      size_t End = std::min(Begin + ChunkSize, Fields.size());
-      for (size_t I = Begin; I != End; ++I) {
-        W.reset(G, Fields[I].Placements, Params.Sim);
-        Results[I] = W.run();
-      }
-    });
+    std::vector<std::unique_ptr<World>> Worlds(NumWorkers);
+    parallelForDynamic(Fields.size(), NumWorkers,
+                       [&](size_t Worker, size_t I) {
+                         if (!Worlds[Worker])
+                           Worlds[Worker] = std::make_unique<World>(T);
+                         World &W = *Worlds[Worker];
+                         W.reset(G, Fields[I].Placements, Params.Sim);
+                         Results[I] = W.run();
+                       });
   }
   return accumulateFitness(Results, Params.Sim.MaxSteps, Params.Weight);
 }

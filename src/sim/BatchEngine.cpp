@@ -6,6 +6,23 @@
 // arguments as in World, so one fault seed produces one identical faulty
 // trajectory in both engines — the property the differential suite pins.
 //
+// The execution layer on top is allocation-free and load-balanced:
+//
+//   * Every distinct genome in a batch is compiled exactly once, before
+//     the fan-out, into a per-run cache of flat transition tables that all
+//     replicas and workers share read-only.
+//   * Each worker owns a small arena of ReplicaWorkspaces. A workspace is
+//     allocated when the worker starts and reset between replicas, so the
+//     steady state touches no heap at all (an instrumented counter in the
+//     run stats proves it). Fast-path replicas in one arena advance in
+//     lockstep — pass 1 of every resident replica, then pass 2 — so the
+//     core always has independent work in flight to hide the latency of a
+//     single replica's dependence chains.
+//   * Workers pull replica indices from one shared atomic counter (work
+//     stealing) and refill a workspace the moment its replica finishes,
+//     so no worker idles behind a slow neighbour. Each replica writes its
+//     own result slot; scheduling order cannot change a single bit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sim/BatchEngine.h"
@@ -13,9 +30,13 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <unordered_map>
 
 using namespace ca2a;
 
@@ -63,106 +84,436 @@ BatchEngine::BatchEngine(const Torus &T) : T(T) {
 
 namespace {
 
-/// One genome slot, flattened for branch-free lookup. Compiled once per
-/// replica run (the "32-entry transition table" at paper dimensions),
-/// cached across replicas that share the same Genome object.
-struct PackedEntry {
-  uint8_t NextState = 0;
-  uint8_t Move = 0;
-  uint8_t SetColor = 0;
-  uint8_t Turn = 0;
+/// Fast-path replicas resident per worker arena: advanced in lockstep so
+/// the core always has this many independent dependence chains in flight.
+/// Sized so the combined per-cell state of a paper-sized field stays
+/// comfortably inside L1/L2 (tuned on the bench_batch workload).
+constexpr int LockstepBlock = 8;
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// One genome slot, flattened into one 32-bit word for single-load lookup
+/// (the "32-entry transition table" at paper dimensions): byte 0 is the
+/// next state, byte 1 the move bit, byte 2 the colour to set, byte 3 the
+/// turn code. A packed word instead of a 4-byte struct matters: GCC
+/// compiles conditional struct selects into branchy per-byte assembly,
+/// where the word version is one load, one AND and shifts.
+using PackedEntry = uint32_t;
+constexpr PackedEntry MoveBit = 0x100;
+constexpr uint8_t entryState(PackedEntry E) {
+  return static_cast<uint8_t>(E);
+}
+constexpr bool entryMoves(PackedEntry E) { return (E & MoveBit) != 0; }
+constexpr uint8_t entryColor(PackedEntry E) {
+  return static_cast<uint8_t>(E >> 16);
+}
+constexpr uint8_t entryTurn(PackedEntry E) {
+  return static_cast<uint8_t>(E >> 24);
+}
+
+void compileGenome(const Genome &G, std::vector<PackedEntry> &Table) {
+  const GenomeDims &D = G.dims();
+  Table.resize(static_cast<size_t>(D.length()));
+  for (int I = 0; I != D.numInputs(); ++I)
+    for (int S = 0; S != D.States; ++S) {
+      const GenomeEntry &E = G.entry(I, S);
+      Table[static_cast<size_t>(I * D.States + S)] =
+          static_cast<uint32_t>(E.NextState) |
+          (E.Act.Move ? MoveBit : 0u) |
+          (static_cast<uint32_t>(E.Act.SetColor) << 16) |
+          (static_cast<uint32_t>(E.Act.TurnCode) << 24);
+    }
+}
+
+/// Per-run genome-compile cache: each distinct Genome pointer is compiled
+/// once, before the fan-out, and the flat table is shared read-only by
+/// every replica and worker (the tables never change during a run, so no
+/// synchronisation is needed). Keyed by pointer identity — BatchReplica
+/// already requires borrowed genomes to stay unmodified for the run.
+class GenomeCompileCache {
+public:
+  const PackedEntry *tableFor(const Genome *G) {
+    auto It = Index.find(G);
+    if (It != Index.end()) {
+      ++NumHits;
+      return It->second;
+    }
+    ++NumMisses;
+    Tables.emplace_back();
+    compileGenome(*G, Tables.back());
+    const PackedEntry *Data = Tables.back().data();
+    Index.emplace(G, Data);
+    return Data;
+  }
+
+  uint64_t hits() const { return NumHits; }
+  uint64_t misses() const { return NumMisses; }
+
+private:
+  std::deque<std::vector<PackedEntry>> Tables; ///< Stable table storage.
+  std::unordered_map<const Genome *, const PackedEntry *> Index;
+  uint64_t NumHits = 0;
+  uint64_t NumMisses = 0;
+};
+
+/// Everything a workspace needs to execute one replica, resolved against
+/// the compile cache before the fan-out.
+struct ReplicaPlan {
+  const PackedEntry *TabA = nullptr;
+  const PackedEntry *TabB = nullptr; ///< Equals TabA when the replica has no B.
+  GenomePolicy Policy = GenomePolicy::Single;
+  int States = 0;
+  int NumColors = 0;
 };
 
 /// Everything the single-word fast path touches, gathered into one struct
 /// of raw pointers so several independent replicas can be advanced in
-/// lockstep: interleaving their per-agent work fills the pipeline stalls
+/// lockstep: interleaving their per-step work fills the pipeline stalls
 /// (L1 latency, store forwarding) any single replica's dependence chains
 /// leave open.
 struct FastCtx {
-  const int16_t *NB = nullptr; ///< Narrowed neighbour table, stride DegT.
+  const int16_t *NB = nullptr; ///< Narrowed table, stride DegT.
   uint64_t *CommW = nullptr;   ///< One comm word per agent.
-  uint64_t *CellW = nullptr;   ///< Comm word of each cell's occupant (or 0).
-  int32_t *CellP = nullptr;
-  uint8_t *DirP = nullptr;
-  uint8_t *StateP = nullptr;
+  uint64_t *CellW = nullptr;   ///< Word of each cell's occupant (0 empty).
+  /// Per-agent packed state: cell in the low 32 bits, direction in byte 4,
+  /// control state in byte 5 — one load/store where three arrays would
+  /// cost three, and two registers fewer in the hot loops.
+  uint64_t *AgentP = nullptr;
   uint8_t *InformedP = nullptr;
   uint8_t *ColorsP = nullptr;
-  int16_t *OccP = nullptr;
   int32_t *VisitP = nullptr;
-  const uint8_t *ObstP = nullptr;
-  int32_t *ClaimP = nullptr;
-  int32_t *FrontP = nullptr;
-  int32_t *TouchedP = nullptr;
-  uint8_t *CanMoveP = nullptr;
-  PackedEntry *SelP = nullptr;
+  /// Per-cell claim stamps: StampP[Cell] == Epoch means "claimed this
+  /// step", anything smaller means free, and the permanent ~0 sentinel
+  /// marks obstacle cells (Epoch never reaches it). Monotonic epochs make
+  /// the end-of-step claim reset free — bumping Epoch unclaims every cell
+  /// at once.
+  uint32_t *StampP = nullptr;
+  /// Per-agent pass-1 verdict: the selected (move-masked) table entry in
+  /// the low 32 bits, the front cell in the high 32.
+  uint64_t *SelP = nullptr;
   const PackedEntry *TabA = nullptr, *TabB = nullptr;
   const uint8_t (*TurnMap)[4] = nullptr;
+  /// Obstacle flat indices (for the epoch-wrap re-stamp only; the hot loop
+  /// sees obstacles through the StampP sentinel).
+  const int32_t *ObstC = nullptr;
   uint64_t Full = 0;
   GenomePolicy Policy = GenomePolicy::Single;
   int K = 0, St = 0, NC = 0, MaxSteps = 0;
+  int Cells = 0, NumObst = 0;
   bool Gaze = false, ColorsOn = false;
+  /// Whether pass 2 maintains per-cell visit counts — only needed when the
+  /// caller requested a final-state capture (nothing in SimResult derives
+  /// from them).
+  bool NeedVisits = false;
   // Per-step scratch and progress.
   const PackedEntry *TabEven = nullptr, *TabOdd = nullptr;
-  int NewInformed = 0, NumTouched = 0, Time = 0;
+  uint32_t Epoch = 0;
+  int NewInformed = 0, Time = 0;
   bool Done = false, Success = false;
 };
 
-/// Per-worker replica executor. Owns every scratch buffer, so consecutive
-/// replicas on one worker reuse memory instead of reallocating (World pays
-/// 2k+ BitVector allocations per reset; this pays none after warm-up).
-class ReplicaRunner {
+/// Obstacle sentinel in the claim-stamp array: compares "already claimed"
+/// against every epoch (the wrap guard keeps Epoch strictly below it).
+constexpr uint32_t ObstacleStamp = ~uint32_t(0);
+
+constexpr uint64_t packAgent(int Cell, uint8_t Dir, uint8_t State) {
+  return static_cast<uint32_t>(Cell) | (static_cast<uint64_t>(Dir) << 32) |
+         (static_cast<uint64_t>(State) << 40);
+}
+constexpr int agentCell(uint64_t A) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A));
+}
+constexpr uint32_t agentDir(uint64_t A) { return (A >> 32) & 0xFF; }
+constexpr uint32_t agentState(uint64_t A) { return (A >> 40) & 0xFF; }
+
+// Fast-path step machinery, shared between the single-replica loop and the
+// lockstep block loop. Preconditions (checked by the dispatchers):
+// FaultsActive == false, Bordered == false, Words == 1, no observer.
+
+/// Pick this step's transition tables from the genome policy.
+inline void selectTables(FastCtx &C) {
+  C.TabEven = C.TabA;
+  C.TabOdd = C.TabA;
+  if (C.Policy == GenomePolicy::TimeShuffle && (C.Time % 2)) {
+    C.TabEven = C.TabB;
+    C.TabOdd = C.TabB;
+  } else if (C.Policy == GenomePolicy::SpeciesParity) {
+    C.TabOdd = C.TabB;
+  }
+}
+
+/// Pass 1 over every agent: exchange, observation, and arbitration fused
+/// into one sweep. The context is spilled into local restrict pointers
+/// first — member-level restrict is too weak for GCC to keep the pointer
+/// set in registers across the uint8_t stores, and this loop is the
+/// hottest code in the repo.
+///  - Exchange: CellComm holds the pre-step word of every cell (0 when
+///    empty), so each agent ORs its neighbour ring with no occupancy
+///    branch, and the result goes straight into Comm — no double buffer.
+///    Nothing else in pass 1 reads Comm, so the success check can wait
+///    until the sweep ends (claims are scratch; on success the step's
+///    actions are skipped exactly as the reference engine skips them).
+///  - Arbitration: losesConflict only asks whether a LOWER-id requester
+///    claims the same cell, and agents run in id order — so when agent Id
+///    arrives, every claim that can beat it is already stamped and its
+///    canmove is final immediately (occupancy is pre-step and untouched
+///    here). "Enterable" needs no occupancy array at all: a cell holds an
+///    agent exactly when its CellComm word is nonzero (every agent's word
+///    carries its own bit), and obstacle cells carry the permanent
+///    ObstacleStamp so one epoch compare rejects both prior claims and
+///    obstacles. The claim update is a branch-free max so the
+///    genome-dependent move output never becomes a mispredicting branch.
+///  - The entry for the final (blocked-corrected) input is resolved now —
+///    blocked flips only the lowest input bit, i.e. shifts the table row
+///    by States — and its Move bit is masked by the arbitration verdict,
+///    so pass 2 does no table addressing and no canmove load at all.
+template <int DegT> inline void pass1Sweep(FastCtx &C) {
+  const int16_t *__restrict__ NB = C.NB;
+  uint64_t *__restrict__ CommW = C.CommW;
+  const uint64_t *__restrict__ CellW = C.CellW;
+  const uint64_t *__restrict__ AgentP = C.AgentP;
+  const uint8_t *__restrict__ ColorsP = C.ColorsP;
+  uint32_t *__restrict__ StampP = C.StampP;
+  uint64_t *__restrict__ SelP = C.SelP;
+  const PackedEntry *TabEven = C.TabEven, *TabOdd = C.TabOdd;
+  const uint64_t Full = C.Full;
+  const uint32_t Epoch = C.Epoch;
+  const int St = C.St, NC = C.NC, K = C.K;
+  const uint32_t Gaze = C.Gaze ? MoveBit : 0;
+  int NewInformed = 0;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t A = AgentP[Id];
+    const int Cell = agentCell(A);
+    const int16_t *N = &NB[static_cast<size_t>(Cell) * DegT];
+    uint64_t W = CommW[Id];
+    for (int D = 0; D != DegT; ++D)
+      W |= CellW[N[D]];
+    CommW[Id] = W;
+    NewInformed += (W == Full);
+
+    const int Front = N[agentDir(A)];
+    const size_t RowIdx =
+        static_cast<size_t>(2 * (ColorsP[Cell] + NC * ColorsP[Front]) * St) +
+        agentState(A);
+    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
+    // Both row variants are loaded unconditionally and blended with mask
+    // arithmetic — everything below compiles to straight-line code, so the
+    // genome-dependent request/verdict bits never become mispredicting
+    // branches (they are near-random across a replica's agents).
+    const PackedEntry EntFree = Tab[RowIdx];
+    // Blocked flips the lowest input bit, i.e. shifts the row by St.
+    const PackedEntry EntBlocked = Tab[RowIdx + static_cast<size_t>(St)];
+    // Claims: ids ascend, so a prior claim is already the row minimum and
+    // LosesConflict collapses to "someone claimed Front before me" — the
+    // min() of the reference implementation is a no-op here. The stamp
+    // update is a max so a request can never overwrite the obstacle
+    // sentinel (and re-stamping an already-claimed cell is idempotent).
+    const bool Requests = ((EntFree | Gaze) & MoveBit) != 0;
+    const uint32_t Prior = StampP[Front];
+    const bool Open = Prior < Epoch; // Unclaimed and not an obstacle.
+    StampP[Front] =
+        std::max(Prior, Epoch & (0u - static_cast<uint32_t>(Requests)));
+    const bool Can = (CellW[Front] == 0) & Open;
+    // The selected entry's move bit is masked by the verdict so pass 2
+    // does no table access and no canmove load at all.
+    const uint32_t CanMask = 0u - static_cast<uint32_t>(Can);
+    const PackedEntry Sel =
+        (EntFree & CanMask) | (EntBlocked & ~MoveBit & ~CanMask);
+    SelP[Id] = Sel | (static_cast<uint64_t>(static_cast<uint32_t>(Front))
+                      << 32);
+  }
+  C.NewInformed = NewInformed;
+}
+
+/// Pass 2 over every agent: apply the selected entries, keeping the
+/// per-cell comm words in sync. Moves are applied with unconditional
+/// stores (clear own cell, write the final cell) so the genome-dependent
+/// move bit never becomes a branch: a mover's target was empty and
+/// uncontested pre-step, so the clears of later agents (all on
+/// pre-step-occupied cells) cannot hit an earlier agent's target.
+inline void pass2Sweep(FastCtx &C) {
+  const uint64_t *__restrict__ SelP = C.SelP;
+  uint64_t *__restrict__ AgentP = C.AgentP;
+  uint8_t *__restrict__ ColorsP = C.ColorsP;
+  int32_t *__restrict__ VisitP = C.VisitP;
+  const uint64_t *__restrict__ CommW = C.CommW;
+  uint64_t *__restrict__ CellW = C.CellW;
+  const uint8_t(*__restrict__ TurnMap)[4] = C.TurnMap;
+  const bool ColorsOn = C.ColorsOn;
+  const bool NeedV = C.NeedVisits;
+  const int K = C.K;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t E = SelP[Id];
+    const PackedEntry En = static_cast<uint32_t>(E);
+    const int Front = static_cast<int32_t>(E >> 32);
+    const uint64_t A = AgentP[Id];
+    const int Cell = agentCell(A);
+    if (ColorsOn)
+      ColorsP[Cell] = entryColor(En);
+    const uint32_t NewDir = TurnMap[agentDir(A)][entryTurn(En)];
+    const bool Moves = entryMoves(En); // Blocked was masked in pass 1.
+    // XOR-blend instead of a select: the move bit is genome-dependent and
+    // GCC compiles the ternary into a mispredicting branch.
+    const int NewC =
+        Cell ^ ((Cell ^ Front) & -static_cast<int>(Moves));
+    CellW[Cell] = 0;
+    CellW[NewC] = CommW[Id];
+    if (NeedV) // Loop-invariant; only the diff tests capture visits.
+      VisitP[NewC] += Moves;
+    AgentP[Id] = packAgent(NewC, static_cast<uint8_t>(NewDir),
+                           entryState(En));
+  }
+}
+
+/// One iteration's exchange/observe/arbitrate phase (pass 1 over every
+/// agent). Latches Done (with Success) when the replica solves.
+template <int DegT> inline void stepPhaseA(FastCtx &C) {
+  selectTables(C);
+  // Bumping the epoch unclaims every cell stamped in earlier steps; the
+  // (once per ~4G steps) wrap rebuilds the stamp invariant from scratch.
+  if (++C.Epoch == ObstacleStamp) {
+    std::fill_n(C.StampP, C.Cells, 0u);
+    for (int J = 0; J != C.NumObst; ++J)
+      C.StampP[C.ObstC[J]] = ObstacleStamp;
+    C.Epoch = 1;
+  }
+  pass1Sweep<DegT>(C);
+  if (C.NewInformed == C.K) {
+    C.Done = true; // Solved: Time stays at t_comm, actions never run.
+    C.Success = true;
+  }
+}
+
+/// One iteration's action phase (pass 2 over every agent) plus the cutoff
+/// check. Only legal when phase A did not latch Done.
+inline void stepPhaseB(FastCtx &C) {
+  pass2Sweep(C);
+  if (++C.Time >= C.MaxSteps)
+    C.Done = true; // Cutoff reached; Success stays false.
+}
+
+/// Single-replica step loop to completion (also the lockstep straggler
+/// path once only one replica is still running).
+template <int DegT> void soloRun(FastCtx &C) {
+  while (!C.Done) {
+    stepPhaseA<DegT>(C);
+    if (!C.Done)
+      stepPhaseB(C);
+  }
+}
+
+/// Terminal materialisation: per-agent Informed flags (kept lazy during
+/// the loop) and the all-zero CellComm invariant for the next replica.
+void fastEpilogue(FastCtx &C) {
+  if (C.Success) {
+    std::fill_n(C.InformedP, C.K, uint8_t(1));
+  } else {
+    // Cutoff: the flags of the last exchange (the tracked count already
+    // matches them; a MaxSteps = 0 run never exchanged and keeps its
+    // reset-time flags and count).
+    if (C.MaxSteps > 0)
+      for (int Id = 0; Id != C.K; ++Id)
+        C.InformedP[Id] = C.CommW[Id] == C.Full;
+  }
+  for (int Id = 0; Id != C.K; ++Id)
+    C.CellW[agentCell(C.AgentP[Id])] = 0;
+}
+
+/// All scratch one replica needs, owned by a worker for the whole run and
+/// reset between replicas: after a slot's first replica every buffer has
+/// reached its working capacity and the steady state performs zero heap
+/// allocations. The instrumented grow counters prove the claim — every
+/// capacity change is recorded, split into warm-up (first replica of the
+/// slot) and steady-state events.
+class ReplicaWorkspace {
 public:
-  ReplicaRunner(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
-                const std::vector<int16_t> &Neighbors16,
-                const uint8_t (&TurnMap)[6][4])
+  ReplicaWorkspace(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
+                   const std::vector<int16_t> &Neighbors16,
+                   const uint8_t (&TurnMap)[6][4])
       : T(T), BoundaryMask(BoundaryMask.data()), TurnMap(TurnMap),
         NeighborBase(T.neighbors(0)),
         Neighbor16Base(Neighbors16.empty() ? nullptr : Neighbors16.data()),
         NumCells(T.numCells()), Degree(T.degree()) {
-    Colors.resize(static_cast<size_t>(NumCells));
-    Occupancy.resize(static_cast<size_t>(NumCells));
-    VisitCounts.resize(static_cast<size_t>(NumCells));
-    ObstacleMask.resize(static_cast<size_t>(NumCells));
+    size_t Cells = static_cast<size_t>(NumCells);
+    sizeN(Colors, Cells);
+    sizeN(Occupancy, Cells);
+    sizeN(VisitCounts, Cells);
+    sizeN(ObstacleMask, Cells);
     // Both step loops restore the all-minus-one claim invariant before
     // every early exit, so claims are initialised once, not per reset.
-    ClaimMinId.assign(static_cast<size_t>(NumCells), -1);
-    CellComm.resize(static_cast<size_t>(NumCells));
+    fillN(ClaimMinId, Cells, int32_t(-1));
+    // Fast-path stamps start below every epoch; the epoch counter is
+    // monotonic across the slot's whole replica stream, so the array is
+    // never refilled between replicas.
+    fillN(ClaimStamp, Cells, uint32_t(0));
+    sizeN(CellComm, Cells);
+    std::fill(CellComm.begin(), CellComm.end(), 0);
   }
 
-  SimResult runReplica(const BatchReplica &R, int ReplicaIndex,
-                       const std::function<void(const BatchStepView &)> &OnStep,
-                       ReplicaFinalState *Final);
+  /// Reset: ready the workspace for one replica's step loop. \p Plan must
+  /// be the compile-cache resolution of \p R.
+  void prepare(const BatchReplica &R, const ReplicaPlan &Plan);
+
+  /// True when the replica prepared last can run the single-word fast
+  /// path (no faults, no borders, one comm word, narrowed neighbours).
+  bool fastEligible() const {
+    return !FaultsActive && !Options->Bordered && Words == 1 &&
+           Neighbor16Base != nullptr;
+  }
+
+  /// Runs the prepared replica to completion on the calling thread,
+  /// choosing the fast or general path (an observer forces the general
+  /// path, which is the only one that can surface per-step views).
+  SimResult runSolo(int ReplicaIndex,
+                    const std::function<void(const BatchStepView &)> &OnStep,
+                    ReplicaFinalState *Final);
+
+  /// Lockstep API: bundle the fast-path pointers/parameters for the
+  /// prepared replica (requires fastEligible()). \p NeedVisits must be
+  /// true when the replica's final state will be captured — visit counts
+  /// feed nothing else, so the hot loop skips them otherwise.
+  FastCtx beginFast(bool NeedVisits);
+  /// Lockstep API: package a finished FastCtx as the replica's SimResult.
+  SimResult finishFast(FastCtx &C, ReplicaFinalState *Final);
+
+  /// Marks the end of this slot's first replica: growths from here on are
+  /// steady-state allocations.
+  void markWarm() { Warm = true; }
+  uint64_t allocations() const { return AllocEvents; }
+  uint64_t steadyAllocations() const { return SteadyAllocEvents; }
 
 private:
-  /// Compile + reset: ready the runner for a replica's step loop.
-  void prepare(const BatchReplica &R) {
-    compileGenomes(R);
-    reset(R);
-  }
-  /// Package the runner's terminal state as the SimResult the reference
-  /// engine would have produced.
+  /// Package the workspace's terminal state as the SimResult the
+  /// reference engine would have produced.
   SimResult finishReplica(bool Success, ReplicaFinalState *Final);
-  void compileGenomes(const BatchReplica &R);
-  void reset(const BatchReplica &R);
-  /// Specialised step loop for the dominant configuration: no faults, no
-  /// borders, k <= 64 (single comm word), no observer. \p DegT lets the
-  /// compiler unroll the neighbour-OR. Returns true with \p Result filled
-  /// on success; false at the MaxSteps cutoff.
-  template <int DegT> bool runFastSingleWord();
-  /// Bundle the fast-path pointers/parameters (and seed CellComm from the
-  /// current agent positions).
-  FastCtx makeFastCtx();
-  /// Copy a finished FastCtx's progress back into the runner.
-  void absorbFastCtx(const FastCtx &C) {
-    Time = C.Time;
-    NumInformed = C.NewInformed;
-  }
   void injectFaults();
   void exchange();
   void applyActions();
   bool rowInformedAllAlive(const uint64_t *Row) const;
   bool rowContainsSurvivors(const uint64_t *Row) const;
   void captureFinalState(ReplicaFinalState &Out) const;
+
+  void noteGrow() {
+    ++AllocEvents;
+    if (Warm)
+      ++SteadyAllocEvents;
+  }
+  template <class T> void sizeN(std::vector<T> &V, size_t N) {
+    if (N > V.capacity())
+      noteGrow();
+    V.resize(N);
+  }
+  template <class T> void fillN(std::vector<T> &V, size_t N, T Value) {
+    if (N > V.capacity())
+      noteGrow();
+    V.assign(N, Value);
+  }
 
   const Torus &T;
   const uint8_t *BoundaryMask;
@@ -172,10 +523,9 @@ private:
   int NumCells;
   int Degree;
 
-  // Compiled per replica run.
-  std::vector<PackedEntry> TableA, TableB;
-  const Genome *CachedA = nullptr; ///< Pointer-identity compile cache.
-  const Genome *CachedB = nullptr;
+  // Resolved against the per-run compile cache; read-only, shared.
+  const PackedEntry *TabA = nullptr;
+  const PackedEntry *TabB = nullptr;
   GenomePolicy Policy = GenomePolicy::Single;
   int States = 0;
   int NumColors = 0;
@@ -202,17 +552,31 @@ private:
   std::vector<int16_t> Occupancy;
   std::vector<int32_t> VisitCounts;
   std::vector<uint8_t> ObstacleMask;
+  std::vector<int32_t> ObstacleCells; ///< Flat indices, for the fast path.
 
   // Per-step scratch.
   std::vector<int32_t> ClaimMinId;
+  /// Fast path only: per-cell claim epochs plus the slot-lifetime epoch
+  /// counter (see FastCtx::StampP).
+  std::vector<uint32_t> ClaimStamp;
+  uint32_t ClaimEpoch = 0;
   std::vector<int32_t> TouchedCells;
   std::vector<int32_t> FrontCell;
   std::vector<uint8_t> Input;
   std::vector<uint8_t> CanMove;
   std::vector<uint8_t> Skip;
-  /// Fast path only: the table entry each agent will execute, resolved
-  /// against the final (blocked-corrected) input during pass 1.
-  std::vector<PackedEntry> Selected;
+  /// Fast path only: per agent, the (move-masked) table entry it will
+  /// execute in the low 32 bits and its front cell in the high 32, both
+  /// resolved during pass 1.
+  std::vector<uint64_t> Selected;
+  /// Fast path only: packed (cell, direction, state) per agent — see
+  /// packAgent. Built by beginFast, written back by finishFast.
+  std::vector<uint64_t> AgentPack;
+
+  // Allocation instrumentation.
+  uint64_t AllocEvents = 0;
+  uint64_t SteadyAllocEvents = 0;
+  bool Warm = false;
 
   Rng FaultRng{0};
   bool FaultsActive = false;
@@ -222,38 +586,14 @@ private:
   int Time = 0;
 };
 
-void ReplicaRunner::compileGenomes(const BatchReplica &R) {
-  const Genome &A = *R.A;
-  const Genome &B = R.B ? *R.B : *R.A;
-  assert(A.dims() == B.dims() && "mixed genome dimensions in one replica");
-  States = A.dims().States;
-  NumColors = A.dims().Colors;
-  auto Compile = [](const Genome &G, std::vector<PackedEntry> &Table) {
-    const GenomeDims &D = G.dims();
-    Table.resize(static_cast<size_t>(D.length()));
-    for (int I = 0; I != D.numInputs(); ++I)
-      for (int S = 0; S != D.States; ++S) {
-        const GenomeEntry &E = G.entry(I, S);
-        PackedEntry &P = Table[static_cast<size_t>(I * D.States + S)];
-        P.NextState = E.NextState;
-        P.Move = E.Act.Move ? 1 : 0;
-        P.SetColor = E.Act.SetColor;
-        P.Turn = static_cast<uint8_t>(E.Act.TurnCode);
-      }
-  };
-  if (CachedA != R.A) {
-    Compile(A, TableA);
-    CachedA = R.A;
-  }
-  const Genome *WantB = R.B ? R.B : R.A;
-  if (CachedB != WantB) {
-    Compile(B, TableB);
-    CachedB = WantB;
-  }
-  Policy = R.B ? R.Policy : GenomePolicy::Single;
-}
+void ReplicaWorkspace::prepare(const BatchReplica &R,
+                               const ReplicaPlan &Plan) {
+  TabA = Plan.TabA;
+  TabB = Plan.TabB;
+  Policy = Plan.Policy;
+  States = Plan.States;
+  NumColors = Plan.NumColors;
 
-void ReplicaRunner::reset(const BatchReplica &R) {
   const SimOptions &O = *R.Options;
   Options = &O;
   Time = 0;
@@ -263,8 +603,14 @@ void ReplicaRunner::reset(const BatchReplica &R) {
   Counters = FaultStats();
 
   std::fill(ObstacleMask.begin(), ObstacleMask.end(), 0);
-  for (Coord Obstacle : O.Obstacles)
-    ObstacleMask[static_cast<size_t>(T.indexOf(Obstacle))] = 1;
+  if (O.Obstacles.size() > ObstacleCells.capacity())
+    noteGrow();
+  ObstacleCells.clear();
+  for (Coord Obstacle : O.Obstacles) {
+    int C = T.indexOf(Obstacle);
+    ObstacleMask[static_cast<size_t>(C)] = 1;
+    ObstacleCells.push_back(C);
+  }
 
   std::fill(Colors.begin(), Colors.end(), 0);
   std::fill(Occupancy.begin(), Occupancy.end(), int16_t(-1));
@@ -272,26 +618,28 @@ void ReplicaRunner::reset(const BatchReplica &R) {
 
   const std::vector<Placement> &Placements = *R.Placements;
   K = static_cast<int>(Placements.size());
-  TouchedCells.assign(static_cast<size_t>(K), 0); // >= max claims per step.
+  fillN(TouchedCells, static_cast<size_t>(K),
+        int32_t(0)); // >= max claims per step.
   assert(K >= 1 && K <= NumCells && "replica agent count out of range");
   Words = (K + 63) / 64;
   TailMask = (K % 64) ? ((uint64_t(1) << (K % 64)) - 1) : ~uint64_t(0);
 
   size_t SK = static_cast<size_t>(K);
-  Cell.resize(SK);
-  Direction.resize(SK);
-  ControlState.resize(SK);
-  Alive.assign(SK, 1);
-  Informed.assign(SK, K == 1 ? 1 : 0);
-  Stalled.assign(SK, 0);
-  FrontCell.resize(SK);
-  Input.resize(SK);
-  CanMove.resize(SK);
-  Selected.resize(SK);
-  Skip.resize(SK);
-  Comm.assign(SK * static_cast<size_t>(Words), 0);
-  CommNext.assign(SK * static_cast<size_t>(Words), 0);
-  SurvivorWords.assign(static_cast<size_t>(Words), ~uint64_t(0));
+  sizeN(Cell, SK);
+  sizeN(Direction, SK);
+  sizeN(ControlState, SK);
+  fillN(Alive, SK, uint8_t(1));
+  fillN(Informed, SK, uint8_t(K == 1 ? 1 : 0));
+  fillN(Stalled, SK, uint8_t(0));
+  sizeN(FrontCell, SK);
+  sizeN(Input, SK);
+  sizeN(CanMove, SK);
+  sizeN(Selected, SK);
+  sizeN(AgentPack, SK);
+  sizeN(Skip, SK);
+  fillN(Comm, SK * static_cast<size_t>(Words), uint64_t(0));
+  fillN(CommNext, SK * static_cast<size_t>(Words), uint64_t(0));
+  fillN(SurvivorWords, static_cast<size_t>(Words), ~uint64_t(0));
   SurvivorWords[static_cast<size_t>(Words) - 1] = TailMask;
 
   for (int Id = 0; Id != K; ++Id) {
@@ -314,7 +662,7 @@ void ReplicaRunner::reset(const BatchReplica &R) {
   NumInformed = (K == 1) ? 1 : 0;
 }
 
-void ReplicaRunner::injectFaults() {
+void ReplicaWorkspace::injectFaults() {
   // Mirrors World::injectFaults draw-for-draw: deaths, stalls, colour
   // flips, in agent/cell order; zero-probability processes draw nothing.
   const FaultModel &F = Options->Faults;
@@ -356,14 +704,14 @@ void ReplicaRunner::injectFaults() {
   }
 }
 
-bool ReplicaRunner::rowInformedAllAlive(const uint64_t *Row) const {
+bool ReplicaWorkspace::rowInformedAllAlive(const uint64_t *Row) const {
   for (int W = 0; W != Words - 1; ++W)
     if (Row[W] != ~uint64_t(0))
       return false;
   return Row[Words - 1] == TailMask;
 }
 
-bool ReplicaRunner::rowContainsSurvivors(const uint64_t *Row) const {
+bool ReplicaWorkspace::rowContainsSurvivors(const uint64_t *Row) const {
   for (int W = 0; W != Words; ++W)
     if ((Row[W] & SurvivorWords[static_cast<size_t>(W)]) !=
         SurvivorWords[static_cast<size_t>(W)])
@@ -371,7 +719,7 @@ bool ReplicaRunner::rowContainsSurvivors(const uint64_t *Row) const {
   return true;
 }
 
-void ReplicaRunner::exchange() {
+void ReplicaWorkspace::exchange() {
   const SimOptions &O = *Options;
   const FaultModel &F = O.Faults;
   bool DropsActive = FaultsActive && F.LinkDropProbability > 0.0;
@@ -424,20 +772,20 @@ void ReplicaRunner::exchange() {
   }
 }
 
-void ReplicaRunner::applyActions() {
+void ReplicaWorkspace::applyActions() {
   const SimOptions &O = *Options;
   bool Bordered = O.Bordered;
   bool Gaze = O.Arbitration == ArbitrationMode::GazePriority;
 
   // Table selection per World::activeGenome: TimeShuffle swaps both slots
   // per step; SpeciesParity splits by ID parity; Single uses A throughout.
-  const PackedEntry *TabEven = TableA.data();
-  const PackedEntry *TabOdd = TableA.data();
+  const PackedEntry *TabEven = TabA;
+  const PackedEntry *TabOdd = TabA;
   if (Policy == GenomePolicy::TimeShuffle && (Time % 2)) {
-    TabEven = TableB.data();
-    TabOdd = TableB.data();
+    TabEven = TabB;
+    TabOdd = TabB;
   } else if (Policy == GenomePolicy::SpeciesParity) {
-    TabOdd = TableB.data();
+    TabOdd = TabB;
   }
 
   // Pass 1a: observations and move requests under the blocked=0 hypothesis.
@@ -461,9 +809,8 @@ void ReplicaRunner::applyActions() {
     int FreeInput = 2 * (Color + NumColors * FrontColor);
     const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
     bool Requests =
-        Tab[static_cast<size_t>(FreeInput * States) +
-            ControlState[static_cast<size_t>(Id)]]
-            .Move ||
+        entryMoves(Tab[static_cast<size_t>(FreeInput * States) +
+                       ControlState[static_cast<size_t>(Id)]]) ||
         Gaze;
     if (Requests) {
       int32_t &Claim = ClaimMinId[static_cast<size_t>(Front)];
@@ -504,16 +851,16 @@ void ReplicaRunner::applyActions() {
     if (Skip[static_cast<size_t>(Id)])
       continue;
     const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
-    const PackedEntry &E =
+    const PackedEntry E =
         Tab[static_cast<size_t>(Input[static_cast<size_t>(Id)] * States) +
             ControlState[static_cast<size_t>(Id)]];
     int C = Cell[static_cast<size_t>(Id)];
     if (ColorsEnabled)
-      Colors[static_cast<size_t>(C)] = E.SetColor;
-    ControlState[static_cast<size_t>(Id)] = E.NextState;
+      Colors[static_cast<size_t>(C)] = entryColor(E);
+    ControlState[static_cast<size_t>(Id)] = entryState(E);
     Direction[static_cast<size_t>(Id)] =
-        TurnMap[Direction[static_cast<size_t>(Id)]][E.Turn];
-    if (E.Move && CanMove[static_cast<size_t>(Id)]) {
+        TurnMap[Direction[static_cast<size_t>(Id)]][entryTurn(E)];
+    if (entryMoves(E) && CanMove[static_cast<size_t>(Id)]) {
       int Front = FrontCell[static_cast<size_t>(Id)];
       assert(Occupancy[static_cast<size_t>(Front)] < 0 &&
              "arbitration let two agents collide");
@@ -525,7 +872,7 @@ void ReplicaRunner::applyActions() {
   }
 }
 
-void ReplicaRunner::captureFinalState(ReplicaFinalState &Out) const {
+void ReplicaWorkspace::captureFinalState(ReplicaFinalState &Out) const {
   Out.Colors = Colors;
   Out.Occupancy = Occupancy;
   Out.VisitCounts = VisitCounts;
@@ -545,186 +892,80 @@ void ReplicaRunner::captureFinalState(ReplicaFinalState &Out) const {
   }
 }
 
-// Fast-path step machinery, shared between the single-replica loop and the
-// lockstep block loop. Preconditions (checked by the dispatchers):
-// FaultsActive == false, Bordered == false, Words == 1, no observer.
-
-/// Pick this step's transition tables from the genome policy.
-inline void selectTables(FastCtx &C) {
-  C.TabEven = C.TabA;
-  C.TabOdd = C.TabA;
-  if (C.Policy == GenomePolicy::TimeShuffle && (C.Time % 2)) {
-    C.TabEven = C.TabB;
-    C.TabOdd = C.TabB;
-  } else if (C.Policy == GenomePolicy::SpeciesParity) {
-    C.TabOdd = C.TabB;
-  }
-  C.NewInformed = 0;
-  C.NumTouched = 0;
-}
-
-/// Pass 1 for one agent: exchange, observation, and arbitration fused into
-/// one sweep.
-///  - Exchange: CellComm holds the pre-step word of every cell (0 when
-///    empty), so each agent ORs its neighbour ring with no occupancy
-///    branch, and the result goes straight into Comm — no double buffer.
-///    Nothing else in pass 1 reads Comm, so the success check can wait
-///    until the sweep ends (claims are scratch; on success the step's
-///    actions are skipped exactly as the reference engine skips them).
-///  - Arbitration: losesConflict only asks whether a LOWER-id requester
-///    claims the same cell, and agents run in id order — so when agent Id
-///    arrives, every claim that can beat it is already in ClaimMinId and
-///    its canmove is final immediately (occupancy is pre-step and
-///    untouched here). The claim update uses unconditional stores and min
-///    logic so the genome-dependent move output never becomes a
-///    mispredicting branch.
-///  - The entry for the final (blocked-corrected) input is resolved now —
-///    blocked flips only the lowest input bit, i.e. shifts the table row
-///    by States — so pass 2 does no table addressing at all.
-template <int DegT> inline void pass1Agent(FastCtx &C, int Id) {
-  int Cell = C.CellP[Id];
-  const int16_t *N = &C.NB[static_cast<size_t>(Cell) * DegT];
-  uint64_t W = C.CommW[Id];
-  for (int D = 0; D != DegT; ++D)
-    W |= C.CellW[N[D]];
-  C.CommW[Id] = W;
-  C.NewInformed += (W == C.Full);
-
-  int Front = N[C.DirP[Id]];
-  C.FrontP[Id] = Front;
-  int FreeInput = 2 * (C.ColorsP[Cell] + C.NC * C.ColorsP[Front]);
-  const PackedEntry *Row = ((Id & 1) ? C.TabOdd : C.TabEven) +
-                           static_cast<size_t>(FreeInput * C.St) +
-                           C.StateP[Id];
-  bool Req = Row[0].Move || C.Gaze;
-  int32_t Claim = C.ClaimP[Front];
-  bool FrontOccupied = C.OccP[Front] >= 0 || C.ObstP[Front] != 0;
-  bool Can = !FrontOccupied && Claim < 0; // A prior claim is a lower id.
-  C.CanMoveP[Id] = Can;
-  C.SelP[Id] = Can ? Row[0] : Row[C.St]; // Row[St]: blocked-bit entry.
-  bool Fresh = Req && Claim < 0;
-  C.ClaimP[Front] = Req ? (Claim < 0 ? Id : Claim) : Claim;
-  C.TouchedP[C.NumTouched] = Front;
-  C.NumTouched += Fresh;
-}
-
-/// End of pass 1: restore the all-minus-one claim invariant and latch
-/// success. Time stays at t_comm; the solved step's actions never run.
-inline void endPass1(FastCtx &C) {
-  for (int J = 0; J != C.NumTouched; ++J)
-    C.ClaimP[C.TouchedP[J]] = -1;
-  if (C.NewInformed == C.K) {
-    C.Done = true;
-    C.Success = true;
-  }
-}
-
-/// Pass 2 for one agent: apply the selected entry, keeping the per-cell
-/// comm words in sync. The move is applied with unconditional stores
-/// (clear own cell, write the final cell) so the genome-dependent move bit
-/// never becomes a branch: a mover's target was empty and uncontested
-/// pre-step, so the clears of later agents (all on pre-step-occupied
-/// cells) cannot hit an earlier agent's target.
-inline void pass2Agent(FastCtx &C, int Id) {
-  const PackedEntry En = C.SelP[Id];
-  int Cell = C.CellP[Id];
-  if (C.ColorsOn)
-    C.ColorsP[Cell] = En.SetColor;
-  C.StateP[Id] = En.NextState;
-  C.DirP[Id] = C.TurnMap[C.DirP[Id]][En.Turn];
-  bool Moves = En.Move && C.CanMoveP[Id];
-  assert((!Moves || C.OccP[C.FrontP[Id]] < 0) &&
-         "arbitration let two agents collide");
-  int NewC = Moves ? C.FrontP[Id] : Cell;
-  C.OccP[Cell] = -1;
-  C.CellW[Cell] = 0;
-  C.OccP[NewC] = static_cast<int16_t>(Id);
-  C.CellW[NewC] = C.CommW[Id];
-  C.VisitP[NewC] += Moves;
-  C.CellP[Id] = NewC;
-}
-
-/// Single-replica step loop from \p StartStep to the cutoff (also the
-/// lockstep straggler path once only one replica is still running).
-template <int DegT> void soloSteps(FastCtx &C, int StartStep) {
-  for (int I = StartStep, E = C.MaxSteps; I < E; ++I) {
-    selectTables(C);
-    for (int Id = 0, K = C.K; Id != K; ++Id)
-      pass1Agent<DegT>(C, Id);
-    endPass1(C);
-    if (C.Done)
-      return;
-    for (int Id = 0, K = C.K; Id != K; ++Id)
-      pass2Agent(C, Id);
-    ++C.Time;
-  }
-}
-
-/// Terminal materialisation: per-agent Informed flags (kept lazy during
-/// the loop) and the all-zero CellComm invariant for the next replica.
-void fastEpilogue(FastCtx &C) {
-  if (C.Success) {
-    std::fill_n(C.InformedP, C.K, uint8_t(1));
-  } else {
-    // Cutoff: the flags of the last exchange (the tracked count already
-    // matches them; a MaxSteps = 0 run never exchanged and keeps its
-    // reset-time flags and count).
-    if (C.MaxSteps > 0)
-      for (int Id = 0; Id != C.K; ++Id)
-        C.InformedP[Id] = C.CommW[Id] == C.Full;
-  }
-  for (int Id = 0; Id != C.K; ++Id)
-    C.CellW[C.CellP[Id]] = 0;
-}
-
-FastCtx ReplicaRunner::makeFastCtx() {
+FastCtx ReplicaWorkspace::beginFast(bool NeedVisits) {
+  assert(fastEligible() && "fast context on an ineligible replica");
   FastCtx C;
   C.NB = Neighbor16Base;
   C.CommW = Comm.data();
   C.CellW = CellComm.data();
-  C.CellP = Cell.data();
-  C.DirP = Direction.data();
-  C.StateP = ControlState.data();
+  C.AgentP = AgentPack.data();
   C.InformedP = Informed.data();
   C.ColorsP = Colors.data();
-  C.OccP = Occupancy.data();
   C.VisitP = VisitCounts.data();
-  C.ObstP = ObstacleMask.data();
-  C.ClaimP = ClaimMinId.data();
-  C.FrontP = FrontCell.data();
-  C.TouchedP = TouchedCells.data();
-  C.CanMoveP = CanMove.data();
+  C.StampP = ClaimStamp.data();
   C.SelP = Selected.data();
-  C.TabA = TableA.data();
-  C.TabB = TableB.data();
+  C.TabA = TabA;
+  C.TabB = TabB;
   C.TurnMap = &TurnMap[0];
+  C.ObstC = ObstacleCells.data();
   C.Full = TailMask;
   C.Policy = Policy;
   C.K = K;
   C.St = States;
   C.NC = NumColors;
   C.MaxSteps = Options->MaxSteps;
+  C.Cells = NumCells;
+  C.NumObst = static_cast<int>(ObstacleCells.size());
   C.Gaze = Options->Arbitration == ArbitrationMode::GazePriority;
   C.ColorsOn = Options->ColorsEnabled;
-  C.NewInformed = NumInformed; // Preserved verbatim when MaxSteps == 0.
+  C.NeedVisits = NeedVisits;
+  C.Epoch = ClaimEpoch;
+  C.NewInformed = NumInformed; // Preserved verbatim when MaxSteps <= 0.
   C.Time = Time;
+  C.Done = C.Time >= C.MaxSteps; // Degenerate cutoff: no iteration runs.
+  // The fast loop rejects obstacle targets through the claim stamps:
+  // the sentinel compares "claimed" against every epoch, and the pass-1
+  // max update can never overwrite it (finishFast clears the marks so the
+  // next replica can bring a different obstacle set).
+  for (int32_t Obstacle : ObstacleCells)
+    ClaimStamp[static_cast<size_t>(Obstacle)] = ObstacleStamp;
   // CellComm is all-zero here (zeroed at construction and re-zeroed by
   // every fastEpilogue), so only the occupied cells need writing.
-  for (int Id = 0; Id != K; ++Id)
-    C.CellW[C.CellP[Id]] = C.CommW[Id];
+  for (int Id = 0; Id != K; ++Id) {
+    C.AgentP[Id] = packAgent(Cell[static_cast<size_t>(Id)],
+                             Direction[static_cast<size_t>(Id)],
+                             ControlState[static_cast<size_t>(Id)]);
+    C.CellW[Cell[static_cast<size_t>(Id)]] = C.CommW[Id];
+  }
   return C;
 }
 
-template <int DegT> bool ReplicaRunner::runFastSingleWord() {
-  FastCtx C = makeFastCtx();
-  soloSteps<DegT>(C, 0);
+SimResult ReplicaWorkspace::finishFast(FastCtx &C, ReplicaFinalState *Final) {
   fastEpilogue(C);
-  absorbFastCtx(C);
-  return C.Success;
+  ClaimEpoch = C.Epoch;
+  for (int32_t Obstacle : ObstacleCells)
+    ClaimStamp[static_cast<size_t>(Obstacle)] = 0;
+  // The fast loop never maintains the occupancy array (the CellComm words
+  // carry "occupied" for it); rebuild it from the agents' terminal cells —
+  // the pre-loop positions are still in Cell[], so clear those first.
+  for (int Id = 0; Id != K; ++Id)
+    Occupancy[static_cast<size_t>(Cell[static_cast<size_t>(Id)])] = -1;
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t A = C.AgentP[Id];
+    Cell[static_cast<size_t>(Id)] = agentCell(A);
+    Direction[static_cast<size_t>(Id)] = static_cast<uint8_t>(agentDir(A));
+    ControlState[static_cast<size_t>(Id)] =
+        static_cast<uint8_t>(agentState(A));
+    Occupancy[static_cast<size_t>(agentCell(A))] =
+        static_cast<int16_t>(Id);
+  }
+  Time = C.Time;
+  NumInformed = C.NewInformed;
+  return finishReplica(C.Success, Final);
 }
 
-SimResult ReplicaRunner::finishReplica(bool Success,
-                                       ReplicaFinalState *Final) {
+SimResult ReplicaWorkspace::finishReplica(bool Success,
+                                          ReplicaFinalState *Final) {
   SimResult Result;
   Result.NumAgents = K;
   Result.Success = Success;
@@ -741,19 +982,18 @@ SimResult ReplicaRunner::finishReplica(bool Success,
   return Result;
 }
 
-SimResult ReplicaRunner::runReplica(
-    const BatchReplica &R, int ReplicaIndex,
+SimResult ReplicaWorkspace::runSolo(
+    int ReplicaIndex,
     const std::function<void(const BatchStepView &)> &OnStep,
     ReplicaFinalState *Final) {
-  assert(R.A && R.Placements && R.Options && "incomplete replica spec");
-  prepare(R);
-
-  auto Finish = [&](bool Success) { return finishReplica(Success, Final); };
-
-  if (!FaultsActive && !Options->Bordered && Words == 1 && !OnStep &&
-      Neighbor16Base)
-    return Finish(Degree == 6 ? runFastSingleWord<6>()
-                              : runFastSingleWord<4>());
+  if (!OnStep && fastEligible()) {
+    FastCtx C = beginFast(Final != nullptr);
+    if (Degree == 6)
+      soloRun<6>(C);
+    else
+      soloRun<4>(C);
+    return finishFast(C, Final);
+  }
 
   auto Observe = [&] {
     if (!OnStep)
@@ -786,13 +1026,198 @@ SimResult ReplicaRunner::runReplica(
     bool Solved = NumAlive > 0 && NumInformed == NumAlive;
     Observe();
     if (Solved)
-      return Finish(true); // Time stays at t_comm; actions not executed.
+      return finishReplica(true, Final); // Time stays at t_comm.
     applyActions();
     ++Time;
     if (FaultsActive && NumAlive == 0)
       break; // Extinct: the task can never be solved.
   }
-  return Finish(false);
+  return finishReplica(false, Final);
+}
+
+/// Shared state of one run()'s worker fan-out.
+struct RunContext {
+  const std::vector<BatchReplica> &Replicas;
+  const std::vector<ReplicaPlan> &Plans;
+  const BatchRunOptions &Options;
+  std::vector<SimResult> &Results;
+
+  /// Work-stealing cursor: the next replica index to claim.
+  std::atomic<size_t> Next{0};
+  std::atomic<uint64_t> Skipped{0};
+  // Per-worker instrumentation slots (no sharing, no contention).
+  std::vector<uint64_t> PerWorkerReplicas;
+  std::vector<double> PerWorkerBusy;
+  std::vector<uint64_t> PerWorkerAllocs;
+  std::vector<uint64_t> PerWorkerSteadyAllocs;
+
+  RunContext(const std::vector<BatchReplica> &Replicas,
+             const std::vector<ReplicaPlan> &Plans,
+             const BatchRunOptions &Options, std::vector<SimResult> &Results,
+             size_t NumWorkers)
+      : Replicas(Replicas), Plans(Plans), Options(Options), Results(Results),
+        PerWorkerReplicas(NumWorkers), PerWorkerBusy(NumWorkers),
+        PerWorkerAllocs(NumWorkers), PerWorkerSteadyAllocs(NumWorkers) {}
+};
+
+/// One worker: pulls replicas off the shared counter until it drains.
+/// Fast-path replicas fill a small arena of workspaces advanced in
+/// lockstep (a finished slot is refilled immediately); general-path
+/// replicas (faults, borders, multi-word, huge grids, observers) run solo
+/// in between. Every replica writes its own result slot, so the schedule
+/// cannot change any result.
+template <int DegT>
+void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
+                const std::vector<int16_t> &Neighbors16,
+                const uint8_t (&TurnMap)[6][4], RunContext &Ctx,
+                size_t Worker) {
+  auto Start = std::chrono::steady_clock::now();
+  const size_t N = Ctx.Replicas.size();
+  const BatchRunOptions &Options = Ctx.Options;
+  uint64_t Simulated = 0, SkippedLocal = 0;
+
+  auto FinalSlot = [&](int I) -> ReplicaFinalState * {
+    return Options.FinalStates
+               ? &(*Options.FinalStates)[static_cast<size_t>(I)]
+               : nullptr;
+  };
+  /// Claims the next un-skipped replica index, or -1 when drained.
+  auto Pull = [&]() -> int {
+    for (;;) {
+      size_t I = Ctx.Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return -1;
+      if (Options.ShouldSkip && Options.ShouldSkip(static_cast<int>(I))) {
+        ++SkippedLocal;
+        continue;
+      }
+      return static_cast<int>(I);
+    }
+  };
+
+  struct Slot {
+    ReplicaWorkspace WS;
+    FastCtx C;
+    int Index = -1;
+    bool Active = false;
+    Slot(const Torus &T, const std::vector<uint8_t> &B,
+         const std::vector<int16_t> &N16, const uint8_t (&TM)[6][4])
+        : WS(T, B, N16, TM) {}
+  };
+  std::deque<Slot> Slots; // Stable addresses; Slot is not movable.
+
+  if (Options.OnStep) {
+    // Observer path: one workspace, strict replica order, every callback
+    // inline on this (single) worker.
+    Slots.emplace_back(T, BoundaryMask, Neighbors16, TurnMap);
+    ReplicaWorkspace &WS = Slots.front().WS;
+    for (int I; (I = Pull()) >= 0;) {
+      WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
+                 Ctx.Plans[static_cast<size_t>(I)]);
+      Ctx.Results[static_cast<size_t>(I)] =
+          WS.runSolo(I, Options.OnStep, FinalSlot(I));
+      WS.markWarm();
+      ++Simulated;
+      if (Options.OnResult)
+        Options.OnResult(I, Ctx.Results[static_cast<size_t>(I)]);
+    }
+  } else {
+    for (int S = 0; S != LockstepBlock; ++S)
+      Slots.emplace_back(T, BoundaryMask, Neighbors16, TurnMap);
+    int Active = 0;
+    bool Drained = false;
+
+    /// Claims replicas until one is fast-path eligible (activating \p S)
+    /// or the counter drains; general-path replicas run solo on the spot.
+    auto Refill = [&](Slot &S) {
+      while (!Drained) {
+        int I = Pull();
+        if (I < 0) {
+          Drained = true;
+          break;
+        }
+        S.WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
+                     Ctx.Plans[static_cast<size_t>(I)]);
+        if (S.WS.fastEligible()) {
+          S.Index = I;
+          S.C = S.WS.beginFast(FinalSlot(I) != nullptr);
+          S.Active = true;
+          ++Active;
+          return;
+        }
+        Ctx.Results[static_cast<size_t>(I)] = S.WS.runSolo(I, {}, FinalSlot(I));
+        S.WS.markWarm();
+        ++Simulated;
+        if (Options.OnResult)
+          Options.OnResult(I, Ctx.Results[static_cast<size_t>(I)]);
+      }
+    };
+    auto Finalize = [&](Slot &S) {
+      // The lockstep pipeline starts up to LockstepBlock replicas before
+      // their predecessors' results land, so a ShouldSkip flip can arrive
+      // while a replica is in flight. Re-poll at completion and discard
+      // the result of a now-vetoed replica (slot keeps the default
+      // SimResult, no OnResult) — pruning is then always at least as
+      // aggressive as a serial, unpipelined sweep.
+      if (Options.ShouldSkip && Options.ShouldSkip(S.Index)) {
+        // finishFast must still run — it restores the workspace invariants
+        // (zeroed CellComm, obstacle-free stamps) the next replica relies
+        // on — but its result is dropped.
+        S.WS.finishFast(S.C, nullptr);
+        ++SkippedLocal;
+      } else {
+        Ctx.Results[static_cast<size_t>(S.Index)] =
+            S.WS.finishFast(S.C, FinalSlot(S.Index));
+        ++Simulated;
+        if (Options.OnResult)
+          Options.OnResult(S.Index,
+                           Ctx.Results[static_cast<size_t>(S.Index)]);
+      }
+      S.WS.markWarm();
+      S.Active = false;
+      --Active;
+    };
+
+    for (Slot &S : Slots)
+      Refill(S);
+    while (Active > 0) {
+      if (Active == 1 && Drained) {
+        // Straggler: no refills can come, so finish the last replica with
+        // the tight single-replica loop.
+        for (Slot &S : Slots)
+          if (S.Active) {
+            soloRun<DegT>(S.C);
+            Finalize(S);
+          }
+        break;
+      }
+      for (Slot &S : Slots)
+        if (S.Active && !S.C.Done)
+          stepPhaseA<DegT>(S.C);
+      for (Slot &S : Slots) {
+        if (!S.Active)
+          continue;
+        if (!S.C.Done)
+          stepPhaseB(S.C);
+        if (S.C.Done) {
+          Finalize(S);
+          if (!Drained)
+            Refill(S);
+        }
+      }
+    }
+  }
+
+  uint64_t Allocs = 0, Steady = 0;
+  for (Slot &S : Slots) {
+    Allocs += S.WS.allocations();
+    Steady += S.WS.steadyAllocations();
+  }
+  Ctx.PerWorkerReplicas[Worker] = Simulated;
+  Ctx.PerWorkerAllocs[Worker] = Allocs;
+  Ctx.PerWorkerSteadyAllocs[Worker] = Steady;
+  Ctx.Skipped.fetch_add(SkippedLocal, std::memory_order_relaxed);
+  Ctx.PerWorkerBusy[Worker] = secondsSince(Start);
 }
 
 } // namespace
@@ -801,49 +1226,65 @@ std::vector<SimResult>
 BatchEngine::run(const std::vector<BatchReplica> &Replicas,
                  const BatchRunOptions &Options) const {
   std::vector<SimResult> Results(Replicas.size());
-  if (Replicas.empty())
+  if (Replicas.empty()) {
+    if (Options.Stats)
+      *Options.Stats = BatchRunStats();
     return Results;
+  }
   if (Options.FinalStates)
     Options.FinalStates->assign(Replicas.size(), ReplicaFinalState());
 
-  auto FinalSlot = [&](size_t I) -> ReplicaFinalState * {
-    return Options.FinalStates ? &(*Options.FinalStates)[I] : nullptr;
-  };
-
-  // One replica through the runner, honouring the cancellation hooks. A
-  // skipped replica keeps its default SimResult (NumAgents == 0).
-  auto RunOne = [&](ReplicaRunner &Runner, size_t I,
-                    const std::function<void(const BatchStepView &)> &OnStep) {
-    int Index = static_cast<int>(I);
-    if (Options.ShouldSkip && Options.ShouldSkip(Index))
-      return;
-    Results[I] = Runner.runReplica(Replicas[I], Index, OnStep, FinalSlot(I));
-    if (Options.OnResult)
-      Options.OnResult(Index, Results[I]);
-  };
+  // Compile phase: every distinct genome exactly once, single-threaded,
+  // before the fan-out — the tables are then shared read-only.
+  GenomeCompileCache Cache;
+  std::vector<ReplicaPlan> Plans(Replicas.size());
+  for (size_t I = 0; I != Replicas.size(); ++I) {
+    const BatchReplica &R = Replicas[I];
+    assert(R.A && R.Placements && R.Options && "incomplete replica spec");
+    const Genome *WantB = R.B ? R.B : R.A;
+    assert(R.A->dims() == WantB->dims() &&
+           "mixed genome dimensions in one replica");
+    ReplicaPlan &P = Plans[I];
+    P.TabA = Cache.tableFor(R.A);
+    P.TabB = Cache.tableFor(WantB);
+    P.Policy = R.B ? R.Policy : GenomePolicy::Single;
+    P.States = R.A->dims().States;
+    P.NumColors = R.A->dims().Colors;
+  }
 
   // An observer forces inline sequential execution: callbacks see replicas
   // in order and never run concurrently.
-  size_t NumWorkers = Options.OnStep ? 1 : std::max<size_t>(1, Options.NumWorkers);
+  size_t NumWorkers =
+      Options.OnStep ? 1 : std::max<size_t>(1, Options.NumWorkers);
   NumWorkers = std::min(NumWorkers, Replicas.size());
-  if (NumWorkers <= 1) {
-    ReplicaRunner Runner(T, BoundaryMask, Neighbors16, TurnMap);
-    for (size_t I = 0; I != Replicas.size(); ++I)
-      RunOne(Runner, I, Options.OnStep);
-    return Results;
-  }
 
-  // Chunked fan-out; each chunk gets its own runner (and therefore its own
-  // scratch), and every replica still owns its RNG streams, so the chunk
-  // geometry cannot change any result.
-  size_t ChunkSize = (Replicas.size() + NumWorkers - 1) / NumWorkers;
-  size_t NumChunks = (Replicas.size() + ChunkSize - 1) / ChunkSize;
-  parallelFor(NumChunks, NumWorkers, [&](size_t Chunk) {
-    ReplicaRunner Runner(T, BoundaryMask, Neighbors16, TurnMap);
-    size_t Begin = Chunk * ChunkSize;
-    size_t End = std::min(Begin + ChunkSize, Replicas.size());
-    for (size_t I = Begin; I != End; ++I)
-      RunOne(Runner, I, {});
-  });
+  RunContext Ctx(Replicas, Plans, Options, Results, NumWorkers);
+  auto Body = [&](size_t Worker) {
+    if (T.degree() == 6)
+      workerLoop<6>(T, BoundaryMask, Neighbors16, TurnMap, Ctx, Worker);
+    else
+      workerLoop<4>(T, BoundaryMask, Neighbors16, TurnMap, Ctx, Worker);
+  };
+  if (NumWorkers <= 1)
+    Body(0);
+  else
+    parallelFor(NumWorkers, NumWorkers, Body);
+
+  if (Options.Stats) {
+    BatchRunStats &S = *Options.Stats;
+    S = BatchRunStats();
+    S.WorkersUsed = NumWorkers;
+    S.CompileHits = Cache.hits();
+    S.CompileMisses = Cache.misses();
+    S.ReplicasSkipped = Ctx.Skipped.load();
+    S.ReplicasPerWorker = Ctx.PerWorkerReplicas;
+    S.WorkerBusySeconds = Ctx.PerWorkerBusy;
+    for (uint64_t R : Ctx.PerWorkerReplicas)
+      S.ReplicasSimulated += R;
+    for (uint64_t A : Ctx.PerWorkerAllocs)
+      S.Allocations += A;
+    for (uint64_t A : Ctx.PerWorkerSteadyAllocs)
+      S.SteadyAllocations += A;
+  }
   return Results;
 }

@@ -14,19 +14,30 @@
 /// array-of-structs layout plus per-replica allocation dominate their
 /// wall-clock.
 ///
-/// Three ideas, all behaviour-preserving:
+/// Four ideas, all behaviour-preserving:
 ///
 ///   1. Communication vectors live in one contiguous buffer of word-packed
 ///      rows (k bits per agent, rounded to uint64_t words), so the
 ///      neighbour-OR exchange is straight-line word ops with no per-agent
 ///      heap indirection.
-///   2. The genome is precompiled once per replica run into a flat
+///   2. Each distinct genome is compiled exactly once per run into a flat
 ///      transition table (input x state -> packed {nextstate, move,
-///      setcolor, turn}), and the turn algebra into a direction x turn-code
-///      map, so the action phase is table lookups only.
-///   3. Replicas are fanned out over the existing ThreadPool in chunks;
-///      every replica owns its seeded fault stream (exactly as in World),
-///      so results are bit-identical regardless of the worker count.
+///      setcolor, turn}) held in a per-run compile cache and shared
+///      read-only by every replica and worker; the turn algebra is a
+///      direction x turn-code map, so the action phase is table lookups
+///      only.
+///   3. Every worker owns a small arena of ReplicaWorkspaces — all scratch
+///      a replica needs, allocated once and reset between replicas, so
+///      steady-state simulation performs zero heap allocations (the run
+///      stats carry an instrumented allocation counter that proves it).
+///      Fast-path replicas in one arena advance in lockstep, interleaving
+///      independent per-step work to fill the pipeline stalls a single
+///      replica's dependence chains leave open.
+///   4. Workers pull replicas from one shared atomic counter (work
+///      stealing), eliminating the tail idle time of fixed chunking; every
+///      replica owns its seeded fault stream and writes one result slot
+///      (exactly as in World), so results are bit-identical regardless of
+///      the worker count or completion order.
 ///
 /// The reference World stays authoritative: BatchEngine reproduces its
 /// SimResult and final field bit-for-bit across fault injection, both
@@ -114,9 +125,64 @@ struct BatchStepView {
   int NumSurvivors = 0;
 
   bool commBit(int Agent, int Bit) const {
-    return (Comm[static_cast<size_t>(Agent) * WordsPerAgent + Bit / 64] >>
-            (Bit % 64)) &
+    // All index arithmetic in size_t before the add: on multi-word rows
+    // (k > 64) a mixed int product would be computed in int first and
+    // only then widened.
+    return (Comm[static_cast<size_t>(Agent) *
+                     static_cast<size_t>(WordsPerAgent) +
+                 static_cast<size_t>(Bit) / 64] >>
+            (static_cast<size_t>(Bit) % 64)) &
            1;
+  }
+};
+
+/// Instrumentation of one run() call, filled when BatchRunOptions::Stats
+/// points at an instance. Counting costs nothing measurable: the hot loop
+/// itself is untouched, counters tick per replica or per buffer growth.
+struct BatchRunStats {
+  /// Worker threads actually used: the requested count clamped to the
+  /// replica count, forced to 1 by a step observer.
+  size_t WorkersUsed = 0;
+  uint64_t ReplicasSimulated = 0;
+  uint64_t ReplicasSkipped = 0; ///< Replicas vetoed by ShouldSkip.
+  /// Genome-compile cache: each replica resolves two table slots (A and
+  /// B); a miss compiles a distinct genome once, every other resolution
+  /// is served from the per-run cache.
+  uint64_t CompileMisses = 0;
+  uint64_t CompileHits = 0;
+  /// Workspace-arena buffer growths (heap reallocations) over the whole
+  /// run, and the subset that happened after the owning workspace slot
+  /// had already finished its first replica. A homogeneous batch (same
+  /// agent count everywhere, the GA's shape) must report
+  /// SteadyAllocations == 0: after warm-up the hot path never touches
+  /// the heap. (FinalStates capture is diagnostic-only and not counted.)
+  uint64_t Allocations = 0;
+  uint64_t SteadyAllocations = 0;
+  /// Per-worker replica counts and busy time (seconds inside the worker
+  /// loop), indexed by worker. Utilisation close to 1 means work stealing
+  /// left no tail idle time.
+  std::vector<uint64_t> ReplicasPerWorker;
+  std::vector<double> WorkerBusySeconds;
+
+  double compileHitRate() const {
+    uint64_t Total = CompileHits + CompileMisses;
+    return Total ? static_cast<double>(CompileHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+  /// Mean busy share of the slowest worker's span: 1.0 = perfectly
+  /// balanced, lower = workers idled behind a straggler.
+  double workerUtilization() const {
+    if (WorkerBusySeconds.empty())
+      return 1.0;
+    double Max = 0.0, Sum = 0.0;
+    for (double S : WorkerBusySeconds) {
+      Max = S > Max ? S : Max;
+      Sum += S;
+    }
+    return Max > 0.0
+               ? Sum / (Max * static_cast<double>(WorkerBusySeconds.size()))
+               : 1.0;
   }
 };
 
@@ -138,16 +204,22 @@ struct BatchRunOptions {
   // early abort. Both hooks may be invoked concurrently from worker
   // threads when NumWorkers > 1; callers own their synchronisation.
 
-  /// Polled right before each replica is simulated. Returning true skips
-  /// the replica entirely: its result slot keeps a default-constructed
-  /// SimResult (recognisable by NumAgents == 0, which no simulated replica
-  /// can produce), and OnResult is not invoked for it.
+  /// Polled right before each replica is simulated, and once more when a
+  /// pipelined (lockstep) replica completes — a veto that arrived while
+  /// the replica was in flight discards its result. Either way a vetoed
+  /// replica's result slot keeps a default-constructed SimResult
+  /// (recognisable by NumAgents == 0, which no simulated replica can
+  /// produce), and OnResult is not invoked for it.
   std::function<bool(int Replica)> ShouldSkip;
 
   /// Invoked with each replica's result as soon as that replica finishes
   /// (completion order, not replica order). Lets a scheduler accumulate
   /// partial sums and flip ShouldSkip for the batch's remaining replicas.
   std::function<void(int Replica, const SimResult &)> OnResult;
+
+  /// When non-null, filled with this run's instrumentation (workers used,
+  /// compile-cache hits, workspace allocations, per-worker load).
+  BatchRunStats *Stats = nullptr;
 };
 
 /// The batched engine. Like World, it borrows the Torus, which must

@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <utility>
 
@@ -104,5 +105,27 @@ void ca2a::parallelFor(size_t Count, size_t NumWorkers,
         Body(I);
     });
   }
+  Pool.wait();
+}
+
+void ca2a::parallelForDynamic(
+    size_t Count, size_t NumWorkers,
+    const std::function<void(size_t, size_t)> &Body) {
+  if (Count == 0)
+    return;
+  if (NumWorkers <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Body(0, I);
+    return;
+  }
+  NumWorkers = std::min(NumWorkers, Count);
+  ThreadPool Pool(NumWorkers);
+  std::atomic<size_t> Next{0};
+  for (size_t Worker = 0; Worker != NumWorkers; ++Worker)
+    Pool.submit([Worker, Count, &Next, &Body] {
+      for (size_t I;
+           (I = Next.fetch_add(1, std::memory_order_relaxed)) < Count;)
+        Body(Worker, I);
+    });
   Pool.wait();
 }

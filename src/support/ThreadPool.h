@@ -76,6 +76,21 @@ private:
 void parallelFor(size_t Count, size_t NumWorkers,
                  const std::function<void(size_t)> &Body);
 
+/// Work-stealing variant of parallelFor: workers pull indices one at a
+/// time from a shared atomic counter, so uneven per-index cost no longer
+/// leaves workers idle behind a slow chunk. Body(Worker, I) runs for every
+/// I in [0, Count) exactly once; Worker in [0, NumWorkers) identifies the
+/// calling worker so callers can keep per-worker state (a scratch arena, a
+/// reused simulation engine) without locking. With NumWorkers <= 1 the
+/// loop runs inline, in index order, with Worker == 0.
+///
+/// Exceptions: a throwing Body ends its worker's participation (the other
+/// workers drain the remaining indices); the first exception is rethrown
+/// on the calling thread after the drain. Inline (<= 1 worker) the
+/// exception propagates immediately and the remaining indices never run.
+void parallelForDynamic(size_t Count, size_t NumWorkers,
+                        const std::function<void(size_t, size_t)> &Body);
+
 } // namespace ca2a
 
 #endif // CA2A_SUPPORT_THREADPOOL_H

@@ -326,6 +326,81 @@ TEST(BatchEngineDiffTest, StepObserverSeesTheReferenceTrajectory) {
   }
 }
 
+// Regression test for BatchStepView::commBit index narrowing: with k > 64
+// the communication rows span multiple words, and the word index
+// Agent * WordsPerAgent + Bit / 64 must be computed in size_t throughout
+// (a mixed int product is evaluated in int first and only then widened).
+// Compares every (agent, bit) against the reference World's BitVector at
+// every observed iteration — exact bits, not just popcounts.
+TEST(BatchEngineDiffTest, CommBitMatchesReferenceBitwiseBeyondOneWord) {
+  Torus T(GridKind::Triangulate, 12); // 144 cells, k = 96 fits.
+  Rng R(0xc0bb17);
+  DiffConfig C;
+  C.A = Genome::random(R);
+  C.Options.MaxSteps = 30;
+  C.Placements = randomConfiguration(T, 96, R).Placements;
+  ASSERT_EQ(C.Placements.size(), 96u); // Two 64-bit words per agent.
+
+  // Reference bit matrix per iteration, flattened agent-major.
+  std::vector<std::vector<bool>> RefBits;
+  World W(T);
+  W.reset(C.A, C.Placements, C.Options);
+  W.run([&](const World &View, int) {
+    std::vector<bool> Step;
+    for (int Id = 0; Id != View.numAgents(); ++Id)
+      for (int Bit = 0; Bit != View.numAgents(); ++Bit)
+        Step.push_back(View.agent(Id).Comm.test(static_cast<size_t>(Bit)));
+    RefBits.push_back(std::move(Step));
+  });
+  ASSERT_FALSE(RefBits.empty());
+
+  size_t StepsSeen = 0;
+  BatchEngine Engine(T);
+  BatchRunOptions RunOptions;
+  RunOptions.OnStep = [&](const BatchStepView &View) {
+    ASSERT_EQ(View.WordsPerAgent, 2);
+    ASSERT_LT(StepsSeen, RefBits.size());
+    const std::vector<bool> &Ref = RefBits[StepsSeen];
+    for (int Id = 0; Id != View.NumAgents; ++Id)
+      for (int Bit = 0; Bit != View.NumAgents; ++Bit)
+        ASSERT_EQ(View.commBit(Id, Bit),
+                  Ref[static_cast<size_t>(Id * View.NumAgents + Bit)])
+            << "step " << StepsSeen << " agent " << Id << " bit " << Bit;
+    ++StepsSeen;
+  };
+  Engine.run({replicaFor(C)}, RunOptions);
+  EXPECT_EQ(StepsSeen, RefBits.size());
+}
+
+// Grids beyond 32767 cells cannot narrow their neighbour table to int16,
+// so BatchEngine must fall back to the general (Neighbors32) path and
+// still match the reference exactly. 182x182 = 33124 cells is the first
+// square side past the boundary.
+TEST(BatchEngineDiffTest, Neighbors16FallbackOnHugeGridMatchesReference) {
+  for (GridKind Kind : {GridKind::Square, GridKind::Triangulate}) {
+    Torus T(Kind, 182);
+    ASSERT_GT(T.numCells(), 32767);
+    Rng R(Kind == GridKind::Square ? 0xb16a : 0xb16b);
+    DiffConfig C;
+    C.A = Genome::random(R);
+    C.Options.MaxSteps = 40;
+    C.Placements = randomConfiguration(T, 8, R).Placements;
+    std::string What = std::string("huge ") + gridKindName(Kind) + "182";
+
+    World W(T);
+    SimResult Ref = runReference(W, C);
+
+    BatchEngine Engine(T);
+    std::vector<ReplicaFinalState> Finals;
+    BatchRunOptions RunOptions;
+    RunOptions.FinalStates = &Finals;
+    std::vector<SimResult> Got = Engine.run({replicaFor(C)}, RunOptions);
+    ASSERT_EQ(Got.size(), 1u) << What;
+    ASSERT_TRUE(Got[0] == Ref) << What << ": SimResult differs";
+    expectFinalStateMatchesWorld(W, Finals[0], What);
+  }
+}
+
 // MaxSteps = 0 is a legal degenerate cutoff: no iteration runs, and both
 // engines must report the untouched initial field.
 TEST(BatchEngineDiffTest, ZeroStepCutoffMatchesReference) {

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 using namespace ca2a;
@@ -105,6 +107,44 @@ TEST(ThreadPoolTest, DestructorSwallowsPendingException) {
   SUCCEED();
 }
 
+// Satellite stress test: 1000-task churn interleaving waves of good tasks
+// with throwing ones. Exercises the wait() contract under load: every
+// non-throwing task runs, each wait() rethrows at most one exception (the
+// first of its batch), and the pool survives to serve the next wave.
+TEST(ThreadPoolTest, ThousandTaskChurnWithExceptions) {
+  ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  int Submitted = 0, ThrowersSubmitted = 0, WavesThatThrew = 0;
+  for (int Wave = 0; Wave != 10; ++Wave) {
+    for (int I = 0; I != 100; ++I) {
+      bool Throws = I % 10 == 7; // 10 throwing tasks per wave.
+      Pool.submit([&Completed, Throws, Wave, I] {
+        if (Throws)
+          throw std::runtime_error("wave " + std::to_string(Wave) +
+                                   " task " + std::to_string(I));
+        ++Completed;
+      });
+      ++Submitted;
+      ThrowersSubmitted += Throws;
+    }
+    try {
+      Pool.wait();
+    } catch (const std::runtime_error &) {
+      ++WavesThatThrew; // Exactly one rethrow per tainted wave.
+    }
+  }
+  EXPECT_EQ(Submitted, 1000);
+  EXPECT_EQ(Completed.load(), Submitted - ThrowersSubmitted);
+  EXPECT_EQ(WavesThatThrew, 10);
+  // A fully clean wave after the churn: wait() must not re-report old
+  // exceptions, and all workers must still be alive.
+  std::atomic<int> Clean{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Clean] { ++Clean; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Clean.load(), 100);
+}
+
 TEST(ParallelForTest, CoversEveryIndexOnce) {
   for (size_t Workers : {0u, 1u, 2u, 4u, 7u}) {
     std::vector<std::atomic<int>> Hits(257);
@@ -130,4 +170,74 @@ TEST(ParallelForTest, MatchesSequentialSum) {
   for (long long V : Values)
     Expected += V * V;
   EXPECT_EQ(Sum.load(), Expected);
+}
+
+TEST(ParallelForDynamicTest, CoversEveryIndexOnce) {
+  for (size_t Workers : {0u, 1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> Hits(257);
+    parallelForDynamic(257, Workers,
+                       [&Hits](size_t, size_t I) { ++Hits[I]; });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << ", workers " << Workers;
+  }
+}
+
+TEST(ParallelForDynamicTest, WorkerIdsAreInRange) {
+  constexpr size_t Workers = 4;
+  std::vector<size_t> WorkerOf(300, ~size_t(0));
+  parallelForDynamic(WorkerOf.size(), Workers,
+                     [&](size_t Worker, size_t I) { WorkerOf[I] = Worker; });
+  for (size_t I = 0; I != WorkerOf.size(); ++I)
+    EXPECT_LT(WorkerOf[I], Workers) << "index " << I;
+}
+
+TEST(ParallelForDynamicTest, InlineRunsInOrderWithWorkerZero) {
+  std::vector<size_t> Order;
+  parallelForDynamic(10, 1, [&Order](size_t Worker, size_t I) {
+    EXPECT_EQ(Worker, 0u);
+    Order.push_back(I);
+  });
+  for (size_t I = 0; I != Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ParallelForDynamicTest, BalancesSkewedWork) {
+  // Index 0 is a straggler that busy-spins until every other index is
+  // done. Fixed chunking would strand ~1/4 of the indices behind it in
+  // the straggler's chunk; work stealing must let the other workers
+  // drain the rest of the range meanwhile, so this terminates.
+  constexpr size_t Count = 64;
+  std::atomic<size_t> DoneElsewhere{0};
+  parallelForDynamic(Count, 4, [&](size_t, size_t I) {
+    if (I == 0) {
+      while (DoneElsewhere.load() < Count - 1)
+        std::this_thread::yield();
+      return;
+    }
+    ++DoneElsewhere;
+  });
+  EXPECT_EQ(DoneElsewhere.load(), Count - 1);
+}
+
+TEST(ParallelForDynamicTest, ZeroCountIsNoop) {
+  bool Called = false;
+  parallelForDynamic(0, 4, [&Called](size_t, size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(ParallelForDynamicTest, ExceptionRethrownAndOthersDrain) {
+  constexpr size_t Count = 200;
+  std::vector<std::atomic<int>> Hits(Count);
+  EXPECT_THROW(parallelForDynamic(Count, 4,
+                                  [&](size_t, size_t I) {
+                                    if (I == 5)
+                                      throw std::runtime_error("index 5");
+                                    ++Hits[I];
+                                  }),
+               std::runtime_error);
+  // The throwing worker stops, but the other three drain the remainder:
+  // no index other than the thrower may be left unvisited.
+  for (size_t I = 0; I != Count; ++I)
+    if (I != 5)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
 }
