@@ -1,0 +1,397 @@
+#!/usr/bin/env python3
+"""Determinism lint for the ca2a simulation core.
+
+The repo's central invariant is that every engine produces bit-identical
+results for every worker count; Tables 1-2 of the paper are reproduced
+*because* each replica's trajectory is a pure function of its seed. This
+lint makes the common ways of breaking that invariant a build failure
+instead of a review-time hope. It scans ``src/sim``, ``src/ga`` and
+``src/agent`` (the code that decides simulation results) for:
+
+  c-rand              rand()/srand(): process-global, unseeded per replica.
+  c-time              time(NULL)/clock()/gettimeofday(): wall-clock input.
+  random-device       std::random_device: hardware entropy, never replayable.
+  std-engine          std:: random engines/distributions: unspecified across
+                      platforms; all randomness must flow through ca2a::Rng.
+  wall-clock          chrono clock ::now(): wall-clock input (allowed for
+                      instrumentation with an explicit pragma, see below).
+  unordered-iteration range-for / .begin() iteration over a variable declared
+                      std::unordered_*: bucket order is a function of hash
+                      seeding and insertion history, so anything accumulated
+                      from it is ordering-dependent. Lookups are fine.
+  pointer-keyed-order std::map/std::set keyed on a pointer type: iteration
+                      order follows allocator addresses, i.e. ASLR.
+
+Findings are suppressed by an explicit, justified pragma on the same or the
+preceding line::
+
+    // det-lint: allow(wall-clock) instrumentation only, never feeds results
+
+The pragma names one rule; a bare ``allow()`` matches nothing. Keep the
+justification on the line — an unexplained allow is a review blocker.
+
+Hybrid mode: when ``clang-query`` is on PATH (or named via --clang-query)
+and a compilation database is available, call-expression rules are also
+cross-checked with AST matchers, which sees through macro spellings the
+regexes might miss. The regex engine remains authoritative so the lint
+works in minimal containers.
+
+Usage:
+  lint_determinism.py [--root DIR] [paths...]     lint (default: core dirs)
+  lint_determinism.py --self-test                 verify the rule engine
+                                                  against the seeded fixture
+                                                  negatives in
+                                                  tests/lint/fixtures/
+Exit status: 0 clean, 1 findings (or self-test expectation failures),
+2 usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent"]
+FIXTURE_DIR = os.path.join("tests", "lint", "fixtures")
+SOURCE_EXTS = {".cpp", ".h", ".hpp", ".cc", ".hh"}
+
+ALLOW_RE = re.compile(r"det-lint:\s*allow\(([a-z-]+)\)")
+
+# Each rule: (id, human message, compiled regex). Regexes run on
+# comment-stripped lines, so doc text can mention rand() freely.
+RULES = [
+    (
+        "c-rand",
+        "C rand()/srand() is process-global and unseeded per replica; "
+        "draw from a seeded ca2a::Rng instead",
+        re.compile(r"(?<![\w.:>])s?rand\s*\("),
+    ),
+    (
+        "c-time",
+        "wall-clock input makes runs unreplayable; thread a seed or a "
+        "caller-supplied timestamp through instead",
+        re.compile(
+            r"(?<![\w.>])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&)"
+            r"|(?<![\w.:>])(?:clock|gettimeofday|clock_gettime|localtime"
+            r"|gmtime)\s*\("
+        ),
+    ),
+    (
+        "random-device",
+        "std::random_device is hardware entropy and never replayable; "
+        "seed a ca2a::Rng explicitly",
+        re.compile(r"\bstd\s*::\s*random_device\b"),
+    ),
+    (
+        "std-engine",
+        "std::<random> engines/distributions have platform-unspecified "
+        "streams; all randomness must flow through ca2a::Rng",
+        re.compile(
+            r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?"
+            r"|default_random_engine|ranlux\w*|knuth_b|random_shuffle"
+            r"|(?:uniform_int|uniform_real|normal|bernoulli|poisson"
+            r"|exponential|discrete)_distribution)\b"
+        ),
+    ),
+    (
+        "wall-clock",
+        "chrono clock now() is wall-clock input; keep it out of anything "
+        "that feeds a result (instrumentation may use an allow pragma)",
+        re.compile(
+            r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::"
+            r"\s*now\b"
+        ),
+    ),
+    (
+        "pointer-keyed-order",
+        "ordered container keyed on a pointer: iteration order follows "
+        "allocator addresses (ASLR); key on a stable id or hash instead",
+        re.compile(
+            r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<[^,<>]*\*\s*[,>]"
+        ),
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:multi)?(?:map|set)\s*<[^;{}()]*?>\s+"
+    r"(\w+)\s*[;={(]"
+)
+UNORDERED_MSG = (
+    "iteration over an unordered container: bucket order depends on hash "
+    "seeding and insertion history; iterate a sorted copy or a parallel "
+    "vector instead"
+)
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments (and string/char literals), keeping
+    line structure so findings carry real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines):
+    """Map line number -> set of rule ids allowed there. A pragma covers
+    its own line and the next (so it can sit above the finding)."""
+    allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        for match in ALLOW_RE.finditer(line):
+            for covered in (idx, idx + 1):
+                allows.setdefault(covered, set()).add(match.group(1))
+    return allows
+
+
+def lint_file(path):
+    """Return a list of (path, line, rule, message) findings."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            raw = handle.read()
+    except OSError as err:
+        print(f"lint_determinism: cannot read {path}: {err}", file=sys.stderr)
+        return [(path, 0, "io-error", str(err))]
+
+    raw_lines = raw.splitlines()
+    allows = collect_allows(raw_lines)
+    code = strip_comments(raw)
+    code_lines = code.splitlines()
+
+    findings = []
+
+    def report(lineno, rule, message):
+        if rule in allows.get(lineno, ()):  # justified pragma
+            return
+        findings.append((path, lineno, rule, message))
+
+    for idx, line in enumerate(code_lines, start=1):
+        for rule, message, pattern in RULES:
+            if pattern.search(line):
+                report(idx, rule, message)
+
+    # unordered-iteration: find unordered container variables, then flag
+    # iteration over them anywhere in the same file.
+    names = set(UNORDERED_DECL_RE.findall(code))
+    if names:
+        alt = "|".join(re.escape(name) for name in sorted(names))
+        iter_res = [
+            # for (auto &x : Container) / for (... : this->Container)
+            re.compile(
+                r"for\s*\([^;()]*:\s*(?:this->)?(?:%s)\s*\)" % alt
+            ),
+            # Container.begin() / .cbegin() / .rbegin()
+            re.compile(r"\b(?:%s)\s*\.\s*c?r?begin\s*\(" % alt),
+        ]
+        for idx, line in enumerate(code_lines, start=1):
+            for pattern in iter_res:
+                if pattern.search(line):
+                    report(idx, "unordered-iteration", UNORDERED_MSG)
+
+    return findings
+
+
+def iter_sources(paths, root):
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(full):
+            yield full
+        elif os.path.isdir(full):
+            for dirpath, _dirnames, filenames in os.walk(full):
+                for name in sorted(filenames):
+                    if os.path.splitext(name)[1] in SOURCE_EXTS:
+                        yield os.path.join(dirpath, name)
+        else:
+            print(f"lint_determinism: no such path: {full}", file=sys.stderr)
+            sys.exit(2)
+
+
+# ---------------------------------------------------------------------------
+# clang-query hybrid pass (best effort; regexes stay authoritative).
+
+CLANG_QUERY_MATCHERS = {
+    "c-rand": "callExpr(callee(functionDecl(hasAnyName('rand', 'srand'))))",
+    "random-device": (
+        "varDecl(hasType(cxxRecordDecl(hasName('::std::random_device'))))"
+    ),
+}
+
+
+def clang_query_pass(binary, compdb, files):
+    """Cross-check AST-visible rules; returns extra findings. Failures of
+    the tool itself are reported as warnings, never as lint errors."""
+    findings = []
+    for rule, matcher in CLANG_QUERY_MATCHERS.items():
+        cmd = [binary, "-p", compdb, "-c", f"match {matcher}"] + files
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=600
+            )
+        except (OSError, subprocess.TimeoutExpired) as err:
+            print(f"lint_determinism: clang-query failed: {err}",
+                  file=sys.stderr)
+            return findings
+        for match in re.finditer(
+            r"^(/[^\s:]+):(\d+):\d+: note:", proc.stdout, re.M
+        ):
+            findings.append(
+                (match.group(1), int(match.group(2)), rule,
+                 f"clang-query: {rule} (see regex rule of the same id)")
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self test: the seeded negative fixtures must trigger, the clean ones not.
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z,\- ]+)")
+
+
+def self_test(root):
+    fixture_root = os.path.join(root, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"lint_determinism: fixture dir missing: {fixture_root}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for name in sorted(os.listdir(fixture_root)):
+        if os.path.splitext(name)[1] not in SOURCE_EXTS:
+            continue
+        path = os.path.join(fixture_root, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        expect_match = EXPECT_RE.search(first)
+        if not expect_match:
+            print(f"FAIL {name}: fixture lacks a leading '// expect:' line")
+            failures += 1
+            continue
+        expected = {
+            token.strip()
+            for token in expect_match.group(1).split(",")
+            if token.strip()
+        }
+        got = {rule for (_f, _l, rule, _m) in lint_file(path)}
+        checked += 1
+        if expected == {"clean"}:
+            if got:
+                print(f"FAIL {name}: expected clean, got {sorted(got)}")
+                failures += 1
+        elif not expected <= got:
+            print(
+                f"FAIL {name}: expected {sorted(expected)}, "
+                f"got {sorted(got) or 'nothing'}"
+            )
+            failures += 1
+    if checked == 0:
+        print("lint_determinism: no fixtures found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"self-test: {failures} of {checked} fixtures FAILED")
+        return 1
+    print(f"self-test: all {checked} fixtures behaved as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to lint (default: {DEFAULT_PATHS})")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root for relative paths")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rule engine against the seeded "
+                             "fixtures and exit")
+    parser.add_argument("--clang-query", default="clang-query",
+                        help="clang-query binary for the AST cross-check")
+    parser.add_argument("--compdb", default=None,
+                        help="compilation database dir (enables clang-query "
+                             "when the binary exists; default: <root>/build)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.root))
+
+    paths = args.paths or DEFAULT_PATHS
+    files = sorted(set(iter_sources(paths, args.root)))
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    binary = shutil.which(args.clang_query)
+    compdb = args.compdb or os.path.join(args.root, "build")
+    if binary and os.path.isfile(os.path.join(compdb, "compile_commands.json")):
+        cpp_files = [f for f in files if f.endswith(".cpp")]
+        seen = {(f, l, r) for (f, l, r, _m) in findings}
+        for extra in clang_query_pass(binary, compdb, cpp_files):
+            if (extra[0], extra[1], extra[2]) not in seen:
+                findings.append(extra)
+
+    findings.sort()
+    for path, line, rule, message in findings:
+        rel = os.path.relpath(path, args.root)
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in "
+            f"{len(files)} files — see the rule list in "
+            f"scripts/lint_determinism.py; suppress only with a justified "
+            f"'det-lint: allow(<rule>)' pragma"
+        )
+        sys.exit(1)
+    print(f"lint_determinism: {len(files)} files clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

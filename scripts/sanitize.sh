@@ -1,9 +1,63 @@
 #!/usr/bin/env bash
-# Runs the whole test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#===- scripts/sanitize.sh - Sanitizer matrix runner ----------------------===#
+#
+# Part of the ca2a project: reproduction of Hoffmann & Désérable,
+# "CA Agents for All-to-All Communication Are Faster in the Triangulate
+# Grid" (PaCT 2013).
+#
+# Builds and runs the test suite under one or more sanitizers. Each mode
+# gets its own build directory (build-asan, build-ubsan, build-tsan) and
+# its flags come from the repo CMakeLists' -DSANITIZE option, so a manual
+# `cmake -DSANITIZE=tsan` reproduces exactly what this script runs.
+#
+#   asan   AddressSanitizer (+UBSan, the classic combination) + leak check
+#   ubsan  UndefinedBehaviorSanitizer alone, nonrecoverable
+#   tsan   ThreadSanitizer over the concurrent engine paths; suppressions
+#          (if ever needed) live in .tsan-suppressions, justified line by
+#          line, and any report fails the run
+#
+# Usage: sanitize.sh [asan|ubsan|tsan|all]...   (default: asan ubsan)
+#
+#===----------------------------------------------------------------------===#
+
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build-asan -G Ninja \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1 -g"
-cmake --build build-asan
-ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan --output-on-failure
+MODES=("$@")
+[ ${#MODES[@]} -eq 0 ] && MODES=(asan ubsan)
+[ "${MODES[0]}" = "all" ] && MODES=(asan ubsan tsan)
+
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+for MODE in "${MODES[@]}"; do
+  case "$MODE" in
+  asan | ubsan | tsan) ;;
+  *)
+    echo "sanitize.sh: unknown mode '$MODE' (expected asan, ubsan, tsan or all)" >&2
+    exit 2
+    ;;
+  esac
+  BUILD="build-$MODE"
+  echo "== $MODE: configuring $BUILD =="
+  cmake -B "$BUILD" "${GENERATOR[@]}" -DSANITIZE="$MODE"
+  cmake --build "$BUILD" -j
+
+  echo "== $MODE: running ctest =="
+  case "$MODE" in
+  asan)
+    ASAN_OPTIONS=detect_leaks=1 \
+      ctest --test-dir "$BUILD" --output-on-failure -j
+    ;;
+  ubsan)
+    UBSAN_OPTIONS=print_stacktrace=1 \
+      ctest --test-dir "$BUILD" --output-on-failure -j
+    ;;
+  tsan)
+    # halt_on_error turns any race report into a test failure; the
+    # suppressions file is expected to stay empty (see its header).
+    TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/.tsan-suppressions second_deadlock_stack=1" \
+      ctest --test-dir "$BUILD" --output-on-failure -j
+    ;;
+  esac
+done

@@ -91,6 +91,8 @@ namespace {
 constexpr int LockstepBlock = 8;
 
 double secondsSince(std::chrono::steady_clock::time_point Start) {
+  // WorkerBusySeconds instrumentation only — timing never feeds a
+  // SimResult. det-lint: allow(wall-clock) instrumentation only
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        Start)
       .count();
@@ -1042,6 +1044,11 @@ struct RunContext {
   const BatchRunOptions &Options;
   std::vector<SimResult> &Results;
 
+  // Memory orders: see the ordering contract on BatchRunStats
+  // (BatchEngine.h). Both atomics are relaxed — the cursor only needs
+  // each index handed out once, the skip tally is reduced after the
+  // fan-out joins, and the pool join supplies the publication edge.
+
   /// Work-stealing cursor: the next replica index to claim.
   std::atomic<size_t> Next{0};
   std::atomic<uint64_t> Skipped{0};
@@ -1071,6 +1078,7 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
                 const std::vector<int16_t> &Neighbors16,
                 const uint8_t (&TurnMap)[6][4], RunContext &Ctx,
                 size_t Worker) {
+  // det-lint: allow(wall-clock) per-worker busy-time instrumentation only.
   auto Start = std::chrono::steady_clock::now();
   const size_t N = Ctx.Replicas.size();
   const BatchRunOptions &Options = Ctx.Options;
@@ -1276,7 +1284,9 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
     S.WorkersUsed = NumWorkers;
     S.CompileHits = Cache.hits();
     S.CompileMisses = Cache.misses();
-    S.ReplicasSkipped = Ctx.Skipped.load();
+    // Relaxed is sound: the workers that wrote these finished before the
+    // parallelFor join above, which is the release/acquire edge.
+    S.ReplicasSkipped = Ctx.Skipped.load(std::memory_order_relaxed);
     S.ReplicasPerWorker = Ctx.PerWorkerReplicas;
     S.WorkerBusySeconds = Ctx.PerWorkerBusy;
     for (uint64_t R : Ctx.PerWorkerReplicas)

@@ -139,6 +139,29 @@ struct BatchStepView {
 /// Instrumentation of one run() call, filled when BatchRunOptions::Stats
 /// points at an instance. Counting costs nothing measurable: the hot loop
 /// itself is untouched, counters tick per replica or per buffer growth.
+///
+/// Ordering contract of the parallel fan-out (checked under TSan by
+/// tests/support/RaceStressTest.cpp; scripts/sanitize.sh tsan):
+///
+///   * The work-stealing cursor and the skipped-replica counter are the
+///     only cross-worker atomics, and both use memory_order_relaxed:
+///     fetch_add on the cursor must only hand out each index exactly once
+///     (atomicity suffices — no payload is published through it), and the
+///     skip counter is a pure tally.
+///   * Everything else a worker writes — result slots, per-worker stats
+///     slots, workspace arenas — is either indexed by a claimed replica
+///     (so exactly one worker touches it) or owned by the worker outright.
+///     No two threads ever write the same location, so no ordering is
+///     needed *between* workers.
+///   * The caller reads those writes only after the fan-out joins; the
+///     ThreadPool's mutex/condvar handshake in wait() (and the pool
+///     destructor's join) provides the release/acquire edge that makes
+///     every worker write visible. Relaxed atomics are therefore safe to
+///     read non-atomically-reduced after run() returns.
+///   * The user hooks (ShouldSkip/OnResult) run concurrently from worker
+///     threads when NumWorkers > 1; the engine adds no synchronisation
+///     around them — callers own their state's locking, as EvalScheduler
+///     does with one mutex over its progress table.
 struct BatchRunStats {
   /// Worker threads actually used: the requested count clamped to the
   /// replica count, forced to 1 by a step observer.

@@ -120,6 +120,10 @@ void ca2a::parallelForDynamic(
   }
   NumWorkers = std::min(NumWorkers, Count);
   ThreadPool Pool(NumWorkers);
+  // Relaxed suffices for the cursor: it only needs to hand out each index
+  // exactly once (atomicity), never to publish data. Whatever Body writes
+  // is made visible to the caller by wait()'s mutex handshake, not by
+  // this counter.
   std::atomic<size_t> Next{0};
   for (size_t Worker = 0; Worker != NumWorkers; ++Worker)
     Pool.submit([Worker, Count, &Next, &Body] {

@@ -1,0 +1,13 @@
+// expect: clean
+// Positive fixture: a justified pragma silences exactly the named rule —
+// this is the sanctioned shape for instrumentation-only clock reads.
+#include <chrono>
+
+double busySeconds() {
+  // det-lint: allow(wall-clock) instrumentation only, never feeds results
+  auto Start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(
+             // det-lint: allow(wall-clock) instrumentation only
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}

@@ -1,0 +1,23 @@
+// expect: clean
+// Positive fixture: everything here is deterministic and must NOT be
+// flagged — unordered lookups (no iteration), a member function named
+// time(), comments mentioning rand() and std::random_device, and a string
+// literal containing "srand(".
+#include <string>
+#include <unordered_map>
+
+struct Clock {
+  int Time = 0;
+  // Doc comment teasing the linter: rand(), time(NULL), std::mt19937.
+  int time() const { return Time; }
+};
+
+int lookupOnly(const Clock &C) {
+  std::unordered_map<int, int> Memo;
+  Memo.emplace(1, 2);
+  auto It = Memo.find(1);
+  const char *Label = "call srand(7) elsewhere";
+  /* block comment: std::random_device should stay unflagged here */
+  return (It != Memo.end() ? It->second : 0) + C.time() +
+         static_cast<int>(Label[0]);
+}

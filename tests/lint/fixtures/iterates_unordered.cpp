@@ -1,0 +1,17 @@
+// expect: unordered-iteration
+// Seeded negative: accumulating over an unordered container's iteration
+// order — the sum is stable, but any order-sensitive fold (first match,
+// float accumulation, output order) silently is not.
+#include <string>
+#include <unordered_map>
+
+int totalScore(const std::unordered_map<std::string, int> &) {
+  std::unordered_map<std::string, int> Scores;
+  Scores.emplace("a", 1);
+  int Total = 0;
+  for (const auto &Entry : Scores)
+    Total += Entry.second;
+  for (auto It = Scores.begin(); It != Scores.end(); ++It)
+    Total += It->second;
+  return Total;
+}

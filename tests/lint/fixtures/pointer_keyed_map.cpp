@@ -1,0 +1,12 @@
+// expect: pointer-keyed-order
+// Seeded negative: an ordered container keyed on a pointer — iteration
+// order follows heap addresses, i.e. allocator history and ASLR.
+#include <map>
+#include <set>
+
+struct Genome;
+
+int countTracked(const std::map<const Genome *, int> &Ranks) {
+  std::set<int *> Seen;
+  return static_cast<int>(Ranks.size() + Seen.size());
+}

@@ -1,0 +1,10 @@
+// expect: c-rand
+// Seeded negative: C rand()/srand() must be flagged — the stream is
+// process-global, so two replicas on different workers would interleave
+// draws and diverge between runs.
+#include <cstdlib>
+
+int rollDie() {
+  srand(42);
+  return rand() % 6;
+}

@@ -1,0 +1,9 @@
+// expect: c-time
+// Seeded negative: wall-clock seeding makes every run unique.
+#include <ctime>
+
+unsigned long seedFromClock() {
+  unsigned long Seed = static_cast<unsigned long>(time(nullptr));
+  Seed ^= static_cast<unsigned long>(clock());
+  return Seed;
+}

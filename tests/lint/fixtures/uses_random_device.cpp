@@ -1,0 +1,8 @@
+// expect: random-device
+// Seeded negative: hardware entropy is never replayable.
+#include <random>
+
+unsigned int entropySeed() {
+  std::random_device Device;
+  return Device();
+}

@@ -1,0 +1,10 @@
+// expect: std-engine
+// Seeded negative: std::<random> engines and distributions have
+// platform-unspecified streams; ca2a::Rng is the only sanctioned source.
+#include <random>
+
+int drawUniform() {
+  std::mt19937 Engine(7);
+  std::uniform_int_distribution<int> Dist(0, 5);
+  return Dist(Engine);
+}

@@ -1,0 +1,8 @@
+// expect: wall-clock
+// Seeded negative: a chrono clock read flowing into simulation state.
+#include <chrono>
+
+long long stepBudgetFromClock() {
+  auto Now = std::chrono::steady_clock::now();
+  return Now.time_since_epoch().count() % 100;
+}

@@ -1,0 +1,242 @@
+//===- tests/support/RaceStressTest.cpp - TSan-targeted concurrency stress ===//
+//
+// Stress fixtures for the ThreadSanitizer preset (scripts/sanitize.sh
+// tsan): each test hammers one of the repo's concurrent hot paths — the
+// ThreadPool task queue, parallelForDynamic's work-stealing counter, the
+// BatchEngine replica fan-out with its shared read-only genome-compile
+// tables, and EvalScheduler's concurrent cancellation hooks — with enough
+// iterations and contention that a missing synchronisation edge becomes a
+// TSan report rather than a review-time hope.
+//
+// Every test also pins a behavioural anchor (bit-identical results across
+// worker counts) so the suite earns its keep in non-sanitized builds too:
+// a scheduling change that broke determinism would fail here before any
+// sanitizer ran.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "ga/EvalScheduler.h"
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+Genome randomGenome(uint64_t Seed) {
+  Rng R(Seed);
+  return Genome::random(R);
+}
+
+} // namespace
+
+// parallelForDynamic under churn: repeated fan-outs over a shared relaxed
+// counter plus per-worker slots — the exact access pattern BatchEngine's
+// instrumentation uses. Any missing happens-before edge between a worker's
+// slot writes and the caller's post-join reads is a race TSan will flag.
+TEST(RaceStressTest, ParallelForDynamicCounterAndPerWorkerSlots) {
+  constexpr size_t Workers = 4;
+  constexpr size_t Count = 512;
+  for (int Round = 0; Round != 8; ++Round) {
+    std::atomic<uint64_t> Shared{0};
+    std::vector<uint64_t> PerWorker(Workers, 0);
+    std::vector<uint8_t> Visited(Count, 0);
+    parallelForDynamic(Count, Workers, [&](size_t Worker, size_t I) {
+      // Shared accumulation: relaxed is enough, the value is only read
+      // after the join below.
+      Shared.fetch_add(I + 1, std::memory_order_relaxed);
+      // Per-worker slot: unsynchronised by design, no other thread may
+      // touch it until the join.
+      PerWorker[Worker] += 1;
+      Visited[I] = 1; // Distinct index per call: never racy.
+      if (I % 97 == 0)
+        std::this_thread::yield(); // Shake up the interleaving.
+    });
+    uint64_t Expected = Count * (Count + 1) / 2;
+    EXPECT_EQ(Shared.load(std::memory_order_relaxed), Expected);
+    uint64_t Total = 0;
+    for (uint64_t W : PerWorker)
+      Total += W;
+    EXPECT_EQ(Total, Count);
+    for (size_t I = 0; I != Count; ++I)
+      EXPECT_EQ(Visited[I], 1) << "index " << I;
+  }
+}
+
+// Concurrent submitters: several threads feed one pool while workers
+// drain. The queue mutex must serialise submit against the worker pops;
+// the final wait() (after the submitters joined) must observe every task.
+TEST(RaceStressTest, ThreadPoolConcurrentSubmitters) {
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  constexpr int PerSubmitter = 200;
+  std::vector<std::thread> Submitters;
+  Submitters.reserve(4);
+  for (int S = 0; S != 4; ++S)
+    Submitters.emplace_back([&Pool, &Ran] {
+      for (int I = 0; I != PerSubmitter; ++I)
+        Pool.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  for (std::thread &S : Submitters)
+    S.join();
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 4 * PerSubmitter);
+}
+
+// The batch engine's work-stealing replica loop plus the genome-compile
+// cache: 48 replicas share 3 genomes, so every worker reads the same flat
+// transition tables while pulling indices off the shared atomic cursor.
+// The parallel results (and the run stats' per-worker slots) must be
+// bit-identical to the serial run — and TSan must see no races in the
+// cursor, the shared tables, or the result slots.
+TEST(RaceStressTest, BatchEngineWorkStealingSharesCompileCache) {
+  Torus T(GridKind::Triangulate, 12);
+  std::deque<Genome> Genomes;
+  for (uint64_t S = 0; S != 3; ++S)
+    Genomes.push_back(randomGenome(0xace0 + S));
+
+  Rng R(99);
+  std::deque<std::vector<Placement>> Fields;
+  SimOptions Options;
+  Options.MaxSteps = 60;
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != 48; ++I) {
+    Fields.push_back(randomConfiguration(T, 8, R).Placements);
+    BatchReplica Rep;
+    Rep.A = &Genomes[static_cast<size_t>(I) % Genomes.size()];
+    Rep.Placements = &Fields.back();
+    Rep.Options = &Options;
+    Replicas.push_back(Rep);
+  }
+
+  BatchEngine Engine(T);
+  std::vector<SimResult> Serial = Engine.run(Replicas, {});
+  for (size_t Workers : {2u, 4u, 8u}) {
+    BatchRunOptions RO;
+    RO.NumWorkers = Workers;
+    BatchRunStats Stats;
+    RO.Stats = &Stats;
+    std::vector<SimResult> Parallel = Engine.run(Replicas, RO);
+    ASSERT_EQ(Parallel.size(), Serial.size());
+    for (size_t I = 0; I != Serial.size(); ++I)
+      EXPECT_TRUE(Parallel[I] == Serial[I])
+          << "replica " << I << " differs at " << Workers << " workers";
+    // One compile per distinct genome, everything else cache hits —
+    // regardless of how the workers raced for replicas.
+    EXPECT_EQ(Stats.CompileMisses, Genomes.size());
+    EXPECT_EQ(Stats.ReplicasSimulated, Replicas.size());
+    uint64_t PerWorkerTotal = 0;
+    for (uint64_t N : Stats.ReplicasPerWorker)
+      PerWorkerTotal += N;
+    EXPECT_EQ(PerWorkerTotal, Replicas.size());
+  }
+}
+
+// Partial-batch cancellation under contention: ShouldSkip and OnResult are
+// invoked concurrently from every worker while the test flips the skip
+// flag from OnResult itself (the EvalScheduler pattern) — the hooks'
+// contract says callers own the synchronisation, so this test keeps its
+// state behind a mutex and TSan verifies the engine adds no unsynchronised
+// accesses of its own around the hook calls.
+TEST(RaceStressTest, BatchEngineConcurrentCancellation) {
+  Torus T(GridKind::Square, 12);
+  Genome G = randomGenome(0xcafe);
+  Rng R(7);
+  std::deque<std::vector<Placement>> Fields;
+  SimOptions Options;
+  Options.MaxSteps = 80;
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != 64; ++I) {
+    Fields.push_back(randomConfiguration(T, 6, R).Placements);
+    BatchReplica Rep;
+    Rep.A = &G;
+    Rep.Placements = &Fields.back();
+    Rep.Options = &Options;
+    Replicas.push_back(Rep);
+  }
+
+  BatchEngine Engine(T);
+  std::mutex Mutex;
+  int Completed = 0;
+  bool SkipTail = false;
+  BatchRunOptions RO;
+  RO.NumWorkers = 4;
+  RO.ShouldSkip = [&](int Replica) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return SkipTail && Replica >= 32;
+  };
+  RO.OnResult = [&](int, const SimResult &Result) {
+    EXPECT_GT(Result.NumAgents, 0) << "skipped replicas must not report";
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (++Completed == 16)
+      SkipTail = true; // Cancel the batch's tail mid-flight.
+  };
+  std::vector<SimResult> Results = Engine.run(Replicas, RO);
+
+  // Every replica either carries a real result or the default-constructed
+  // skip marker; the head (never skippable) must all be real.
+  for (size_t I = 0; I != 32; ++I)
+    EXPECT_GT(Results[I].NumAgents, 0) << "head replica " << I;
+  int Skipped = 0;
+  for (const SimResult &Result : Results)
+    Skipped += Result.NumAgents == 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  EXPECT_EQ(Completed + Skipped, static_cast<int>(Results.size()));
+}
+
+// The full scheduler stack under contention: a generation evaluated at 8
+// workers with pruning enabled exercises the engine fan-out, the hook
+// mutex, and the bound heap concurrently. Selection-visible outcomes must
+// match the serial exact evaluation bit for bit (the scheduler's core
+// claim); TSan watches the whole path.
+TEST(RaceStressTest, EvalSchedulerGenerationUnderContention) {
+  Torus T(GridKind::Triangulate, 12);
+  std::vector<InitialConfiguration> Fields =
+      standardConfigurationSet(T, 4, 5, 77);
+  FitnessParams FP;
+  FP.Sim.MaxSteps = 60;
+  FP.Engine = EngineKind::Batch;
+
+  std::deque<Genome> Pool;
+  std::vector<const Genome *> Request;
+  for (uint64_t S = 0; S != 12; ++S) {
+    Pool.push_back(randomGenome(0xbeef00 + S));
+    Request.push_back(&Pool.back());
+  }
+
+  // Exact serial ground truth.
+  FP.NumWorkers = 1;
+  SchedulerParams Exact;
+  Exact.ExactFitness = true;
+  EvalScheduler Serial(T, Fields, FP, Exact);
+  std::vector<EvalOutcome> Truth = Serial.evaluateGeneration(Request, {});
+
+  // Incumbents tight enough that the tail of the request gets pruned.
+  std::vector<double> Incumbents;
+  for (size_t I = 0; I != 4; ++I)
+    Incumbents.push_back(Truth[I].Result.Fitness);
+
+  FP.NumWorkers = 8;
+  EvalScheduler Parallel(T, Fields, FP, SchedulerParams{});
+  std::vector<EvalOutcome> Out = Parallel.evaluateGeneration(Request, Incumbents);
+  ASSERT_EQ(Out.size(), Truth.size());
+  for (size_t I = 0; I != Out.size(); ++I) {
+    if (Out[I].Pruned) {
+      // A pruned genome reports its certified *lower* bound (fitness is
+      // minimised): it can never beat the exact value.
+      EXPECT_LE(Out[I].Result.Fitness, Truth[I].Result.Fitness + 1e-9)
+          << "genome " << I;
+    } else {
+      EXPECT_DOUBLE_EQ(Out[I].Result.Fitness, Truth[I].Result.Fitness)
+          << "genome " << I;
+    }
+  }
+}
