@@ -21,6 +21,7 @@
 #include "ga/Checkpoint.h"
 #include "ga/Evolution.h"
 #include "ga/Reliability.h"
+#include "support/Chaos.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
@@ -46,6 +47,8 @@ int main(int Argc, char **Argv) {
   std::string EngineName = "batch";
   bool Scheduler = true;
   bool ExactFitness = false;
+  std::string ChaosSpec;
+  double DeadlineSeconds = 0.0;
   CommandLine CL("evolve", "Runs the paper's genetic procedure (Sect. 4)");
   CL.addString("grid", "S or T", &GridName);
   CL.addInt("agents", "agents per training field (paper: 8)", &NumAgents);
@@ -70,6 +73,12 @@ int main(int Argc, char **Argv) {
   CL.addBool("exact-fitness", "disable bound-based early abort (every "
              "genome evaluated on every field; same champions either way)",
              &ExactFitness);
+  CL.addString("chaos", "inject infrastructure faults, e.g. "
+               "'seed=7,engine.replica.fail=0.02,ckpt.write.corrupt=0.2' "
+               "(champions stay bit-identical)", &ChaosSpec);
+  CL.addDouble("deadline", "watchdog: report a stall when a generation "
+               "makes no progress for this many seconds (0 = off)",
+               &DeadlineSeconds);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -105,10 +114,33 @@ int main(int Argc, char **Argv) {
   Params.Fitness.Engine = Engine;
   Params.Scheduler.Enabled = Scheduler;
   Params.Scheduler.ExactFitness = ExactFitness;
+  Params.Scheduler.GenerationDeadlineSeconds = DeadlineSeconds;
+  Params.Scheduler.OnStall = [](double SilentSeconds) {
+    std::fprintf(stderr,
+                 "warning: watchdog: no evaluation progress for %.0f s\n",
+                 SilentSeconds);
+  };
   Params.Dims = GenomeDims{static_cast<int>(States), static_cast<int>(Colors)};
   if (!Params.Dims.valid()) {
     std::fprintf(stderr, "error: states/colors must be in [2, 9]\n");
     return 1;
+  }
+
+  std::optional<ScopedChaos> Chaos;
+  if (!ChaosSpec.empty()) {
+    auto Schedule = parseChaosSpec(ChaosSpec);
+    if (!Schedule) {
+      std::fprintf(stderr, "error: --chaos: %s\n",
+                   Schedule.error().message().c_str());
+      return 1;
+    }
+    Chaos.emplace(*Schedule);
+    if (!chaosActive()) {
+      std::fprintf(stderr, "error: --chaos requires a CA2A_CHAOS=ON build "
+                   "(this binary compiled the sites out)\n");
+      return 1;
+    }
+    std::printf("chaos: %s\n", describeChaosSchedule(*Schedule).c_str());
   }
 
   std::printf("evolving %s-agents: %lld agents, %zu fields, %lld "
@@ -118,9 +150,12 @@ int main(int Argc, char **Argv) {
               static_cast<long long>(Seed));
   std::string CkptPath =
       CheckpointDir.empty() ? std::string() : CheckpointDir + "/evolve.ckpt";
+  uint64_t CheckpointRecoveries = 0;
+  uint64_t CheckpointSaveFailures = 0;
   std::optional<Evolution> E;
   if (Resume && !CkptPath.empty() && checkpointExists(CkptPath)) {
-    auto Loaded = loadCheckpoint(CkptPath);
+    CheckpointLoadReport Report;
+    auto Loaded = loadCheckpointWithRecovery(CkptPath, &Report);
     if (!Loaded) {
       std::fprintf(stderr, "warning: ignoring checkpoint: %s\n",
                    Loaded.error().message().c_str());
@@ -130,6 +165,10 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "warning: ignoring checkpoint %s: %s\n",
                    CkptPath.c_str(), Valid.error().message().c_str());
     } else {
+      if (Report.UsedBackup) {
+        ++CheckpointRecoveries;
+        std::fprintf(stderr, "warning: %s\n", Report.Note.c_str());
+      }
       E.emplace(T, Fields, Params, Loaded->Snapshot);
       std::printf("resumed %s at generation %d\n", CkptPath.c_str(),
                   Loaded->Snapshot.Generation);
@@ -151,9 +190,11 @@ int main(int Argc, char **Argv) {
       Data.SideLength = T.sideLength();
       Data.Seed = Params.Seed;
       Data.Snapshot = E->snapshot();
-      if (auto Saved = saveCheckpoint(CkptPath, Data); !Saved)
+      if (auto Saved = saveCheckpoint(CkptPath, Data); !Saved) {
+        ++CheckpointSaveFailures;
         std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
                      Saved.error().message().c_str());
+      }
     }
   }
 
@@ -166,6 +207,25 @@ int main(int Argc, char **Argv) {
                 formatFixed(100.0 * SS.pruneRate(), 1).c_str(),
                 static_cast<unsigned long long>(SS.Batches),
                 formatFixed(SS.batchOccupancy(), 1).c_str());
+    // The robustness ledger: every infrastructure fault the supervised
+    // layer absorbed. All-zero in a healthy run without --chaos.
+    ChaosStats CS = chaosStats();
+    if (Chaos || SS.TaskRetries || SS.ItemsQuarantined ||
+        SS.GenomesDegraded || SS.WatchdogStalls || CheckpointRecoveries ||
+        CheckpointSaveFailures)
+      std::printf("robustness: %llu injected failures, %llu delays, %llu "
+                  "corruptions; %llu retries, %llu items quarantined, %llu "
+                  "genomes degraded, %llu stalls, %llu checkpoint "
+                  "recoveries, %llu checkpoint save failures\n",
+                  static_cast<unsigned long long>(CS.Failures),
+                  static_cast<unsigned long long>(CS.Delays),
+                  static_cast<unsigned long long>(CS.Corruptions),
+                  static_cast<unsigned long long>(SS.TaskRetries),
+                  static_cast<unsigned long long>(SS.ItemsQuarantined),
+                  static_cast<unsigned long long>(SS.GenomesDegraded),
+                  static_cast<unsigned long long>(SS.WatchdogStalls),
+                  static_cast<unsigned long long>(CheckpointRecoveries),
+                  static_cast<unsigned long long>(CheckpointSaveFailures));
   }
 
   const Individual &Best = E->bestEver();

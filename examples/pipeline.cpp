@@ -22,10 +22,12 @@
 
 #include "agent/GenomeFile.h"
 #include "ga/Pipeline.h"
+#include "support/Chaos.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <optional>
 
 using namespace ca2a;
 
@@ -45,6 +47,8 @@ int main(int Argc, char **Argv) {
   std::string EngineName = "reference";
   bool Scheduler = true;
   bool ExactFitness = false;
+  std::string ChaosSpec;
+  double DeadlineSeconds = 0.0;
   CommandLine CL("pipeline",
                  "Sect. 4 end-to-end: evolve, filter, rank, select");
   CL.addString("grid", "S or T", &GridName);
@@ -72,6 +76,12 @@ int main(int Argc, char **Argv) {
   CL.addBool("exact-fitness", "disable bound-based early abort (every "
              "genome evaluated on every field; same champions either way)",
              &ExactFitness);
+  CL.addString("chaos", "inject infrastructure faults, e.g. "
+               "'seed=7,engine.replica.fail=0.02,ckpt.write.corrupt=0.2' "
+               "(winners stay bit-identical)", &ChaosSpec);
+  CL.addDouble("deadline", "watchdog: report a stall when a generation "
+               "makes no progress for this many seconds (0 = off)",
+               &DeadlineSeconds);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -110,6 +120,29 @@ int main(int Argc, char **Argv) {
   Params.Engine = Engine;
   Params.Evolution.Scheduler.Enabled = Scheduler;
   Params.Evolution.Scheduler.ExactFitness = ExactFitness;
+  Params.Evolution.Scheduler.GenerationDeadlineSeconds = DeadlineSeconds;
+  Params.Evolution.Scheduler.OnStall = [](double SilentSeconds) {
+    std::fprintf(stderr,
+                 "warning: watchdog: no evaluation progress for %.0f s\n",
+                 SilentSeconds);
+  };
+
+  std::optional<ScopedChaos> Chaos;
+  if (!ChaosSpec.empty()) {
+    auto Schedule = parseChaosSpec(ChaosSpec);
+    if (!Schedule) {
+      std::fprintf(stderr, "error: --chaos: %s\n",
+                   Schedule.error().message().c_str());
+      return 1;
+    }
+    Chaos.emplace(*Schedule);
+    if (!chaosActive()) {
+      std::fprintf(stderr, "error: --chaos requires a CA2A_CHAOS=ON build "
+                   "(this binary compiled the sites out)\n");
+      return 1;
+    }
+    std::printf("chaos: %s\n", describeChaosSchedule(*Schedule).c_str());
+  }
 
   std::printf("pipeline on the %s-grid: %lld runs x %lld generations, "
               "%lld training fields, filter over k = {2,4,8,16,32,256}\n\n",
@@ -160,6 +193,19 @@ int main(int Argc, char **Argv) {
                 formatFixed(100.0 * SS.pruneRate(), 1).c_str(),
                 static_cast<unsigned long long>(SS.Batches),
                 formatFixed(SS.batchOccupancy(), 1).c_str());
+    ChaosStats CS = chaosStats();
+    if (Chaos || SS.TaskRetries || SS.ItemsQuarantined ||
+        SS.GenomesDegraded || SS.WatchdogStalls)
+      std::printf("robustness: %llu injected failures, %llu delays, %llu "
+                  "corruptions; %llu retries, %llu items quarantined, %llu "
+                  "genomes degraded, %llu stalls\n",
+                  static_cast<unsigned long long>(CS.Failures),
+                  static_cast<unsigned long long>(CS.Delays),
+                  static_cast<unsigned long long>(CS.Corruptions),
+                  static_cast<unsigned long long>(SS.TaskRetries),
+                  static_cast<unsigned long long>(SS.ItemsQuarantined),
+                  static_cast<unsigned long long>(SS.GenomesDegraded),
+                  static_cast<unsigned long long>(SS.WatchdogStalls));
   }
 
   std::printf("\n%zu candidates, %d reliable\n", Result.Candidates.size(),

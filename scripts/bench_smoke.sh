@@ -6,21 +6,27 @@
 # Grid" (PaCT 2013).
 #
 # Runs the quick bench_batch smoke configuration and diffs its
-# batch_serial replicas_per_sec against the committed BENCH_engine.json
-# baseline. A slowdown beyond the threshold prints a loud WARNING but
-# does NOT fail the script: shared CI runners (and the 1-core dev VM)
-# are far too noisy to gate on absolute throughput. What does fail the
-# script is bench_batch itself exiting nonzero — that is the
-# batch-vs-reference bit-identity check, which is never noise.
+# batch_serial replicas_per_sec against the committed baselines — the
+# engine sweep (BENCH_engine.json) and the allocation-free hot path
+# (BENCH_hotpath.json). The hotpath comparison doubles as the
+# chaos-layer zero-cost check: CA2A_CHAOS=ON builds compile the
+# injection sites down to one relaxed atomic load, and this is where a
+# regression would show. A slowdown beyond the threshold prints a loud
+# WARNING but does NOT fail the script: shared CI runners (and the
+# 1-core dev VM) are far too noisy to gate on absolute throughput. What
+# does fail the script is bench_batch itself exiting nonzero — that is
+# the batch-vs-reference bit-identity check, which is never noise.
 #
 # Usage: bench_smoke.sh <bench_batch-binary> <baseline-BENCH_engine.json>
+#                       [baseline-BENCH_hotpath.json]
 #
 #===----------------------------------------------------------------------===#
 
 set -u
 
-BENCH="${1:?usage: bench_smoke.sh <bench_batch> <baseline.json>}"
-BASELINE="${2:?usage: bench_smoke.sh <bench_batch> <baseline.json>}"
+BENCH="${1:?usage: bench_smoke.sh <bench_batch> <engine-baseline.json> [hotpath-baseline.json]}"
+BASELINE="${2:?usage: bench_smoke.sh <bench_batch> <engine-baseline.json> [hotpath-baseline.json]}"
+HOTPATH_BASELINE="${3:-}"
 THRESHOLD_PCT=20
 
 WORKDIR="$(mktemp -d)"
@@ -36,21 +42,31 @@ fi
 extract() {
   sed -n 's/.*"batch_serial".*"replicas_per_sec": \([0-9.]*\).*/\1/p' "$1"
 }
-CURRENT="$(extract "$WORKDIR/engine.json")"
-BASE="$(extract "$BASELINE")"
 
-if [ -z "$CURRENT" ] || [ -z "$BASE" ]; then
-  echo "bench_smoke: WARNING — could not parse replicas_per_sec" \
-       "(current='$CURRENT' baseline='$BASE'); skipping comparison" >&2
-  exit 0
+# compare <label> <current-json> <baseline-json>: report the delta, warn
+# (never fail) past the threshold.
+compare() {
+  local LABEL="$1" CURRENT BASE
+  CURRENT="$(extract "$2")"
+  BASE="$(extract "$3")"
+  if [ -z "$CURRENT" ] || [ -z "$BASE" ]; then
+    echo "bench_smoke: WARNING — could not parse $LABEL replicas_per_sec" \
+         "(current='$CURRENT' baseline='$BASE'); skipping comparison" >&2
+    return 0
+  fi
+  awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD_PCT" \
+      -v label="$LABEL" 'BEGIN {
+    delta = 100.0 * (cur - base) / base
+    printf "bench_smoke: %s batch_serial %.1f replicas/s vs baseline %.1f (%+.1f%%)\n",
+           label, cur, base, delta
+    if (delta < -thr)
+      printf "bench_smoke: WARNING — %s throughput regressed more than %d%% vs the committed baseline\n",
+             label, thr
+  }'
+}
+
+compare "engine" "$WORKDIR/engine.json" "$BASELINE"
+if [ -n "$HOTPATH_BASELINE" ]; then
+  compare "hotpath" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"
 fi
-
-awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD_PCT" 'BEGIN {
-  delta = 100.0 * (cur - base) / base
-  printf "bench_smoke: batch_serial %.1f replicas/s vs baseline %.1f (%+.1f%%)\n",
-         cur, base, delta
-  if (delta < -thr)
-    printf "bench_smoke: WARNING — throughput regressed more than %d%% vs the committed baseline\n",
-           thr
-}'
 exit 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+#===- scripts/chaos_resume.sh - Kill-resume crash-recovery harness -------===#
+#
+# Part of the ca2a project: reproduction of Hoffmann & Désérable,
+# "CA Agents for All-to-All Communication Are Faster in the Triangulate
+# Grid" (PaCT 2013).
+#
+# The end-to-end crash-recovery contract: an evolve run that is SIGKILLed
+# at arbitrary points — while chaos injection is corrupting a quarter of
+# its checkpoint writes and failing 2% of its replica evaluations — must,
+# after resuming from its checkpoints, produce the exact champion genome
+# of an uninterrupted run of the same configuration. Bit-identical, not
+# "close": the checkpoint restores the full GA state including the RNG,
+# corrupted saves are absorbed by the .bak fallback, and injected replica
+# failures are absorbed by bounded retries.
+#
+# Usage: chaos_resume.sh <evolve-binary> [kills] [generations]
+#
+# Exits nonzero on any divergence. Prints SKIP and exits 0 when the
+# binary was built with CA2A_CHAOS=OFF (nothing to inject).
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+EVOLVE="${1:?usage: chaos_resume.sh <evolve-binary> [kills] [generations]}"
+KILLS="${2:-3}"
+GENERATIONS="${3:-200}"
+
+# --exact-fitness keeps every generation at full evaluation cost so the
+# run is long enough to kill mid-flight; the champion contract is
+# engine-independent either way.
+CHAOS="seed=5,engine.replica.fail=0.02,ckpt.write.corrupt=0.25"
+ARGS=(--no-reliability --grid T --agents 8 --fields 103 --seed 3
+      --engine batch --exact-fitness --generations "$GENERATIONS"
+      --chaos "$CHAOS")
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+extract_genome() { sed -n 's/^genome: //p' "$1" | tail -n 1; }
+
+# Reference: the same chaotic configuration run to completion in one go,
+# without checkpointing.
+if ! "$EVOLVE" "${ARGS[@]}" >"$WORKDIR/reference.log" 2>&1; then
+  if grep -q "CA2A_CHAOS=ON" "$WORKDIR/reference.log"; then
+    echo "chaos_resume: SKIP — this binary was built with CA2A_CHAOS=OFF"
+    exit 0
+  fi
+  echo "chaos_resume: FAIL — reference run exited nonzero" >&2
+  cat "$WORKDIR/reference.log" >&2
+  exit 1
+fi
+REFERENCE="$(extract_genome "$WORKDIR/reference.log")"
+if [ -z "$REFERENCE" ]; then
+  echo "chaos_resume: FAIL — reference run printed no genome line" >&2
+  exit 1
+fi
+
+# Interrupted runs: start (or resume), pull the plug after a randomized
+# delay. $RANDOM is fine here — determinism matters inside the simulator,
+# not in when the power fails.
+CKPT="$WORKDIR/ckpt"
+for K in $(seq 1 "$KILLS"); do
+  "$EVOLVE" "${ARGS[@]}" --checkpoint "$CKPT" --resume \
+      >"$WORKDIR/kill$K.log" 2>&1 &
+  PID=$!
+  sleep "0.$((RANDOM % 8 + 1))"
+  if kill -KILL "$PID" 2>/dev/null; then
+    echo "chaos_resume: kill $K: SIGKILL delivered"
+  else
+    echo "chaos_resume: kill $K: run finished before the kill (fast host)"
+  fi
+  wait "$PID" 2>/dev/null
+done
+
+# Final resume to completion.
+if ! "$EVOLVE" "${ARGS[@]}" --checkpoint "$CKPT" --resume \
+    >"$WORKDIR/final.log" 2>&1; then
+  echo "chaos_resume: FAIL — final resumed run exited nonzero" >&2
+  cat "$WORKDIR/final.log" >&2
+  exit 1
+fi
+RESUMED="$(extract_genome "$WORKDIR/final.log")"
+
+RESUMES="$(grep -h '^resumed ' "$WORKDIR"/kill*.log "$WORKDIR/final.log" \
+           2>/dev/null | wc -l)"
+RECOVERIES="$(grep -hc 'resumed from backup' "$WORKDIR"/kill*.log \
+              "$WORKDIR/final.log" 2>/dev/null | awk '{s+=$1} END {print s}')"
+echo "chaos_resume: $RESUMES checkpoint resumes, $RECOVERIES backup" \
+     "recoveries across $KILLS kills"
+grep '^robustness:' "$WORKDIR/final.log" | sed 's/^/chaos_resume: final /'
+
+if [ "$RESUMED" != "$REFERENCE" ]; then
+  echo "chaos_resume: FAIL — resumed champion differs from the" \
+       "uninterrupted run" >&2
+  echo "  reference: $REFERENCE" >&2
+  echo "  resumed:   $RESUMED" >&2
+  exit 1
+fi
+echo "chaos_resume: PASS — champion bit-identical across $KILLS kills"
+exit 0

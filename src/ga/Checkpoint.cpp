@@ -2,6 +2,7 @@
 
 #include "ga/Checkpoint.h"
 
+#include "support/Chaos.h"
 #include "support/File.h"
 #include "support/Hash.h"
 #include "support/StringUtils.h"
@@ -91,7 +92,8 @@ Expected<CheckpointData> ca2a::parseCheckpoint(const std::string &Text) {
   size_t ChecksumPos = Text.rfind("checksum ");
   if (ChecksumPos == std::string::npos ||
       (ChecksumPos != 0 && Text[ChecksumPos - 1] != '\n'))
-    return makeError("checkpoint: missing checksum line (truncated file?)");
+    return makeError(ErrorCode::Corrupt,
+                     "checkpoint: missing checksum line (truncated file?)");
   std::string Payload = Text.substr(0, ChecksumPos);
 
   std::vector<std::string> Lines = splitString(Text, '\n');
@@ -99,10 +101,11 @@ Expected<CheckpointData> ca2a::parseCheckpoint(const std::string &Text) {
   while (!Lines.empty() && trim(Lines.back()).empty())
     Lines.pop_back();
   if (Lines.size() < 8)
-    return makeError("checkpoint: too short to be valid");
+    return makeError(ErrorCode::Corrupt, "checkpoint: too short to be valid");
   if (trim(Lines[0]) != FormatHeader)
-    return makeError("checkpoint: unrecognised header '" +
-                     std::string(trim(Lines[0])) + "'");
+    return makeError(ErrorCode::VersionMismatch,
+                     "checkpoint: unrecognised header '" +
+                         std::string(trim(Lines[0])) + "'");
 
   // Checksum first: everything else is meaningless on a corrupt file.
   {
@@ -110,9 +113,11 @@ Expected<CheckpointData> ca2a::parseCheckpoint(const std::string &Text) {
     uint64_t Stored = 0;
     if (T.size() != 2 || T[0] != "checksum" ||
         std::sscanf(T[1].c_str(), "%" SCNx64, &Stored) != 1)
-      return makeError("checkpoint: malformed checksum line");
+      return makeError(ErrorCode::Corrupt,
+                       "checkpoint: malformed checksum line");
     if (Stored != fnv1a(Payload))
-      return makeError("checkpoint: checksum mismatch (corrupt file)");
+      return makeError(ErrorCode::Corrupt,
+                       "checkpoint: checksum mismatch (corrupt file)");
   }
 
   CheckpointData Data;
@@ -204,36 +209,129 @@ Expected<CheckpointData> ca2a::parseCheckpoint(const std::string &Text) {
 }
 
 Expected<bool> ca2a::saveCheckpoint(const std::string &Path,
-                                    const CheckpointData &Data) {
-  // Atomic publish: write the full contents to a sibling temp file, then
-  // rename over the destination. A crash mid-save leaves the previous
-  // checkpoint untouched; rename within one directory is atomic on POSIX.
+                                    const CheckpointData &Data,
+                                    const RetryPolicy &Retry) {
+  // Atomic, durable publish: write the full contents to a sibling temp
+  // file, fsync it, rename over the destination, fsync the directory. A
+  // crash mid-save leaves the previous checkpoint untouched; rename
+  // within one directory is atomic on POSIX, and the two fsyncs make the
+  // publish survive a power cut, not just a process kill.
   std::filesystem::path Target(Path);
   if (Target.has_parent_path()) {
     std::error_code Ec;
     std::filesystem::create_directories(Target.parent_path(), Ec);
     if (Ec)
-      return makeError("cannot create checkpoint directory '" +
-                       Target.parent_path().string() + "': " + Ec.message());
+      return makeError(ErrorCode::Io,
+                       "cannot create checkpoint directory '" +
+                           Target.parent_path().string() +
+                           "': " + Ec.message());
   }
+  std::string Text = serializeCheckpoint(Data);
+  // Chaos: a corruption draw silently damages the payload (a torn write /
+  // bit rot stand-in) — deliberately NOT retried; the load-time checksum
+  // and backup fallback exist to absorb exactly this. A failure draw
+  // models a transient I/O error and goes through the retry loop.
+  if (uint64_t Draw = chaosCorruptDraw(ChaosSite::CheckpointWrite))
+    chaosCorruptPayload(Text, Draw);
   std::string TmpPath = Path + ".tmp";
-  if (auto Written = writeFile(TmpPath, serializeCheckpoint(Data)); !Written)
-    return Written.error();
+  for (int Attempt = 0;; ++Attempt) {
+    Expected<bool> Written = [&]() -> Expected<bool> {
+      try {
+        chaosPoint(ChaosSite::CheckpointWrite);
+      } catch (const std::exception &Ex) {
+        return makeError(ErrorCode::Injected, Ex.what());
+      }
+      return writeFileDurable(TmpPath, Text);
+    }();
+    if (Written)
+      break;
+    if (Attempt + 1 >= Retry.MaxAttempts)
+      return Written.error();
+    backoffSleep(Retry, Attempt);
+  }
+  // Promote the current checkpoint to ".bak" — but only if it parses, so
+  // the backup always holds the newest *valid* snapshot. Promoting an
+  // unvalidated file could leave both generations corrupt after two bad
+  // saves in a row.
+  if (checkpointExists(Path)) {
+    bool PreviousValid = false;
+    if (auto Text2 = readFile(Path); Text2 && parseCheckpoint(*Text2))
+      PreviousValid = true;
+    if (PreviousValid)
+      std::rename(Path.c_str(), checkpointBackupPath(Path).c_str());
+  }
   if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
     std::remove(TmpPath.c_str());
-    return makeError("cannot rename '" + TmpPath + "' to '" + Path + "'");
+    return makeError(ErrorCode::Io,
+                     "cannot rename '" + TmpPath + "' to '" + Path + "'");
   }
+  // The rename is only durable once the directory entry is on disk.
+  if (auto Synced = syncParentDirectory(Path); !Synced)
+    return Synced.error();
   return true;
 }
 
 Expected<CheckpointData> ca2a::loadCheckpoint(const std::string &Path) {
-  auto Text = readFile(Path);
+  auto Text = [&]() -> Expected<std::string> {
+    try {
+      chaosPoint(ChaosSite::CheckpointRead);
+    } catch (const std::exception &Ex) {
+      return makeError(ErrorCode::Injected, Ex.what());
+    }
+    return readFile(Path);
+  }();
   if (!Text)
     return Text.error();
   auto Parsed = parseCheckpoint(*Text);
   if (!Parsed)
-    return makeError(Path + ": " + Parsed.error().message());
+    return makeError(Parsed.error().code(),
+                     Path + ": " + Parsed.error().message());
   return Parsed;
+}
+
+std::string ca2a::checkpointBackupPath(const std::string &Path) {
+  return Path + ".bak";
+}
+
+Expected<CheckpointData>
+ca2a::loadCheckpointWithRecovery(const std::string &Path,
+                                 CheckpointLoadReport *Report,
+                                 const RetryPolicy &Retry) {
+  CheckpointLoadReport Local;
+  CheckpointLoadReport &R = Report ? *Report : Local;
+  R = CheckpointLoadReport();
+
+  // One file, retried: transient failures (injected reads, EINTR-class
+  // I/O) are worth re-attempting; corruption and version mismatches are
+  // deterministic and are not.
+  auto LoadRetrying = [&](const std::string &P) -> Expected<CheckpointData> {
+    for (int Attempt = 0;; ++Attempt) {
+      auto Loaded = loadCheckpoint(P);
+      if (Loaded)
+        return Loaded;
+      ErrorCode Code = Loaded.error().code();
+      bool Transient = Code == ErrorCode::Injected || Code == ErrorCode::Io;
+      if (!Transient || Attempt + 1 >= Retry.MaxAttempts)
+        return Loaded;
+      ++R.Retries;
+      backoffSleep(Retry, Attempt);
+    }
+  };
+
+  auto Primary = LoadRetrying(Path);
+  if (Primary)
+    return Primary;
+  auto Backup = LoadRetrying(checkpointBackupPath(Path));
+  if (Backup) {
+    R.UsedBackup = true;
+    R.Note = "primary checkpoint unusable (" + Primary.error().message() +
+             "); resumed from backup '" + checkpointBackupPath(Path) + "'";
+    return Backup;
+  }
+  return makeError(Primary.error().code(),
+                   "checkpoint recovery failed: primary: " +
+                       Primary.error().message() +
+                       "; backup: " + Backup.error().message());
 }
 
 bool ca2a::checkpointExists(const std::string &Path) {

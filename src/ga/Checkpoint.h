@@ -17,11 +17,23 @@
 /// an FNV-1a checksum over the payload: truncated or bit-flipped files
 /// fail parsing with a message instead of corrupting the GA state.
 ///
-/// Saves are atomic: the file is written to "<path>.tmp" and renamed over
-/// the destination, so a crash mid-save leaves the previous checkpoint
-/// intact. Because an EvolutionSnapshot restores the GA bit-for-bit, a
-/// resumed run reaches exactly the final population an uninterrupted run
-/// with the same seeds would have reached.
+/// Saves are atomic and durable: the file is written to "<path>.tmp",
+/// fsynced, renamed over the destination, and the directory entry is
+/// fsynced too, so a crash (or power cut) mid-save leaves the previous
+/// checkpoint intact on disk, not merely in the page cache. Before the
+/// rename, the current checkpoint — if it parses — is promoted to
+/// "<path>.bak"; the backup therefore always holds the newest *valid*
+/// snapshot, and loadCheckpointWithRecovery falls back to it when the
+/// primary is corrupt or unreadable. Because an EvolutionSnapshot
+/// restores the GA bit-for-bit, a resumed run reaches exactly the final
+/// population an uninterrupted run with the same seeds would have
+/// reached — at worst one generation earlier when the backup was needed.
+///
+/// Failures carry ErrorCode taxonomy: Corrupt (truncation, checksum or
+/// structural damage), VersionMismatch (unknown format header), Io (the
+/// operating system said no). Chaos builds inject write failures and
+/// payload corruption at the ckpt.write site and read failures at
+/// ckpt.read, which is how the recovery path is tested.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +41,7 @@
 #define CA2A_GA_CHECKPOINT_H
 
 #include "ga/Evolution.h"
+#include "support/Supervisor.h"
 
 #include <string>
 
@@ -45,16 +58,42 @@ struct CheckpointData {
 /// Renders \p Data in the versioned, checksummed text format.
 std::string serializeCheckpoint(const CheckpointData &Data);
 
-/// Parses serializeCheckpoint output. Rejects unknown versions, missing
-/// or malformed fields, and checksum mismatches with a descriptive error.
+/// Parses serializeCheckpoint output. Rejects unknown versions
+/// (ErrorCode::VersionMismatch), truncation, checksum mismatches and
+/// structural damage (ErrorCode::Corrupt) with a descriptive error.
 Expected<CheckpointData> parseCheckpoint(const std::string &Text);
 
-/// Writes \p Data to \p Path atomically (write to "<path>.tmp", rename).
+/// Writes \p Data to \p Path atomically and durably: fsynced temp file,
+/// valid-previous-checkpoint promotion to "<path>.bak", rename, directory
+/// fsync. Transient write failures are retried per \p Retry before the
+/// error is reported.
 Expected<bool> saveCheckpoint(const std::string &Path,
-                              const CheckpointData &Data);
+                              const CheckpointData &Data,
+                              const RetryPolicy &Retry = RetryPolicy());
 
-/// Reads and parses the checkpoint at \p Path.
+/// Reads and parses the checkpoint at \p Path (no retry, no fallback —
+/// the strict primitive underneath loadCheckpointWithRecovery).
 Expected<CheckpointData> loadCheckpoint(const std::string &Path);
+
+/// What loadCheckpointWithRecovery had to do to produce its result.
+struct CheckpointLoadReport {
+  bool UsedBackup = false; ///< The primary was unusable; ".bak" answered.
+  uint64_t Retries = 0;    ///< Transient read failures absorbed.
+  std::string Note;        ///< Human-readable recovery explanation.
+};
+
+/// Reads the checkpoint at \p Path, retrying transient read failures and
+/// falling back to "<path>.bak" (the newest previously-valid snapshot)
+/// when the primary is missing, unreadable or corrupt. On success \p
+/// Report (may be null) says whether recovery was needed; on failure the
+/// returned error describes both files.
+Expected<CheckpointData>
+loadCheckpointWithRecovery(const std::string &Path,
+                           CheckpointLoadReport *Report = nullptr,
+                           const RetryPolicy &Retry = RetryPolicy());
+
+/// Backup sibling of a checkpoint path ("<path>.bak").
+std::string checkpointBackupPath(const std::string &Path);
 
 /// True when a file exists at \p Path (checkpoint discovery on resume).
 bool checkpointExists(const std::string &Path);

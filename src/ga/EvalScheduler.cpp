@@ -3,10 +3,12 @@
 #include "ga/EvalScheduler.h"
 
 #include "config/Bounds.h"
+#include "support/Chaos.h"
 #include "support/Hash.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <limits>
@@ -171,6 +173,20 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
   const size_t NumWork = Work.size();
   ++Stats.Batches;
 
+  // Chaos site: the generation-wide submission itself. A transient
+  // failure here (a scheduler that cannot reach its backend) is retried;
+  // exhaustion degrades to proceeding anyway — the per-item supervision
+  // below owns the real work, and an evaluation layer that aborts a whole
+  // generation over an infrastructure hiccup would be worse than one that
+  // limps through it.
+  try {
+    runWithRetry(
+        Params.Retry, [] { chaosPoint(ChaosSite::SchedulerBatch); },
+        [&](int) { ++Stats.TaskRetries; });
+  } catch (...) {
+    ++Stats.TaskRetries;
+  }
+
   // Survival threshold: a bounded max-heap of the N best exactly-known
   // fitness *sums* (N = incumbent count, the pool's capacity). Its top is
   // the N-th best candidate so far; a genome whose certified bound
@@ -188,6 +204,7 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     double RemainingLB = 0.0; ///< Bound sum of not-yet-completed fields.
     double SolvedTimeSum = 0.0;
     size_t FieldsDone = 0;
+    size_t Failed = 0; ///< Fields quarantined after exhausting retries.
     int Solved = 0;
     bool Cancelled = false;
   };
@@ -202,10 +219,17 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
   size_t NumWorkers = std::max<size_t>(1, Fitness.NumWorkers);
   NumWorkers = std::min(NumWorkers, NumItems);
 
+  // Generation watchdog: every completed item heartbeats; a full deadline
+  // interval with none is a stall (hung worker, livelocked backend). The
+  // monitor thread and all clock reads live inside Watchdog — this
+  // translation unit stays chrono-free (scripts/lint_determinism.py).
+  Watchdog Dog(Params.GenerationDeadlineSeconds, Params.OnStall);
+
   // Both hooks run under one mutex; they may be called from engine worker
   // threads. Contention is negligible against a full field simulation.
   std::mutex Mutex;
   auto OnItemResult = [&](size_t W, size_t F, const SimResult &R) {
+    Dog.heartbeat();
     std::lock_guard<std::mutex> Lock(Mutex);
     GenomeProgress &P = Progress[W];
     P.PartialSum += fitnessOfRun(R, Fitness.Sim.MaxSteps, Fitness.Weight);
@@ -233,6 +257,17 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     std::lock_guard<std::mutex> Lock(Mutex);
     return Progress[W].Cancelled;
   };
+  // Quarantine: the item failed every retry attempt. Its field keeps its
+  // behaviour-free bound inside RemainingLB (we measured nothing, so the
+  // bound is all we certifiably know), the genome is marked degraded, and
+  // the run continues — a persistent per-item fault must never abort a
+  // generation. The bound also keeps the pruning arithmetic sound: the
+  // genome's PartialSum + RemainingLB is still a true lower bound.
+  auto OnItemFailure = [&](size_t W) {
+    Dog.heartbeat(); // Quarantine is progress too, not silence.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Progress[W].Failed;
+  };
 
   std::vector<SimResult> ItemResults;
   if (Fitness.Engine == EngineKind::Batch) {
@@ -256,6 +291,10 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
       size_t I = static_cast<size_t>(Replica);
       OnItemResult(I % NumWork, I / NumWork, R);
     };
+    RunOptions.Retry = Params.Retry;
+    RunOptions.OnFailure = [&](int Replica) {
+      OnItemFailure(static_cast<size_t>(Replica) % NumWork);
+    };
     BatchRunStats RunStats;
     RunOptions.Stats = &RunStats;
     ItemResults = Engine.run(Replicas, RunOptions);
@@ -263,6 +302,7 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     Stats.EngineCompileMisses += RunStats.CompileMisses;
     Stats.EngineAllocations += RunStats.Allocations;
     Stats.EngineSteadyAllocations += RunStats.SteadyAllocations;
+    Stats.TaskRetries += RunStats.TaskRetries;
   } else {
     // Reference engine: the same interleaved item list swept by
     // work-stealing workers, each reusing one lazily-built World. Per-item
@@ -270,10 +310,28 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     // identical for every worker count.
     ItemResults.resize(NumItems);
     std::vector<std::unique_ptr<World>> Worlds(NumWorkers);
+    std::atomic<uint64_t> RefRetries{0};
     parallelForDynamic(NumItems, NumWorkers, [&](size_t Worker, size_t I) {
       size_t W = I % NumWork, F = I / NumWork;
       if (AllowPrune && ShouldSkipItem(W))
         return; // Slot keeps the default (skipped) SimResult.
+      // Supervised region: only the injection site can throw (the World
+      // simulation itself is no-throw by construction), so a retry never
+      // observes partially-written state. An item that exhausts every
+      // attempt is quarantined; its slot keeps the default SimResult.
+      for (int Retry = 0;; ++Retry) {
+        try {
+          chaosPoint(ChaosSite::EngineReplica);
+          break;
+        } catch (...) {
+          if (Retry + 1 >= Params.Retry.MaxAttempts) {
+            OnItemFailure(W);
+            return;
+          }
+          RefRetries.fetch_add(1, std::memory_order_relaxed);
+          backoffSleep(Params.Retry, Retry);
+        }
+      }
       if (!Worlds[Worker])
         Worlds[Worker] = std::make_unique<World>(T);
       World &Wld = *Worlds[Worker];
@@ -281,11 +339,17 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
       ItemResults[I] = Wld.run();
       OnItemResult(W, F, ItemResults[I]);
     });
+    Stats.TaskRetries += RefRetries.load(std::memory_order_relaxed);
   }
+
+  Stats.WatchdogStalls += Dog.stalls();
 
   // Reduce. Completed genomes get the canonical field-order accumulation
   // (bit-identical to evaluateFitness) and enter the cache; pruned ones
-  // report their certified bound and never do.
+  // report their certified bound and never do; degraded ones (quarantined
+  // fields, no cancellation) also report the bound — exact where measured,
+  // behaviour-free where not — and are flagged so the caller knows the
+  // value is pessimistic and must be confirmed before the genome is kept.
   std::vector<SimResult> FieldResults(NumFields);
   for (size_t W = 0; W != NumWork; ++W) {
     const GenomeProgress &P = Progress[W];
@@ -299,17 +363,23 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
       ++Stats.GenomesSimulated;
       Stats.FieldsSimulated += NumFields;
     } else {
-      assert(P.Cancelled && "incomplete genome that was never cancelled");
-      Outcome.Pruned = true;
+      assert((P.Cancelled || P.Failed != 0) &&
+             "incomplete genome that was neither cancelled nor degraded");
+      if (P.Cancelled)
+        ++Stats.GenomesPruned;
+      else
+        ++Stats.GenomesDegraded;
+      Outcome.Pruned = P.Cancelled;
+      Outcome.Degraded = !P.Cancelled;
       Outcome.Result.NumFields = static_cast<int>(NumFields);
       Outcome.Result.SolvedFields = P.Solved;
       Outcome.Result.MeanCommTime =
           P.Solved ? P.SolvedTimeSum / static_cast<double>(P.Solved) : 0.0;
       Outcome.Result.Fitness =
           (P.PartialSum + P.RemainingLB) / static_cast<double>(NumFields);
-      ++Stats.GenomesPruned;
       Stats.FieldsSimulated += P.FieldsDone;
-      Stats.FieldsPruned += NumFields - P.FieldsDone;
+      Stats.FieldsPruned += NumFields - P.FieldsDone - P.Failed;
+      Stats.ItemsQuarantined += P.Failed;
     }
     for (size_t Request : Work[W].Requests)
       Out[Request] = Outcome;

@@ -57,6 +57,7 @@
 #define CA2A_GA_EVALSCHEDULER_H
 
 #include "ga/Fitness.h"
+#include "support/Supervisor.h"
 
 #include <list>
 #include <unordered_map>
@@ -79,6 +80,21 @@ struct SchedulerParams {
   /// thousand entries hold many generations of history. 0 disables
   /// memoization.
   size_t CacheCapacity = 4096;
+  /// Supervised execution: transient per-item failures (injected chaos,
+  /// real infrastructure faults) are retried with capped exponential
+  /// backoff before the item is quarantined. Retried work recomputes the
+  /// identical deterministic result, so the policy affects latency and
+  /// robustness only, never selection.
+  RetryPolicy Retry;
+  /// Generation watchdog deadline, in seconds. While a generation
+  /// evaluates, an interval of this length with no completed item raises
+  /// a stall notification (counted in SchedulerStats::WatchdogStalls and
+  /// forwarded to OnStall). <= 0 disables the watchdog entirely.
+  double GenerationDeadlineSeconds = 0.0;
+  /// Stall observer, called on the watchdog's monitor thread with the
+  /// cumulative silent time in seconds. May be null. Must synchronise its
+  /// own state; must not block.
+  std::function<void(double)> OnStall;
 };
 
 /// Scheduler instrumentation. Counters are cumulative over the scheduler's
@@ -93,6 +109,16 @@ struct SchedulerStats {
   uint64_t FieldsSimulated = 0;  ///< (genome, field) pairs simulated.
   uint64_t FieldsPruned = 0;     ///< (genome, field) pairs skipped.
   uint64_t Batches = 0;          ///< Engine submissions issued.
+
+  // Supervised-execution instrumentation. All zero in a healthy run; any
+  // nonzero value is the robustness layer reporting that it absorbed an
+  // infrastructure fault (injected or real) without corrupting results.
+  uint64_t TaskRetries = 0;      ///< Transient failures absorbed by retry.
+  uint64_t ItemsQuarantined = 0; ///< (genome, field) pairs that exhausted
+                                 ///< every attempt and were excluded.
+  uint64_t GenomesDegraded = 0;  ///< Genomes whose fitness fell back to a
+                                 ///< certified bound due to quarantine.
+  uint64_t WatchdogStalls = 0;   ///< Silent deadline intervals detected.
 
   // Engine-level hot-path instrumentation, accumulated over every batch
   // submission (zero when the reference engine runs — World carries no
@@ -140,6 +166,10 @@ struct SchedulerStats {
     FieldsSimulated += Other.FieldsSimulated;
     FieldsPruned += Other.FieldsPruned;
     Batches += Other.Batches;
+    TaskRetries += Other.TaskRetries;
+    ItemsQuarantined += Other.ItemsQuarantined;
+    GenomesDegraded += Other.GenomesDegraded;
+    WatchdogStalls += Other.WatchdogStalls;
     EngineCompileHits += Other.EngineCompileHits;
     EngineCompileMisses += Other.EngineCompileMisses;
     EngineAllocations += Other.EngineAllocations;
@@ -157,6 +187,14 @@ struct EvalOutcome {
   /// Result.SolvedFields counts only the fields that did run. Pruned
   /// results are never cached.
   bool Pruned = false;
+  /// True when one or more of the genome's fields exhausted every retry
+  /// attempt and were quarantined. Result.Fitness is then the certified
+  /// lower bound (measured fields exactly, quarantined fields at their
+  /// behaviour-free bound) — pessimistic, so a degraded genome can rank
+  /// too *well*, never too poorly. Callers that keep a degraded genome
+  /// must re-evaluate it exactly (Evolution's repair pass does). Degraded
+  /// results are never cached.
+  bool Degraded = false;
   /// True when the result came from the memo cache (always exact).
   bool CacheHit = false;
 };

@@ -113,7 +113,10 @@ void Evolution::appendEvaluated(std::vector<Genome> Genomes,
     Ind.Fitness = Outcomes[I].Result.Fitness;
     Ind.SolvedFields = Outcomes[I].Result.SolvedFields;
     Ind.CompletelySuccessful = Outcomes[I].Result.completelySuccessful();
-    Ind.Pruned = Outcomes[I].Pruned;
+    // Degraded outcomes (quarantined fields under infrastructure faults)
+    // are bound-valued exactly like pruned ones; the same repair pass
+    // re-evaluates either before it can survive selection.
+    Ind.Pruned = Outcomes[I].Pruned || Outcomes[I].Degraded;
     Pool.push_back(std::move(Ind));
   }
 }
@@ -148,6 +151,10 @@ void Evolution::sortDedupTruncate() {
   // collide), which weakens the scheduler's distinctness premise. Any
   // pruned member at or inside the boundary is therefore re-evaluated
   // exactly before truncating, which restores exact selection even then.
+  // Degraded members (quarantined fields under infrastructure faults)
+  // carry the same marker and get the same treatment; the re-evaluation
+  // result is accepted either way, so a fault regime persistent enough to
+  // degrade the retry too yields a pessimistic bound, never a hang.
   while (true) {
     double Boundary = Pool.size() >= N
                           ? Pool[N - 1].Fitness

@@ -61,7 +61,8 @@ PipelineResult ca2a::runSelectionPipeline(
                                : checkpointRunPath(Params.CheckpointDir, Run);
     std::optional<Evolution> E;
     if (Params.Resume && !CkptPath.empty() && checkpointExists(CkptPath)) {
-      auto Loaded = loadCheckpoint(CkptPath);
+      CheckpointLoadReport Report;
+      auto Loaded = loadCheckpointWithRecovery(CkptPath, &Report);
       if (!Loaded) {
         EmitCheckpointEvent(PipelineProgress::Stage::CheckpointRejected,
                             Loaded.error().message());
@@ -74,8 +75,11 @@ PipelineResult ca2a::runSelectionPipeline(
         E.emplace(T, TrainingFields, RunParams, Loaded->Snapshot);
         EmitCheckpointEvent(
             PipelineProgress::Stage::CheckpointRestored,
-            CkptPath + ": resuming at generation " +
-                std::to_string(Loaded->Snapshot.Generation));
+            Report.UsedBackup
+                ? Report.Note + ": resuming at generation " +
+                      std::to_string(Loaded->Snapshot.Generation)
+                : CkptPath + ": resuming at generation " +
+                      std::to_string(Loaded->Snapshot.Generation));
       }
     }
     if (!E)

@@ -27,6 +27,7 @@
 
 #include "sim/BatchEngine.h"
 
+#include "support/Chaos.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -1057,6 +1058,8 @@ struct RunContext {
   std::vector<double> PerWorkerBusy;
   std::vector<uint64_t> PerWorkerAllocs;
   std::vector<uint64_t> PerWorkerSteadyAllocs;
+  std::vector<uint64_t> PerWorkerRetries;
+  std::vector<uint64_t> PerWorkerFailed;
 
   RunContext(const std::vector<BatchReplica> &Replicas,
              const std::vector<ReplicaPlan> &Plans,
@@ -1064,7 +1067,8 @@ struct RunContext {
              size_t NumWorkers)
       : Replicas(Replicas), Plans(Plans), Options(Options), Results(Results),
         PerWorkerReplicas(NumWorkers), PerWorkerBusy(NumWorkers),
-        PerWorkerAllocs(NumWorkers), PerWorkerSteadyAllocs(NumWorkers) {}
+        PerWorkerAllocs(NumWorkers), PerWorkerSteadyAllocs(NumWorkers),
+        PerWorkerRetries(NumWorkers), PerWorkerFailed(NumWorkers) {}
 };
 
 /// One worker: pulls replicas off the shared counter until it drains.
@@ -1083,6 +1087,32 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
   const size_t N = Ctx.Replicas.size();
   const BatchRunOptions &Options = Ctx.Options;
   uint64_t Simulated = 0, SkippedLocal = 0;
+  uint64_t RetriesLocal = 0, FailedLocal = 0;
+
+  /// Supervised launch of one claimed replica: the EngineReplica chaos
+  /// site runs under per-task retry with capped exponential backoff. True
+  /// approves the launch; false abandons the replica (its slot keeps the
+  /// default SimResult and OnFailure is notified) so one persistently
+  /// failing task degrades the batch instead of killing it. With chaos
+  /// compiled out or inactive this is a non-throwing no-op the optimiser
+  /// folds away.
+  auto Launch = [&](int I) -> bool {
+    for (int Retry = 0;; ++Retry) {
+      try {
+        chaosPoint(ChaosSite::EngineReplica);
+        return true;
+      } catch (...) {
+        if (Retry + 1 >= Options.Retry.MaxAttempts) {
+          ++FailedLocal;
+          if (Options.OnFailure)
+            Options.OnFailure(I);
+          return false;
+        }
+        ++RetriesLocal;
+        backoffSleep(Options.Retry, Retry);
+      }
+    }
+  };
 
   auto FinalSlot = [&](int I) -> ReplicaFinalState * {
     return Options.FinalStates
@@ -1120,6 +1150,8 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
     Slots.emplace_back(T, BoundaryMask, Neighbors16, TurnMap);
     ReplicaWorkspace &WS = Slots.front().WS;
     for (int I; (I = Pull()) >= 0;) {
+      if (!Launch(I))
+        continue;
       WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
                  Ctx.Plans[static_cast<size_t>(I)]);
       Ctx.Results[static_cast<size_t>(I)] =
@@ -1144,6 +1176,8 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
           Drained = true;
           break;
         }
+        if (!Launch(I))
+          continue;
         S.WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
                      Ctx.Plans[static_cast<size_t>(I)]);
         if (S.WS.fastEligible()) {
@@ -1224,6 +1258,8 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
   Ctx.PerWorkerReplicas[Worker] = Simulated;
   Ctx.PerWorkerAllocs[Worker] = Allocs;
   Ctx.PerWorkerSteadyAllocs[Worker] = Steady;
+  Ctx.PerWorkerRetries[Worker] = RetriesLocal;
+  Ctx.PerWorkerFailed[Worker] = FailedLocal;
   Ctx.Skipped.fetch_add(SkippedLocal, std::memory_order_relaxed);
   Ctx.PerWorkerBusy[Worker] = secondsSince(Start);
 }
@@ -1295,6 +1331,10 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
       S.Allocations += A;
     for (uint64_t A : Ctx.PerWorkerSteadyAllocs)
       S.SteadyAllocations += A;
+    for (uint64_t R : Ctx.PerWorkerRetries)
+      S.TaskRetries += R;
+    for (uint64_t F : Ctx.PerWorkerFailed)
+      S.ReplicasFailed += F;
   }
   return Results;
 }

@@ -50,6 +50,7 @@
 #define CA2A_SIM_BATCHENGINE_H
 
 #include "sim/World.h"
+#include "support/Supervisor.h"
 
 #include <cstdint>
 #include <functional>
@@ -168,6 +169,13 @@ struct BatchRunStats {
   size_t WorkersUsed = 0;
   uint64_t ReplicasSimulated = 0;
   uint64_t ReplicasSkipped = 0; ///< Replicas vetoed by ShouldSkip.
+  /// Supervision counters (nonzero only when infrastructure faults fire —
+  /// in practice the chaos layer; see support/Chaos.h). A retried replica
+  /// recomputes the identical result, so TaskRetries > 0 never changes
+  /// any output; a replica that fails every attempt is abandoned (default
+  /// SimResult in its slot, OnFailure notified) and counted here.
+  uint64_t TaskRetries = 0;
+  uint64_t ReplicasFailed = 0;
   /// Genome-compile cache: each replica resolves two table slots (A and
   /// B); a miss compiles a distinct genome once, every other resolution
   /// is served from the per-run cache.
@@ -243,6 +251,22 @@ struct BatchRunOptions {
   /// When non-null, filled with this run's instrumentation (workers used,
   /// compile-cache hits, workspace allocations, per-worker load).
   BatchRunStats *Stats = nullptr;
+
+  // Supervised execution (see support/Supervisor.h). The launch of every
+  // replica runs under chaosPoint(ChaosSite::EngineReplica) and this
+  // retry policy: a throw (injected or real) re-attempts the replica
+  // after a capped-exponential backoff. Retries re-run the replica's
+  // whole preparation, so a retried replica is bit-identical to an
+  // untroubled one.
+
+  /// Per-replica retry policy for infrastructure failures.
+  RetryPolicy Retry;
+
+  /// Invoked (from the owning worker thread, like OnResult) for a replica
+  /// abandoned after Retry.MaxAttempts failed attempts. Its result slot
+  /// keeps the default SimResult; OnResult is not called for it. Callers
+  /// use this to quarantine the work item instead of losing the batch.
+  std::function<void(int Replica)> OnFailure;
 };
 
 /// The batched engine. Like World, it borrows the Torus, which must

@@ -1,0 +1,249 @@
+//===- support/Chaos.cpp - Seeded infrastructure fault injection ----------===//
+
+#include "support/Chaos.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <thread>
+
+using namespace ca2a;
+
+const char *ca2a::chaosSiteName(ChaosSite Site) {
+  switch (Site) {
+  case ChaosSite::PoolTask:
+    return "pool.task";
+  case ChaosSite::EngineReplica:
+    return "engine.replica";
+  case ChaosSite::SchedulerBatch:
+    return "sched.batch";
+  case ChaosSite::CheckpointWrite:
+    return "ckpt.write";
+  case ChaosSite::CheckpointRead:
+    return "ckpt.read";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Event kinds, used as sub-stream tags so fail/delay/corrupt draws at the
+/// same site never reuse one random value.
+enum class ChaosEvent : uint64_t { Fail = 1, Delay = 2, Corrupt = 3 };
+
+/// One deterministic draw in [0, 1): SplitMix64 over (seed, site, event,
+/// index). The mixing matches the repo's seeding idiom (Rng seeds through
+/// SplitMix64 too), so draws are reproducible across platforms.
+double chaosDraw(uint64_t Seed, ChaosSite Site, ChaosEvent Event,
+                 uint64_t Index, uint64_t *RawOut = nullptr) {
+  uint64_t State = Seed ^
+                   (static_cast<uint64_t>(Site) + 1) * 0x9e3779b97f4a7c15ULL ^
+                   static_cast<uint64_t>(Event) * 0xbf58476d1ce4e5b9ULL;
+  State += Index * 0x94d049bb133111ebULL;
+  uint64_t Raw = splitMix64(State);
+  if (RawOut)
+    *RawOut = Raw;
+  return static_cast<double>(Raw >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+Expected<ChaosSchedule> ca2a::parseChaosSpec(const std::string &Spec) {
+  ChaosSchedule Schedule;
+  std::string Normalized = Spec;
+  for (char &C : Normalized)
+    if (C == ';')
+      C = ',';
+  for (const std::string &RawEntry : splitString(Normalized, ',')) {
+    std::string Entry(trim(RawEntry));
+    if (Entry.empty())
+      continue;
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos)
+      return makeError("chaos spec: entry '" + Entry + "' is not key=value");
+    std::string Key(trim(Entry.substr(0, Eq)));
+    std::string Value(trim(Entry.substr(Eq + 1)));
+    if (Key == "seed") {
+      auto Seed = parseUnsigned(Value);
+      if (!Seed)
+        return makeError("chaos spec: bad seed '" + Value + "'");
+      Schedule.Seed = *Seed;
+      continue;
+    }
+    size_t Dot = Key.rfind('.');
+    if (Dot == std::string::npos)
+      return makeError("chaos spec: unknown key '" + Key + "'");
+    std::string SiteName = Key.substr(0, Dot);
+    std::string EventName = Key.substr(Dot + 1);
+    ChaosSiteSpec *Site = nullptr;
+    for (size_t I = 0; I != NumChaosSites; ++I)
+      if (SiteName == chaosSiteName(static_cast<ChaosSite>(I)))
+        Site = &Schedule.Sites[I];
+    if (!Site)
+      return makeError("chaos spec: unknown site '" + SiteName + "'");
+    std::string ProbText = Value;
+    if (EventName == "delay") {
+      size_t Colon = Value.find(':');
+      if (Colon == std::string::npos)
+        return makeError("chaos spec: delay value '" + Value +
+                         "' needs the form probability:micros");
+      ProbText = Value.substr(0, Colon);
+      auto Micros = parseInt(Value.substr(Colon + 1));
+      if (!Micros || *Micros < 0)
+        return makeError("chaos spec: bad delay micros in '" + Value + "'");
+      Site->DelayMicros = static_cast<int>(*Micros);
+    }
+    auto Prob = parseDouble(ProbText);
+    if (!Prob || *Prob < 0.0 || *Prob > 1.0)
+      return makeError("chaos spec: probability '" + ProbText +
+                       "' must lie in [0, 1]");
+    if (EventName == "fail")
+      Site->FailProbability = *Prob;
+    else if (EventName == "delay")
+      Site->DelayProbability = *Prob;
+    else if (EventName == "corrupt")
+      Site->CorruptProbability = *Prob;
+    else
+      return makeError("chaos spec: unknown event '" + EventName +
+                       "' (expected fail, delay or corrupt)");
+  }
+  return Schedule;
+}
+
+std::string ca2a::describeChaosSchedule(const ChaosSchedule &Schedule) {
+  if (!Schedule.any())
+    return "chaos off";
+  std::string Out = formatString("chaos seed=%" PRIu64, Schedule.Seed);
+  for (size_t I = 0; I != NumChaosSites; ++I) {
+    const ChaosSiteSpec &S = Schedule.Sites[I];
+    if (!S.any())
+      continue;
+    const char *Name = chaosSiteName(static_cast<ChaosSite>(I));
+    if (S.FailProbability > 0.0)
+      Out += formatString(" %s.fail=%g", Name, S.FailProbability);
+    if (S.DelayProbability > 0.0)
+      Out += formatString(" %s.delay=%g:%d", Name, S.DelayProbability,
+                          S.DelayMicros);
+    if (S.CorruptProbability > 0.0)
+      Out += formatString(" %s.corrupt=%g", Name, S.CorruptProbability);
+  }
+  return Out;
+}
+
+void ca2a::chaosCorruptPayload(std::string &Payload, uint64_t Draw) {
+  if (Payload.empty() || Draw == 0)
+    return;
+  size_t Pos = static_cast<size_t>(Draw % Payload.size());
+  // The xor mask is never zero, so the byte always changes.
+  uint8_t Mask = static_cast<uint8_t>((Draw >> 32) % 255) + 1;
+  Payload[Pos] = static_cast<char>(
+      static_cast<uint8_t>(Payload[Pos]) ^ Mask);
+}
+
+#ifdef CA2A_CHAOS_ENABLED
+
+namespace {
+
+/// Installed-schedule state: the schedule itself plus per-site draw
+/// cursors and the global event tally. One static instance; ActiveRuntime
+/// points at it while a schedule is live.
+struct ChaosRuntime {
+  ChaosSchedule Schedule;
+  std::atomic<uint64_t> FailCursor[NumChaosSites];
+  std::atomic<uint64_t> DelayCursor[NumChaosSites];
+  std::atomic<uint64_t> CorruptCursor[NumChaosSites];
+  std::atomic<uint64_t> Failures{0};
+  std::atomic<uint64_t> Delays{0};
+  std::atomic<uint64_t> Corruptions{0};
+
+  void reset(const ChaosSchedule &NewSchedule) {
+    Schedule = NewSchedule;
+    for (size_t I = 0; I != NumChaosSites; ++I) {
+      FailCursor[I].store(0, std::memory_order_relaxed);
+      DelayCursor[I].store(0, std::memory_order_relaxed);
+      CorruptCursor[I].store(0, std::memory_order_relaxed);
+    }
+    Failures.store(0, std::memory_order_relaxed);
+    Delays.store(0, std::memory_order_relaxed);
+    Corruptions.store(0, std::memory_order_relaxed);
+  }
+};
+
+ChaosRuntime &chaosRuntime() {
+  static ChaosRuntime Runtime;
+  return Runtime;
+}
+
+} // namespace
+
+std::atomic<const void *> ca2a::chaos_detail::ActiveRuntime{nullptr};
+
+void ca2a::installChaos(const ChaosSchedule &Schedule) {
+  ChaosRuntime &Runtime = chaosRuntime();
+  // Quiesce first so a racing site never observes a half-reset runtime.
+  chaos_detail::ActiveRuntime.store(nullptr, std::memory_order_release);
+  Runtime.reset(Schedule);
+  chaos_detail::ActiveRuntime.store(&Runtime, std::memory_order_release);
+}
+
+void ca2a::uninstallChaos() {
+  chaos_detail::ActiveRuntime.store(nullptr, std::memory_order_release);
+}
+
+bool ca2a::chaosActive() {
+  return chaos_detail::ActiveRuntime.load(std::memory_order_relaxed) &&
+         chaosRuntime().Schedule.any();
+}
+
+ChaosStats ca2a::chaosStats() {
+  ChaosRuntime &Runtime = chaosRuntime();
+  ChaosStats Stats;
+  Stats.Failures = Runtime.Failures.load(std::memory_order_relaxed);
+  Stats.Delays = Runtime.Delays.load(std::memory_order_relaxed);
+  Stats.Corruptions = Runtime.Corruptions.load(std::memory_order_relaxed);
+  return Stats;
+}
+
+void ca2a::chaos_detail::injectSlow(ChaosSite Site) {
+  ChaosRuntime &Runtime = chaosRuntime();
+  const ChaosSiteSpec &Spec = Runtime.Schedule.site(Site);
+  size_t I = static_cast<size_t>(Site);
+  if (Spec.DelayProbability > 0.0) {
+    uint64_t Index =
+        Runtime.DelayCursor[I].fetch_add(1, std::memory_order_relaxed);
+    if (chaosDraw(Runtime.Schedule.Seed, Site, ChaosEvent::Delay, Index) <
+        Spec.DelayProbability) {
+      Runtime.Delays.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(Spec.DelayMicros));
+    }
+  }
+  if (Spec.FailProbability > 0.0) {
+    uint64_t Index =
+        Runtime.FailCursor[I].fetch_add(1, std::memory_order_relaxed);
+    if (chaosDraw(Runtime.Schedule.Seed, Site, ChaosEvent::Fail, Index) <
+        Spec.FailProbability) {
+      Runtime.Failures.fetch_add(1, std::memory_order_relaxed);
+      throw ChaosError(Site);
+    }
+  }
+}
+
+uint64_t ca2a::chaos_detail::corruptDrawSlow(ChaosSite Site) {
+  ChaosRuntime &Runtime = chaosRuntime();
+  const ChaosSiteSpec &Spec = Runtime.Schedule.site(Site);
+  if (Spec.CorruptProbability <= 0.0)
+    return 0;
+  size_t I = static_cast<size_t>(Site);
+  uint64_t Index =
+      Runtime.CorruptCursor[I].fetch_add(1, std::memory_order_relaxed);
+  uint64_t Raw = 0;
+  if (chaosDraw(Runtime.Schedule.Seed, Site, ChaosEvent::Corrupt, Index,
+                &Raw) >= Spec.CorruptProbability)
+    return 0;
+  Runtime.Corruptions.fetch_add(1, std::memory_order_relaxed);
+  return Raw | 1; // Guarantee nonzero: zero means "no corruption".
+}
+
+#endif // CA2A_CHAOS_ENABLED

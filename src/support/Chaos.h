@@ -1,0 +1,223 @@
+//===- support/Chaos.h - Seeded infrastructure fault injection --*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos injection for the *execution infrastructure* — the counterpart of
+/// sim/Fault, which injects faults into the simulated world. Where Fault
+/// asks "do evolved agents survive stalls and dropped links?", Chaos asks
+/// "does the machinery that runs them survive a throwing task, a hung
+/// worker, or a torn checkpoint write?".
+///
+/// A ChaosSchedule names a set of injection sites (ChaosSite) and gives
+/// each one independent probabilities of three synthetic events:
+///
+///   * fail    — the site throws ChaosError (a simulated infrastructure
+///     exception: an I/O error, an OOM, a flaky dependency);
+///   * delay   — the site sleeps a configured number of microseconds (a
+///     simulated hung or slow worker, used to trip watchdog deadlines);
+///   * corrupt — the site flips one payload byte (a simulated torn write;
+///     only checkpoint-write honours it, other sites ignore it).
+///
+/// Draws are seeded and deterministic per (seed, site, draw index): the
+/// same schedule injects the same event sequence at each site on every
+/// run. Under a multi-threaded fan-out the *assignment* of draw indices to
+/// tasks follows the thread schedule, so chaos fixes the failure density,
+/// not which task fails — the supervised execution layer must (and does)
+/// deliver bit-identical results regardless, which is exactly the property
+/// the chaos-labelled tests and scripts/chaos_resume.sh pin.
+///
+/// Sites are compiled into the infrastructure as chaosPoint(Site) calls.
+/// With no schedule installed the call is a single relaxed atomic load of
+/// a null pointer, far off every inner loop (per task / per replica / per
+/// file operation, never per simulation step). Configuring CMake with
+/// -DCA2A_CHAOS=OFF compiles the sites out entirely; the scheduled-build
+/// bench gate (scripts/bench_smoke.sh vs BENCH_hotpath.json) holds for the
+/// default chaos-ready build, so OFF is belt-and-braces, not a
+/// performance requirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_CHAOS_H
+#define CA2A_SUPPORT_CHAOS_H
+
+#include "support/Error.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ca2a {
+
+/// Named injection sites in the execution stack.
+enum class ChaosSite : uint8_t {
+  PoolTask,        ///< ThreadPool: before a dequeued task body runs.
+  EngineReplica,   ///< BatchEngine fan-out: before a replica simulates.
+  SchedulerBatch,  ///< EvalScheduler: a generation-wide submission attempt.
+  CheckpointWrite, ///< Checkpoint save: the durable-write path.
+  CheckpointRead,  ///< Checkpoint load: the file-read path.
+};
+constexpr size_t NumChaosSites = 5;
+
+/// Stable spec/reporting name ("pool.task", "engine.replica", ...).
+const char *chaosSiteName(ChaosSite Site);
+
+/// The exception a `fail` injection throws. Supervised code treats it like
+/// any other infrastructure exception; it exists as a distinct type only
+/// so tests can assert the failure was synthetic.
+class ChaosError : public std::runtime_error {
+public:
+  explicit ChaosError(ChaosSite Site)
+      : std::runtime_error(std::string("chaos: injected failure at ") +
+                           chaosSiteName(Site)),
+        Site(Site) {}
+  ChaosSite site() const { return Site; }
+
+private:
+  ChaosSite Site;
+};
+
+/// Per-site event probabilities.
+struct ChaosSiteSpec {
+  double FailProbability = 0.0;    ///< P(throw ChaosError) per visit.
+  double DelayProbability = 0.0;   ///< P(sleep DelayMicros) per visit.
+  double CorruptProbability = 0.0; ///< P(flip one payload byte) per visit.
+  int DelayMicros = 0;             ///< Sleep length of one delay event.
+
+  bool any() const {
+    return FailProbability > 0.0 || DelayProbability > 0.0 ||
+           CorruptProbability > 0.0;
+  }
+};
+
+/// A full chaos configuration: one spec per site plus the seed of the
+/// dedicated draw stream. Value type; install a copy with ScopedChaos or
+/// installChaos().
+struct ChaosSchedule {
+  uint64_t Seed = 0xc4a05c4a05ULL;
+  std::array<ChaosSiteSpec, NumChaosSites> Sites{};
+
+  ChaosSiteSpec &site(ChaosSite S) {
+    return Sites[static_cast<size_t>(S)];
+  }
+  const ChaosSiteSpec &site(ChaosSite S) const {
+    return Sites[static_cast<size_t>(S)];
+  }
+  bool any() const {
+    for (const ChaosSiteSpec &S : Sites)
+      if (S.any())
+        return true;
+    return false;
+  }
+};
+
+/// Parses a compact chaos spec string:
+///
+///   "seed=7,engine.replica.fail=0.02,ckpt.write.corrupt=0.2,
+///    pool.task.delay=0.5:20000"
+///
+/// Comma- or semicolon-separated `key=value` entries; keys are `seed` or
+/// `<site>.<event>` with site in {pool.task, engine.replica, sched.batch,
+/// ckpt.write, ckpt.read} and event in {fail, delay, corrupt}. A delay
+/// value takes the form `<probability>:<micros>`. Probabilities must lie
+/// in [0, 1]. The empty string yields an inert schedule.
+Expected<ChaosSchedule> parseChaosSpec(const std::string &Spec);
+
+/// One-line human-readable summary of the active processes ("chaos off"
+/// when nothing can fire).
+std::string describeChaosSchedule(const ChaosSchedule &Schedule);
+
+/// Counts of injected events since the schedule was installed (atomic;
+/// summed across all sites or per site).
+struct ChaosStats {
+  uint64_t Failures = 0;
+  uint64_t Delays = 0;
+  uint64_t Corruptions = 0;
+  uint64_t total() const { return Failures + Delays + Corruptions; }
+};
+
+#ifdef CA2A_CHAOS_ENABLED
+
+namespace chaos_detail {
+/// The installed schedule, or null when chaos is off. Mutated only by
+/// installChaos/uninstallChaos; sites read it with one relaxed load.
+extern std::atomic<const void *> ActiveRuntime;
+
+void injectSlow(ChaosSite Site);
+uint64_t corruptDrawSlow(ChaosSite Site);
+} // namespace chaos_detail
+
+/// Installs \p Schedule process-wide (replacing any previous one) and
+/// resets the event counters. Not thread-safe against concurrent
+/// chaosPoint traffic — install before the supervised region starts, as
+/// the CLI tools and tests do.
+void installChaos(const ChaosSchedule &Schedule);
+
+/// Removes the active schedule; chaosPoint reverts to a no-op.
+void uninstallChaos();
+
+/// True when a schedule with at least one live process is installed.
+bool chaosActive();
+
+/// Event counters of the active (or last) schedule.
+ChaosStats chaosStats();
+
+/// The injection site hook: may sleep, may throw ChaosError. The disabled
+/// fast path is one relaxed null check.
+inline void chaosPoint(ChaosSite Site) {
+  if (chaos_detail::ActiveRuntime.load(std::memory_order_relaxed))
+    chaos_detail::injectSlow(Site);
+}
+
+/// Corruption draw for sites that own a payload (checkpoint write):
+/// nonzero when the caller should corrupt — pass the returned draw to
+/// chaosCorruptPayload to pick the byte and mask. Zero means publish
+/// untouched.
+inline uint64_t chaosCorruptDraw(ChaosSite Site) {
+  if (chaos_detail::ActiveRuntime.load(std::memory_order_relaxed))
+    return chaos_detail::corruptDrawSlow(Site);
+  return 0;
+}
+
+/// RAII install/uninstall for tests and CLI mains.
+class ScopedChaos {
+public:
+  explicit ScopedChaos(const ChaosSchedule &Schedule) {
+    installChaos(Schedule);
+  }
+  ~ScopedChaos() { uninstallChaos(); }
+  ScopedChaos(const ScopedChaos &) = delete;
+  ScopedChaos &operator=(const ScopedChaos &) = delete;
+};
+
+#else // !CA2A_CHAOS_ENABLED
+
+// Chaos compiled out: every hook is an empty inline the optimiser erases.
+inline void installChaos(const ChaosSchedule &) {}
+inline void uninstallChaos() {}
+inline bool chaosActive() { return false; }
+inline ChaosStats chaosStats() { return {}; }
+inline void chaosPoint(ChaosSite) {}
+inline uint64_t chaosCorruptDraw(ChaosSite) { return 0; }
+
+class ScopedChaos {
+public:
+  explicit ScopedChaos(const ChaosSchedule &) {}
+};
+
+#endif // CA2A_CHAOS_ENABLED
+
+/// Flips one byte of \p Payload, position and xor mask drawn from \p Draw
+/// (any nonzero 64-bit value; the flip is guaranteed to change the byte).
+/// Exposed for the corruption tests; no-op on an empty payload.
+void chaosCorruptPayload(std::string &Payload, uint64_t Draw);
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_CHAOS_H

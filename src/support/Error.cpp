@@ -1,8 +1,27 @@
 //===- support/Error.cpp - Lightweight recoverable errors -----------------===//
-//
-// Error and Expected are header-only; this file exists to give the library
-// a translation unit and to anchor any future out-of-line error utilities.
-//
-//===----------------------------------------------------------------------===//
 
 #include "support/Error.h"
+
+using namespace ca2a;
+
+const char *ca2a::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return "generic";
+  case ErrorCode::Io:
+    return "io";
+  case ErrorCode::Corrupt:
+    return "corrupt";
+  case ErrorCode::VersionMismatch:
+    return "version-mismatch";
+  case ErrorCode::Timeout:
+    return "timeout";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::Exhausted:
+    return "exhausted";
+  case ErrorCode::Injected:
+    return "injected";
+  }
+  return "unknown";
+}

@@ -11,8 +11,15 @@
 ///
 /// Library code in this project does not throw. Fallible operations (genome
 /// parsing, configuration-file loading, CLI parsing) return Expected<T>,
-/// a minimal analogue of llvm::Expected: either a value or a string error
-/// message. Programmatic errors are asserts, not Expected.
+/// a minimal analogue of llvm::Expected: either a value or an Error.
+/// Programmatic errors are asserts, not Expected.
+///
+/// Errors carry a small structured taxonomy (ErrorCode) on top of the
+/// human-readable message, so supervised execution can route on the
+/// *class* of a failure: an Io error is worth retrying, Corrupt data is
+/// worth falling back to the previous snapshot, a VersionMismatch is
+/// terminal. Code-agnostic call sites keep using makeError(message),
+/// which classifies as Generic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,22 +27,43 @@
 #define CA2A_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace ca2a {
 
-/// A failure description. Deliberately just a message: the project's
-/// recoverable failures are all "report to the user" class.
+/// Failure classes the recovery machinery routes on. Keep this list short:
+/// a code earns its place only when some caller genuinely branches on it.
+enum class ErrorCode : uint8_t {
+  Generic,         ///< Unclassified "report to the user" failure.
+  Io,              ///< File/stream operation failed (often transient).
+  Corrupt,         ///< Data failed an integrity check (checksum, truncation).
+  VersionMismatch, ///< Persistent data written by an incompatible format.
+  Timeout,         ///< A deadline elapsed before the operation finished.
+  Cancelled,       ///< The operation was cancelled by a supervisor.
+  Exhausted,       ///< Retries exhausted; the wrapped failure persisted.
+  Injected,        ///< Synthetic failure from the chaos layer (tests only).
+};
+
+/// Stable lowercase name for an ErrorCode ("io", "corrupt", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// A failure description: a routing code plus a human-readable message.
 class Error {
 public:
-  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  explicit Error(std::string Message)
+      : Message(std::move(Message)) {}
+  Error(ErrorCode Code, std::string Message)
+      : Message(std::move(Message)), Code(Code) {}
 
   const std::string &message() const { return Message; }
+  ErrorCode code() const { return Code; }
 
 private:
   std::string Message;
+  ErrorCode Code = ErrorCode::Generic;
 };
 
 /// Either a T or an Error. Test with the bool conversion, then use *, ->,
@@ -74,9 +102,14 @@ private:
   std::variant<T, Error> Storage;
 };
 
-/// Builds an Error from message fragments.
+/// Builds an unclassified (Generic) Error.
 inline Error makeError(std::string Message) {
   return Error(std::move(Message));
+}
+
+/// Builds a classified Error.
+inline Error makeError(ErrorCode Code, std::string Message) {
+  return Error(Code, std::move(Message));
 }
 
 } // namespace ca2a

@@ -2,8 +2,16 @@
 
 #include "support/File.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <fcntl.h>
+#include <filesystem>
+#include <unistd.h>
+#endif
 
 using namespace ca2a;
 
@@ -29,4 +37,63 @@ Expected<bool> ca2a::writeFile(const std::string &Path,
   if (!Out)
     return makeError("write error on '" + Path + "'");
   return true;
+}
+
+Expected<bool> ca2a::writeFileDurable(const std::string &Path,
+                                      const std::string &Contents) {
+#ifndef _WIN32
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return makeError(ErrorCode::Io, "cannot open '" + Path +
+                                        "' for writing: " +
+                                        std::strerror(errno));
+  const char *Data = Contents.data();
+  size_t Remaining = Contents.size();
+  while (Remaining > 0) {
+    ssize_t Written = ::write(Fd, Data, Remaining);
+    if (Written < 0) {
+      if (errno == EINTR)
+        continue;
+      int Saved = errno;
+      ::close(Fd);
+      return makeError(ErrorCode::Io, "write error on '" + Path +
+                                          "': " + std::strerror(Saved));
+    }
+    Data += Written;
+    Remaining -= static_cast<size_t>(Written);
+  }
+  if (::fsync(Fd) != 0) {
+    int Saved = errno;
+    ::close(Fd);
+    return makeError(ErrorCode::Io, "fsync failed on '" + Path +
+                                        "': " + std::strerror(Saved));
+  }
+  if (::close(Fd) != 0)
+    return makeError(ErrorCode::Io, "close failed on '" + Path +
+                                        "': " + std::strerror(errno));
+  return true;
+#else
+  return writeFile(Path, Contents);
+#endif
+}
+
+Expected<bool> ca2a::syncParentDirectory(const std::string &Path) {
+#ifndef _WIN32
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  std::string Dir = Parent.empty() ? std::string(".") : Parent.string();
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return makeError(ErrorCode::Io, "cannot open directory '" + Dir +
+                                        "': " + std::strerror(errno));
+  int Rc = ::fsync(Fd);
+  int Saved = errno;
+  ::close(Fd);
+  if (Rc != 0)
+    return makeError(ErrorCode::Io, "fsync failed on directory '" + Dir +
+                                        "': " + std::strerror(Saved));
+  return true;
+#else
+  (void)Path;
+  return true;
+#endif
 }

@@ -1,0 +1,71 @@
+//===- support/Supervisor.cpp - Retry, backoff and watchdogs --------------===//
+
+#include "support/Supervisor.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace ca2a;
+
+int ca2a::backoffDelayMicros(const RetryPolicy &Policy, int Retry) {
+  assert(Retry >= 0 && "retry index is 0-based");
+  if (Policy.BaseDelayMicros <= 0)
+    return 0;
+  int Cap = Policy.MaxDelayMicros;
+  // Doubling in 64-bit makes the cap comparison overflow-proof even for
+  // absurd retry counts.
+  int64_t Delay = Policy.BaseDelayMicros;
+  for (int I = 0; I != Retry && Delay < Cap; ++I)
+    Delay *= 2;
+  return static_cast<int>(Delay < Cap ? Delay : Cap);
+}
+
+void ca2a::backoffSleep(const RetryPolicy &Policy, int Retry) {
+  int Micros = backoffDelayMicros(Policy, Retry);
+  if (Micros > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(Micros));
+}
+
+Watchdog::Watchdog(double DeadlineSeconds, std::function<void(double)> OnStall)
+    : DeadlineSeconds(DeadlineSeconds), OnStall(std::move(OnStall)) {
+  if (DeadlineSeconds > 0.0)
+    Monitor = std::thread([this] { monitorLoop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!Monitor.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  StopRequested.notify_all();
+  Monitor.join();
+}
+
+void Watchdog::monitorLoop() {
+  auto Deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(DeadlineSeconds));
+  uint64_t LastSeen = Beats.load(std::memory_order_relaxed);
+  double Silent = 0.0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (!Stopping) {
+    if (StopRequested.wait_for(Lock, Deadline, [this] { return Stopping; }))
+      return;
+    uint64_t Now = Beats.load(std::memory_order_relaxed);
+    if (Now != LastSeen) {
+      LastSeen = Now;
+      Silent = 0.0;
+      continue;
+    }
+    Silent += DeadlineSeconds;
+    Stalls.fetch_add(1, std::memory_order_relaxed);
+    if (OnStall) {
+      // Drop the lock: the callback may log, lock its own state, or (in
+      // tests) call back into the watchdog's accessors.
+      Lock.unlock();
+      OnStall(Silent);
+      Lock.lock();
+    }
+  }
+}

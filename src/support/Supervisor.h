@@ -1,0 +1,129 @@
+//===- support/Supervisor.h - Retry, backoff and watchdogs ------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Supervised-execution primitives the infrastructure wraps around
+/// fallible work: capped-exponential-backoff retry for transient failures
+/// (the kind support/Chaos injects and real I/O produces), and a watchdog
+/// that detects a hung or pathologically slow worker by the silence of its
+/// progress heartbeat.
+///
+/// The division of labour with the rest of the stack:
+///
+///   * retry       — per *task*: a throwing replica simulation or a failed
+///     checkpoint write is re-attempted MaxAttempts times with delays
+///     Base, 2*Base, 4*Base, ... capped at MaxDelay.
+///   * quarantine  — per *work item*, owned by the caller (EvalScheduler):
+///     an item that fails every attempt is excluded and reported, not
+///     retried forever and not allowed to abort the run.
+///   * watchdog    — per *generation/deadline*: progress is heartbeated;
+///     a silent interval longer than the deadline raises a stall
+///     notification (detection and surfacing — a hung thread cannot be
+///     safely killed, but it can be loudly diagnosed).
+///
+/// Sleeping and clock reads live in this translation unit only, so the
+/// deterministic simulation core (src/sim, src/ga) can consume retry and
+/// watchdog services without touching <chrono> (see
+/// scripts/lint_determinism.py). Nothing here feeds simulation results:
+/// retries recompute identical values, and the watchdog only observes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SUPPORT_SUPERVISOR_H
+#define CA2A_SUPPORT_SUPERVISOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ca2a {
+
+/// Capped exponential backoff policy for transient-failure retry.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry; must be >= 1).
+  int MaxAttempts = 3;
+  /// Delay before the first retry, in microseconds.
+  int BaseDelayMicros = 200;
+  /// Ceiling on any single delay, in microseconds.
+  int MaxDelayMicros = 20000;
+};
+
+/// The delay before retry number \p Retry (0-based): Base * 2^Retry,
+/// capped at MaxDelayMicros (overflow-safe).
+int backoffDelayMicros(const RetryPolicy &Policy, int Retry);
+
+/// Sleeps for backoffDelayMicros(Policy, Retry). The only sleep the
+/// simulation core is allowed to reach, and only between attempts —
+/// never on the success path.
+void backoffSleep(const RetryPolicy &Policy, int Retry);
+
+/// Runs \p Body up to Policy.MaxAttempts times. Returns Body's result on
+/// the first success; rethrows Body's final exception when every attempt
+/// failed. \p OnRetry (may be null) observes each failed attempt before
+/// its backoff sleep: OnRetry(RetryIndex) with RetryIndex 0-based.
+template <typename BodyFn>
+auto runWithRetry(const RetryPolicy &Policy, BodyFn &&Body,
+                  const std::function<void(int)> &OnRetry = {})
+    -> decltype(Body()) {
+  for (int Retry = 0;; ++Retry) {
+    try {
+      return Body();
+    } catch (...) {
+      if (Retry + 1 >= Policy.MaxAttempts)
+        throw;
+      if (OnRetry)
+        OnRetry(Retry);
+      backoffSleep(Policy, Retry);
+    }
+  }
+}
+
+/// Deadline watchdog: a monitor thread samples a heartbeat counter every
+/// \p DeadlineSeconds; an interval with no heartbeat() call raises
+/// OnStall(SilentSeconds) and re-arms (one notification per silent
+/// interval, so a wedged generation produces a heartbeat-shaped trail of
+/// evidence, not a single lost line).
+///
+/// heartbeat() is wait-free (one relaxed fetch_add) and safe from any
+/// thread; OnStall runs on the monitor thread and must synchronise its own
+/// state. Destruction joins the monitor. A DeadlineSeconds <= 0 watchdog
+/// is inert (no thread, no overhead) so callers can pass their config
+/// through unconditionally.
+class Watchdog {
+public:
+  Watchdog(double DeadlineSeconds, std::function<void(double)> OnStall);
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Records progress. Call from worker/result paths.
+  void heartbeat() { Beats.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Stall intervals detected so far.
+  uint64_t stalls() const { return Stalls.load(std::memory_order_relaxed); }
+
+private:
+  void monitorLoop();
+
+  double DeadlineSeconds;
+  std::function<void(double)> OnStall;
+  std::atomic<uint64_t> Beats{0};
+  std::atomic<uint64_t> Stalls{0};
+  std::mutex Mutex;
+  std::condition_variable StopRequested;
+  bool Stopping = false;
+  std::thread Monitor;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_SUPPORT_SUPERVISOR_H

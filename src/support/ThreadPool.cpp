@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Chaos.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -69,6 +71,10 @@ void ThreadPool::workerLoop() {
     }
     std::exception_ptr Thrown;
     try {
+      // Chaos site: a synthetic delay (hung worker) or throw (failing
+      // task) lands here, inside the same capture net a real throwing
+      // task uses — the pool must survive both identically.
+      chaosPoint(ChaosSite::PoolTask);
       Task();
     } catch (...) {
       // Escaping the loop would std::terminate(); capture instead and let

@@ -9,10 +9,12 @@
 
 #include "ga/Checkpoint.h"
 #include "ga/Pipeline.h"
+#include "support/Chaos.h"
 
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -52,6 +54,11 @@ void expectSameIndividual(const Individual &A, const Individual &B) {
   EXPECT_EQ(A.Fitness, B.Fitness);
   EXPECT_EQ(A.SolvedFields, B.SolvedFields);
   EXPECT_EQ(A.CompletelySuccessful, B.CompletelySuccessful);
+}
+
+void writeRawFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
 }
 
 void expectSameSnapshot(const EvolutionSnapshot &A,
@@ -287,3 +294,230 @@ TEST(CheckpointTest, MismatchedCheckpointIsRejectedAndRunRestarts) {
   EXPECT_EQ(Rejected, 1);
   std::remove(checkpointRunPath(Dir, 0).c_str());
 }
+
+// Satellite: the corruption matrix. Every damage shape a real filesystem
+// can produce must map to a *typed* error, because the recovery path
+// treats the codes differently (Injected/Io retry, Corrupt/VersionMismatch
+// fall through to the backup).
+TEST(CheckpointTest, CorruptionMatrixYieldsTypedErrors) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  std::string Text = serializeCheckpoint(makeCheckpoint(T, E, Params, 1));
+
+  // Truncation: a crash mid-write or a full disk.
+  {
+    auto Parsed = parseCheckpoint(Text.substr(0, Text.size() / 2));
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::Corrupt)
+        << Parsed.error().message();
+  }
+  // Single flipped byte mid-payload — exactly what the chaos layer's
+  // corruption injector does to a durable write.
+  {
+    std::string Bad = Text;
+    chaosCorruptPayload(Bad, /*Draw=*/Bad.size() / 2);
+    ASSERT_NE(Bad, Text);
+    auto Parsed = parseCheckpoint(Bad);
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::Corrupt)
+        << Parsed.error().message();
+  }
+  // Stale format version: a checkpoint from a future (or ancient) build.
+  {
+    std::string Bad = Text;
+    size_t V = Bad.find("v1");
+    ASSERT_NE(V, std::string::npos);
+    Bad.replace(V, 2, "v9");
+    auto Parsed = parseCheckpoint(Bad);
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::VersionMismatch)
+        << Parsed.error().message();
+  }
+  // Empty file: created but never written.
+  {
+    auto Parsed = parseCheckpoint("");
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::Corrupt);
+  }
+  // loadCheckpoint preserves the parse error's code through its rewrap.
+  {
+    std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_typed";
+    std::filesystem::create_directories(Dir);
+    std::string Path = Dir + "/damaged.ckpt";
+    writeRawFile(Path, Text.substr(0, Text.size() / 2));
+    auto Loaded = loadCheckpoint(Path);
+    ASSERT_FALSE(Loaded);
+    EXPECT_EQ(Loaded.error().code(), ErrorCode::Corrupt);
+    std::remove(Path.c_str());
+  }
+}
+
+// saveCheckpoint must keep the newest *valid* snapshot in ".bak": a valid
+// previous checkpoint is promoted, a corrupt one is not (promoting it
+// would evict the last good backup and leave both generations bad).
+TEST(CheckpointTest, SavePromotesOnlyValidPreviousToBackup) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData A = makeCheckpoint(T, E, Params, 1);
+  CheckpointData B = makeCheckpoint(T, E, Params, 1);
+  CheckpointData C = makeCheckpoint(T, E, Params, 1);
+  ASSERT_NE(A.Snapshot.Generation, B.Snapshot.Generation);
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_backup";
+  std::string Path = Dir + "/run.ckpt";
+  std::string Bak = checkpointBackupPath(Path);
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+
+  // First save: no previous checkpoint, so no backup appears.
+  ASSERT_TRUE(saveCheckpoint(Path, A));
+  EXPECT_FALSE(checkpointExists(Bak));
+
+  // Second save: the valid A is promoted to .bak.
+  ASSERT_TRUE(saveCheckpoint(Path, B));
+  ASSERT_TRUE(checkpointExists(Bak));
+  auto BakData = loadCheckpoint(Bak);
+  ASSERT_TRUE(BakData) << BakData.error().message();
+  EXPECT_EQ(BakData->Snapshot.Generation, A.Snapshot.Generation);
+
+  // Damage the main file, then save again: the corrupt file must NOT be
+  // promoted — the backup keeps holding A, the main file becomes C.
+  writeRawFile(Path, "ca2a-evolution-checkpoint v1\ngarbage\n");
+  ASSERT_TRUE(saveCheckpoint(Path, C));
+  auto BakData2 = loadCheckpoint(Bak);
+  ASSERT_TRUE(BakData2) << BakData2.error().message();
+  EXPECT_EQ(BakData2->Snapshot.Generation, A.Snapshot.Generation);
+  auto Main = loadCheckpoint(Path);
+  ASSERT_TRUE(Main) << Main.error().message();
+  EXPECT_EQ(Main->Snapshot.Generation, C.Snapshot.Generation);
+
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+}
+
+TEST(CheckpointTest, RecoveryFallsBackToBackup) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData A = makeCheckpoint(T, E, Params, 1);
+  CheckpointData B = makeCheckpoint(T, E, Params, 1);
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_recover";
+  std::string Path = Dir + "/run.ckpt";
+  std::string Bak = checkpointBackupPath(Path);
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+  ASSERT_TRUE(saveCheckpoint(Path, A));
+  ASSERT_TRUE(saveCheckpoint(Path, B)); // A is now the backup.
+
+  // Bit rot hits the primary after the save: recovery resumes from A and
+  // says so.
+  {
+    auto Text = serializeCheckpoint(B);
+    chaosCorruptPayload(Text, Text.size() / 2);
+    writeRawFile(Path, Text);
+    CheckpointLoadReport Report;
+    auto Loaded = loadCheckpointWithRecovery(Path, &Report);
+    ASSERT_TRUE(Loaded) << Loaded.error().message();
+    EXPECT_TRUE(Report.UsedBackup);
+    EXPECT_NE(Report.Note.find("backup"), std::string::npos) << Report.Note;
+    expectSameSnapshot(Loaded->Snapshot, A.Snapshot);
+  }
+  // Both generations corrupt: a combined, typed error — not a crash and
+  // not a silent fresh start.
+  {
+    writeRawFile(Bak, "also ruined\n");
+    CheckpointLoadReport Report;
+    auto Loaded = loadCheckpointWithRecovery(Path, &Report);
+    ASSERT_FALSE(Loaded);
+    EXPECT_EQ(Loaded.error().code(), ErrorCode::Corrupt);
+    EXPECT_NE(Loaded.error().message().find("primary"), std::string::npos);
+    EXPECT_NE(Loaded.error().message().find("backup"), std::string::npos);
+    EXPECT_FALSE(Report.UsedBackup);
+  }
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+}
+
+#ifdef CA2A_CHAOS_ENABLED
+
+// The full crash-recovery story under injection: a save whose payload the
+// chaos layer silently corrupts (torn write / bit rot) still promoted the
+// previous good snapshot to .bak, so recovery resumes from there.
+TEST(CheckpointTest, ChaosCorruptedSaveIsAbsorbedByBackup) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData A = makeCheckpoint(T, E, Params, 1);
+  CheckpointData B = makeCheckpoint(T, E, Params, 1);
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_chaos_save";
+  std::string Path = Dir + "/run.ckpt";
+  std::string Bak = checkpointBackupPath(Path);
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+  ASSERT_TRUE(saveCheckpoint(Path, A)); // Clean save first.
+
+  {
+    ChaosSchedule Schedule;
+    Schedule.site(ChaosSite::CheckpointWrite).CorruptProbability = 1.0;
+    ScopedChaos Chaos(Schedule);
+    // The save itself "succeeds" — corruption is silent, like real bit rot.
+    ASSERT_TRUE(saveCheckpoint(Path, B));
+  }
+  auto Direct = loadCheckpoint(Path);
+  ASSERT_FALSE(Direct) << "corrupted save must not load";
+  // The flipped byte may land in the payload (Corrupt) or in the header
+  // line (VersionMismatch); both are deterministic, non-retryable codes.
+  EXPECT_TRUE(Direct.error().code() == ErrorCode::Corrupt ||
+              Direct.error().code() == ErrorCode::VersionMismatch)
+      << Direct.error().message();
+
+  CheckpointLoadReport Report;
+  auto Recovered = loadCheckpointWithRecovery(Path, &Report);
+  ASSERT_TRUE(Recovered) << Recovered.error().message();
+  EXPECT_TRUE(Report.UsedBackup);
+  expectSameSnapshot(Recovered->Snapshot, A.Snapshot);
+  std::remove(Path.c_str());
+  std::remove(Bak.c_str());
+}
+
+// Injected read failures are transient: the recovery loader retries them
+// with backoff (unlike corruption, which is deterministic and isn't).
+TEST(CheckpointTest, ChaosReadFailuresAreRetriedThenSurfaceTyped) {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  CheckpointData A = makeCheckpoint(T, E, Params, 1);
+
+  std::string Dir = ::testing::TempDir() + "/ca2a_ckpt_chaos_read";
+  std::string Path = Dir + "/run.ckpt";
+  std::remove(Path.c_str());
+  std::remove(checkpointBackupPath(Path).c_str());
+  ASSERT_TRUE(saveCheckpoint(Path, A));
+
+  RetryPolicy Fast;
+  Fast.MaxAttempts = 3;
+  Fast.BaseDelayMicros = 1;
+  Fast.MaxDelayMicros = 10;
+  {
+    ChaosSchedule Schedule;
+    Schedule.site(ChaosSite::CheckpointRead).FailProbability = 1.0;
+    ScopedChaos Chaos(Schedule);
+    CheckpointLoadReport Report;
+    auto Loaded = loadCheckpointWithRecovery(Path, &Report, Fast);
+    ASSERT_FALSE(Loaded) << "every read is injected to fail";
+    EXPECT_EQ(Loaded.error().code(), ErrorCode::Injected);
+    // Primary and backup each burn MaxAttempts-1 retries.
+    EXPECT_EQ(Report.Retries, 2u * (Fast.MaxAttempts - 1));
+  }
+  // Chaos gone: the same file loads cleanly.
+  auto Loaded = loadCheckpointWithRecovery(Path);
+  ASSERT_TRUE(Loaded) << Loaded.error().message();
+  expectSameSnapshot(Loaded->Snapshot, A.Snapshot);
+  std::remove(Path.c_str());
+}
+
+#endif // CA2A_CHAOS_ENABLED

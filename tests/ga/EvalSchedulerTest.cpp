@@ -12,9 +12,11 @@
 #include "agent/BestAgents.h"
 #include "ga/Evolution.h"
 #include "ga/Pipeline.h"
+#include "support/Chaos.h"
 #include "support/Rng.h"
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <vector>
 
 using namespace ca2a;
@@ -339,3 +341,170 @@ TEST(EvalSchedulerTest, PipelineChampionsUnaffectedByPruning) {
   EXPECT_EQ(Fast.Sched.Requests, Exact.Sched.Requests);
   EXPECT_EQ(Exact.Sched.FieldsPruned, 0u);
 }
+
+#ifdef CA2A_CHAOS_ENABLED
+
+// The supervised-execution contract: transient injected failures are
+// absorbed by per-item retries, and the evolved pools stay bit-identical
+// to a fault-free run — on both engines. (A retry burst that exhausts all
+// attempts would degrade the item, but Evolution's repair pass
+// re-evaluates any would-be survivor exactly, so even that cannot change
+// selection; with 5 attempts at p = 0.05 exhaustion is ~3e-7 per visit.)
+TEST(EvalSchedulerTest, ChampionsSurviveTransientChaosBitIdentical) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 2, 3, 555);
+  for (EngineKind Engine : {EngineKind::Batch, EngineKind::Reference}) {
+    EvolutionParams Params;
+    Params.Seed = 13;
+    Params.Fitness.Sim.MaxSteps = 60;
+    Params.Fitness.Engine = Engine;
+    Params.Scheduler.Retry.MaxAttempts = 5;
+    Params.Scheduler.Retry.BaseDelayMicros = 1;
+    Params.Scheduler.Retry.MaxDelayMicros = 10;
+
+    Evolution Clean(T, Fields, Params);
+    Clean.run(4);
+
+    uint64_t Retries = 0;
+    EvolutionSnapshot ChaosSnapshot;
+    {
+      ChaosSchedule Schedule;
+      Schedule.Seed = 99;
+      Schedule.site(ChaosSite::EngineReplica).FailProbability = 0.05;
+      Schedule.site(ChaosSite::SchedulerBatch).FailProbability = 0.2;
+      ScopedChaos Chaos(Schedule);
+      Evolution Faulty(T, Fields, Params);
+      Faulty.run(4);
+      Retries = Faulty.schedulerStats().TaskRetries;
+      ChaosSnapshot = Faulty.snapshot();
+    }
+
+    EXPECT_GT(Retries, 0u) << "chaos must actually have fired";
+    EvolutionSnapshot Reference = Clean.snapshot();
+    EXPECT_EQ(ChaosSnapshot.RngState, Reference.RngState)
+        << "fault handling leaked into the evolution RNG";
+    ASSERT_EQ(ChaosSnapshot.Pool.size(), Reference.Pool.size());
+    for (size_t I = 0; I != Reference.Pool.size(); ++I) {
+      ASSERT_EQ(ChaosSnapshot.Pool[I].G, Reference.Pool[I].G)
+          << "engine " << engineKindName(Engine) << " rank " << I;
+      ASSERT_DOUBLE_EQ(ChaosSnapshot.Pool[I].Fitness,
+                       Reference.Pool[I].Fitness);
+    }
+    EXPECT_TRUE(ChaosSnapshot.BestEver.G == Reference.BestEver.G);
+  }
+}
+
+// Under total failure every item exhausts its retries: the scheduler must
+// quarantine, flag the outcomes Degraded, and return — never hang, never
+// abort the process.
+TEST(EvalSchedulerTest, TotalFailureQuarantinesAndTerminates) {
+  Ctx C;
+  for (EngineKind Engine : {EngineKind::Batch, EngineKind::Reference}) {
+    C.FP.Engine = Engine;
+    SchedulerParams SP;
+    SP.Retry.MaxAttempts = 2;
+    SP.Retry.BaseDelayMicros = 1;
+    SP.Retry.MaxDelayMicros = 10;
+
+    ChaosSchedule Schedule;
+    Schedule.site(ChaosSite::EngineReplica).FailProbability = 1.0;
+    ScopedChaos Chaos(Schedule);
+
+    EvalScheduler S(C.T, C.Fields, C.FP, SP);
+    Genome A = randomGenome(21), B = randomGenome(22);
+    std::vector<const Genome *> Request{&A, &B};
+    std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, {});
+    ASSERT_EQ(Out.size(), 2u);
+    for (const EvalOutcome &O : Out) {
+      EXPECT_TRUE(O.Degraded) << engineKindName(Engine);
+      EXPECT_FALSE(O.Pruned);
+      EXPECT_FALSE(O.CacheHit);
+    }
+    EXPECT_EQ(S.stats().GenomesDegraded, 2u);
+    EXPECT_EQ(S.stats().ItemsQuarantined, 2 * C.Fields.size());
+    EXPECT_GT(S.stats().TaskRetries, 0u);
+    // Degraded bounds are never memoized: once chaos lifts, the next
+    // request simulates exactly. (Verified below after uninstall.)
+  }
+}
+
+// A degraded bound must never be served from the cache after the fault
+// regime ends.
+TEST(EvalSchedulerTest, DegradedResultsAreNeverCached) {
+  Ctx C;
+  SchedulerParams SP;
+  SP.Retry.MaxAttempts = 2;
+  SP.Retry.BaseDelayMicros = 1;
+  EvalScheduler S(C.T, C.Fields, C.FP, SP);
+  Genome G = randomGenome(23);
+  std::vector<const Genome *> Request{&G};
+  {
+    ChaosSchedule Schedule;
+    Schedule.site(ChaosSite::EngineReplica).FailProbability = 1.0;
+    ScopedChaos Chaos(Schedule);
+    ASSERT_TRUE(S.evaluateGeneration(Request, {})[0].Degraded);
+  }
+  std::vector<EvalOutcome> Exact = S.evaluateGeneration(Request, {});
+  EXPECT_FALSE(Exact[0].Degraded);
+  EXPECT_FALSE(Exact[0].CacheHit);
+  expectSameResult(Exact[0].Result,
+                   evaluateFitness(G, C.T, C.Fields, C.FP));
+}
+
+// Evolution under sustained 100% failure still terminates: degraded
+// members are marked for the repair pass, the repair's re-evaluation
+// degrades again, and the pessimistic bound is accepted rather than
+// looping forever.
+TEST(EvalSchedulerTest, EvolutionTerminatesUnderSustainedTotalFailure) {
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields = standardConfigurationSet(T, 2, 2, 555);
+  EvolutionParams Params;
+  Params.Seed = 31;
+  Params.Fitness.Sim.MaxSteps = 60;
+  Params.Fitness.Engine = EngineKind::Batch;
+  Params.Scheduler.Retry.MaxAttempts = 2;
+  Params.Scheduler.Retry.BaseDelayMicros = 1;
+  Params.Scheduler.Retry.MaxDelayMicros = 10;
+
+  ChaosSchedule Schedule;
+  Schedule.site(ChaosSite::EngineReplica).FailProbability = 1.0;
+  ScopedChaos Chaos(Schedule);
+  Evolution E(T, Fields, Params);
+  E.run(2);
+  EXPECT_EQ(E.generation(), 2);
+  EXPECT_GT(E.schedulerStats().GenomesDegraded, 0u);
+  EXPECT_GT(E.schedulerStats().ItemsQuarantined, 0u);
+}
+
+// The generation watchdog: injected per-replica delays starve the
+// heartbeat, the monitor reports stalls, and the run still completes.
+TEST(EvalSchedulerTest, WatchdogReportsStallsUnderInjectedDelays) {
+  Ctx C(5, 2);
+  C.FP.Engine = EngineKind::Reference;
+  SchedulerParams SP;
+  SP.GenerationDeadlineSeconds = 0.01;
+  std::atomic<int> StallReports{0};
+  SP.OnStall = [&](double SilentSeconds) {
+    ++StallReports;
+    EXPECT_GT(SilentSeconds, 0.0);
+  };
+
+  ChaosSchedule Schedule;
+  Schedule.site(ChaosSite::EngineReplica).DelayProbability = 1.0;
+  Schedule.site(ChaosSite::EngineReplica).DelayMicros = 80000;
+  ScopedChaos Chaos(Schedule);
+
+  EvalScheduler S(C.T, C.Fields, C.FP, SP);
+  Genome G = randomGenome(29);
+  std::vector<const Genome *> Request{&G};
+  std::vector<EvalOutcome> Out = S.evaluateGeneration(Request, {});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_FALSE(Out[0].Degraded) << "delays are not failures";
+  EXPECT_GE(S.stats().WatchdogStalls, 1u);
+  EXPECT_GE(StallReports.load(), 1);
+  EXPECT_GT(chaosStats().Delays, 0u);
+  expectSameResult(Out[0].Result,
+                   evaluateFitness(G, C.T, C.Fields, C.FP));
+}
+
+#endif // CA2A_CHAOS_ENABLED

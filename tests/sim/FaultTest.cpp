@@ -12,10 +12,12 @@
 
 #include "agent/BestAgents.h"
 #include "config/InitialConfiguration.h"
+#include "ga/Fitness.h"
 #include "sim/World.h"
 
 #include "gtest/gtest.h"
 
+#include <cmath>
 #include <vector>
 
 using namespace ca2a;
@@ -239,6 +241,108 @@ TEST(FaultTest, DegradationFieldsArePopulatedWithoutFaults) {
   EXPECT_EQ(R.SurvivingAgents, R.NumAgents);
   EXPECT_EQ(R.InformedFraction, 1.0);
   EXPECT_EQ(R.Faults.total(), 0);
+}
+
+TEST(FaultTest, CertainDeathOnStepZeroLeavesConsistentWorld) {
+  // The harshest edge: every agent dies on the very first step, before a
+  // single action ever executed. The world must stay internally
+  // consistent — cells freed, communication frozen, run terminated — and
+  // nothing may assume "at least one step of normal operation happened".
+  Torus T(GridKind::Triangulate, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 100;
+  O.Faults.DeathProbability = 1.0;
+  W.reset(bestTriangulateAgent(), cornerPlacements(), O);
+  W.step();
+  EXPECT_EQ(W.faultStats().Deaths, 4) << "all deaths must land on step 0";
+  for (const Placement &P : cornerPlacements())
+    EXPECT_EQ(W.agentAt(T.indexOf(P.Pos)), -1) << "corpse kept its cell";
+  // Continuing to step a fully extinct world must be a safe no-op.
+  for (int Step = 0; Step != 5; ++Step)
+    EXPECT_EQ(W.step(), World::Status::Running);
+  EXPECT_EQ(W.faultStats().Deaths, 4);
+}
+
+TEST(FaultTest, ExtinctionMetricsAreCleanAndFinite) {
+  // Total extinction is the degenerate denominator case: no survivors, no
+  // solved runs. Every derived metric must come back as a clean zero (not
+  // NaN or infinity from a 0/0), and the fitness layer must price the run
+  // at its failure weight without arithmetic surprises.
+  Torus T(GridKind::Square, 16);
+  World W(T);
+  SimOptions O;
+  O.MaxSteps = 200;
+  O.Faults.DeathProbability = 1.0;
+  W.reset(bestSquareAgent(), cornerPlacements(), O);
+  SimResult R = W.run();
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.SurvivingAgents, 0);
+  EXPECT_EQ(R.InformedAgents, 0);
+  EXPECT_EQ(R.InformedFraction, 0.0);
+  EXPECT_TRUE(std::isfinite(R.InformedFraction));
+  const double Weight = 385.0;
+  double F = fitnessOfRun(R, O.MaxSteps, Weight);
+  EXPECT_TRUE(std::isfinite(F));
+  EXPECT_GE(F, Weight) << "an extinct run must cost at least one weight";
+  FitnessResult Acc = accumulateFitness({R, R}, O.MaxSteps, Weight);
+  EXPECT_TRUE(std::isfinite(Acc.Fitness));
+  EXPECT_EQ(Acc.SolvedFields, 0);
+  EXPECT_EQ(Acc.MeanCommTime, 0.0)
+      << "mean over zero solved fields must be 0, not 0/0";
+}
+
+TEST(FaultTest, FaultStreamIsIndependentOfAgentPlacement) {
+  // The link-drop process draws per (agent, direction) pair regardless of
+  // where the agents stand, so two runs with the same fault seed and agent
+  // count but completely different placements must fire the identical
+  // number of drops per step. This pins the promised independence of the
+  // fault stream from the placement RNG: reshuffling fields (a different
+  // placement seed) can never perturb which faults fire.
+  Torus T(GridKind::Triangulate, 16);
+  Rng RngA(101), RngB(909);
+  InitialConfiguration FieldA = randomConfiguration(T, 6, RngA);
+  InitialConfiguration FieldB = randomConfiguration(T, 6, RngB);
+  bool SamePlacements = FieldA.Placements.size() == FieldB.Placements.size();
+  for (size_t I = 0; SamePlacements && I != FieldA.Placements.size(); ++I)
+    SamePlacements = FieldA.Placements[I].Pos == FieldB.Placements[I].Pos &&
+                     FieldA.Placements[I].Direction ==
+                         FieldB.Placements[I].Direction;
+  ASSERT_FALSE(SamePlacements) << "field seeds 101/909 collided";
+
+  SimOptions O;
+  O.MaxSteps = 40;
+  O.Faults.LinkDropProbability = 0.37;
+  O.Faults.Seed = 555;
+  World WA(T), WB(T);
+  WA.reset(bestTriangulateAgent(), FieldA.Placements, O);
+  WB.reset(bestTriangulateAgent(), FieldB.Placements, O);
+  std::vector<int64_t> DropsA, DropsB;
+  for (int Step = 0; Step != 25; ++Step) {
+    WA.step();
+    WB.step();
+    DropsA.push_back(WA.faultStats().DroppedLinks);
+    DropsB.push_back(WB.faultStats().DroppedLinks);
+    ASSERT_EQ(DropsA.back(), DropsB.back())
+        << "fault stream diverged at step " << Step
+        << " despite identical seed and agent count";
+  }
+  EXPECT_GT(WA.faultStats().DroppedLinks, 0);
+
+  // And the converse: a different fault seed on the *same* placements
+  // yields a different per-step drop trail (the stream really is seeded;
+  // the full 25-step trail cannot collide by chance the way a single
+  // total could).
+  SimOptions O2 = O;
+  O2.Faults.Seed = 556;
+  World WC(T);
+  WC.reset(bestTriangulateAgent(), FieldA.Placements, O2);
+  std::vector<int64_t> DropsC;
+  for (int Step = 0; Step != 25; ++Step) {
+    WC.step();
+    DropsC.push_back(WC.faultStats().DroppedLinks);
+  }
+  EXPECT_NE(DropsC, DropsA);
 }
 
 TEST(FaultTest, DescribeFunctionsMentionActiveProcesses) {

@@ -1,0 +1,195 @@
+//===- tests/support/ChaosTest.cpp - Chaos injection unit tests -----------===//
+
+#include "support/Chaos.h"
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <string>
+
+using namespace ca2a;
+
+TEST(ChaosSpecTest, EmptySpecIsInert) {
+  auto Schedule = parseChaosSpec("");
+  ASSERT_TRUE(Schedule);
+  EXPECT_FALSE(Schedule->any());
+}
+
+TEST(ChaosSpecTest, ParsesSeedAndAllSitesAndEvents) {
+  auto Schedule = parseChaosSpec(
+      "seed=7,pool.task.fail=0.25,engine.replica.fail=0.5,"
+      "sched.batch.fail=1,ckpt.write.corrupt=0.125,"
+      "ckpt.read.fail=0.75,pool.task.delay=0.5:2000");
+  ASSERT_TRUE(Schedule) << Schedule.error().message();
+  EXPECT_EQ(Schedule->Seed, 7u);
+  EXPECT_DOUBLE_EQ(Schedule->site(ChaosSite::PoolTask).FailProbability, 0.25);
+  EXPECT_DOUBLE_EQ(Schedule->site(ChaosSite::PoolTask).DelayProbability, 0.5);
+  EXPECT_EQ(Schedule->site(ChaosSite::PoolTask).DelayMicros, 2000);
+  EXPECT_DOUBLE_EQ(
+      Schedule->site(ChaosSite::EngineReplica).FailProbability, 0.5);
+  EXPECT_DOUBLE_EQ(
+      Schedule->site(ChaosSite::SchedulerBatch).FailProbability, 1.0);
+  EXPECT_DOUBLE_EQ(
+      Schedule->site(ChaosSite::CheckpointWrite).CorruptProbability, 0.125);
+  EXPECT_DOUBLE_EQ(
+      Schedule->site(ChaosSite::CheckpointRead).FailProbability, 0.75);
+  EXPECT_TRUE(Schedule->any());
+}
+
+TEST(ChaosSpecTest, SemicolonsWorkAsSeparators) {
+  auto Schedule = parseChaosSpec("seed=3;engine.replica.fail=0.1");
+  ASSERT_TRUE(Schedule);
+  EXPECT_EQ(Schedule->Seed, 3u);
+}
+
+TEST(ChaosSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parseChaosSpec("nonsense"));
+  EXPECT_FALSE(parseChaosSpec("bogus.site.fail=0.5"));
+  EXPECT_FALSE(parseChaosSpec("pool.task.explode=0.5"));
+  EXPECT_FALSE(parseChaosSpec("pool.task.fail=1.5"));  // p > 1
+  EXPECT_FALSE(parseChaosSpec("pool.task.fail=-0.1")); // p < 0
+  EXPECT_FALSE(parseChaosSpec("pool.task.fail=abc"));
+  EXPECT_FALSE(parseChaosSpec("pool.task.delay=0.5")); // missing micros
+  EXPECT_FALSE(parseChaosSpec("seed=notanumber"));
+}
+
+TEST(ChaosSpecTest, DescribeMentionsActiveSites) {
+  auto Schedule = parseChaosSpec("engine.replica.fail=0.5");
+  ASSERT_TRUE(Schedule);
+  std::string Text = describeChaosSchedule(*Schedule);
+  EXPECT_NE(Text.find("engine.replica"), std::string::npos) << Text;
+  ChaosSchedule Inert;
+  EXPECT_NE(describeChaosSchedule(Inert).find("off"), std::string::npos);
+}
+
+TEST(ChaosCorruptTest, FlipsExactlyOneByte) {
+  std::string Original = "the quick brown fox jumps over the lazy dog";
+  for (uint64_t Draw : {1ull, 42ull, 0xdeadbeefull, ~0ull}) {
+    std::string Corrupted = Original;
+    chaosCorruptPayload(Corrupted, Draw);
+    ASSERT_EQ(Corrupted.size(), Original.size());
+    int Differences = 0;
+    for (size_t I = 0; I != Original.size(); ++I)
+      Differences += Corrupted[I] != Original[I];
+    EXPECT_EQ(Differences, 1) << "draw " << Draw;
+  }
+}
+
+TEST(ChaosCorruptTest, EmptyPayloadIsLeftAlone) {
+  std::string Empty;
+  chaosCorruptPayload(Empty, 42);
+  EXPECT_TRUE(Empty.empty());
+}
+
+#ifdef CA2A_CHAOS_ENABLED
+
+TEST(ChaosInjectTest, NoScheduleMeansNoInjection) {
+  EXPECT_FALSE(chaosActive());
+  EXPECT_NO_THROW(chaosPoint(ChaosSite::PoolTask));
+  EXPECT_EQ(chaosCorruptDraw(ChaosSite::CheckpointWrite), 0u);
+}
+
+TEST(ChaosInjectTest, CertainFailureThrowsChaosErrorWithSite) {
+  ChaosSchedule Schedule;
+  Schedule.site(ChaosSite::PoolTask).FailProbability = 1.0;
+  ScopedChaos Chaos(Schedule);
+  EXPECT_TRUE(chaosActive());
+  try {
+    chaosPoint(ChaosSite::PoolTask);
+    FAIL() << "certain failure did not throw";
+  } catch (const ChaosError &E) {
+    EXPECT_EQ(E.site(), ChaosSite::PoolTask);
+  }
+  // Other sites are untouched by this schedule.
+  EXPECT_NO_THROW(chaosPoint(ChaosSite::EngineReplica));
+  EXPECT_GE(chaosStats().Failures, 1u);
+}
+
+TEST(ChaosInjectTest, ScopedChaosUninstallsOnExit) {
+  {
+    ChaosSchedule Schedule;
+    Schedule.site(ChaosSite::PoolTask).FailProbability = 1.0;
+    ScopedChaos Chaos(Schedule);
+    EXPECT_TRUE(chaosActive());
+  }
+  EXPECT_FALSE(chaosActive());
+  EXPECT_NO_THROW(chaosPoint(ChaosSite::PoolTask));
+}
+
+TEST(ChaosInjectTest, DrawSequenceIsDeterministicPerSeed) {
+  // Same seed + probability => the same accept/reject sequence of 200
+  // single-threaded visits; a different seed gives a different sequence.
+  auto FailurePattern = [](uint64_t Seed) {
+    ChaosSchedule Schedule;
+    Schedule.Seed = Seed;
+    Schedule.site(ChaosSite::SchedulerBatch).FailProbability = 0.3;
+    ScopedChaos Chaos(Schedule);
+    std::string Pattern;
+    for (int I = 0; I != 200; ++I) {
+      try {
+        chaosPoint(ChaosSite::SchedulerBatch);
+        Pattern += '.';
+      } catch (const ChaosError &) {
+        Pattern += 'X';
+      }
+    }
+    return Pattern;
+  };
+  std::string A = FailurePattern(11), B = FailurePattern(11);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, FailurePattern(12));
+  EXPECT_NE(A.find('X'), std::string::npos);
+  EXPECT_NE(A.find('.'), std::string::npos);
+}
+
+TEST(ChaosInjectTest, CorruptDrawHonoursProbabilityExtremes) {
+  ChaosSchedule Schedule;
+  Schedule.site(ChaosSite::CheckpointWrite).CorruptProbability = 1.0;
+  {
+    ScopedChaos Chaos(Schedule);
+    EXPECT_NE(chaosCorruptDraw(ChaosSite::CheckpointWrite), 0u);
+    EXPECT_EQ(chaosCorruptDraw(ChaosSite::CheckpointRead), 0u);
+    EXPECT_GE(chaosStats().Corruptions, 1u);
+  }
+  Schedule.site(ChaosSite::CheckpointWrite).CorruptProbability = 0.0;
+  ScopedChaos Chaos(Schedule);
+  EXPECT_EQ(chaosCorruptDraw(ChaosSite::CheckpointWrite), 0u);
+}
+
+// The pool.task site must land inside the pool's existing exception
+// capture net: injected failures surface through wait() exactly like a
+// real throwing task, and the pool stays fully usable afterwards.
+TEST(ChaosInjectTest, ThreadPoolSurvivesInjectedTaskFailures) {
+  ChaosSchedule Schedule;
+  Schedule.site(ChaosSite::PoolTask).FailProbability = 0.5;
+  uint64_t Failures = 0;
+  {
+    ScopedChaos Chaos(Schedule);
+    ThreadPool Pool(4);
+    std::atomic<int> Completed{0};
+    for (int Wave = 0; Wave != 20; ++Wave) {
+      for (int I = 0; I != 50; ++I)
+        Pool.submit([&Completed] { ++Completed; });
+      try {
+        Pool.wait();
+      } catch (const ChaosError &E) {
+        EXPECT_EQ(E.site(), ChaosSite::PoolTask);
+      }
+    }
+    Failures = chaosStats().Failures;
+    // Half the task visits fail, so a healthy slice of both outcomes.
+    EXPECT_GT(Failures, 100u);
+    EXPECT_GT(Completed.load(), 100);
+  }
+  // Chaos gone: the same pool machinery runs a clean wave.
+  ThreadPool Pool(4);
+  std::atomic<int> Clean{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Clean] { ++Clean; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Clean.load(), 100);
+}
+
+#endif // CA2A_CHAOS_ENABLED

@@ -1,0 +1,143 @@
+//===- tests/support/SupervisorTest.cpp - Retry/watchdog unit tests -------===//
+
+#include "support/Supervisor.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace ca2a;
+
+TEST(BackoffTest, DoublesFromBaseAndCaps) {
+  RetryPolicy Policy;
+  Policy.BaseDelayMicros = 100;
+  Policy.MaxDelayMicros = 1000;
+  EXPECT_EQ(backoffDelayMicros(Policy, 0), 100);
+  EXPECT_EQ(backoffDelayMicros(Policy, 1), 200);
+  EXPECT_EQ(backoffDelayMicros(Policy, 2), 400);
+  EXPECT_EQ(backoffDelayMicros(Policy, 3), 800);
+  EXPECT_EQ(backoffDelayMicros(Policy, 4), 1000); // Capped.
+  EXPECT_EQ(backoffDelayMicros(Policy, 40), 1000);
+  // A doubling count that would overflow 64 bits still just saturates.
+  EXPECT_EQ(backoffDelayMicros(Policy, 200), 1000);
+}
+
+TEST(RunWithRetryTest, FirstAttemptSuccessCallsBodyOnce) {
+  RetryPolicy Policy;
+  int Calls = 0;
+  int Result = runWithRetry(Policy, [&] {
+    ++Calls;
+    return 42;
+  });
+  EXPECT_EQ(Result, 42);
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(RunWithRetryTest, TransientFailureIsRetriedUntilSuccess) {
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 5;
+  Policy.BaseDelayMicros = 1; // Keep the test fast.
+  int Calls = 0;
+  std::vector<int> RetryIndices;
+  int Result = runWithRetry(
+      Policy,
+      [&] {
+        if (++Calls < 3)
+          throw std::runtime_error("transient");
+        return Calls;
+      },
+      [&](int Retry) { RetryIndices.push_back(Retry); });
+  EXPECT_EQ(Result, 3);
+  EXPECT_EQ(Calls, 3);
+  ASSERT_EQ(RetryIndices.size(), 2u);
+  EXPECT_EQ(RetryIndices[0], 0);
+  EXPECT_EQ(RetryIndices[1], 1);
+}
+
+TEST(RunWithRetryTest, ExhaustionRethrowsTheFinalException) {
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 3;
+  Policy.BaseDelayMicros = 1;
+  int Calls = 0;
+  try {
+    runWithRetry(Policy, [&]() -> int {
+      throw std::runtime_error("attempt " + std::to_string(++Calls));
+    });
+    FAIL() << "exhaustion must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "attempt 3");
+  }
+  EXPECT_EQ(Calls, 3);
+}
+
+TEST(RunWithRetryTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 1;
+  int Calls = 0, Retries = 0;
+  EXPECT_THROW(runWithRetry(
+                   Policy,
+                   [&]() -> int {
+                     ++Calls;
+                     throw std::runtime_error("no second chance");
+                   },
+                   [&](int) { ++Retries; }),
+               std::runtime_error);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(Retries, 0);
+}
+
+TEST(WatchdogTest, ZeroDeadlineIsInert) {
+  std::atomic<int> StallCalls{0};
+  Watchdog Dog(0.0, [&](double) { ++StallCalls; });
+  Dog.heartbeat();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(Dog.stalls(), 0u);
+  EXPECT_EQ(StallCalls.load(), 0);
+}
+
+TEST(WatchdogTest, SilenceRaisesStallsAndReportsGrowingSilentTime) {
+  std::atomic<int> StallCalls{0};
+  double LastSilent = 0.0;
+  std::mutex SilentMutex;
+  {
+    Watchdog Dog(0.02, [&](double SilentSeconds) {
+      std::lock_guard<std::mutex> Lock(SilentMutex);
+      ++StallCalls;
+      EXPECT_GE(SilentSeconds, LastSilent);
+      LastSilent = SilentSeconds;
+    });
+    // No heartbeats at all: several deadline intervals elapse in silence.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    EXPECT_GE(Dog.stalls(), 2u);
+  }
+  EXPECT_GE(StallCalls.load(), 2);
+  std::lock_guard<std::mutex> Lock(SilentMutex);
+  EXPECT_GT(LastSilent, 0.0);
+}
+
+TEST(WatchdogTest, HeartbeatsSuppressStallDetection) {
+  Watchdog Dog(0.2, [](double) {});
+  // Beat far more often than the 200 ms deadline for ~100 ms: the monitor
+  // must never see a fully silent interval.
+  for (int I = 0; I != 10; ++I) {
+    Dog.heartbeat();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(Dog.stalls(), 0u);
+}
+
+TEST(WatchdogTest, DestructionJoinsPromptlyEvenMidInterval) {
+  auto Start = std::chrono::steady_clock::now();
+  {
+    Watchdog Dog(30.0, [](double) {}); // Long deadline, destroyed early.
+    Dog.heartbeat();
+  }
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  // Destruction must interrupt the 30 s wait, not ride it out.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            5);
+}
