@@ -83,14 +83,15 @@ void printJsonMeasurement(std::FILE *Out, const char *Key,
 void printJsonHotpath(std::FILE *Out, const char *Key, const Measurement &M) {
   std::fprintf(
       Out,
-      "  \"%s\": {\"workers\": %zu, \"seconds\": %.6f, "
+      "  \"%s\": {\"workers\": %zu, \"backend\": \"%s\", "
+      "\"seconds\": %.6f, "
       "\"replicas_per_sec\": %.1f, \"steps_per_sec\": %.1f, "
       "\"replicas_simulated\": %llu, \"allocations\": %llu, "
       "\"allocations_per_replica\": %.4f, \"steady_allocations\": %llu, "
       "\"compile_hits\": %llu, \"compile_misses\": %llu, "
       "\"compile_hit_rate\": %.6f, \"worker_utilization\": %.4f}",
-      Key, M.Stats.WorkersUsed, M.Seconds, M.replicasPerSec(),
-      M.stepsPerSec(),
+      Key, M.Stats.WorkersUsed, simdBackendName(M.Stats.BackendUsed),
+      M.Seconds, M.replicasPerSec(), M.stepsPerSec(),
       static_cast<unsigned long long>(M.Stats.ReplicasSimulated),
       static_cast<unsigned long long>(M.Stats.Allocations),
       M.allocationsPerReplica(),
@@ -111,6 +112,7 @@ int main(int Argc, char **Argv) {
   int64_t Seed = 20130101;
   int64_t Workers = 0; // 0: hardware concurrency.
   bool Quick = false;
+  std::string BackendName = "auto";
   std::string JsonPath = "BENCH_engine.json";
   std::string HotpathJsonPath = "BENCH_hotpath.json";
   CommandLine CL("bench_batch",
@@ -123,6 +125,9 @@ int main(int Argc, char **Argv) {
   CL.addInt("seed", "field-generation seed", &Seed);
   CL.addInt("workers", "batch worker threads (0: hardware)", &Workers);
   CL.addBool("quick", "small CI smoke run (600 replicas)", &Quick);
+  CL.addString("backend", "SIMD backend for the headline batch rows: auto | "
+               "scalar | sliced64 | avx2 (every available backend is also "
+               "measured separately)", &BackendName);
   CL.addString("json", "machine-readable output file", &JsonPath);
   CL.addString("hotpath-json", "hot-path instrumentation output file",
                &HotpathJsonPath);
@@ -139,6 +144,12 @@ int main(int Argc, char **Argv) {
   if (!parseGridKind(GridName, Kind)) {
     std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
                  GridName.c_str());
+    return 1;
+  }
+  SimdBackend Backend = SimdBackend::Auto;
+  if (!parseSimdBackend(BackendName, Backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (auto | scalar | "
+                 "sliced64 | avx2)\n", BackendName.c_str());
     return 1;
   }
   if (Side < 2 || Side > 1024 || NumReplicas <= 0 || MaxSteps < 0 ||
@@ -169,12 +180,15 @@ int main(int Argc, char **Argv) {
             .Placements;
 
   std::printf("== P2: batch engine throughput — %s-grid %lldx%lld, k=%lld, "
-              "%lld replicas, cutoff %lld ==\n\n",
+              "%lld replicas, cutoff %lld ==\n",
               gridKindName(Kind), static_cast<long long>(Side),
               static_cast<long long>(Side),
               static_cast<long long>(NumAgents),
               static_cast<long long>(NumReplicas),
               static_cast<long long>(MaxSteps));
+  std::printf("backends: %s; headline rows use '%s' (resolved: %s)\n\n",
+              simdBackendSummary().c_str(), BackendName.c_str(),
+              simdBackendName(resolveSimdBackend(Backend)));
 
   // Reference engine: one World, sequential reset+run per replica (the
   // pattern every current caller uses).
@@ -201,10 +215,12 @@ int main(int Argc, char **Argv) {
     Replicas[I].Placements = &Fields[I];
     Replicas[I].Options = &O;
   }
-  auto MeasureBatch = [&](size_t NumWorkers, std::vector<SimResult> &Out) {
+  auto MeasureBatch = [&](size_t NumWorkers, SimdBackend Kernel,
+                          std::vector<SimResult> &Out) {
     Measurement M;
     BatchRunOptions RunOptions;
     RunOptions.NumWorkers = NumWorkers;
+    RunOptions.Backend = Kernel;
     RunOptions.Stats = &M.Stats;
     auto Start = std::chrono::steady_clock::now();
     Out = Engine.run(Replicas, RunOptions);
@@ -215,24 +231,40 @@ int main(int Argc, char **Argv) {
     return M;
   };
   std::vector<SimResult> Batch1, BatchN;
-  Measurement Batch1M = MeasureBatch(1, Batch1);
-  Measurement BatchNM = MeasureBatch(static_cast<size_t>(Workers), BatchN);
+  Measurement Batch1M = MeasureBatch(1, Backend, Batch1);
+  Measurement BatchNM =
+      MeasureBatch(static_cast<size_t>(Workers), Backend, BatchN);
+
+  // One serial row per concretely available backend: the dispatch layer
+  // promises bit-identical results, so the only thing that may differ
+  // between these rows is throughput — and that difference is exactly
+  // what the committed baseline tracks.
+  std::vector<SimdBackend> PerBackend = availableSimdBackends();
+  std::vector<Measurement> PerBackendM(PerBackend.size());
+  std::vector<std::vector<SimResult>> PerBackendOut(PerBackend.size());
+  for (size_t B = 0; B != PerBackend.size(); ++B)
+    PerBackendM[B] = MeasureBatch(1, PerBackend[B], PerBackendOut[B]);
 
   // Bit-identity gate: timing of a wrong engine is worthless.
   size_t Mismatches = 0;
-  for (size_t I = 0; I != Fields.size(); ++I) {
-    if (Batch1[I] != Reference[I] || BatchN[I] != Reference[I]) {
-      if (++Mismatches <= 5)
-        std::fprintf(stderr,
-                     "MISMATCH replica %zu: reference {success %d, t %d, "
-                     "informed %d} batch1 {%d, %d, %d} batchN {%d, %d, %d}\n",
-                     I, Reference[I].Success, Reference[I].TComm,
-                     Reference[I].InformedAgents, Batch1[I].Success,
-                     Batch1[I].TComm, Batch1[I].InformedAgents,
-                     BatchN[I].Success, BatchN[I].TComm,
-                     BatchN[I].InformedAgents);
+  auto CheckAgainstReference = [&](const std::vector<SimResult> &Out,
+                                   const char *Label) {
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      if (Out[I] != Reference[I]) {
+        if (++Mismatches <= 5)
+          std::fprintf(stderr,
+                       "MISMATCH replica %zu (%s): reference {success %d, "
+                       "t %d, informed %d} batch {%d, %d, %d}\n",
+                       I, Label, Reference[I].Success, Reference[I].TComm,
+                       Reference[I].InformedAgents, Out[I].Success,
+                       Out[I].TComm, Out[I].InformedAgents);
+      }
     }
-  }
+  };
+  CheckAgainstReference(Batch1, "serial");
+  CheckAgainstReference(BatchN, "parallel");
+  for (size_t B = 0; B != PerBackend.size(); ++B)
+    CheckAgainstReference(PerBackendOut[B], simdBackendName(PerBackend[B]));
 
   double Speedup1 = RefM.Seconds > 0.0 && Batch1M.Seconds > 0.0
                         ? RefM.Seconds / Batch1M.Seconds
@@ -251,6 +283,16 @@ int main(int Argc, char **Argv) {
               "(%.3fs)  %.2fx\n",
               BatchNM.Stats.WorkersUsed, BatchNM.replicasPerSec(),
               BatchNM.stepsPerSec(), BatchNM.Seconds, SpeedupN);
+  for (size_t B = 0; B != PerBackend.size(); ++B) {
+    const Measurement &M = PerBackendM[B];
+    std::printf("backend %-8s: %8.1f replicas/s  %10.0f steps/s  (%.3fs)  "
+                "%.2fx\n",
+                simdBackendName(PerBackend[B]), M.replicasPerSec(),
+                M.stepsPerSec(), M.Seconds,
+                RefM.Seconds > 0.0 && M.Seconds > 0.0
+                    ? RefM.Seconds / M.Seconds
+                    : 0.0);
+  }
   std::printf("bit-identical to reference: %s\n",
               Mismatches == 0 ? "yes" : "NO");
   std::printf("hot path: %.4f allocs/replica (%llu steady), compile hit "
@@ -276,6 +318,9 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(Seed));
     std::fprintf(Out, "  \"hardware_concurrency\": %u,\n",
                  HardwareConcurrency);
+    std::fprintf(Out, "  \"backend\": \"%s\",\n  \"backend_used\": \"%s\",\n",
+                 BackendName.c_str(),
+                 simdBackendName(Batch1M.Stats.BackendUsed));
     printJsonMeasurement(Out, "reference", RefM, 1);
     std::fprintf(Out, ",\n");
     printJsonMeasurement(Out, "batch_serial", Batch1M,
@@ -312,12 +357,21 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(Seed));
     std::fprintf(Out, "  \"hardware_concurrency\": %u,\n",
                  HardwareConcurrency);
+    std::fprintf(Out, "  \"backend\": \"%s\",\n  \"backend_used\": \"%s\",\n",
+                 BackendName.c_str(),
+                 simdBackendName(Batch1M.Stats.BackendUsed));
     std::fprintf(Out, "  \"reference_replicas_per_sec\": %.1f,\n",
                  RefM.replicasPerSec());
     printJsonHotpath(Out, "batch_serial", Batch1M);
     std::fprintf(Out, ",\n");
     printJsonHotpath(Out, "batch_parallel", BatchNM);
     std::fprintf(Out, ",\n");
+    for (size_t B = 0; B != PerBackend.size(); ++B) {
+      std::string Key =
+          std::string("batch_serial_") + simdBackendName(PerBackend[B]);
+      printJsonHotpath(Out, Key.c_str(), PerBackendM[B]);
+      std::fprintf(Out, ",\n");
+    }
     std::fprintf(Out, "  \"speedup_serial\": %.3f,\n", Speedup1);
     std::fprintf(Out, "  \"speedup_parallel\": %.3f,\n", SpeedupN);
     std::fprintf(Out, "  \"bit_identical\": %s\n",

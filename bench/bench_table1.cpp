@@ -41,6 +41,7 @@ int main(int Argc, char **Argv) {
   int64_t Seed = 20130101;
   std::string CsvPath;
   std::string EngineName = "reference";
+  std::string BackendName = "auto";
   CommandLine CL("bench_table1",
                  "Reproduces Table 1 / Fig. 5 (t_comm vs N_agents, S vs T)");
   CL.addInt("fields", "random fields per density (paper: 1000)",
@@ -49,6 +50,8 @@ int main(int Argc, char **Argv) {
   CL.addInt("seed", "field-generation seed", &Seed);
   CL.addString("csv", "also write results to this CSV file", &CsvPath);
   CL.addString("engine", "simulation engine: reference | batch", &EngineName);
+  CL.addString("backend", "batch-engine SIMD backend: auto | scalar | "
+               "sliced64 | avx2", &BackendName);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -64,6 +67,12 @@ int main(int Argc, char **Argv) {
                  EngineName.c_str());
     return 1;
   }
+  SimdBackend Backend = SimdBackend::Auto;
+  if (!parseSimdBackend(BackendName, Backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (auto | scalar | "
+                 "sliced64 | avx2)\n", BackendName.c_str());
+    return 1;
+  }
 
   SweepParams Params;
   Params.SideLength = 16;
@@ -72,6 +81,7 @@ int main(int Argc, char **Argv) {
   Params.FieldSeed = static_cast<uint64_t>(Seed);
   Params.Fitness.Sim.MaxSteps = static_cast<int>(MaxSteps);
   Params.Fitness.Engine = Engine;
+  Params.Fitness.Backend = Backend;
 
   std::printf("== E1: Table 1 / Fig. 5 — mean t_comm on 16x16, %lld random "
               "fields + manual designs per density ==\n\n",

@@ -45,6 +45,7 @@ int main(int Argc, char **Argv) {
   std::string CheckpointDir;
   bool Resume = false;
   std::string EngineName = "batch";
+  std::string BackendName = "auto";
   bool Scheduler = true;
   bool ExactFitness = false;
   std::string ChaosSpec;
@@ -68,6 +69,9 @@ int main(int Argc, char **Argv) {
   CL.addBool("resume", "continue from the checkpoint if one exists", &Resume);
   CL.addString("engine", "simulation engine: batch (default) or reference "
                "(bit-identical results)", &EngineName);
+  CL.addString("backend", "batch-engine SIMD backend: auto (default) | "
+               "scalar | sliced64 | avx2 (bit-identical results)",
+               &BackendName);
   CL.addBool("scheduler", "generation-wide evaluation scheduler "
              "(memoization, batching, early abort)", &Scheduler);
   CL.addBool("exact-fitness", "disable bound-based early abort (every "
@@ -106,12 +110,19 @@ int main(int Argc, char **Argv) {
                  "batch)\n", EngineName.c_str());
     return 1;
   }
+  SimdBackend Backend;
+  if (!parseSimdBackend(BackendName, Backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (use auto, scalar, "
+                 "sliced64 or avx2)\n", BackendName.c_str());
+    return 1;
+  }
 
   EvolutionParams Params;
   Params.Seed = static_cast<uint64_t>(Seed);
   Params.Fitness.Sim.MaxSteps = 200;
   Params.Fitness.Sim.Bordered = Bordered;
   Params.Fitness.Engine = Engine;
+  Params.Fitness.Backend = Backend;
   Params.Scheduler.Enabled = Scheduler;
   Params.Scheduler.ExactFitness = ExactFitness;
   Params.Scheduler.GenerationDeadlineSeconds = DeadlineSeconds;

@@ -45,6 +45,7 @@ int main(int Argc, char **Argv) {
   bool Resume = false;
   int64_t CheckpointEvery = 1;
   std::string EngineName = "reference";
+  std::string BackendName = "auto";
   bool Scheduler = true;
   bool ExactFitness = false;
   std::string ChaosSpec;
@@ -71,6 +72,8 @@ int main(int Argc, char **Argv) {
             &CheckpointEvery);
   CL.addString("engine", "simulation engine: reference | batch "
                "(bit-identical results)", &EngineName);
+  CL.addString("backend", "batch-engine SIMD backend: auto | scalar | "
+               "sliced64 | avx2 (bit-identical results)", &BackendName);
   CL.addBool("scheduler", "generation-wide evaluation scheduler "
              "(memoization, batching, early abort)", &Scheduler);
   CL.addBool("exact-fitness", "disable bound-based early abort (every "
@@ -103,6 +106,12 @@ int main(int Argc, char **Argv) {
                  EngineName.c_str());
     return 1;
   }
+  SimdBackend Backend = SimdBackend::Auto;
+  if (!parseSimdBackend(BackendName, Backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (auto | scalar | "
+                 "sliced64 | avx2)\n", BackendName.c_str());
+    return 1;
+  }
 
   Torus T(Kind, 16);
   PipelineParams Params;
@@ -118,6 +127,7 @@ int main(int Argc, char **Argv) {
   Params.Resume = Resume;
   Params.CheckpointEvery = static_cast<int>(CheckpointEvery);
   Params.Engine = Engine;
+  Params.Backend = Backend;
   Params.Evolution.Scheduler.Enabled = Scheduler;
   Params.Evolution.Scheduler.ExactFitness = ExactFitness;
   Params.Evolution.Scheduler.GenerationDeadlineSeconds = DeadlineSeconds;

@@ -38,17 +38,19 @@ if ! "$BENCH" --quick --json "$WORKDIR/engine.json" \
   exit 1
 fi
 
-# Extract batch_serial replicas_per_sec from our own fixed JSON layout.
+# extract <json> <key>: replicas_per_sec of one row in our own fixed
+# JSON layout. The key is matched exactly ("batch_serial" must not also
+# match the per-backend "batch_serial_scalar" rows).
 extract() {
-  sed -n 's/.*"batch_serial".*"replicas_per_sec": \([0-9.]*\).*/\1/p' "$1"
+  sed -n "s/.*\"$2\": {.*\"replicas_per_sec\": \([0-9.]*\).*/\1/p" "$1"
 }
 
-# compare <label> <current-json> <baseline-json>: report the delta, warn
-# (never fail) past the threshold.
+# compare <label> <current-json> <baseline-json> [key]: report the
+# delta, warn (never fail) past the threshold.
 compare() {
-  local LABEL="$1" CURRENT BASE
-  CURRENT="$(extract "$2")"
-  BASE="$(extract "$3")"
+  local LABEL="$1" KEY="${4:-batch_serial}" CURRENT BASE
+  CURRENT="$(extract "$2" "$KEY")"
+  BASE="$(extract "$3" "$KEY")"
   if [ -z "$CURRENT" ] || [ -z "$BASE" ]; then
     echo "bench_smoke: WARNING — could not parse $LABEL replicas_per_sec" \
          "(current='$CURRENT' baseline='$BASE'); skipping comparison" >&2
@@ -57,7 +59,7 @@ compare() {
   awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD_PCT" \
       -v label="$LABEL" 'BEGIN {
     delta = 100.0 * (cur - base) / base
-    printf "bench_smoke: %s batch_serial %.1f replicas/s vs baseline %.1f (%+.1f%%)\n",
+    printf "bench_smoke: %s %.1f replicas/s vs baseline %.1f (%+.1f%%)\n",
            label, cur, base, delta
     if (delta < -thr)
       printf "bench_smoke: WARNING — %s throughput regressed more than %d%% vs the committed baseline\n",
@@ -65,8 +67,19 @@ compare() {
   }'
 }
 
-compare "engine" "$WORKDIR/engine.json" "$BASELINE"
+compare "engine batch_serial" "$WORKDIR/engine.json" "$BASELINE"
 if [ -n "$HOTPATH_BASELINE" ]; then
-  compare "hotpath" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"
+  compare "hotpath batch_serial" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"
+  # Per-backend baseline rows: compare every lane kernel present in BOTH
+  # files. A backend the runner lacks (avx2 on arm, say) is absent from
+  # the fresh run and silently skipped — absence is dispatch working as
+  # designed, not a regression.
+  for BACKEND in scalar sliced64 avx2; do
+    KEY="batch_serial_$BACKEND"
+    if [ -n "$(extract "$WORKDIR/hotpath.json" "$KEY")" ] &&
+       [ -n "$(extract "$HOTPATH_BASELINE" "$KEY")" ]; then
+      compare "hotpath $KEY" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"               "$KEY"
+    fi
+  done
 fi
 exit 0

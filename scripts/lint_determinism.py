@@ -54,7 +54,11 @@ import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Directories are walked recursively, so "src/sim" covers the SIMD lane
+# kernels in src/sim/simd/ too; REQUIRED_COVERAGE pins that — the default
+# lint errors out if a path-list edit ever drops them from the scan.
 DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent"]
+REQUIRED_COVERAGE = [os.path.join("src", "sim", "simd")]
 FIXTURE_DIR = os.path.join("tests", "lint", "fixtures")
 SOURCE_EXTS = {".cpp", ".h", ".hpp", ".cc", ".hh"}
 
@@ -364,6 +368,13 @@ def main():
 
     paths = args.paths or DEFAULT_PATHS
     files = sorted(set(iter_sources(paths, args.root)))
+    if not args.paths:
+        for required in REQUIRED_COVERAGE:
+            prefix = os.path.join(args.root, required) + os.sep
+            if not any(f.startswith(prefix) for f in files):
+                print(f"lint_determinism: required directory escaped the "
+                      f"default scan: {required}", file=sys.stderr)
+                sys.exit(2)
     findings = []
     for path in files:
         findings.extend(lint_file(path))

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerates the golden-trace fixtures in tests/data/golden/ from the
+# reference World engine. Run after an INTENDED change to the step
+# micro-semantics, then review and commit the fixture diff like any other
+# code change (tests/sim/GoldenTraceTest.cpp compares against these
+# line-for-line).
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: ./build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tests/ca2a_sim_tests"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not found or not executable — build the tests first" >&2
+    echo "       (cmake --build $BUILD_DIR --target ca2a_sim_tests)" >&2
+    exit 2
+fi
+
+CA2A_REGEN_GOLDEN=1 "$BIN" \
+    --gtest_filter='GoldenTraceTest.ReferenceWorldReproducesCommittedTraces'
+echo "fixtures rewritten under tests/data/golden/ — review the diff before" \
+     "committing"

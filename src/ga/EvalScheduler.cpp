@@ -42,9 +42,10 @@ EvalScheduler::EvalScheduler(const Torus &T,
                              const SchedulerParams &Params)
     : T(T), Fields(Fields), Fitness(Fitness), Params(Params) {
   // Fingerprint everything besides the genome that decides a
-  // FitnessResult. NumWorkers and Engine are deliberately excluded: both
-  // are bit-identical execution knobs (enforced by the differential suite
-  // and FitnessTest), so results may be shared across them.
+  // FitnessResult. NumWorkers, Engine and Backend are deliberately
+  // excluded: all three are bit-identical execution knobs (enforced by the
+  // differential suite and FitnessTest), so results may be shared across
+  // them.
   Fnv1aHasher H;
   H.mixWord(static_cast<uint64_t>(T.kind()));
   H.mixWord(static_cast<uint64_t>(T.sideLength()));
@@ -282,6 +283,7 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     BatchEngine Engine(T);
     BatchRunOptions RunOptions;
     RunOptions.NumWorkers = NumWorkers;
+    RunOptions.Backend = Fitness.Backend;
     if (AllowPrune) {
       RunOptions.ShouldSkip = [&](int Replica) {
         return ShouldSkipItem(static_cast<size_t>(Replica) % NumWork);

@@ -67,6 +67,7 @@ ca2a::evaluateFitness(const Genome &G, const Torus &T,
     BatchEngine Engine(T);
     BatchRunOptions RunOptions;
     RunOptions.NumWorkers = NumWorkers;
+    RunOptions.Backend = Params.Backend;
     Results = Engine.run(Replicas, RunOptions);
   } else {
     // Work-stealing sweep: each worker reuses one World (engines are not

@@ -42,6 +42,10 @@ struct FitnessParams {
   /// reference (the differential suite enforces it) but several times
   /// faster, so fitness numbers do not depend on this switch.
   EngineKind Engine = EngineKind::Reference;
+  /// SIMD lane kernel for the batch engine's fast path (ignored by the
+  /// reference engine). Every backend is bit-identical, so fitness numbers
+  /// do not depend on this switch either.
+  SimdBackend Backend = SimdBackend::Auto;
 };
 
 /// Aggregate outcome of evaluating one genome on a field set.

@@ -42,6 +42,7 @@ PipelineResult ca2a::runSelectionPipeline(
 
     EvolutionParams RunParams = Params.Evolution;
     RunParams.Fitness.Engine = Params.Engine;
+    RunParams.Fitness.Backend = Params.Backend;
     RunParams.Seed = Params.Evolution.Seed * 6364136223846793005ULL +
                      static_cast<uint64_t>(Run) + 1;
 
@@ -145,6 +146,7 @@ PipelineResult ca2a::runSelectionPipeline(
   // Stage 3: reliability filter.
   ReliabilityParams ReliabilityRun = Params.Reliability;
   ReliabilityRun.Fitness.Engine = Params.Engine;
+  ReliabilityRun.Fitness.Backend = Params.Backend;
   for (size_t I = 0; I != Candidates.size(); ++I) {
     Candidates[I].Report = testReliability(Candidates[I].G, T,
                                            ReliabilityRun);

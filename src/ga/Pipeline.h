@@ -47,6 +47,9 @@ struct PipelineParams {
   /// Evolution/Reliability so one CLI flag switches the whole pipeline;
   /// results are bit-identical either way.
   EngineKind Engine = EngineKind::Reference;
+  /// SIMD lane kernel for the batch engine, propagated the same way as
+  /// Engine; results are bit-identical for every value.
+  SimdBackend Backend = SimdBackend::Auto;
 
   // Crash safety (ga/Checkpoint.h). With a non-empty CheckpointDir every
   // run saves its state to "<dir>/run<i>.ckpt" every CheckpointEvery

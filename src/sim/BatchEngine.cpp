@@ -27,6 +27,8 @@
 
 #include "sim/BatchEngine.h"
 
+#include "sim/simd/FastPath.h"
+#include "sim/simd/Kernel.h"
 #include "support/Chaos.h"
 #include "support/ThreadPool.h"
 
@@ -77,7 +79,10 @@ BatchEngine::BatchEngine(const Torus &T) : T(T) {
     size_t TableSize =
         static_cast<size_t>(T.numCells()) * static_cast<size_t>(Degree);
     const int32_t *Wide = T.neighbors(0);
-    Neighbors16.resize(TableSize);
+    // Two zero-padding entries past the logical end: the AVX2 kernel reads
+    // each int16 with a 4-byte gather, so the last entry's load spills two
+    // bytes past the table (see sim/simd/KernelAVX2.cpp).
+    Neighbors16.resize(TableSize + 2, 0);
     for (size_t I = 0; I != TableSize; ++I)
       Neighbors16[I] = static_cast<int16_t>(Wide[I]);
   }
@@ -99,24 +104,23 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-/// One genome slot, flattened into one 32-bit word for single-load lookup
-/// (the "32-entry transition table" at paper dimensions): byte 0 is the
-/// next state, byte 1 the move bit, byte 2 the colour to set, byte 3 the
-/// turn code. A packed word instead of a 4-byte struct matters: GCC
-/// compiles conditional struct selects into branchy per-byte assembly,
-/// where the word version is one load, one AND and shifts.
-using PackedEntry = uint32_t;
-constexpr PackedEntry MoveBit = 0x100;
-constexpr uint8_t entryState(PackedEntry E) {
-  return static_cast<uint8_t>(E);
-}
-constexpr bool entryMoves(PackedEntry E) { return (E & MoveBit) != 0; }
-constexpr uint8_t entryColor(PackedEntry E) {
-  return static_cast<uint8_t>(E >> 16);
-}
-constexpr uint8_t entryTurn(PackedEntry E) {
-  return static_cast<uint8_t>(E >> 24);
-}
+// The fast-path step core (FastCtx, the packed-entry/agent encodings, the
+// per-backend phase implementations) lives in sim/simd/FastPath.h and the
+// Kernel*.cpp translation units; this file keeps the execution layer —
+// workspaces, compile cache, the worker fan-out — and the general path.
+using simd::agentCell;
+using simd::agentDir;
+using simd::agentState;
+using simd::entryColor;
+using simd::entryMoves;
+using simd::entryState;
+using simd::entryTurn;
+using simd::FastCtx;
+using simd::fastEpilogue;
+using simd::MoveBit;
+using simd::ObstacleStamp;
+using simd::packAgent;
+using simd::PackedEntry;
 
 void compileGenome(const Genome &G, std::vector<PackedEntry> &Table) {
   const GenomeDims &D = G.dims();
@@ -173,261 +177,6 @@ struct ReplicaPlan {
   int NumColors = 0;
 };
 
-/// Everything the single-word fast path touches, gathered into one struct
-/// of raw pointers so several independent replicas can be advanced in
-/// lockstep: interleaving their per-step work fills the pipeline stalls
-/// (L1 latency, store forwarding) any single replica's dependence chains
-/// leave open.
-struct FastCtx {
-  const int16_t *NB = nullptr; ///< Narrowed table, stride DegT.
-  uint64_t *CommW = nullptr;   ///< One comm word per agent.
-  uint64_t *CellW = nullptr;   ///< Word of each cell's occupant (0 empty).
-  /// Per-agent packed state: cell in the low 32 bits, direction in byte 4,
-  /// control state in byte 5 — one load/store where three arrays would
-  /// cost three, and two registers fewer in the hot loops.
-  uint64_t *AgentP = nullptr;
-  uint8_t *InformedP = nullptr;
-  uint8_t *ColorsP = nullptr;
-  int32_t *VisitP = nullptr;
-  /// Per-cell claim stamps: StampP[Cell] == Epoch means "claimed this
-  /// step", anything smaller means free, and the permanent ~0 sentinel
-  /// marks obstacle cells (Epoch never reaches it). Monotonic epochs make
-  /// the end-of-step claim reset free — bumping Epoch unclaims every cell
-  /// at once.
-  uint32_t *StampP = nullptr;
-  /// Per-agent pass-1 verdict: the selected (move-masked) table entry in
-  /// the low 32 bits, the front cell in the high 32.
-  uint64_t *SelP = nullptr;
-  const PackedEntry *TabA = nullptr, *TabB = nullptr;
-  const uint8_t (*TurnMap)[4] = nullptr;
-  /// Obstacle flat indices (for the epoch-wrap re-stamp only; the hot loop
-  /// sees obstacles through the StampP sentinel).
-  const int32_t *ObstC = nullptr;
-  uint64_t Full = 0;
-  GenomePolicy Policy = GenomePolicy::Single;
-  int K = 0, St = 0, NC = 0, MaxSteps = 0;
-  int Cells = 0, NumObst = 0;
-  bool Gaze = false, ColorsOn = false;
-  /// Whether pass 2 maintains per-cell visit counts — only needed when the
-  /// caller requested a final-state capture (nothing in SimResult derives
-  /// from them).
-  bool NeedVisits = false;
-  // Per-step scratch and progress.
-  const PackedEntry *TabEven = nullptr, *TabOdd = nullptr;
-  uint32_t Epoch = 0;
-  int NewInformed = 0, Time = 0;
-  bool Done = false, Success = false;
-};
-
-/// Obstacle sentinel in the claim-stamp array: compares "already claimed"
-/// against every epoch (the wrap guard keeps Epoch strictly below it).
-constexpr uint32_t ObstacleStamp = ~uint32_t(0);
-
-constexpr uint64_t packAgent(int Cell, uint8_t Dir, uint8_t State) {
-  return static_cast<uint32_t>(Cell) | (static_cast<uint64_t>(Dir) << 32) |
-         (static_cast<uint64_t>(State) << 40);
-}
-constexpr int agentCell(uint64_t A) {
-  return static_cast<int32_t>(static_cast<uint32_t>(A));
-}
-constexpr uint32_t agentDir(uint64_t A) { return (A >> 32) & 0xFF; }
-constexpr uint32_t agentState(uint64_t A) { return (A >> 40) & 0xFF; }
-
-// Fast-path step machinery, shared between the single-replica loop and the
-// lockstep block loop. Preconditions (checked by the dispatchers):
-// FaultsActive == false, Bordered == false, Words == 1, no observer.
-
-/// Pick this step's transition tables from the genome policy.
-inline void selectTables(FastCtx &C) {
-  C.TabEven = C.TabA;
-  C.TabOdd = C.TabA;
-  if (C.Policy == GenomePolicy::TimeShuffle && (C.Time % 2)) {
-    C.TabEven = C.TabB;
-    C.TabOdd = C.TabB;
-  } else if (C.Policy == GenomePolicy::SpeciesParity) {
-    C.TabOdd = C.TabB;
-  }
-}
-
-/// Pass 1 over every agent: exchange, observation, and arbitration fused
-/// into one sweep. The context is spilled into local restrict pointers
-/// first — member-level restrict is too weak for GCC to keep the pointer
-/// set in registers across the uint8_t stores, and this loop is the
-/// hottest code in the repo.
-///  - Exchange: CellComm holds the pre-step word of every cell (0 when
-///    empty), so each agent ORs its neighbour ring with no occupancy
-///    branch, and the result goes straight into Comm — no double buffer.
-///    Nothing else in pass 1 reads Comm, so the success check can wait
-///    until the sweep ends (claims are scratch; on success the step's
-///    actions are skipped exactly as the reference engine skips them).
-///  - Arbitration: losesConflict only asks whether a LOWER-id requester
-///    claims the same cell, and agents run in id order — so when agent Id
-///    arrives, every claim that can beat it is already stamped and its
-///    canmove is final immediately (occupancy is pre-step and untouched
-///    here). "Enterable" needs no occupancy array at all: a cell holds an
-///    agent exactly when its CellComm word is nonzero (every agent's word
-///    carries its own bit), and obstacle cells carry the permanent
-///    ObstacleStamp so one epoch compare rejects both prior claims and
-///    obstacles. The claim update is a branch-free max so the
-///    genome-dependent move output never becomes a mispredicting branch.
-///  - The entry for the final (blocked-corrected) input is resolved now —
-///    blocked flips only the lowest input bit, i.e. shifts the table row
-///    by States — and its Move bit is masked by the arbitration verdict,
-///    so pass 2 does no table addressing and no canmove load at all.
-template <int DegT> inline void pass1Sweep(FastCtx &C) {
-  const int16_t *__restrict__ NB = C.NB;
-  uint64_t *__restrict__ CommW = C.CommW;
-  const uint64_t *__restrict__ CellW = C.CellW;
-  const uint64_t *__restrict__ AgentP = C.AgentP;
-  const uint8_t *__restrict__ ColorsP = C.ColorsP;
-  uint32_t *__restrict__ StampP = C.StampP;
-  uint64_t *__restrict__ SelP = C.SelP;
-  const PackedEntry *TabEven = C.TabEven, *TabOdd = C.TabOdd;
-  const uint64_t Full = C.Full;
-  const uint32_t Epoch = C.Epoch;
-  const int St = C.St, NC = C.NC, K = C.K;
-  const uint32_t Gaze = C.Gaze ? MoveBit : 0;
-  int NewInformed = 0;
-
-  for (int Id = 0; Id != K; ++Id) {
-    const uint64_t A = AgentP[Id];
-    const int Cell = agentCell(A);
-    const int16_t *N = &NB[static_cast<size_t>(Cell) * DegT];
-    uint64_t W = CommW[Id];
-    for (int D = 0; D != DegT; ++D)
-      W |= CellW[N[D]];
-    CommW[Id] = W;
-    NewInformed += (W == Full);
-
-    const int Front = N[agentDir(A)];
-    const size_t RowIdx =
-        static_cast<size_t>(2 * (ColorsP[Cell] + NC * ColorsP[Front]) * St) +
-        agentState(A);
-    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
-    // Both row variants are loaded unconditionally and blended with mask
-    // arithmetic — everything below compiles to straight-line code, so the
-    // genome-dependent request/verdict bits never become mispredicting
-    // branches (they are near-random across a replica's agents).
-    const PackedEntry EntFree = Tab[RowIdx];
-    // Blocked flips the lowest input bit, i.e. shifts the row by St.
-    const PackedEntry EntBlocked = Tab[RowIdx + static_cast<size_t>(St)];
-    // Claims: ids ascend, so a prior claim is already the row minimum and
-    // LosesConflict collapses to "someone claimed Front before me" — the
-    // min() of the reference implementation is a no-op here. The stamp
-    // update is a max so a request can never overwrite the obstacle
-    // sentinel (and re-stamping an already-claimed cell is idempotent).
-    const bool Requests = ((EntFree | Gaze) & MoveBit) != 0;
-    const uint32_t Prior = StampP[Front];
-    const bool Open = Prior < Epoch; // Unclaimed and not an obstacle.
-    StampP[Front] =
-        std::max(Prior, Epoch & (0u - static_cast<uint32_t>(Requests)));
-    const bool Can = (CellW[Front] == 0) & Open;
-    // The selected entry's move bit is masked by the verdict so pass 2
-    // does no table access and no canmove load at all.
-    const uint32_t CanMask = 0u - static_cast<uint32_t>(Can);
-    const PackedEntry Sel =
-        (EntFree & CanMask) | (EntBlocked & ~MoveBit & ~CanMask);
-    SelP[Id] = Sel | (static_cast<uint64_t>(static_cast<uint32_t>(Front))
-                      << 32);
-  }
-  C.NewInformed = NewInformed;
-}
-
-/// Pass 2 over every agent: apply the selected entries, keeping the
-/// per-cell comm words in sync. Moves are applied with unconditional
-/// stores (clear own cell, write the final cell) so the genome-dependent
-/// move bit never becomes a branch: a mover's target was empty and
-/// uncontested pre-step, so the clears of later agents (all on
-/// pre-step-occupied cells) cannot hit an earlier agent's target.
-inline void pass2Sweep(FastCtx &C) {
-  const uint64_t *__restrict__ SelP = C.SelP;
-  uint64_t *__restrict__ AgentP = C.AgentP;
-  uint8_t *__restrict__ ColorsP = C.ColorsP;
-  int32_t *__restrict__ VisitP = C.VisitP;
-  const uint64_t *__restrict__ CommW = C.CommW;
-  uint64_t *__restrict__ CellW = C.CellW;
-  const uint8_t(*__restrict__ TurnMap)[4] = C.TurnMap;
-  const bool ColorsOn = C.ColorsOn;
-  const bool NeedV = C.NeedVisits;
-  const int K = C.K;
-
-  for (int Id = 0; Id != K; ++Id) {
-    const uint64_t E = SelP[Id];
-    const PackedEntry En = static_cast<uint32_t>(E);
-    const int Front = static_cast<int32_t>(E >> 32);
-    const uint64_t A = AgentP[Id];
-    const int Cell = agentCell(A);
-    if (ColorsOn)
-      ColorsP[Cell] = entryColor(En);
-    const uint32_t NewDir = TurnMap[agentDir(A)][entryTurn(En)];
-    const bool Moves = entryMoves(En); // Blocked was masked in pass 1.
-    // XOR-blend instead of a select: the move bit is genome-dependent and
-    // GCC compiles the ternary into a mispredicting branch.
-    const int NewC =
-        Cell ^ ((Cell ^ Front) & -static_cast<int>(Moves));
-    CellW[Cell] = 0;
-    CellW[NewC] = CommW[Id];
-    if (NeedV) // Loop-invariant; only the diff tests capture visits.
-      VisitP[NewC] += Moves;
-    AgentP[Id] = packAgent(NewC, static_cast<uint8_t>(NewDir),
-                           entryState(En));
-  }
-}
-
-/// One iteration's exchange/observe/arbitrate phase (pass 1 over every
-/// agent). Latches Done (with Success) when the replica solves.
-template <int DegT> inline void stepPhaseA(FastCtx &C) {
-  selectTables(C);
-  // Bumping the epoch unclaims every cell stamped in earlier steps; the
-  // (once per ~4G steps) wrap rebuilds the stamp invariant from scratch.
-  if (++C.Epoch == ObstacleStamp) {
-    std::fill_n(C.StampP, C.Cells, 0u);
-    for (int J = 0; J != C.NumObst; ++J)
-      C.StampP[C.ObstC[J]] = ObstacleStamp;
-    C.Epoch = 1;
-  }
-  pass1Sweep<DegT>(C);
-  if (C.NewInformed == C.K) {
-    C.Done = true; // Solved: Time stays at t_comm, actions never run.
-    C.Success = true;
-  }
-}
-
-/// One iteration's action phase (pass 2 over every agent) plus the cutoff
-/// check. Only legal when phase A did not latch Done.
-inline void stepPhaseB(FastCtx &C) {
-  pass2Sweep(C);
-  if (++C.Time >= C.MaxSteps)
-    C.Done = true; // Cutoff reached; Success stays false.
-}
-
-/// Single-replica step loop to completion (also the lockstep straggler
-/// path once only one replica is still running).
-template <int DegT> void soloRun(FastCtx &C) {
-  while (!C.Done) {
-    stepPhaseA<DegT>(C);
-    if (!C.Done)
-      stepPhaseB(C);
-  }
-}
-
-/// Terminal materialisation: per-agent Informed flags (kept lazy during
-/// the loop) and the all-zero CellComm invariant for the next replica.
-void fastEpilogue(FastCtx &C) {
-  if (C.Success) {
-    std::fill_n(C.InformedP, C.K, uint8_t(1));
-  } else {
-    // Cutoff: the flags of the last exchange (the tracked count already
-    // matches them; a MaxSteps = 0 run never exchanged and keeps its
-    // reset-time flags and count).
-    if (C.MaxSteps > 0)
-      for (int Id = 0; Id != C.K; ++Id)
-        C.InformedP[Id] = C.CommW[Id] == C.Full;
-  }
-  for (int Id = 0; Id != C.K; ++Id)
-    C.CellW[agentCell(C.AgentP[Id])] = 0;
-}
-
 /// All scratch one replica needs, owned by a worker for the whole run and
 /// reset between replicas: after a slot's first replica every buffer has
 /// reached its working capacity and the steady state performs zero heap
@@ -444,7 +193,12 @@ public:
         Neighbor16Base(Neighbors16.empty() ? nullptr : Neighbors16.data()),
         NumCells(T.numCells()), Degree(T.degree()) {
     size_t Cells = static_cast<size_t>(NumCells);
-    sizeN(Colors, Cells);
+    // Logical size NumCells plus gather slack: the AVX2 kernel reads each
+    // colour byte with a 4-byte gather (sim/simd/KernelAVX2.cpp), so the
+    // last cells' loads spill up to three bytes past the field. Every loop
+    // over the field must use NumCells, never Colors.size() — the fault
+    // colour-flip draw count is part of the RNG parity contract.
+    sizeN(Colors, Cells + 8);
     sizeN(Occupancy, Cells);
     sizeN(VisitCounts, Cells);
     sizeN(ObstacleMask, Cells);
@@ -472,10 +226,11 @@ public:
 
   /// Runs the prepared replica to completion on the calling thread,
   /// choosing the fast or general path (an observer forces the general
-  /// path, which is the only one that can surface per-step views).
+  /// path, which is the only one that can surface per-step views). \p KN
+  /// supplies the fast path's solo loop; the general path ignores it.
   SimResult runSolo(int ReplicaIndex,
                     const std::function<void(const BatchStepView &)> &OnStep,
-                    ReplicaFinalState *Final);
+                    const simd::LaneKernel &KN, ReplicaFinalState *Final);
 
   /// Lockstep API: bundle the fast-path pointers/parameters for the
   /// prepared replica (requires fastEligible()). \p NeedVisits must be
@@ -572,6 +327,9 @@ private:
   /// execute in the low 32 bits and its front cell in the high 32, both
   /// resolved during pass 1.
   std::vector<uint64_t> Selected;
+  /// Fast path only: per-agent stage-A stash of the two-stage backends
+  /// (sliced64/avx2) — see FastCtx::ScratchP.
+  std::vector<uint64_t> Scratch;
   /// Fast path only: packed (cell, direction, state) per agent — see
   /// packAgent. Built by beginFast, written back by finishFast.
   std::vector<uint64_t> AgentPack;
@@ -638,6 +396,7 @@ void ReplicaWorkspace::prepare(const BatchReplica &R,
   sizeN(Input, SK);
   sizeN(CanMove, SK);
   sizeN(Selected, SK);
+  sizeN(Scratch, SK);
   sizeN(AgentPack, SK);
   sizeN(Skip, SK);
   fillN(Comm, SK * static_cast<size_t>(Words), uint64_t(0));
@@ -694,7 +453,9 @@ void ReplicaWorkspace::injectFaults() {
     }
   }
   if (F.ColorFlipProbability > 0.0 && Options->ColorsEnabled) {
-    for (size_t C = 0, E = Colors.size(); C != E; ++C) {
+    // NumCells, not Colors.size(): the buffer carries gather padding, and
+    // drawing for the padding would break draw-for-draw parity with World.
+    for (size_t C = 0, E = static_cast<size_t>(NumCells); C != E; ++C) {
       if (!FaultRng.bernoulli(F.ColorFlipProbability))
         continue;
       int Replacement = static_cast<int>(
@@ -876,7 +637,8 @@ void ReplicaWorkspace::applyActions() {
 }
 
 void ReplicaWorkspace::captureFinalState(ReplicaFinalState &Out) const {
-  Out.Colors = Colors;
+  // First NumCells only — the buffer's tail is gather padding.
+  Out.Colors.assign(Colors.begin(), Colors.begin() + NumCells);
   Out.Occupancy = Occupancy;
   Out.VisitCounts = VisitCounts;
   Out.Agents.resize(static_cast<size_t>(K));
@@ -907,6 +669,7 @@ FastCtx ReplicaWorkspace::beginFast(bool NeedVisits) {
   C.VisitP = VisitCounts.data();
   C.StampP = ClaimStamp.data();
   C.SelP = Selected.data();
+  C.ScratchP = Scratch.data();
   C.TabA = TabA;
   C.TabB = TabB;
   C.TurnMap = &TurnMap[0];
@@ -988,13 +751,10 @@ SimResult ReplicaWorkspace::finishReplica(bool Success,
 SimResult ReplicaWorkspace::runSolo(
     int ReplicaIndex,
     const std::function<void(const BatchStepView &)> &OnStep,
-    ReplicaFinalState *Final) {
+    const simd::LaneKernel &KN, ReplicaFinalState *Final) {
   if (!OnStep && fastEligible()) {
     FastCtx C = beginFast(Final != nullptr);
-    if (Degree == 6)
-      soloRun<6>(C);
-    else
-      soloRun<4>(C);
+    (Degree == 6 ? KN.Solo6 : KN.Solo4)(C);
     return finishFast(C, Final);
   }
 
@@ -1073,15 +833,15 @@ struct RunContext {
 
 /// One worker: pulls replicas off the shared counter until it drains.
 /// Fast-path replicas fill a small arena of workspaces advanced in
-/// lockstep (a finished slot is refilled immediately); general-path
-/// replicas (faults, borders, multi-word, huge grids, observers) run solo
-/// in between. Every replica writes its own result slot, so the schedule
-/// cannot change any result.
-template <int DegT>
+/// lockstep by the run's lane kernel (a finished slot is refilled
+/// immediately); general-path replicas (faults, borders, multi-word, huge
+/// grids, observers) run solo in between. Every replica writes its own
+/// result slot, so neither the schedule nor the kernel can change any
+/// result.
 void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
                 const std::vector<int16_t> &Neighbors16,
-                const uint8_t (&TurnMap)[6][4], RunContext &Ctx,
-                size_t Worker) {
+                const uint8_t (&TurnMap)[6][4], const simd::LaneKernel &KN,
+                RunContext &Ctx, size_t Worker) {
   // det-lint: allow(wall-clock) per-worker busy-time instrumentation only.
   auto Start = std::chrono::steady_clock::now();
   const size_t N = Ctx.Replicas.size();
@@ -1155,7 +915,7 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
       WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
                  Ctx.Plans[static_cast<size_t>(I)]);
       Ctx.Results[static_cast<size_t>(I)] =
-          WS.runSolo(I, Options.OnStep, FinalSlot(I));
+          WS.runSolo(I, Options.OnStep, KN, FinalSlot(I));
       WS.markWarm();
       ++Simulated;
       if (Options.OnResult)
@@ -1187,7 +947,8 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
           ++Active;
           return;
         }
-        Ctx.Results[static_cast<size_t>(I)] = S.WS.runSolo(I, {}, FinalSlot(I));
+        Ctx.Results[static_cast<size_t>(I)] =
+            S.WS.runSolo(I, {}, KN, FinalSlot(I));
         S.WS.markWarm();
         ++Simulated;
         if (Options.OnResult)
@@ -1220,27 +981,32 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
       --Active;
     };
 
+    const bool Tri = T.degree() == 6;
+    const simd::LaneStepFn Step = Tri ? KN.Step6 : KN.Step4;
+    const simd::LaneSoloFn Solo = Tri ? KN.Solo6 : KN.Solo4;
+    FastCtx *Lanes[LockstepBlock];
+
     for (Slot &S : Slots)
       Refill(S);
     while (Active > 0) {
       if (Active == 1 && Drained) {
         // Straggler: no refills can come, so finish the last replica with
-        // the tight single-replica loop.
+        // the kernel's tight single-replica loop.
         for (Slot &S : Slots)
           if (S.Active) {
-            soloRun<DegT>(S.C);
+            Solo(S.C);
             Finalize(S);
           }
         break;
       }
+      int NumLanes = 0;
       for (Slot &S : Slots)
-        if (S.Active && !S.C.Done)
-          stepPhaseA<DegT>(S.C);
+        if (S.Active)
+          Lanes[NumLanes++] = &S.C;
+      Step(Lanes, NumLanes);
       for (Slot &S : Slots) {
         if (!S.Active)
           continue;
-        if (!S.C.Done)
-          stepPhaseB(S.C);
         if (S.C.Done) {
           Finalize(S);
           if (!Drained)
@@ -1270,9 +1036,15 @@ std::vector<SimResult>
 BatchEngine::run(const std::vector<BatchReplica> &Replicas,
                  const BatchRunOptions &Options) const {
   std::vector<SimResult> Results(Replicas.size());
+  // Resolve the lane kernel once per run: CA2A_FORCE_BACKEND > requested >
+  // Auto, clamped to what this binary and CPU support (sim/simd/Backend.h).
+  const SimdBackend Backend = resolveSimdBackend(Options.Backend);
+  const simd::LaneKernel &KN = simd::laneKernel(Backend);
   if (Replicas.empty()) {
-    if (Options.Stats)
+    if (Options.Stats) {
       *Options.Stats = BatchRunStats();
+      Options.Stats->BackendUsed = Backend;
+    }
     return Results;
   }
   if (Options.FinalStates)
@@ -1304,10 +1076,7 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
 
   RunContext Ctx(Replicas, Plans, Options, Results, NumWorkers);
   auto Body = [&](size_t Worker) {
-    if (T.degree() == 6)
-      workerLoop<6>(T, BoundaryMask, Neighbors16, TurnMap, Ctx, Worker);
-    else
-      workerLoop<4>(T, BoundaryMask, Neighbors16, TurnMap, Ctx, Worker);
+    workerLoop(T, BoundaryMask, Neighbors16, TurnMap, KN, Ctx, Worker);
   };
   if (NumWorkers <= 1)
     Body(0);
@@ -1318,6 +1087,7 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
     BatchRunStats &S = *Options.Stats;
     S = BatchRunStats();
     S.WorkersUsed = NumWorkers;
+    S.BackendUsed = Backend;
     S.CompileHits = Cache.hits();
     S.CompileMisses = Cache.misses();
     // Relaxed is sound: the workers that wrote these finished before the

@@ -50,6 +50,7 @@
 #define CA2A_SIM_BATCHENGINE_H
 
 #include "sim/World.h"
+#include "sim/simd/Backend.h"
 #include "support/Supervisor.h"
 
 #include <cstdint>
@@ -194,6 +195,11 @@ struct BatchRunStats {
   /// left no tail idle time.
   std::vector<uint64_t> ReplicasPerWorker;
   std::vector<double> WorkerBusySeconds;
+  /// The concrete SIMD backend this run's fast path executed (the
+  /// resolution of BatchRunOptions::Backend against CA2A_FORCE_BACKEND and
+  /// the host CPU — see sim/simd/Backend.h). Every backend is
+  /// bit-identical, so this is diagnostic only.
+  SimdBackend BackendUsed = SimdBackend::Scalar;
 
   double compileHitRate() const {
     uint64_t Total = CompileHits + CompileMisses;
@@ -251,6 +257,13 @@ struct BatchRunOptions {
   /// When non-null, filled with this run's instrumentation (workers used,
   /// compile-cache hits, workspace allocations, per-worker load).
   BatchRunStats *Stats = nullptr;
+
+  /// Which SIMD lane kernel steps the fast-path replicas. Auto picks the
+  /// fastest backend the host supports; the CA2A_FORCE_BACKEND environment
+  /// variable overrides both (see sim/simd/Backend.h). Results are
+  /// bit-identical for every value — the backends differ only in
+  /// instruction selection, never in any replica's trajectory.
+  SimdBackend Backend = SimdBackend::Auto;
 
   // Supervised execution (see support/Supervisor.h). The launch of every
   // replica runs under chaosPoint(ChaosSite::EngineReplica) and this

@@ -1,0 +1,131 @@
+//===- sim/simd/Backend.cpp - SIMD backend selection & dispatch -----------===//
+
+#include "sim/simd/Backend.h"
+
+#include "sim/simd/Kernel.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ca2a;
+
+const char *ca2a::simdBackendName(SimdBackend B) {
+  switch (B) {
+  case SimdBackend::Auto:
+    return "auto";
+  case SimdBackend::Scalar:
+    return "scalar";
+  case SimdBackend::Sliced64:
+    return "sliced64";
+  case SimdBackend::AVX2:
+    return "avx2";
+  }
+  return "auto";
+}
+
+bool ca2a::parseSimdBackend(const std::string &Text, SimdBackend &B) {
+  std::string Lower = Text;
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower == "auto") {
+    B = SimdBackend::Auto;
+    return true;
+  }
+  if (Lower == "scalar") {
+    B = SimdBackend::Scalar;
+    return true;
+  }
+  if (Lower == "sliced64" || Lower == "sliced") {
+    B = SimdBackend::Sliced64;
+    return true;
+  }
+  if (Lower == "avx2") {
+    B = SimdBackend::AVX2;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Runtime CPU probe, evaluated once. The kernel must also be compiled in
+/// (simd::avx2KernelCompiled): a build without x86 -mavx2 support reports
+/// the backend unavailable even on an AVX2 CPU.
+bool cpuHasAVX2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool Has = __builtin_cpu_supports("avx2");
+  return Has;
+#else
+  return false;
+#endif
+}
+
+} // namespace
+
+bool ca2a::simdBackendAvailable(SimdBackend B) {
+  switch (B) {
+  case SimdBackend::Auto:
+  case SimdBackend::Scalar:
+  case SimdBackend::Sliced64:
+    return true;
+  case SimdBackend::AVX2:
+    return simd::avx2KernelCompiled() && cpuHasAVX2();
+  }
+  return false;
+}
+
+std::vector<SimdBackend> ca2a::availableSimdBackends() {
+  std::vector<SimdBackend> Out;
+  if (simdBackendAvailable(SimdBackend::AVX2))
+    Out.push_back(SimdBackend::AVX2);
+  Out.push_back(SimdBackend::Sliced64);
+  Out.push_back(SimdBackend::Scalar);
+  return Out;
+}
+
+const char *ca2a::simdBackendForceEnvVar() { return "CA2A_FORCE_BACKEND"; }
+
+SimdBackend ca2a::resolveSimdBackend(SimdBackend Requested) {
+  // Forcing wins over everything — it exists so CI (and the determinism
+  // sweeps) can pin a backend without touching every call site. Read on
+  // every call: tests re-point it between runs.
+  if (const char *Env = std::getenv(simdBackendForceEnvVar());
+      Env && *Env) {
+    SimdBackend Forced;
+    if (parseSimdBackend(Env, Forced) && Forced != SimdBackend::Auto) {
+      if (simdBackendAvailable(Forced))
+        return Forced;
+      std::fprintf(stderr,
+                   "warning: %s=%s is not available on this host; "
+                   "falling back\n",
+                   simdBackendForceEnvVar(), Env);
+    } else {
+      std::fprintf(stderr, "warning: unrecognised %s='%s' ignored\n",
+                   simdBackendForceEnvVar(), Env);
+    }
+  }
+  if (Requested != SimdBackend::Auto) {
+    if (simdBackendAvailable(Requested))
+      return Requested;
+    std::fprintf(stderr,
+                 "warning: backend '%s' is not available on this host; "
+                 "falling back to '%s'\n",
+                 simdBackendName(Requested),
+                 simdBackendName(availableSimdBackends().front()));
+  }
+  return availableSimdBackends().front();
+}
+
+std::string ca2a::simdBackendSummary() {
+  std::string Out;
+  for (SimdBackend B : availableSimdBackends()) {
+    if (!Out.empty())
+      Out += " ";
+    Out += simdBackendName(B);
+  }
+  Out += cpuHasAVX2() ? " (cpu: avx2)" : " (cpu: no avx2)";
+  if (!simd::avx2KernelCompiled())
+    Out += " [avx2 kernel not compiled]";
+  return Out;
+}

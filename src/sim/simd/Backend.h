@@ -1,0 +1,89 @@
+//===- sim/simd/Backend.h - SIMD backend selection & dispatch ---*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime selection of the lane-parallel kernel that executes the batch
+/// engine's fast-path replica stepping (see sim/simd/Kernel.h).
+///
+/// Three concrete backends exist, all bit-identical to the reference
+/// World (the per-backend differential matrix in tests/sim enforces it):
+///
+///   * scalar   — the per-agent lockstep loop, no special instructions.
+///   * sliced64 — portable restructured kernel: the per-agent boolean
+///                verdicts of a step (move requests, front-cell occupancy,
+///                informedness) are packed into 64-bit words across the
+///                replica's agents (k <= 64 on the fast path), the success
+///                check is one popcount, and the claim sweep is driven by
+///                those packed words. Plain C++, runs anywhere.
+///   * avx2     — the sliced64 structure with the gather/observe stage
+///                vectorised 8 agents per instruction (AVX2 gathers and
+///                mask blends). Compiled into its own translation unit
+///                with -mavx2 and dispatched only when cpuid reports AVX2,
+///                so the fat binary runs on any x86-64 host.
+///
+/// Selection order: the CA2A_FORCE_BACKEND environment variable (CI's
+/// forcing knob) beats the requested backend, which beats Auto; Auto picks
+/// the fastest backend the CPU supports. A forced or requested backend
+/// that is not available on the host falls back to Auto resolution with a
+/// one-line stderr warning — never an error, since every backend computes
+/// bit-identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_SIMD_BACKEND_H
+#define CA2A_SIM_SIMD_BACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// Which lane kernel executes fast-path replica stepping.
+enum class SimdBackend : uint8_t {
+  Auto,     ///< Resolve at run time: fastest available backend.
+  Scalar,   ///< Per-agent scalar lockstep (always available).
+  Sliced64, ///< Portable 64-bit verdict-sliced kernel (always available).
+  AVX2,     ///< 8-agent AVX2 gather/blend kernel (x86-64 with AVX2 only).
+};
+
+/// "auto" / "scalar" / "sliced64" / "avx2".
+const char *simdBackendName(SimdBackend B);
+
+/// Parses "auto", "scalar", "sliced64" (or "sliced"), "avx2"
+/// (case-insensitive).
+bool parseSimdBackend(const std::string &Text, SimdBackend &B);
+
+/// True when \p B can execute on this process: the binary carries the
+/// kernel and the CPU reports the required features. Auto, Scalar and
+/// Sliced64 are always available.
+bool simdBackendAvailable(SimdBackend B);
+
+/// Every concrete (non-Auto) backend available on this host, in Auto's
+/// preference order (fastest first). Never empty — Scalar and Sliced64
+/// are unconditionally present. The differential test matrix iterates
+/// this list.
+std::vector<SimdBackend> availableSimdBackends();
+
+/// Resolves \p Requested to the concrete backend a run will execute:
+/// CA2A_FORCE_BACKEND (when set to a parseable, available backend) wins,
+/// then an available \p Requested, then Auto's preference order. Reads
+/// the environment on every call so tests can re-point the force variable
+/// between runs.
+SimdBackend resolveSimdBackend(SimdBackend Requested);
+
+/// Name of the forcing environment variable ("CA2A_FORCE_BACKEND").
+const char *simdBackendForceEnvVar();
+
+/// One-line capability summary, e.g. "avx2 sliced64 scalar (cpu: avx2)" —
+/// used by the CLI frontends' startup banner and the bench reports.
+std::string simdBackendSummary();
+
+} // namespace ca2a
+
+#endif // CA2A_SIM_SIMD_BACKEND_H

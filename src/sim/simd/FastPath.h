@@ -1,0 +1,416 @@
+//===- sim/simd/FastPath.h - Fast-path replica step core --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-word fast-path step core shared by the batch engine and the
+/// per-backend lane kernels (sim/simd/Kernel*.cpp). Everything here is a
+/// line-for-line semantic port of World's exchange/arbitrate/apply loop
+/// restructured into flat arrays — see sim/BatchEngine.cpp for the
+/// surrounding execution layer and the preconditions (no faults, no
+/// borders, one communication word so k <= 64, narrowed neighbour table,
+/// no observer).
+///
+/// Three step formulations live here, all bit-identical per replica:
+///
+///   * The fused scalar sweep (pass1Sweep/pass2Sweep) — one pass over the
+///     agents doing exchange, observation and arbitration together. The
+///     scalar backend's kernel.
+///   * The two-stage split (stageAOne + stageB) — stage A is the
+///     gather/observe part, independent across agents, recording its
+///     per-agent boolean verdicts (move request, front-cell occupancy,
+///     informedness) as packed bits of 64-bit words; stage B is the
+///     claim/arbitration part, serial in agent id exactly like the
+///     reference. The sliced64 backend runs both stages portably; the
+///     AVX2 backend vectorises stage A eight agents per instruction and
+///     shares stage B. The split is legal because stage A only reads
+///     pre-step state (CellComm, Colors, the tables) and only writes
+///     per-agent slots (Comm, scratch), while every claim-stamp access
+///     stays in stage B in id order.
+///
+/// This header is internal to the simulation library: it is not part of
+/// the public engine API and may change freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_SIMD_FASTPATH_H
+#define CA2A_SIM_SIMD_FASTPATH_H
+
+#include "sim/World.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace ca2a {
+namespace simd {
+
+/// One genome slot, flattened into one 32-bit word for single-load lookup
+/// (the "32-entry transition table" at paper dimensions): byte 0 is the
+/// next state, byte 1 the move bit, byte 2 the colour to set, byte 3 the
+/// turn code. A packed word instead of a 4-byte struct matters: GCC
+/// compiles conditional struct selects into branchy per-byte assembly,
+/// where the word version is one load, one AND and shifts.
+using PackedEntry = uint32_t;
+constexpr PackedEntry MoveBit = 0x100;
+constexpr uint8_t entryState(PackedEntry E) { return static_cast<uint8_t>(E); }
+constexpr bool entryMoves(PackedEntry E) { return (E & MoveBit) != 0; }
+constexpr uint8_t entryColor(PackedEntry E) {
+  return static_cast<uint8_t>(E >> 16);
+}
+constexpr uint8_t entryTurn(PackedEntry E) {
+  return static_cast<uint8_t>(E >> 24);
+}
+
+/// Obstacle sentinel in the claim-stamp array: compares "already claimed"
+/// against every epoch (the wrap guard keeps Epoch strictly below it).
+constexpr uint32_t ObstacleStamp = ~uint32_t(0);
+
+constexpr uint64_t packAgent(int Cell, uint8_t Dir, uint8_t State) {
+  return static_cast<uint32_t>(Cell) | (static_cast<uint64_t>(Dir) << 32) |
+         (static_cast<uint64_t>(State) << 40);
+}
+constexpr int agentCell(uint64_t A) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A));
+}
+constexpr uint32_t agentDir(uint64_t A) { return (A >> 32) & 0xFF; }
+constexpr uint32_t agentState(uint64_t A) { return (A >> 40) & 0xFF; }
+
+/// Everything the single-word fast path touches, gathered into one struct
+/// of raw pointers so several independent replicas can be advanced in
+/// lockstep: interleaving their per-step work fills the pipeline stalls
+/// (L1 latency, store forwarding) any single replica's dependence chains
+/// leave open.
+struct FastCtx {
+  const int16_t *NB = nullptr; ///< Narrowed table, stride DegT.
+  uint64_t *CommW = nullptr;   ///< One comm word per agent.
+  uint64_t *CellW = nullptr;   ///< Word of each cell's occupant (0 empty).
+  /// Per-agent packed state: cell in the low 32 bits, direction in byte 4,
+  /// control state in byte 5 — one load/store where three arrays would
+  /// cost three, and two registers fewer in the hot loops.
+  uint64_t *AgentP = nullptr;
+  uint8_t *InformedP = nullptr;
+  uint8_t *ColorsP = nullptr;
+  int32_t *VisitP = nullptr;
+  /// Per-cell claim stamps: StampP[Cell] == Epoch means "claimed this
+  /// step", anything smaller means free, and the permanent ~0 sentinel
+  /// marks obstacle cells (Epoch never reaches it). Monotonic epochs make
+  /// the end-of-step claim reset free — bumping Epoch unclaims every cell
+  /// at once.
+  uint32_t *StampP = nullptr;
+  /// Per-agent pass-1 verdict: the selected (move-masked) table entry in
+  /// the low 32 bits, the front cell in the high 32.
+  uint64_t *SelP = nullptr;
+  /// Per-agent two-stage scratch (sliced64/avx2 backends): stage A stashes
+  /// the free-hypothesis table entry in the low 32 bits and the blocked
+  /// variant in the high 32 for stage B's blend. The scalar backend never
+  /// touches it.
+  uint64_t *ScratchP = nullptr;
+  const PackedEntry *TabA = nullptr, *TabB = nullptr;
+  const uint8_t (*TurnMap)[4] = nullptr;
+  /// Obstacle flat indices (for the epoch-wrap re-stamp only; the hot loop
+  /// sees obstacles through the StampP sentinel).
+  const int32_t *ObstC = nullptr;
+  uint64_t Full = 0;
+  GenomePolicy Policy = GenomePolicy::Single;
+  int K = 0, St = 0, NC = 0, MaxSteps = 0;
+  int Cells = 0, NumObst = 0;
+  bool Gaze = false, ColorsOn = false;
+  /// Whether pass 2 maintains per-cell visit counts — only needed when the
+  /// caller requested a final-state capture (nothing in SimResult derives
+  /// from them).
+  bool NeedVisits = false;
+  // Per-step scratch and progress.
+  const PackedEntry *TabEven = nullptr, *TabOdd = nullptr;
+  uint32_t Epoch = 0;
+  int NewInformed = 0, Time = 0;
+  bool Done = false, Success = false;
+};
+
+/// Pick this step's transition tables from the genome policy.
+inline void selectTables(FastCtx &C) {
+  C.TabEven = C.TabA;
+  C.TabOdd = C.TabA;
+  if (C.Policy == GenomePolicy::TimeShuffle && (C.Time % 2)) {
+    C.TabEven = C.TabB;
+    C.TabOdd = C.TabB;
+  } else if (C.Policy == GenomePolicy::SpeciesParity) {
+    C.TabOdd = C.TabB;
+  }
+}
+
+/// Start-of-iteration bookkeeping every backend shares: table selection
+/// and the claim-epoch bump. Bumping the epoch unclaims every cell stamped
+/// in earlier steps; the (once per ~4G steps) wrap rebuilds the stamp
+/// invariant from scratch.
+inline void stepPrologue(FastCtx &C) {
+  selectTables(C);
+  if (++C.Epoch == ObstacleStamp) {
+    std::fill_n(C.StampP, C.Cells, 0u);
+    for (int J = 0; J != C.NumObst; ++J)
+      C.StampP[C.ObstC[J]] = ObstacleStamp;
+    C.Epoch = 1;
+  }
+}
+
+/// End-of-pass-1 success latch: when every agent became informed the
+/// replica solves, Time stays at t_comm and the step's actions never run.
+inline void latchSolved(FastCtx &C) {
+  if (C.NewInformed == C.K) {
+    C.Done = true;
+    C.Success = true;
+  }
+}
+
+/// Pass 1 over every agent: exchange, observation, and arbitration fused
+/// into one sweep (the scalar backend). The context is spilled into local
+/// restrict pointers first — member-level restrict is too weak for GCC to
+/// keep the pointer set in registers across the uint8_t stores, and this
+/// loop is the hottest code in the repo.
+///  - Exchange: CellComm holds the pre-step word of every cell (0 when
+///    empty), so each agent ORs its neighbour ring with no occupancy
+///    branch, and the result goes straight into Comm — no double buffer.
+///    Nothing else in pass 1 reads Comm, so the success check can wait
+///    until the sweep ends (claims are scratch; on success the step's
+///    actions are skipped exactly as the reference engine skips them).
+///  - Arbitration: losesConflict only asks whether a LOWER-id requester
+///    claims the same cell, and agents run in id order — so when agent Id
+///    arrives, every claim that can beat it is already stamped and its
+///    canmove is final immediately (occupancy is pre-step and untouched
+///    here). "Enterable" needs no occupancy array at all: a cell holds an
+///    agent exactly when its CellComm word is nonzero (every agent's word
+///    carries its own bit), and obstacle cells carry the permanent
+///    ObstacleStamp so one epoch compare rejects both prior claims and
+///    obstacles. The claim update is a branch-free max so the
+///    genome-dependent move output never becomes a mispredicting branch.
+///  - The entry for the final (blocked-corrected) input is resolved now —
+///    blocked flips only the lowest input bit, i.e. shifts the table row
+///    by States — and its Move bit is masked by the arbitration verdict,
+///    so pass 2 does no table addressing and no canmove load at all.
+template <int DegT> inline void pass1Sweep(FastCtx &C) {
+  const int16_t *__restrict__ NB = C.NB;
+  uint64_t *__restrict__ CommW = C.CommW;
+  const uint64_t *__restrict__ CellW = C.CellW;
+  const uint64_t *__restrict__ AgentP = C.AgentP;
+  const uint8_t *__restrict__ ColorsP = C.ColorsP;
+  uint32_t *__restrict__ StampP = C.StampP;
+  uint64_t *__restrict__ SelP = C.SelP;
+  const PackedEntry *TabEven = C.TabEven, *TabOdd = C.TabOdd;
+  const uint64_t Full = C.Full;
+  const uint32_t Epoch = C.Epoch;
+  const int St = C.St, NC = C.NC, K = C.K;
+  const uint32_t Gaze = C.Gaze ? MoveBit : 0;
+  int NewInformed = 0;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t A = AgentP[Id];
+    const int Cell = agentCell(A);
+    const int16_t *N = &NB[static_cast<size_t>(Cell) * DegT];
+    uint64_t W = CommW[Id];
+    for (int D = 0; D != DegT; ++D)
+      W |= CellW[N[D]];
+    CommW[Id] = W;
+    NewInformed += (W == Full);
+
+    const int Front = N[agentDir(A)];
+    const size_t RowIdx =
+        static_cast<size_t>(2 * (ColorsP[Cell] + NC * ColorsP[Front]) * St) +
+        agentState(A);
+    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
+    // Both row variants are loaded unconditionally and blended with mask
+    // arithmetic — everything below compiles to straight-line code, so the
+    // genome-dependent request/verdict bits never become mispredicting
+    // branches (they are near-random across a replica's agents).
+    const PackedEntry EntFree = Tab[RowIdx];
+    // Blocked flips the lowest input bit, i.e. shifts the row by St.
+    const PackedEntry EntBlocked = Tab[RowIdx + static_cast<size_t>(St)];
+    // Claims: ids ascend, so a prior claim is already the row minimum and
+    // LosesConflict collapses to "someone claimed Front before me" — the
+    // min() of the reference implementation is a no-op here. The stamp
+    // update is a max so a request can never overwrite the obstacle
+    // sentinel (and re-stamping an already-claimed cell is idempotent).
+    const bool Requests = ((EntFree | Gaze) & MoveBit) != 0;
+    const uint32_t Prior = StampP[Front];
+    const bool Open = Prior < Epoch; // Unclaimed and not an obstacle.
+    StampP[Front] =
+        std::max(Prior, Epoch & (0u - static_cast<uint32_t>(Requests)));
+    const bool Can = (CellW[Front] == 0) & Open;
+    // The selected entry's move bit is masked by the verdict so pass 2
+    // does no table access and no canmove load at all.
+    const uint32_t CanMask = 0u - static_cast<uint32_t>(Can);
+    const PackedEntry Sel =
+        (EntFree & CanMask) | (EntBlocked & ~MoveBit & ~CanMask);
+    SelP[Id] = Sel | (static_cast<uint64_t>(static_cast<uint32_t>(Front))
+                      << 32);
+  }
+  C.NewInformed = NewInformed;
+}
+
+/// Pass 2 over every agent: apply the selected entries, keeping the
+/// per-cell comm words in sync. Moves are applied with unconditional
+/// stores (clear own cell, write the final cell) so the genome-dependent
+/// move bit never becomes a branch: a mover's target was empty and
+/// uncontested pre-step, so the clears of later agents (all on
+/// pre-step-occupied cells) cannot hit an earlier agent's target.
+inline void pass2Sweep(FastCtx &C) {
+  const uint64_t *__restrict__ SelP = C.SelP;
+  uint64_t *__restrict__ AgentP = C.AgentP;
+  uint8_t *__restrict__ ColorsP = C.ColorsP;
+  int32_t *__restrict__ VisitP = C.VisitP;
+  const uint64_t *__restrict__ CommW = C.CommW;
+  uint64_t *__restrict__ CellW = C.CellW;
+  const uint8_t(*__restrict__ TurnMap)[4] = C.TurnMap;
+  const bool ColorsOn = C.ColorsOn;
+  const bool NeedV = C.NeedVisits;
+  const int K = C.K;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t E = SelP[Id];
+    const PackedEntry En = static_cast<uint32_t>(E);
+    const int Front = static_cast<int32_t>(E >> 32);
+    const uint64_t A = AgentP[Id];
+    const int Cell = agentCell(A);
+    if (ColorsOn)
+      ColorsP[Cell] = entryColor(En);
+    const uint32_t NewDir = TurnMap[agentDir(A)][entryTurn(En)];
+    const bool Moves = entryMoves(En); // Blocked was masked in pass 1.
+    // XOR-blend instead of a select: the move bit is genome-dependent and
+    // GCC compiles the ternary into a mispredicting branch.
+    const int NewC = Cell ^ ((Cell ^ Front) & -static_cast<int>(Moves));
+    CellW[Cell] = 0;
+    CellW[NewC] = CommW[Id];
+    if (NeedV) // Loop-invariant; only the diff tests capture visits.
+      VisitP[NewC] += Moves;
+    AgentP[Id] = packAgent(NewC, static_cast<uint8_t>(NewDir),
+                           entryState(En));
+  }
+}
+
+/// One iteration's exchange/observe/arbitrate phase (pass 1 over every
+/// agent, scalar backend). Latches Done (with Success) when the replica
+/// solves.
+template <int DegT> inline void stepPhaseA(FastCtx &C) {
+  stepPrologue(C);
+  pass1Sweep<DegT>(C);
+  latchSolved(C);
+}
+
+/// One iteration's action phase (pass 2 over every agent) plus the cutoff
+/// check. Only legal when phase A did not latch Done.
+inline void stepPhaseB(FastCtx &C) {
+  pass2Sweep(C);
+  if (++C.Time >= C.MaxSteps)
+    C.Done = true; // Cutoff reached; Success stays false.
+}
+
+/// Single-replica scalar step loop to completion (also the lockstep
+/// straggler path once only one replica is still running).
+template <int DegT> inline void soloRunScalar(FastCtx &C) {
+  while (!C.Done) {
+    stepPhaseA<DegT>(C);
+    if (!C.Done)
+      stepPhaseB(C);
+  }
+}
+
+/// Terminal materialisation: per-agent Informed flags (kept lazy during
+/// the loop) and the all-zero CellComm invariant for the next replica.
+inline void fastEpilogue(FastCtx &C) {
+  if (C.Success) {
+    std::fill_n(C.InformedP, C.K, uint8_t(1));
+  } else {
+    // Cutoff: the flags of the last exchange (the tracked count already
+    // matches them; a MaxSteps = 0 run never exchanged and keeps its
+    // reset-time flags and count).
+    if (C.MaxSteps > 0)
+      for (int Id = 0; Id != C.K; ++Id)
+        C.InformedP[Id] = C.CommW[Id] == C.Full;
+  }
+  for (int Id = 0; Id != C.K; ++Id)
+    C.CellW[agentCell(C.AgentP[Id])] = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Two-stage pass-1 machinery (sliced64 and avx2 backends)
+//===----------------------------------------------------------------------===//
+
+/// Per-agent boolean verdicts of one stage-A sweep, bit-sliced across the
+/// replica's agents into 64-bit words (the fast path guarantees k <= 64:
+/// it requires a single communication word). Bit Id of each word belongs
+/// to agent Id.
+struct StageAWords {
+  uint64_t Requests = 0; ///< FSM would move under the blocked=0 hypothesis.
+  uint64_t FrontOcc = 0; ///< The agent's front cell holds an agent.
+  uint64_t Informed = 0; ///< Comm word reached the all-survivors mask.
+};
+
+/// Stage A for one agent: exchange + observation, recording the verdicts
+/// in \p W and stashing the two candidate table entries in ScratchP (and
+/// the front cell in SelP's high half) for stage B. Reads only pre-step
+/// state; writes only agent \p Id's slots — agents are independent, which
+/// is what lets the AVX2 kernel run eight of these per instruction.
+template <int DegT> inline void stageAOne(FastCtx &C, int Id, StageAWords &W) {
+  const uint64_t A = C.AgentP[Id];
+  const int Cell = agentCell(A);
+  const int16_t *N = &C.NB[static_cast<size_t>(Cell) * DegT];
+  uint64_t Row = C.CommW[Id];
+  for (int D = 0; D != DegT; ++D)
+    Row |= C.CellW[N[D]];
+  C.CommW[Id] = Row;
+  W.Informed |= static_cast<uint64_t>(Row == C.Full) << Id;
+
+  const int Front = N[agentDir(A)];
+  const size_t RowIdx =
+      static_cast<size_t>(2 * (C.ColorsP[Cell] + C.NC * C.ColorsP[Front]) *
+                          C.St) +
+      agentState(A);
+  const PackedEntry *Tab = (Id & 1) ? C.TabOdd : C.TabEven;
+  const PackedEntry EntFree = Tab[RowIdx];
+  const PackedEntry EntBlocked = Tab[RowIdx + static_cast<size_t>(C.St)];
+  const uint32_t Gaze = C.Gaze ? MoveBit : 0;
+  W.Requests |= static_cast<uint64_t>(((EntFree | Gaze) & MoveBit) != 0)
+                << Id;
+  W.FrontOcc |= static_cast<uint64_t>(C.CellW[Front] != 0) << Id;
+  C.ScratchP[Id] = EntFree | (static_cast<uint64_t>(EntBlocked) << 32);
+  C.SelP[Id] = static_cast<uint64_t>(static_cast<uint32_t>(Front)) << 32;
+}
+
+/// Stage B: the claim/arbitration sweep, serial in agent id exactly like
+/// the reference engine (a lower id's stamp must be visible to every
+/// higher id targeting the same cell). Consumes the packed stage-A
+/// verdicts, blends the selected entry branch-free, and sets NewInformed
+/// with one popcount over the informed word.
+inline void stageB(FastCtx &C, const StageAWords &W) {
+  uint32_t *__restrict__ StampP = C.StampP;
+  const uint64_t *__restrict__ ScratchP = C.ScratchP;
+  uint64_t *__restrict__ SelP = C.SelP;
+  const uint32_t Epoch = C.Epoch;
+  const int K = C.K;
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t Stash = ScratchP[Id];
+    const PackedEntry EntFree = static_cast<uint32_t>(Stash);
+    const PackedEntry EntBlocked = static_cast<uint32_t>(Stash >> 32);
+    const int Front = static_cast<int32_t>(SelP[Id] >> 32);
+    const bool Requests = (W.Requests >> Id) & 1;
+    const uint32_t Prior = StampP[Front];
+    const bool Open = Prior < Epoch;
+    StampP[Front] =
+        std::max(Prior, Epoch & (0u - static_cast<uint32_t>(Requests)));
+    const bool Can = !((W.FrontOcc >> Id) & 1) & Open;
+    const uint32_t CanMask = 0u - static_cast<uint32_t>(Can);
+    const PackedEntry Sel =
+        (EntFree & CanMask) | (EntBlocked & ~MoveBit & ~CanMask);
+    SelP[Id] = Sel | (static_cast<uint64_t>(static_cast<uint32_t>(Front))
+                      << 32);
+  }
+  C.NewInformed = __builtin_popcountll(W.Informed);
+}
+
+} // namespace simd
+} // namespace ca2a
+
+#endif // CA2A_SIM_SIMD_FASTPATH_H

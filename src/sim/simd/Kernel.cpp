@@ -1,0 +1,28 @@
+//===- sim/simd/Kernel.cpp - Backend-to-kernel dispatch -------------------===//
+
+#include "sim/simd/Kernel.h"
+
+#include <cassert>
+
+namespace ca2a {
+namespace simd {
+
+const LaneKernel &laneKernel(SimdBackend Resolved) {
+  switch (Resolved) {
+  case SimdBackend::Scalar:
+    return scalarLaneKernel();
+  case SimdBackend::Sliced64:
+    return sliced64LaneKernel();
+  case SimdBackend::AVX2:
+    assert(simdBackendAvailable(SimdBackend::AVX2) &&
+           "AVX2 kernel dispatched on a host without AVX2");
+    return avx2LaneKernel();
+  case SimdBackend::Auto:
+    break;
+  }
+  assert(false && "laneKernel() requires a resolved backend");
+  return sliced64LaneKernel();
+}
+
+} // namespace simd
+} // namespace ca2a

@@ -1,0 +1,77 @@
+//===- sim/simd/Kernel.h - Per-backend lane-step kernels --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The function-pointer surface between the batch engine's worker loop and
+/// the per-backend step implementations (KernelScalar.cpp,
+/// KernelSliced64.cpp, KernelAVX2.cpp).
+///
+/// A kernel advances a set of resident fast-path replicas ("lanes") by one
+/// iteration per step() call: phase A (exchange, observation, arbitration;
+/// latches Done with Success on solve) for every lane that is not Done,
+/// then phase B (actions + cutoff check) for every lane still not Done.
+/// Lanes are independent replicas — the kernel choice and the lane
+/// grouping cannot change a single bit of any replica's trajectory, which
+/// is what keeps every backend bit-identical to the reference World (the
+/// per-backend differential matrix in tests/sim pins this).
+///
+/// solo() runs one lane to completion with the backend's tight loop (the
+/// straggler path once a worker's arena has a single live replica left).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_SIMD_KERNEL_H
+#define CA2A_SIM_SIMD_KERNEL_H
+
+#include "sim/simd/Backend.h"
+
+namespace ca2a {
+namespace simd {
+
+struct FastCtx;
+
+/// Advance every not-Done lane by one iteration.
+using LaneStepFn = void (*)(FastCtx *const *Lanes, int NumLanes);
+/// Run one lane to completion.
+using LaneSoloFn = void (*)(FastCtx &Lane);
+
+/// One backend's step entry points, per torus degree (4 = square grid,
+/// 6 = triangulate grid).
+struct LaneKernel {
+  SimdBackend Backend = SimdBackend::Scalar;
+  /// Lanes the worker arena should keep resident for this kernel. Sized
+  /// so the combined per-cell state of a paper-sized field stays inside
+  /// L1/L2 (tuned on the bench_batch workload).
+  int PreferredLanes = 8;
+  LaneStepFn Step4 = nullptr;
+  LaneStepFn Step6 = nullptr;
+  LaneSoloFn Solo4 = nullptr;
+  LaneSoloFn Solo6 = nullptr;
+};
+
+/// The kernel of a *concrete* (resolved, non-Auto) backend. The AVX2
+/// kernel is only returned when simdBackendAvailable(AVX2) — callers
+/// resolve first.
+const LaneKernel &laneKernel(SimdBackend Resolved);
+
+/// True when this binary carries the AVX2 kernel (compiled on an x86-64
+/// toolchain with -mavx2 support). Runtime cpuid is probed separately by
+/// simdBackendAvailable().
+bool avx2KernelCompiled();
+
+/// Per-backend accessors (implementation detail of laneKernel; one per
+/// kernel translation unit). Without a compiled AVX2 kernel,
+/// avx2LaneKernel() aliases the scalar kernel and is never dispatched.
+const LaneKernel &scalarLaneKernel();
+const LaneKernel &sliced64LaneKernel();
+const LaneKernel &avx2LaneKernel();
+
+} // namespace simd
+} // namespace ca2a
+
+#endif // CA2A_SIM_SIMD_KERNEL_H

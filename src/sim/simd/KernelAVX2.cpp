@@ -1,0 +1,236 @@
+//===- sim/simd/KernelAVX2.cpp - AVX2 gather/blend lane kernel ------------===//
+//
+// The x86-64 vector backend: the two-stage pass-1 split of FastPath.h with
+// stage A executed eight agents per instruction. The stage-A work —
+// neighbour-OR exchange, front-cell lookup, colour observation, table row
+// resolution — is independent across agents (it reads only pre-step state
+// and writes only per-agent slots), so it maps onto AVX2 gathers over the
+// shared per-cell arrays and mask blends over the per-agent ones. The
+// boolean verdicts come back as movemask bits, which drop straight into
+// the 64-bit verdict words stage B consumes; stage B (the claim sweep,
+// serial in agent id by the arbitration contract) and pass 2 are shared
+// with the portable backends, so every value this kernel produces is
+// computed by the same arithmetic in the same order as the scalar sweep —
+// bit-identical by construction, and pinned by the per-backend
+// differential matrix in tests/sim.
+//
+// Memory-safety contract with the engine (see BatchEngine.cpp):
+//   * The narrowed neighbour table carries >= 2 padding entries so the
+//     4-byte scale-1 gathers of the last cell's int16 row stay in the
+//     allocation.
+//   * The colour array carries >= 4 padding bytes for the same reason.
+//   * Gathered table rows need no padding: the blocked-variant index
+//     len - 1 is the last element, read exactly.
+//
+// This translation unit is compiled with -mavx2 (see src/CMakeLists.txt)
+// and its kernels are dispatched only when cpuid reports AVX2 at run time,
+// so the fat binary still runs on any x86-64 host. On toolchains or
+// architectures without AVX2 support the file compiles to a stub that
+// reports the kernel absent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/simd/FastPath.h"
+#include "sim/simd/Kernel.h"
+
+#if defined(CA2A_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ca2a {
+namespace simd {
+namespace {
+
+/// Stage A for agents [Id0, Id0 + 8). Precondition: the step's even and
+/// odd tables coincide (Single always, TimeShuffle every step) — the
+/// caller falls back to the scalar stage-A body otherwise, since a
+/// per-parity table base cannot be a single gather base.
+template <int DegT>
+inline void stageAChunk8(FastCtx &C, int Id0, StageAWords &W) {
+  const int *NBb = reinterpret_cast<const int *>(C.NB);
+  const long long *CW = reinterpret_cast<const long long *>(C.CellW);
+  const int *ColB = reinterpret_cast<const int *>(C.ColorsP);
+  const int *Tab = reinterpret_cast<const int *>(C.TabEven);
+  const __m256i Mask16 = _mm256_set1_epi32(0xFFFF);
+  const __m256i Mask8 = _mm256_set1_epi32(0xFF);
+  const __m256i Zero = _mm256_setzero_si256();
+
+  // Unpack the 8 packed agent words into cell / direction / state vectors.
+  const __m256i A03 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i *>(C.AgentP + Id0));
+  const __m256i A47 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i *>(C.AgentP + Id0 + 4));
+  const __m256i EvenIdx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i OddIdx = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+  const __m256i Cells = _mm256_permute2x128_si256(
+      _mm256_permutevar8x32_epi32(A03, EvenIdx),
+      _mm256_permutevar8x32_epi32(A47, EvenIdx), 0x20);
+  const __m256i HiW = _mm256_permute2x128_si256(
+      _mm256_permutevar8x32_epi32(A03, OddIdx),
+      _mm256_permutevar8x32_epi32(A47, OddIdx), 0x20);
+  const __m256i Dirs = _mm256_and_si256(HiW, Mask8);
+  const __m256i States =
+      _mm256_and_si256(_mm256_srli_epi32(HiW, 8), Mask8);
+
+  // Byte offset of each agent's int16 neighbour row (stride 2 * DegT).
+  const __m256i RowOff =
+      _mm256_mullo_epi32(Cells, _mm256_set1_epi32(2 * DegT));
+
+  // Exchange: OR the DegT neighbour cells' comm words into each agent's
+  // row. Neighbour indices come from scale-1 dword gathers over the
+  // padded int16 table; comm words from scale-8 qword gathers.
+  __m256i W03 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i *>(C.CommW + Id0));
+  __m256i W47 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i *>(C.CommW + Id0 + 4));
+  for (int D = 0; D != DegT; ++D) {
+    const __m256i ND = _mm256_and_si256(
+        _mm256_i32gather_epi32(
+            NBb, _mm256_add_epi32(RowOff, _mm256_set1_epi32(2 * D)), 1),
+        Mask16);
+    W03 = _mm256_or_si256(
+        W03, _mm256_i32gather_epi64(CW, _mm256_castsi256_si128(ND), 8));
+    W47 = _mm256_or_si256(
+        W47, _mm256_i32gather_epi64(CW, _mm256_extracti128_si256(ND, 1), 8));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.CommW + Id0), W03);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.CommW + Id0 + 4), W47);
+  const __m256i FullV =
+      _mm256_set1_epi64x(static_cast<long long>(C.Full));
+  const int InfLo = _mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(W03, FullV)));
+  const int InfHi = _mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(W47, FullV)));
+  W.Informed |= static_cast<uint64_t>(InfLo | (InfHi << 4)) << Id0;
+
+  // Front cells (the Dirs-th neighbour) and their occupancy verdicts — a
+  // cell holds an agent exactly when its comm word is nonzero.
+  const __m256i Front = _mm256_and_si256(
+      _mm256_i32gather_epi32(
+          NBb, _mm256_add_epi32(RowOff, _mm256_slli_epi32(Dirs, 1)), 1),
+      Mask16);
+  const __m256i FW03 =
+      _mm256_i32gather_epi64(CW, _mm256_castsi256_si128(Front), 8);
+  const __m256i FW47 =
+      _mm256_i32gather_epi64(CW, _mm256_extracti128_si256(Front, 1), 8);
+  const int EmptyLo = _mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(FW03, Zero)));
+  const int EmptyHi = _mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(FW47, Zero)));
+  W.FrontOcc |= static_cast<uint64_t>((~EmptyLo & 0xF) |
+                                      ((~EmptyHi & 0xF) << 4))
+                << Id0;
+
+  // Observation: own and front colours (scale-1 dword gathers over the
+  // padded byte array), then the flat table row index
+  // 2 * (own + NC * front) * St + state, and both entry variants.
+  const __m256i ColC =
+      _mm256_and_si256(_mm256_i32gather_epi32(ColB, Cells, 1), Mask8);
+  const __m256i ColF =
+      _mm256_and_si256(_mm256_i32gather_epi32(ColB, Front, 1), Mask8);
+  const __m256i RowIdx = _mm256_add_epi32(
+      _mm256_mullo_epi32(
+          _mm256_slli_epi32(
+              _mm256_add_epi32(
+                  ColC, _mm256_mullo_epi32(ColF, _mm256_set1_epi32(C.NC))),
+              1),
+          _mm256_set1_epi32(C.St)),
+      States);
+  const __m256i EntFree = _mm256_i32gather_epi32(Tab, RowIdx, 4);
+  const __m256i EntBlocked = _mm256_i32gather_epi32(
+      Tab, _mm256_add_epi32(RowIdx, _mm256_set1_epi32(C.St)), 4);
+
+  // Move-request verdicts.
+  const __m256i GazeV =
+      _mm256_set1_epi32(C.Gaze ? static_cast<int>(MoveBit) : 0);
+  const __m256i ReqZero = _mm256_cmpeq_epi32(
+      _mm256_and_si256(_mm256_or_si256(EntFree, GazeV),
+                       _mm256_set1_epi32(static_cast<int>(MoveBit))),
+      Zero);
+  const int ReqZ =
+      _mm256_movemask_ps(_mm256_castsi256_ps(ReqZero));
+  W.Requests |= static_cast<uint64_t>(~ReqZ & 0xFF) << Id0;
+
+  // Stash for stage B: ScratchP[Id] = EntFree | EntBlocked << 32 and
+  // SelP[Id] = Front << 32, via dword interleaves.
+  const __m256i SLo = _mm256_unpacklo_epi32(EntFree, EntBlocked);
+  const __m256i SHi = _mm256_unpackhi_epi32(EntFree, EntBlocked);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.ScratchP + Id0),
+                      _mm256_permute2x128_si256(SLo, SHi, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.ScratchP + Id0 + 4),
+                      _mm256_permute2x128_si256(SLo, SHi, 0x31));
+  const __m256i FLo = _mm256_unpacklo_epi32(Zero, Front);
+  const __m256i FHi = _mm256_unpackhi_epi32(Zero, Front);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.SelP + Id0),
+                      _mm256_permute2x128_si256(FLo, FHi, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(C.SelP + Id0 + 4),
+                      _mm256_permute2x128_si256(FLo, FHi, 0x31));
+}
+
+/// One iteration's phase A: vector chunks of 8 with a scalar tail; whole
+/// lane falls back to the scalar stage-A body when the step's two table
+/// slots differ by agent parity (SpeciesParity). Stage B is the shared
+/// serial claim sweep.
+template <int DegT> inline void stepPhaseAAVX2(FastCtx &C) {
+  stepPrologue(C);
+  StageAWords W;
+  if (C.TabEven != C.TabOdd) {
+    for (int Id = 0; Id != C.K; ++Id)
+      stageAOne<DegT>(C, Id, W);
+  } else {
+    int Id = 0;
+    for (; Id + 8 <= C.K; Id += 8)
+      stageAChunk8<DegT>(C, Id, W);
+    for (; Id != C.K; ++Id)
+      stageAOne<DegT>(C, Id, W);
+  }
+  stageB(C, W);
+  latchSolved(C);
+}
+
+template <int DegT> void stepLanesAVX2(FastCtx *const *Lanes, int NumLanes) {
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseAAVX2<DegT>(*Lanes[L]);
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseB(*Lanes[L]);
+}
+
+template <int DegT> void soloLaneAVX2(FastCtx &C) {
+  while (!C.Done) {
+    stepPhaseAAVX2<DegT>(C);
+    if (!C.Done)
+      stepPhaseB(C);
+  }
+}
+
+} // namespace
+
+bool avx2KernelCompiled() { return true; }
+
+const LaneKernel &avx2LaneKernel() {
+  static const LaneKernel K = {SimdBackend::AVX2, 8, stepLanesAVX2<4>,
+                               stepLanesAVX2<6>, soloLaneAVX2<4>,
+                               soloLaneAVX2<6>};
+  return K;
+}
+
+} // namespace simd
+} // namespace ca2a
+
+#else // !CA2A_SIMD_AVX2
+
+namespace ca2a {
+namespace simd {
+
+bool avx2KernelCompiled() { return false; }
+
+/// Never dispatched (simdBackendAvailable(AVX2) is false without the
+/// compiled kernel); returning the scalar kernel keeps the symbol defined.
+const LaneKernel &avx2LaneKernel() { return scalarLaneKernel(); }
+
+} // namespace simd
+} // namespace ca2a
+
+#endif // CA2A_SIMD_AVX2

@@ -1,0 +1,39 @@
+//===- sim/simd/KernelScalar.cpp - Scalar lane kernel ---------------------===//
+//
+// The baseline backend: the fused per-agent sweep of FastPath.h applied to
+// each lane in turn. Phase A of every live lane runs before any phase B —
+// interleaving independent replicas at phase granularity fills the
+// pipeline stalls a single replica's dependence chains leave open (the
+// PR-4 lockstep discipline, unchanged).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/simd/FastPath.h"
+#include "sim/simd/Kernel.h"
+
+namespace ca2a {
+namespace simd {
+namespace {
+
+template <int DegT> void stepLanesScalar(FastCtx *const *Lanes, int NumLanes) {
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseA<DegT>(*Lanes[L]);
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseB(*Lanes[L]);
+}
+
+template <int DegT> void soloLaneScalar(FastCtx &C) { soloRunScalar<DegT>(C); }
+
+} // namespace
+
+const LaneKernel &scalarLaneKernel() {
+  static const LaneKernel K = {SimdBackend::Scalar, 8, stepLanesScalar<4>,
+                               stepLanesScalar<6>, soloLaneScalar<4>,
+                               soloLaneScalar<6>};
+  return K;
+}
+
+} // namespace simd
+} // namespace ca2a

@@ -1,0 +1,105 @@
+//===- sim/simd/KernelSliced64.cpp - Portable verdict-sliced kernel -------===//
+//
+// The portable lane-parallel backend: pass 1 is split into the two-stage
+// form of FastPath.h. Stage A sweeps the agents doing only the independent
+// gather/observe work — neighbour-OR exchange, table row resolution — and
+// bit-slices the step's boolean verdicts (move request, front occupancy,
+// informedness) into 64-bit words indexed by agent id (the fast path
+// guarantees k <= 64). Stage B replays the claim/arbitration sweep in id
+// order off those packed words, and the success check collapses to one
+// popcount. Plain C++ throughout: this backend runs on any host and is the
+// structural template the AVX2 kernel vectorises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/simd/FastPath.h"
+#include "sim/simd/Kernel.h"
+
+namespace ca2a {
+namespace simd {
+namespace {
+
+/// Stage A over every agent, hoisted into local restrict pointers (the
+/// same discipline as pass1Sweep — GCC will not keep the pointer set in
+/// registers across stores otherwise). Per agent this computes exactly
+/// what stageAOne computes, in the same order.
+template <int DegT> void stageASweep(FastCtx &C, StageAWords &W) {
+  const int16_t *__restrict__ NB = C.NB;
+  uint64_t *__restrict__ CommW = C.CommW;
+  const uint64_t *__restrict__ CellW = C.CellW;
+  const uint64_t *__restrict__ AgentP = C.AgentP;
+  const uint8_t *__restrict__ ColorsP = C.ColorsP;
+  uint64_t *__restrict__ SelP = C.SelP;
+  uint64_t *__restrict__ ScratchP = C.ScratchP;
+  const PackedEntry *TabEven = C.TabEven, *TabOdd = C.TabOdd;
+  const uint64_t Full = C.Full;
+  const int St = C.St, NC = C.NC, K = C.K;
+  const uint32_t Gaze = C.Gaze ? MoveBit : 0;
+  uint64_t Requests = 0, FrontOcc = 0, Informed = 0;
+
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t A = AgentP[Id];
+    const int Cell = agentCell(A);
+    const int16_t *N = &NB[static_cast<size_t>(Cell) * DegT];
+    uint64_t Row = CommW[Id];
+    for (int D = 0; D != DegT; ++D)
+      Row |= CellW[N[D]];
+    CommW[Id] = Row;
+    Informed |= static_cast<uint64_t>(Row == Full) << Id;
+
+    const int Front = N[agentDir(A)];
+    const size_t RowIdx =
+        static_cast<size_t>(2 * (ColorsP[Cell] + NC * ColorsP[Front]) * St) +
+        agentState(A);
+    const PackedEntry *Tab = (Id & 1) ? TabOdd : TabEven;
+    const PackedEntry EntFree = Tab[RowIdx];
+    const PackedEntry EntBlocked = Tab[RowIdx + static_cast<size_t>(St)];
+    Requests |= static_cast<uint64_t>(((EntFree | Gaze) & MoveBit) != 0)
+                << Id;
+    FrontOcc |= static_cast<uint64_t>(CellW[Front] != 0) << Id;
+    ScratchP[Id] = EntFree | (static_cast<uint64_t>(EntBlocked) << 32);
+    SelP[Id] = static_cast<uint64_t>(static_cast<uint32_t>(Front)) << 32;
+  }
+  W.Requests = Requests;
+  W.FrontOcc = FrontOcc;
+  W.Informed = Informed;
+}
+
+/// One iteration's phase A in two-stage form.
+template <int DegT> inline void stepPhaseASliced(FastCtx &C) {
+  stepPrologue(C);
+  StageAWords W;
+  stageASweep<DegT>(C, W);
+  stageB(C, W);
+  latchSolved(C);
+}
+
+template <int DegT> void stepLanesSliced(FastCtx *const *Lanes,
+                                         int NumLanes) {
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseASliced<DegT>(*Lanes[L]);
+  for (int L = 0; L != NumLanes; ++L)
+    if (!Lanes[L]->Done)
+      stepPhaseB(*Lanes[L]);
+}
+
+template <int DegT> void soloLaneSliced(FastCtx &C) {
+  while (!C.Done) {
+    stepPhaseASliced<DegT>(C);
+    if (!C.Done)
+      stepPhaseB(C);
+  }
+}
+
+} // namespace
+
+const LaneKernel &sliced64LaneKernel() {
+  static const LaneKernel K = {SimdBackend::Sliced64, 8, stepLanesSliced<4>,
+                               stepLanesSliced<6>, soloLaneSliced<4>,
+                               soloLaneSliced<6>};
+  return K;
+}
+
+} // namespace simd
+} // namespace ca2a

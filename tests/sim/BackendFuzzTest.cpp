@@ -1,0 +1,339 @@
+//===- tests/sim/BackendFuzzTest.cpp - Per-backend differential fuzzing ---===//
+//
+// The SIMD dispatch layer's bit-identity contract, fuzzed: seeded random
+// configurations (the same option space BatchEngineDiffTest sweeps —
+// grids, sides, agent counts across word boundaries, faults, borders,
+// obstacles, arbitration modes, colour ablation, genome policies,
+// degenerate cutoffs) run through the reference World once and then
+// through BatchEngine under EVERY concretely available lane kernel. Each
+// backend must reproduce the reference SimResult and the full final field
+// exactly — a single differing bit anywhere fails with the drawn
+// configuration and the offending backend named.
+//
+// The sweep size scales with CA2A_FUZZ_CONFIGS so the default ctest run
+// stays quick; the slow-labelled variant in tests/CMakeLists.txt covers
+// the full 300-configuration contract. The environment-forcing test and
+// the chaos-injection test pin the two dispatch side doors: the
+// CA2A_FORCE_BACKEND override and the retry path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+#include "support/Chaos.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// Sweep size: CA2A_FUZZ_CONFIGS when set, else a quick default.
+int fuzzConfigCount() {
+  if (const char *Env = std::getenv("CA2A_FUZZ_CONFIGS"))
+    if (int N = std::atoi(Env); N > 0)
+      return N;
+  return 30;
+}
+
+/// One randomly drawn simulation configuration, owning stable storage for
+/// the borrowed pointers of BatchReplica.
+struct FuzzConfig {
+  GridKind Kind = GridKind::Square;
+  int Side = 16;
+  Genome A;
+  Genome B;
+  GenomePolicy Policy = GenomePolicy::Single;
+  std::vector<Placement> Placements;
+  SimOptions Options;
+
+  bool twoGenomes() const { return Policy != GenomePolicy::Single; }
+};
+
+/// Draws a configuration covering every option the batch engine claims to
+/// reproduce, deliberately weighted so each backend's special paths come
+/// up often: Single/TimeShuffle hit the AVX2 single-table kernel,
+/// SpeciesParity its per-agent fallback, k > 64 the multi-word general
+/// path, faults/borders/observers the non-fast path.
+FuzzConfig drawConfig(uint64_t Seed, const Torus &T, Rng &R) {
+  FuzzConfig C;
+  C.Kind = T.kind();
+  C.Side = T.sideLength();
+  C.A = Genome::random(R);
+  switch (R.uniformInt(4)) {
+  case 0:
+    C.Policy = GenomePolicy::TimeShuffle;
+    break;
+  case 1:
+    C.Policy = GenomePolicy::SpeciesParity;
+    break;
+  default:
+    C.Policy = GenomePolicy::Single;
+    break;
+  }
+  if (C.twoGenomes())
+    C.B = Genome::random(R);
+
+  SimOptions &O = C.Options;
+  static const int StepChoices[] = {0, 1, 13, 80, 200};
+  O.MaxSteps = StepChoices[R.uniformInt(5)];
+  O.Start = R.uniformInt(2) ? StartStates::idParity()
+                            : StartStates::uniform(static_cast<uint8_t>(
+                                  R.uniformInt(2)));
+  O.ColorsEnabled = R.uniformInt(4) != 0;
+  O.Arbitration = R.uniformInt(2) ? ArbitrationMode::GazePriority
+                                  : ArbitrationMode::RequestPriority;
+  O.Bordered = R.uniformInt(4) == 0;
+  if (R.uniformInt(3) == 0)
+    O.Obstacles =
+        randomObstacles(T, static_cast<int>(R.uniformInt(10)), R);
+  if (R.uniformInt(3) == 0) {
+    bool Heavy = R.uniformInt(4) == 0;
+    O.Faults.StallProbability = Heavy ? 0.3 : 0.05;
+    O.Faults.DeathProbability = Heavy ? 0.08 : 0.005;
+    O.Faults.LinkDropProbability = Heavy ? 0.2 : 0.02;
+    O.Faults.ColorFlipProbability = Heavy ? 0.1 : 0.01;
+    O.Faults.Seed = Seed * 131 + 17;
+  }
+
+  // Lane occupancy matters to the chunked kernels: exercise counts below,
+  // at and beyond the 8-lane chunk width and the 64-bit word boundary.
+  static const int AgentChoices[] = {1, 3, 7, 8, 9, 16, 24, 33, 63, 64,
+                                     65, 96};
+  int NumAgents = AgentChoices[R.uniformInt(12)];
+  int Free = T.numCells() - static_cast<int>(O.Obstacles.size());
+  if (NumAgents > Free)
+    NumAgents = Free;
+  C.Placements =
+      randomConfigurationAvoiding(T, NumAgents, R, O.Obstacles).Placements;
+  return C;
+}
+
+SimResult runReference(World &W, const FuzzConfig &C) {
+  if (C.twoGenomes())
+    W.reset(C.A, C.B, C.Policy, C.Placements, C.Options);
+  else
+    W.reset(C.A, C.Placements, C.Options);
+  return W.run();
+}
+
+BatchReplica replicaFor(const FuzzConfig &C) {
+  BatchReplica Rep;
+  Rep.A = &C.A;
+  Rep.B = C.twoGenomes() ? &C.B : nullptr;
+  Rep.Policy = C.Policy;
+  Rep.Placements = &C.Placements;
+  Rep.Options = &C.Options;
+  return Rep;
+}
+
+void expectFinalStateMatchesWorld(const World &W, const ReplicaFinalState &F,
+                                  const std::string &What) {
+  const Torus &T = W.torus();
+  ASSERT_EQ(static_cast<int>(F.Colors.size()), T.numCells()) << What;
+  ASSERT_EQ(static_cast<int>(F.Occupancy.size()), T.numCells()) << What;
+  for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+    ASSERT_EQ(static_cast<int>(F.Colors[static_cast<size_t>(Cell)]),
+              W.colorValueAt(Cell))
+        << What << ": colour differs at cell " << Cell;
+    ASSERT_EQ(static_cast<int>(F.Occupancy[static_cast<size_t>(Cell)]),
+              W.agentAt(Cell))
+        << What << ": occupancy differs at cell " << Cell;
+    ASSERT_EQ(F.VisitCounts[static_cast<size_t>(Cell)], W.visitCount(Cell))
+        << What << ": visit count differs at cell " << Cell;
+  }
+  ASSERT_EQ(static_cast<int>(F.Agents.size()), W.numAgents()) << What;
+  for (int Id = 0; Id != W.numAgents(); ++Id) {
+    const AgentState &Ref = W.agent(Id);
+    const ReplicaAgentState &Got = F.Agents[static_cast<size_t>(Id)];
+    ASSERT_EQ(Got.Cell, Ref.Cell) << What << ": agent " << Id;
+    ASSERT_EQ(Got.Direction, Ref.Direction) << What << ": agent " << Id;
+    ASSERT_EQ(Got.ControlState, Ref.ControlState) << What << ": agent "
+                                                  << Id;
+    ASSERT_EQ(Got.Informed, Ref.Informed) << What << ": agent " << Id;
+    ASSERT_EQ(Got.Alive, Ref.Alive) << What << ": agent " << Id;
+    ASSERT_TRUE(Got.Comm == Ref.Comm)
+        << What << ": agent " << Id << " communication vector differs";
+  }
+}
+
+std::string describeConfig(uint64_t Seed, const FuzzConfig &C) {
+  std::string S = "seed " + std::to_string(Seed) + ": ";
+  S += gridKindName(C.Kind);
+  S += std::to_string(C.Side) + "x" + std::to_string(C.Side) + " k=" +
+       std::to_string(C.Placements.size()) + " policy=" +
+       std::to_string(static_cast<int>(C.Policy)) + " steps=" +
+       std::to_string(C.Options.MaxSteps);
+  if (C.Options.Bordered)
+    S += " bordered";
+  if (!C.Options.Obstacles.empty())
+    S += " obstacles=" + std::to_string(C.Options.Obstacles.size());
+  if (C.Options.Faults.any())
+    S += " faults";
+  if (C.Options.Arbitration == ArbitrationMode::GazePriority)
+    S += " gaze";
+  if (!C.Options.ColorsEnabled)
+    S += " nocolors";
+  return S;
+}
+
+/// Clears CA2A_FORCE_BACKEND for the test's scope and restores any
+/// ambient value on exit, so a CI job that forces a backend globally does
+/// not fight the tests that set it locally.
+class ScopedForceBackend {
+public:
+  ScopedForceBackend() {
+    if (const char *Env = std::getenv(simdBackendForceEnvVar()))
+      Saved = Env;
+    ::unsetenv(simdBackendForceEnvVar());
+  }
+  ~ScopedForceBackend() {
+    if (Saved.empty())
+      ::unsetenv(simdBackendForceEnvVar());
+    else
+      ::setenv(simdBackendForceEnvVar(), Saved.c_str(), 1);
+  }
+  void set(const char *Value) {
+    ::setenv(simdBackendForceEnvVar(), Value, 1);
+  }
+
+private:
+  std::string Saved;
+};
+
+} // namespace
+
+// The backbone: every drawn configuration must produce a bit-identical
+// SimResult and final field from every available lane kernel.
+TEST(BackendFuzzTest, RandomConfigSweepIsIdenticalUnderEveryBackend) {
+  ScopedForceBackend Env; // The explicit knob must not be overridden.
+  const std::vector<SimdBackend> Backends = availableSimdBackends();
+  ASSERT_FALSE(Backends.empty());
+  const int NumConfigs = fuzzConfigCount();
+  for (int I = 0; I != NumConfigs; ++I) {
+    uint64_t Seed = 0xf0220000ull + static_cast<uint64_t>(I);
+    Rng R(Seed);
+    GridKind Kind =
+        R.uniformInt(2) ? GridKind::Triangulate : GridKind::Square;
+    static const int SideChoices[] = {8, 9, 12, 16};
+    Torus T(Kind, SideChoices[R.uniformInt(4)]);
+    FuzzConfig C = drawConfig(Seed, T, R);
+    std::string What = describeConfig(Seed, C);
+
+    World W(T);
+    SimResult Ref = runReference(W, C);
+
+    BatchEngine Engine(T);
+    for (SimdBackend Backend : Backends) {
+      std::vector<ReplicaFinalState> Finals;
+      BatchRunStats Stats;
+      BatchRunOptions RunOptions;
+      RunOptions.Backend = Backend;
+      RunOptions.FinalStates = &Finals;
+      RunOptions.Stats = &Stats;
+      std::vector<SimResult> Got = Engine.run({replicaFor(C)}, RunOptions);
+      std::string Where = What + " [" + simdBackendName(Backend) + "]";
+      ASSERT_EQ(Got.size(), 1u) << Where;
+      ASSERT_EQ(Stats.BackendUsed, Backend)
+          << Where << ": requested kernel was not the one dispatched";
+      ASSERT_TRUE(Got[0] == Ref)
+          << Where << ": SimResult differs — reference {success "
+          << Ref.Success << ", t " << Ref.TComm << ", informed "
+          << Ref.InformedAgents << ", surviving " << Ref.SurvivingAgents
+          << "} backend {" << Got[0].Success << ", " << Got[0].TComm << ", "
+          << Got[0].InformedAgents << ", " << Got[0].SurvivingAgents << "}";
+      ASSERT_EQ(Finals.size(), 1u) << Where;
+      expectFinalStateMatchesWorld(W, Finals[0], Where);
+    }
+  }
+}
+
+// CA2A_FORCE_BACKEND must beat both Auto and an explicit request — that
+// is the CI matrix's whole mechanism — and an unparseable value must warn
+// and fall back instead of failing the run.
+TEST(BackendFuzzTest, ForceEnvironmentVariableOverridesRequests) {
+  ScopedForceBackend Env;
+  Torus T(GridKind::Triangulate, 12);
+  Rng R(0xf0ace);
+  FuzzConfig C = drawConfig(0xf0ace, T, R);
+  C.Options.MaxSteps = 60;
+
+  World W(T);
+  SimResult Ref = runReference(W, C);
+
+  BatchEngine Engine(T);
+  auto RunWith = [&](SimdBackend Requested) {
+    BatchRunStats Stats;
+    BatchRunOptions RunOptions;
+    RunOptions.Backend = Requested;
+    RunOptions.Stats = &Stats;
+    std::vector<SimResult> Got = Engine.run({replicaFor(C)}, RunOptions);
+    EXPECT_EQ(Got.size(), 1u);
+    EXPECT_TRUE(Got[0] == Ref) << "forced backend changed the result";
+    return Stats.BackendUsed;
+  };
+
+  for (SimdBackend Forced : availableSimdBackends()) {
+    Env.set(simdBackendName(Forced));
+    EXPECT_EQ(RunWith(SimdBackend::Auto), Forced)
+        << simdBackendName(Forced) << " did not override Auto";
+    EXPECT_EQ(RunWith(SimdBackend::Scalar), Forced)
+        << simdBackendName(Forced) << " did not override an explicit "
+        << "request";
+  }
+
+  // Garbage in the variable: warn-and-fall-back, never abort. The run
+  // must still resolve to some real backend and match the reference.
+  Env.set("no-such-backend");
+  SimdBackend Used = RunWith(SimdBackend::Auto);
+  EXPECT_NE(Used, SimdBackend::Auto);
+}
+
+// Chaos-injected replica failures route fast-path replicas through the
+// retry machinery; a retried replica must replay bit-identically no
+// matter which kernel steps it. Passes vacuously on CA2A_CHAOS=OFF
+// builds (the injection sites are compiled out).
+TEST(BackendFuzzTest, RetriedReplicasStayIdenticalUnderEveryBackend) {
+  ScopedForceBackend Env;
+  Torus T(GridKind::Triangulate, 12);
+  const int NumReplicas = 16;
+  std::deque<FuzzConfig> Configs;
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != NumReplicas; ++I) {
+    uint64_t Seed = 0xc4a05000ull + static_cast<uint64_t>(I);
+    Rng R(Seed);
+    Configs.push_back(drawConfig(Seed, T, R));
+    Configs.back().Options.MaxSteps = 80;
+    Replicas.push_back(replicaFor(Configs.back()));
+  }
+
+  World W(T);
+  std::vector<SimResult> Reference;
+  for (const FuzzConfig &C : Configs)
+    Reference.push_back(runReference(W, C));
+
+  ChaosSchedule Schedule;
+  Schedule.Seed = 77;
+  Schedule.site(ChaosSite::EngineReplica).FailProbability = 0.2;
+  ScopedChaos Chaos(Schedule);
+
+  BatchEngine Engine(T);
+  for (SimdBackend Backend : availableSimdBackends()) {
+    BatchRunOptions RunOptions;
+    RunOptions.Backend = Backend;
+    RunOptions.Retry.MaxAttempts = 8;
+    RunOptions.Retry.BaseDelayMicros = 1;
+    RunOptions.Retry.MaxDelayMicros = 10;
+    std::vector<SimResult> Got = Engine.run(Replicas, RunOptions);
+    ASSERT_EQ(Got.size(), Reference.size());
+    for (size_t I = 0; I != Got.size(); ++I)
+      EXPECT_TRUE(Got[I] == Reference[I])
+          << simdBackendName(Backend) << " replica " << I
+          << ": retry under chaos diverged from the reference";
+  }
+}

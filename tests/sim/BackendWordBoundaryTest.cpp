@@ -1,0 +1,172 @@
+//===- tests/sim/BackendWordBoundaryTest.cpp - k at 64-bit word edges -----===//
+//
+// The packing edges every lane kernel must get right, pinned as directed
+// cases rather than left to the fuzzer's dice: agent counts straddling
+// the 64-bit communication-word boundaries (k = 1, 63, 64, 65, 127, 128)
+// on odd field sides (9, 11, 13 — no power-of-two alignment accidents),
+// each run under every concretely available backend and compared
+// bit-exactly against the reference World. k = 63/64 sit at the edge of
+// the one-word fast path; k = 65/127/128 force multi-word vectors onto
+// the general path; k = 1 is solved-at-first-check degenerate.
+//
+// The second test drives the same per-backend comparison through the
+// Neighbors16 fallback: a 182x182 torus (33124 cells) cannot narrow its
+// neighbour table to int16, so the engine must take the wide-index
+// general path regardless of the requested kernel — and still match.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+struct BoundaryCase {
+  GridKind Kind = GridKind::Square;
+  int Side = 9;
+  int NumAgents = 1;
+  Genome G;
+  std::vector<Placement> Placements;
+  SimOptions Options;
+};
+
+std::string describeCase(const BoundaryCase &C, SimdBackend Backend) {
+  return std::string(gridKindName(C.Kind)) + std::to_string(C.Side) + "x" +
+         std::to_string(C.Side) + " k=" + std::to_string(C.NumAgents) +
+         " [" + simdBackendName(Backend) + "]";
+}
+
+void expectBackendMatchesReference(const Torus &T, const BoundaryCase &C) {
+  World W(T);
+  W.reset(C.G, C.Placements, C.Options);
+  SimResult Ref = W.run();
+
+  BatchEngine Engine(T);
+  BatchReplica Rep;
+  Rep.A = &C.G;
+  Rep.Placements = &C.Placements;
+  Rep.Options = &C.Options;
+  for (SimdBackend Backend : availableSimdBackends()) {
+    std::string What = describeCase(C, Backend);
+    std::vector<ReplicaFinalState> Finals;
+    BatchRunStats Stats;
+    BatchRunOptions RunOptions;
+    RunOptions.Backend = Backend;
+    RunOptions.FinalStates = &Finals;
+    RunOptions.Stats = &Stats;
+    std::vector<SimResult> Got = Engine.run({Rep}, RunOptions);
+    ASSERT_EQ(Got.size(), 1u) << What;
+    ASSERT_EQ(Stats.BackendUsed, Backend) << What;
+    ASSERT_TRUE(Got[0] == Ref)
+        << What << ": SimResult differs — reference {success " << Ref.Success
+        << ", t " << Ref.TComm << ", informed " << Ref.InformedAgents
+        << "} backend {" << Got[0].Success << ", " << Got[0].TComm << ", "
+        << Got[0].InformedAgents << "}";
+
+    // Spot-check the final field; the fuzz suite owns the exhaustive
+    // comparison, here the word packing is what is on trial.
+    ASSERT_EQ(Finals.size(), 1u) << What;
+    const ReplicaFinalState &F = Finals[0];
+    ASSERT_EQ(static_cast<int>(F.Agents.size()), W.numAgents()) << What;
+    for (int Id = 0; Id != W.numAgents(); ++Id) {
+      const AgentState &RefA = W.agent(Id);
+      const ReplicaAgentState &GotA = F.Agents[static_cast<size_t>(Id)];
+      ASSERT_EQ(GotA.Cell, RefA.Cell) << What << ": agent " << Id;
+      ASSERT_EQ(GotA.Informed, RefA.Informed) << What << ": agent " << Id;
+      ASSERT_TRUE(GotA.Comm == RefA.Comm)
+          << What << ": agent " << Id << " communication vector differs";
+    }
+  }
+}
+
+} // namespace
+
+// k straddling the 64-bit word edges on odd sides, both grids, both
+// arbitration modes: the transition from the one-word fast path (k <= 64)
+// to multi-word general stepping must be invisible in the results.
+TEST(BackendWordBoundaryTest, AgentCountsAcrossWordEdgesMatchReference) {
+  static const int AgentCounts[] = {1, 63, 64, 65, 127, 128};
+  static const int Sides[] = {9, 11, 13};
+  for (GridKind Kind : {GridKind::Triangulate, GridKind::Square}) {
+    for (int Side : Sides) {
+      Torus T(Kind, Side);
+      for (int NumAgents : AgentCounts) {
+        if (NumAgents > T.numCells())
+          continue; // 9x9 = 81 cells cannot seat 127 agents.
+        BoundaryCase C;
+        C.Kind = Kind;
+        C.Side = Side;
+        C.NumAgents = NumAgents;
+        Rng R(0xb0a0d000ull + static_cast<uint64_t>(Side * 1000 +
+                                                    NumAgents * 2 +
+                                                    (Kind == GridKind::Square
+                                                         ? 1
+                                                         : 0)));
+        C.G = Genome::random(R);
+        C.Options.MaxSteps = 120;
+        C.Options.Arbitration = NumAgents % 2
+                                    ? ArbitrationMode::GazePriority
+                                    : ArbitrationMode::RequestPriority;
+        C.Placements =
+            randomConfiguration(T, NumAgents, R).Placements;
+        expectBackendMatchesReference(T, C);
+      }
+    }
+  }
+}
+
+// Same edges with fault injection: the general path owns faulty replicas,
+// and the per-replica RNG stream must draw identically under every
+// requested kernel.
+TEST(BackendWordBoundaryTest, WordEdgesWithFaultsMatchReference) {
+  static const int AgentCounts[] = {63, 64, 65};
+  for (GridKind Kind : {GridKind::Triangulate, GridKind::Square}) {
+    Torus T(Kind, 11);
+    for (int NumAgents : AgentCounts) {
+      BoundaryCase C;
+      C.Kind = Kind;
+      C.Side = 11;
+      C.NumAgents = NumAgents;
+      Rng R(0xfa0d000ull + static_cast<uint64_t>(NumAgents * 2 +
+                                                 (Kind == GridKind::Square
+                                                      ? 1
+                                                      : 0)));
+      C.G = Genome::random(R);
+      C.Options.MaxSteps = 100;
+      C.Options.Faults.StallProbability = 0.05;
+      C.Options.Faults.DeathProbability = 0.01;
+      C.Options.Faults.LinkDropProbability = 0.02;
+      C.Options.Faults.ColorFlipProbability = 0.02;
+      C.Options.Faults.Seed = 0x5eed + static_cast<uint64_t>(NumAgents);
+      C.Placements = randomConfiguration(T, NumAgents, R).Placements;
+      expectBackendMatchesReference(T, C);
+    }
+  }
+}
+
+// Beyond 32767 cells the int16 neighbour table cannot represent the grid
+// and the engine falls back to wide indices; a forced backend must ride
+// that fallback silently and still match the reference exactly. k = 65
+// makes the communication vectors two words on top.
+TEST(BackendWordBoundaryTest, Neighbors16FallbackHonoursForcedBackends) {
+  for (GridKind Kind : {GridKind::Triangulate, GridKind::Square}) {
+    Torus T(Kind, 182);
+    ASSERT_GT(T.numCells(), 32767);
+    BoundaryCase C;
+    C.Kind = Kind;
+    C.Side = 182;
+    C.NumAgents = 65;
+    Rng R(Kind == GridKind::Square ? 0x169a : 0x169b);
+    C.G = Genome::random(R);
+    C.Options.MaxSteps = 25;
+    C.Placements = randomConfiguration(T, C.NumAgents, R).Placements;
+    expectBackendMatchesReference(T, C);
+  }
+}

@@ -21,6 +21,7 @@
 
 #include "gtest/gtest.h"
 
+#include <cstdlib>
 #include <deque>
 #include <string>
 #include <vector>
@@ -95,5 +96,69 @@ TEST(DeterminismTest, SeedSweepIsIdenticalAcrossEnginesAndWorkerCounts) {
             << Reference[I].TComm << ", " << Reference[I].InformedAgents
             << "}";
     }
+  }
+}
+
+// The same invariant crossed with the SIMD dispatch axis: every available
+// lane kernel, forced the way CI forces it (the CA2A_FORCE_BACKEND
+// environment variable), must produce bit-identical results at every
+// worker count. A failure at some (backend, workers) cell and not others
+// localises the bug immediately: backend-dependent → kernel semantics,
+// worker-dependent → scheduling side channel.
+TEST(DeterminismTest, BackendSweepIsIdenticalAcrossWorkerCounts) {
+  // Restore any ambient forced backend when done so the rest of the test
+  // binary runs under the caller's intended configuration.
+  std::string SavedForce;
+  if (const char *Env = std::getenv(simdBackendForceEnvVar()))
+    SavedForce = Env;
+
+  constexpr int NumSeeds = 6;
+  for (GridKind Kind : {GridKind::Triangulate, GridKind::Square}) {
+    Torus T(Kind, 12);
+
+    std::deque<Scenario> Scenarios;
+    std::vector<BatchReplica> Replicas;
+    std::vector<SimResult> Reference;
+    World W(T);
+    for (int I = 0; I != NumSeeds; ++I) {
+      uint64_t Seed = 0xba0e0000ull + static_cast<uint64_t>(I);
+      Scenarios.push_back(drawScenario(Seed, T));
+      const Scenario &S = Scenarios.back();
+      BatchReplica Rep;
+      Rep.A = &S.G;
+      Rep.Placements = &S.Placements;
+      Rep.Options = &S.Options;
+      Replicas.push_back(Rep);
+      W.reset(S.G, S.Placements, S.Options);
+      Reference.push_back(W.run());
+    }
+
+    BatchEngine Engine(T);
+    for (SimdBackend Backend : availableSimdBackends()) {
+      ::setenv(simdBackendForceEnvVar(), simdBackendName(Backend), 1);
+      for (size_t Workers : {1u, 3u, 8u}) {
+        BatchRunStats Stats;
+        BatchRunOptions RO;
+        RO.NumWorkers = Workers;
+        RO.Stats = &Stats;
+        std::vector<SimResult> Got = Engine.run(Replicas, RO);
+        ASSERT_EQ(Got.size(), Reference.size());
+        ASSERT_EQ(Stats.BackendUsed, Backend)
+            << "the forced backend was not the one dispatched";
+        for (size_t I = 0; I != Got.size(); ++I)
+          EXPECT_TRUE(Got[I] == Reference[I])
+              << gridKindName(Kind) << " seed index " << I << " backend "
+              << simdBackendName(Backend) << " at " << Workers
+              << " workers: batch {success " << Got[I].Success << ", t "
+              << Got[I].TComm << ", informed " << Got[I].InformedAgents
+              << "} vs reference {" << Reference[I].Success << ", "
+              << Reference[I].TComm << ", " << Reference[I].InformedAgents
+              << "}";
+      }
+    }
+    if (SavedForce.empty())
+      ::unsetenv(simdBackendForceEnvVar());
+    else
+      ::setenv(simdBackendForceEnvVar(), SavedForce.c_str(), 1);
   }
 }

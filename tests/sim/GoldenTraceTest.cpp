@@ -1,0 +1,325 @@
+//===- tests/sim/GoldenTraceTest.cpp - Canonical run traces, pinned -------===//
+//
+// Four small canonical simulations whose full trajectories are committed
+// as text fixtures under tests/data/golden/. Each fixture records, per
+// iteration, the informed and survivor counts and an FNV-1a digest of the
+// complete agent state (positions, directions, control states, liveness,
+// communication vectors), plus the final SimResult and a digest of the
+// final field. The reference World must reproduce every line exactly, and
+// every available SIMD backend must land on the same final state.
+//
+// The fixtures pin the micro-semantics of the step function across
+// refactors: any change to exchange order, arbitration, fault replay or
+// colour bookkeeping shows up as a first-divergent-step diff with the
+// step number and both hash lines named — not as a distant downstream
+// symptom. After an INTENDED semantic change, regenerate with
+//   scripts/regen_golden.sh <build-dir>
+// and review the fixture diff like any other code change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agent/BestAgents.h"
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+#include "support/Hash.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// One canonical scenario: a name (the fixture file stem) plus everything
+/// needed to run it. Scenarios are fixed for all time — changing one
+/// invalidates its fixture, so add new ones instead.
+struct GoldenScenario {
+  std::string Name;
+  GridKind Kind = GridKind::Triangulate;
+  int Side = 16;
+  Genome A;
+  Genome B;
+  GenomePolicy Policy = GenomePolicy::Single;
+  std::vector<Placement> Placements;
+  SimOptions Options;
+
+  bool twoGenomes() const { return Policy != GenomePolicy::Single; }
+};
+
+/// The four scenarios: the two best published agents on the paper's
+/// field, a policy/arbitration/obstacle mix, and a faulty run (the fault
+/// RNG stream is part of the pinned semantics).
+std::vector<GoldenScenario> goldenScenarios() {
+  std::vector<GoldenScenario> Out;
+  {
+    GoldenScenario S;
+    S.Name = "t16_best_k16";
+    S.Kind = GridKind::Triangulate;
+    S.Side = 16;
+    S.A = bestTriangulateAgent();
+    S.Options.MaxSteps = 200;
+    Torus T(S.Kind, S.Side);
+    Rng R(0x901d01);
+    S.Placements = randomConfiguration(T, 16, R).Placements;
+    Out.push_back(std::move(S));
+  }
+  {
+    GoldenScenario S;
+    S.Name = "s16_best_k16";
+    S.Kind = GridKind::Square;
+    S.Side = 16;
+    S.A = bestSquareAgent();
+    S.Options.MaxSteps = 200;
+    Torus T(S.Kind, S.Side);
+    Rng R(0x901d02);
+    S.Placements = randomConfiguration(T, 16, R).Placements;
+    Out.push_back(std::move(S));
+  }
+  {
+    GoldenScenario S;
+    S.Name = "t12_shuffle_gaze_obstacles";
+    S.Kind = GridKind::Triangulate;
+    S.Side = 12;
+    Rng R(0x901d03);
+    S.A = Genome::random(R);
+    S.B = Genome::random(R);
+    S.Policy = GenomePolicy::TimeShuffle;
+    S.Options.MaxSteps = 150;
+    S.Options.Arbitration = ArbitrationMode::GazePriority;
+    Torus T(S.Kind, S.Side);
+    S.Options.Obstacles = randomObstacles(T, 6, R);
+    S.Placements =
+        randomConfigurationAvoiding(T, 10, R, S.Options.Obstacles)
+            .Placements;
+    Out.push_back(std::move(S));
+  }
+  {
+    GoldenScenario S;
+    S.Name = "s9_faults_k8";
+    S.Kind = GridKind::Square;
+    S.Side = 9;
+    Rng R(0x901d04);
+    S.A = Genome::random(R);
+    S.Options.MaxSteps = 120;
+    S.Options.Faults.StallProbability = 0.05;
+    S.Options.Faults.DeathProbability = 0.01;
+    S.Options.Faults.LinkDropProbability = 0.02;
+    S.Options.Faults.ColorFlipProbability = 0.02;
+    S.Options.Faults.Seed = 0x5eedf;
+    Torus T(S.Kind, S.Side);
+    S.Placements = randomConfiguration(T, 8, R).Placements;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Digest of the complete per-agent state at an observation point.
+uint64_t hashAgents(const World &W) {
+  Fnv1aHasher H;
+  for (int Id = 0; Id != W.numAgents(); ++Id) {
+    const AgentState &A = W.agent(Id);
+    H.mixWord(static_cast<uint64_t>(A.Cell));
+    H.mixWord(static_cast<uint64_t>(A.Direction));
+    H.mixWord(static_cast<uint64_t>(A.ControlState));
+    H.mixWord(A.Informed ? 1 : 0);
+    H.mixWord(A.Alive ? 1 : 0);
+    uint64_t Word = 0;
+    for (int Bit = 0; Bit != W.numAgents(); ++Bit) {
+      Word = (Word << 1) | (A.Comm.test(static_cast<size_t>(Bit)) ? 1 : 0);
+      if (Bit % 64 == 63) {
+        H.mixWord(Word);
+        Word = 0;
+      }
+    }
+    H.mixWord(Word);
+  }
+  return H.value();
+}
+
+/// Digest of the final field: colours, occupancy, visit counts, agents.
+uint64_t hashFinalField(const World &W) {
+  Fnv1aHasher H;
+  for (int Cell = 0; Cell != W.torus().numCells(); ++Cell) {
+    H.mixWord(static_cast<uint64_t>(W.colorValueAt(Cell)));
+    H.mixWord(static_cast<uint64_t>(W.agentAt(Cell)));
+    H.mixWord(static_cast<uint64_t>(W.visitCount(Cell)));
+  }
+  H.mixWord(hashAgents(W));
+  return H.value();
+}
+
+/// The same final-field digest computed from a batch replica's captured
+/// state — field-for-field the same mixing order as hashFinalField.
+uint64_t hashFinalField(const ReplicaFinalState &F) {
+  Fnv1aHasher H;
+  for (size_t Cell = 0; Cell != F.Colors.size(); ++Cell) {
+    H.mixWord(static_cast<uint64_t>(F.Colors[Cell]));
+    H.mixWord(static_cast<uint64_t>(F.Occupancy[Cell]));
+    H.mixWord(static_cast<uint64_t>(F.VisitCounts[Cell]));
+  }
+  Fnv1aHasher Agents;
+  int NumAgents = static_cast<int>(F.Agents.size());
+  for (const ReplicaAgentState &A : F.Agents) {
+    Agents.mixWord(static_cast<uint64_t>(A.Cell));
+    Agents.mixWord(static_cast<uint64_t>(A.Direction));
+    Agents.mixWord(static_cast<uint64_t>(A.ControlState));
+    Agents.mixWord(A.Informed ? 1 : 0);
+    Agents.mixWord(A.Alive ? 1 : 0);
+    uint64_t Word = 0;
+    for (int Bit = 0; Bit != NumAgents; ++Bit) {
+      Word = (Word << 1) | (A.Comm.test(static_cast<size_t>(Bit)) ? 1 : 0);
+      if (Bit % 64 == 63) {
+        Agents.mixWord(Word);
+        Word = 0;
+      }
+    }
+    Agents.mixWord(Word);
+  }
+  H.mixWord(Agents.value());
+  return H.value();
+}
+
+/// Runs the scenario through the reference World and renders the trace
+/// lines the fixture stores.
+std::vector<std::string> renderTrace(const GoldenScenario &S,
+                                     SimResult *ResultOut = nullptr,
+                                     uint64_t *FinalHashOut = nullptr) {
+  Torus T(S.Kind, S.Side);
+  World W(T);
+  if (S.twoGenomes())
+    W.reset(S.A, S.B, S.Policy, S.Placements, S.Options);
+  else
+    W.reset(S.A, S.Placements, S.Options);
+
+  std::vector<std::string> Lines;
+  Lines.push_back("# ca2a golden trace v1");
+  {
+    std::ostringstream Head;
+    Head << "config " << S.Name << " grid " << gridKindName(S.Kind)
+         << " side " << S.Side << " agents " << S.Placements.size()
+         << " max-steps " << S.Options.MaxSteps;
+    Lines.push_back(Head.str());
+  }
+  SimResult Result = W.run([&](const World &View, int Time) {
+    std::ostringstream Line;
+    Line << "step " << Time << " informed " << View.informedCount()
+         << " survivors " << View.survivorCount() << " agents-hash "
+         << hex16(hashAgents(View));
+    Lines.push_back(Line.str());
+  });
+  uint64_t FinalHash = hashFinalField(W);
+  {
+    std::ostringstream Tail;
+    Tail << "final success " << (Result.Success ? 1 : 0) << " t "
+         << Result.TComm << " informed " << Result.InformedAgents
+         << " surviving " << Result.SurvivingAgents << " field-hash "
+         << hex16(FinalHash);
+    Lines.push_back(Tail.str());
+  }
+  if (ResultOut)
+    *ResultOut = Result;
+  if (FinalHashOut)
+    *FinalHashOut = FinalHash;
+  return Lines;
+}
+
+std::string fixturePath(const std::string &Name) {
+  return std::string(CA2A_SOURCE_DIR) + "/tests/data/golden/" + Name +
+         ".trace";
+}
+
+} // namespace
+
+// Every committed fixture must be reproduced line-for-line by the
+// reference World. Set CA2A_REGEN_GOLDEN=1 (or run
+// scripts/regen_golden.sh) to rewrite the fixtures after an intended
+// semantic change.
+TEST(GoldenTraceTest, ReferenceWorldReproducesCommittedTraces) {
+  const bool Regen = std::getenv("CA2A_REGEN_GOLDEN") != nullptr;
+  for (const GoldenScenario &S : goldenScenarios()) {
+    std::vector<std::string> Actual = renderTrace(S);
+    std::string Path = fixturePath(S.Name);
+
+    if (Regen) {
+      std::ofstream Out(Path);
+      ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+      for (const std::string &Line : Actual)
+        Out << Line << "\n";
+      std::printf("regenerated %s (%zu lines)\n", Path.c_str(),
+                  Actual.size());
+      continue;
+    }
+
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good())
+        << "missing fixture " << Path
+        << " — run scripts/regen_golden.sh and commit the result";
+    std::vector<std::string> Expected;
+    for (std::string Line; std::getline(In, Line);)
+      Expected.push_back(Line);
+
+    // First-divergence diff: the step number is in the line itself, so a
+    // failure names exactly where the trajectory left the golden one.
+    size_t Common = std::min(Expected.size(), Actual.size());
+    for (size_t I = 0; I != Common; ++I)
+      ASSERT_EQ(Expected[I], Actual[I])
+          << S.Name << ": first divergence at line " << (I + 1) << " of "
+          << Path << "\n  golden: " << Expected[I]
+          << "\n  actual: " << Actual[I]
+          << "\nIf this change is intended, regenerate with "
+             "scripts/regen_golden.sh and review the fixture diff.";
+    ASSERT_EQ(Expected.size(), Actual.size())
+        << S.Name << ": trace length changed (golden " << Expected.size()
+        << " lines, actual " << Actual.size() << ")";
+  }
+}
+
+// The final line of every fixture must also be reached by the batch
+// engine under every available SIMD backend: same SimResult, same
+// final-field digest. This chains the golden anchor to the whole
+// dispatch matrix without storing per-backend fixtures (they are
+// bit-identical by contract).
+TEST(GoldenTraceTest, EveryBackendReachesTheGoldenFinalState) {
+  for (const GoldenScenario &S : goldenScenarios()) {
+    SimResult Ref;
+    uint64_t FinalHash = 0;
+    renderTrace(S, &Ref, &FinalHash);
+
+    Torus T(S.Kind, S.Side);
+    BatchEngine Engine(T);
+    BatchReplica Rep;
+    Rep.A = &S.A;
+    Rep.B = S.twoGenomes() ? &S.B : nullptr;
+    Rep.Policy = S.Policy;
+    Rep.Placements = &S.Placements;
+    Rep.Options = &S.Options;
+    for (SimdBackend Backend : availableSimdBackends()) {
+      std::vector<ReplicaFinalState> Finals;
+      BatchRunOptions RunOptions;
+      RunOptions.Backend = Backend;
+      RunOptions.FinalStates = &Finals;
+      std::vector<SimResult> Got = Engine.run({Rep}, RunOptions);
+      ASSERT_EQ(Got.size(), 1u);
+      EXPECT_TRUE(Got[0] == Ref)
+          << S.Name << " [" << simdBackendName(Backend)
+          << "]: SimResult diverged from the golden trace";
+      ASSERT_EQ(Finals.size(), 1u);
+      EXPECT_EQ(hex16(hashFinalField(Finals[0])), hex16(FinalHash))
+          << S.Name << " [" << simdBackendName(Backend)
+          << "]: final-field digest diverged from the golden trace";
+    }
+  }
+}
