@@ -51,7 +51,7 @@ int main(int Argc, char **Argv) {
   CL.addString("csv", "also write results to this CSV file", &CsvPath);
   CL.addString("engine", "simulation engine: reference | batch", &EngineName);
   CL.addString("backend", "batch-engine SIMD backend: auto | scalar | "
-               "sliced64 | avx2", &BackendName);
+               "sliced64 | avx2 | rmaj64", &BackendName);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -70,7 +70,7 @@ int main(int Argc, char **Argv) {
   SimdBackend Backend = SimdBackend::Auto;
   if (!parseSimdBackend(BackendName, Backend)) {
     std::fprintf(stderr, "error: unknown backend '%s' (auto | scalar | "
-                 "sliced64 | avx2)\n", BackendName.c_str());
+                 "sliced64 | avx2 | rmaj64)\n", BackendName.c_str());
     return 1;
   }
 

@@ -70,7 +70,7 @@ int main(int Argc, char **Argv) {
   CL.addString("engine", "simulation engine: batch (default) or reference "
                "(bit-identical results)", &EngineName);
   CL.addString("backend", "batch-engine SIMD backend: auto (default) | "
-               "scalar | sliced64 | avx2 (bit-identical results)",
+               "scalar | sliced64 | avx2 | rmaj64 (bit-identical results)",
                &BackendName);
   CL.addBool("scheduler", "generation-wide evaluation scheduler "
              "(memoization, batching, early abort)", &Scheduler);
@@ -113,7 +113,7 @@ int main(int Argc, char **Argv) {
   SimdBackend Backend;
   if (!parseSimdBackend(BackendName, Backend)) {
     std::fprintf(stderr, "error: unknown backend '%s' (use auto, scalar, "
-                 "sliced64 or avx2)\n", BackendName.c_str());
+                 "sliced64, avx2 or rmaj64)\n", BackendName.c_str());
     return 1;
   }
 

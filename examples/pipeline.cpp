@@ -73,7 +73,7 @@ int main(int Argc, char **Argv) {
   CL.addString("engine", "simulation engine: reference | batch "
                "(bit-identical results)", &EngineName);
   CL.addString("backend", "batch-engine SIMD backend: auto | scalar | "
-               "sliced64 | avx2 (bit-identical results)", &BackendName);
+               "sliced64 | avx2 | rmaj64 (bit-identical results)", &BackendName);
   CL.addBool("scheduler", "generation-wide evaluation scheduler "
              "(memoization, batching, early abort)", &Scheduler);
   CL.addBool("exact-fitness", "disable bound-based early abort (every "
@@ -109,7 +109,7 @@ int main(int Argc, char **Argv) {
   SimdBackend Backend = SimdBackend::Auto;
   if (!parseSimdBackend(BackendName, Backend)) {
     std::fprintf(stderr, "error: unknown backend '%s' (auto | scalar | "
-                 "sliced64 | avx2)\n", BackendName.c_str());
+                 "sliced64 | avx2 | rmaj64)\n", BackendName.c_str());
     return 1;
   }
 

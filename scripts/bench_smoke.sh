@@ -74,11 +74,34 @@ if [ -n "$HOTPATH_BASELINE" ]; then
   # files. A backend the runner lacks (avx2 on arm, say) is absent from
   # the fresh run and silently skipped — absence is dispatch working as
   # designed, not a regression.
-  for BACKEND in scalar sliced64 avx2; do
-    KEY="batch_serial_$BACKEND"
-    if [ -n "$(extract "$WORKDIR/hotpath.json" "$KEY")" ] &&
-       [ -n "$(extract "$HOTPATH_BASELINE" "$KEY")" ]; then
-      compare "hotpath $KEY" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"               "$KEY"
+  for BACKEND in scalar sliced64 avx2 rmaj64; do
+    for PREFIX in batch_serial clone_serial clonefault_serial; do
+      KEY="${PREFIX}_$BACKEND"
+      if [ -n "$(extract "$WORKDIR/hotpath.json" "$KEY")" ] &&
+         [ -n "$(extract "$HOTPATH_BASELINE" "$KEY")" ]; then
+        compare "hotpath $KEY" "$WORKDIR/hotpath.json" "$HOTPATH_BASELINE"                 "$KEY"
+      fi
+    done
+  done
+
+  # Slab occupancy is deterministic accounting, not timing: the rmaj64
+  # clone rows must report the same occupancy as the committed baseline
+  # exactly (keyed per row, never pattern-matched across rows). A
+  # mismatch means the grouping changed, which is a semantic diff the
+  # thresholded throughput comparison above would happily miss.
+  extract_occupancy() {
+    sed -n "s/.*\"$2\": {.*\"slab_occupancy\": \([0-9.]*\).*/\1/p" "$1"
+  }
+  for KEY in clone_serial_rmaj64 clonefault_serial_rmaj64; do
+    CUR_OCC="$(extract_occupancy "$WORKDIR/hotpath.json" "$KEY")"
+    BASE_OCC="$(extract_occupancy "$HOTPATH_BASELINE" "$KEY")"
+    if [ -n "$CUR_OCC" ] && [ -n "$BASE_OCC" ]; then
+      if [ "$CUR_OCC" = "$BASE_OCC" ]; then
+        echo "bench_smoke: $KEY slab_occupancy $CUR_OCC matches baseline"
+      else
+        echo "bench_smoke: WARNING — $KEY slab_occupancy $CUR_OCC differs" \
+             "from baseline $BASE_OCC (slab grouping changed?)" >&2
+      fi
     fi
   done
 fi

@@ -57,8 +57,17 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # Directories are walked recursively, so "src/sim" covers the SIMD lane
 # kernels in src/sim/simd/ too; REQUIRED_COVERAGE pins that — the default
 # lint errors out if a path-list edit ever drops them from the scan.
+# Entries may be directories (prefix match) or individual files (exact
+# match): the rmaj64 slab machinery draws per-replica fault streams in
+# plain C++ outside the kernel files, so those translation units are
+# pinned by name — a rename or move must update this list consciously.
 DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent"]
-REQUIRED_COVERAGE = [os.path.join("src", "sim", "simd")]
+REQUIRED_COVERAGE = [
+    os.path.join("src", "sim", "simd"),
+    os.path.join("src", "sim", "simd", "ReplicaSlab.cpp"),
+    os.path.join("src", "sim", "simd", "KernelRMaj64.cpp"),
+    os.path.join("src", "sim", "BatchEngine.cpp"),
+]
 FIXTURE_DIR = os.path.join("tests", "lint", "fixtures")
 SOURCE_EXTS = {".cpp", ".h", ".hpp", ".cc", ".hh"}
 
@@ -370,9 +379,10 @@ def main():
     files = sorted(set(iter_sources(paths, args.root)))
     if not args.paths:
         for required in REQUIRED_COVERAGE:
-            prefix = os.path.join(args.root, required) + os.sep
-            if not any(f.startswith(prefix) for f in files):
-                print(f"lint_determinism: required directory escaped the "
+            target = os.path.join(args.root, required)
+            prefix = target + os.sep
+            if not any(f == target or f.startswith(prefix) for f in files):
+                print(f"lint_determinism: required path escaped the "
                       f"default scan: {required}", file=sys.stderr)
                 sys.exit(2)
     findings = []

@@ -272,6 +272,15 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
 
   std::vector<SimResult> ItemResults;
   if (Fitness.Engine == EngineKind::Batch) {
+    // Submission stays field-major (replica F*NumWork+W = work item W on
+    // field F): the bound-based pruning below needs every genome's early
+    // fields finished before its late ones, and the memo cache has
+    // already deduplicated (genome, field) pairs — so these batches
+    // carry no clone structure for rmaj64's slab grouping to exploit
+    // (EngineSlabsFormed == EngineSlabLanes when that backend runs).
+    // Replica-averaging callers that DO want slab sharing submit their
+    // clone batches to BatchEngine directly (the shape of the fault-trial
+    // sweeps in bench/bench_faults.cpp: one field, many fault seeds).
     std::vector<BatchReplica> Replicas(NumItems);
     for (size_t F = 0; F != NumFields; ++F)
       for (size_t W = 0; W != NumWork; ++W) {
@@ -304,6 +313,9 @@ EvalScheduler::evaluateGeneration(const std::vector<const Genome *> &Genomes,
     Stats.EngineCompileMisses += RunStats.CompileMisses;
     Stats.EngineAllocations += RunStats.Allocations;
     Stats.EngineSteadyAllocations += RunStats.SteadyAllocations;
+    Stats.EngineSlabsFormed += RunStats.SlabsFormed;
+    Stats.EngineSlabLanes += RunStats.SlabLanesEnrolled;
+    Stats.EngineLanesRetiredEarly += RunStats.LanesRetiredEarly;
     Stats.TaskRetries += RunStats.TaskRetries;
   } else {
     // Reference engine: the same interleaved item list swept by

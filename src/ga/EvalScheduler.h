@@ -128,6 +128,18 @@ struct SchedulerStats {
   uint64_t EngineAllocations = 0;   ///< Workspace-arena buffer growths.
   uint64_t EngineSteadyAllocations = 0; ///< Growths after slot warm-up.
 
+  // Replica-major slab accounting, accumulated over every batch
+  // submission; nonzero only under the rmaj64 backend. The scheduler
+  // submits in field-major order after memoizing duplicate (genome,
+  // field) requests away, so its batches typically carry NO clone
+  // structure and rmaj64 forms occupancy-1 slabs (sliced64 parity).
+  // These counters make that honest trade-off observable instead of a
+  // folklore claim: a replica-averaging workload routed through the
+  // scheduler would show EngineSlabLanes >> EngineSlabsFormed here.
+  uint64_t EngineSlabsFormed = 0;
+  uint64_t EngineSlabLanes = 0;
+  uint64_t EngineLanesRetiredEarly = 0;
+
   /// Fraction of requests served from the cache.
   double hitRate() const {
     return Requests ? static_cast<double>(CacheHits) /
@@ -174,6 +186,9 @@ struct SchedulerStats {
     EngineCompileMisses += Other.EngineCompileMisses;
     EngineAllocations += Other.EngineAllocations;
     EngineSteadyAllocations += Other.EngineSteadyAllocations;
+    EngineSlabsFormed += Other.EngineSlabsFormed;
+    EngineSlabLanes += Other.EngineSlabLanes;
+    EngineLanesRetiredEarly += Other.EngineLanesRetiredEarly;
     return *this;
   }
 };

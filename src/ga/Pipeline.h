@@ -48,7 +48,11 @@ struct PipelineParams {
   /// results are bit-identical either way.
   EngineKind Engine = EngineKind::Reference;
   /// SIMD lane kernel for the batch engine, propagated the same way as
-  /// Engine; results are bit-identical for every value.
+  /// Engine; results are bit-identical for every value (including rmaj64,
+  /// whose slab sharing changes only throughput — note the GA's evaluation
+  /// batches carry no clone structure after (genome, field) dedup, so
+  /// rmaj64 runs them at occupancy 1, i.e. sliced64 parity; see
+  /// sim/simd/ReplicaSlab.h).
   SimdBackend Backend = SimdBackend::Auto;
 
   // Crash safety (ga/Checkpoint.h). With a non-empty CheckpointDir every

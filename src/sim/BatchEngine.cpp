@@ -29,6 +29,7 @@
 
 #include "sim/simd/FastPath.h"
 #include "sim/simd/Kernel.h"
+#include "sim/simd/ReplicaSlab.h"
 #include "support/Chaos.h"
 #include "support/ThreadPool.h"
 
@@ -214,8 +215,14 @@ public:
   }
 
   /// Reset: ready the workspace for one replica's step loop. \p Plan must
-  /// be the compile-cache resolution of \p R.
-  void prepare(const BatchReplica &R, const ReplicaPlan &Plan);
+  /// be the compile-cache resolution of \p R. \p SuppressFaults prepares
+  /// the workspace as an rmaj64 slab *master*: the master trajectory is
+  /// the shared fault-free prefix of its lanes, so its own fault model is
+  /// disabled (each lane draws its private stream in the slab loop) and
+  /// the fast path stays eligible even when the enrolled replicas carry
+  /// fault probabilities.
+  void prepare(const BatchReplica &R, const ReplicaPlan &Plan,
+               bool SuppressFaults = false);
 
   /// True when the replica prepared last can run the single-word fast
   /// path (no faults, no borders, one comm word, narrowed neighbours).
@@ -239,6 +246,29 @@ public:
   FastCtx beginFast(bool NeedVisits);
   /// Lockstep API: package a finished FastCtx as the replica's SimResult.
   SimResult finishFast(FastCtx &C, ReplicaFinalState *Final);
+
+  /// Slab retirement (rmaj64): overwrite the just-prepared replica's state
+  /// with its slab master's mid-run state at step \p C.Time and restore the
+  /// lane's fault stream to \p Snapshot (taken before the firing step's
+  /// draws). Must run after prepare() — prepare resets FaultRng, obstacles
+  /// and colours, and adoptMaster relies on those base values. The lane is
+  /// then exactly where a solo reference run would be at the top of
+  /// iteration C.Time: no fault has fired yet, so alive flags, stall
+  /// flags and counters keep prepare()'s fresh values, and resumeSolo
+  /// replays the firing step draw-for-draw.
+  void adoptMaster(const ReplicaWorkspace &M, const FastCtx &C,
+                   const Rng &Snapshot);
+
+  /// Runs the general (fault-capable) loop from the current Time to
+  /// completion. Identical to the reference loop resumed at iteration
+  /// Time — which equals the plain solo loop when Time == 0 (runSolo's
+  /// non-observer general path delegates here).
+  SimResult resumeSolo(ReplicaFinalState *Final);
+
+  /// Copies the finished replica's field/agents out (public surface of
+  /// captureFinalState, used by the slab loop to capture one master's
+  /// terminal state into several lanes' final-state slots).
+  void captureFinal(ReplicaFinalState &Out) const { captureFinalState(Out); }
 
   /// Marks the end of this slot's first replica: growths from here on are
   /// steady-state allocations.
@@ -348,7 +378,8 @@ private:
 };
 
 void ReplicaWorkspace::prepare(const BatchReplica &R,
-                               const ReplicaPlan &Plan) {
+                               const ReplicaPlan &Plan,
+                               bool SuppressFaults) {
   TabA = Plan.TabA;
   TabB = Plan.TabB;
   Policy = Plan.Policy;
@@ -359,7 +390,7 @@ void ReplicaWorkspace::prepare(const BatchReplica &R,
   Options = &O;
   Time = 0;
 
-  FaultsActive = O.Faults.any();
+  FaultsActive = O.Faults.any() && !SuppressFaults;
   FaultRng = Rng(O.Faults.Seed);
   Counters = FaultStats();
 
@@ -748,14 +779,76 @@ SimResult ReplicaWorkspace::finishReplica(bool Success,
   return Result;
 }
 
+void ReplicaWorkspace::adoptMaster(const ReplicaWorkspace &M, const FastCtx &C,
+                                   const Rng &Snapshot) {
+  assert(K == M.K && Words == 1 && M.Words == 1 &&
+         "slab lane/master shape mismatch");
+  assert(FaultsActive && "only a firing fault retires a lane");
+  Time = C.Time;
+  // prepare() placed the agents at their initial cells; clear that
+  // occupancy before adopting the master's mid-run positions (same
+  // two-sweep shape as finishFast).
+  for (int Id = 0; Id != K; ++Id)
+    Occupancy[static_cast<size_t>(Cell[static_cast<size_t>(Id)])] = -1;
+  NumInformed = 0;
+  for (int Id = 0; Id != K; ++Id) {
+    const uint64_t A = C.AgentP[Id];
+    Cell[static_cast<size_t>(Id)] = agentCell(A);
+    Direction[static_cast<size_t>(Id)] = static_cast<uint8_t>(agentDir(A));
+    ControlState[static_cast<size_t>(Id)] =
+        static_cast<uint8_t>(agentState(A));
+    Occupancy[static_cast<size_t>(agentCell(A))] = static_cast<int16_t>(Id);
+    Comm[static_cast<size_t>(Id)] = C.CommW[Id];
+    // At the top of any iteration the reference's informed flag equals
+    // "comm row full" (exchange recomputed it last step; actions never
+    // touch comm rows; at Time == 0 both reduce to K == 1).
+    bool Inf = C.CommW[Id] == TailMask;
+    Informed[static_cast<size_t>(Id)] = Inf;
+    NumInformed += Inf;
+  }
+  std::copy(M.Colors.begin(), M.Colors.begin() + NumCells, Colors.begin());
+  // The master only maintains visit counts when finals are captured; when
+  // it does not, nothing downstream can observe them.
+  if (C.NeedVisits)
+    std::copy(M.VisitCounts.begin(), M.VisitCounts.begin() + NumCells,
+              VisitCounts.begin());
+  // Alive, Stalled, SurvivorWords, NumAlive and Counters keep prepare()'s
+  // fresh values: the retiring fault has not been applied yet — it fires
+  // again, identically, when resumeSolo replays this step's draws.
+  FaultRng = Snapshot;
+}
+
+SimResult ReplicaWorkspace::resumeSolo(ReplicaFinalState *Final) {
+  // < (not !=) so a negative MaxSteps terminates instead of wrapping; the
+  // CLI-facing validation lives in World::validatePlacements. At the top
+  // of every un-solved iteration the reference loop maintains Time == I,
+  // so starting I at the current Time resumes an adopted lane exactly
+  // where its master left it (and runs the whole replica when Time == 0).
+  for (int I = Time; I < Options->MaxSteps; ++I) {
+    if (FaultsActive)
+      injectFaults();
+    exchange();
+    if (NumAlive > 0 && NumInformed == NumAlive)
+      return finishReplica(true, Final); // Time stays at t_comm.
+    applyActions();
+    ++Time;
+    if (FaultsActive && NumAlive == 0)
+      break; // Extinct: the task can never be solved.
+  }
+  return finishReplica(false, Final);
+}
+
 SimResult ReplicaWorkspace::runSolo(
     int ReplicaIndex,
     const std::function<void(const BatchStepView &)> &OnStep,
     const simd::LaneKernel &KN, ReplicaFinalState *Final) {
-  if (!OnStep && fastEligible()) {
-    FastCtx C = beginFast(Final != nullptr);
-    (Degree == 6 ? KN.Solo6 : KN.Solo4)(C);
-    return finishFast(C, Final);
+  if (!OnStep) {
+    if (fastEligible()) {
+      FastCtx C = beginFast(Final != nullptr);
+      (Degree == 6 ? KN.Solo6 : KN.Solo4)(C);
+      return finishFast(C, Final);
+    }
+    return resumeSolo(Final); // Time == 0 right after prepare().
   }
 
   auto Observe = [&] {
@@ -798,6 +891,54 @@ SimResult ReplicaWorkspace::runSolo(
   return finishReplica(false, Final);
 }
 
+/// One rmaj64 work unit: either a slab (up to 64 mutually slabCompatible
+/// replicas sharing one master trajectory) or a single general-path
+/// replica that cannot ride a slab (k > 64, bordered, or a grid too large
+/// for the narrowed neighbour table).
+struct SlabGroup {
+  std::vector<int> Members; ///< Replica indices, batch order.
+  bool Slab = false;
+};
+
+/// Greedy first-occurrence grouping: walk the batch in order, appending
+/// each slab-eligible replica to the first compatible group with a free
+/// lane, else opening a new group. Buckets are keyed by slabKeyHash, but
+/// membership is always decided by the full slabCompatible comparison —
+/// the map is probed, never iterated, so its bucket order cannot leak
+/// anywhere (and grouping could not change results regardless: every lane
+/// is bit-identical to a solo run by construction).
+std::vector<SlabGroup>
+buildSlabGroups(const std::vector<BatchReplica> &Replicas, bool CanSlab) {
+  std::vector<SlabGroup> Groups;
+  Groups.reserve(Replicas.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> Buckets;
+  for (size_t I = 0; I != Replicas.size(); ++I) {
+    const BatchReplica &R = Replicas[I];
+    if (!CanSlab || !simd::slabLaneEligible(R)) {
+      Groups.push_back(SlabGroup{{static_cast<int>(I)}, false});
+      continue;
+    }
+    std::vector<size_t> &Bucket = Buckets[simd::slabKeyHash(R)];
+    size_t Found = SIZE_MAX;
+    for (size_t G : Bucket) {
+      if (Groups[G].Members.size() <
+              static_cast<size_t>(simd::SlabLaneCapacity) &&
+          simd::slabCompatible(
+              Replicas[static_cast<size_t>(Groups[G].Members.front())], R)) {
+        Found = G;
+        break;
+      }
+    }
+    if (Found == SIZE_MAX) {
+      Bucket.push_back(Groups.size());
+      Groups.push_back(SlabGroup{{static_cast<int>(I)}, true});
+    } else {
+      Groups[Found].Members.push_back(static_cast<int>(I));
+    }
+  }
+  return Groups;
+}
+
 /// Shared state of one run()'s worker fan-out.
 struct RunContext {
   const std::vector<BatchReplica> &Replicas;
@@ -810,8 +951,10 @@ struct RunContext {
   // each index handed out once, the skip tally is reduced after the
   // fan-out joins, and the pool join supplies the publication edge.
 
-  /// Work-stealing cursor: the next replica index to claim.
+  /// Work-stealing cursor: the next replica index to claim (the rmaj64
+  /// slab loop uses NextGroup over slab groups instead).
   std::atomic<size_t> Next{0};
+  std::atomic<size_t> NextGroup{0};
   std::atomic<uint64_t> Skipped{0};
   // Per-worker instrumentation slots (no sharing, no contention).
   std::vector<uint64_t> PerWorkerReplicas;
@@ -820,6 +963,10 @@ struct RunContext {
   std::vector<uint64_t> PerWorkerSteadyAllocs;
   std::vector<uint64_t> PerWorkerRetries;
   std::vector<uint64_t> PerWorkerFailed;
+  std::vector<uint64_t> PerWorkerSlabs;
+  std::vector<uint64_t> PerWorkerSlabLanes;
+  std::vector<uint64_t> PerWorkerRetired;
+  std::vector<uint64_t> PerWorkerConverged;
 
   RunContext(const std::vector<BatchReplica> &Replicas,
              const std::vector<ReplicaPlan> &Plans,
@@ -828,7 +975,9 @@ struct RunContext {
       : Replicas(Replicas), Plans(Plans), Options(Options), Results(Results),
         PerWorkerReplicas(NumWorkers), PerWorkerBusy(NumWorkers),
         PerWorkerAllocs(NumWorkers), PerWorkerSteadyAllocs(NumWorkers),
-        PerWorkerRetries(NumWorkers), PerWorkerFailed(NumWorkers) {}
+        PerWorkerRetries(NumWorkers), PerWorkerFailed(NumWorkers),
+        PerWorkerSlabs(NumWorkers), PerWorkerSlabLanes(NumWorkers),
+        PerWorkerRetired(NumWorkers), PerWorkerConverged(NumWorkers) {}
 };
 
 /// One worker: pulls replicas off the shared counter until it drains.
@@ -1030,6 +1179,289 @@ void workerLoop(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
   Ctx.PerWorkerBusy[Worker] = secondsSince(Start);
 }
 
+/// One rmaj64 worker: pulls slab *groups* off the shared group cursor.
+/// Each slab steps one master trajectory in the lockstep arena (the
+/// sliced64 kernel advances the resident masters exactly as workerLoop
+/// advances independent replicas); every step, each enrolled lane draws
+/// its private fault stream in reference order and retires to the general
+/// path the moment a draw fires. Lanes that never fire share their
+/// master's result at completion. This inverts the engine⇄kernel contract
+/// of workerLoop — the unit of lockstep is the replica group, and the slab
+/// loop (not the per-replica driver) owns the draw/step/retire sequencing
+/// — but, like there, every replica writes its own result slot and is
+/// bit-identical to a solo reference run.
+void workerLoopSlabs(const Torus &T, const std::vector<uint8_t> &BoundaryMask,
+                     const std::vector<int16_t> &Neighbors16,
+                     const uint8_t (&TurnMap)[6][4],
+                     const simd::LaneKernel &KN,
+                     const std::vector<SlabGroup> &Groups, RunContext &Ctx,
+                     size_t Worker) {
+  // det-lint: allow(wall-clock) per-worker busy-time instrumentation only.
+  auto Start = std::chrono::steady_clock::now();
+  const BatchRunOptions &Options = Ctx.Options;
+  const int NumCells = T.numCells();
+  const int Degree = T.degree();
+  uint64_t Simulated = 0, SkippedLocal = 0;
+  uint64_t RetriesLocal = 0, FailedLocal = 0;
+  uint64_t SlabsLocal = 0, SlabLanesLocal = 0;
+  uint64_t RetiredLocal = 0, ConvergedLocal = 0;
+
+  // Same supervised-launch contract as workerLoop: chaos site + retry
+  // policy per replica, abandonment after MaxAttempts.
+  auto Launch = [&](int I) -> bool {
+    for (int Retry = 0;; ++Retry) {
+      try {
+        chaosPoint(ChaosSite::EngineReplica);
+        return true;
+      } catch (...) {
+        if (Retry + 1 >= Options.Retry.MaxAttempts) {
+          ++FailedLocal;
+          if (Options.OnFailure)
+            Options.OnFailure(I);
+          return false;
+        }
+        ++RetriesLocal;
+        backoffSleep(Options.Retry, Retry);
+      }
+    }
+  };
+  auto FinalSlot = [&](int I) -> ReplicaFinalState * {
+    return Options.FinalStates
+               ? &(*Options.FinalStates)[static_cast<size_t>(I)]
+               : nullptr;
+  };
+
+  /// One enrolled replica riding a slab master.
+  struct SlabLane {
+    int Index = -1;
+    const SimOptions *O = nullptr;
+    Rng R{0}; ///< Private fault stream, advanced a step at a time.
+    bool Faulty = false;
+  };
+  struct SlabSlot {
+    ReplicaWorkspace WS; ///< The master trajectory's workspace.
+    FastCtx C;
+    std::vector<SlabLane> Lanes;
+    bool Active = false;
+    SlabSlot(const Torus &T, const std::vector<uint8_t> &B,
+             const std::vector<int16_t> &N16, const uint8_t (&TM)[6][4])
+        : WS(T, B, N16, TM) {}
+  };
+  std::deque<SlabSlot> Slots; // Stable addresses; SlabSlot is not movable.
+  for (int S = 0; S != LockstepBlock; ++S)
+    Slots.emplace_back(T, BoundaryMask, Neighbors16, TurnMap);
+  // One scratch workspace per worker finishes retired lanes serially.
+  ReplicaWorkspace RetireWS(T, BoundaryMask, Neighbors16, TurnMap);
+
+  int Active = 0;
+  bool Drained = false;
+
+  /// Lane completion: the slab pipeline keeps many replicas in flight, so
+  /// (like workerLoop's Finalize) ShouldSkip is re-polled at completion
+  /// and a now-vetoed lane's result is discarded.
+  auto CompleteLane = [&](int Index, const SimResult &Res,
+                          const ReplicaWorkspace &WS) {
+    if (Options.ShouldSkip && Options.ShouldSkip(Index)) {
+      ++SkippedLocal;
+      return;
+    }
+    Ctx.Results[static_cast<size_t>(Index)] = Res;
+    if (ReplicaFinalState *F = FinalSlot(Index))
+      WS.captureFinal(*F);
+    ++Simulated;
+    if (Options.OnResult)
+      Options.OnResult(Index, Ctx.Results[static_cast<size_t>(Index)]);
+  };
+
+  /// Claims groups until a slab activates in \p S or the cursor drains;
+  /// general-path singletons (k > 64, bordered, huge grids) run solo on
+  /// the spot, exactly as workerLoop treats fast-ineligible replicas.
+  auto Activate = [&](SlabSlot &S) {
+    while (!Drained) {
+      size_t G = Ctx.NextGroup.fetch_add(1, std::memory_order_relaxed);
+      if (G >= Groups.size()) {
+        Drained = true;
+        break;
+      }
+      const SlabGroup &Grp = Groups[G];
+      if (!Grp.Slab) {
+        int I = Grp.Members.front();
+        if (Options.ShouldSkip && Options.ShouldSkip(I)) {
+          ++SkippedLocal;
+          continue;
+        }
+        if (!Launch(I))
+          continue;
+        S.WS.prepare(Ctx.Replicas[static_cast<size_t>(I)],
+                     Ctx.Plans[static_cast<size_t>(I)]);
+        Ctx.Results[static_cast<size_t>(I)] =
+            S.WS.runSolo(I, {}, KN, FinalSlot(I));
+        S.WS.markWarm();
+        ++Simulated;
+        if (Options.OnResult)
+          Options.OnResult(I, Ctx.Results[static_cast<size_t>(I)]);
+        continue;
+      }
+      S.Lanes.clear();
+      for (int I : Grp.Members) {
+        if (Options.ShouldSkip && Options.ShouldSkip(I)) {
+          ++SkippedLocal;
+          continue;
+        }
+        if (!Launch(I))
+          continue;
+        const SimOptions &O = *Ctx.Replicas[static_cast<size_t>(I)].Options;
+        // Seeded exactly as prepare() seeds FaultRng: lockstep draws and a
+        // retired lane's replay read one and the same stream.
+        S.Lanes.push_back(SlabLane{I, &O, Rng(O.Faults.Seed), O.Faults.any()});
+      }
+      if (S.Lanes.empty())
+        continue;
+      const int First = S.Lanes.front().Index;
+      // Any enrolled member works as the master blueprint — compatibility
+      // is what the slab key means — and faults are suppressed so the
+      // master is the shared fault-free trajectory.
+      S.WS.prepare(Ctx.Replicas[static_cast<size_t>(First)],
+                   Ctx.Plans[static_cast<size_t>(First)],
+                   /*SuppressFaults=*/true);
+      assert(S.WS.fastEligible() && "slab master must ride the fast path");
+      S.C = S.WS.beginFast(Options.FinalStates != nullptr);
+      S.Active = true;
+      ++Active;
+      ++SlabsLocal;
+      SlabLanesLocal += S.Lanes.size();
+      return;
+    }
+  };
+
+  /// Per-step fault sweep over a slab's lanes, before the master executes
+  /// the step: the reference draws step C.Time's faults against the state
+  /// at the top of that iteration, which is exactly the master's current
+  /// state. A firing lane retires — prepare, adopt the master at C.Time,
+  /// restore the pre-step RNG snapshot, and replay the rest of the run on
+  /// the general path.
+  auto DrawAndRetire = [&](SlabSlot &S) {
+    size_t Keep = 0;
+    const size_t NumL = S.Lanes.size();
+    for (size_t L = 0; L != NumL; ++L) {
+      SlabLane &Lane = S.Lanes[L];
+      bool Fired = false;
+      if (Lane.Faulty) {
+        const Rng Snapshot = Lane.R;
+        Fired = simd::drawStepFaults(Lane.R, Lane.O->Faults,
+                                     Lane.O->ColorsEnabled, S.C.K, NumCells,
+                                     Degree, T, S.C.AgentP);
+        if (Fired) {
+          RetireWS.prepare(Ctx.Replicas[static_cast<size_t>(Lane.Index)],
+                           Ctx.Plans[static_cast<size_t>(Lane.Index)]);
+          RetireWS.adoptMaster(S.WS, S.C, Snapshot);
+          SimResult Res = RetireWS.resumeSolo(nullptr);
+          RetireWS.markWarm();
+          ++RetiredLocal;
+          CompleteLane(Lane.Index, Res, RetireWS);
+        }
+      }
+      if (!Fired)
+        S.Lanes[Keep++] = Lane;
+    }
+    S.Lanes.resize(Keep);
+  };
+
+  /// Master finished (solved or cut off): every remaining lane shares its
+  /// result. Their fault counters are provably zero — a nonzero counter
+  /// means a draw fired, which would have retired the lane.
+  auto FinalizeSlab = [&](SlabSlot &S) {
+    SimResult MasterRes = S.WS.finishFast(S.C, nullptr);
+    ConvergedLocal += S.Lanes.size();
+    for (const SlabLane &Lane : S.Lanes)
+      CompleteLane(Lane.Index, MasterRes, S.WS);
+    S.Lanes.clear();
+    S.WS.markWarm();
+    S.Active = false;
+    --Active;
+  };
+
+  const bool Tri = Degree == 6;
+  const simd::LaneStepFn Step = Tri ? KN.Step6 : KN.Step4;
+  const simd::LaneSoloFn Solo = Tri ? KN.Solo6 : KN.Solo4;
+  FastCtx *Lanes[LockstepBlock];
+
+  for (;;) {
+    // All (re)activation happens here and only here, before the draw
+    // sweep: a freshly enrolled slab's lanes must draw their step-0
+    // faults before the master executes step 0, so a slot may never be
+    // refilled between the sweep and Step below.
+    if (!Drained)
+      for (SlabSlot &S : Slots)
+        if (!S.Active)
+          Activate(S);
+    if (Active == 0)
+      break;
+    if (Active == 1 && Drained) {
+      // Straggler: if no lane can fire, the master may run the kernel's
+      // tight solo loop to completion. A faulty lane forces the per-step
+      // sweep below instead.
+      SlabSlot *Last = nullptr;
+      for (SlabSlot &S : Slots)
+        if (S.Active)
+          Last = &S;
+      bool AnyFaulty = false;
+      for (const SlabLane &Lane : Last->Lanes)
+        AnyFaulty |= Lane.Faulty;
+      if (!AnyFaulty) {
+        Solo(Last->C);
+        FinalizeSlab(*Last);
+        break;
+      }
+    }
+    // Draws precede the master's step: faults of iteration C.Time fire
+    // against the state at the top of that iteration.
+    for (SlabSlot &S : Slots) {
+      if (!S.Active || S.C.Done)
+        continue;
+      DrawAndRetire(S);
+      if (S.Lanes.empty()) {
+        // Every lane retired; the master represents nobody. finishFast
+        // still runs — it restores the workspace invariants (zeroed
+        // CellComm, obstacle-free stamps) — but its result is dropped.
+        S.WS.finishFast(S.C, nullptr);
+        S.WS.markWarm();
+        S.Active = false;
+        --Active;
+      }
+    }
+    int NumLanes = 0;
+    for (SlabSlot &S : Slots)
+      if (S.Active && !S.C.Done)
+        Lanes[NumLanes++] = &S.C;
+    if (NumLanes > 0)
+      Step(Lanes, NumLanes);
+    for (SlabSlot &S : Slots) {
+      if (!S.Active || !S.C.Done)
+        continue;
+      FinalizeSlab(S);
+    }
+  }
+
+  uint64_t Allocs = RetireWS.allocations();
+  uint64_t Steady = RetireWS.steadyAllocations();
+  for (SlabSlot &S : Slots) {
+    Allocs += S.WS.allocations();
+    Steady += S.WS.steadyAllocations();
+  }
+  Ctx.PerWorkerReplicas[Worker] = Simulated;
+  Ctx.PerWorkerAllocs[Worker] = Allocs;
+  Ctx.PerWorkerSteadyAllocs[Worker] = Steady;
+  Ctx.PerWorkerRetries[Worker] = RetriesLocal;
+  Ctx.PerWorkerFailed[Worker] = FailedLocal;
+  Ctx.PerWorkerSlabs[Worker] = SlabsLocal;
+  Ctx.PerWorkerSlabLanes[Worker] = SlabLanesLocal;
+  Ctx.PerWorkerRetired[Worker] = RetiredLocal;
+  Ctx.PerWorkerConverged[Worker] = ConvergedLocal;
+  Ctx.Skipped.fetch_add(SkippedLocal, std::memory_order_relaxed);
+  Ctx.PerWorkerBusy[Worker] = secondsSince(Start);
+}
+
 } // namespace
 
 std::vector<SimResult>
@@ -1074,9 +1506,24 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
       Options.OnStep ? 1 : std::max<size_t>(1, Options.NumWorkers);
   NumWorkers = std::min(NumWorkers, Replicas.size());
 
+  // rmaj64: group the batch into clone slabs up front (deterministic,
+  // single-threaded; workers then steal whole groups). The observer path
+  // keeps workerLoop's strict sequential order, where slabs cannot form.
+  const bool SlabMode =
+      Backend == SimdBackend::RMaj64 && !Options.OnStep;
+  std::vector<SlabGroup> Groups;
+  if (SlabMode) {
+    Groups = buildSlabGroups(Replicas, !Neighbors16.empty());
+    NumWorkers = std::min(NumWorkers, Groups.size());
+  }
+
   RunContext Ctx(Replicas, Plans, Options, Results, NumWorkers);
   auto Body = [&](size_t Worker) {
-    workerLoop(T, BoundaryMask, Neighbors16, TurnMap, KN, Ctx, Worker);
+    if (SlabMode)
+      workerLoopSlabs(T, BoundaryMask, Neighbors16, TurnMap, KN, Groups, Ctx,
+                      Worker);
+    else
+      workerLoop(T, BoundaryMask, Neighbors16, TurnMap, KN, Ctx, Worker);
   };
   if (NumWorkers <= 1)
     Body(0);
@@ -1105,6 +1552,14 @@ BatchEngine::run(const std::vector<BatchReplica> &Replicas,
       S.TaskRetries += R;
     for (uint64_t F : Ctx.PerWorkerFailed)
       S.ReplicasFailed += F;
+    for (uint64_t V : Ctx.PerWorkerSlabs)
+      S.SlabsFormed += V;
+    for (uint64_t V : Ctx.PerWorkerSlabLanes)
+      S.SlabLanesEnrolled += V;
+    for (uint64_t V : Ctx.PerWorkerRetired)
+      S.LanesRetiredEarly += V;
+    for (uint64_t V : Ctx.PerWorkerConverged)
+      S.LanesConverged += V;
   }
   return Results;
 }

@@ -201,6 +201,28 @@ struct BatchRunStats {
   /// bit-identical, so this is diagnostic only.
   SimdBackend BackendUsed = SimdBackend::Scalar;
 
+  // Replica-major slab counters, nonzero only under the rmaj64 backend
+  // (see sim/simd/ReplicaSlab.h). A "slab" is one master trajectory shared
+  // by up to 64 clone-modulo-faults lanes; occupancy is the dedup factor
+  // the workload actually offered. LanesRetiredEarly counts lanes that
+  // left lockstep because a fault fired (finished on the general path from
+  // a mid-run snapshot); LanesConverged counts lanes that rode their
+  // master to completion. Retired + converged == enrolled lanes, and every
+  // lane's result is bit-identical to a solo run either way.
+  uint64_t SlabsFormed = 0;
+  uint64_t SlabLanesEnrolled = 0;
+  uint64_t LanesRetiredEarly = 0;
+  uint64_t LanesConverged = 0;
+
+  /// Mean lanes per slab — 1.0 means the batch had no clone structure to
+  /// exploit (e.g. GA generations after (genome, field) dedup) and rmaj64
+  /// ran at sliced64 parity; 64.0 is the replica-averaging ideal.
+  double slabOccupancy() const {
+    return SlabsFormed ? static_cast<double>(SlabLanesEnrolled) /
+                             static_cast<double>(SlabsFormed)
+                       : 0.0;
+  }
+
   double compileHitRate() const {
     uint64_t Total = CompileHits + CompileMisses;
     return Total ? static_cast<double>(CompileHits) /
@@ -262,7 +284,9 @@ struct BatchRunOptions {
   /// fastest backend the host supports; the CA2A_FORCE_BACKEND environment
   /// variable overrides both (see sim/simd/Backend.h). Results are
   /// bit-identical for every value — the backends differ only in
-  /// instruction selection, never in any replica's trajectory.
+  /// instruction selection (and, for rmaj64, in sharing one master
+  /// trajectory across clone replicas; see sim/simd/ReplicaSlab.h), never
+  /// in any replica's trajectory.
   SimdBackend Backend = SimdBackend::Auto;
 
   // Supervised execution (see support/Supervisor.h). The launch of every

@@ -20,6 +20,8 @@ const char *ca2a::simdBackendName(SimdBackend B) {
     return "sliced64";
   case SimdBackend::AVX2:
     return "avx2";
+  case SimdBackend::RMaj64:
+    return "rmaj64";
   }
   return "auto";
 }
@@ -42,6 +44,10 @@ bool ca2a::parseSimdBackend(const std::string &Text, SimdBackend &B) {
   }
   if (Lower == "avx2") {
     B = SimdBackend::AVX2;
+    return true;
+  }
+  if (Lower == "rmaj64" || Lower == "rmaj") {
+    B = SimdBackend::RMaj64;
     return true;
   }
   return false;
@@ -68,6 +74,7 @@ bool ca2a::simdBackendAvailable(SimdBackend B) {
   case SimdBackend::Auto:
   case SimdBackend::Scalar:
   case SimdBackend::Sliced64:
+  case SimdBackend::RMaj64:
     return true;
   case SimdBackend::AVX2:
     return simd::avx2KernelCompiled() && cpuHasAVX2();
@@ -80,6 +87,11 @@ std::vector<SimdBackend> ca2a::availableSimdBackends() {
   if (simdBackendAvailable(SimdBackend::AVX2))
     Out.push_back(SimdBackend::AVX2);
   Out.push_back(SimdBackend::Sliced64);
+  // rmaj64 stays out of the front slot: its clone-slab win only exists on
+  // replica-averaged workloads, and on distinct-configuration batches it
+  // matches sliced64 (whose kernel steps its masters). Listing it here
+  // still enrolls it in every availableSimdBackends()-driven test sweep.
+  Out.push_back(SimdBackend::RMaj64);
   Out.push_back(SimdBackend::Scalar);
   return Out;
 }

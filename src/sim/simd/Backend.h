@@ -10,7 +10,7 @@
 /// Runtime selection of the lane-parallel kernel that executes the batch
 /// engine's fast-path replica stepping (see sim/simd/Kernel.h).
 ///
-/// Three concrete backends exist, all bit-identical to the reference
+/// Four concrete backends exist, all bit-identical to the reference
 /// World (the per-backend differential matrix in tests/sim enforces it):
 ///
 ///   * scalar   — the per-agent lockstep loop, no special instructions.
@@ -25,6 +25,21 @@
 ///                mask blends). Compiled into its own translation unit
 ///                with -mavx2 and dispatched only when cpuid reports AVX2,
 ///                so the fat binary runs on any x86-64 host.
+///   * rmaj64   — replica-major slab stepping (sim/simd/ReplicaSlab.h):
+///                the batch engine groups up to 64 replicas that share a
+///                (genome, field) configuration into a slab and steps one
+///                shared master trajectory with the sliced64 kernel; each
+///                lane's fault-RNG stream is drawn per-replica serially in
+///                reference draw order, and a lane retires to the general
+///                path the moment a fault fires (replaying that step from
+///                an RNG snapshot). Gather-free clone stepping: the win is
+///                proportional to slab occupancy, so it is opt-in rather
+///                than part of Auto's preference order — replica-averaged
+///                workloads (thousands of runs of one configuration, or
+///                fault sweeps that share a long fault-free prefix) are
+///                where it pays; GA generations deduplicate (genome,
+///                field) pairs first and see sliced64-parity occupancy-1
+///                slabs.
 ///
 /// Selection order: the CA2A_FORCE_BACKEND environment variable (CI's
 /// forcing knob) beats the requested backend, which beats Auto; Auto picks
@@ -50,13 +65,14 @@ enum class SimdBackend : uint8_t {
   Scalar,   ///< Per-agent scalar lockstep (always available).
   Sliced64, ///< Portable 64-bit verdict-sliced kernel (always available).
   AVX2,     ///< 8-agent AVX2 gather/blend kernel (x86-64 with AVX2 only).
+  RMaj64,   ///< Replica-major 64-lane slab stepping (always available).
 };
 
-/// "auto" / "scalar" / "sliced64" / "avx2".
+/// "auto" / "scalar" / "sliced64" / "avx2" / "rmaj64".
 const char *simdBackendName(SimdBackend B);
 
-/// Parses "auto", "scalar", "sliced64" (or "sliced"), "avx2"
-/// (case-insensitive).
+/// Parses "auto", "scalar", "sliced64" (or "sliced"), "avx2", "rmaj64"
+/// (or "rmaj") — case-insensitive.
 bool parseSimdBackend(const std::string &Text, SimdBackend &B);
 
 /// True when \p B can execute on this process: the binary carries the
@@ -64,10 +80,13 @@ bool parseSimdBackend(const std::string &Text, SimdBackend &B);
 /// Sliced64 are always available.
 bool simdBackendAvailable(SimdBackend B);
 
-/// Every concrete (non-Auto) backend available on this host, in Auto's
-/// preference order (fastest first). Never empty — Scalar and Sliced64
-/// are unconditionally present. The differential test matrix iterates
-/// this list.
+/// Every concrete (non-Auto) backend available on this host. The front
+/// of the list is Auto's resolution (fastest on a generic workload);
+/// rmaj64 sits after sliced64 because its advantage is workload-shaped
+/// (slab occupancy), not universal. Never empty — Scalar, Sliced64 and
+/// RMaj64 are unconditionally present. The differential test matrix
+/// iterates this list, so every entry is exercised by the fuzz,
+/// word-boundary, determinism and golden-trace suites.
 std::vector<SimdBackend> availableSimdBackends();
 
 /// Resolves \p Requested to the concrete backend a run will execute:

@@ -32,6 +32,20 @@
 ///     per-agent slots (Comm, scratch), while every claim-stamp access
 ///     stays in stage B in id order.
 ///
+/// Contract inversion under rmaj64: for the scalar/sliced64/avx2
+/// backends the engine owns the step loop — workerLoop in BatchEngine.cpp
+/// calls Step/Solo per iteration (or to completion) and the kernel is a
+/// pure per-step function over a FastCtx. The replica-major backend
+/// inverts that: the slab worker loop owns stepping outright, because it
+/// must interleave work the kernel cannot see between iterations — the
+/// per-lane fault-draw sweep that decides, BEFORE the master executes
+/// step t, which enrolled replicas' private fault streams fire at t and
+/// must retire to the general path (sim/simd/ReplicaSlab.h). The step
+/// functions themselves are untouched: a slab master is an ordinary
+/// fast-path FastCtx stepped by the sliced64 formulation, so rmaj64 adds
+/// no fourth step formulation here — only a different owner for the loop
+/// around the existing ones.
+///
 /// This header is internal to the simulation library: it is not part of
 /// the public engine API and may change freely.
 ///

@@ -17,6 +17,8 @@ const LaneKernel &laneKernel(SimdBackend Resolved) {
     assert(simdBackendAvailable(SimdBackend::AVX2) &&
            "AVX2 kernel dispatched on a host without AVX2");
     return avx2LaneKernel();
+  case SimdBackend::RMaj64:
+    return rmaj64LaneKernel();
   case SimdBackend::Auto:
     break;
   }

@@ -67,9 +67,14 @@ bool avx2KernelCompiled();
 /// Per-backend accessors (implementation detail of laneKernel; one per
 /// kernel translation unit). Without a compiled AVX2 kernel,
 /// avx2LaneKernel() aliases the scalar kernel and is never dispatched.
+/// The rmaj64 kernel steps slab *masters* with the sliced64 formulation;
+/// the replica-major machinery itself (slab grouping, per-lane fault
+/// draws, retirement) lives in sim/simd/ReplicaSlab.h and the batch
+/// engine's slab worker loop, keyed off LaneKernel::Backend == RMaj64.
 const LaneKernel &scalarLaneKernel();
 const LaneKernel &sliced64LaneKernel();
 const LaneKernel &avx2LaneKernel();
+const LaneKernel &rmaj64LaneKernel();
 
 } // namespace simd
 } // namespace ca2a

@@ -1,0 +1,34 @@
+//===- sim/simd/KernelRMaj64.cpp - Replica-major slab kernel entry --------===//
+//
+// The rmaj64 backend's unit of lockstep is the replica, not the agent: the
+// batch engine groups compatible replicas into slabs (see ReplicaSlab.h)
+// and each slab steps ONE master trajectory. That master is an ordinary
+// single-word fast-path replica, and the portable sliced64 formulation is
+// the best always-available way to step it — so this kernel re-exports the
+// sliced64 entry points under the RMaj64 tag. What makes the backend
+// different is everything around the step functions: the slab worker loop
+// in BatchEngine.cpp owns enrolment, the per-lane fault-draw sweep,
+// retirement, and result fan-out, and it selects that loop by
+// LaneKernel::Backend == RMaj64.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/simd/Kernel.h"
+
+namespace ca2a {
+namespace simd {
+
+const LaneKernel &rmaj64LaneKernel() {
+  static const LaneKernel Kernel = [] {
+    LaneKernel K = sliced64LaneKernel();
+    K.Backend = SimdBackend::RMaj64;
+    // PreferredLanes counts resident slab *masters* per worker; each one
+    // carries the same per-cell state as a sliced64 lane, so the same
+    // cache-footprint tuning applies.
+    return K;
+  }();
+  return Kernel;
+}
+
+} // namespace simd
+} // namespace ca2a

@@ -1,0 +1,117 @@
+//===- sim/simd/ReplicaSlab.cpp - Replica-major slab grouping -------------===//
+
+#include "sim/simd/ReplicaSlab.h"
+
+#include "sim/simd/FastPath.h"
+#include "support/Hash.h"
+
+#include <cassert>
+
+using namespace ca2a;
+
+bool simd::slabLaneEligible(const BatchReplica &R) {
+  const int K = static_cast<int>(R.Placements->size());
+  return K >= 1 && K <= SlabLaneCapacity && !R.Options->Bordered;
+}
+
+namespace {
+
+/// Effective genome pair: a null B means "A throughout" (policy Single in
+/// spirit), so normalise before comparing — two replicas whose tables
+/// resolve identically must land in the same slab bucket.
+const Genome *effectiveB(const BatchReplica &R) { return R.B ? R.B : R.A; }
+
+bool sameStart(const StartStates &A, const StartStates &B) {
+  return A.M == B.M && A.UniformValue == B.UniformValue;
+}
+
+} // namespace
+
+bool simd::slabCompatible(const BatchReplica &A, const BatchReplica &B) {
+  if (A.A != B.A || effectiveB(A) != effectiveB(B) || A.Policy != B.Policy)
+    return false;
+  if (A.Placements != B.Placements) {
+    if (A.Placements->size() != B.Placements->size())
+      return false;
+    for (size_t I = 0, E = A.Placements->size(); I != E; ++I) {
+      const Placement &PA = (*A.Placements)[I];
+      const Placement &PB = (*B.Placements)[I];
+      if (!(PA.Pos == PB.Pos) || PA.Direction != PB.Direction)
+        return false;
+    }
+  }
+  const SimOptions &OA = *A.Options;
+  const SimOptions &OB = *B.Options;
+  // Everything except Faults: the fault model is per-lane state (each lane
+  // draws its own stream against its own probabilities/filter), so it is
+  // deliberately absent from the compatibility key.
+  if (OA.MaxSteps != OB.MaxSteps || !sameStart(OA.Start, OB.Start) ||
+      OA.ColorsEnabled != OB.ColorsEnabled ||
+      OA.Arbitration != OB.Arbitration || OA.Bordered != OB.Bordered)
+    return false;
+  if (&OA.Obstacles != &OB.Obstacles) {
+    if (OA.Obstacles.size() != OB.Obstacles.size())
+      return false;
+    for (size_t I = 0, E = OA.Obstacles.size(); I != E; ++I)
+      if (!(OA.Obstacles[I] == OB.Obstacles[I]))
+        return false;
+  }
+  return true;
+}
+
+uint64_t simd::slabKeyHash(const BatchReplica &R) {
+  Fnv1aHasher H;
+  H.mixWord(reinterpret_cast<uintptr_t>(R.A));
+  H.mixWord(reinterpret_cast<uintptr_t>(effectiveB(R)));
+  H.mixWord(static_cast<uint64_t>(R.Policy));
+  for (const Placement &P : *R.Placements) {
+    H.mixWord((static_cast<uint64_t>(static_cast<uint32_t>(P.Pos.X)) << 32) |
+              static_cast<uint32_t>(P.Pos.Y));
+    H.mixWord(P.Direction);
+  }
+  const SimOptions &O = *R.Options;
+  H.mixWord(static_cast<uint64_t>(static_cast<uint32_t>(O.MaxSteps)));
+  H.mixWord(static_cast<uint64_t>(O.Start.M));
+  H.mixWord(O.Start.UniformValue);
+  H.mixWord(O.ColorsEnabled);
+  H.mixWord(static_cast<uint64_t>(O.Arbitration));
+  H.mixWord(O.Bordered);
+  for (const Coord &C : O.Obstacles)
+    H.mixWord((static_cast<uint64_t>(static_cast<uint32_t>(C.X)) << 32) |
+              static_cast<uint32_t>(C.Y));
+  return H.value();
+}
+
+bool simd::drawStepFaults(Rng &R, const FaultModel &F, bool ColorsEnabled,
+                          int K, int NumCells, int Degree, const Torus &T,
+                          const uint64_t *AgentPack) {
+  // Reference order (ReplicaWorkspace::injectFaults, then exchange):
+  // deaths, stalls, colour flips, link drops. All agents are alive, so
+  // every per-agent gate passes and the draw counts below are exactly what
+  // the reference consumes on a step where nothing fires. The first
+  // success returns immediately — the caller discards this mid-step
+  // stream and replays the step from its pre-step snapshot.
+  if (F.DeathProbability > 0.0)
+    for (int Id = 0; Id != K; ++Id)
+      if (R.bernoulli(F.DeathProbability))
+        return true;
+  if (F.StallProbability > 0.0)
+    for (int Id = 0; Id != K; ++Id)
+      if (R.bernoulli(F.StallProbability))
+        return true;
+  if (F.ColorFlipProbability > 0.0 && ColorsEnabled)
+    for (int C = 0; C != NumCells; ++C)
+      if (R.bernoulli(F.ColorFlipProbability))
+        return true;
+  if (F.LinkDropProbability > 0.0) {
+    for (int Id = 0; Id != K; ++Id) {
+      const int Cell = agentCell(AgentPack[Id]);
+      for (int D = 0; D != Degree; ++D)
+        if ((!F.LinkFilter ||
+             F.LinkFilter(T, Cell, static_cast<uint8_t>(D))) &&
+            R.bernoulli(F.LinkDropProbability))
+          return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,108 @@
+//===- sim/simd/ReplicaSlab.h - Replica-major slab grouping -----*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replica-major ("rmaj64") slab machinery behind SimdBackend::RMaj64.
+///
+/// The paper's headline numbers are averages over thousands of replicas of
+/// the *same* (genome, field) configuration. Those replicas are
+/// deterministic clones: without faults their trajectories are identical
+/// word for word, and *with* faults they follow the identical fault-free
+/// trajectory until the first fault actually fires (fault draws consume
+/// RNG state but mutate nothing until one succeeds). A slab exploits this:
+///
+///   * up to 64 compatible replicas ("lanes") share ONE master trajectory,
+///     stepped on the fast path by the sliced64 bit-sliced kernel — the
+///     per-step cost of a whole slab is one replica-step plus the lanes'
+///     fault draws, with zero per-lane gathers;
+///   * each lane owns its private fault-RNG stream (seeded from its own
+///     FaultModel::Seed) and draws it serially every step in exactly the
+///     reference World's draw order — deaths, stalls, colour flips, then
+///     link drops per (agent, direction) — so draw counts match the
+///     reference bit-for-bit;
+///   * the moment any draw fires, that lane *retires*: the engine clones
+///     the master's state at the current step into a scratch workspace,
+///     restores the lane's RNG to its pre-step snapshot, and finishes the
+///     replica on the general (fault-capable) path, replaying the firing
+///     step and everything after it exactly as the reference would;
+///   * lanes that never fire converge with the master and share its
+///     result (their fault counters are provably zero).
+///
+/// The divergence mask is therefore the lane list itself: retirement
+/// removes a lane without perturbing the master or its siblings, which is
+/// what keeps every lane bit-identical to a solo reference run.
+///
+/// This header holds the engine-independent pieces: slab eligibility, the
+/// compatibility key (what "same configuration" means), and the per-step
+/// fault-draw sweep. The slab worker loop — enrolment, the master
+/// lockstep arena, retirement, and result fan-out — lives in
+/// sim/BatchEngine.cpp, since it needs the replica workspaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_SIM_SIMD_REPLICASLAB_H
+#define CA2A_SIM_SIMD_REPLICASLAB_H
+
+#include "sim/BatchEngine.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace ca2a {
+namespace simd {
+
+/// Lanes per slab: one bit of divergence bookkeeping per word bit, and the
+/// same bound as the fast path's single comm word (k <= 64).
+constexpr int SlabLaneCapacity = 64;
+
+/// True when \p R can ride in a slab at all: the fast-path structural
+/// conditions that do not depend on the engine instance (k <= 64 agents so
+/// comm rows are one word, cyclic field). Fault probabilities do NOT
+/// disqualify a replica — faulty lanes are the point — and neither does a
+/// LinkFilter, because every lane draws against its own model. The engine
+/// additionally requires its Neighbors16 table (large grids fall back to
+/// the general path as singleton groups).
+bool slabLaneEligible(const BatchReplica &R);
+
+/// True when \p A and \p B are clones modulo their fault model: same
+/// compiled genomes (by pointer, matching the compile cache's identity),
+/// same policy, same placements, and same SimOptions apart from Faults.
+/// Two compatible replicas follow the identical fault-free master
+/// trajectory, which is the correctness premise of slab sharing.
+bool slabCompatible(const BatchReplica &A, const BatchReplica &B);
+
+/// Hash consistent with slabCompatible (equal replicas hash equally).
+/// Used only to bucket candidates — group membership is always decided by
+/// the full slabCompatible comparison, so hash quality affects grouping
+/// speed, never grouping results.
+uint64_t slabKeyHash(const BatchReplica &R);
+
+/// Draws one step's worth of fault decisions from \p R in the reference
+/// World's exact order and returns true as soon as any draw fires.
+///
+/// On a false return, \p R has consumed precisely the draws the reference
+/// engine would have consumed for a step where nothing fired (deaths and
+/// stalls per agent, colour flips per cell, link drops per live
+/// (agent, direction) pair gated by the optional LinkFilter). On a true
+/// return the stream is mid-step and must be discarded: the caller
+/// restores the lane's pre-step snapshot and replays the whole step on
+/// the general path, which re-draws it identically.
+///
+/// \p AgentPack is the master's packed per-agent state at the *start* of
+/// the step (simd::packAgent layout) — link-drop draws need each agent's
+/// current cell for the LinkFilter gate. All lanes are alive and unstalled
+/// by construction (any earlier fire would have retired the lane), so the
+/// alive-gating in the reference loops degenerates to "draw for everyone".
+bool drawStepFaults(Rng &R, const FaultModel &F, bool ColorsEnabled, int K,
+                    int NumCells, int Degree, const Torus &T,
+                    const uint64_t *AgentPack);
+
+} // namespace simd
+} // namespace ca2a
+
+#endif // CA2A_SIM_SIMD_REPLICASLAB_H

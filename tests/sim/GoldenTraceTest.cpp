@@ -1,6 +1,6 @@
 //===- tests/sim/GoldenTraceTest.cpp - Canonical run traces, pinned -------===//
 //
-// Four small canonical simulations whose full trajectories are committed
+// Five small canonical simulations whose full trajectories are committed
 // as text fixtures under tests/data/golden/. Each fixture records, per
 // iteration, the informed and survivor counts and an FNV-1a digest of the
 // complete agent state (positions, directions, control states, liveness,
@@ -52,9 +52,10 @@ struct GoldenScenario {
   bool twoGenomes() const { return Policy != GenomePolicy::Single; }
 };
 
-/// The four scenarios: the two best published agents on the paper's
-/// field, a policy/arbitration/obstacle mix, and a faulty run (the fault
-/// RNG stream is part of the pinned semantics).
+/// The five scenarios: the two best published agents on the paper's
+/// field, a policy/arbitration/obstacle mix, a faulty run (the fault
+/// RNG stream is part of the pinned semantics), and a faulty triangulate
+/// run of the best agent that exercises the rmaj64 slab-retirement path.
 std::vector<GoldenScenario> goldenScenarios() {
   std::vector<GoldenScenario> Out;
   {
@@ -114,6 +115,27 @@ std::vector<GoldenScenario> goldenScenarios() {
     S.Options.Faults.Seed = 0x5eedf;
     Torus T(S.Kind, S.Side);
     S.Placements = randomConfiguration(T, 8, R).Placements;
+    Out.push_back(std::move(S));
+  }
+  {
+    // Added with the rmaj64 backend: a faulty triangulate run of the
+    // paper's best agent. Under rmaj64 this single replica rides a slab
+    // master until its fault stream fires, so the golden chain pins the
+    // adopt-and-replay retirement path, not just the lockstep one.
+    GoldenScenario S;
+    S.Name = "t12_best_faults_k24";
+    S.Kind = GridKind::Triangulate;
+    S.Side = 12;
+    S.A = bestTriangulateAgent();
+    S.Options.MaxSteps = 150;
+    S.Options.Faults.StallProbability = 0.02;
+    S.Options.Faults.DeathProbability = 0.002;
+    S.Options.Faults.LinkDropProbability = 0.01;
+    S.Options.Faults.ColorFlipProbability = 0.005;
+    S.Options.Faults.Seed = 0x901dfa;
+    Torus T(S.Kind, S.Side);
+    Rng R(0x901d05);
+    S.Placements = randomConfiguration(T, 24, R).Placements;
     Out.push_back(std::move(S));
   }
   return Out;

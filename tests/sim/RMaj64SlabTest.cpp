@@ -1,0 +1,313 @@
+//===- tests/sim/RMaj64SlabTest.cpp - Replica-major slab semantics --------===//
+//
+// The rmaj64 backend's distinguishing machinery, pinned directly: slab
+// formation over clone batches (counts below, at and beyond the 64-lane
+// capacity), the per-lane fault-stream retirement path (distinct fault
+// seeds fire at divergent steps and each retired lane must replay its run
+// bit-identically), LinkFilter-gated draws inside a slab, mixed batches
+// where only some replicas are slab-eligible, and worker-count
+// independence. The differential fuzz suite already proves rmaj64 matches
+// the reference on arbitrary configurations; this file additionally pins
+// the occupancy/retirement *accounting* in BatchRunStats that those tests
+// never inspect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/InitialConfiguration.h"
+#include "sim/BatchEngine.h"
+#include "sim/simd/ReplicaSlab.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+/// A deterministic mid-size triangulate scenario with enough agents and
+/// steps that fault seeds have room to diverge.
+struct Scenario {
+  Torus T{GridKind::Triangulate, 12};
+  Genome A;
+  std::vector<Placement> Placements;
+  SimOptions Options;
+
+  explicit Scenario(uint64_t Seed, int NumAgents = 24) {
+    Rng R(Seed);
+    A = Genome::random(R);
+    Placements = randomConfiguration(T, NumAgents, R).Placements;
+    Options.MaxSteps = 120;
+  }
+
+  BatchReplica replica() const {
+    BatchReplica Rep;
+    Rep.A = &A;
+    Rep.Placements = &Placements;
+    Rep.Options = &Options;
+    return Rep;
+  }
+
+  SimResult reference() const {
+    World W(T);
+    W.reset(A, Placements, Options);
+    return W.run();
+  }
+};
+
+void expectFinalStateMatchesWorld(const World &W, const ReplicaFinalState &F,
+                                  const std::string &What) {
+  const Torus &T = W.torus();
+  ASSERT_EQ(static_cast<int>(F.Colors.size()), T.numCells()) << What;
+  for (int Cell = 0; Cell != T.numCells(); ++Cell) {
+    ASSERT_EQ(static_cast<int>(F.Colors[static_cast<size_t>(Cell)]),
+              W.colorValueAt(Cell))
+        << What << ": colour differs at cell " << Cell;
+    ASSERT_EQ(static_cast<int>(F.Occupancy[static_cast<size_t>(Cell)]),
+              W.agentAt(Cell))
+        << What << ": occupancy differs at cell " << Cell;
+    ASSERT_EQ(F.VisitCounts[static_cast<size_t>(Cell)], W.visitCount(Cell))
+        << What << ": visit count differs at cell " << Cell;
+  }
+  ASSERT_EQ(static_cast<int>(F.Agents.size()), W.numAgents()) << What;
+  for (int Id = 0; Id != W.numAgents(); ++Id) {
+    const AgentState &Ref = W.agent(Id);
+    const ReplicaAgentState &Got = F.Agents[static_cast<size_t>(Id)];
+    ASSERT_EQ(Got.Cell, Ref.Cell) << What << ": agent " << Id;
+    ASSERT_EQ(Got.Direction, Ref.Direction) << What << ": agent " << Id;
+    ASSERT_EQ(Got.ControlState, Ref.ControlState) << What << ": agent " << Id;
+    ASSERT_EQ(Got.Informed, Ref.Informed) << What << ": agent " << Id;
+    ASSERT_EQ(Got.Alive, Ref.Alive) << What << ": agent " << Id;
+    ASSERT_TRUE(Got.Comm == Ref.Comm)
+        << What << ": agent " << Id << " communication vector differs";
+  }
+}
+
+} // namespace
+
+// Fault-free clone batches across the slab capacity boundary: every count
+// must reproduce the single shared reference, form ceil(N / 64) slabs
+// (the partial tail rides a partially occupied slab, never the general
+// path), and converge every lane on its master.
+TEST(RMaj64SlabTest, CloneBatchesMatchSingleReferenceAcrossCapacities) {
+  Scenario S(0x51ab0001ull);
+  const SimResult Ref = S.reference();
+  BatchEngine Engine(S.T);
+  for (int N : {1, 63, 64, 65, 127, 200}) {
+    std::vector<BatchReplica> Replicas(static_cast<size_t>(N), S.replica());
+    BatchRunStats Stats;
+    BatchRunOptions Opts;
+    Opts.Backend = SimdBackend::RMaj64;
+    Opts.NumWorkers = 4;
+    Opts.Stats = &Stats;
+    std::vector<SimResult> Results = Engine.run(Replicas, Opts);
+    const uint64_t ExpectSlabs =
+        static_cast<uint64_t>((N + simd::SlabLaneCapacity - 1) /
+                              simd::SlabLaneCapacity);
+    EXPECT_EQ(Stats.SlabsFormed, ExpectSlabs) << "N=" << N;
+    EXPECT_EQ(Stats.SlabLanesEnrolled, static_cast<uint64_t>(N)) << "N=" << N;
+    EXPECT_EQ(Stats.LanesConverged, static_cast<uint64_t>(N)) << "N=" << N;
+    EXPECT_EQ(Stats.LanesRetiredEarly, 0u) << "N=" << N;
+    EXPECT_EQ(Stats.BackendUsed, SimdBackend::RMaj64);
+    for (int I = 0; I != N; ++I)
+      ASSERT_EQ(Results[static_cast<size_t>(I)], Ref)
+          << "N=" << N << " replica " << I
+          << ": clone diverged from the shared reference";
+  }
+}
+
+// The retirement path: clones that differ ONLY in their fault seed share
+// one master until their private streams fire at divergent steps. Each
+// lane must still match its own World run exactly — result, fault
+// counters and full final field — and the stats must show genuine early
+// retirements with retired + converged == enrolled.
+TEST(RMaj64SlabTest, FaultSeedLanesRetireAtDivergentStepsBitIdentically) {
+  Scenario S(0x51ab0002ull);
+  const int N = 48;
+  // Moderate probabilities: across 48 seeds some lanes fire early, some
+  // late, and typically a few never fire — all three endings covered.
+  std::vector<SimOptions> PerLane(static_cast<size_t>(N), S.Options);
+  for (int I = 0; I != N; ++I) {
+    PerLane[static_cast<size_t>(I)].Faults.StallProbability = 0.002;
+    PerLane[static_cast<size_t>(I)].Faults.DeathProbability = 0.0005;
+    PerLane[static_cast<size_t>(I)].Faults.LinkDropProbability = 0.001;
+    PerLane[static_cast<size_t>(I)].Faults.ColorFlipProbability = 0.0002;
+    PerLane[static_cast<size_t>(I)].Faults.Seed =
+        0xfee15eedull + static_cast<uint64_t>(I) * 7919;
+  }
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != N; ++I) {
+    BatchReplica Rep = S.replica();
+    Rep.Options = &PerLane[static_cast<size_t>(I)];
+    Replicas.push_back(Rep);
+  }
+  BatchEngine Engine(S.T);
+  BatchRunStats Stats;
+  std::vector<ReplicaFinalState> Finals;
+  BatchRunOptions Opts;
+  Opts.Backend = SimdBackend::RMaj64;
+  Opts.NumWorkers = 3;
+  Opts.Stats = &Stats;
+  Opts.FinalStates = &Finals;
+  std::vector<SimResult> Results = Engine.run(Replicas, Opts);
+
+  // The fault model is absent from the slab compatibility key, so all 48
+  // lanes share one master trajectory.
+  EXPECT_EQ(Stats.SlabsFormed, 1u);
+  EXPECT_EQ(Stats.SlabLanesEnrolled, static_cast<uint64_t>(N));
+  EXPECT_GT(Stats.LanesRetiredEarly, 0u)
+      << "no lane fired a fault; raise the probabilities or the seeds are "
+         "degenerate";
+  EXPECT_EQ(Stats.LanesRetiredEarly + Stats.LanesConverged,
+            static_cast<uint64_t>(N));
+
+  World W(S.T);
+  for (int I = 0; I != N; ++I) {
+    W.reset(S.A, S.Placements, PerLane[static_cast<size_t>(I)]);
+    SimResult Ref = W.run();
+    std::string What = "fault seed lane " + std::to_string(I);
+    ASSERT_EQ(Results[static_cast<size_t>(I)], Ref) << What;
+    expectFinalStateMatchesWorld(W, Finals[static_cast<size_t>(I)], What);
+  }
+}
+
+// A LinkFilter inside a slab: filtered draws change the per-step draw
+// count per lane, which is exactly the bookkeeping the lockstep fault
+// sweep must reproduce for a retired lane's replay to stay aligned.
+TEST(RMaj64SlabTest, LinkFilterGatedDrawsStayAlignedInsideSlabs) {
+  Scenario S(0x51ab0003ull);
+  const int N = 16;
+  std::vector<SimOptions> PerLane(static_cast<size_t>(N), S.Options);
+  for (int I = 0; I != N; ++I) {
+    SimOptions &O = PerLane[static_cast<size_t>(I)];
+    O.Faults.LinkDropProbability = 0.004;
+    O.Faults.Seed = 0x11f11ull + static_cast<uint64_t>(I) * 131;
+    // Only northward-ish links are droppable: the filter depends on the
+    // direction index, so the number of Bernoulli draws per agent per
+    // step is smaller than degree and position-dependent bookkeeping in
+    // the sweep would misalign immediately if it disagreed with World's.
+    O.Faults.LinkFilter = [](const Torus &, int, uint8_t Direction) {
+      return Direction < 2;
+    };
+  }
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != N; ++I) {
+    BatchReplica Rep = S.replica();
+    Rep.Options = &PerLane[static_cast<size_t>(I)];
+    Replicas.push_back(Rep);
+  }
+  BatchEngine Engine(S.T);
+  BatchRunStats Stats;
+  BatchRunOptions Opts;
+  Opts.Backend = SimdBackend::RMaj64;
+  Opts.Stats = &Stats;
+  std::vector<SimResult> Results = Engine.run(Replicas, Opts);
+  EXPECT_EQ(Stats.SlabsFormed, 1u);
+  World W(S.T);
+  for (int I = 0; I != N; ++I) {
+    W.reset(S.A, S.Placements, PerLane[static_cast<size_t>(I)]);
+    ASSERT_EQ(Results[static_cast<size_t>(I)], W.run())
+        << "LinkFilter lane " << I;
+  }
+}
+
+// Mixed batches: clone lanes, a bordered twin (slab-ineligible), and a
+// distinct-placement singleton interleaved. Grouping must route each to
+// the right path and reproduce every reference.
+TEST(RMaj64SlabTest, MixedEligibilityBatchRoutesEveryReplicaCorrectly) {
+  Scenario Clones(0x51ab0004ull);
+  Scenario Other(0x51ab0005ull, 33);
+  SimOptions Bordered = Clones.Options;
+  Bordered.Bordered = true;
+  BatchReplica BorderedRep = Clones.replica();
+  BorderedRep.Options = &Bordered;
+
+  std::vector<BatchReplica> Replicas;
+  // Interleave: clone, bordered, clone, other-singleton, clones...
+  Replicas.push_back(Clones.replica());
+  Replicas.push_back(BorderedRep);
+  Replicas.push_back(Clones.replica());
+  Replicas.push_back(Other.replica());
+  for (int I = 0; I != 5; ++I)
+    Replicas.push_back(Clones.replica());
+
+  BatchEngine Engine(Clones.T);
+  BatchRunStats Stats;
+  BatchRunOptions Opts;
+  Opts.Backend = SimdBackend::RMaj64;
+  Opts.NumWorkers = 2;
+  Opts.Stats = &Stats;
+  std::vector<SimResult> Results = Engine.run(Replicas, Opts);
+
+  const SimResult CloneRef = Clones.reference();
+  const SimResult OtherRef = Other.reference();
+  World W(Clones.T);
+  W.reset(Clones.A, Clones.Placements, Bordered);
+  const SimResult BorderedRef = W.run();
+
+  EXPECT_EQ(Results[0], CloneRef);
+  EXPECT_EQ(Results[1], BorderedRef);
+  EXPECT_EQ(Results[2], CloneRef);
+  EXPECT_EQ(Results[3], OtherRef);
+  for (size_t I = 4; I != Replicas.size(); ++I)
+    EXPECT_EQ(Results[I], CloneRef) << "clone replica " << I;
+
+  // 7 clones form one slab; the other-placement config forms a second
+  // (occupancy 1); the bordered twin is slab-ineligible and runs general.
+  EXPECT_EQ(Stats.SlabsFormed, 2u);
+  EXPECT_EQ(Stats.SlabLanesEnrolled, 8u);
+}
+
+// Results and slab accounting must not depend on the worker count: the
+// group list is built once up front and every counter is summed over
+// per-worker slots.
+TEST(RMaj64SlabTest, WorkerSweepIsDeterministicInResultsAndAccounting) {
+  Scenario A(0x51ab0006ull);
+  Scenario B(0x51ab0007ull, 40);
+  std::vector<SimOptions> Faulty(3, A.Options);
+  for (int I = 0; I != 3; ++I) {
+    Faulty[static_cast<size_t>(I)].Faults.StallProbability = 0.01;
+    Faulty[static_cast<size_t>(I)].Faults.Seed =
+        0xabcull + static_cast<uint64_t>(I);
+  }
+  std::vector<BatchReplica> Replicas;
+  for (int I = 0; I != 70; ++I)
+    Replicas.push_back(A.replica());
+  for (int I = 0; I != 3; ++I) {
+    BatchReplica Rep = A.replica();
+    Rep.Options = &Faulty[static_cast<size_t>(I)];
+    Replicas.push_back(Rep);
+  }
+  for (int I = 0; I != 9; ++I)
+    Replicas.push_back(B.replica());
+
+  BatchEngine Engine(A.T);
+  std::vector<SimResult> Baseline;
+  BatchRunStats BaselineStats;
+  for (size_t Workers : {size_t(1), size_t(3), size_t(8)}) {
+    BatchRunStats Stats;
+    BatchRunOptions Opts;
+    Opts.Backend = SimdBackend::RMaj64;
+    Opts.NumWorkers = Workers;
+    Opts.Stats = &Stats;
+    std::vector<SimResult> Results = Engine.run(Replicas, Opts);
+    if (Baseline.empty()) {
+      Baseline = Results;
+      BaselineStats = Stats;
+      continue;
+    }
+    ASSERT_EQ(Results.size(), Baseline.size());
+    for (size_t I = 0; I != Results.size(); ++I)
+      ASSERT_EQ(Results[I], Baseline[I])
+          << "workers=" << Workers << " replica " << I;
+    EXPECT_EQ(Stats.SlabsFormed, BaselineStats.SlabsFormed)
+        << "workers=" << Workers;
+    EXPECT_EQ(Stats.SlabLanesEnrolled, BaselineStats.SlabLanesEnrolled)
+        << "workers=" << Workers;
+    EXPECT_EQ(Stats.LanesRetiredEarly, BaselineStats.LanesRetiredEarly)
+        << "workers=" << Workers;
+    EXPECT_EQ(Stats.LanesConverged, BaselineStats.LanesConverged)
+        << "workers=" << Workers;
+  }
+}
