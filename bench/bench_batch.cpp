@@ -167,7 +167,8 @@ int main(int Argc, char **Argv) {
   CL.addInt("replicas", "random initial configurations", &NumReplicas);
   CL.addInt("max-steps", "simulation cutoff", &MaxSteps);
   CL.addInt("seed", "field-generation seed", &Seed);
-  CL.addInt("workers", "batch worker threads (0: hardware)", &Workers);
+  CL.addInt("workers", "batch worker threads (0: hardware)", &Workers, 0,
+            4096);
   CL.addInt("reps", "timed repetitions per row (interleaved, min-of-N)",
             &Reps);
   CL.addBool("quick", "small CI smoke run (600 replicas, 1 rep)", &Quick);

@@ -1,0 +1,288 @@
+//===- bench/bench_islands.cpp - R10: island-model GA scaling -------------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Measures what sharding the Sect. 4 genetic procedure across islands
+// buys at an EQUAL evaluation budget. Two variants train on the same
+// field set with the same base seed:
+//
+//   islands    N islands x population P (ring, migration every G gens),
+//              run by the in-process island runner — the distributed
+//              configuration;
+//   monolith   one Evolution with population N*P — the same number of
+//              fitness evaluations per generation, in one pool.
+//
+// Selection on a population-P pool costs O(P^2) of the dedup/sort work a
+// population-N*P pool pays, and each island's generation is 1/N of the
+// monolith's, so the aggregate generations/second is expected to scale
+// ~N-fold even on one core; the JSON also records champion quality at
+// the shared budget, where the monolith's bigger pool is the favourite —
+// that tension is the experiment (EXPERIMENTS.md R10).
+//
+// Before timing anything, the harness re-runs the island configuration
+// across worker counts and both transports and exits nonzero unless the
+// champion genome is bit-identical each time — the determinism gate that
+// makes the timing numbers trustworthy.
+//
+// Exit status: 0 when the determinism gate holds, 1 otherwise. Speed is
+// not gated (machine-dependent); BENCH_islands.json carries the ratios.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IslandRunner.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+struct VariantResult {
+  std::string Name;
+  double Seconds = 0.0;
+  int GenerationsTotal = 0; ///< Summed across islands.
+  int Evaluations = 0;      ///< Summed across islands.
+  double ChampionFitness = 0.0;
+  uint64_t ChampionHash = 0;
+  int ChampionSolved = 0;
+
+  double gensPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(GenerationsTotal) / Seconds
+                         : 0.0;
+  }
+};
+
+Expected<VariantResult>
+runIslandVariant(std::string Name, const Torus &T,
+                 const std::vector<InitialConfiguration> &Fields,
+                 const IslandRunParams &Params, int Generations) {
+  VariantResult R;
+  R.Name = std::move(Name);
+  auto Start = std::chrono::steady_clock::now();
+  auto Result = runIslands(T, Fields, Params, Generations);
+  R.Seconds = secondsSince(Start);
+  if (!Result)
+    return Result.error();
+  for (const IslandOutcome &Out : Result->Islands) {
+    R.GenerationsTotal += Out.Generations;
+    R.Evaluations += Out.Evaluations;
+  }
+  R.ChampionFitness = Result->Champion.Fitness;
+  R.ChampionHash = Result->Champion.G.hashValue();
+  R.ChampionSolved = Result->Champion.SolvedFields;
+  return R;
+}
+
+VariantResult runMonolith(const Torus &T,
+                          const std::vector<InitialConfiguration> &Fields,
+                          EvolutionParams Params, int Generations) {
+  VariantResult R;
+  R.Name = "monolith";
+  auto Start = std::chrono::steady_clock::now();
+  Evolution E(T, Fields, Params);
+  for (int G = 0; G != Generations; ++G)
+    E.stepGeneration();
+  R.Seconds = secondsSince(Start);
+  R.GenerationsTotal = E.generation();
+  R.Evaluations = E.evaluations();
+  R.ChampionFitness = E.bestEver().Fitness;
+  R.ChampionHash = E.bestEver().G.hashValue();
+  R.ChampionSolved = E.bestEver().SolvedFields;
+  return R;
+}
+
+void printJsonVariant(std::FILE *Out, const char *Key,
+                      const VariantResult &V, int Islands, int Population) {
+  std::fprintf(Out,
+               "  \"%s\": {\"islands\": %d, \"population\": %d, "
+               "\"seconds\": %.6f, \"generations_total\": %d, "
+               "\"gens_per_sec\": %.3f, \"evaluations\": %d, "
+               "\"champion_fitness\": %.6f, \"champion_solved\": %d}",
+               Key, Islands, Population, V.Seconds, V.GenerationsTotal,
+               V.gensPerSec(), V.Evaluations, V.ChampionFitness,
+               V.ChampionSolved);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int64_t NumFields = 23;
+  int64_t Generations = 30;
+  int64_t Seed = 7;
+  int64_t NumIslands = 4;
+  int64_t Interval = 5;
+  bool Quick = false;
+  std::string JsonPath = "BENCH_islands.json";
+  CommandLine CL("bench_islands",
+                 "R10: island-model scaling vs one big population at "
+                 "equal evaluation budget");
+  CL.addInt("fields", "training fields incl. 3 manual", &NumFields, 3,
+            1000000);
+  CL.addInt("generations", "generations per island (= monolith "
+            "generations; budgets match by construction)", &Generations, 1,
+            1000000000);
+  CL.addInt("seed", "base seed", &Seed);
+  CL.addInt("islands", "island count N (monolith population = N x 20)",
+            &NumIslands, 1, 64);
+  CL.addInt("interval", "migration interval G", &Interval, 0, 1000000000);
+  CL.addBool("quick", "small CI smoke run (13 fields, 10 generations)",
+             &Quick);
+  CL.addString("json", "write the machine-readable report here",
+               &JsonPath);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  if (Quick) {
+    NumFields = 13;
+    Generations = 10;
+  }
+
+  Torus T(GridKind::Triangulate, 16);
+  auto Fields =
+      standardConfigurationSet(T, 8, static_cast<int>(NumFields) - 3,
+                               static_cast<uint64_t>(Seed) * 104729 + 7);
+
+  EvolutionParams Evo;
+  Evo.Seed = static_cast<uint64_t>(Seed);
+  Evo.Fitness.Sim.MaxSteps = 200;
+  Evo.Fitness.Engine = EngineKind::Batch;
+
+  IslandRunParams RP;
+  RP.NumIslands = static_cast<int>(NumIslands);
+  RP.Topology = TopologyKind::Ring;
+  RP.MigrationInterval = static_cast<int>(Interval);
+  RP.MigrantCount = 3;
+  RP.Transport = TransportKind::Socket;
+  RP.Evo = Evo;
+  RP.Grid = GridKind::Triangulate;
+  RP.SideLength = T.sideLength();
+
+  std::printf("bench_islands: %lld islands x pop 20 vs 1 x pop %lld, "
+              "%zu fields, %lld generations, seed %lld\n",
+              static_cast<long long>(NumIslands),
+              static_cast<long long>(NumIslands * 20), Fields.size(),
+              static_cast<long long>(Generations),
+              static_cast<long long>(Seed));
+
+  // Determinism gate: same champion across worker counts and transports.
+  std::printf("-- determinism gate (workers x transport)\n");
+  uint64_t GateHash = 0;
+  bool GateHolds = true;
+  struct GateRun {
+    const char *Label;
+    TransportKind Transport;
+    int Workers;
+  };
+  std::string GateDir = "bench_islands_mailbox.tmp";
+  for (const GateRun &Run :
+       {GateRun{"socket w1", TransportKind::Socket, 1},
+        GateRun{"socket w2", TransportKind::Socket, 2},
+        GateRun{"file   w1", TransportKind::File, 1}}) {
+    IslandRunParams GateParams = RP;
+    GateParams.Transport = Run.Transport;
+    GateParams.Evo.Fitness.NumWorkers = Run.Workers;
+    if (Run.Transport == TransportKind::File) {
+      std::filesystem::remove_all(GateDir);
+      GateParams.MailboxDir = GateDir;
+    }
+    auto R = runIslandVariant(Run.Label, T, Fields, GateParams,
+                              static_cast<int>(Generations));
+    if (!R) {
+      std::fprintf(stderr, "error: %s: %s\n", Run.Label,
+                   R.error().message().c_str());
+      return 1;
+    }
+    if (GateHash == 0)
+      GateHash = R->ChampionHash;
+    bool Same = R->ChampionHash == GateHash;
+    GateHolds = GateHolds && Same;
+    std::printf("   %s: champion F = %.2f  %s\n", Run.Label,
+                R->ChampionFitness, Same ? "identical" : "DIVERGED");
+  }
+  std::filesystem::remove_all(GateDir);
+
+  // Timed runs (gate runs above double as warm-up).
+  auto Islands = runIslandVariant("islands", T, Fields, RP,
+                                  static_cast<int>(Generations));
+  if (!Islands) {
+    std::fprintf(stderr, "error: %s\n", Islands.error().message().c_str());
+    return 1;
+  }
+  EvolutionParams Mono = Evo;
+  Mono.PopulationSize = static_cast<int>(NumIslands) * 20;
+  VariantResult Monolith =
+      runMonolith(T, Fields, Mono, static_cast<int>(Generations));
+
+  double Speedup = Monolith.gensPerSec() > 0.0
+                       ? Islands->gensPerSec() / Monolith.gensPerSec()
+                       : 0.0;
+  std::printf("-- islands : %7.3f s, %4d gens, %8.2f gens/s, %d evals, "
+              "champion F = %.2f\n",
+              Islands->Seconds, Islands->GenerationsTotal,
+              Islands->gensPerSec(), Islands->Evaluations,
+              Islands->ChampionFitness);
+  std::printf("-- monolith: %7.3f s, %4d gens, %8.2f gens/s, %d evals, "
+              "champion F = %.2f\n",
+              Monolith.Seconds, Monolith.GenerationsTotal,
+              Monolith.gensPerSec(), Monolith.Evaluations,
+              Monolith.ChampionFitness);
+  std::printf("-- aggregate throughput: %.2fx; champion delta: %+.2f "
+              "(negative = islands fitter)\n",
+              Speedup, Islands->ChampionFitness - Monolith.ChampionFitness);
+
+  if (std::FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(Out, "{\n  \"bench\": \"bench_islands\",\n");
+    std::fprintf(Out,
+                 "  \"grid\": \"T\",\n  \"agents\": 8,\n  \"fields\": "
+                 "%zu,\n  \"generations\": %lld,\n  \"seed\": %lld,\n"
+                 "  \"topology\": \"ring\",\n  \"interval\": %lld,\n"
+                 "  \"migrants\": 3,\n",
+                 Fields.size(), static_cast<long long>(Generations),
+                 static_cast<long long>(Seed),
+                 static_cast<long long>(Interval));
+    printJsonVariant(Out, "islands", *Islands,
+                     static_cast<int>(NumIslands), 20);
+    std::fprintf(Out, ",\n");
+    printJsonVariant(Out, "monolith", Monolith, 1,
+                     static_cast<int>(NumIslands) * 20);
+    std::fprintf(Out, ",\n");
+    std::fprintf(Out, "  \"aggregate_speedup\": %.3f,\n", Speedup);
+    std::fprintf(Out, "  \"champion_delta\": %.6f,\n",
+                 Islands->ChampionFitness - Monolith.ChampionFitness);
+    std::fprintf(Out, "  \"determinism_gate\": %s\n",
+                 GateHolds ? "true" : "false");
+    std::fprintf(Out, "}\n");
+    std::fclose(Out);
+    std::printf("report written to %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+
+  if (!GateHolds) {
+    std::fprintf(stderr, "FAILED: champion diverged across workers/"
+                 "transports\n");
+    return 1;
+  }
+  std::printf("determinism gate holds: champions bit-identical\n");
+  return 0;
+}

@@ -50,6 +50,7 @@ int main(int Argc, char **Argv) {
   bool ExactFitness = false;
   std::string ChaosSpec;
   double DeadlineSeconds = 0.0;
+  int64_t Workers = 1;
   CommandLine CL("evolve", "Runs the paper's genetic procedure (Sect. 4)");
   CL.addString("grid", "S or T", &GridName);
   CL.addInt("agents", "agents per training field (paper: 8)", &NumAgents);
@@ -83,6 +84,8 @@ int main(int Argc, char **Argv) {
   CL.addDouble("deadline", "watchdog: report a stall when a generation "
                "makes no progress for this many seconds (0 = off)",
                &DeadlineSeconds);
+  CL.addInt("workers", "evaluation worker threads (results are "
+            "bit-identical for every count)", &Workers, 1, 4096);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -123,6 +126,7 @@ int main(int Argc, char **Argv) {
   Params.Fitness.Sim.Bordered = Bordered;
   Params.Fitness.Engine = Engine;
   Params.Fitness.Backend = Backend;
+  Params.Fitness.NumWorkers = static_cast<int>(Workers);
   Params.Scheduler.Enabled = Scheduler;
   Params.Scheduler.ExactFitness = ExactFitness;
   Params.Scheduler.GenerationDeadlineSeconds = DeadlineSeconds;

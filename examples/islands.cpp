@@ -1,0 +1,352 @@
+//===- examples/islands.cpp - Distributed island-model evolution ----------===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+// Shards the Sect. 4 genetic procedure across N deterministic islands
+// that exchange their best individuals every G generations through
+// checksummed migrant blocks. Three modes:
+//
+//   (default)      run all islands inside this process (one thread each)
+//                  over the file or socket transport and print the
+//                  aggregate champion;
+//   --island K     run island K alone (file transport, shared --mailbox
+//                  directory) — one process per island, killable and
+//                  resumable; posts its final best into the mailbox;
+//   --aggregate    read every island's posted result from --mailbox and
+//                  print the champion.
+//
+// For a fixed (islands, topology, seed) the champion genome is
+// bit-identical across worker counts, transports, thread-vs-process
+// layouts and kill/resume (scripts/islands_resume.sh demonstrates the
+// last one under chaos injection).
+//
+// Usage:
+//   islands --islands 4 --migration-topology ring --migration-interval 5
+//           --migrants 3 --transport file --mailbox /tmp/mb --generations 40
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IslandRunner.h"
+#include "support/Chaos.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <optional>
+
+using namespace ca2a;
+
+int main(int Argc, char **Argv) {
+  std::string GridName = "T";
+  int64_t NumAgents = 8;
+  int64_t NumFields = 53;
+  int64_t Generations = 40;
+  int64_t Seed = 1;
+  int64_t States = 4;
+  int64_t Colors = 2;
+  int64_t NumIslands = 4;
+  int64_t MigrationInterval = 5;
+  int64_t Migrants = 3;
+  std::string TopologyName = "ring";
+  std::string TransportName = "file";
+  std::string MailboxDir;
+  std::string CheckpointDir;
+  int64_t OneIsland = -1;
+  bool Aggregate = false;
+  double DeadlineSeconds = 120.0;
+  int64_t Workers = 1;
+  std::string EngineName = "batch";
+  std::string BackendName = "auto";
+  bool Scheduler = true;
+  std::string ChaosSpec;
+  CommandLine CL("islands",
+                 "Island-model GA: deterministic sharded evolution with "
+                 "checksummed migration");
+  CL.addString("grid", "S or T", &GridName);
+  CL.addInt("agents", "agents per training field (paper: 8)", &NumAgents);
+  CL.addInt("fields", "training fields incl. 3 manual (paper: 1003)",
+            &NumFields, 3, 1000000);
+  CL.addInt("generations", "generation budget per island", &Generations, 0,
+            1000000000);
+  CL.addInt("seed", "base seed (island i evolves with a seed derived from "
+            "it)", &Seed);
+  CL.addInt("states", "FSM control states (paper: 4)", &States);
+  CL.addInt("colors", "colour values per cell (paper: 2)", &Colors);
+  CL.addInt("islands", "number of islands", &NumIslands, 1, 1024);
+  CL.addInt("migration-interval", "generations between exchanges (0 = "
+            "never migrate)", &MigrationInterval, 0, 1000000000);
+  CL.addInt("migrants", "individuals emigrated per edge per exchange",
+            &Migrants, 0, 1000000);
+  CL.addString("migration-topology", "none | ring | hypercube (hypercube "
+               "needs a power-of-two island count)", &TopologyName);
+  CL.addString("transport", "migrant transport: file (shared directory, "
+               "works across processes) | socket (in-process TCP)",
+               &TransportName);
+  CL.addString("mailbox", "shared directory for the file transport and "
+               "for --island/--aggregate result blocks", &MailboxDir);
+  CL.addString("checkpoint", "save per-island state under this directory "
+               "every generation (auto-resumes)", &CheckpointDir);
+  CL.addInt("island", "run only this island in this process (file "
+            "transport; -1 = run all in-process)", &OneIsland, -1, 1023);
+  CL.addBool("aggregate", "read posted island results from --mailbox and "
+             "print the champion", &Aggregate);
+  CL.addDouble("deadline", "seconds an island waits for a neighbour's "
+               "migrant block (and --aggregate for results)",
+               &DeadlineSeconds);
+  CL.addInt("workers", "evaluation worker threads per island (champions "
+            "are bit-identical for every count)", &Workers, 1, 4096);
+  CL.addString("engine", "simulation engine: batch (default) or reference "
+               "(bit-identical results)", &EngineName);
+  CL.addString("backend", "batch-engine SIMD backend: auto (default) | "
+               "scalar | sliced64 | avx2 | rmaj64 (bit-identical results)",
+               &BackendName);
+  CL.addBool("scheduler", "generation-wide evaluation scheduler "
+             "(memoization, batching, early abort)", &Scheduler);
+  CL.addString("chaos", "inject infrastructure faults, e.g. "
+               "'seed=7,ckpt.write.corrupt=0.25' (champions stay "
+               "bit-identical)", &ChaosSpec);
+  if (auto Err = CL.parse(Argc, Argv); !Err) {
+    std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
+                 CL.usage().c_str());
+    return 1;
+  }
+  if (CL.helpRequested()) {
+    std::printf("%s", CL.usage().c_str());
+    return 0;
+  }
+  GridKind Kind;
+  if (!parseGridKind(GridName, Kind)) {
+    std::fprintf(stderr, "error: unknown grid '%s' (use S or T)\n",
+                 GridName.c_str());
+    return 1;
+  }
+  TopologyKind Topology;
+  if (!parseTopologyKind(TopologyName, Topology)) {
+    std::fprintf(stderr, "error: unknown topology '%s' (none | ring | "
+                 "hypercube)\n", TopologyName.c_str());
+    return 1;
+  }
+  TransportKind Transport;
+  if (!parseTransportKind(TransportName, Transport)) {
+    std::fprintf(stderr, "error: unknown transport '%s' (file | socket)\n",
+                 TransportName.c_str());
+    return 1;
+  }
+  EngineKind Engine;
+  if (!parseEngineKind(EngineName, Engine)) {
+    std::fprintf(stderr, "error: unknown engine '%s' (use reference or "
+                 "batch)\n", EngineName.c_str());
+    return 1;
+  }
+  SimdBackend Backend;
+  if (!parseSimdBackend(BackendName, Backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (use auto, scalar, "
+                 "sliced64, avx2 or rmaj64)\n", BackendName.c_str());
+    return 1;
+  }
+
+  std::optional<ScopedChaos> Chaos;
+  if (!ChaosSpec.empty()) {
+    auto Schedule = parseChaosSpec(ChaosSpec);
+    if (!Schedule) {
+      std::fprintf(stderr, "error: --chaos: %s\n",
+                   Schedule.error().message().c_str());
+      return 1;
+    }
+    Chaos.emplace(*Schedule);
+    if (!chaosActive()) {
+      std::fprintf(stderr, "error: --chaos requires a CA2A_CHAOS=ON build "
+                   "(this binary compiled the sites out)\n");
+      return 1;
+    }
+    std::fprintf(stderr, "chaos: %s\n",
+                 describeChaosSchedule(*Schedule).c_str());
+  }
+
+  // --aggregate needs no simulation at all: read the posted result
+  // blocks, pick the champion (lowest fitness, lowest island on ties).
+  if (Aggregate) {
+    if (MailboxDir.empty()) {
+      std::fprintf(stderr, "error: --aggregate needs --mailbox\n");
+      return 1;
+    }
+    std::vector<IslandOutcome> Outcomes;
+    for (int I = 0; I != static_cast<int>(NumIslands); ++I) {
+      auto Best = collectIslandResult(MailboxDir, I, 0, DeadlineSeconds);
+      if (!Best) {
+        std::fprintf(stderr, "error: island %d result: %s\n", I,
+                     Best.error().message().c_str());
+        return 1;
+      }
+      IslandOutcome Out;
+      Out.Index = I;
+      Out.Best = Best.takeValue();
+      std::printf("island %d: best F = %s (%d fields solved)\n", I,
+                  formatFixed(Out.Best.Fitness, 2).c_str(),
+                  Out.Best.SolvedFields);
+      Outcomes.push_back(std::move(Out));
+    }
+    int Winner = selectChampionIndex(Outcomes);
+    const Individual &Champion = Outcomes[static_cast<size_t>(Winner)].Best;
+    std::printf("champion (island %d): F = %s\n", Winner,
+                formatFixed(Champion.Fitness, 2).c_str());
+    std::printf("genome: %s\n", Champion.G.toCompactString().c_str());
+    return 0;
+  }
+
+  Torus T(Kind, 16);
+  // All islands train on the SAME field set (derived from the base seed):
+  // migrant fitness numbers must be comparable, and the evaluation-
+  // context fingerprint embedded in every block enforces exactly this.
+  auto Fields =
+      standardConfigurationSet(T, static_cast<int>(NumAgents),
+                               static_cast<int>(NumFields) - 3,
+                               static_cast<uint64_t>(Seed) * 104729 + 7);
+
+  EvolutionParams Evo;
+  Evo.Seed = static_cast<uint64_t>(Seed);
+  Evo.Fitness.Sim.MaxSteps = 200;
+  Evo.Fitness.Engine = Engine;
+  Evo.Fitness.Backend = Backend;
+  Evo.Fitness.NumWorkers = static_cast<int>(Workers);
+  Evo.Scheduler.Enabled = Scheduler;
+  Evo.Dims = GenomeDims{static_cast<int>(States), static_cast<int>(Colors)};
+  if (!Evo.Dims.valid()) {
+    std::fprintf(stderr, "error: states/colors must be in [2, 9]\n");
+    return 1;
+  }
+
+  // Single-island process mode: one island of the shared run, talking to
+  // its siblings through the shared mailbox directory.
+  if (OneIsland >= 0) {
+    if (Transport != TransportKind::File) {
+      std::fprintf(stderr, "error: --island requires --transport file "
+                   "(processes share a directory, not a server)\n");
+      return 1;
+    }
+    if (OneIsland >= NumIslands) {
+      std::fprintf(stderr, "error: --island %lld outside --islands %lld\n",
+                   static_cast<long long>(OneIsland),
+                   static_cast<long long>(NumIslands));
+      return 1;
+    }
+    auto Topo =
+        MigrationTopology::create(Topology, static_cast<int>(NumIslands));
+    if (!Topo) {
+      std::fprintf(stderr, "error: %s\n", Topo.error().message().c_str());
+      return 1;
+    }
+    bool HasEdges =
+        !Topo->outNeighbors(static_cast<int>(OneIsland)).empty() ||
+        !Topo->inNeighbors(static_cast<int>(OneIsland)).empty();
+    if (MailboxDir.empty()) {
+      std::fprintf(stderr, "error: --island needs --mailbox\n");
+      return 1;
+    }
+    EvolutionParams MyEvo = Evo;
+    MyEvo.Seed = deriveIslandSeed(Evo.Seed, static_cast<int>(OneIsland));
+    IslandOptions Opts;
+    Opts.Index = static_cast<int>(OneIsland);
+    Opts.MigrationInterval = static_cast<int>(MigrationInterval);
+    Opts.MigrantCount = static_cast<int>(Migrants);
+    Opts.MigrationDeadlineSeconds = DeadlineSeconds;
+    if (!CheckpointDir.empty())
+      Opts.CheckpointPath =
+          islandCheckpointPath(CheckpointDir, static_cast<int>(OneIsland));
+    Opts.Grid = Kind;
+    Opts.SideLength = T.sideLength();
+    FileMailbox Box(MailboxDir);
+    auto Isl = Island::create(T, Fields, MyEvo, *Topo, Opts,
+                              HasEdges ? &Box : nullptr);
+    if (!Isl) {
+      std::fprintf(stderr, "error: %s\n", Isl.error().message().c_str());
+      return 1;
+    }
+    if ((*Isl)->resumed())
+      std::printf("island %lld resumed at generation %d\n",
+                  static_cast<long long>(OneIsland),
+                  (*Isl)->evolution().generation());
+    auto Best = (*Isl)->run(static_cast<int>(Generations));
+    if (!Best) {
+      std::fprintf(stderr, "error: %s\n", Best.error().message().c_str());
+      return 1;
+    }
+    if (auto Posted = postIslandResult(
+            MailboxDir, static_cast<int>(OneIsland), *Best, Evo.Dims,
+            (*Isl)->evolution().evalContextFingerprint());
+        !Posted) {
+      std::fprintf(stderr, "error: posting result: %s\n",
+                   Posted.error().message().c_str());
+      return 1;
+    }
+    const IslandStats &MS = (*Isl)->stats();
+    std::printf("island %lld: best F = %s, %d generations, %d evaluations, "
+                "%llu exchanges, %llu/%llu migrants accepted\n",
+                static_cast<long long>(OneIsland),
+                formatFixed(Best->Fitness, 2).c_str(),
+                (*Isl)->evolution().generation(),
+                (*Isl)->evolution().evaluations(),
+                static_cast<unsigned long long>(MS.MigrationRounds),
+                static_cast<unsigned long long>(MS.MigrantsAccepted),
+                static_cast<unsigned long long>(MS.MigrantsReceived));
+    std::printf("island-genome: %s\n", Best->G.toCompactString().c_str());
+    return 0;
+  }
+
+  // In-process mode: all islands as threads, the reference deployment.
+  IslandRunParams RP;
+  RP.NumIslands = static_cast<int>(NumIslands);
+  RP.Topology = Topology;
+  RP.MigrationInterval = static_cast<int>(MigrationInterval);
+  RP.MigrantCount = static_cast<int>(Migrants);
+  RP.MigrationDeadlineSeconds = DeadlineSeconds;
+  RP.Transport = Transport;
+  RP.MailboxDir = MailboxDir;
+  RP.CheckpointDir = CheckpointDir;
+  RP.Evo = Evo;
+  RP.Grid = Kind;
+  RP.SideLength = T.sideLength();
+
+  std::printf("islands: %lld x (%s-grid, %zu fields, %lld generations), "
+              "topology %s, interval %lld, %lld migrants/edge, transport "
+              "%s, %lld workers/island\n",
+              static_cast<long long>(NumIslands), gridKindName(Kind),
+              Fields.size(), static_cast<long long>(Generations),
+              topologyKindName(Topology),
+              static_cast<long long>(MigrationInterval),
+              static_cast<long long>(Migrants),
+              transportKindName(Transport),
+              static_cast<long long>(Workers));
+
+  auto Result = runIslands(T, Fields, RP, static_cast<int>(Generations),
+                           [&](int Island, const GenerationStats &S) {
+                             if (S.Generation % 10 == 0)
+                               std::printf("island %d gen %4d: best %9s\n",
+                                           Island, S.Generation,
+                                           formatFixed(S.BestFitness, 2)
+                                               .c_str());
+                           });
+  if (!Result) {
+    std::fprintf(stderr, "error: %s\n", Result.error().message().c_str());
+    return 1;
+  }
+  for (const IslandOutcome &Out : Result->Islands)
+    std::printf("island %d: best F = %s, %d evaluations, %llu exchanges, "
+                "%llu/%llu migrants accepted%s\n",
+                Out.Index, formatFixed(Out.Best.Fitness, 2).c_str(),
+                Out.Evaluations,
+                static_cast<unsigned long long>(Out.Migration.MigrationRounds),
+                static_cast<unsigned long long>(
+                    Out.Migration.MigrantsAccepted),
+                static_cast<unsigned long long>(
+                    Out.Migration.MigrantsReceived),
+                Out.Resumed ? " (resumed)" : "");
+  std::printf("champion (island %d): F = %s, %d fields solved\n",
+              Result->ChampionIsland,
+              formatFixed(Result->Champion.Fitness, 2).c_str(),
+              Result->Champion.SolvedFields);
+  std::printf("genome: %s\n", Result->Champion.G.toCompactString().c_str());
+  return 0;
+}

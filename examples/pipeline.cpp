@@ -50,6 +50,7 @@ int main(int Argc, char **Argv) {
   bool ExactFitness = false;
   std::string ChaosSpec;
   double DeadlineSeconds = 0.0;
+  int64_t Workers = 1;
   CommandLine CL("pipeline",
                  "Sect. 4 end-to-end: evolve, filter, rank, select");
   CL.addString("grid", "S or T", &GridName);
@@ -85,6 +86,8 @@ int main(int Argc, char **Argv) {
   CL.addDouble("deadline", "watchdog: report a stall when a generation "
                "makes no progress for this many seconds (0 = off)",
                &DeadlineSeconds);
+  CL.addInt("workers", "evaluation worker threads (results are "
+            "bit-identical for every count)", &Workers, 1, 4096);
   if (auto Err = CL.parse(Argc, Argv); !Err) {
     std::fprintf(stderr, "error: %s\n%s", Err.error().message().c_str(),
                  CL.usage().c_str());
@@ -121,6 +124,7 @@ int main(int Argc, char **Argv) {
   Params.TrainingRandomFields = static_cast<int>(TrainFields) - 3;
   Params.Evolution.Seed = static_cast<uint64_t>(Seed);
   Params.Evolution.Fitness.Sim.MaxSteps = 200;
+  Params.Evolution.Fitness.NumWorkers = static_cast<int>(Workers);
   Params.Reliability.NumRandomFields = static_cast<int>(ReliabilityFields);
   Params.Reliability.Fitness.Sim.MaxSteps = 1000;
   Params.CheckpointDir = CheckpointDir;

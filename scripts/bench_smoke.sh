@@ -17,17 +17,32 @@
 # does fail the script is bench_batch itself exiting nonzero — that is
 # the batch-vs-reference bit-identity check, which is never noise.
 #
-# Usage: bench_smoke.sh <bench_batch-binary> <baseline-BENCH_engine.json>
+# Usage: bench_smoke.sh [bench_batch-binary] [baseline-BENCH_engine.json]
 #                       [baseline-BENCH_hotpath.json]
+#
+# The binary defaults to $BUILD_DIR/bench/bench_batch (BUILD_DIR
+# defaults to <repo>/build); the baselines default to the committed
+# BENCH_engine.json / BENCH_hotpath.json at the repo root.
 #
 #===----------------------------------------------------------------------===#
 
 set -u
 
-BENCH="${1:?usage: bench_smoke.sh <bench_batch> <engine-baseline.json> [hotpath-baseline.json]}"
-BASELINE="${2:?usage: bench_smoke.sh <bench_batch> <engine-baseline.json> [hotpath-baseline.json]}"
-HOTPATH_BASELINE="${3:-}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="${1:-${BUILD_DIR:-$ROOT/build}/bench/bench_batch}"
+BASELINE="${2:-$ROOT/BENCH_engine.json}"
+HOTPATH_BASELINE="${3:-$ROOT/BENCH_hotpath.json}"
 THRESHOLD_PCT=20
+
+if [ ! -x "$BENCH" ]; then
+  echo "bench_smoke: FAIL — bench_batch binary not found at $BENCH" >&2
+  echo "usage: bench_smoke.sh [bench_batch] [engine-baseline.json]" \
+       "[hotpath-baseline.json]" >&2
+  exit 1
+fi
+if [ ! -f "$HOTPATH_BASELINE" ]; then
+  HOTPATH_BASELINE=""
+fi
 
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT

@@ -14,7 +14,11 @@
 # corrupted saves are absorbed by the .bak fallback, and injected replica
 # failures are absorbed by bounded retries.
 #
-# Usage: chaos_resume.sh <evolve-binary> [kills] [generations]
+# Usage: chaos_resume.sh [evolve-binary] [kills] [generations]
+#
+# The binary defaults to $BUILD_DIR/examples/evolve (BUILD_DIR defaults
+# to <repo>/build), so `BUILD_DIR=build-asan scripts/chaos_resume.sh`
+# points the harness at an alternate build tree.
 #
 # Exits nonzero on any divergence. Prints SKIP and exits 0 when the
 # binary was built with CA2A_CHAOS=OFF (nothing to inject).
@@ -23,9 +27,16 @@
 
 set -u
 
-EVOLVE="${1:?usage: chaos_resume.sh <evolve-binary> [kills] [generations]}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+EVOLVE="${1:-${BUILD_DIR:-$ROOT/build}/examples/evolve}"
 KILLS="${2:-3}"
 GENERATIONS="${3:-200}"
+
+if [ ! -x "$EVOLVE" ]; then
+  echo "chaos_resume: FAIL — evolve binary not found at $EVOLVE" >&2
+  echo "usage: chaos_resume.sh [evolve-binary] [kills] [generations]" >&2
+  exit 1
+fi
 
 # --exact-fitness keeps every generation at full evaluation cost so the
 # run is long enough to kill mid-flight; the champion contract is

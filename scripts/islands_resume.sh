@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+#===- scripts/islands_resume.sh - SIGKILL-one-island resume harness ------===#
+#
+# Part of the ca2a project: reproduction of Hoffmann & Désérable,
+# "CA Agents for All-to-All Communication Are Faster in the Triangulate
+# Grid" (PaCT 2013).
+#
+# The distributed crash-recovery contract, end to end and across real
+# processes: four islands run as four OS processes sharing a FileMailbox
+# directory, one island is SIGKILLed mid-run while chaos injection is
+# corrupting a quarter of its checkpoint (and migrant-block) writes, the
+# victim is restarted and resumes from its durable checkpoint, and the
+# aggregated champion must be bit-identical to an uninterrupted
+# in-process run of the same (islands, topology, seed) — the surviving
+# islands simply wait at their migration barriers until the resumed
+# victim replays its round with byte-identical posts.
+#
+# Usage: islands_resume.sh [islands-binary] [generations]
+#
+# The binary defaults to $BUILD_DIR/examples/islands (BUILD_DIR defaults
+# to <repo>/build). On a CA2A_CHAOS=OFF build the kill/resume check
+# still runs, just without write-corruption injection.
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ISLANDS="${1:-${BUILD_DIR:-$ROOT/build}/examples/islands}"
+GENERATIONS="${2:-40}"
+
+if [ ! -x "$ISLANDS" ]; then
+  echo "islands_resume: FAIL — islands binary not found at $ISLANDS" >&2
+  exit 1
+fi
+
+N=4
+VICTIM=1
+CHAOS="seed=5,ckpt.write.corrupt=0.25"
+ARGS=(--islands "$N" --migration-topology ring --migration-interval 3
+      --migrants 2 --fields 13 --seed 3 --generations "$GENERATIONS")
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+extract_genome() { sed -n 's/^genome: //p' "$1" | tail -n 1; }
+
+# Probe whether this binary carries the chaos sites; without them the
+# harness still exercises SIGKILL + resume, only un-sabotaged.
+CHAOS_ARGS=(--chaos "$CHAOS")
+if ! "$ISLANDS" --islands 1 --generations 0 --fields 3 --transport socket \
+    --chaos "$CHAOS" >"$WORKDIR/probe.log" 2>&1; then
+  if grep -q "CA2A_CHAOS=ON" "$WORKDIR/probe.log"; then
+    echo "islands_resume: note — CA2A_CHAOS=OFF build, running without" \
+         "corruption injection"
+    CHAOS_ARGS=()
+  else
+    echo "islands_resume: FAIL — chaos probe exited nonzero" >&2
+    cat "$WORKDIR/probe.log" >&2
+    exit 1
+  fi
+fi
+
+# Reference: the identical configuration, uninterrupted, in one process
+# over the socket transport (transport invariance is part of the
+# contract under test).
+if ! "$ISLANDS" "${ARGS[@]}" --transport socket \
+    >"$WORKDIR/reference.log" 2>&1; then
+  echo "islands_resume: FAIL — reference run exited nonzero" >&2
+  cat "$WORKDIR/reference.log" >&2
+  exit 1
+fi
+REFERENCE="$(extract_genome "$WORKDIR/reference.log")"
+if [ -z "$REFERENCE" ]; then
+  echo "islands_resume: FAIL — reference run printed no genome line" >&2
+  exit 1
+fi
+
+# One process per island over the shared mailbox directory.
+MAILBOX="$WORKDIR/mailbox"
+CKPT="$WORKDIR/ckpt"
+mkdir -p "$CKPT"
+declare -a PIDS
+for I in $(seq 0 $((N - 1))); do
+  "$ISLANDS" "${ARGS[@]}" --island "$I" --mailbox "$MAILBOX" \
+      --checkpoint "$CKPT" "${CHAOS_ARGS[@]}" \
+      >"$WORKDIR/island$I.log" 2>&1 &
+  PIDS[I]=$!
+done
+
+# Pull the plug on the victim mid-flight. $RANDOM is fine here:
+# determinism matters inside the islands, not in when the power fails.
+sleep "0.$((RANDOM % 5 + 2))"
+if kill -KILL "${PIDS[VICTIM]}" 2>/dev/null; then
+  echo "islands_resume: island $VICTIM SIGKILLed"
+else
+  echo "islands_resume: island $VICTIM finished before the kill (fast host)"
+fi
+wait "${PIDS[VICTIM]}" 2>/dev/null
+
+# Second incarnation: resumes from the checkpoint, replays its migration
+# round idempotently; the blocked neighbours then drain their barriers.
+if ! "$ISLANDS" "${ARGS[@]}" --island "$VICTIM" --mailbox "$MAILBOX" \
+    --checkpoint "$CKPT" "${CHAOS_ARGS[@]}" \
+    >"$WORKDIR/island${VICTIM}_resumed.log" 2>&1; then
+  echo "islands_resume: FAIL — resumed island $VICTIM exited nonzero" >&2
+  cat "$WORKDIR/island${VICTIM}_resumed.log" >&2
+  exit 1
+fi
+for I in $(seq 0 $((N - 1))); do
+  [ "$I" -eq "$VICTIM" ] && continue
+  if ! wait "${PIDS[I]}"; then
+    echo "islands_resume: FAIL — island $I exited nonzero" >&2
+    cat "$WORKDIR/island$I.log" >&2
+    exit 1
+  fi
+done
+grep -h 'resumed at generation' "$WORKDIR/island${VICTIM}_resumed.log" \
+  | sed 's/^/islands_resume: /'
+
+# Aggregate the posted per-island results and compare champions.
+if ! "$ISLANDS" --islands "$N" --seed 3 --aggregate --mailbox "$MAILBOX" \
+    >"$WORKDIR/aggregate.log" 2>&1; then
+  echo "islands_resume: FAIL — aggregation exited nonzero" >&2
+  cat "$WORKDIR/aggregate.log" >&2
+  exit 1
+fi
+AGGREGATED="$(extract_genome "$WORKDIR/aggregate.log")"
+
+if [ "$AGGREGATED" != "$REFERENCE" ]; then
+  echo "islands_resume: FAIL — champion differs from the uninterrupted" \
+       "in-process run" >&2
+  echo "  reference:  $REFERENCE" >&2
+  echo "  aggregated: $AGGREGATED" >&2
+  exit 1
+fi
+echo "islands_resume: PASS — champion bit-identical across processes," \
+     "SIGKILL and resume"
+exit 0

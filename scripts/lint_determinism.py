@@ -5,8 +5,9 @@ The repo's central invariant is that every engine produces bit-identical
 results for every worker count; Tables 1-2 of the paper are reproduced
 *because* each replica's trajectory is a pure function of its seed. This
 lint makes the common ways of breaking that invariant a build failure
-instead of a review-time hope. It scans ``src/sim``, ``src/ga`` and
-``src/agent`` (the code that decides simulation results) for:
+instead of a review-time hope. It scans ``src/sim``, ``src/ga``,
+``src/agent`` and ``src/dist`` (the code that decides simulation and
+island-evolution results) for:
 
   c-rand              rand()/srand(): process-global, unseeded per replica.
   c-time              time(NULL)/clock()/gettimeofday(): wall-clock input.
@@ -61,8 +62,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # match): the rmaj64 slab machinery draws per-replica fault streams in
 # plain C++ outside the kernel files, so those translation units are
 # pinned by name — a rename or move must update this list consciously.
-DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent"]
+DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent", "src/dist"]
 REQUIRED_COVERAGE = [
+    os.path.join("src", "dist"),
     os.path.join("src", "sim", "simd"),
     os.path.join("src", "sim", "simd", "ReplicaSlab.cpp"),
     os.path.join("src", "sim", "simd", "KernelRMaj64.cpp"),

@@ -1,0 +1,147 @@
+//===- dist/Island.cpp - One island of the distributed GA -----------------===//
+
+#include "dist/Island.h"
+
+#include "support/Hash.h"
+#include "support/StringUtils.h"
+
+#include <cinttypes>
+
+using namespace ca2a;
+
+uint64_t ca2a::deriveIslandSeed(uint64_t BaseSeed, int Island) {
+  // Island 0 keeps the base seed so a 1-island run replays a plain
+  // evolve run bit-for-bit; the others hash (base, index) into far-apart
+  // streams deterministically on every host.
+  if (Island == 0)
+    return BaseSeed;
+  Fnv1aHasher H;
+  H.mixWord(BaseSeed);
+  H.mixWord(static_cast<uint64_t>(Island));
+  return H.value();
+}
+
+Island::Island(const Torus &T,
+               std::vector<InitialConfiguration> TrainingFields,
+               const EvolutionParams &EvoParams,
+               const MigrationTopology &Topo, const IslandOptions &Opts)
+    : TrainingFields(std::move(TrainingFields)), EvoParams(EvoParams),
+      Topo(Topo), Opts(Opts), T(T) {}
+
+Expected<std::unique_ptr<Island>>
+Island::create(const Torus &T,
+               std::vector<InitialConfiguration> TrainingFields,
+               const EvolutionParams &Evo, const MigrationTopology &Topo,
+               const IslandOptions &Opts, Mailbox *Box) {
+  if (Opts.Index < 0 || Opts.Index >= Topo.numIslands())
+    return makeError(ErrorCode::InvalidArgument,
+                     formatString("island index %d outside the %d-island "
+                                  "topology",
+                                  Opts.Index, Topo.numIslands()));
+  if (Opts.MigrantCount < 0)
+    return makeError(ErrorCode::InvalidArgument,
+                     "negative migrant count");
+  if (Opts.MigrationInterval < 0)
+    return makeError(ErrorCode::InvalidArgument,
+                     "negative migration interval");
+  bool HasEdges = !Topo.outNeighbors(Opts.Index).empty() ||
+                  !Topo.inNeighbors(Opts.Index).empty();
+  if (HasEdges && Opts.MigrationInterval > 0 && !Box)
+    return makeError(ErrorCode::InvalidArgument,
+                     "island has migration edges but no mailbox");
+
+  std::unique_ptr<Island> I(
+      new Island(T, std::move(TrainingFields), Evo, Topo, Opts));
+  I->Box = Box;
+  if (!Opts.CheckpointPath.empty() &&
+      checkpointExists(Opts.CheckpointPath)) {
+    auto Loaded = loadCheckpointWithRecovery(Opts.CheckpointPath,
+                                             &I->LoadReport, Opts.Retry);
+    if (!Loaded)
+      return Loaded.error();
+    if (auto Valid = validateCheckpoint(*Loaded, Opts.Grid,
+                                        Opts.SideLength, Evo);
+        !Valid)
+      return makeError(
+          ErrorCode::VersionMismatch,
+          formatString("island %d: checkpoint '%s' belongs to a different "
+                       "experiment: %s",
+                       Opts.Index, Opts.CheckpointPath.c_str(),
+                       Valid.error().message().c_str()));
+    I->Evo = std::make_unique<Evolution>(T, std::move(I->TrainingFields),
+                                         Evo, Loaded->Snapshot);
+    I->Resumed = true;
+  } else {
+    I->Evo =
+        std::make_unique<Evolution>(T, std::move(I->TrainingFields), Evo);
+  }
+  return Expected<std::unique_ptr<Island>>(std::move(I));
+}
+
+Expected<bool> Island::migrate(uint64_t Seq, Mailbox &Box) {
+  MigrantBlock Out;
+  Out.FromIsland = Opts.Index;
+  Out.Sequence = Seq;
+  Out.ContextFingerprint = Evo->evalContextFingerprint();
+  Out.Dims = EvoParams.Dims;
+  // One selection for every out-edge: all neighbours see the same block
+  // content, and a post-resume replay regenerates it byte-identically.
+  Out.Migrants = Evo->selectMigrants(Opts.MigrantCount);
+  for (int To : Topo.outNeighbors(Opts.Index)) {
+    Out.ToIsland = To;
+    if (auto Posted = Box.post(Out); !Posted)
+      return makeError(Posted.error().code(),
+                       formatString("island %d -> %d seq %" PRIu64 ": %s",
+                                    Opts.Index, To, Seq,
+                                    Posted.error().message().c_str()));
+    ++Stats.BlocksPosted;
+  }
+  // Collect in ascending neighbour order so the injection order — which
+  // shapes the pool — depends on the topology alone, never on timing.
+  for (int From : Topo.inNeighbors(Opts.Index)) {
+    auto In = Box.collect(From, Opts.Index, Seq, Out.ContextFingerprint,
+                          Opts.MigrationDeadlineSeconds);
+    if (!In)
+      return makeError(In.error().code(),
+                       formatString("island %d <- %d seq %" PRIu64 ": %s",
+                                    Opts.Index, From, Seq,
+                                    In.error().message().c_str()));
+    Stats.MigrantsReceived += In->Migrants.size();
+    Stats.MigrantsAccepted +=
+        static_cast<uint64_t>(Evo->injectMigrants(In->Migrants));
+  }
+  ++Stats.MigrationRounds;
+  return true;
+}
+
+Expected<Individual> Island::run(
+    int Generations,
+    const std::function<void(const GenerationStats &)> &OnGeneration) {
+  int Interval = Opts.MigrationInterval;
+  bool HasEdges = !Topo.outNeighbors(Opts.Index).empty() ||
+                  !Topo.inNeighbors(Opts.Index).empty();
+  while (Evo->generation() < Generations) {
+    int Gen = Evo->generation();
+    if (HasEdges && Interval > 0 && Gen > 0 && Gen % Interval == 0) {
+      if (auto Done = migrate(static_cast<uint64_t>(Gen / Interval), *Box);
+          !Done)
+        return Done.error();
+    }
+    GenerationStats Stats = Evo->stepGeneration();
+    if (!Opts.CheckpointPath.empty()) {
+      CheckpointData Data;
+      Data.Grid = Opts.Grid;
+      Data.SideLength = Opts.SideLength;
+      Data.Seed = EvoParams.Seed;
+      Data.Snapshot = Evo->snapshot();
+      if (auto Saved = saveCheckpoint(Opts.CheckpointPath, Data, Opts.Retry);
+          !Saved)
+        return makeError(Saved.error().code(),
+                         formatString("island %d checkpoint: %s", Opts.Index,
+                                      Saved.error().message().c_str()));
+    }
+    if (OnGeneration)
+      OnGeneration(Stats);
+  }
+  return Evo->bestEver();
+}

@@ -1,0 +1,128 @@
+//===- dist/Island.h - One island of the distributed GA ---------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One island of the island-model GA: an independent Evolution (own
+/// derived seed, own EvalScheduler) that pauses at every migration
+/// boundary to exchange its best individuals with its topology
+/// neighbours through a Mailbox, and optionally checkpoints after every
+/// generation so a SIGKILL costs at most one generation.
+///
+/// The loop ordering is the determinism linchpin:
+///
+///   while (generation < total):
+///     if generation > 0 and generation % interval == 0:
+///       migrate(seq = generation / interval)   # post all, then collect
+///     stepGeneration()
+///     saveCheckpoint()                         # post-step state
+///
+/// A checkpoint therefore always captures *pre-migration* state for the
+/// next boundary. A killed island resumes at the top of the loop and —
+/// because its pool, RNG and counters are restored bit-for-bit — replays
+/// the migration round with byte-identical posts (the mailbox accepts
+/// idempotent re-posts) and identical collects, so the resumed trajectory
+/// is indistinguishable from an uninterrupted one. Every island posts to
+/// all out-neighbours *before* collecting from any in-neighbour, so no
+/// exchange graph can deadlock; collects iterate in-neighbours in
+/// ascending island order, making the injection order (which shapes the
+/// pool) a function of the topology, never of arrival timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_DIST_ISLAND_H
+#define CA2A_DIST_ISLAND_H
+
+#include "dist/Mailbox.h"
+#include "dist/MigrationTopology.h"
+#include "ga/Checkpoint.h"
+
+#include <memory>
+
+namespace ca2a {
+
+/// Per-island configuration beyond the EvolutionParams.
+struct IslandOptions {
+  int Index = 0;                ///< This island's id in [0, NumIslands).
+  int MigrationInterval = 10;   ///< Generations between exchanges (0 = off).
+  int MigrantCount = 3;         ///< Individuals emigrated per edge.
+  double MigrationDeadlineSeconds = 120.0; ///< collect() patience.
+  /// Empty = no checkpointing. Otherwise saved after every generation and
+  /// auto-resumed (with .bak recovery) when the file already exists.
+  std::string CheckpointPath;
+  GridKind Grid = GridKind::Triangulate; ///< Checkpoint identity.
+  int SideLength = 0;                    ///< Checkpoint identity.
+  RetryPolicy Retry;
+};
+
+/// Migration instrumentation for reporting and tests.
+struct IslandStats {
+  uint64_t MigrationRounds = 0;  ///< Boundaries actually exchanged at.
+  uint64_t BlocksPosted = 0;     ///< Out-edges published.
+  uint64_t MigrantsReceived = 0; ///< Individuals offered by neighbours.
+  uint64_t MigrantsAccepted = 0; ///< Individuals that entered the pool.
+};
+
+/// Deterministic per-island evolution seed: islands must draw distinct
+/// RNG streams from one base seed, identically on every host and in
+/// every process layout. Island 0 keeps the base seed itself, so a
+/// 1-island "distributed" run is bit-identical to a plain evolve run.
+uint64_t deriveIslandSeed(uint64_t BaseSeed, int Island);
+
+/// One island: owns its Evolution and runs the migrate/step/checkpoint
+/// loop. Not thread-safe; the runner gives each island its own thread.
+class Island {
+public:
+  /// Builds the island, resuming from Opts.CheckpointPath when that file
+  /// exists (validated against grid/side/seed/params; the backup is
+  /// consulted when the primary is damaged). \p Evo.Seed must already be
+  /// the island's derived seed. \p Box may be null only when the
+  /// topology gives this island no edges.
+  static Expected<std::unique_ptr<Island>>
+  create(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
+         const EvolutionParams &Evo, const MigrationTopology &Topo,
+         const IslandOptions &Opts, Mailbox *Box);
+
+  /// Runs until the evolution reaches \p Generations (absolute, so a
+  /// resumed island continues where it left off). \p OnGeneration (may be
+  /// empty) observes each generation. Returns the island's best-ever
+  /// individual; a transport or checkpoint failure aborts with its error.
+  Expected<Individual>
+  run(int Generations,
+      const std::function<void(const GenerationStats &)> &OnGeneration = {});
+
+  const Evolution &evolution() const { return *Evo; }
+  const IslandStats &stats() const { return Stats; }
+  /// True when create() restored a checkpoint instead of starting fresh.
+  bool resumed() const { return Resumed; }
+  /// How the checkpoint load went (meaningful when resumed()).
+  const CheckpointLoadReport &loadReport() const { return LoadReport; }
+
+private:
+  Island(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
+         const EvolutionParams &EvoParams, const MigrationTopology &Topo,
+         const IslandOptions &Opts);
+
+  /// One exchange: post this island's block to every out-neighbour, then
+  /// collect and inject from every in-neighbour in ascending order.
+  Expected<bool> migrate(uint64_t Seq, Mailbox &Box);
+
+  std::vector<InitialConfiguration> TrainingFields;
+  EvolutionParams EvoParams;
+  MigrationTopology Topo;
+  IslandOptions Opts;
+  Mailbox *Box = nullptr;
+  std::unique_ptr<Evolution> Evo;
+  IslandStats Stats;
+  bool Resumed = false;
+  CheckpointLoadReport LoadReport;
+  const Torus &T;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_DIST_ISLAND_H

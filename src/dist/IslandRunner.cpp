@@ -1,0 +1,198 @@
+//===- dist/IslandRunner.cpp - In-process island orchestration ------------===//
+
+#include "dist/IslandRunner.h"
+
+#include "dist/SocketMailbox.h"
+#include "support/StringUtils.h"
+
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+using namespace ca2a;
+
+const char *ca2a::transportKindName(TransportKind Kind) {
+  switch (Kind) {
+  case TransportKind::File:
+    return "file";
+  case TransportKind::Socket:
+    return "socket";
+  }
+  return "unknown";
+}
+
+bool ca2a::parseTransportKind(const std::string &Text, TransportKind &Out) {
+  if (Text == "file") {
+    Out = TransportKind::File;
+    return true;
+  }
+  if (Text == "socket") {
+    Out = TransportKind::Socket;
+    return true;
+  }
+  return false;
+}
+
+std::string ca2a::islandCheckpointPath(const std::string &Dir, int Island) {
+  return (std::filesystem::path(Dir) / formatString("island%d.ckpt", Island))
+      .string();
+}
+
+int ca2a::selectChampionIndex(const std::vector<IslandOutcome> &Islands) {
+  assert(!Islands.empty() && "no islands to select a champion from");
+  size_t Winner = 0;
+  for (size_t I = 1; I != Islands.size(); ++I)
+    if (Islands[I].Best.Fitness < Islands[Winner].Best.Fitness)
+      Winner = I;
+  return static_cast<int>(Winner);
+}
+
+Expected<bool> ca2a::postIslandResult(const std::string &MailboxDir,
+                                      int Index, const Individual &Best,
+                                      const GenomeDims &Dims,
+                                      uint64_t ContextFingerprint,
+                                      const RetryPolicy &Retry) {
+  MigrantBlock Block;
+  Block.FromIsland = Index;
+  Block.ToIsland = Index;
+  Block.Sequence = 0; // Real migration rounds are 1-based; 0 = final result.
+  Block.ContextFingerprint = ContextFingerprint;
+  Block.Dims = Dims;
+  Block.Migrants.push_back(Best);
+  FileMailbox Box(MailboxDir, Retry);
+  return Box.post(Block);
+}
+
+Expected<Individual> ca2a::collectIslandResult(const std::string &MailboxDir,
+                                               int Index,
+                                               uint64_t ContextFingerprint,
+                                               double DeadlineSeconds,
+                                               const RetryPolicy &Retry) {
+  FileMailbox Box(MailboxDir, Retry);
+  auto Block =
+      Box.collect(Index, Index, 0, ContextFingerprint, DeadlineSeconds);
+  if (!Block)
+    return Block.error();
+  if (Block->Migrants.size() != 1)
+    return makeError(ErrorCode::Corrupt,
+                     formatString("island %d result block holds %zu "
+                                  "individuals, expected exactly 1",
+                                  Index, Block->Migrants.size()));
+  return Block->Migrants.front();
+}
+
+Expected<IslandRunResult>
+ca2a::runIslands(const Torus &T,
+                 const std::vector<InitialConfiguration> &TrainingFields,
+                 const IslandRunParams &Params, int Generations,
+                 const IslandProgressFn &OnGeneration) {
+  auto Topo = MigrationTopology::create(Params.Topology, Params.NumIslands);
+  if (!Topo)
+    return Topo.error();
+  bool NeedsTransport =
+      Topo->numEdges() != 0 && Params.MigrationInterval > 0;
+
+  // Build the transport before any island starts: every mailbox must be
+  // ready when the first island reaches a migration boundary.
+  std::unique_ptr<SocketMailboxServer> Server;
+  std::vector<std::unique_ptr<Mailbox>> Boxes(
+      static_cast<size_t>(Params.NumIslands));
+  if (NeedsTransport) {
+    switch (Params.Transport) {
+    case TransportKind::File:
+      if (Params.MailboxDir.empty())
+        return makeError(ErrorCode::InvalidArgument,
+                         "file transport needs a mailbox directory");
+      for (auto &Box : Boxes)
+        Box = std::make_unique<FileMailbox>(Params.MailboxDir, Params.Retry);
+      break;
+    case TransportKind::Socket: {
+      auto Listening = SocketMailboxServer::listen(0);
+      if (!Listening)
+        return Listening.error();
+      Server = Listening.takeValue();
+      for (auto &Box : Boxes) {
+        auto Client =
+            SocketMailbox::connect("127.0.0.1", Server->port(), Params.Retry);
+        if (!Client)
+          return Client.error();
+        Box = Client.takeValue();
+      }
+      break;
+    }
+    }
+  }
+
+  // One thread per island. Each island owns a full Evolution +
+  // EvalScheduler (with Params.Evo.Fitness.NumWorkers workers of its
+  // own), its derived seed and its mailbox; results land in
+  // island-indexed slots so thread completion order is irrelevant.
+  struct Slot {
+    std::unique_ptr<Island> Isl;
+    Expected<Individual> Best = Error("island did not run");
+  };
+  std::vector<Slot> Slots(static_cast<size_t>(Params.NumIslands));
+  std::mutex ProgressMutex;
+  std::vector<std::thread> Threads;
+  Threads.reserve(Slots.size());
+  for (int I = 0; I != Params.NumIslands; ++I) {
+    EvolutionParams Evo = Params.Evo;
+    Evo.Seed = deriveIslandSeed(Params.Evo.Seed, I);
+    IslandOptions Opts;
+    Opts.Index = I;
+    Opts.MigrationInterval = Params.MigrationInterval;
+    Opts.MigrantCount = Params.MigrantCount;
+    Opts.MigrationDeadlineSeconds = Params.MigrationDeadlineSeconds;
+    if (!Params.CheckpointDir.empty())
+      Opts.CheckpointPath = islandCheckpointPath(Params.CheckpointDir, I);
+    Opts.Grid = Params.Grid;
+    Opts.SideLength = Params.SideLength;
+    Opts.Retry = Params.Retry;
+    auto Created = Island::create(T, TrainingFields, Evo, *Topo, Opts,
+                                  Boxes[static_cast<size_t>(I)].get());
+    if (!Created) {
+      // Abort islands already launched cleanly: join them before
+      // reporting (their mailboxes outlive them either way).
+      for (std::thread &Th : Threads)
+        Th.join();
+      return makeError(Created.error().code(),
+                       formatString("island %d: %s", I,
+                                    Created.error().message().c_str()));
+    }
+    Slots[static_cast<size_t>(I)].Isl = Created.takeValue();
+    Threads.emplace_back([&, I] {
+      Slot &S = Slots[static_cast<size_t>(I)];
+      S.Best = S.Isl->run(
+          Generations, [&](const GenerationStats &Stats) {
+            if (!OnGeneration)
+              return;
+            std::lock_guard<std::mutex> Lock(ProgressMutex);
+            OnGeneration(I, Stats);
+          });
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  IslandRunResult Result;
+  Result.Islands.reserve(Slots.size());
+  for (int I = 0; I != Params.NumIslands; ++I) {
+    Slot &S = Slots[static_cast<size_t>(I)];
+    if (!S.Best)
+      return makeError(S.Best.error().code(),
+                       formatString("island %d: %s", I,
+                                    S.Best.error().message().c_str()));
+    IslandOutcome Out;
+    Out.Index = I;
+    Out.Best = *S.Best;
+    Out.Generations = S.Isl->evolution().generation();
+    Out.Evaluations = S.Isl->evolution().evaluations();
+    Out.Migration = S.Isl->stats();
+    Out.Resumed = S.Isl->resumed();
+    Result.Islands.push_back(std::move(Out));
+  }
+  Result.ChampionIsland = selectChampionIndex(Result.Islands);
+  Result.Champion =
+      Result.Islands[static_cast<size_t>(Result.ChampionIsland)].Best;
+  return Result;
+}

@@ -1,0 +1,127 @@
+//===- dist/IslandRunner.h - In-process island orchestration ----*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives N islands to completion inside one process (one thread per
+/// island) over either transport, and aggregates the champion. The
+/// determinism contract: for a fixed (island count, topology, base seed,
+/// migration interval, migrant count) the per-island best individuals and
+/// the aggregate champion are bit-identical across worker counts per
+/// island, across the file and socket transports, across thread
+/// scheduling, and across kill/resume of any island — because each
+/// island's trajectory is a pure function of its derived seed and the
+/// content-addressed blocks it exchanges, and those blocks are pure
+/// functions of island trajectories.
+///
+/// The same seeds and the same exchange happen when islands run as
+/// separate *processes* sharing a FileMailbox directory (see
+/// examples/islands.cpp --island), which is what makes the in-process
+/// runner the reference implementation the multi-process deployment is
+/// checked against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_DIST_ISLANDRUNNER_H
+#define CA2A_DIST_ISLANDRUNNER_H
+
+#include "dist/Island.h"
+
+namespace ca2a {
+
+/// Which medium carries migrant blocks.
+enum class TransportKind {
+  File,   ///< Shared-directory FileMailbox (works across processes).
+  Socket, ///< In-process SocketMailboxServer + per-island TCP clients.
+};
+
+const char *transportKindName(TransportKind Kind);
+bool parseTransportKind(const std::string &Text, TransportKind &Out);
+
+/// Everything runIslands needs beyond the torus and training fields.
+struct IslandRunParams {
+  int NumIslands = 4;
+  TopologyKind Topology = TopologyKind::Ring;
+  int MigrationInterval = 10;
+  int MigrantCount = 3;
+  double MigrationDeadlineSeconds = 120.0;
+  TransportKind Transport = TransportKind::File;
+  /// FileMailbox directory; required when the file transport has edges
+  /// to carry. Ignored by the socket transport.
+  std::string MailboxDir;
+  /// Empty = no checkpointing; otherwise island i saves to
+  /// islandCheckpointPath(CheckpointDir, i) after every generation.
+  std::string CheckpointDir;
+  /// Base evolution settings; Seed is the *base* seed — island i runs
+  /// with deriveIslandSeed(Seed, i).
+  EvolutionParams Evo;
+  GridKind Grid = GridKind::Triangulate;
+  int SideLength = 0;
+  RetryPolicy Retry;
+};
+
+/// One island's final report.
+struct IslandOutcome {
+  int Index = 0;
+  Individual Best;
+  int Generations = 0;
+  int Evaluations = 0;
+  IslandStats Migration;
+  bool Resumed = false;
+};
+
+/// The aggregate of a full island run.
+struct IslandRunResult {
+  std::vector<IslandOutcome> Islands; ///< In island order.
+  Individual Champion;                ///< Fittest Best across islands.
+  int ChampionIsland = 0;
+};
+
+/// Canonical per-island checkpoint file ("<dir>/island<i>.ckpt").
+std::string islandCheckpointPath(const std::string &Dir, int Island);
+
+/// The deterministic champion rule: lowest fitness wins, ties resolved
+/// to the lowest island index (never to timing). \p Islands must be
+/// non-empty and in island order.
+int selectChampionIndex(const std::vector<IslandOutcome> &Islands);
+
+/// Publishes island \p Index's final best individual into \p MailboxDir
+/// as a self-addressed migrant block (route i -> i, sequence 0) — the
+/// chaos-hardened durable-write path — so a multi-process deployment can
+/// aggregate champions with collectIslandResult. Idempotent on re-runs.
+Expected<bool> postIslandResult(const std::string &MailboxDir, int Index,
+                                const Individual &Best,
+                                const GenomeDims &Dims,
+                                uint64_t ContextFingerprint,
+                                const RetryPolicy &Retry = RetryPolicy());
+
+/// Reads back a postIslandResult block (with ".bak" recovery), waiting
+/// up to \p DeadlineSeconds for a straggler island process to publish.
+Expected<Individual> collectIslandResult(const std::string &MailboxDir,
+                                         int Index,
+                                         uint64_t ContextFingerprint,
+                                         double DeadlineSeconds,
+                                         const RetryPolicy &Retry =
+                                             RetryPolicy());
+
+/// Observes per-generation progress; called from island threads under an
+/// internal mutex, so the callback itself need not synchronise.
+using IslandProgressFn =
+    std::function<void(int Island, const GenerationStats &)>;
+
+/// Runs all islands to \p Generations and aggregates. Fails with the
+/// lowest-indexed island's error when any island aborts (transport,
+/// checkpoint or configuration failure).
+Expected<IslandRunResult>
+runIslands(const Torus &T,
+           const std::vector<InitialConfiguration> &TrainingFields,
+           const IslandRunParams &Params, int Generations,
+           const IslandProgressFn &OnGeneration = {});
+
+} // namespace ca2a
+
+#endif // CA2A_DIST_ISLANDRUNNER_H

@@ -1,0 +1,192 @@
+//===- dist/Mailbox.cpp - Shared-directory migrant transport --------------===//
+
+#include "dist/Mailbox.h"
+
+#include "support/Chaos.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+using namespace ca2a;
+
+FileMailbox::FileMailbox(std::string Dir, RetryPolicy Retry)
+    : Dir(std::move(Dir)), Retry(Retry) {}
+
+std::string FileMailbox::blockPath(const std::string &Dir, int From, int To,
+                                   uint64_t Seq) {
+  return (std::filesystem::path(Dir) /
+          formatString("mig_f%d_t%d_s%" PRIu64 ".blk", From, To, Seq))
+      .string();
+}
+
+Expected<bool> FileMailbox::post(const MigrantBlock &Block) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return makeError(ErrorCode::Io, "cannot create mailbox directory '" +
+                                        Dir + "': " + Ec.message());
+
+  std::string Text = serializeMigrantBlock(Block);
+  std::string Path =
+      blockPath(Dir, Block.FromIsland, Block.ToIsland, Block.Sequence);
+  std::string TmpPath = Path + ".tmp";
+
+  // Idempotent re-post (a resumed island replays its migration round):
+  // when the key already holds these exact bytes, publishing again is a
+  // no-op. A *different* valid payload under the same key would mean the
+  // determinism contract is broken, so that is reported loudly.
+  if (auto Existing = readFile(Path); Existing && parseMigrantBlock(*Existing)) {
+    if (*Existing == Text) {
+      ++Stats.Posts;
+      return true;
+    }
+    return makeError(
+        ErrorCode::Corrupt,
+        "mailbox key '" + Path +
+            "' already holds a different valid block — two islands (or two "
+            "incarnations of one) disagree about this migration round");
+  }
+
+  // Write until the bytes on disk parse. The chaos ckpt.write site may
+  // corrupt the payload or fail the write on any attempt; each retry
+  // starts from the pristine serialisation and draws fresh, so a success
+  // return certifies a valid durable copy under any injection rate < 1.
+  // MaxAttempts covers transient failures; corruption gets a wider budget
+  // because a collect() cannot out-wait a sender that gave up.
+  int MaxAttempts = std::max(Retry.MaxAttempts, 10);
+  Error LastError = makeError("");
+  for (int Attempt = 0;; ++Attempt) {
+    if (Attempt >= MaxAttempts)
+      return makeError(ErrorCode::Exhausted,
+                       "mailbox post '" + Path + "' failed after " +
+                           std::to_string(MaxAttempts) +
+                           " attempts: " + LastError.message());
+    if (Attempt > 0) {
+      ++Stats.WriteRetries;
+      backoffSleep(Retry, Attempt - 1);
+    }
+    std::string Attempted = Text;
+    if (uint64_t Draw = chaosCorruptDraw(ChaosSite::CheckpointWrite))
+      chaosCorruptPayload(Attempted, Draw);
+    try {
+      chaosPoint(ChaosSite::CheckpointWrite);
+    } catch (const std::exception &Ex) {
+      LastError = makeError(ErrorCode::Injected, Ex.what());
+      continue;
+    }
+    if (auto Written = writeFileDurable(TmpPath, Attempted); !Written) {
+      LastError = Written.error();
+      continue;
+    }
+    // Read-back validation: only bytes that parse may be published.
+    auto OnDisk = readFile(TmpPath);
+    if (!OnDisk) {
+      LastError = OnDisk.error();
+      continue;
+    }
+    if (auto Parsed = parseMigrantBlock(*OnDisk); !Parsed) {
+      LastError = Parsed.error();
+      continue;
+    }
+    break;
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return makeError(ErrorCode::Io,
+                     "cannot rename '" + TmpPath + "' to '" + Path + "'");
+  }
+  if (auto Synced = syncParentDirectory(Path); !Synced)
+    return Synced.error();
+  // The ".bak" sibling is the receiver's recovery path when the primary
+  // rots *after* publication (bit flips, hostile tests). Written from the
+  // pristine serialisation, durably, without chaos — the injection sites
+  // model the primary publish path, and an unlucky backup must not be
+  // able to veto an already-durable post.
+  if (auto Backup = writeFileDurable(checkpointBackupPath(Path), Text);
+      !Backup)
+    return Backup.error();
+  ++Stats.Posts;
+  return true;
+}
+
+Expected<MigrantBlock> FileMailbox::collect(int From, int To, uint64_t Seq,
+                                            uint64_t ContextFingerprint,
+                                            double DeadlineSeconds) {
+  std::string Path = blockPath(Dir, From, To, Seq);
+  std::string BakPath = checkpointBackupPath(Path);
+  double Start = monotonicSeconds();
+
+  // Waiting for a neighbour is not an error path: cap the poll backoff
+  // well below the write-retry ceiling so a blocked island re-checks
+  // promptly and, on an oversubscribed host, yields the core to the
+  // island it is waiting for instead of napping through its turn.
+  RetryPolicy Poll = Retry;
+  Poll.MaxDelayMicros = std::min(Poll.MaxDelayMicros, 2000);
+
+  // One read+parse+validate pass over a candidate file. Outcomes:
+  // value (done), Io/Injected (transient — poll again), Corrupt /
+  // VersionMismatch (this copy is damaged; the caller tries the next).
+  auto TryFile = [&](const std::string &P) -> Expected<MigrantBlock> {
+    auto Text = [&]() -> Expected<std::string> {
+      try {
+        chaosPoint(ChaosSite::CheckpointRead);
+      } catch (const std::exception &Ex) {
+        return makeError(ErrorCode::Injected, Ex.what());
+      }
+      return readFile(P);
+    }();
+    if (!Text)
+      return Text.error();
+    auto Block = parseMigrantBlock(*Text);
+    if (!Block)
+      return makeError(Block.error().code(),
+                       P + ": " + Block.error().message());
+    if (auto Valid =
+            validateMigrantBlock(*Block, From, To, Seq, ContextFingerprint);
+        !Valid)
+      return makeError(Valid.error().code(),
+                       P + ": " + Valid.error().message());
+    return Block;
+  };
+
+  for (int Attempt = 0;; ++Attempt) {
+    std::error_code Ec;
+    if (std::filesystem::exists(Path, Ec)) {
+      auto Primary = TryFile(Path);
+      if (Primary) {
+        ++Stats.Collects;
+        return Primary;
+      }
+      ErrorCode Code = Primary.error().code();
+      if (Code == ErrorCode::Io || Code == ErrorCode::Injected) {
+        // Transient (or a rename racing this poll): re-poll below.
+        ++Stats.ReadRetries;
+      } else {
+        // The published block is damaged; the sender will not rewrite it
+        // (post is one-shot durable), so waiting longer cannot help —
+        // fall back to the ".bak" sibling now, and if that is damaged
+        // too, surface the typed error rather than skipping the round.
+        auto Backup = TryFile(BakPath);
+        if (Backup) {
+          ++Stats.Collects;
+          ++Stats.BackupRecoveries;
+          return Backup;
+        }
+        return makeError(Code, "mailbox collect failed: primary: " +
+                                   Primary.error().message() +
+                                   "; backup: " + Backup.error().message());
+      }
+    }
+    if (monotonicSeconds() - Start > DeadlineSeconds)
+      return makeError(
+          ErrorCode::Timeout,
+          formatString("mailbox collect '%s' timed out after %.1fs "
+                       "(sending island dead or stalled?)",
+                       Path.c_str(), DeadlineSeconds));
+    backoffSleep(Poll, Attempt);
+  }
+}

@@ -1,0 +1,116 @@
+//===- dist/Mailbox.h - Migrant-block transport -----------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// How migrant blocks travel between islands. A Mailbox is a content-
+/// addressed exchange: a block is *posted* under its (from, to, sequence)
+/// key and *collected* by that exact key, so arrival timing, worker
+/// counts and delivery interleavings cannot change what an island
+/// receives — the key names one deterministic payload. This is the
+/// property the island-model determinism guarantee rests on; transports
+/// may differ in latency and failure modes but never in content.
+///
+/// Both operations are idempotent. Re-posting the key writes the same
+/// bytes (island state is deterministic, so a resumed island regenerates
+/// the identical block); re-collecting re-reads them. A killed island can
+/// therefore replay its migration round after resume without coordination.
+///
+/// FileMailbox is the shared-directory transport: one durable file per
+/// key, written through the same temp-fsync-rename-validate discipline as
+/// ga/Checkpoint (including the chaos ckpt.write/ckpt.read injection
+/// sites and a ".bak" sibling), collected by polling with capped backoff.
+/// It works across processes and survives the death of any of them. The
+/// socket transport lives in dist/SocketMailbox.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_DIST_MAILBOX_H
+#define CA2A_DIST_MAILBOX_H
+
+#include "ga/Checkpoint.h"
+#include "support/Supervisor.h"
+
+#include <string>
+
+namespace ca2a {
+
+/// Transport instrumentation (per mailbox instance).
+struct MailboxStats {
+  uint64_t Posts = 0;            ///< Successful post() calls.
+  uint64_t Collects = 0;         ///< Successful collect() calls.
+  uint64_t WriteRetries = 0;     ///< Post attempts re-run (failure/corrupt).
+  uint64_t ReadRetries = 0;      ///< Transient collect read failures.
+  uint64_t BackupRecoveries = 0; ///< Collects answered by the ".bak" file.
+};
+
+/// Abstract migrant transport. One instance per island; implementations
+/// need not be thread-safe across islands (each island owns its own).
+class Mailbox {
+public:
+  virtual ~Mailbox() = default;
+
+  /// Publishes \p Block under key (FromIsland, ToIsland, Sequence).
+  /// Durable and idempotent: when post() returns success, a collect() of
+  /// the key — from any process, before or after a crash — yields a block
+  /// that parses and validates. Errors classify as Io (the medium
+  /// failed), Exhausted (retries did not produce a valid copy) or
+  /// Injected (chaos, out of retries).
+  virtual Expected<bool> post(const MigrantBlock &Block) = 0;
+
+  /// Waits for the block keyed (From, To, Seq), validates it against the
+  /// route, the sequence and \p ContextFingerprint (see
+  /// validateMigrantBlock) and returns it. \p DeadlineSeconds bounds the
+  /// wait for a block that has not *arrived*; a block that arrived but is
+  /// damaged beyond the transport's own recovery fails immediately with
+  /// ErrorCode::Corrupt — a typed error, never a silent skip. A lapsed
+  /// deadline classifies as ErrorCode::Timeout.
+  virtual Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+                                         uint64_t ContextFingerprint,
+                                         double DeadlineSeconds) = 0;
+
+  /// Transport instrumentation so far.
+  const MailboxStats &stats() const { return Stats; }
+
+protected:
+  MailboxStats Stats;
+};
+
+/// Shared-directory transport: one file per (from, to, seq) key.
+///
+/// post() serialises the block, applies the chaos ckpt.write site (both
+/// injected failures and payload corruption), writes durably to a temp
+/// sibling, *reads it back* and re-attempts until the on-disk bytes parse
+/// — so a success return means a valid copy is on stable storage even
+/// under corruption injection — then renames into place, fsyncs the
+/// directory and writes an identical ".bak" sibling. collect() polls with
+/// capped backoff until the file appears, falling back to the ".bak" when
+/// the primary is damaged (the checkpoint recovery discipline, applied to
+/// transport).
+class FileMailbox : public Mailbox {
+public:
+  /// \p Dir is created on first post if missing. \p Retry bounds
+  /// transient-failure retries and paces the collect() poll.
+  explicit FileMailbox(std::string Dir, RetryPolicy Retry = RetryPolicy());
+
+  /// The primary file for a key: "<dir>/mig_f<from>_t<to>_s<seq>.blk".
+  static std::string blockPath(const std::string &Dir, int From, int To,
+                               uint64_t Seq);
+
+  Expected<bool> post(const MigrantBlock &Block) override;
+  Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+                                 uint64_t ContextFingerprint,
+                                 double DeadlineSeconds) override;
+
+private:
+  std::string Dir;
+  RetryPolicy Retry;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_DIST_MAILBOX_H

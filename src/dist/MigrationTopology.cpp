@@ -1,0 +1,92 @@
+//===- dist/MigrationTopology.cpp - Island exchange graphs ----------------===//
+
+#include "dist/MigrationTopology.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+const char *ca2a::topologyKindName(TopologyKind Kind) {
+  switch (Kind) {
+  case TopologyKind::None:
+    return "none";
+  case TopologyKind::Ring:
+    return "ring";
+  case TopologyKind::Hypercube:
+    return "hypercube";
+  }
+  return "unknown";
+}
+
+bool ca2a::parseTopologyKind(const std::string &Text, TopologyKind &Out) {
+  if (Text == "none") {
+    Out = TopologyKind::None;
+    return true;
+  }
+  if (Text == "ring") {
+    Out = TopologyKind::Ring;
+    return true;
+  }
+  if (Text == "hypercube") {
+    Out = TopologyKind::Hypercube;
+    return true;
+  }
+  return false;
+}
+
+Expected<MigrationTopology> MigrationTopology::create(TopologyKind Kind,
+                                                      int NumIslands) {
+  if (NumIslands < 1)
+    return makeError(ErrorCode::InvalidArgument,
+                     formatString("island count %d must be >= 1",
+                                  NumIslands));
+  if (Kind == TopologyKind::Hypercube &&
+      (NumIslands & (NumIslands - 1)) != 0)
+    return makeError(
+        ErrorCode::InvalidArgument,
+        formatString("hypercube topology needs a power-of-two island "
+                     "count, got %d",
+                     NumIslands));
+
+  MigrationTopology T;
+  T.Kind = Kind;
+  T.Out.resize(static_cast<size_t>(NumIslands));
+  T.In.resize(static_cast<size_t>(NumIslands));
+  switch (Kind) {
+  case TopologyKind::None:
+    break;
+  case TopologyKind::Ring:
+    // A 1-island ring has no edges (a self-loop would inject an island's
+    // own migrants, a pointless no-op that still costs transport I/O).
+    if (NumIslands >= 2) {
+      for (int I = 0; I != NumIslands; ++I) {
+        int Next = (I + 1) % NumIslands;
+        T.Out[static_cast<size_t>(I)].push_back(Next);
+        T.In[static_cast<size_t>(Next)].push_back(I);
+      }
+    }
+    break;
+  case TopologyKind::Hypercube:
+    for (int I = 0; I != NumIslands; ++I)
+      for (int Bit = 1; Bit < NumIslands; Bit <<= 1) {
+        int Peer = I ^ Bit;
+        T.Out[static_cast<size_t>(I)].push_back(Peer);
+        T.In[static_cast<size_t>(I)].push_back(Peer);
+      }
+    break;
+  }
+  for (auto &Edges : T.Out)
+    std::sort(Edges.begin(), Edges.end());
+  for (auto &Edges : T.In)
+    std::sort(Edges.begin(), Edges.end());
+  return T;
+}
+
+size_t MigrationTopology::numEdges() const {
+  size_t Count = 0;
+  for (const auto &Edges : Out)
+    Count += Edges.size();
+  return Count;
+}

@@ -1,0 +1,93 @@
+//===- dist/MigrationTopology.h - Island exchange graphs --------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static exchange graphs of the island-model GA (src/dist): which
+/// islands send migrants to which. A topology is pure data computed once
+/// from (kind, island count) — no RNG, no clock — so every island derives
+/// the identical edge set independently, which is what makes migration
+/// sequence numbers meaningful: edge (from, to) at round s names exactly
+/// one migrant block on every host.
+///
+/// Kinds:
+///   * none      — islands never communicate (independent-restarts mode,
+///                 the baseline the ring is benchmarked against).
+///   * ring      — island i sends to (i+1) mod N; diameter N-1, one
+///                 in-edge and one out-edge per island. The classic
+///                 island-model default: slow champion spread preserves
+///                 diversity.
+///   * hypercube — islands are corners of a log2(N)-cube; i exchanges
+///                 with i XOR 2^b for every bit b. Requires N a power of
+///                 two; diameter log2(N), so improvements spread fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_DIST_MIGRATIONTOPOLOGY_H
+#define CA2A_DIST_MIGRATIONTOPOLOGY_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace ca2a {
+
+/// The exchange-graph shapes runIslands understands.
+enum class TopologyKind {
+  None,      ///< No edges: independent islands.
+  Ring,      ///< Directed cycle 0 -> 1 -> ... -> N-1 -> 0.
+  Hypercube, ///< Bidirectional log2(N)-cube; N must be a power of two.
+};
+
+/// Stable lowercase name ("none", "ring", "hypercube").
+const char *topologyKindName(TopologyKind Kind);
+
+/// Parses a topologyKindName spelling; returns false on anything else.
+bool parseTopologyKind(const std::string &Text, TopologyKind &Out);
+
+/// An immutable, validated exchange graph over \p NumIslands islands.
+///
+/// Out-edges say where an island *sends*; in-edges where it *receives
+/// from*. Both lists are sorted ascending, and every island iterates them
+/// in that order, so the collect/inject order — which affects the pool —
+/// is a function of the topology alone, never of delivery timing.
+class MigrationTopology {
+public:
+  /// Builds the graph. Fails with ErrorCode::InvalidArgument when
+  /// \p NumIslands < 1 or a hypercube is requested for a non-power-of-two
+  /// island count.
+  static Expected<MigrationTopology> create(TopologyKind Kind,
+                                            int NumIslands);
+
+  TopologyKind kind() const { return Kind; }
+  int numIslands() const { return static_cast<int>(Out.size()); }
+
+  /// Islands that \p Island sends migrants to (sorted ascending).
+  const std::vector<int> &outNeighbors(int Island) const {
+    return Out[static_cast<size_t>(Island)];
+  }
+
+  /// Islands that \p Island receives migrants from (sorted ascending).
+  const std::vector<int> &inNeighbors(int Island) const {
+    return In[static_cast<size_t>(Island)];
+  }
+
+  /// Total directed edge count (0 means migration rounds are no-ops).
+  size_t numEdges() const;
+
+private:
+  MigrationTopology() = default;
+
+  TopologyKind Kind = TopologyKind::None;
+  std::vector<std::vector<int>> Out;
+  std::vector<std::vector<int>> In;
+};
+
+} // namespace ca2a
+
+#endif // CA2A_DIST_MIGRATIONTOPOLOGY_H

@@ -1,0 +1,355 @@
+//===- dist/SocketMailbox.cpp - TCP migrant transport ---------------------===//
+
+#include "dist/SocketMailbox.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ca2a;
+
+namespace {
+
+/// Frames larger than this close the connection: the biggest legitimate
+/// block (a full pool of the largest supported genomes) is far below it.
+constexpr uint32_t MaxFrameBytes = 16u << 20;
+
+bool sendAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len != 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool recvAll(int Fd, void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  while (Len != 0) {
+    ssize_t N = ::recv(Fd, P, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0) // Orderly close.
+      return false;
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool sendFrame(int Fd, const std::string &Payload) {
+  // One send() per frame: a separate header write would form the
+  // write-write-read pattern that Nagle + delayed ACK stretch into
+  // ~40ms stalls per request (TCP_NODELAY below is the second guard).
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  std::string Frame;
+  Frame.reserve(Payload.size() + 4);
+  Frame.push_back(static_cast<char>(Len >> 24));
+  Frame.push_back(static_cast<char>(Len >> 16));
+  Frame.push_back(static_cast<char>(Len >> 8));
+  Frame.push_back(static_cast<char>(Len));
+  Frame.append(Payload);
+  return sendAll(Fd, Frame.data(), Frame.size());
+}
+
+/// Request/reply framing latency matters more than loopback throughput:
+/// disable Nagle coalescing on every mailbox socket.
+void setNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+bool recvFrame(int Fd, std::string &Payload) {
+  unsigned char Header[4];
+  if (!recvAll(Fd, Header, 4))
+    return false;
+  uint32_t Len = (static_cast<uint32_t>(Header[0]) << 24) |
+                 (static_cast<uint32_t>(Header[1]) << 16) |
+                 (static_cast<uint32_t>(Header[2]) << 8) |
+                 static_cast<uint32_t>(Header[3]);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || recvAll(Fd, Payload.data(), Len);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<SocketMailboxServer>>
+SocketMailboxServer::listen(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return makeError(ErrorCode::Io,
+                     std::string("socket(): ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::string Msg = std::strerror(errno);
+    ::close(Fd);
+    return makeError(ErrorCode::Io, "bind(127.0.0.1:" +
+                                        std::to_string(Port) + "): " + Msg);
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) != 0) {
+    std::string Msg = std::strerror(errno);
+    ::close(Fd);
+    return makeError(ErrorCode::Io, "getsockname(): " + Msg);
+  }
+  if (::listen(Fd, 64) != 0) {
+    std::string Msg = std::strerror(errno);
+    ::close(Fd);
+    return makeError(ErrorCode::Io, "listen(): " + Msg);
+  }
+  auto Server = std::unique_ptr<SocketMailboxServer>(new SocketMailboxServer);
+  Server->ListenFd = Fd;
+  Server->BoundPort = static_cast<int>(ntohs(Addr.sin_port));
+  Server->Acceptor = std::thread([S = Server.get()] { S->acceptLoop(); });
+  return Server;
+}
+
+SocketMailboxServer::~SocketMailboxServer() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  // Unblock accept(); connection handlers see recv() fail after the
+  // per-connection shutdown below.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (int Fd : Connections)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &Handler : Handlers)
+    if (Handler.joinable())
+      Handler.join();
+  for (int Fd : Connections)
+    ::close(Fd);
+}
+
+void SocketMailboxServer::acceptLoop() {
+  while (true) {
+    int Conn = ::accept(ListenFd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Closed by the destructor (or a hard accept failure).
+    }
+    setNoDelay(Conn);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown) {
+      ::close(Conn);
+      return;
+    }
+    Connections.push_back(Conn);
+    Handlers.emplace_back([this, Conn] { serveConnection(Conn); });
+  }
+}
+
+void SocketMailboxServer::serveConnection(int Fd) {
+  std::string Request;
+  while (recvFrame(Fd, Request)) {
+    if (!sendFrame(Fd, handleRequest(Request)))
+      break;
+  }
+  // The fd is closed by the destructor (which owns the Connections list);
+  // shutting down here just stops further traffic on a broken peer.
+  ::shutdown(Fd, SHUT_RDWR);
+}
+
+std::string SocketMailboxServer::handleRequest(const std::string &Request) {
+  if (Request.rfind("post\n", 0) == 0) {
+    std::string Text = Request.substr(5);
+    auto Block = parseMigrantBlock(Text);
+    if (!Block)
+      return "err " + Block.error().message() + "\n";
+    auto Key = std::make_tuple(Block->FromIsland, Block->ToIsland,
+                               Block->Sequence);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Blocks.find(Key);
+    if (It == Blocks.end()) {
+      Blocks.emplace(Key, std::move(Text));
+      return "ok\n";
+    }
+    // Idempotent re-post (an island replaying its round after resume)
+    // is fine; a *different* valid payload under the same key means the
+    // determinism contract is broken somewhere.
+    if (It->second == Text)
+      return "ok\n";
+    return "err mailbox key already holds a different valid block — two "
+           "islands (or two incarnations of one) disagree about this "
+           "migration round\n";
+  }
+  if (Request.rfind("get ", 0) == 0) {
+    std::vector<std::string> T = splitWhitespace(Request);
+    if (T.size() != 5)
+      return "err malformed get request\n";
+    auto From = parseInt(T[1]);
+    auto To = parseInt(T[2]);
+    auto Seq = parseUnsigned(T[3]);
+    auto DeadlineMillis = parseInt(T[4]);
+    if (!From || !To || !Seq || !DeadlineMillis)
+      return "err malformed get request numbers\n";
+    auto Key = std::make_tuple(static_cast<int>(*From),
+                               static_cast<int>(*To), *Seq);
+    double Start = monotonicSeconds();
+    double DeadlineSeconds =
+        static_cast<double>(*DeadlineMillis) / 1000.0;
+    // Poll rather than block on a condvar: each connection has its own
+    // handler thread, and the capped backoff keeps the worst-case added
+    // latency at 2ms — kept small so a waiting island yields the core
+    // to the island it is waiting for on an oversubscribed host.
+    RetryPolicy Poll;
+    Poll.MaxDelayMicros = 2000;
+    for (int Attempt = 0;; ++Attempt) {
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (ShuttingDown)
+          return "err server shutting down\n";
+        auto It = Blocks.find(Key);
+        if (It != Blocks.end())
+          return "ok\n" + It->second;
+      }
+      if (monotonicSeconds() - Start > DeadlineSeconds)
+        return "timeout\n";
+      backoffSleep(Poll, Attempt);
+    }
+  }
+  return "err unknown request\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<SocketMailbox>>
+SocketMailbox::connect(const std::string &Host, int Port, RetryPolicy Retry) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError(ErrorCode::InvalidArgument,
+                     "not an IPv4 address: '" + Host + "'");
+  for (int Attempt = 0;; ++Attempt) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return makeError(ErrorCode::Io,
+                       std::string("socket(): ") + std::strerror(errno));
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      setNoDelay(Fd);
+      auto Client = std::unique_ptr<SocketMailbox>(new SocketMailbox);
+      Client->Fd = Fd;
+      Client->Retry = Retry;
+      return Client;
+    }
+    int Err = errno;
+    ::close(Fd);
+    // A refused connection usually means the server has not finished
+    // binding yet (islands race the runner's startup); back off and
+    // retry within the policy's budget.
+    if (Err != ECONNREFUSED || Attempt + 1 >= Retry.MaxAttempts)
+      return makeError(ErrorCode::Io, "connect(" + Host + ":" +
+                                          std::to_string(Port) +
+                                          "): " + std::strerror(Err));
+    backoffSleep(Retry, Attempt);
+  }
+}
+
+SocketMailbox::~SocketMailbox() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Expected<std::string> SocketMailbox::roundTrip(const std::string &Request) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!sendFrame(Fd, Request))
+    return makeError(ErrorCode::Io,
+                     std::string("mailbox send failed: ") +
+                         std::strerror(errno));
+  std::string Reply;
+  if (!recvFrame(Fd, Reply))
+    return makeError(ErrorCode::Io,
+                     "mailbox reply lost (server died or closed the "
+                     "connection)");
+  return Reply;
+}
+
+Expected<bool> SocketMailbox::post(const MigrantBlock &Block) {
+  auto Reply = roundTrip("post\n" + serializeMigrantBlock(Block));
+  if (!Reply)
+    return Reply.error();
+  if (Reply->rfind("ok", 0) == 0) {
+    ++Stats.Posts;
+    return true;
+  }
+  if (Reply->rfind("err ", 0) == 0)
+    return makeError(ErrorCode::Io, "mailbox post rejected: " +
+                                        std::string(trim(Reply->substr(4))));
+  return makeError(ErrorCode::Io, "mailbox post: unintelligible reply");
+}
+
+Expected<MigrantBlock> SocketMailbox::collect(int From, int To, uint64_t Seq,
+                                              uint64_t ContextFingerprint,
+                                              double DeadlineSeconds) {
+  std::string Request =
+      formatString("get %d %d %" PRIu64 " %d\n", From, To, Seq,
+                   static_cast<int>(DeadlineSeconds * 1000.0));
+  auto Reply = roundTrip(Request);
+  if (!Reply)
+    return Reply.error();
+  if (Reply->rfind("timeout", 0) == 0)
+    return makeError(
+        ErrorCode::Timeout,
+        formatString("mailbox collect (%d -> %d seq %" PRIu64
+                     ") timed out after %.1fs "
+                     "(sending island dead or stalled?)",
+                     From, To, Seq, DeadlineSeconds));
+  if (Reply->rfind("err ", 0) == 0)
+    return makeError(ErrorCode::Io,
+                     "mailbox collect rejected: " +
+                         std::string(trim(Reply->substr(4))));
+  if (Reply->rfind("ok\n", 0) != 0)
+    return makeError(ErrorCode::Io, "mailbox collect: unintelligible reply");
+  // Validation happens here, client-side: a server that returned damaged
+  // bytes is caught exactly like a damaged file would be.
+  auto Block = parseMigrantBlock(Reply->substr(3));
+  if (!Block)
+    return makeError(Block.error().code(),
+                     "mailbox collect: " + Block.error().message());
+  if (auto Valid =
+          validateMigrantBlock(*Block, From, To, Seq, ContextFingerprint);
+      !Valid)
+    return makeError(Valid.error().code(),
+                     "mailbox collect: " + Valid.error().message());
+  ++Stats.Collects;
+  return Block;
+}

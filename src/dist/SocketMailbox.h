@@ -1,0 +1,118 @@
+//===- dist/SocketMailbox.h - TCP migrant transport -------------*- C++ -*-===//
+//
+// Part of the ca2a project: reproduction of Hoffmann & Désérable,
+// "CA Agents for All-to-All Communication Are Faster in the Triangulate
+// Grid" (PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket transport for migrant blocks: a thin length-prefixed TCP
+/// protocol over the same checksummed wire format the file transport
+/// writes to disk. One process hosts a SocketMailboxServer (a content-
+/// addressed in-memory exchange); every island owns a SocketMailbox
+/// client connection to it. Because blocks are keyed (from, to, seq) and
+/// re-posts of a key must carry identical bytes, delivery timing and
+/// connection interleaving cannot change what an island collects — the
+/// determinism argument is the same as the file transport's, minus the
+/// fsync (the server's memory is the medium; crash durability across the
+/// *server* is what the file transport is for).
+///
+/// Framing: every message is a 4-byte big-endian payload length followed
+/// by the payload. Client requests:
+///
+///   "post\n<serialized migrant block>"      publish under the block's key
+///   "get <from> <to> <seq> <deadline-ms>\n" wait for a key
+///
+/// Server replies: "ok\n[<block>]", "timeout\n", or "err <message>\n".
+/// Malformed or oversized frames close the connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CA2A_DIST_SOCKETMAILBOX_H
+#define CA2A_DIST_SOCKETMAILBOX_H
+
+#include "dist/Mailbox.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace ca2a {
+
+/// The hosting side: listens on loopback, stores every valid posted
+/// block under its key, answers get requests (waiting up to the client's
+/// deadline for keys that have not arrived yet). Blocks are retained for
+/// the server's lifetime so a resumed island can re-collect its round.
+class SocketMailboxServer {
+public:
+  /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port, the
+  /// default for in-process runs) and starts the accept loop.
+  static Expected<std::unique_ptr<SocketMailboxServer>> listen(int Port = 0);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  ~SocketMailboxServer();
+
+  SocketMailboxServer(const SocketMailboxServer &) = delete;
+  SocketMailboxServer &operator=(const SocketMailboxServer &) = delete;
+
+  /// The bound TCP port (useful after an ephemeral bind).
+  int port() const { return BoundPort; }
+
+private:
+  SocketMailboxServer() = default;
+
+  void acceptLoop();
+  void serveConnection(int Fd);
+  std::string handleRequest(const std::string &Request);
+
+  int ListenFd = -1;
+  int BoundPort = 0;
+  std::thread Acceptor;
+  std::mutex Mutex; ///< Guards Blocks and Connections.
+  std::map<std::tuple<int, int, uint64_t>, std::string> Blocks;
+  std::vector<std::thread> Handlers;
+  std::vector<int> Connections;
+  bool ShuttingDown = false;
+};
+
+/// The island side: one TCP connection to a SocketMailboxServer.
+/// Implements the Mailbox contract; validation (parse, route, sequence,
+/// context fingerprint) happens client-side on collect, so a server that
+/// returned damaged bytes is caught exactly like a damaged file.
+class SocketMailbox : public Mailbox {
+public:
+  /// Connects to \p Host:\p Port. \p Retry paces reconnect-free request
+  /// retries (the connection itself is not re-established; a broken
+  /// socket is a hard Io error — supervise at the island level).
+  static Expected<std::unique_ptr<SocketMailbox>>
+  connect(const std::string &Host, int Port,
+          RetryPolicy Retry = RetryPolicy());
+
+  ~SocketMailbox() override;
+
+  SocketMailbox(const SocketMailbox &) = delete;
+  SocketMailbox &operator=(const SocketMailbox &) = delete;
+
+  Expected<bool> post(const MigrantBlock &Block) override;
+  Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+                                 uint64_t ContextFingerprint,
+                                 double DeadlineSeconds) override;
+
+private:
+  SocketMailbox() = default;
+
+  /// Sends one framed request and reads one framed reply.
+  Expected<std::string> roundTrip(const std::string &Request);
+
+  int Fd = -1;
+  RetryPolicy Retry;
+  std::mutex Mutex; ///< One in-flight request per connection.
+};
+
+} // namespace ca2a
+
+#endif // CA2A_DIST_SOCKETMAILBOX_H

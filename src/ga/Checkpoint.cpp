@@ -16,6 +16,7 @@ using namespace ca2a;
 namespace {
 
 constexpr const char *FormatHeader = "ca2a-evolution-checkpoint v1";
+constexpr const char *MigrantHeader = "ca2a-migrant-block v1";
 
 /// Doubles are stored as %.17g, which round-trips IEEE binary64 exactly.
 std::string formatExactDouble(double Value) {
@@ -287,6 +288,155 @@ Expected<CheckpointData> ca2a::loadCheckpoint(const std::string &Path) {
     return makeError(Parsed.error().code(),
                      Path + ": " + Parsed.error().message());
   return Parsed;
+}
+
+std::string ca2a::serializeMigrantBlock(const MigrantBlock &Block) {
+  std::string Payload;
+  Payload += MigrantHeader;
+  Payload += '\n';
+  Payload += formatString("route from %d to %d seq %" PRIu64 "\n",
+                          Block.FromIsland, Block.ToIsland, Block.Sequence);
+  Payload += formatString("context fingerprint %016" PRIx64 "\n",
+                          Block.ContextFingerprint);
+  Payload += formatString("dims states %d colors %d\n", Block.Dims.States,
+                          Block.Dims.Colors);
+  Payload += formatString("migrants %zu\n", Block.Migrants.size());
+  for (const Individual &Ind : Block.Migrants)
+    Payload += formatIndividual("member", Ind);
+  return Payload +
+         formatString("checksum %016" PRIx64 "\n", fnv1a(Payload));
+}
+
+Expected<MigrantBlock> ca2a::parseMigrantBlock(const std::string &Text) {
+  size_t ChecksumPos = Text.rfind("checksum ");
+  if (ChecksumPos == std::string::npos ||
+      (ChecksumPos != 0 && Text[ChecksumPos - 1] != '\n'))
+    return makeError(ErrorCode::Corrupt,
+                     "migrant block: missing checksum line (truncated?)");
+  std::string Payload = Text.substr(0, ChecksumPos);
+
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  while (!Lines.empty() && trim(Lines.back()).empty())
+    Lines.pop_back();
+  if (Lines.size() < 6)
+    return makeError(ErrorCode::Corrupt,
+                     "migrant block: too short to be valid");
+  if (trim(Lines[0]) != MigrantHeader)
+    return makeError(ErrorCode::VersionMismatch,
+                     "migrant block: unrecognised header '" +
+                         std::string(trim(Lines[0])) + "'");
+
+  // Checksum before structure: a corrupt file may scramble anything.
+  {
+    std::vector<std::string> T = splitWhitespace(Lines.back());
+    uint64_t Stored = 0;
+    if (T.size() != 2 || T[0] != "checksum" ||
+        std::sscanf(T[1].c_str(), "%" SCNx64, &Stored) != 1)
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block: malformed checksum line");
+    if (Stored != fnv1a(Payload))
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block: checksum mismatch (corrupt payload)");
+  }
+
+  MigrantBlock Block;
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[1]);
+    if (T.size() != 7 || T[0] != "route" || T[1] != "from" || T[3] != "to" ||
+        T[5] != "seq")
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 2: malformed route record");
+    auto From = parseInt(T[2]);
+    auto To = parseInt(T[4]);
+    auto Seq = parseUnsigned(T[6]);
+    if (!From || !To || !Seq || *From < 0 || *To < 0)
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 2: bad route numbers");
+    Block.FromIsland = static_cast<int>(*From);
+    Block.ToIsland = static_cast<int>(*To);
+    Block.Sequence = *Seq;
+  }
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[2]);
+    if (T.size() != 3 || T[0] != "context" || T[1] != "fingerprint" ||
+        std::sscanf(T[2].c_str(), "%" SCNx64, &Block.ContextFingerprint) != 1)
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 3: malformed context record");
+  }
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[3]);
+    if (T.size() != 5 || T[0] != "dims" || T[1] != "states" ||
+        T[3] != "colors")
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 4: malformed dims record");
+    auto States = parseInt(T[2]);
+    auto Colors = parseInt(T[4]);
+    if (!States || !Colors)
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 4: bad numbers");
+    Block.Dims.States = static_cast<int>(*States);
+    Block.Dims.Colors = static_cast<int>(*Colors);
+    if (!Block.Dims.valid())
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 4: dimensions out of range");
+  }
+  size_t Count = 0;
+  {
+    std::vector<std::string> T = splitWhitespace(Lines[4]);
+    auto Parsed = T.size() == 2 && T[0] == "migrants"
+                      ? parseInt(T[1])
+                      : Expected<int64_t>(makeError(""));
+    if (!Parsed || *Parsed < 0)
+      return makeError(ErrorCode::Corrupt,
+                       "migrant block line 5: malformed migrants record");
+    Count = static_cast<size_t>(*Parsed);
+  }
+  if (Lines.size() != 5 + Count + 1)
+    return makeError(
+        ErrorCode::Corrupt,
+        formatString("migrant block: expected %zu members, found %zu "
+                     "(truncated?)",
+                     Count, Lines.size() - 6));
+  Block.Migrants.resize(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    if (auto Parsed =
+            parseIndividual(splitWhitespace(Lines[5 + I]), "member",
+                            static_cast<int>(6 + I), Block.Migrants[I]);
+        !Parsed)
+      return makeError(ErrorCode::Corrupt, Parsed.error().message());
+    if (Block.Migrants[I].G.dims() != Block.Dims)
+      return makeError(
+          ErrorCode::Corrupt,
+          formatString("migrant block line %zu: member dimensions disagree "
+                       "with header",
+                       6 + I));
+  }
+  return Block;
+}
+
+Expected<bool> ca2a::validateMigrantBlock(const MigrantBlock &Block, int From,
+                                          int To, uint64_t Seq,
+                                          uint64_t ContextFingerprint) {
+  if (Block.FromIsland != From || Block.ToIsland != To)
+    return makeError(
+        ErrorCode::Corrupt,
+        formatString("migrant block routed %d -> %d, expected %d -> %d",
+                     Block.FromIsland, Block.ToIsland, From, To));
+  if (Block.Sequence != Seq)
+    return makeError(
+        ErrorCode::Corrupt,
+        formatString("migrant block carries sequence %" PRIu64
+                     ", expected %" PRIu64 " (stale or replayed delivery)",
+                     Block.Sequence, Seq));
+  if (ContextFingerprint != 0 &&
+      Block.ContextFingerprint != ContextFingerprint)
+    return makeError(
+        ErrorCode::Corrupt,
+        formatString("migrant block context fingerprint %016" PRIx64
+                     " does not match this island's %016" PRIx64
+                     " (islands must share grid, options and fields)",
+                     Block.ContextFingerprint, ContextFingerprint));
+  return true;
 }
 
 std::string ca2a::checkpointBackupPath(const std::string &Path) {

@@ -101,6 +101,42 @@ bool checkpointExists(const std::string &Path);
 /// Canonical per-run checkpoint file below \p Dir ("run<Run>.ckpt").
 std::string checkpointRunPath(const std::string &Dir, int Run);
 
+/// One island-to-island migrant exchange, persisted (or framed over a
+/// socket) in the same versioned, checksummed plain-text family as the
+/// evolution checkpoint. The route (from, to) and the 1-based migration
+/// sequence number are part of the signed payload, so a mailbox file that
+/// was renamed, replayed or delivered out of order fails validation with a
+/// typed error instead of silently injecting the wrong generation's
+/// migrants. ContextFingerprint is the sender's EvalScheduler context hash
+/// (grid, simulation options, the full training-field set): two islands
+/// can only exchange individuals whose fitness numbers are comparable,
+/// and a mismatch means the run was misconfigured, not that data rotted.
+struct MigrantBlock {
+  int FromIsland = 0;
+  int ToIsland = 0;
+  uint64_t Sequence = 0; ///< Migration round, 1-based (generation / G).
+  uint64_t ContextFingerprint = 0;
+  GenomeDims Dims;
+  std::vector<Individual> Migrants;
+};
+
+/// Renders \p Block in the versioned, checksummed text format.
+std::string serializeMigrantBlock(const MigrantBlock &Block);
+
+/// Parses serializeMigrantBlock output. Rejects unknown versions
+/// (ErrorCode::VersionMismatch) and truncation, checksum mismatches or
+/// structural damage (ErrorCode::Corrupt) with a descriptive error.
+Expected<MigrantBlock> parseMigrantBlock(const std::string &Text);
+
+/// Verifies that \p Block is the expected edge: route (\p From -> \p To),
+/// sequence \p Seq, and — when \p ContextFingerprint is nonzero — the
+/// receiver's evaluation context. Mismatches classify as
+/// ErrorCode::Corrupt (wrong-route/wrong-sequence delivery) so transport
+/// recovery treats them like any other damaged payload.
+Expected<bool> validateMigrantBlock(const MigrantBlock &Block, int From,
+                                    int To, uint64_t Seq,
+                                    uint64_t ContextFingerprint);
+
 /// Verifies that \p Data belongs to the experiment described by \p Kind,
 /// \p SideLength and \p Params (grid, side, seed, dimensions, population
 /// size). Returns an explanatory error on any mismatch.

@@ -73,6 +73,52 @@ EvolutionSnapshot Evolution::snapshot() const {
   return S;
 }
 
+std::vector<Individual> Evolution::selectMigrants(int K) const {
+  assert(K >= 0 && "negative migrant count");
+  // The pool carries the diversity-exchange order, not rank order, so
+  // select by fitness explicitly (stable on pool position for ties).
+  std::vector<size_t> Order(Pool.size());
+  for (size_t I = 0; I != Pool.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Pool[A].Fitness < Pool[B].Fitness;
+  });
+  std::vector<Individual> Out;
+  size_t Count = std::min(static_cast<size_t>(K), Pool.size());
+  Out.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Out.push_back(Pool[Order[I]]);
+  return Out;
+}
+
+int Evolution::injectMigrants(const std::vector<Individual> &Migrants) {
+  int Accepted = 0;
+  for (const Individual &Migrant : Migrants) {
+    assert(Migrant.G.dims() == Params.Dims &&
+           "migrant genome dimensions do not match this island");
+    bool Duplicate =
+        std::any_of(Pool.begin(), Pool.end(), [&](const Individual &Ind) {
+          return Ind.G == Migrant.G;
+        });
+    if (Duplicate)
+      continue;
+    // Current worst: highest fitness, later pool position on ties (the
+    // member the next truncation would discard anyway).
+    size_t Worst = 0;
+    for (size_t I = 1; I != Pool.size(); ++I)
+      if (Pool[I].Fitness >= Pool[Worst].Fitness)
+        Worst = I;
+    if (Migrant.Fitness >= Pool[Worst].Fitness)
+      continue;
+    Pool[Worst] = Migrant;
+    Pool[Worst].Pruned = false;
+    ++Accepted;
+    if (Migrant.Fitness < BestEver.Fitness)
+      BestEver = Pool[Worst];
+  }
+  return Accepted;
+}
+
 Individual Evolution::evaluate(Genome G) {
   FitnessResult Result =
       Params.Scheduler.Enabled

@@ -149,6 +149,31 @@ public:
   int generation() const { return Generation; }
   int evaluations() const { return Evaluations; }
 
+  /// The best \p K pool members (in rank order, copies) for island-model
+  /// emigration. Pool members are always exact post-selection (the pruned
+  /// repair pass guarantees it), so the copies carry trustworthy fitness.
+  /// Deterministic: depends only on the pool, never on timing or RNG.
+  std::vector<Individual> selectMigrants(int K) const;
+
+  /// Immigration for the island model: each migrant whose genome is not
+  /// already in the pool replaces the current worst member (highest
+  /// fitness; ties resolved to the later pool position) if strictly
+  /// fitter than it. Replacement happens in place so the rest of the pool
+  /// keeps its diversity-exchange ordering; BestEver is updated, so an
+  /// injected champion is elitist-preserved like a home-grown one.
+  /// Consumes no RNG and no evaluations (migrant fitness is trusted — the
+  /// caller must have validated the evaluation-context fingerprint).
+  /// Returns how many migrants were accepted.
+  int injectMigrants(const std::vector<Individual> &Migrants);
+
+  /// The evaluation-context fingerprint (grid, simulation options, full
+  /// training-field set; deliberately excluding worker count and engine
+  /// choice). Two islands may exchange migrants only when these match —
+  /// see MigrantBlock in ga/Checkpoint.h.
+  uint64_t evalContextFingerprint() const {
+    return Sched.contextFingerprint();
+  }
+
   /// Cumulative evaluation-layer instrumentation (cache hits, pruning,
   /// batch occupancy); all-zero when the scheduler is disabled.
   const SchedulerStats &schedulerStats() const { return Sched.stats(); }

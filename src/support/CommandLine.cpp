@@ -5,13 +5,20 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cstdint>
 
 using namespace ca2a;
 
 void CommandLine::addInt(std::string Name, std::string Help, int64_t *Target) {
+  addInt(std::move(Name), std::move(Help), Target, INT64_MIN, INT64_MAX);
+}
+
+void CommandLine::addInt(std::string Name, std::string Help, int64_t *Target,
+                         int64_t Min, int64_t Max) {
   assert(Target && "flag target must be non-null");
+  assert(Min <= Max && "empty flag range");
   Flags.push_back({std::move(Name), std::move(Help), FlagKind::Int, Target,
-                   std::to_string(*Target)});
+                   std::to_string(*Target), Min, Max});
 }
 
 void CommandLine::addDouble(std::string Name, std::string Help,
@@ -47,6 +54,18 @@ Expected<bool> CommandLine::assignValue(Flag &F, std::string_view Value) {
     auto Parsed = parseInt(Value);
     if (!Parsed)
       return makeError("flag --" + F.Name + ": " + Parsed.error().message());
+    if (*Parsed < F.Min || *Parsed > F.Max) {
+      std::string Range =
+          F.Min == INT64_MIN ? "<= " + std::to_string(F.Max)
+          : F.Max == INT64_MAX
+              ? ">= " + std::to_string(F.Min)
+              : "in [" + std::to_string(F.Min) + ", " +
+                    std::to_string(F.Max) + "]";
+      return makeError(ErrorCode::InvalidArgument,
+                       "flag --" + F.Name + ": value " +
+                           std::to_string(*Parsed) + " out of range (must be " +
+                           Range + ")");
+    }
     *static_cast<int64_t *>(F.Target) = *Parsed;
     return true;
   }

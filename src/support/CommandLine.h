@@ -41,6 +41,14 @@ public:
 
   /// Registers an integer flag backed by \p Target (holds the default).
   void addInt(std::string Name, std::string Help, int64_t *Target);
+  /// Registers an integer flag whose explicitly assigned values must lie in
+  /// [\p Min, \p Max]. Out-of-range values are rejected at parse time with
+  /// an ErrorCode::InvalidArgument diagnostic naming the flag and the
+  /// accepted range; the default in \p Target is not range-checked, so a
+  /// sentinel default (e.g. 0 = auto) outside the explicit range stays
+  /// expressible.
+  void addInt(std::string Name, std::string Help, int64_t *Target,
+              int64_t Min, int64_t Max);
   /// Registers a floating-point flag backed by \p Target.
   void addDouble(std::string Name, std::string Help, double *Target);
   /// Registers a string flag backed by \p Target.
@@ -72,6 +80,9 @@ private:
     FlagKind Kind;
     void *Target;
     std::string DefaultText;
+    /// Inclusive bounds for Int flags (full int64 range = unconstrained).
+    int64_t Min = INT64_MIN;
+    int64_t Max = INT64_MAX;
   };
 
   Flag *findFlag(std::string_view Name);

@@ -22,6 +22,8 @@ const char *ca2a::errorCodeName(ErrorCode Code) {
     return "exhausted";
   case ErrorCode::Injected:
     return "injected";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
   }
   return "unknown";
 }

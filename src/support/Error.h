@@ -45,6 +45,8 @@ enum class ErrorCode : uint8_t {
   Cancelled,       ///< The operation was cancelled by a supervisor.
   Exhausted,       ///< Retries exhausted; the wrapped failure persisted.
   Injected,        ///< Synthetic failure from the chaos layer (tests only).
+  InvalidArgument, ///< A caller-supplied value failed validation (CLI
+                   ///< flags, island/topology configuration).
 };
 
 /// Stable lowercase name for an ErrorCode ("io", "corrupt", ...).

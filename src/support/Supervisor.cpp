@@ -20,6 +20,12 @@ int ca2a::backoffDelayMicros(const RetryPolicy &Policy, int Retry) {
   return static_cast<int>(Delay < Cap ? Delay : Cap);
 }
 
+double ca2a::monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void ca2a::backoffSleep(const RetryPolicy &Policy, int Retry) {
   int Micros = backoffDelayMicros(Policy, Retry);
   if (Micros > 0)

@@ -60,6 +60,13 @@ struct RetryPolicy {
 /// capped at MaxDelayMicros (overflow-safe).
 int backoffDelayMicros(const RetryPolicy &Policy, int Retry);
 
+/// Monotonic clock reading in seconds (arbitrary epoch). The supervised
+/// layers use it for deadlines and timeouts only — elapsed time gates
+/// *when* an error is reported, never what a simulation computes — so the
+/// deterministic core can consume it without touching <chrono> directly
+/// (see scripts/lint_determinism.py).
+double monotonicSeconds();
+
 /// Sleeps for backoffDelayMicros(Policy, Retry). The only sleep the
 /// simulation core is allowed to reach, and only between attempts —
 /// never on the success path.

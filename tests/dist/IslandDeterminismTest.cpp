@@ -1,0 +1,162 @@
+//===- tests/dist/IslandDeterminismTest.cpp - Distributed determinism -----===//
+//
+// Extends the repo's determinism wall (tests/sim/DeterminismTest.cpp) to
+// the island model: for a fixed (island count, topology, base seed) the
+// aggregate champion is bit-identical across evaluation worker counts and
+// across the file and socket transports. This is the acceptance contract
+// the distributed layer rests on — timing, scheduling and transport
+// latency may vary freely; results may not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IslandRunner.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace ca2a;
+
+namespace {
+
+struct RunConfig {
+  int Islands = 4;
+  TopologyKind Topology = TopologyKind::Ring;
+  uint64_t Seed = 1;
+  TransportKind Transport = TransportKind::Socket;
+  int Workers = 1;
+};
+
+/// Small but non-trivial: enough generations for two migration rounds.
+constexpr int kGenerations = 6;
+constexpr int kInterval = 2;
+
+Expected<IslandRunResult> runConfig(const RunConfig &C,
+                                    const std::string &MailboxDir) {
+  Torus T(GridKind::Triangulate, 16);
+  std::vector<InitialConfiguration> Fields =
+      standardConfigurationSet(T, /*NumAgents=*/4, /*NumRandomFields=*/5,
+                               /*Seed=*/99);
+  IslandRunParams Params;
+  Params.NumIslands = C.Islands;
+  Params.Topology = C.Topology;
+  Params.MigrationInterval = kInterval;
+  Params.MigrantCount = 2;
+  Params.Transport = C.Transport;
+  if (C.Transport == TransportKind::File) {
+    std::filesystem::remove_all(MailboxDir);
+    Params.MailboxDir = MailboxDir;
+  }
+  Params.Evo.Seed = C.Seed;
+  Params.Evo.Fitness.Sim.MaxSteps = 60;
+  Params.Evo.Fitness.NumWorkers = C.Workers;
+  Params.Grid = T.kind();
+  Params.SideLength = T.sideLength();
+  return runIslands(T, Fields, Params, kGenerations);
+}
+
+void expectSameChampion(const IslandRunResult &A, const IslandRunResult &B,
+                        const std::string &What) {
+  EXPECT_TRUE(A.Champion.G == B.Champion.G) << What;
+  EXPECT_EQ(A.Champion.Fitness, B.Champion.Fitness) << What;
+  EXPECT_EQ(A.ChampionIsland, B.ChampionIsland) << What;
+  ASSERT_EQ(A.Islands.size(), B.Islands.size());
+  for (size_t I = 0; I != A.Islands.size(); ++I) {
+    EXPECT_TRUE(A.Islands[I].Best.G == B.Islands[I].Best.G)
+        << What << " (island " << I << ")";
+    EXPECT_EQ(A.Islands[I].Evaluations, B.Islands[I].Evaluations)
+        << What << " (island " << I << ")";
+  }
+}
+
+// Per-process suffix: ctest runs this suite both as gtest-discovered
+// per-case entries and as the aggregate dist_determinism entry, possibly
+// concurrently — a shared mailbox directory would let one process's
+// cleanup delete blocks the other is mid-exchange on.
+std::string tempMailbox(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+} // namespace
+
+// Island-count x topology sweep: every configuration must give the same
+// per-island bests and champion regardless of worker count or transport.
+TEST(DeterminismTest, IslandSweepIsWorkerAndTransportInvariant) {
+  for (int Islands : {1, 2, 4}) {
+    for (TopologyKind Topology :
+         {TopologyKind::Ring, TopologyKind::Hypercube}) {
+      for (uint64_t Seed : {1u, 2u}) {
+        RunConfig Base{Islands, Topology, Seed, TransportKind::Socket, 1};
+        auto Reference = runConfig(Base, "");
+        ASSERT_TRUE(Reference) << Reference.error().message();
+
+        RunConfig MoreWorkers = Base;
+        MoreWorkers.Workers = 3;
+        auto Workers = runConfig(MoreWorkers, "");
+        ASSERT_TRUE(Workers) << Workers.error().message();
+        expectSameChampion(*Reference, *Workers,
+                           "workers=3 vs workers=1, islands=" +
+                               std::to_string(Islands));
+
+        RunConfig FileTransport = Base;
+        FileTransport.Transport = TransportKind::File;
+        FileTransport.Workers = 2;
+        auto File =
+            runConfig(FileTransport, tempMailbox("ca2a_det_sweep_mb"));
+        ASSERT_TRUE(File) << File.error().message();
+        expectSameChampion(*Reference, *File,
+                           "file vs socket, islands=" +
+                               std::to_string(Islands));
+      }
+    }
+  }
+  std::filesystem::remove_all(tempMailbox("ca2a_det_sweep_mb"));
+}
+
+// The acceptance pin: a 4-island ring over ten base seeds, bit-identical
+// across {1, 2, 4} workers per island and across both transports.
+TEST(DeterminismTest, FourIslandRingTenSeedPin) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RunConfig Base{4, TopologyKind::Ring, Seed, TransportKind::Socket, 1};
+    auto Reference = runConfig(Base, "");
+    ASSERT_TRUE(Reference) << Reference.error().message();
+
+    for (int Workers : {2, 4}) {
+      RunConfig C = Base;
+      C.Workers = Workers;
+      auto R = runConfig(C, "");
+      ASSERT_TRUE(R) << R.error().message();
+      expectSameChampion(*Reference, *R,
+                         "seed " + std::to_string(Seed) + ", workers " +
+                             std::to_string(Workers));
+    }
+    RunConfig FileTransport = Base;
+    FileTransport.Transport = TransportKind::File;
+    auto File = runConfig(FileTransport, tempMailbox("ca2a_det_pin_mb"));
+    ASSERT_TRUE(File) << File.error().message();
+    expectSameChampion(*Reference, *File,
+                       "seed " + std::to_string(Seed) + ", file transport");
+  }
+  std::filesystem::remove_all(tempMailbox("ca2a_det_pin_mb"));
+}
+
+// Migration must matter (the sweep above would pass vacuously if islands
+// never exchanged): with a ring and a tight interval, at least one island
+// accepts at least one migrant.
+TEST(DeterminismTest, IslandMigrationActuallyHappens) {
+  RunConfig C{4, TopologyKind::Ring, 3, TransportKind::Socket, 1};
+  auto R = runConfig(C, "");
+  ASSERT_TRUE(R) << R.error().message();
+  uint64_t Rounds = 0, Received = 0;
+  for (const IslandOutcome &Out : R->Islands) {
+    Rounds += Out.Migration.MigrationRounds;
+    Received += Out.Migration.MigrantsReceived;
+  }
+  EXPECT_EQ(Rounds, 4u * ((kGenerations - 1) / kInterval));
+  EXPECT_GT(Received, 0u);
+}

@@ -1,0 +1,180 @@
+//===- tests/dist/IslandTest.cpp - Island unit tests ----------------------===//
+//
+// The island building blocks below the runner: seed derivation, the
+// selectMigrants/injectMigrants pool surgery, the 1-island == plain
+// evolve equivalence, and the kill/resume contract (an island destroyed
+// mid-run and rebuilt from its checkpoint finishes bit-identically to an
+// uninterrupted one).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IslandRunner.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace ca2a;
+
+namespace {
+
+EvolutionParams miniEvolution(uint64_t Seed) {
+  EvolutionParams P;
+  P.Seed = Seed;
+  P.Fitness.Sim.MaxSteps = 60;
+  return P;
+}
+
+std::vector<InitialConfiguration> miniFields(const Torus &T) {
+  return standardConfigurationSet(T, /*NumAgents=*/4, /*NumRandomFields=*/5,
+                                  /*Seed=*/99);
+}
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "/" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace
+
+TEST(IslandTest, DeriveIslandSeedKeepsBaseForIslandZero) {
+  EXPECT_EQ(deriveIslandSeed(42, 0), 42u);
+  EXPECT_EQ(deriveIslandSeed(1, 0), 1u);
+}
+
+TEST(IslandTest, DeriveIslandSeedIsStableAndDistinct) {
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 16; ++I) {
+    uint64_t S = deriveIslandSeed(7, I);
+    EXPECT_EQ(S, deriveIslandSeed(7, I)) << "must be pure";
+    EXPECT_TRUE(Seen.insert(S).second)
+        << "islands must draw distinct streams (island " << I << ")";
+  }
+  EXPECT_NE(deriveIslandSeed(7, 1), deriveIslandSeed(8, 1))
+      << "different base seeds must not collide";
+}
+
+TEST(IslandTest, SelectMigrantsReturnsRankOrderedCopies) {
+  Torus T(GridKind::Triangulate, 16);
+  Evolution E(T, miniFields(T), miniEvolution(3));
+  E.stepGeneration();
+  std::vector<Individual> Top = E.selectMigrants(4);
+  ASSERT_EQ(Top.size(), 4u);
+  for (size_t I = 1; I != Top.size(); ++I)
+    EXPECT_LE(Top[I - 1].Fitness, Top[I].Fitness);
+  EXPECT_TRUE(Top[0].G == E.bestEver().G);
+}
+
+TEST(IslandTest, InjectMigrantsReplacesWorstOnlyWhenFitter) {
+  Torus T(GridKind::Triangulate, 16);
+  Evolution E(T, miniFields(T), miniEvolution(3));
+  E.stepGeneration();
+  int EvalsBefore = E.evaluations();
+
+  // A strictly fitter stranger (borrowed from another seed's run) must
+  // displace the worst member; re-offering it must then dedup to zero.
+  Evolution Other(T, miniFields(T), miniEvolution(1234));
+  for (int I = 0; I != 3; ++I)
+    Other.stepGeneration();
+  std::vector<Individual> Offer = Other.selectMigrants(1);
+  Offer[0].Fitness = -1.0; // Fitter than anything in E's pool.
+  EXPECT_EQ(E.injectMigrants(Offer), 1);
+  EXPECT_EQ(E.injectMigrants(Offer), 0) << "duplicates must not re-enter";
+
+  // An unfit stranger must be ignored.
+  std::vector<Individual> Unfit = Other.selectMigrants(2);
+  Unfit[1].Fitness = 1e9;
+  EXPECT_EQ(E.injectMigrants({Unfit[1]}), 0);
+
+  EXPECT_EQ(E.evaluations(), EvalsBefore)
+      << "injection must not consume evaluations";
+}
+
+TEST(IslandTest, SingleIslandRunMatchesPlainEvolve) {
+  Torus T(GridKind::Triangulate, 16);
+  std::vector<InitialConfiguration> Fields = miniFields(T);
+
+  Evolution Plain(T, Fields, miniEvolution(5));
+  for (int I = 0; I != 6; ++I)
+    Plain.stepGeneration();
+
+  IslandRunParams Params;
+  Params.NumIslands = 1;
+  Params.Topology = TopologyKind::Ring;
+  Params.MigrationInterval = 2;
+  Params.Transport = TransportKind::Socket;
+  Params.Evo = miniEvolution(5);
+  Params.Grid = T.kind();
+  Params.SideLength = T.sideLength();
+  auto Result = runIslands(T, Fields, Params, 6);
+  ASSERT_TRUE(Result) << Result.error().message();
+  EXPECT_TRUE(Result->Champion.G == Plain.bestEver().G)
+      << "a 1-island distributed run must equal a plain evolve run";
+  EXPECT_EQ(Result->Champion.Fitness, Plain.bestEver().Fitness);
+}
+
+TEST(IslandTest, KilledIslandResumesBitIdentically) {
+  Torus T(GridKind::Triangulate, 16);
+  std::vector<InitialConfiguration> Fields = miniFields(T);
+  auto Topo = MigrationTopology::create(TopologyKind::Ring, 1);
+  ASSERT_TRUE(Topo);
+
+  IslandOptions Opts;
+  Opts.Index = 0;
+  Opts.MigrationInterval = 2;
+  Opts.Grid = T.kind();
+  Opts.SideLength = T.sideLength();
+
+  // Reference: uninterrupted 8 generations.
+  auto Reference =
+      Island::create(T, Fields, miniEvolution(9), *Topo, Opts, nullptr);
+  ASSERT_TRUE(Reference) << Reference.error().message();
+  auto RefBest = (*Reference)->run(8);
+  ASSERT_TRUE(RefBest) << RefBest.error().message();
+
+  // "Killed" island: runs 5 generations, is destroyed, and a new
+  // incarnation resumes from the checkpoint to the same horizon.
+  std::string Dir = freshDir("ca2a_island_resume");
+  Opts.CheckpointPath = islandCheckpointPath(Dir, 0);
+  {
+    auto FirstLife =
+        Island::create(T, Fields, miniEvolution(9), *Topo, Opts, nullptr);
+    ASSERT_TRUE(FirstLife) << FirstLife.error().message();
+    EXPECT_FALSE((*FirstLife)->resumed());
+    ASSERT_TRUE((*FirstLife)->run(5));
+  }
+  auto SecondLife =
+      Island::create(T, Fields, miniEvolution(9), *Topo, Opts, nullptr);
+  ASSERT_TRUE(SecondLife) << SecondLife.error().message();
+  EXPECT_TRUE((*SecondLife)->resumed());
+  EXPECT_EQ((*SecondLife)->evolution().generation(), 5);
+  auto ResumedBest = (*SecondLife)->run(8);
+  ASSERT_TRUE(ResumedBest) << ResumedBest.error().message();
+
+  EXPECT_TRUE(ResumedBest->G == RefBest->G)
+      << "kill/resume must not change the champion";
+  EXPECT_EQ(ResumedBest->Fitness, RefBest->Fitness);
+  EXPECT_EQ((*SecondLife)->evolution().evaluations(),
+            (*Reference)->evolution().evaluations());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(IslandTest, ChampionSelectionIsDeterministic) {
+  IslandOutcome A;
+  A.Index = 0;
+  A.Best.Fitness = 50.0;
+  IslandOutcome B;
+  B.Index = 1;
+  B.Best.Fitness = 40.0;
+  IslandOutcome C;
+  C.Index = 2;
+  C.Best.Fitness = 40.0;
+  EXPECT_EQ(selectChampionIndex({A, B, C}), 1)
+      << "lowest fitness wins, ties break to the lowest index";
+  EXPECT_EQ(selectChampionIndex({A}), 0);
+}

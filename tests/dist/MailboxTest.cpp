@@ -1,0 +1,261 @@
+//===- tests/dist/MailboxTest.cpp - Migrant transport tests ---------------===//
+//
+// The Mailbox contract both transports must honour: content-addressed
+// delivery, idempotent re-posts (and loud rejection of conflicting ones),
+// typed timeouts, and — for the durable file transport — the checkpoint
+// recovery discipline applied to migrant blocks: a damaged primary falls
+// back to its ".bak" sibling, damage beyond recovery surfaces a typed
+// error, and a wrong-route or wrong-sequence delivery is never silently
+// injected into a pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Mailbox.h"
+#include "dist/SocketMailbox.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace ca2a;
+
+namespace {
+
+/// Real individuals from a short evolution run, so blocks carry genomes
+/// with the exact dims the validation cross-checks.
+struct BlockFixture {
+  GenomeDims Dims;
+  std::vector<Individual> Migrants;
+};
+
+BlockFixture makeFixture() {
+  Torus T(GridKind::Triangulate, 16);
+  EvolutionParams Params;
+  Params.Seed = 11;
+  Params.Fitness.Sim.MaxSteps = 60;
+  Evolution E(T, standardConfigurationSet(T, 4, 4, 5), Params);
+  E.stepGeneration();
+  BlockFixture F;
+  F.Dims = E.snapshot().Dims;
+  F.Migrants = E.selectMigrants(2);
+  return F;
+}
+
+MigrantBlock makeBlock(const BlockFixture &F, int From, int To,
+                       uint64_t Seq) {
+  MigrantBlock B;
+  B.FromIsland = From;
+  B.ToIsland = To;
+  B.Sequence = Seq;
+  B.ContextFingerprint = 0xfeedbeef;
+  B.Dims = F.Dims;
+  B.Migrants = F.Migrants;
+  return B;
+}
+
+// Per-process suffix: ctest runs this suite both as gtest-discovered
+// per-case entries and as the aggregate dist_transport_robustness entry,
+// possibly concurrently — a shared directory would let one process's
+// cleanup race the other's collect.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "/" + Name + "_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+void expectSameMigrants(const MigrantBlock &A, const MigrantBlock &B) {
+  ASSERT_EQ(A.Migrants.size(), B.Migrants.size());
+  for (size_t I = 0; I != A.Migrants.size(); ++I) {
+    EXPECT_TRUE(A.Migrants[I].G == B.Migrants[I].G);
+    EXPECT_EQ(A.Migrants[I].Fitness, B.Migrants[I].Fitness);
+    EXPECT_EQ(A.Migrants[I].SolvedFields, B.Migrants[I].SolvedFields);
+  }
+}
+
+void corruptFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_FALSE(Text.empty());
+  size_t Mid = Text.size() / 2;
+  Text[Mid] = Text[Mid] == 'a' ? 'b' : 'a';
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+}
+
+} // namespace
+
+TEST(MailboxTest, FileRoundTripsBlock) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_roundtrip");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 0, 1, 1);
+  auto Posted = Box.post(B);
+  ASSERT_TRUE(Posted) << Posted.error().message();
+  auto Collected = Box.collect(0, 1, 1, B.ContextFingerprint, 5.0);
+  ASSERT_TRUE(Collected) << Collected.error().message();
+  EXPECT_EQ(Collected->FromIsland, 0);
+  EXPECT_EQ(Collected->ToIsland, 1);
+  EXPECT_EQ(Collected->Sequence, 1u);
+  expectSameMigrants(*Collected, B);
+  EXPECT_EQ(Box.stats().Posts, 1u);
+  EXPECT_EQ(Box.stats().Collects, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileRepostIsIdempotentButConflictIsLoud) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_idempotent");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 0, 1, 1);
+  ASSERT_TRUE(Box.post(B));
+  // A resumed island replays the round with byte-identical content: fine.
+  auto Replayed = Box.post(B);
+  EXPECT_TRUE(Replayed) << Replayed.error().message();
+  // Different bytes under the same key mean the determinism contract
+  // broke somewhere — that must never be papered over.
+  MigrantBlock Conflicting = B;
+  Conflicting.Migrants[0].Fitness += 1.0;
+  auto Conflict = Box.post(Conflicting);
+  ASSERT_FALSE(Conflict);
+  EXPECT_NE(Conflict.error().message().find("different"),
+            std::string::npos);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileCollectTimesOutTyped) {
+  std::string Dir = freshDir("ca2a_mailbox_timeout");
+  FileMailbox Box(Dir);
+  auto Collected = Box.collect(0, 1, 1, 0, 0.05);
+  ASSERT_FALSE(Collected);
+  EXPECT_EQ(Collected.error().code(), ErrorCode::Timeout);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileCorruptPrimaryRecoversFromBackup) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_bak");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 2, 3, 4);
+  ASSERT_TRUE(Box.post(B));
+  corruptFile(FileMailbox::blockPath(Dir, 2, 3, 4));
+  auto Collected = Box.collect(2, 3, 4, B.ContextFingerprint, 5.0);
+  ASSERT_TRUE(Collected) << Collected.error().message();
+  expectSameMigrants(*Collected, B);
+  EXPECT_EQ(Box.stats().BackupRecoveries, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileCorruptPrimaryAndBackupSurfaceTypedError) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_bak_dead");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 0, 1, 2);
+  ASSERT_TRUE(Box.post(B));
+  std::string Primary = FileMailbox::blockPath(Dir, 0, 1, 2);
+  corruptFile(Primary);
+  corruptFile(checkpointBackupPath(Primary));
+  auto Collected = Box.collect(0, 1, 2, B.ContextFingerprint, 5.0);
+  ASSERT_FALSE(Collected) << "a doubly-damaged block must not be injected";
+  EXPECT_EQ(Collected.error().code(), ErrorCode::Corrupt);
+  EXPECT_NE(Collected.error().message().find("primary"), std::string::npos);
+  EXPECT_NE(Collected.error().message().find("backup"), std::string::npos);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileWrongSequenceDeliveryIsRejected) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_wrong_seq");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 0, 1, 1);
+  ASSERT_TRUE(Box.post(B));
+  // Misfile the round-1 block (and its backup) under the round-2 key —
+  // the stale-delivery shape a buggy deployment script could produce.
+  std::string Round1 = FileMailbox::blockPath(Dir, 0, 1, 1);
+  std::string Round2 = FileMailbox::blockPath(Dir, 0, 1, 2);
+  std::filesystem::copy_file(Round1, Round2);
+  std::filesystem::copy_file(checkpointBackupPath(Round1),
+                             checkpointBackupPath(Round2));
+  auto Collected = Box.collect(0, 1, 2, B.ContextFingerprint, 5.0);
+  ASSERT_FALSE(Collected) << "a stale round must never be injected";
+  EXPECT_EQ(Collected.error().code(), ErrorCode::Corrupt);
+  EXPECT_NE(Collected.error().message().find("sequence"),
+            std::string::npos);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, FileFingerprintMismatchIsRejected) {
+  BlockFixture F = makeFixture();
+  std::string Dir = freshDir("ca2a_mailbox_fingerprint");
+  FileMailbox Box(Dir);
+  MigrantBlock B = makeBlock(F, 0, 1, 1);
+  ASSERT_TRUE(Box.post(B));
+  auto Collected = Box.collect(0, 1, 1, B.ContextFingerprint + 1, 5.0);
+  ASSERT_FALSE(Collected);
+  EXPECT_EQ(Collected.error().code(), ErrorCode::Corrupt);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(MailboxTest, SocketRoundTripsBlock) {
+  BlockFixture F = makeFixture();
+  auto Server = SocketMailboxServer::listen();
+  ASSERT_TRUE(Server) << Server.error().message();
+  auto Client = SocketMailbox::connect("127.0.0.1", (*Server)->port());
+  ASSERT_TRUE(Client) << Client.error().message();
+  MigrantBlock B = makeBlock(F, 1, 2, 3);
+  auto Posted = (*Client)->post(B);
+  ASSERT_TRUE(Posted) << Posted.error().message();
+  auto Collected = (*Client)->collect(1, 2, 3, B.ContextFingerprint, 5.0);
+  ASSERT_TRUE(Collected) << Collected.error().message();
+  expectSameMigrants(*Collected, B);
+}
+
+TEST(MailboxTest, SocketRepostIsIdempotentButConflictIsLoud) {
+  BlockFixture F = makeFixture();
+  auto Server = SocketMailboxServer::listen();
+  ASSERT_TRUE(Server) << Server.error().message();
+  auto Client = SocketMailbox::connect("127.0.0.1", (*Server)->port());
+  ASSERT_TRUE(Client) << Client.error().message();
+  MigrantBlock B = makeBlock(F, 0, 1, 1);
+  ASSERT_TRUE((*Client)->post(B));
+  EXPECT_TRUE((*Client)->post(B));
+  MigrantBlock Conflicting = B;
+  Conflicting.Migrants[0].Fitness += 1.0;
+  auto Conflict = (*Client)->post(Conflicting);
+  ASSERT_FALSE(Conflict);
+  EXPECT_NE(Conflict.error().message().find("different"),
+            std::string::npos);
+}
+
+TEST(MailboxTest, SocketCollectTimesOutTyped) {
+  auto Server = SocketMailboxServer::listen();
+  ASSERT_TRUE(Server) << Server.error().message();
+  auto Client = SocketMailbox::connect("127.0.0.1", (*Server)->port());
+  ASSERT_TRUE(Client) << Client.error().message();
+  auto Collected = (*Client)->collect(0, 1, 9, 0, 0.05);
+  ASSERT_FALSE(Collected);
+  EXPECT_EQ(Collected.error().code(), ErrorCode::Timeout);
+}
+
+TEST(MailboxTest, SocketDeliversAcrossClients) {
+  BlockFixture F = makeFixture();
+  auto Server = SocketMailboxServer::listen();
+  ASSERT_TRUE(Server) << Server.error().message();
+  auto Sender = SocketMailbox::connect("127.0.0.1", (*Server)->port());
+  auto Receiver = SocketMailbox::connect("127.0.0.1", (*Server)->port());
+  ASSERT_TRUE(Sender);
+  ASSERT_TRUE(Receiver);
+  MigrantBlock B = makeBlock(F, 3, 0, 2);
+  ASSERT_TRUE((*Sender)->post(B));
+  auto Collected = (*Receiver)->collect(3, 0, 2, B.ContextFingerprint, 5.0);
+  ASSERT_TRUE(Collected) << Collected.error().message();
+  expectSameMigrants(*Collected, B);
+}

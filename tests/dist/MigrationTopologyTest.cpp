@@ -1,0 +1,84 @@
+//===- tests/dist/MigrationTopologyTest.cpp - Exchange graph tests --------===//
+//
+// The static exchange graphs of dist/MigrationTopology.h: edge sets are a
+// pure function of (kind, island count), neighbour lists are sorted, and
+// invalid configurations fail with a typed error instead of producing a
+// half-formed graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/MigrationTopology.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ca2a;
+
+TEST(MigrationTopologyTest, RingEdges) {
+  auto Topo = MigrationTopology::create(TopologyKind::Ring, 4);
+  ASSERT_TRUE(Topo) << Topo.error().message();
+  EXPECT_EQ(Topo->numIslands(), 4);
+  EXPECT_EQ(Topo->numEdges(), 4u);
+  for (int I = 0; I != 4; ++I) {
+    EXPECT_EQ(Topo->outNeighbors(I), std::vector<int>{(I + 1) % 4});
+    EXPECT_EQ(Topo->inNeighbors(I), std::vector<int>{(I + 3) % 4});
+  }
+}
+
+TEST(MigrationTopologyTest, SingleIslandRingHasNoEdges) {
+  auto Topo = MigrationTopology::create(TopologyKind::Ring, 1);
+  ASSERT_TRUE(Topo) << Topo.error().message();
+  EXPECT_EQ(Topo->numEdges(), 0u);
+  EXPECT_TRUE(Topo->outNeighbors(0).empty());
+  EXPECT_TRUE(Topo->inNeighbors(0).empty());
+}
+
+TEST(MigrationTopologyTest, HypercubeEdgesAreXorNeighboursSorted) {
+  auto Topo = MigrationTopology::create(TopologyKind::Hypercube, 8);
+  ASSERT_TRUE(Topo) << Topo.error().message();
+  // N * log2(N) directed edges, bidirectional.
+  EXPECT_EQ(Topo->numEdges(), 24u);
+  for (int I = 0; I != 8; ++I) {
+    std::vector<int> Want = {I ^ 1, I ^ 2, I ^ 4};
+    std::sort(Want.begin(), Want.end());
+    EXPECT_EQ(Topo->outNeighbors(I), Want);
+    EXPECT_EQ(Topo->inNeighbors(I), Want);
+  }
+}
+
+TEST(MigrationTopologyTest, NoneHasNoEdges) {
+  auto Topo = MigrationTopology::create(TopologyKind::None, 6);
+  ASSERT_TRUE(Topo) << Topo.error().message();
+  EXPECT_EQ(Topo->numEdges(), 0u);
+  for (int I = 0; I != 6; ++I)
+    EXPECT_TRUE(Topo->outNeighbors(I).empty());
+}
+
+TEST(MigrationTopologyTest, HypercubeRejectsNonPowerOfTwo) {
+  for (int N : {3, 5, 6, 12}) {
+    auto Topo = MigrationTopology::create(TopologyKind::Hypercube, N);
+    ASSERT_FALSE(Topo) << "hypercube over " << N << " islands must fail";
+    EXPECT_EQ(Topo.error().code(), ErrorCode::InvalidArgument);
+  }
+}
+
+TEST(MigrationTopologyTest, RejectsNonPositiveIslandCounts) {
+  for (int N : {0, -1}) {
+    auto Topo = MigrationTopology::create(TopologyKind::Ring, N);
+    ASSERT_FALSE(Topo);
+    EXPECT_EQ(Topo.error().code(), ErrorCode::InvalidArgument);
+  }
+}
+
+TEST(MigrationTopologyTest, NamesRoundTrip) {
+  for (TopologyKind Kind :
+       {TopologyKind::None, TopologyKind::Ring, TopologyKind::Hypercube}) {
+    TopologyKind Parsed;
+    ASSERT_TRUE(parseTopologyKind(topologyKindName(Kind), Parsed));
+    EXPECT_EQ(Parsed, Kind);
+  }
+  TopologyKind Ignored;
+  EXPECT_FALSE(parseTopologyKind("torus", Ignored));
+  EXPECT_FALSE(parseTopologyKind("", Ignored));
+}

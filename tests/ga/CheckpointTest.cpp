@@ -521,3 +521,104 @@ TEST(CheckpointTest, ChaosReadFailuresAreRetriedThenSurfaceTyped) {
 }
 
 #endif // CA2A_CHAOS_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Migrant blocks (the island-model wire format, dist/Mailbox transport)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+MigrantBlock makeMigrantBlock(const Torus &T) {
+  EvolutionParams Params = miniEvolution();
+  Evolution E(T, miniFields(T), Params);
+  E.stepGeneration();
+  MigrantBlock B;
+  B.FromIsland = 1;
+  B.ToIsland = 2;
+  B.Sequence = 3;
+  B.ContextFingerprint = 0xabad1dea;
+  B.Dims = E.snapshot().Dims;
+  B.Migrants = E.selectMigrants(3);
+  return B;
+}
+
+} // namespace
+
+TEST(CheckpointTest, MigrantBlockRoundTripsExactly) {
+  Torus T(GridKind::Triangulate, 16);
+  MigrantBlock B = makeMigrantBlock(T);
+  std::string Text = serializeMigrantBlock(B);
+  auto Parsed = parseMigrantBlock(Text);
+  ASSERT_TRUE(Parsed) << Parsed.error().message();
+  EXPECT_EQ(Parsed->FromIsland, B.FromIsland);
+  EXPECT_EQ(Parsed->ToIsland, B.ToIsland);
+  EXPECT_EQ(Parsed->Sequence, B.Sequence);
+  EXPECT_EQ(Parsed->ContextFingerprint, B.ContextFingerprint);
+  ASSERT_EQ(Parsed->Migrants.size(), B.Migrants.size());
+  for (size_t I = 0; I != B.Migrants.size(); ++I)
+    expectSameIndividual(Parsed->Migrants[I], B.Migrants[I]);
+  // Serialization is canonical: re-serializing reproduces the bytes the
+  // mailbox idempotence check compares.
+  EXPECT_EQ(serializeMigrantBlock(*Parsed), Text);
+}
+
+TEST(CheckpointTest, MigrantCorruptionMatrixYieldsTypedErrors) {
+  Torus T(GridKind::Triangulate, 16);
+  std::string Text = serializeMigrantBlock(makeMigrantBlock(T));
+
+  // Truncation at every structural boundary: never a crash, never a
+  // silently short block — always a typed Corrupt error.
+  for (size_t Frac : {1u, 2u, 3u}) {
+    auto Parsed = parseMigrantBlock(Text.substr(0, Frac * Text.size() / 4));
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::Corrupt);
+  }
+
+  // A flipped payload byte breaks the checksum.
+  {
+    std::string Bad = Text;
+    size_t Mid = Bad.size() / 2;
+    Bad[Mid] = Bad[Mid] == '0' ? '1' : '0';
+    auto Parsed = parseMigrantBlock(Bad);
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::Corrupt);
+    EXPECT_NE(Parsed.error().message().find("checksum"), std::string::npos);
+  }
+
+  // Unknown wire version is a VersionMismatch, not Corrupt: the reader
+  // should say "upgrade me", not "your disk is broken".
+  {
+    std::string Bad = Text;
+    size_t V = Bad.find("v1");
+    ASSERT_NE(V, std::string::npos);
+    Bad.replace(V, 2, "v9");
+    auto Parsed = parseMigrantBlock(Bad);
+    ASSERT_FALSE(Parsed);
+    EXPECT_EQ(Parsed.error().code(), ErrorCode::VersionMismatch);
+  }
+
+  EXPECT_FALSE(parseMigrantBlock(""));
+  EXPECT_FALSE(parseMigrantBlock("not a migrant block\n"));
+}
+
+TEST(CheckpointTest, MigrantValidationRejectsMisrouting) {
+  Torus T(GridKind::Triangulate, 16);
+  MigrantBlock B = makeMigrantBlock(T);
+
+  ASSERT_TRUE(validateMigrantBlock(B, 1, 2, 3, B.ContextFingerprint));
+  // Fingerprint 0 = "don't check" (a fresh island has no context yet).
+  ASSERT_TRUE(validateMigrantBlock(B, 1, 2, 3, 0));
+
+  auto WrongRoute = validateMigrantBlock(B, 0, 2, 3, B.ContextFingerprint);
+  ASSERT_FALSE(WrongRoute);
+  EXPECT_EQ(WrongRoute.error().code(), ErrorCode::Corrupt);
+
+  auto WrongSeq = validateMigrantBlock(B, 1, 2, 4, B.ContextFingerprint);
+  ASSERT_FALSE(WrongSeq);
+  EXPECT_EQ(WrongSeq.error().code(), ErrorCode::Corrupt);
+  EXPECT_NE(WrongSeq.error().message().find("sequence"), std::string::npos);
+
+  auto WrongContext = validateMigrantBlock(B, 1, 2, 3, 0xdeadbeef);
+  ASSERT_FALSE(WrongContext);
+  EXPECT_EQ(WrongContext.error().code(), ErrorCode::Corrupt);
+}

@@ -102,3 +102,60 @@ TEST(CommandLineTest, HelpRequested) {
   EXPECT_NE(Usage.find("--size"), std::string::npos);
   EXPECT_NE(Usage.find("default: 0"), std::string::npos);
 }
+
+namespace {
+/// Mirrors the evolve/pipeline --workers contract: at least one thread,
+/// bounded above so a typo cannot spawn a million workers.
+Expected<bool> parseWorkers(int64_t &Workers,
+                            std::vector<const char *> Args) {
+  CommandLine CL("test", "test");
+  CL.addInt("workers", "worker threads", &Workers, 1, 4096);
+  Args.insert(Args.begin(), "prog");
+  return CL.parse(static_cast<int>(Args.size()), Args.data());
+}
+} // namespace
+
+TEST(CommandLineTest, RangeRejectsZeroWorkers) {
+  int64_t Workers = 1;
+  auto R = parseWorkers(Workers, {"--workers=0"});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(R.error().message().find("--workers"), std::string::npos);
+  EXPECT_NE(R.error().message().find("out of range"), std::string::npos);
+  EXPECT_EQ(Workers, 1) << "rejected value must not leak into the target";
+}
+
+TEST(CommandLineTest, RangeRejectsNegativeValues) {
+  int64_t Workers = 1;
+  auto R = parseWorkers(Workers, {"--workers=-3"});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(Workers, 1);
+}
+
+TEST(CommandLineTest, RangeRejectsAboveMax) {
+  int64_t Workers = 1;
+  auto R = parseWorkers(Workers, {"--workers=5000"});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(CommandLineTest, RangeAcceptsBoundaryValues) {
+  int64_t Workers = 1;
+  ASSERT_TRUE(parseWorkers(Workers, {"--workers=1"}));
+  EXPECT_EQ(Workers, 1);
+  ASSERT_TRUE(parseWorkers(Workers, {"--workers=4096"}));
+  EXPECT_EQ(Workers, 4096);
+}
+
+TEST(CommandLineTest, RangeDoesNotCheckUntouchedDefaults) {
+  // bench_batch-style sentinel: 0 means "use hardware concurrency" and
+  // is the default, while explicit values must be >= 0. A default
+  // outside the explicit range must survive an unrelated parse.
+  int64_t Workers = -7; // Deliberately out-of-range default.
+  CommandLine CL("test", "test");
+  CL.addInt("workers", "worker threads", &Workers, 0, 4096);
+  const char *Args[] = {"prog"};
+  ASSERT_TRUE(CL.parse(1, Args));
+  EXPECT_EQ(Workers, -7);
+}
