@@ -62,13 +62,19 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # match): the rmaj64 slab machinery draws per-replica fault streams in
 # plain C++ outside the kernel files, so those translation units are
 # pinned by name — a rename or move must update this list consciously.
-DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent", "src/dist"]
+DEFAULT_PATHS = ["src/sim", "src/ga", "src/agent", "src/dist", "src/support"]
 REQUIRED_COVERAGE = [
     os.path.join("src", "dist"),
     os.path.join("src", "sim", "simd"),
     os.path.join("src", "sim", "simd", "ReplicaSlab.cpp"),
     os.path.join("src", "sim", "simd", "KernelRMaj64.cpp"),
     os.path.join("src", "sim", "BatchEngine.cpp"),
+    # Chaos draws per-site seeded fault streams and the supervisor owns
+    # the retry/watchdog clocks: both must stay under the determinism
+    # lint's eye (wall-clock use there needs an explicit pragma).
+    os.path.join("src", "support"),
+    os.path.join("src", "support", "Chaos.cpp"),
+    os.path.join("src", "support", "Supervisor.cpp"),
 ]
 FIXTURE_DIR = os.path.join("tests", "lint", "fixtures")
 SOURCE_EXTS = {".cpp", ".h", ".hpp", ".cc", ".hh"}

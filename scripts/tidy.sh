@@ -17,6 +17,16 @@
 #   tidy.sh                    lint, fail on findings not in the baseline
 #   tidy.sh --update-baseline  rewrite the baseline from the current tree
 #
+# Environment:
+#   BUILD_DIR        reuse this configured build's compile_commands.json
+#                    (bench_smoke.sh/chaos_resume.sh convention) instead of
+#                    configuring a private build-tidy tree.
+#   CA2A_TIDY_MAJOR  pin the clang-tidy major version (e.g. 18). When set,
+#                    only clang-tidy-<major> (or a matching plain
+#                    clang-tidy) is accepted and its absence is a hard
+#                    FAILURE, not a skip — CI sets this so baselines can't
+#                    drift when the runner image updates.
+#
 # Containers without clang-tidy (the dev VM bakes only the gcc toolchain)
 # get a loud SKIP, not a failure: the gating run is CI's clang-tidy job.
 #
@@ -30,24 +40,41 @@ UPDATE=0
 [ "${1:-}" = "--update-baseline" ] && UPDATE=1
 
 TIDY=""
-for CANDIDATE in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
-  clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
-  if command -v "$CANDIDATE" >/dev/null 2>&1; then
-    TIDY="$CANDIDATE"
-    break
+if [ -n "${CA2A_TIDY_MAJOR:-}" ]; then
+  if command -v "clang-tidy-$CA2A_TIDY_MAJOR" >/dev/null 2>&1; then
+    TIDY="clang-tidy-$CA2A_TIDY_MAJOR"
+  elif command -v clang-tidy >/dev/null 2>&1 &&
+    clang-tidy --version | grep -q "version $CA2A_TIDY_MAJOR\."; then
+    TIDY=clang-tidy
+  else
+    echo "tidy.sh: FAIL — CA2A_TIDY_MAJOR=$CA2A_TIDY_MAJOR is pinned but" \
+      "clang-tidy-$CA2A_TIDY_MAJOR is not installed (install the pinned" \
+      "major; do not fall back to whatever the image ships, the baseline" \
+      "is only meaningful against one version)" >&2
+    exit 1
   fi
-done
+else
+  for CANDIDATE in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+    clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$CANDIDATE" >/dev/null 2>&1; then
+      TIDY="$CANDIDATE"
+      break
+    fi
+  done
+fi
 if [ -z "$TIDY" ]; then
   echo "tidy.sh: SKIP — clang-tidy not installed (CI runs the gating job;" \
     "apt-get install clang-tidy to run locally)" >&2
   exit 0
 fi
 
-BUILD=build-tidy
-GENERATOR=()
-command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
-cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-  >/dev/null
+BUILD="${BUILD_DIR:-build-tidy}"
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  GENERATOR=()
+  command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+  cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+fi
 
 # Normalised findings: "file:line:col: warning: ... [check]" with the repo
 # prefix stripped, sorted, deduplicated. Notes and compiler warnings from

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+#===- scripts/verify_all.sh - one-stop static verification ---------------===#
+#
+# Part of the ca2a project: reproduction of Hoffmann & Désérable,
+# "CA Agents for All-to-All Communication Are Faster in the Triangulate
+# Grid" (PaCT 2013).
+#
+# Runs every static gate against ONE shared compilation database:
+#
+#   1. clang-tidy vs its committed baseline        (scripts/tidy.sh)
+#   2. determinism lint, self-test then tree scan  (scripts/lint_determinism.py)
+#   3. ca2a-verify, self-test + mutation-check,
+#      then tree scan vs its empty baseline        (tools/verify/ca2a_verify.py)
+#
+# Honors BUILD_DIR like bench_smoke.sh/chaos_resume.sh: point it at an
+# already-configured build to reuse its compile_commands.json; otherwise a
+# configure-only pass creates one in ./build (no compilation needed — the
+# analyzers only read the database).
+#
+# Every stage runs even after a failure so one invocation reports the full
+# picture; the exit status is the number of failed stages.
+#
+#===----------------------------------------------------------------------===#
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  GENERATOR=()
+  command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+  echo "verify_all.sh: configuring $BUILD for compile_commands.json"
+  cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+fi
+
+FAILED=0
+run_stage() {
+  local NAME="$1"
+  shift
+  echo "==== $NAME ===="
+  if "$@"; then
+    echo "==== $NAME: OK ===="
+  else
+    echo "==== $NAME: FAILED ===="
+    FAILED=$((FAILED + 1))
+  fi
+}
+
+run_stage "clang-tidy"            env BUILD_DIR="$BUILD" scripts/tidy.sh
+run_stage "det-lint self-test"    python3 scripts/lint_determinism.py --self-test
+run_stage "det-lint"              python3 scripts/lint_determinism.py --compdb "$BUILD"
+run_stage "ca2a-verify self-test" python3 tools/verify/ca2a_verify.py --self-test
+run_stage "ca2a-verify mutations" python3 tools/verify/ca2a_verify.py --mutation-check
+run_stage "ca2a-verify"           python3 tools/verify/ca2a_verify.py --compdb "$BUILD"
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "verify_all.sh: $FAILED stage(s) FAILED"
+  exit "$FAILED"
+fi
+echo "verify_all.sh: all stages OK"

@@ -61,7 +61,7 @@ Action decodeAction(int Index);
 std::string actionMnemonic(const Action &A);
 
 /// Parses an actionMnemonic back into an Action.
-Expected<Action> parseActionMnemonic(const std::string &Text);
+[[nodiscard]] Expected<Action> parseActionMnemonic(const std::string &Text);
 
 } // namespace ca2a
 

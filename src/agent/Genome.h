@@ -148,7 +148,7 @@ public:
   std::string toCompactString() const;
 
   /// Parses toCompactString() output (with or without a dims prefix).
-  static Expected<Genome> fromCompactString(const std::string &Text);
+  [[nodiscard]] static Expected<Genome> fromCompactString(const std::string &Text);
 
   /// Pretty-prints the state table in the layout of the paper's Fig. 3/4
   /// (rows: blocked / color / frontcolor / state / nextstate / setcolor /

@@ -37,7 +37,7 @@ struct NamedGenome {
 /// Parses a library from text. Lines starting with '#' and blank lines
 /// are skipped; any malformed line fails the whole parse with a
 /// line-numbered message.
-Expected<std::vector<NamedGenome>> parseGenomeLibrary(const std::string &Text);
+[[nodiscard]] Expected<std::vector<NamedGenome>> parseGenomeLibrary(const std::string &Text);
 
 /// Formats a library; round-trips through parseGenomeLibrary.
 std::string formatGenomeLibrary(const std::vector<NamedGenome> &Library);
@@ -47,10 +47,10 @@ const NamedGenome *findGenome(const std::vector<NamedGenome> &Library,
                               const std::string &Name);
 
 /// Loads a library from \p Path (readFile + parseGenomeLibrary).
-Expected<std::vector<NamedGenome>> loadGenomeLibrary(const std::string &Path);
+[[nodiscard]] Expected<std::vector<NamedGenome>> loadGenomeLibrary(const std::string &Path);
 
 /// Saves \p Library to \p Path.
-Expected<bool> saveGenomeLibrary(const std::string &Path,
+[[nodiscard]] Expected<bool> saveGenomeLibrary(const std::string &Path,
                                  const std::vector<NamedGenome> &Library);
 
 } // namespace ca2a

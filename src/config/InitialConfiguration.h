@@ -44,7 +44,7 @@ struct InitialConfiguration {
   std::string serialize() const;
 
   /// Parses serialize() output (lines split on '\n'; blank lines ignored).
-  static Expected<InitialConfiguration> deserialize(const std::string &Text);
+  [[nodiscard]] static Expected<InitialConfiguration> deserialize(const std::string &Text);
 };
 
 /// Uniformly random configuration: \p NumAgents distinct cells, uniform

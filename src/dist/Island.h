@@ -82,7 +82,7 @@ public:
   /// consulted when the primary is damaged). \p Evo.Seed must already be
   /// the island's derived seed. \p Box may be null only when the
   /// topology gives this island no edges.
-  static Expected<std::unique_ptr<Island>>
+  [[nodiscard]] static Expected<std::unique_ptr<Island>>
   create(const Torus &T, std::vector<InitialConfiguration> TrainingFields,
          const EvolutionParams &Evo, const MigrationTopology &Topo,
          const IslandOptions &Opts, Mailbox *Box);
@@ -91,7 +91,7 @@ public:
   /// resumed island continues where it left off). \p OnGeneration (may be
   /// empty) observes each generation. Returns the island's best-ever
   /// individual; a transport or checkpoint failure aborts with its error.
-  Expected<Individual>
+  [[nodiscard]] Expected<Individual>
   run(int Generations,
       const std::function<void(const GenerationStats &)> &OnGeneration = {});
 
@@ -109,7 +109,7 @@ private:
 
   /// One exchange: post this island's block to every out-neighbour, then
   /// collect and inject from every in-neighbour in ascending order.
-  Expected<bool> migrate(uint64_t Seq, Mailbox &Box);
+  [[nodiscard]] Expected<bool> migrate(uint64_t Seq, Mailbox &Box);
 
   std::vector<InitialConfiguration> TrainingFields;
   EvolutionParams EvoParams;

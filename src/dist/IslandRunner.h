@@ -93,7 +93,7 @@ int selectChampionIndex(const std::vector<IslandOutcome> &Islands);
 /// as a self-addressed migrant block (route i -> i, sequence 0) — the
 /// chaos-hardened durable-write path — so a multi-process deployment can
 /// aggregate champions with collectIslandResult. Idempotent on re-runs.
-Expected<bool> postIslandResult(const std::string &MailboxDir, int Index,
+[[nodiscard]] Expected<bool> postIslandResult(const std::string &MailboxDir, int Index,
                                 const Individual &Best,
                                 const GenomeDims &Dims,
                                 uint64_t ContextFingerprint,
@@ -101,7 +101,7 @@ Expected<bool> postIslandResult(const std::string &MailboxDir, int Index,
 
 /// Reads back a postIslandResult block (with ".bak" recovery), waiting
 /// up to \p DeadlineSeconds for a straggler island process to publish.
-Expected<Individual> collectIslandResult(const std::string &MailboxDir,
+[[nodiscard]] Expected<Individual> collectIslandResult(const std::string &MailboxDir,
                                          int Index,
                                          uint64_t ContextFingerprint,
                                          double DeadlineSeconds,
@@ -116,7 +116,7 @@ using IslandProgressFn =
 /// Runs all islands to \p Generations and aggregates. Fails with the
 /// lowest-indexed island's error when any island aborts (transport,
 /// checkpoint or configuration failure).
-Expected<IslandRunResult>
+[[nodiscard]] Expected<IslandRunResult>
 runIslands(const Torus &T,
            const std::vector<InitialConfiguration> &TrainingFields,
            const IslandRunParams &Params, int Generations,

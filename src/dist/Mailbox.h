@@ -60,7 +60,7 @@ public:
   /// that parses and validates. Errors classify as Io (the medium
   /// failed), Exhausted (retries did not produce a valid copy) or
   /// Injected (chaos, out of retries).
-  virtual Expected<bool> post(const MigrantBlock &Block) = 0;
+  [[nodiscard]] virtual Expected<bool> post(const MigrantBlock &Block) = 0;
 
   /// Waits for the block keyed (From, To, Seq), validates it against the
   /// route, the sequence and \p ContextFingerprint (see
@@ -69,7 +69,7 @@ public:
   /// damaged beyond the transport's own recovery fails immediately with
   /// ErrorCode::Corrupt — a typed error, never a silent skip. A lapsed
   /// deadline classifies as ErrorCode::Timeout.
-  virtual Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+  [[nodiscard]] virtual Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
                                          uint64_t ContextFingerprint,
                                          double DeadlineSeconds) = 0;
 
@@ -101,8 +101,8 @@ public:
   static std::string blockPath(const std::string &Dir, int From, int To,
                                uint64_t Seq);
 
-  Expected<bool> post(const MigrantBlock &Block) override;
-  Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+  [[nodiscard]] Expected<bool> post(const MigrantBlock &Block) override;
+  [[nodiscard]] Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
                                  uint64_t ContextFingerprint,
                                  double DeadlineSeconds) override;
 

@@ -61,7 +61,7 @@ public:
   /// Builds the graph. Fails with ErrorCode::InvalidArgument when
   /// \p NumIslands < 1 or a hypercube is requested for a non-power-of-two
   /// island count.
-  static Expected<MigrationTopology> create(TopologyKind Kind,
+  [[nodiscard]] static Expected<MigrationTopology> create(TopologyKind Kind,
                                             int NumIslands);
 
   TopologyKind kind() const { return Kind; }

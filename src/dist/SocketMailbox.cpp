@@ -2,8 +2,10 @@
 
 #include "dist/SocketMailbox.h"
 
+#include "support/Chaos.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstring>
@@ -22,6 +24,8 @@ namespace {
 /// block (a full pool of the largest supported genomes) is far below it.
 constexpr uint32_t MaxFrameBytes = 16u << 20;
 
+// verify-lint: chaos-site(ckpt.write) faults are drawn in post(); this is
+// the transport primitive running under that site's injection boundary.
 bool sendAll(int Fd, const void *Data, size_t Len) {
   const char *P = static_cast<const char *>(Data);
   while (Len != 0) {
@@ -37,6 +41,8 @@ bool sendAll(int Fd, const void *Data, size_t Len) {
   return true;
 }
 
+// verify-lint: chaos-site(ckpt.read) faults are drawn in collect(); this
+// is the transport primitive running under that site's injection boundary.
 bool recvAll(int Fd, void *Data, size_t Len) {
   char *P = static_cast<char *>(Data);
   while (Len != 0) {
@@ -157,6 +163,7 @@ SocketMailboxServer::~SocketMailboxServer() {
 
 void SocketMailboxServer::acceptLoop() {
   while (true) {
+    // verify-lint: allow(chaos-coverage) connection plumbing, not the migrant data path — faults are modelled at the ckpt.* client sites
     int Conn = ::accept(ListenFd, nullptr, nullptr);
     if (Conn < 0) {
       if (errno == EINTR)
@@ -263,6 +270,7 @@ SocketMailbox::connect(const std::string &Host, int Port, RetryPolicy Retry) {
     if (Fd < 0)
       return makeError(ErrorCode::Io,
                        std::string("socket(): ") + std::strerror(errno));
+    // verify-lint: allow(chaos-coverage) connection setup has its own ECONNREFUSED retry budget; data-path faults live at the ckpt.* sites
     if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
         0) {
       setNoDelay(Fd);
@@ -304,35 +312,94 @@ Expected<std::string> SocketMailbox::roundTrip(const std::string &Request) {
 }
 
 Expected<bool> SocketMailbox::post(const MigrantBlock &Block) {
-  auto Reply = roundTrip("post\n" + serializeMigrantBlock(Block));
-  if (!Reply)
-    return Reply.error();
-  if (Reply->rfind("ok", 0) == 0) {
-    ++Stats.Posts;
-    return true;
+  std::string Text = serializeMigrantBlock(Block);
+  // Same publish discipline as FileMailbox::post: the chaos ckpt.write
+  // site may corrupt the payload or fail the attempt, every retry starts
+  // from the pristine serialisation, and the server's parse+checksum
+  // validation stands in for the file transport's read-back — only bytes
+  // that validate are published under the key. Without an installed
+  // chaos runtime the first attempt succeeds and this is one roundTrip.
+  int MaxAttempts = std::max(Retry.MaxAttempts, 10);
+  Error LastError = makeError("");
+  for (int Attempt = 0;; ++Attempt) {
+    if (Attempt >= MaxAttempts)
+      return makeError(ErrorCode::Exhausted,
+                       "mailbox post failed after " +
+                           std::to_string(MaxAttempts) +
+                           " attempts: " + LastError.message());
+    if (Attempt > 0) {
+      ++Stats.WriteRetries;
+      backoffSleep(Retry, Attempt - 1);
+    }
+    std::string Attempted = Text;
+    uint64_t Draw = chaosCorruptDraw(ChaosSite::CheckpointWrite);
+    if (Draw)
+      chaosCorruptPayload(Attempted, Draw);
+    try {
+      chaosPoint(ChaosSite::CheckpointWrite);
+    } catch (const std::exception &Ex) {
+      LastError = makeError(ErrorCode::Injected, Ex.what());
+      continue;
+    }
+    auto Reply = roundTrip("post\n" + Attempted);
+    if (!Reply)
+      return Reply.error(); // Transport down: retries cannot help.
+    if (Reply->rfind("ok", 0) == 0) {
+      ++Stats.Posts;
+      return true;
+    }
+    std::string Msg =
+        Reply->rfind("err ", 0) == 0
+            ? std::string(trim(Reply->substr(4)))
+            : std::string("unintelligible reply");
+    if (Draw) {
+      // The server refusing a deliberately-damaged attempt is its
+      // validator doing its job; go around with the pristine bytes.
+      LastError = makeError(ErrorCode::Corrupt, Msg);
+      continue;
+    }
+    return makeError(ErrorCode::Io, "mailbox post rejected: " + Msg);
   }
-  if (Reply->rfind("err ", 0) == 0)
-    return makeError(ErrorCode::Io, "mailbox post rejected: " +
-                                        std::string(trim(Reply->substr(4))));
-  return makeError(ErrorCode::Io, "mailbox post: unintelligible reply");
 }
 
 Expected<MigrantBlock> SocketMailbox::collect(int From, int To, uint64_t Seq,
                                               uint64_t ContextFingerprint,
                                               double DeadlineSeconds) {
-  std::string Request =
-      formatString("get %d %d %" PRIu64 " %d\n", From, To, Seq,
-                   static_cast<int>(DeadlineSeconds * 1000.0));
-  auto Reply = roundTrip(Request);
-  if (!Reply)
-    return Reply.error();
-  if (Reply->rfind("timeout", 0) == 0)
+  double Start = monotonicSeconds();
+  // A chaos ckpt.read fault is transient here exactly as it is for the
+  // file transport: poll again within the caller's deadline budget. The
+  // capped backoff matches FileMailbox::collect's polling policy.
+  RetryPolicy Poll = Retry;
+  Poll.MaxDelayMicros = std::min(Poll.MaxDelayMicros, 2000);
+  auto TimedOut = [&]() {
     return makeError(
         ErrorCode::Timeout,
         formatString("mailbox collect (%d -> %d seq %" PRIu64
                      ") timed out after %.1fs "
                      "(sending island dead or stalled?)",
                      From, To, Seq, DeadlineSeconds));
+  };
+  Expected<std::string> Reply = std::string();
+  for (int Attempt = 0;; ++Attempt) {
+    double Remaining = DeadlineSeconds - (monotonicSeconds() - Start);
+    if (Remaining <= 0.0)
+      return TimedOut();
+    try {
+      chaosPoint(ChaosSite::CheckpointRead);
+    } catch (const std::exception &) {
+      backoffSleep(Poll, Attempt);
+      continue;
+    }
+    std::string Request =
+        formatString("get %d %d %" PRIu64 " %d\n", From, To, Seq,
+                     static_cast<int>(Remaining * 1000.0));
+    Reply = roundTrip(Request);
+    break;
+  }
+  if (!Reply)
+    return Reply.error();
+  if (Reply->rfind("timeout", 0) == 0)
+    return TimedOut();
   if (Reply->rfind("err ", 0) == 0)
     return makeError(ErrorCode::Io,
                      "mailbox collect rejected: " +

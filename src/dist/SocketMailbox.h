@@ -51,7 +51,7 @@ class SocketMailboxServer {
 public:
   /// Binds 127.0.0.1:\p Port (0 = kernel-assigned ephemeral port, the
   /// default for in-process runs) and starts the accept loop.
-  static Expected<std::unique_ptr<SocketMailboxServer>> listen(int Port = 0);
+  [[nodiscard]] static Expected<std::unique_ptr<SocketMailboxServer>> listen(int Port = 0);
 
   /// Stops accepting, closes every connection, joins all threads.
   ~SocketMailboxServer();
@@ -88,7 +88,7 @@ public:
   /// Connects to \p Host:\p Port. \p Retry paces reconnect-free request
   /// retries (the connection itself is not re-established; a broken
   /// socket is a hard Io error — supervise at the island level).
-  static Expected<std::unique_ptr<SocketMailbox>>
+  [[nodiscard]] static Expected<std::unique_ptr<SocketMailbox>>
   connect(const std::string &Host, int Port,
           RetryPolicy Retry = RetryPolicy());
 
@@ -97,8 +97,8 @@ public:
   SocketMailbox(const SocketMailbox &) = delete;
   SocketMailbox &operator=(const SocketMailbox &) = delete;
 
-  Expected<bool> post(const MigrantBlock &Block) override;
-  Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
+  [[nodiscard]] Expected<bool> post(const MigrantBlock &Block) override;
+  [[nodiscard]] Expected<MigrantBlock> collect(int From, int To, uint64_t Seq,
                                  uint64_t ContextFingerprint,
                                  double DeadlineSeconds) override;
 
@@ -106,7 +106,7 @@ private:
   SocketMailbox() = default;
 
   /// Sends one framed request and reads one framed reply.
-  Expected<std::string> roundTrip(const std::string &Request);
+  [[nodiscard]] Expected<std::string> roundTrip(const std::string &Request);
 
   int Fd = -1;
   RetryPolicy Retry;

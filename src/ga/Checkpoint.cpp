@@ -33,7 +33,7 @@ std::string formatIndividual(const char *Tag, const Individual &Ind) {
 /// Parses one "<tag> fitness <f> solved <n> successful <0|1> genome <g>"
 /// line into \p Out. The genome itself is whitespace-separated 4-digit
 /// groups, so everything from token 8 on belongs to it.
-Expected<bool> parseIndividual(const std::vector<std::string> &Tokens,
+[[nodiscard]] Expected<bool> parseIndividual(const std::vector<std::string> &Tokens,
                                const char *Tag, int Line, Individual &Out) {
   if (Tokens.size() < 9 || Tokens[0] != Tag || Tokens[1] != "fitness" ||
       Tokens[3] != "solved" || Tokens[5] != "successful" ||

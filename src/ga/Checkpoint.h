@@ -61,19 +61,19 @@ std::string serializeCheckpoint(const CheckpointData &Data);
 /// Parses serializeCheckpoint output. Rejects unknown versions
 /// (ErrorCode::VersionMismatch), truncation, checksum mismatches and
 /// structural damage (ErrorCode::Corrupt) with a descriptive error.
-Expected<CheckpointData> parseCheckpoint(const std::string &Text);
+[[nodiscard]] Expected<CheckpointData> parseCheckpoint(const std::string &Text);
 
 /// Writes \p Data to \p Path atomically and durably: fsynced temp file,
 /// valid-previous-checkpoint promotion to "<path>.bak", rename, directory
 /// fsync. Transient write failures are retried per \p Retry before the
 /// error is reported.
-Expected<bool> saveCheckpoint(const std::string &Path,
+[[nodiscard]] Expected<bool> saveCheckpoint(const std::string &Path,
                               const CheckpointData &Data,
                               const RetryPolicy &Retry = RetryPolicy());
 
 /// Reads and parses the checkpoint at \p Path (no retry, no fallback —
 /// the strict primitive underneath loadCheckpointWithRecovery).
-Expected<CheckpointData> loadCheckpoint(const std::string &Path);
+[[nodiscard]] Expected<CheckpointData> loadCheckpoint(const std::string &Path);
 
 /// What loadCheckpointWithRecovery had to do to produce its result.
 struct CheckpointLoadReport {
@@ -87,7 +87,7 @@ struct CheckpointLoadReport {
 /// when the primary is missing, unreadable or corrupt. On success \p
 /// Report (may be null) says whether recovery was needed; on failure the
 /// returned error describes both files.
-Expected<CheckpointData>
+[[nodiscard]] Expected<CheckpointData>
 loadCheckpointWithRecovery(const std::string &Path,
                            CheckpointLoadReport *Report = nullptr,
                            const RetryPolicy &Retry = RetryPolicy());
@@ -126,21 +126,21 @@ std::string serializeMigrantBlock(const MigrantBlock &Block);
 /// Parses serializeMigrantBlock output. Rejects unknown versions
 /// (ErrorCode::VersionMismatch) and truncation, checksum mismatches or
 /// structural damage (ErrorCode::Corrupt) with a descriptive error.
-Expected<MigrantBlock> parseMigrantBlock(const std::string &Text);
+[[nodiscard]] Expected<MigrantBlock> parseMigrantBlock(const std::string &Text);
 
 /// Verifies that \p Block is the expected edge: route (\p From -> \p To),
 /// sequence \p Seq, and — when \p ContextFingerprint is nonzero — the
 /// receiver's evaluation context. Mismatches classify as
 /// ErrorCode::Corrupt (wrong-route/wrong-sequence delivery) so transport
 /// recovery treats them like any other damaged payload.
-Expected<bool> validateMigrantBlock(const MigrantBlock &Block, int From,
+[[nodiscard]] Expected<bool> validateMigrantBlock(const MigrantBlock &Block, int From,
                                     int To, uint64_t Seq,
                                     uint64_t ContextFingerprint);
 
 /// Verifies that \p Data belongs to the experiment described by \p Kind,
 /// \p SideLength and \p Params (grid, side, seed, dimensions, population
 /// size). Returns an explanatory error on any mismatch.
-Expected<bool> validateCheckpoint(const CheckpointData &Data, GridKind Kind,
+[[nodiscard]] Expected<bool> validateCheckpoint(const CheckpointData &Data, GridKind Kind,
                                   int SideLength,
                                   const EvolutionParams &Params);
 

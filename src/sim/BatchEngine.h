@@ -164,6 +164,13 @@ struct BatchStepView {
 ///     threads when NumWorkers > 1; the engine adds no synchronisation
 ///     around them — callers own their state's locking, as EvalScheduler
 ///     does with one mutex over its progress table.
+///
+/// This contract is machine-checked: the atomic-ordering rule of
+/// tools/verify/ca2a_verify.py requires every atomic operation in the
+/// tree to name an explicit memory_order, and flags explicit seq_cst too
+/// — an op that genuinely needs more than relaxed here would contradict
+/// the bullets above and must carry a written justification via
+/// `verify-lint: allow(atomic-ordering) <reason>`.
 struct BatchRunStats {
   /// Worker threads actually used: the requested count clamped to the
   /// replica count, forced to 1 by a step observer.

@@ -198,7 +198,7 @@ public:
   /// first violation as a recoverable error. Unlike the asserts inside
   /// reset(), this path survives release builds; CLI frontends should call
   /// it on any user-supplied configuration before reset().
-  static Expected<bool>
+  [[nodiscard]] static Expected<bool>
   validatePlacements(const Torus &T, const std::vector<Placement> &Placements,
                      const SimOptions &Options);
 

@@ -127,7 +127,7 @@ struct ChaosSchedule {
 /// ckpt.write, ckpt.read} and event in {fail, delay, corrupt}. A delay
 /// value takes the form `<probability>:<micros>`. Probabilities must lie
 /// in [0, 1]. The empty string yields an inert schedule.
-Expected<ChaosSchedule> parseChaosSpec(const std::string &Spec);
+[[nodiscard]] Expected<ChaosSchedule> parseChaosSpec(const std::string &Spec);
 
 /// One-line human-readable summary of the active processes ("chaos off"
 /// when nothing can fire).

@@ -60,7 +60,7 @@ public:
   /// Parses argv. Returns an error message for unknown flags or malformed
   /// values. `--help` sets helpRequested() and returns success without
   /// consuming further arguments.
-  Expected<bool> parse(int Argc, const char *const *Argv);
+  [[nodiscard]] Expected<bool> parse(int Argc, const char *const *Argv);
 
   /// True once `--help` was seen; the caller should print usage() and exit.
   bool helpRequested() const { return HelpSeen; }
@@ -86,7 +86,7 @@ private:
   };
 
   Flag *findFlag(std::string_view Name);
-  static Expected<bool> assignValue(Flag &F, std::string_view Value);
+  [[nodiscard]] static Expected<bool> assignValue(Flag &F, std::string_view Value);
 
   std::string ProgramName;
   std::string Description;

@@ -61,7 +61,7 @@ public:
       : Message(std::move(Message)), Code(Code) {}
 
   const std::string &message() const { return Message; }
-  ErrorCode code() const { return Code; }
+  [[nodiscard]] ErrorCode code() const { return Code; }
 
 private:
   std::string Message;
@@ -105,12 +105,12 @@ private:
 };
 
 /// Builds an unclassified (Generic) Error.
-inline Error makeError(std::string Message) {
+[[nodiscard]] inline Error makeError(std::string Message) {
   return Error(std::move(Message));
 }
 
 /// Builds a classified Error.
-inline Error makeError(ErrorCode Code, std::string Message) {
+[[nodiscard]] inline Error makeError(ErrorCode Code, std::string Message) {
   return Error(Code, std::move(Message));
 }
 

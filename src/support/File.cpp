@@ -39,6 +39,8 @@ Expected<bool> ca2a::writeFile(const std::string &Path,
   return true;
 }
 
+// verify-lint: chaos-site(ckpt.write) callers (checkpoint/mailbox publish
+// paths) draw the fault before invoking this durable-write primitive.
 Expected<bool> ca2a::writeFileDurable(const std::string &Path,
                                       const std::string &Contents) {
 #ifndef _WIN32
@@ -77,6 +79,8 @@ Expected<bool> ca2a::writeFileDurable(const std::string &Path,
 #endif
 }
 
+// verify-lint: chaos-site(ckpt.write) runs inside the same publish
+// operation as writeFileDurable; callers draw the fault at that boundary.
 Expected<bool> ca2a::syncParentDirectory(const std::string &Path) {
 #ifndef _WIN32
   std::filesystem::path Parent = std::filesystem::path(Path).parent_path();

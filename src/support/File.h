@@ -22,21 +22,21 @@
 namespace ca2a {
 
 /// Reads the entire file into a string.
-Expected<std::string> readFile(const std::string &Path);
+[[nodiscard]] Expected<std::string> readFile(const std::string &Path);
 
 /// Writes \p Contents, replacing the file.
-Expected<bool> writeFile(const std::string &Path, const std::string &Contents);
+[[nodiscard]] Expected<bool> writeFile(const std::string &Path, const std::string &Contents);
 
 /// Writes \p Contents and forces them to stable storage (fsync) before
 /// returning. On POSIX this is write + fsync on the descriptor; elsewhere
 /// it degrades to writeFile. Errors classify as ErrorCode::Io.
-Expected<bool> writeFileDurable(const std::string &Path,
+[[nodiscard]] Expected<bool> writeFileDurable(const std::string &Path,
                                 const std::string &Contents);
 
 /// Fsyncs the directory containing \p Path, making a just-completed
 /// rename within it durable (a rename is only crash-safe once its
 /// directory entry is flushed). No-op (success) on non-POSIX hosts.
-Expected<bool> syncParentDirectory(const std::string &Path);
+[[nodiscard]] Expected<bool> syncParentDirectory(const std::string &Path);
 
 } // namespace ca2a
 

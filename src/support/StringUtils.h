@@ -39,13 +39,13 @@ std::string joinStrings(const std::vector<std::string> &Pieces,
 
 /// Parses a decimal (optionally signed) integer; the whole string must be
 /// consumed.
-Expected<int64_t> parseInt(std::string_view Text);
+[[nodiscard]] Expected<int64_t> parseInt(std::string_view Text);
 
 /// Parses an unsigned decimal integer; the whole string must be consumed.
-Expected<uint64_t> parseUnsigned(std::string_view Text);
+[[nodiscard]] Expected<uint64_t> parseUnsigned(std::string_view Text);
 
 /// Parses a floating-point number; the whole string must be consumed.
-Expected<double> parseDouble(std::string_view Text);
+[[nodiscard]] Expected<double> parseDouble(std::string_view Text);
 
 /// Formats \p Value with \p Decimals digits after the point ("78.30" style,
 /// matching the paper's tables).

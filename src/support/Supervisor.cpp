@@ -22,6 +22,7 @@ int ca2a::backoffDelayMicros(const RetryPolicy &Policy, int Retry) {
 
 double ca2a::monotonicSeconds() {
   return std::chrono::duration<double>(
+             // det-lint: allow(wall-clock) timeout/watchdog clock only — deadlines and backoff never feed a simulation or evolution result
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

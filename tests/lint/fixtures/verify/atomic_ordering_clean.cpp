@@ -1,0 +1,22 @@
+// expect: clean
+// Every operation names its memory_order; a non-atomic local that
+// shadows an atomic's name must not be flagged.
+namespace fixture {
+
+std::atomic<unsigned long> Tally{0};
+
+void bumpRelaxed() {
+  Tally.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned long readAcquire() {
+  return Tally.load(std::memory_order_acquire);
+}
+
+unsigned long shadowed() {
+  unsigned long Tally = 3;
+  Tally = 4;
+  return Tally;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// expect: atomic-ordering
+// Defaulted (seq_cst) atomic operations: a member call without an
+// explicit memory_order, an operator RMW, and a plain assignment.
+namespace fixture {
+
+std::atomic<unsigned long> HitCount{0};
+
+void bump() {
+  HitCount.fetch_add(1);
+  HitCount++;
+  HitCount = 7;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// expect: clean
+// A justified pragma documents a deliberate seq_cst strengthening.
+namespace fixture {
+
+std::atomic<int> Gate{0};
+
+int readGate() {
+  // verify-lint: allow(atomic-ordering) intentional full fence at shutdown
+  return Gate.load(std::memory_order_seq_cst);
+}
+
+} // namespace fixture

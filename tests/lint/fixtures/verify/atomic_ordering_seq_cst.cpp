@@ -1,0 +1,12 @@
+// expect: atomic-ordering
+// Explicit seq_cst is also a finding: the documented contract is
+// relaxed cursors/tallies, so a strengthening needs a justified pragma.
+namespace fixture {
+
+std::atomic<int> Flag{0};
+
+int readFlag() {
+  return Flag.load(std::memory_order_seq_cst);
+}
+
+} // namespace fixture

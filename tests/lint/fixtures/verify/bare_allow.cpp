@@ -1,0 +1,21 @@
+// expect: error-discipline, atomic-ordering, chaos-coverage
+// The pragma contract: a bare allow()/chaos-site() with NO reason text
+// suppresses nothing — every finding below must still fire.
+namespace fixture {
+
+// verify-lint: allow(error-discipline)
+Expected<int> bareThing(const char *Text);
+
+std::atomic<int> BareCounter{0};
+
+void bareBump() {
+  // verify-lint: allow(atomic-ordering)
+  BareCounter.fetch_add(1);
+}
+
+// verify-lint: chaos-site(ckpt.write)
+long barePrimitive(int Fd, const char *Data, unsigned long Len) {
+  return ::write(Fd, Data, Len);
+}
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// expect: clean
+// Raw I/O covered by a registered chaos site in the same function.
+namespace fixture {
+
+long writeAll(int Fd, const char *Data, unsigned long Len) {
+  chaosPoint(ChaosSite::CheckpointWrite);
+  return ::write(Fd, Data, Len);
+}
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// expect: chaos-coverage
+// Raw I/O in a function with no enclosing chaos site and no chaos-site
+// pragma: new I/O must not be able to dodge fault injection.
+namespace fixture {
+
+bool flushFd(int Fd) {
+  return ::fsync(Fd) == 0;
+}
+
+} // namespace fixture

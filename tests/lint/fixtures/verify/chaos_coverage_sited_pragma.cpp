@@ -1,0 +1,11 @@
+// expect: clean
+// An I/O primitive whose fault draw lives at the caller boundary: the
+// chaos-site pragma (registered site + reason) declares the coverage.
+namespace fixture {
+
+// verify-lint: chaos-site(ckpt.write) caller draws faults at the durable-write boundary
+long writePrimitive(int Fd, const char *Data, unsigned long Len) {
+  return ::write(Fd, Data, Len);
+}
+
+} // namespace fixture

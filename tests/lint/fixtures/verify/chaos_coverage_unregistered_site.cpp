@@ -1,0 +1,10 @@
+// expect: chaos-coverage
+// A chaos call naming a site that is not in the support/Chaos registry
+// is flagged: the registry cross-check keeps spellings honest.
+namespace fixture {
+
+void touchSite() {
+  chaosPoint(ChaosSite::NotARealSite);
+}
+
+} // namespace fixture

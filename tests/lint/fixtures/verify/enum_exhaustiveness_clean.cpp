@@ -1,0 +1,39 @@
+// expect: clean
+// Exhaustive switch, no default; a nested switch over a non-checked
+// local enum inside one case must not confuse the label accounting.
+namespace fixture {
+
+enum class Flavor { Sweet, Sour };
+
+int rankAll(ErrorCode Code, Flavor F) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return 0;
+  case ErrorCode::Io: {
+    switch (F) {
+    case Flavor::Sweet:
+      return 10;
+    case Flavor::Sour:
+      return 11;
+    }
+    return 1;
+  }
+  case ErrorCode::Corrupt:
+    return 2;
+  case ErrorCode::VersionMismatch:
+    return 3;
+  case ErrorCode::Timeout:
+    return 4;
+  case ErrorCode::Cancelled:
+    return 5;
+  case ErrorCode::Exhausted:
+    return 6;
+  case ErrorCode::Injected:
+    return 7;
+  case ErrorCode::InvalidArgument:
+    return 8;
+  }
+  return -1;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// expect: enum-exhaustiveness
+// Complete case list, but a swallowing default: adding an enumerator
+// would silently fall through instead of failing the build and lint.
+namespace fixture {
+
+const char *describe(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic: return "generic";
+  case ErrorCode::Io: return "io";
+  case ErrorCode::Corrupt: return "corrupt";
+  case ErrorCode::VersionMismatch: return "version";
+  case ErrorCode::Timeout: return "timeout";
+  case ErrorCode::Cancelled: return "cancelled";
+  case ErrorCode::Exhausted: return "exhausted";
+  case ErrorCode::Injected: return "injected";
+  case ErrorCode::InvalidArgument: return "invalid";
+  default: return "unknown";
+  }
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// expect: enum-exhaustiveness
+// A switch over the checked ErrorCode enum that misses enumerators.
+namespace fixture {
+
+int rank(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return 0;
+  case ErrorCode::Io:
+    return 1;
+  }
+  return -1;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// expect: clean
+// A justified pragma on the switch suppresses the exhaustiveness rule.
+namespace fixture {
+
+int partial(ErrorCode Code) {
+  // verify-lint: allow(enum-exhaustiveness) scoring only ranks I/O-class failures
+  switch (Code) {
+  case ErrorCode::Io:
+    return 1;
+  case ErrorCode::Timeout:
+    return 2;
+  }
+  return 0;
+}
+
+} // namespace fixture

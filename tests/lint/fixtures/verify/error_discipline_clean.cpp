@@ -1,0 +1,25 @@
+// expect: clean
+// Correct discipline: declaration is [[nodiscard]], every result is
+// consumed, and out-of-line definitions (qualified names) inherit the
+// attribute from the declaration without restating it.
+namespace fixture {
+
+class Codec {
+public:
+  [[nodiscard]] Expected<int> decode(const char *Text);
+};
+
+[[nodiscard]] Expected<int> loadTally(const char *Path);
+
+int consume(const char *Path) {
+  auto Result = loadTally(Path);
+  if (!Result.hasValue())
+    return -1;
+  return Result.value();
+}
+
+Expected<int> Codec::decode(const char *Text) {
+  return loadTally(Text);
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// expect: error-discipline
+// Statement-position calls that discard an error-carrying result — the
+// plain form and the (void)-cast form are both findings.
+namespace fixture {
+
+[[nodiscard]] Expected<int> loadCount(const char *Path);
+
+void caller(const char *Path) {
+  loadCount(Path);
+  (void)loadCount(Path);
+}
+
+} // namespace fixture

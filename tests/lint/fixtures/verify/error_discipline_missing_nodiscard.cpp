@@ -1,0 +1,10 @@
+// expect: error-discipline
+// Error-carrying return types without [[nodiscard]]: both declarations
+// must be flagged so no caller can silently drop the error.
+namespace fixture {
+
+Expected<int> parseThing(const char *Text);
+
+ErrorCode classifyThing(int Value);
+
+} // namespace fixture

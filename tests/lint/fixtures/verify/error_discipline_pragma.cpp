@@ -1,0 +1,14 @@
+// expect: clean
+// A justified allow pragma (reason text present) suppresses both the
+// declaration-side and the call-site findings.
+namespace fixture {
+
+// verify-lint: allow(error-discipline) legacy shim, annotated next PR
+Expected<int> legacyThing(const char *Text);
+
+void pragmaCaller(const char *Text) {
+  // verify-lint: allow(error-discipline) probe call, result truly unused
+  legacyThing(Text);
+}
+
+} // namespace fixture

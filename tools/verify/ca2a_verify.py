@@ -1,0 +1,419 @@
+#!/usr/bin/env python3
+"""ca2a-verify: AST-level project-invariant analyzer.
+
+Promotes the repo's correctness conventions into machine-checked
+invariants, with four rule families (see verify_rules.py):
+
+  error-discipline     [[nodiscard]] on error-carrying returns; no
+                       discarded error results at call sites.
+  atomic-ordering      explicit std::memory_order on every atomic op,
+                       matching the documented BatchRunStats contract
+                       (explicit seq_cst needs a justified pragma too).
+  chaos-coverage       raw I/O in src/dist, src/ga/Checkpoint*, and
+                       src/support must sit inside a registered chaos
+                       site (cross-checked against support/Chaos).
+  enum-exhaustiveness  switches over ErrorCode/SimdBackend/TopologyKind/
+                       TransportKind/ChaosSite list every enumerator and
+                       carry no swallowing default:.
+
+The lexical engine is authoritative so the tool works in minimal
+containers (exactly the det-lint design); when python libclang bindings
+and a compile_commands.json are available, clang_pass.py cross-checks
+the type-dependent subset and prints any extra hits as warnings.
+
+Suppression grammar (reason text is mandatory — a bare allow() matches
+nothing):
+
+    // verify-lint: allow(<rule>) <reason>
+    // verify-lint: chaos-site(<site>) <reason>
+
+Usage:
+  ca2a_verify.py [--root DIR] [paths...]   scan (default: src) vs baseline
+  ca2a_verify.py --self-test               fixture corpus check
+  ca2a_verify.py --mutation-check          seeded-defect single-finding check
+  ca2a_verify.py --update-baseline         rewrite tools/verify/baseline.txt
+
+Exit status: 0 clean, 1 findings/self-test/mutation failures, 2 usage or
+environment error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import verify_rules
+from verify_rules import (
+    DEFAULT_CHECKED_ENUMS,
+    FileContext,
+    ProjectIndex,
+    check_file,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_PATHS = ["src"]
+BASELINE = os.path.join("tools", "verify", "baseline.txt")
+FIXTURE_DIR = os.path.join("tests", "lint", "fixtures", "verify")
+SOURCE_EXTS = {".cpp", ".h", ".hpp", ".cc", ".hh"}
+
+# Files whose definitions seed the cross-file registries even when a
+# partial path list is scanned (self-test and targeted scans included).
+REGISTRY_FILES = [
+    os.path.join("src", "support", "Error.h"),
+    os.path.join("src", "support", "Chaos.h"),
+    os.path.join("src", "support", "Chaos.cpp"),
+    os.path.join("src", "sim", "Backend.h"),
+    os.path.join("src", "ga", "MigrationTopology.h"),
+    os.path.join("src", "dist", "Mailbox.h"),
+]
+
+
+def chaos_predicate(root):
+    """Paths where the chaos-coverage rule is mandatory."""
+    mandatory_dirs = [
+        os.path.join(root, "src", "dist") + os.sep,
+        os.path.join(root, "src", "support") + os.sep,
+    ]
+    ckpt_prefix = os.path.join(root, "src", "ga", "Checkpoint")
+
+    def predicate(path):
+        return any(path.startswith(d) for d in mandatory_dirs) or \
+            path.startswith(ckpt_prefix)
+    return predicate
+
+
+def iter_sources(paths, root):
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(full):
+            yield full
+        elif os.path.isdir(full):
+            for dirpath, _dirnames, filenames in os.walk(full):
+                for name in sorted(filenames):
+                    if os.path.splitext(name)[1] in SOURCE_EXTS:
+                        yield os.path.join(dirpath, name)
+        else:
+            print(f"ca2a-verify: no such path: {full}", file=sys.stderr)
+            sys.exit(2)
+
+
+def read_text(path, overrides=None):
+    if overrides and path in overrides:
+        return overrides[path]
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return handle.read()
+
+
+def build_index(files, root, overrides=None):
+    """Two-pass scan: first build the project-wide index (decl categories,
+    atomic names, enums, chaos registry), then rules run per file against
+    it. Registry files are always indexed so partial scans and fixtures
+    see the real ErrorCode/ChaosSite/site-name registries."""
+    index = ProjectIndex()
+    contexts = []
+    indexed = set()
+    for rel in REGISTRY_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            continue
+        raw = read_text(path, overrides)
+        ctx = FileContext(path, raw)
+        index.add_file(ctx)
+        if rel.endswith("Chaos.cpp"):
+            index.add_site_registry(raw)
+        indexed.add(path)
+        contexts.append(ctx)
+    for path in files:
+        if path in indexed:
+            continue
+        ctx = FileContext(path, read_text(path, overrides))
+        index.add_file(ctx)
+        if path.replace(os.sep, "/").endswith("support/Chaos.cpp"):
+            index.add_site_registry(ctx.raw)
+        contexts.append(ctx)
+    wanted = set(files)
+    return index, [c for c in contexts if c.path in wanted]
+
+
+def analyze_tree(files, root, overrides=None, all_rules=False):
+    index, contexts = build_index(files, root, overrides)
+    config = {
+        "chaos_predicate": chaos_predicate(root),
+        "checked_enums": DEFAULT_CHECKED_ENUMS,
+        "all_rules": all_rules,
+    }
+    findings = []
+    for ctx in contexts:
+        findings.extend(check_file(ctx, index, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def format_finding(finding, root):
+    rel = os.path.relpath(finding.path, root)
+    return f"{rel}:{finding.line}: [{finding.rule}] {finding.message}"
+
+
+def normalize(finding, root):
+    """Baseline identity: path + rule + message with the line number
+    dropped, so unrelated edits above a baselined finding don't churn the
+    file (same normalization idea as scripts/tidy.sh)."""
+    rel = os.path.relpath(finding.path, root)
+    return f"{rel}: [{finding.rule}] {finding.message}"
+
+
+# ---------------------------------------------------------------------------
+# Self test against the fixture corpus.
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z,\- ]+)")
+
+
+def self_test(root):
+    fixture_root = os.path.join(root, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"ca2a-verify: fixture dir missing: {fixture_root}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    seen_rules = {"positive": set(), "negative": set()}
+    for name in sorted(os.listdir(fixture_root)):
+        if os.path.splitext(name)[1] not in SOURCE_EXTS:
+            continue
+        path = os.path.join(fixture_root, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        expect_match = EXPECT_RE.search(first)
+        if not expect_match:
+            print(f"FAIL {name}: fixture lacks a leading '// expect:' line")
+            failures += 1
+            continue
+        expected = {
+            token.strip()
+            for token in expect_match.group(1).split(",")
+            if token.strip()
+        }
+        findings = analyze_tree([path], root, all_rules=True)
+        got = {f.rule for f in findings}
+        checked += 1
+        if expected == {"clean"}:
+            if got:
+                print(f"FAIL {name}: expected clean, got {sorted(got)}")
+                for f in findings:
+                    print(f"     {format_finding(f, root)}")
+                failures += 1
+            else:
+                # A clean fixture named after a rule is that rule's
+                # negative (pragma/correct-code) coverage.
+                for rule in verify_rules.RULE_IDS:
+                    if rule.replace("-", "_") in name:
+                        seen_rules["negative"].add(rule)
+        else:
+            if expected != got:
+                print(f"FAIL {name}: expected {sorted(expected)}, "
+                      f"got {sorted(got) or 'nothing'}")
+                for f in findings:
+                    print(f"     {format_finding(f, root)}")
+                failures += 1
+            seen_rules["positive"].update(expected)
+    if checked == 0:
+        print("ca2a-verify: no fixtures found", file=sys.stderr)
+        return 2
+    for rule in verify_rules.RULE_IDS:
+        for kind in ("positive", "negative"):
+            if rule not in seen_rules[kind]:
+                print(f"FAIL corpus: rule '{rule}' has no {kind} fixture")
+                failures += 1
+    if failures:
+        print(f"self-test: {failures} failure(s) across {checked} fixtures")
+        return 1
+    print(f"self-test: all {checked} fixtures behaved as expected "
+          f"(every rule has positive and negative coverage)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Mutation check: seed one defect per rule family, assert exactly one new
+# finding of exactly that rule. This is the acceptance gate that proves
+# the tree scan's cleanliness is load-bearing.
+
+
+def _mutate(text, pattern, replacement, description):
+    new, count = re.subn(pattern, replacement, text, count=1)
+    if count != 1:
+        raise RuntimeError(f"mutation site vanished: {description}")
+    return new
+
+
+MUTATIONS = [
+    (
+        "error-discipline",
+        os.path.join("src", "support", "File.h"),
+        r"\[\[nodiscard\]\]\s*",
+        "",
+        "strip the first [[nodiscard]] in support/File.h",
+    ),
+    (
+        "atomic-ordering",
+        os.path.join("src", "support", "Chaos.h"),
+        r"\.load\(std::memory_order_relaxed\)",
+        ".load()",
+        "drop the explicit memory_order from the chaos runtime load",
+    ),
+    (
+        "chaos-coverage",
+        os.path.join("src", "support", "File.cpp"),
+        r"[ \t]*//\s*verify-lint:\s*chaos-site\([^)]*\)[^\n]*\n",
+        "",
+        "remove the first chaos-site pragma in support/File.cpp",
+    ),
+    (
+        "enum-exhaustiveness",
+        os.path.join("src", "support", "Error.cpp"),
+        r"[ \t]*case ErrorCode::Cancelled:[^\n]*\n",
+        "",
+        "remove the ErrorCode::Cancelled case from errorCodeName",
+    ),
+]
+
+
+def mutation_check(root, paths):
+    files = sorted(set(iter_sources(paths, root)))
+    base = analyze_tree(files, root)
+    base_keys = {f.key() for f in base}
+    failures = 0
+    for rule, rel, pattern, replacement, description in MUTATIONS:
+        path = os.path.join(root, rel)
+        try:
+            original = read_text(path)
+            mutated = _mutate(original, pattern, replacement, description)
+        except (OSError, RuntimeError) as err:
+            print(f"FAIL [{rule}] {err}")
+            failures += 1
+            continue
+        findings = analyze_tree(files, root, overrides={path: mutated})
+        new = [f for f in findings if f.key() not in base_keys]
+        if len(new) == 1 and new[0].rule == rule:
+            print(f"PASS [{rule}] {description} -> exactly one finding")
+        else:
+            print(f"FAIL [{rule}] {description} -> expected exactly one "
+                  f"{rule} finding, got {len(new)}:")
+            for f in new:
+                print(f"     {format_finding(f, root)}")
+            failures += 1
+    if failures:
+        print(f"mutation-check: {failures} of {len(MUTATIONS)} seeded "
+              f"defects NOT caught as a single finding")
+        return 1
+    print(f"mutation-check: all {len(MUTATIONS)} seeded defects caught "
+          f"as exactly one finding each")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE)
+    if not os.path.isfile(path):
+        return set()
+    entries = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to scan (default: {DEFAULT_PATHS})")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root for relative paths")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rule engine against the fixture "
+                             "corpus and exit")
+    parser.add_argument("--mutation-check", action="store_true",
+                        help="seed one defect per rule family and assert "
+                             "each yields exactly one new finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/verify/baseline.txt from the "
+                             "current scan")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("--compdb", default=None,
+                        help="compilation database dir for the libclang "
+                             "cross-check (default: $BUILD_DIR or "
+                             "<root>/build)")
+    parser.add_argument("--require-clang", action="store_true",
+                        help="fail (exit 2) if the libclang cross-check "
+                             "cannot run — for CI, where the bindings are "
+                             "pinned and installed")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.root))
+    if args.mutation_check:
+        sys.exit(mutation_check(args.root, args.paths or DEFAULT_PATHS))
+
+    paths = args.paths or DEFAULT_PATHS
+    files = sorted(set(iter_sources(paths, args.root)))
+    findings = analyze_tree(files, args.root)
+
+    # Optional libclang cross-check: extra hits are warnings, never gate —
+    # the lexical engine stays authoritative (same contract as det-lint's
+    # clang-query pass).
+    compdb = args.compdb or os.environ.get("BUILD_DIR") or \
+        os.path.join(args.root, "build")
+    try:
+        import clang_pass
+        ran, warnings = clang_pass.run(files, compdb, args.root)
+    except Exception as err:  # noqa: BLE001 — the pass must never crash us
+        ran, warnings = False, [f"libclang pass crashed: {err}"]
+    for message in warnings:
+        print(f"ca2a-verify: [clang-pass] {message}", file=sys.stderr)
+    if args.require_clang and not ran:
+        print("ca2a-verify: --require-clang set but the libclang "
+              "cross-check could not run (install the pinned python3-clang "
+              "bindings and build compile_commands.json first)",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if args.update_baseline:
+        path = os.path.join(args.root, BASELINE)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                "# ca2a-verify baseline — kept EMPTY by policy.\n"
+                "# A finding belongs in the code (fixed) or next to the\n"
+                "# code (a justified 'verify-lint: allow(<rule>) <reason>'\n"
+                "# pragma), not parked here. Regenerate with\n"
+                "#   tools/verify/ca2a_verify.py --update-baseline\n"
+                "# and justify any non-empty diff in review.\n")
+            for finding in findings:
+                handle.write(normalize(finding, args.root) + "\n")
+        print(f"ca2a-verify: baseline rewritten with {len(findings)} "
+              f"entr{'y' if len(findings) == 1 else 'ies'}")
+        sys.exit(0)
+
+    baseline = set() if args.no_baseline else load_baseline(args.root)
+    fresh = [f for f in findings if normalize(f, args.root) not in baseline]
+    for finding in fresh:
+        print(format_finding(finding, args.root))
+    if fresh:
+        print(f"ca2a-verify: {len(fresh)} finding(s) in {len(files)} "
+              f"files — fix them or suppress with a justified "
+              f"'verify-lint: allow(<rule>) <reason>' pragma "
+              f"(see tools/verify/README.md)")
+        sys.exit(1)
+    print(f"ca2a-verify: {len(files)} files clean vs baseline "
+          f"({len(baseline)} baselined)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

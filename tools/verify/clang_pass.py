@@ -1,0 +1,156 @@
+"""Optional libclang cross-check for ca2a-verify.
+
+The lexical engine in verify_rules.py is authoritative; this pass adds a
+type-system-backed second opinion for the two properties regexes can in
+principle mis-see through macros or unusual formatting:
+
+  * functions whose canonical return type is Expected<...>/ErrorCode/
+    Error but carry no [[nodiscard]] (WarnUnusedResultAttr);
+  * member calls on std::atomic<...> specialisations whose argument list
+    carries no std::memory_order value (the defaulted-seq_cst hole the
+    atomic-ordering rule exists for).
+
+Anything it finds beyond the lexical pass is printed as a WARNING and
+never gates a build — in a container without the python clang bindings
+(or without a compile_commands.json) the pass degrades to a loud SKIP,
+exactly like det-lint's clang-query hybrid and scripts/tidy.sh.
+
+run() returns (ran, warnings): ran is True only when libclang actually
+parsed at least one translation unit.
+"""
+
+import os
+
+ERROR_TYPE_HEADS = ("Expected<", "ErrorCode", "Error")
+
+
+def _load_cindex(warnings):
+    try:
+        from clang import cindex
+    except ImportError:
+        warnings.append(
+            "SKIP: python clang bindings not installed (the lexical "
+            "engine remains authoritative; CI installs the pinned "
+            "python3-clang for this cross-check)")
+        return None
+    if not cindex.Config.loaded:
+        # Let an explicit override win, then try the sonames the pinned
+        # CI toolchain and common distros ship.
+        override = os.environ.get("CA2A_LIBCLANG")
+        candidates = [override] if override else []
+        candidates += [
+            "libclang-18.so.18", "libclang-18.so.1", "libclang.so.18",
+            "libclang.so.1", "libclang.so",
+        ]
+        for name in candidates:
+            try:
+                cindex.Config.set_library_file(name)
+                cindex.Index.create()
+                return cindex
+            except Exception:  # noqa: BLE001 — probe, then move on
+                cindex.Config.loaded = False
+        warnings.append(
+            "SKIP: no loadable libclang shared library (set CA2A_LIBCLANG "
+            "to the .so path)")
+        return None
+    return cindex
+
+
+def _type_is_error(type_spelling):
+    spelling = type_spelling.replace("ca2a::", "")
+    return any(spelling.startswith(head) for head in ERROR_TYPE_HEADS)
+
+
+def _walk(cursor, cindex, src_prefix, hits):
+    kinds = cindex.CursorKind
+    for node in cursor.walk_preorder():
+        loc = node.location
+        if loc.file is None or not str(loc.file).startswith(src_prefix):
+            continue
+        if node.kind in (kinds.FUNCTION_DECL, kinds.CXX_METHOD):
+            if _type_is_error(node.result_type.spelling):
+                attrs = [c.kind for c in node.get_children()]
+                if kinds.WARN_UNUSED_RESULT_ATTR not in attrs:
+                    hits.add((str(loc.file), loc.line,
+                              "error-discipline",
+                              node.spelling))
+        elif node.kind == kinds.CXX_MEMBER_CALL_EXPR:
+            callee = node.referenced
+            if callee is None:
+                continue
+            parent = callee.semantic_parent
+            if parent is None or "atomic" not in parent.spelling:
+                continue
+            if callee.spelling not in (
+                    "load", "store", "exchange", "fetch_add", "fetch_sub",
+                    "fetch_and", "fetch_or", "fetch_xor",
+                    "compare_exchange_weak", "compare_exchange_strong"):
+                continue
+            tokens = " ".join(t.spelling for t in node.get_tokens())
+            if "memory_order" not in tokens:
+                hits.add((str(loc.file), loc.line, "atomic-ordering",
+                          callee.spelling))
+
+
+def run(files, compdb_dir, root):
+    """Cross-check `files` against the compilation database in
+    `compdb_dir`. Returns (ran, warnings:list[str])."""
+    warnings = []
+    cindex = _load_cindex(warnings)
+    if cindex is None:
+        return False, warnings
+    compdb_path = os.path.join(compdb_dir, "compile_commands.json")
+    if not os.path.isfile(compdb_path):
+        warnings.append(
+            f"SKIP: no compile_commands.json in {compdb_dir} (configure "
+            f"with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, or point --compdb/"
+            f"BUILD_DIR at a configured build)")
+        return False, warnings
+    try:
+        compdb = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+    except cindex.CompilationDatabaseError as err:
+        warnings.append(f"SKIP: cannot load compilation database: {err}")
+        return False, warnings
+    index = cindex.Index.create()
+    src_prefix = os.path.join(root, "src") + os.sep
+    wanted = {f for f in files if f.endswith(".cpp")}
+    hits = set()
+    parsed = 0
+    for path in sorted(wanted):
+        commands = compdb.getCompileCommands(path)
+        if not commands:
+            continue
+        cmd = list(commands[0].arguments)
+        # Drop the compiler argv[0] and the output/input file operands;
+        # keep include paths, defines, and standard flags.
+        args = []
+        skip_next = False
+        for arg in cmd[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if arg in ("-o", "-c"):
+                skip_next = arg == "-o"
+                continue
+            if arg == path or arg.endswith(os.path.basename(path)):
+                continue
+            args.append(arg)
+        try:
+            tu = index.parse(path, args=args)
+        except cindex.TranslationUnitLoadError as err:
+            warnings.append(f"parse failed for {path}: {err}")
+            continue
+        parsed += 1
+        _walk(tu.cursor, cindex, src_prefix, hits)
+    if parsed == 0:
+        warnings.append(
+            "SKIP: compilation database matched none of the scanned files")
+        return False, warnings
+    for path, line, rule, detail in sorted(hits):
+        rel = os.path.relpath(path, root)
+        warnings.append(
+            f"WARNING {rel}:{line}: [{rule}] libclang cross-check hit "
+            f"'{detail}' — if the lexical scan missed this, file it as a "
+            f"rule-engine bug")
+    warnings.append(f"cross-checked {parsed} translation unit(s)")
+    return True, warnings

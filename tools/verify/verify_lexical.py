@@ -1,0 +1,259 @@
+"""Lexical C++ analysis primitives for ca2a-verify.
+
+This module is the foundation of the authoritative rule engine: a
+comment/string stripper that preserves every character offset, a brace
+scanner that recovers function extents, and small backward/forward token
+helpers. It deliberately stops short of a real parser — the rules built
+on top (see verify_rules.py) are designed so that this level of fidelity
+is sufficient, and the optional libclang pass (clang_pass.py) cross-checks
+the subset of properties that genuinely need a type system.
+
+Everything operates on a single file's text; project-wide state lives in
+verify_rules.ProjectIndex.
+"""
+
+import re
+
+# Statement terminators/openers that mark a "declaration or statement
+# position" on stripped text. '>' covers `template <...>` headers, ':'
+# covers access specifiers and labels.
+DECL_ANCHOR_CHARS = ";{}>:"
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+
+# Words that can never be the return type of a declaration we care about.
+NON_TYPE_KEYWORDS = {
+    "return", "if", "else", "for", "while", "switch", "case", "default",
+    "do", "goto", "break", "continue", "throw", "new", "delete", "sizeof",
+    "using", "typedef", "namespace", "class", "struct", "enum", "union",
+    "public", "private", "protected", "template", "typename", "operator",
+    "co_return", "co_await", "co_yield", "static_assert", "catch", "try",
+}
+
+
+def strip_comments(text):
+    """Blank out //, /* */ comments and string/char literals with spaces,
+    preserving both line structure and byte offsets (the output has
+    exactly the same length as the input)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                # Raw string literal: R"delim( ... )delim"
+                close = text.find("(", i + 2)
+                if close != -1 and close - (i + 2) <= 16:
+                    raw_delim = ")" + text[i + 2 : close] + '"'
+                    state = "raw"
+                    out.append(" " * (close - i + 1))
+                    i = close + 1
+                    continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of_offset(text, offset):
+    """1-based line number of a byte offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+def build_line_starts(text):
+    starts = [0]
+    for idx, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(idx + 1)
+    return starts
+
+
+def prev_nonspace(code, pos):
+    """Index of the last non-whitespace char before pos, or -1."""
+    i = pos - 1
+    while i >= 0 and code[i].isspace():
+        i -= 1
+    return i
+
+
+def next_nonspace(code, pos):
+    """Index of the first non-whitespace char at/after pos, or len."""
+    i = pos
+    n = len(code)
+    while i < n and code[i].isspace():
+        i += 1
+    return i
+
+
+def match_paren_forward(code, open_pos):
+    """Given code[open_pos] == '(', return the index of the matching ')'
+    or -1. Works on stripped text (no parens hide in strings)."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_paren_backward(code, close_pos):
+    """Given code[close_pos] == ')', return the index of the matching '('
+    or -1."""
+    depth = 0
+    for i in range(close_pos, -1, -1):
+        c = code[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def word_before(code, pos):
+    """The identifier ending immediately before pos (skipping whitespace),
+    or ''. Used to classify `... ( ... ) {` constructs."""
+    i = prev_nonspace(code, pos)
+    end = i + 1
+    while i >= 0 and (code[i].isalnum() or code[i] == "_"):
+        i -= 1
+    return code[i + 1 : end]
+
+
+# Qualifiers that may sit between a declarator's ')' and its body '{'.
+_TAIL_OK_RE = re.compile(
+    r"^(?:\s|const|noexcept|override|final|mutable|volatile|&&?|"
+    r"->\s*[\w:<>,&*\s]+|\([^()]*\))*$"
+)
+
+
+class FunctionExtent:
+    """One brace-delimited body whose opener looks like a callable: body
+    span, whether it is a genuine function (vs an if/for/while/switch/catch
+    block), and the start line of its declarator for pragma attachment."""
+
+    __slots__ = ("open_pos", "close_pos", "start_line", "end_line",
+                 "is_function", "header_line", "name")
+
+    def __init__(self, open_pos, close_pos, start_line, end_line,
+                 is_function, header_line, name):
+        self.open_pos = open_pos
+        self.close_pos = close_pos
+        self.start_line = start_line
+        self.end_line = end_line
+        self.is_function = is_function
+        self.header_line = header_line
+        self.name = name
+
+    def contains(self, offset):
+        return self.open_pos <= offset <= self.close_pos
+
+
+def function_extents(code):
+    """Scan stripped text for callable-looking brace bodies.
+
+    A '{' opens a callable body when the text before it (after optional
+    trailing qualifiers) ends with ')'. The word before the matching '('
+    distinguishes real functions/lambdas from control-flow blocks. Returns
+    a list of FunctionExtent with is_function=False for control blocks so
+    callers can pick reporting granularity while keeping containment
+    checks simple.
+    """
+    extents = []
+    stack = []  # open brace positions
+    closers = {}
+    for i, c in enumerate(code):
+        if c == "{":
+            stack.append(i)
+        elif c == "}":
+            if stack:
+                closers[stack.pop()] = i
+    for open_pos, close_pos in closers.items():
+        j = prev_nonspace(code, open_pos)
+        if j < 0:
+            continue
+        # Allow a qualifier tail between ')' and '{' (const, noexcept,
+        # trailing return, initialiser list is NOT allowed — ctors with
+        # member-init lists end with ')' too via the last initialiser;
+        # that still counts as a callable, which is what we want).
+        tail_start = code.rfind(")", 0, j + 1)
+        if tail_start == -1:
+            continue
+        tail = code[tail_start + 1 : open_pos]
+        if not _TAIL_OK_RE.match(tail):
+            continue
+        lparen = match_paren_backward(code, tail_start)
+        if lparen == -1:
+            continue
+        # Constructor member-init lists (`Ctor() : A(x), B(y) {`) resolve
+        # to the last initialiser's name here; that is fine — the only
+        # hard requirement is that control-flow keywords are excluded,
+        # and `A`/`B` are not control keywords.
+        name = word_before(code, lparen)
+        is_function = name not in CONTROL_KEYWORDS
+        extents.append(FunctionExtent(
+            open_pos, close_pos,
+            line_of_offset(code, open_pos),
+            line_of_offset(code, close_pos),
+            is_function,
+            line_of_offset(code, lparen),
+            name,
+        ))
+    extents.sort(key=lambda e: e.open_pos)
+    return extents

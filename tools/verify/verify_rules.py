@@ -1,0 +1,866 @@
+"""Rule engine for ca2a-verify: four AST-level project invariants.
+
+Rules (ids are what pragmas and baselines name):
+
+  error-discipline    Functions returning Expected<T>/ErrorCode/Error must
+                      be [[nodiscard]], and no statement may discard such
+                      a call's result — a silently swallowed error in a
+                      Mailbox or Checkpoint path is exactly how corruption
+                      recovery rots.
+  atomic-ordering     Every std::atomic load/store/RMW must pass an
+                      explicit std::memory_order, and explicit seq_cst is
+                      itself a finding (the documented BatchRunStats
+                      contract is relaxed cursors/tallies published by the
+                      pool join; an undocumented strengthening needs a
+                      justified pragma as much as a weakening would).
+  chaos-coverage      Raw I/O (::write/::fsync/std::rename/::send/...)
+                      in the chaos-mandatory paths must sit in a function
+                      covered by a registered chaos site — either a
+                      chaosPoint()/chaosCorruptDraw() call in an enclosing
+                      function, or a `verify-lint: chaos-site(<site>)`
+                      pragma naming the registered site that injects at
+                      this primitive's call boundary.
+  enum-exhaustiveness Switches whose cases name a checked enum must list
+                      every enumerator and must not carry a swallowing
+                      `default:`.
+
+Pragma grammar (reason text is mandatory; a bare allow() matches nothing):
+
+  // verify-lint: allow(<rule>) <reason>
+  // verify-lint: chaos-site(<registered-site>) <reason>
+
+The engine is purely lexical (see verify_lexical.py) and authoritative;
+clang_pass.py adds a best-effort libclang cross-check where available.
+"""
+
+import os
+import re
+
+from verify_lexical import (
+    DECL_ANCHOR_CHARS,
+    NON_TYPE_KEYWORDS,
+    function_extents,
+    line_of_offset,
+    match_paren_forward,
+    next_nonspace,
+    prev_nonspace,
+    strip_comments,
+    word_before,
+)
+
+RULE_IDS = (
+    "error-discipline",
+    "atomic-ordering",
+    "chaos-coverage",
+    "enum-exhaustiveness",
+)
+
+ALLOW_RE = re.compile(r"verify-lint:\s*allow\(([a-z-]+)\)[ \t]*(\S?)")
+CHAOS_SITE_PRAGMA_RE = re.compile(
+    r"verify-lint:\s*chaos-site\(([a-z.\-]*)\)[ \t]*(\S?)"
+)
+
+SPECIFIER_WORDS = {
+    "static", "inline", "constexpr", "consteval", "virtual", "explicit",
+    "friend", "extern",
+}
+
+# Return types that carry an error the caller must not drop. References
+# and pointers to these (accessors) are deliberately out of scope.
+ERROR_RETURN_HEADS = {"Expected", "ErrorCode", "Error"}
+
+ATOMIC_MEMBER_OPS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+
+# Raw I/O spellings. Qualified (::name / std::name) matches are always
+# flagged; the unambiguous subset is also matched bare, so dropping the
+# qualifier cannot dodge the rule for names with no common other meaning.
+QUALIFIED_IO_NAMES = {
+    "open", "openat", "creat", "read", "write", "pread", "pwrite",
+    "fsync", "fdatasync", "rename", "renameat", "send", "sendto",
+    "sendmsg", "recv", "recvfrom", "recvmsg", "connect", "accept",
+    "accept4", "fopen", "fwrite", "fread",
+}
+BARE_IO_NAMES = {
+    "fsync", "fdatasync", "pread", "pwrite", "sendto", "recvfrom",
+    "sendmsg", "recvmsg", "accept4", "fopen", "fwrite", "fread",
+}
+
+CHAOS_CALL_RE = re.compile(
+    r"\b(?:ca2a\s*::\s*)?chaos(?:Point|CorruptDraw)\s*\("
+)
+CHAOS_SITE_ARG_RE = re.compile(r"ChaosSite\s*::\s*(\w+)")
+
+ENUM_DEF_RE = re.compile(
+    r"\benum\s+(?:class|struct)\s+(\w+)\s*(?::\s*[\w:\s]+?)?\{([^}]*)\}",
+    re.S,
+)
+CASE_RE = re.compile(r"\bcase\s+((?:\w+\s*::\s*)*\w+)\s*:")
+
+# Enums whose switches are contract surfaces (ISSUE: the typed error
+# taxonomy, the SIMD backend dispatch, the migration topology, and the
+# infrastructure fault-kind enum). Widening this list is the intended way
+# to grow the rule.
+DEFAULT_CHECKED_ENUMS = (
+    "ErrorCode",
+    "SimdBackend",
+    "TopologyKind",
+    "TransportKind",
+    "ChaosSite",
+)
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+
+class FileContext:
+    """Per-file lexical state shared by all rules."""
+
+    def __init__(self, path, raw):
+        self.path = path
+        self.raw = raw
+        self.raw_lines = raw.splitlines()
+        self.code = strip_comments(raw)
+        self.code_lines = self.code.splitlines()
+        self.allows = self._collect_allows()
+        self.site_pragmas = self._collect_site_pragmas()
+        self._extents = None
+
+    def _collect_allows(self):
+        """line -> set of rule ids allowed there (own + next line). Only
+        pragmas that carry a reason suppress anything."""
+        allows = {}
+        for idx, line in enumerate(self.raw_lines, start=1):
+            for match in ALLOW_RE.finditer(line):
+                rule, reason_head = match.group(1), match.group(2)
+                if not reason_head:
+                    continue  # bare allow(rule) with no reason: inert
+                for covered in (idx, idx + 1):
+                    allows.setdefault(covered, set()).add(rule)
+        return allows
+
+    def _collect_site_pragmas(self):
+        """List of (line, site_name, has_reason) chaos-site pragmas."""
+        pragmas = []
+        for idx, line in enumerate(self.raw_lines, start=1):
+            for match in CHAOS_SITE_PRAGMA_RE.finditer(line):
+                pragmas.append((idx, match.group(1), bool(match.group(2))))
+        return pragmas
+
+    def extents(self):
+        if self._extents is None:
+            self._extents = function_extents(self.code)
+        return self._extents
+
+    def allowed(self, line, rule):
+        return rule in self.allows.get(line, ())
+
+
+# ---------------------------------------------------------------------------
+# Declaration scanning (shared by error-discipline and the project index).
+
+
+class Decl:
+    __slots__ = ("name", "line", "ret_is_error", "qualified",
+                 "has_nodiscard", "decl_start")
+
+    def __init__(self, name, line, ret_is_error, qualified, has_nodiscard,
+                 decl_start):
+        self.name = name
+        self.line = line
+        self.ret_is_error = ret_is_error
+        self.qualified = qualified
+        self.has_nodiscard = has_nodiscard
+        # Offset of the declaration's first token (attribute insertion
+        # point — identical in raw text, the stripper preserves offsets).
+        self.decl_start = decl_start
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _skip_angle(code, pos):
+    """code[pos] == '<': return index just past the balanced '>' or -1."""
+    depth = 0
+    i = pos
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+def scan_declarations(code):
+    """Find function declarations/definitions at declaration positions.
+
+    Returns a list of Decl. The parse is forward from every declaration
+    anchor (start of file, or after one of ;{}>:): optional attributes,
+    optional specifier keywords, a return type (identifier chain with an
+    optional template argument list, optionally prefixed by const/
+    unsigned), pointer/reference declarators, an optional Class::/ns::
+    qualifier chain, a name, and a '(' — followed, after the balanced
+    parameter list, by something only a declaration can show (';', '{',
+    'const', 'noexcept', 'override', '-> ...', '= 0', '= default').
+    Reference/pointer returns are skipped (accessor idiom).
+    """
+    decls = []
+    n = len(code)
+    anchors = [0]
+    for i, c in enumerate(code):
+        if c in DECL_ANCHOR_CHARS:
+            anchors.append(i + 1)
+    for anchor in anchors:
+        i = next_nonspace(code, anchor)
+        if i >= n:
+            continue
+        decl_start = i
+        has_nodiscard = False
+        # Attributes and specifiers may interleave ([[nodiscard]] inline).
+        while True:
+            if code.startswith("[[", i):
+                close = code.find("]]", i)
+                if close == -1:
+                    break
+                if "nodiscard" in code[i:close]:
+                    has_nodiscard = True
+                i = next_nonspace(code, close + 2)
+                continue
+            m = _IDENT_RE.match(code, i)
+            if m and m.group(0) in SPECIFIER_WORDS:
+                i = next_nonspace(code, m.end())
+                continue
+            break
+        m = _IDENT_RE.match(code, i)
+        if not m:
+            continue
+        head = m.group(0)
+        if head in NON_TYPE_KEYWORDS:
+            continue
+        ret_head = head
+        is_const_qualified = False
+        if head in ("const", "unsigned", "signed"):
+            is_const_qualified = head == "const"
+            i = next_nonspace(code, m.end())
+            m = _IDENT_RE.match(code, i)
+            if not m or m.group(0) in NON_TYPE_KEYWORDS:
+                continue
+            ret_head = m.group(0)
+        # Consume the full return-type identifier chain: a::b::c<...>.
+        j = m.end()
+        saw_template_args = False
+        while True:
+            k = next_nonspace(code, j)
+            if code.startswith("::", k):
+                k2 = next_nonspace(code, k + 2)
+                m2 = _IDENT_RE.match(code, k2)
+                if not m2:
+                    break
+                ret_head = m2.group(0)
+                saw_template_args = False
+                j = m2.end()
+                continue
+            if k < n and code[k] == "<":
+                past = _skip_angle(code, k)
+                if past == -1:
+                    break
+                saw_template_args = True
+                j = past
+                continue
+            break
+        ret_is_error = ret_head in ERROR_RETURN_HEADS and not is_const_qualified
+        if ret_head == "Expected" and not saw_template_args:
+            continue  # bare `Expected` is the class name, not a return type
+        # Pointer/reference returns: accessors, out of scope.
+        k = next_nonspace(code, j)
+        if k < n and code[k] in "*&":
+            continue
+        # Qualifier chain + declarator name.
+        qual_parts = 0
+        name = None
+        name_line_pos = None
+        while True:
+            m3 = _IDENT_RE.match(code, k)
+            if not m3:
+                break
+            after = next_nonspace(code, m3.end())
+            if code.startswith("::", after):
+                qual_parts += 1
+                k = next_nonspace(code, after + 2)
+                continue
+            if after < n and code[after] == "(":
+                name = m3.group(0)
+                name_line_pos = m3.start()
+                k = after
+                break
+            break
+        if name is None or name in NON_TYPE_KEYWORDS:
+            continue
+        close = match_paren_forward(code, k)
+        if close == -1:
+            continue
+        after = next_nonspace(code, close + 1)
+        tail_ok = False
+        if after < n:
+            c = code[after]
+            if c in ";{":
+                tail_ok = True
+            elif c == "=":
+                tail_ok = code[after:after + 10].rstrip().startswith(
+                    ("= 0", "=0", "= default", "= delete"))
+            elif c == "-":
+                tail_ok = code.startswith("->", after)
+            else:
+                m4 = _IDENT_RE.match(code, after)
+                tail_ok = bool(m4) and m4.group(0) in (
+                    "const", "noexcept", "override", "final", "volatile")
+        if not tail_ok:
+            continue
+        decls.append(Decl(
+            name,
+            line_of_offset(code, name_line_pos),
+            ret_is_error,
+            qual_parts > 0,
+            has_nodiscard,
+            decl_start,
+        ))
+    return decls
+
+
+# ---------------------------------------------------------------------------
+# Project-wide index.
+
+
+class ProjectIndex:
+    """Cross-file state: error-returning function names (with ambiguity
+    tracking), atomic variable names, enum definitions, and the chaos site
+    registry."""
+
+    def __init__(self):
+        self.decl_cats = {}      # name -> set of "error"/"other"
+        self.atomic_names = set()
+        self.enums = {}          # enum name -> tuple of enumerators
+        self.chaos_enumerators = set()  # ChaosSite::<enumerator> names
+        self.chaos_site_names = set()   # spec names: "pool.task", ...
+
+    def add_file(self, ctx):
+        for decl in scan_declarations(ctx.code):
+            cat = "error" if decl.ret_is_error else "other"
+            self.decl_cats.setdefault(decl.name, set()).add(cat)
+        for match in ATOMIC_DECL_RE.finditer(ctx.code):
+            self.atomic_names.add(match.group("name"))
+        for match in ENUM_DEF_RE.finditer(ctx.code):
+            name = match.group(1)
+            body = match.group(2)
+            enumerators = tuple(
+                m.group(1)
+                for m in re.finditer(
+                    r"(?:^|,)\s*([A-Za-z_]\w*)\s*(?:=[^,]*)?", body)
+            )
+            if enumerators:
+                self.enums[name] = enumerators
+        if ctx.path.replace(os.sep, "/").endswith("support/Chaos.h"):
+            if "ChaosSite" in self.enums:
+                self.chaos_enumerators = set(self.enums["ChaosSite"])
+
+    def add_site_registry(self, raw_text):
+        """Parse stable site spec names from the chaosSiteName mapping."""
+        match = re.search(
+            r"chaosSiteName\s*\([^)]*\)\s*\{(.*?)\n\}", raw_text, re.S)
+        if not match:
+            return
+        for lit in re.finditer(r'return\s+"([a-z.\-]+)"', match.group(1)):
+            if lit.group(1) != "unknown":
+                self.chaos_site_names.add(lit.group(1))
+
+    def error_function_names(self):
+        """Names that only ever declare error-carrying returns. A name
+        declared with both an error and a non-error return somewhere in
+        the scan set is ambiguous at the lexical level and is skipped by
+        the call-site check (the libclang pass has no such limit)."""
+        return {
+            name for name, cats in self.decl_cats.items()
+            if cats == {"error"}
+        }
+
+
+ATOMIC_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?atomic\s*<[^;{}()]*>\s*"
+    r"(?:\w+\s*::\s*)*(?P<name>\w+)\s*(?:\[[^\]]*\]\s*)?[;{=(]"
+)
+
+
+# ---------------------------------------------------------------------------
+# Rule: error-discipline.
+
+
+def check_error_discipline(ctx, index):
+    findings = []
+    # (a) declarations: error-carrying return types must be [[nodiscard]].
+    for decl in scan_declarations(ctx.code):
+        if not decl.ret_is_error or decl.has_nodiscard:
+            continue
+        if decl.qualified:
+            # Out-of-line definition: the attribute lives on the in-class
+            # or namespace-scope declaration, which is checked where it
+            # is spelled.
+            continue
+        findings.append(Finding(
+            ctx.path, decl.line, "error-discipline",
+            f"'{decl.name}' returns an error-carrying type but is not "
+            f"[[nodiscard]]; annotate the declaration so no caller can "
+            f"silently drop the error"))
+    # (b) call sites: no statement may discard an error-carrying result.
+    error_names = index.error_function_names()
+    if not error_names:
+        return findings
+    code = ctx.code
+    for match in re.finditer(r"\b(\w+)\s*\(", code):
+        name = match.group(1)
+        if name not in error_names:
+            continue
+        call_start = _receiver_start(code, match.start())
+        if call_start is None:
+            continue
+        stmt_pos, is_void_cast = _statement_position(code, call_start)
+        if not stmt_pos:
+            continue
+        close = match_paren_forward(code, code.find("(", match.end(1)))
+        if close == -1:
+            continue
+        after = next_nonspace(code, close + 1)
+        if after >= len(code) or code[after] != ";":
+            continue  # result is used (assigned, compared, chained, ...)
+        line = line_of_offset(code, match.start())
+        how = ("explicitly discarded with a (void) cast"
+               if is_void_cast else "discarded")
+        findings.append(Finding(
+            ctx.path, line, "error-discipline",
+            f"result of '{name}' is {how}; check it, or suppress with a "
+            f"justified 'verify-lint: allow(error-discipline)' pragma"))
+    return findings
+
+
+def _receiver_start(code, name_pos):
+    """Walk a call's receiver chain (obj. / ptr-> / ns::) back from the
+    callee name. Returns the start offset of the full call expression, or
+    None when the callee is a member accessed on a call result (already a
+    use of that result)."""
+    i = name_pos
+    while True:
+        j = prev_nonspace(code, i)
+        if j < 0:
+            return i
+        if code.startswith("::", j - 1):
+            k = j - 2
+        elif code[j] == ".":
+            k = j - 1
+        elif code.startswith("->", j - 1):
+            k = j - 2
+        else:
+            return i
+        # The component before the separator must be a plain identifier
+        # (receiver variable or namespace); anything else — e.g. a ')'
+        # from a chained call — makes this a use, not a discard site.
+        end = k + 1
+        while k >= 0 and (code[k].isalnum() or code[k] == "_"):
+            k -= 1
+        if end == k + 1:
+            return None
+        i = k + 1
+
+
+def _statement_position(code, pos):
+    """Is the expression starting at pos in statement position? Returns
+    (bool, is_void_cast). Statement position: after ;{}:, after a
+    control-flow header `if (...)`/`for (...)`/..., after else/do, or
+    file start. A leading (void) cast is recognised and reported."""
+    is_void_cast = False
+    j = prev_nonspace(code, pos)
+    if j >= 0 and code[j] == ")":
+        lparen = code.rfind("(", 0, j)
+        if lparen != -1 and code[lparen + 1:j].strip() == "void":
+            is_void_cast = True
+            j = prev_nonspace(code, lparen)
+    if j < 0:
+        return True, is_void_cast
+    c = code[j]
+    if c in ";{}":
+        return True, is_void_cast
+    if c == ":":
+        # Label or access specifier; a member-init list would follow a
+        # constructor's ')' — those are initialisations, not discards.
+        return word_before(code, j) in ("default", "public", "private",
+                                        "protected"), is_void_cast
+    if c == ")":
+        from verify_lexical import match_paren_backward
+        lparen = match_paren_backward(code, j)
+        if lparen != -1 and word_before(code, lparen) in (
+                "if", "for", "while", "switch"):
+            return True, is_void_cast
+        return False, is_void_cast
+    word_end = j + 1
+    k = j
+    while k >= 0 and (code[k].isalnum() or code[k] == "_"):
+        k -= 1
+    return code[k + 1:word_end] in ("else", "do"), is_void_cast
+
+
+# ---------------------------------------------------------------------------
+# Rule: atomic-ordering.
+
+
+_COMPOUND_OPS = ("+=", "-=", "|=", "&=", "^=")
+
+
+_EXPR_KEYWORDS = ("return", "co_return", "co_yield", "co_await",
+                  "throw", "else", "do", "case")
+
+
+def check_atomic_ordering(ctx, index):
+    findings = []
+    code = ctx.code
+    names = index.atomic_names
+    if not names:
+        return findings
+    # First pass: shadowing declarations (`bool Name = ...`, a local or
+    # parameter reusing an atomic's name) with the brace extent they live
+    # in; uses inside that extent after the declaration are the local's.
+    shadows = []  # (name, decl_offset, extent)
+    extents = ctx.extents()
+    matches = [m for m in re.finditer(r"\b(\w+)\b", code)
+               if m.group(1) in names]
+    for match in matches:
+        prev = prev_nonspace(code, match.start())
+        is_decl = False
+        if prev >= 0 and (code[prev].isalnum() or code[prev] == "_"):
+            is_decl = word_before(
+                code, match.start()) not in _EXPR_KEYWORDS
+        elif prev >= 0 and code[prev] in "*&":
+            is_decl = True  # `uint64_t *Next = ...` / `BitVector &Next`
+        elif prev >= 0 and code[prev] == ">" and \
+                not _closes_atomic_template(code, prev):
+            is_decl = True  # `std::vector<int> Next` (not the atomic's own)
+        if is_decl:
+            containing = [e for e in extents
+                          if e.contains(match.start())]
+            if containing:
+                inner = max(containing, key=lambda e: e.open_pos)
+                shadows.append((match.group(1), match.start(), inner))
+    for match in matches:
+        name = match.group(1)
+        prev = prev_nonspace(code, match.start())
+        if prev >= 0 and (code[prev] == "." or
+                          code.startswith("->", prev - 1)):
+            continue  # member of some other object (Stats.Failures, ...)
+        if prev >= 0 and code[prev] in ">*&":
+            continue  # declaration tail (`atomic<T> Name`) or ptr/ref
+        if prev >= 0 and (code[prev].isalnum() or code[prev] == "_"):
+            # Preceded by a word: a declaration (`bool Name = ...`)
+            # unless the word is a statement keyword introducing an
+            # expression (`return Name.load(..)`).
+            if word_before(code, match.start()) not in _EXPR_KEYWORDS:
+                continue
+        if any(sname == name and soff <= match.start() and
+               extent.contains(match.start())
+               for sname, soff, extent in shadows):
+            continue  # use of the shadowing local, not the atomic
+        i = next_nonspace(code, match.end())
+        # Optional array subscript: FailCursor[Site].fetch_add(...).
+        if i < len(code) and code[i] == "[":
+            close = code.find("]", i)
+            if close == -1:
+                continue
+            i = next_nonspace(code, close + 1)
+        if i >= len(code):
+            continue
+        line = line_of_offset(code, match.start())
+        two = code[i:i + 2]
+        if two in ("++", "--"):
+            _report(findings, ctx, line, "atomic-ordering",
+                    f"'{name}{two}' is a seq_cst RMW in operator "
+                    f"clothing; spell it fetch_add/fetch_sub with the "
+                    f"memory_order the contract calls for")
+            continue
+        if two in _COMPOUND_OPS:
+            _report(findings, ctx, line, "atomic-ordering",
+                    f"'{name} {two}' is a seq_cst RMW; use an explicit "
+                    f"fetch_* with a named memory_order")
+            continue
+        if code[i] == "=" and two != "==":
+            _report(findings, ctx, line, "atomic-ordering",
+                    f"plain assignment to atomic '{name}' is a seq_cst "
+                    f"store; call store() with an explicit memory_order")
+            continue
+        if code[i] == "." :
+            m2 = _IDENT_RE.match(code, next_nonspace(code, i + 1))
+            if not m2 or m2.group(0) not in ATOMIC_MEMBER_OPS:
+                continue
+            lparen = next_nonspace(code, m2.end())
+            if lparen >= len(code) or code[lparen] != "(":
+                continue
+            close = match_paren_forward(code, lparen)
+            if close == -1:
+                continue
+            args = code[lparen:close]
+            if "memory_order" not in args:
+                _report(findings, ctx, line, "atomic-ordering",
+                        f"'{name}.{m2.group(0)}' defaults to seq_cst; "
+                        f"pass the explicit memory_order the documented "
+                        f"contract assigns this atomic")
+            elif "memory_order_seq_cst" in args:
+                _report(findings, ctx, line, "atomic-ordering",
+                        f"'{name}.{m2.group(0)}' spells seq_cst: the "
+                        f"documented contract (BatchRunStats) is relaxed "
+                        f"cursors/tallies with pool-join publication — "
+                        f"justify the strengthening with an allow pragma "
+                        f"or relax it")
+    return findings
+
+
+def _closes_atomic_template(code, gt_pos):
+    """True when the '>' at gt_pos closes a std::atomic<...> template
+    argument list (i.e. the following identifier is the atomic variable's
+    own declaration, not a shadow)."""
+    depth = 0
+    for i in range(gt_pos, -1, -1):
+        c = code[i]
+        if c == ">":
+            depth += 1
+        elif c == "<":
+            depth -= 1
+            if depth == 0:
+                return word_before(code, i) == "atomic"
+    return False
+
+
+def _report(findings, ctx, line, rule, message):
+    findings.append(Finding(ctx.path, line, rule, message))
+
+
+# ---------------------------------------------------------------------------
+# Rule: chaos-coverage.
+
+
+def _io_matches(code):
+    for match in re.finditer(r"(?:(std\s*::\s*|::\s*))?\b(\w+)\s*\(", code):
+        qualified = match.group(1) is not None
+        name = match.group(2)
+        if qualified and not match.group(1).startswith("std"):
+            # A bare `::` only means the global namespace when no type
+            # name precedes it — `SocketMailbox::connect(...)` is a
+            # method, but `return ::write(...)` is the syscall.
+            before = prev_nonspace(code, match.start(1))
+            if before >= 0 and (code[before].isalnum() or
+                                code[before] in "_>"):
+                if word_before(code, before + 1) not in _EXPR_KEYWORDS:
+                    qualified = False
+        if qualified and name in QUALIFIED_IO_NAMES:
+            yield match.start(2), name
+        elif not qualified and name in BARE_IO_NAMES:
+            prev = prev_nonspace(code, match.start(2))
+            if prev >= 0 and (code[prev] in ".>" or code[prev].isalnum()
+                              or code[prev] == "_"):
+                continue
+            yield match.start(2), name
+
+
+def check_chaos_coverage(ctx, index):
+    findings = []
+    code = ctx.code
+    extents = [e for e in ctx.extents() if e.is_function]
+
+    # Cross-check every chaos call's site argument against the registry.
+    chaos_spans = []
+    for match in CHAOS_CALL_RE.finditer(code):
+        lparen = code.find("(", match.start())
+        close = match_paren_forward(code, lparen)
+        if close == -1:
+            continue
+        chaos_spans.append((match.start(), close))
+        arg = CHAOS_SITE_ARG_RE.search(code[lparen:close + 1])
+        if arg and index.chaos_enumerators and \
+                arg.group(1) not in index.chaos_enumerators:
+            line = line_of_offset(code, match.start())
+            if not ctx.allowed(line, "chaos-coverage"):
+                findings.append(Finding(
+                    ctx.path, line, "chaos-coverage",
+                    f"chaos call names unregistered site "
+                    f"'ChaosSite::{arg.group(1)}'; register it in "
+                    f"support/Chaos.h or fix the spelling"))
+
+    # Validate chaos-site pragmas and map them to the extents they cover.
+    sited_extents = set()
+    for line, site, has_reason in ctx.site_pragmas:
+        if not has_reason:
+            continue  # a reasonless pragma covers nothing
+        if index.chaos_site_names and site not in index.chaos_site_names:
+            if not ctx.allowed(line, "chaos-coverage"):
+                findings.append(Finding(
+                    ctx.path, line, "chaos-coverage",
+                    f"chaos-site pragma names unregistered site "
+                    f"'{site}' (registry: "
+                    f"{', '.join(sorted(index.chaos_site_names))})"))
+            continue
+        for idx, extent in enumerate(extents):
+            if extent.header_line - 3 <= line <= extent.end_line:
+                sited_extents.add(idx)
+
+    # Every raw I/O call must be covered by a chaos call in an enclosing
+    # function or a chaos-site pragma on one. One finding per function.
+    flagged = set()
+    for offset, io_name in _io_matches(code):
+        containing = [
+            (idx, e) for idx, e in enumerate(extents) if e.contains(offset)
+        ]
+        if not containing:
+            continue  # not inside a function (macro text, etc.)
+        covered = False
+        for idx, extent in containing:
+            if idx in sited_extents:
+                covered = True
+                break
+            if any(extent.open_pos <= s <= extent.close_pos
+                   for s, _e in chaos_spans):
+                covered = True
+                break
+        if covered:
+            continue
+        innermost_idx, innermost = max(containing,
+                                       key=lambda p: p[1].open_pos)
+        line = line_of_offset(code, offset)
+        if ctx.allowed(line, "chaos-coverage"):
+            continue
+        if innermost_idx in flagged:
+            continue
+        flagged.add(innermost_idx)
+        findings.append(Finding(
+            ctx.path, line, "chaos-coverage",
+            f"raw I/O '{io_name}()' in '{innermost.name}' is outside "
+            f"every registered chaos site; add a chaosPoint()/"
+            f"chaosCorruptDraw() to the owning operation or declare the "
+            f"covering site with 'verify-lint: chaos-site(<site>)'"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: enum-exhaustiveness.
+
+
+def check_enum_exhaustiveness(ctx, index, checked_enums):
+    findings = []
+    code = ctx.code
+    for match in re.finditer(r"\bswitch\s*\(", code):
+        lparen = code.find("(", match.start())
+        close = match_paren_forward(code, lparen)
+        if close == -1:
+            continue
+        brace = next_nonspace(code, close + 1)
+        if brace >= len(code) or code[brace] != "{":
+            continue
+        # Find the switch body's extent via the precomputed brace pairs.
+        body_end = _matching_brace(code, brace)
+        if body_end == -1:
+            continue
+        body = code[brace + 1:body_end]
+        # Only top-level labels of THIS switch: mask nested brace bodies.
+        top = _mask_nested_braces(body)
+        labels = []
+        for case in CASE_RE.finditer(top):
+            labels.append(case.group(1).replace(" ", ""))
+        has_default = re.search(r"\bdefault\s*:", top) is not None
+        enum_name = None
+        for label in labels:
+            if "::" in label:
+                qualifier = label.split("::")[-2]
+                if qualifier in index.enums:
+                    enum_name = qualifier
+                    break
+        if enum_name is None or enum_name not in checked_enums:
+            continue
+        line = line_of_offset(code, match.start())
+        if ctx.allowed(line, "enum-exhaustiveness"):
+            continue
+        seen = {label.split("::")[-1] for label in labels}
+        missing = [e for e in index.enums[enum_name] if e not in seen]
+        if missing:
+            findings.append(Finding(
+                ctx.path, line, "enum-exhaustiveness",
+                f"switch over {enum_name} misses "
+                f"{', '.join(enum_name + '::' + m for m in missing)}; "
+                f"every enumerator must be handled explicitly"))
+        if has_default:
+            findings.append(Finding(
+                ctx.path, line, "enum-exhaustiveness",
+                f"switch over {enum_name} has a swallowing 'default:'; "
+                f"drop it so adding an enumerator is a compiler warning "
+                f"and a lint finding, not a silent fall-through"))
+    return findings
+
+
+def _matching_brace(code, open_pos):
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _mask_nested_braces(body):
+    out = []
+    depth = 0
+    for c in body:
+        if c == "{":
+            depth += 1
+            out.append(" ")
+        elif c == "}":
+            depth -= 1
+            out.append(" ")
+        else:
+            out.append(c if depth == 0 else " ")
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Per-file driver.
+
+
+def check_file(ctx, index, config):
+    """Run every applicable rule on one FileContext. config is a dict:
+    chaos_paths (relpath predicate), checked_enums, all_rules (fixture
+    mode forces every rule on)."""
+    findings = []
+    findings.extend(f for f in check_error_discipline(ctx, index)
+                    if not ctx.allowed(f.line, f.rule))
+    findings.extend(f for f in check_atomic_ordering(ctx, index)
+                    if not ctx.allowed(f.line, f.rule))
+    if config.get("all_rules") or config["chaos_predicate"](ctx.path):
+        findings.extend(check_chaos_coverage(ctx, index))
+    findings.extend(check_enum_exhaustiveness(
+        ctx, index, config["checked_enums"]))
+    return findings
